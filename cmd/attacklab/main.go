@@ -1,0 +1,130 @@
+// Command attacklab regenerates the paper's Section IV-D attack comparison
+// (experiment E1): it runs the attack library against the platform
+// deployments and prints the outcome matrix plus per-run summaries.
+//
+// Usage:
+//
+//	attacklab                         # headline matrix, both attacker models
+//	attacklab -platforms all          # include the ablation platforms
+//	attacklab -actions kill-controller -root
+//	attacklab -action fork-bomb -platforms minix3-acm -quota 5   # E8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mkbas/internal/attack"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "attacklab:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	platformsFlag := flag.String("platforms", "paper", `platforms: "paper" (linux, minix3-acm, sel4), "all" (adds linux-hardened, minix3-vanilla), or a comma list`)
+	actionsFlag := flag.String("actions", "all", `actions: "all" or comma list of spoof-sensor, command-actuators, kill-controller, enumerate-handles, fork-bomb`)
+	rootFlag := flag.String("model", "both", `attacker model: "user", "root", or "both"`)
+	quota := flag.Int("quota", 0, "fork quota for MINIX (0 = no quota; E8 uses 5)")
+	verbose := flag.Bool("v", false, "print per-run summaries")
+	flag.Parse()
+
+	platforms, err := parsePlatforms(*platformsFlag)
+	if err != nil {
+		return err
+	}
+	actions, err := parseActions(*actionsFlag)
+	if err != nil {
+		return err
+	}
+
+	var models []bool
+	switch *rootFlag {
+	case "user":
+		models = []bool{false}
+	case "root":
+		models = []bool{true}
+	case "both":
+		models = []bool{false, true}
+	default:
+		return fmt.Errorf("unknown model %q", *rootFlag)
+	}
+
+	for _, root := range models {
+		label := "attacker model 1: arbitrary code execution in the web interface"
+		if root {
+			label = "attacker model 2: arbitrary code execution + root privilege"
+		}
+		fmt.Printf("=== %s ===\n", label)
+		var reports []*attack.Report
+		for _, p := range platforms {
+			for _, a := range actions {
+				spec := attack.Spec{Platform: p, Action: a, Root: root}
+				if p == attack.PlatformMinix || p == attack.PlatformMinixVanilla {
+					spec.ForkQuota = *quota
+				}
+				report, execErr := attack.Execute(spec)
+				if execErr != nil {
+					return execErr
+				}
+				reports = append(reports, report)
+				if *verbose {
+					fmt.Println(attack.Summarize(report))
+				}
+			}
+		}
+		fmt.Println(attack.FormatMatrix(reports))
+	}
+	fmt.Println(`verdicts: COMPROMISED        = the physical process was jeopardized
+          accepted-no-impact = operations were accepted but the plant stayed safe
+          BLOCKED            = every malicious operation was denied`)
+	return nil
+}
+
+func parsePlatforms(s string) ([]attack.Platform, error) {
+	switch s {
+	case "paper":
+		return attack.AllPlatforms(), nil
+	case "all":
+		return []attack.Platform{
+			attack.PlatformLinux, attack.PlatformLinuxHardened,
+			attack.PlatformMinixVanilla, attack.PlatformMinix, attack.PlatformSel4,
+		}, nil
+	}
+	var out []attack.Platform
+	for _, part := range strings.Split(s, ",") {
+		p := attack.Platform(strings.TrimSpace(part))
+		switch p {
+		case attack.PlatformLinux, attack.PlatformLinuxHardened, attack.PlatformMinix,
+			attack.PlatformMinixVanilla, attack.PlatformSel4:
+			out = append(out, p)
+		default:
+			return nil, fmt.Errorf("unknown platform %q", part)
+		}
+	}
+	return out, nil
+}
+
+func parseActions(s string) ([]attack.Action, error) {
+	if s == "all" {
+		return attack.AllActions(), nil
+	}
+	var out []attack.Action
+	known := make(map[attack.Action]bool)
+	for _, a := range attack.AllActions() {
+		known[a] = true
+	}
+	for _, part := range strings.Split(s, ",") {
+		a := attack.Action(strings.TrimSpace(part))
+		if !known[a] {
+			return nil, fmt.Errorf("unknown action %q", part)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

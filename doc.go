@@ -1,0 +1,18 @@
+// Package mkbas is a full reproduction, as a Go simulation study, of
+// "Enhanced Security of Building Automation Systems Through
+// Microkernel-Based Controller Platforms" (ICDCS 2017 / CCNCPS workshop).
+//
+// The repository builds every system the paper describes — a deterministic
+// virtual controller board, a security-enhanced MINIX 3 kernel with the
+// paper's access control matrix, an seL4-style capability kernel with a
+// CAmkES component layer and CapDL verification, a monolithic Linux
+// comparison kernel, the AADL modeling front end and its two compilers, the
+// five-process temperature-control scenario, and the attack harness that
+// regenerates the paper's platform comparison.
+//
+// See DESIGN.md for the system inventory, EXPERIMENTS.md for the
+// paper-versus-measured record, and the examples directory for runnable
+// entry points. The benchmarks in bench_test.go regenerate each experiment:
+//
+//	go test -bench=. -benchmem .
+package mkbas

@@ -1,0 +1,3 @@
+module mkbas
+
+go 1.22

@@ -1,0 +1,418 @@
+package aadl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses one AADL package from source text.
+func Parse(src string) (*Package, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	pkg, err := p.parsePackage()
+	if err != nil {
+		return nil, err
+	}
+	if err := analyze(pkg); err != nil {
+		return nil, err
+	}
+	return pkg, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(tok token, format string, args ...any) error {
+	return &SyntaxError{Line: tok.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// expect consumes a token of the given kind.
+func (p *parser) expect(kind tokenKind) (token, error) {
+	t := p.next()
+	if t.kind != kind {
+		return t, p.errf(t, "expected %v, found %q", kind, t.text)
+	}
+	return t, nil
+}
+
+// expectKeyword consumes a specific keyword identifier.
+func (p *parser) expectKeyword(kw string) (token, error) {
+	t := p.next()
+	if !keywordIs(t, kw) {
+		return t, p.errf(t, "expected %q, found %q", kw, t.text)
+	}
+	return t, nil
+}
+
+// parsePackage parses "package Name public ... end Name;".
+func (p *parser) parsePackage() (*Package, error) {
+	if _, err := p.expectKeyword("package"); err != nil {
+		return nil, err
+	}
+	nameTok, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectKeyword("public"); err != nil {
+		return nil, err
+	}
+	pkg := &Package{Name: nameTok.text}
+	for {
+		t := p.peek()
+		switch {
+		case keywordIs(t, "process"):
+			proc, perr := p.parseProcess()
+			if perr != nil {
+				return nil, perr
+			}
+			pkg.Processes = append(pkg.Processes, *proc)
+		case keywordIs(t, "system"):
+			sys, serr := p.parseSystem()
+			if serr != nil {
+				return nil, serr
+			}
+			pkg.Systems = append(pkg.Systems, *sys)
+		case keywordIs(t, "end"):
+			p.next()
+			endName, eerr := p.expect(tokIdent)
+			if eerr != nil {
+				return nil, eerr
+			}
+			if !strings.EqualFold(endName.text, pkg.Name) {
+				return nil, p.errf(endName, "end %q does not match package %q", endName.text, pkg.Name)
+			}
+			if _, eerr := p.expect(tokSemi); eerr != nil {
+				return nil, eerr
+			}
+			if _, eerr := p.expect(tokEOF); eerr != nil {
+				return nil, eerr
+			}
+			return pkg, nil
+		default:
+			return nil, p.errf(t, "expected process, system, or end; found %q", t.text)
+		}
+	}
+}
+
+// parseProcess parses "process Name [features ...] [properties ...] end Name;".
+func (p *parser) parseProcess() (*Process, error) {
+	start, err := p.expectKeyword("process")
+	if err != nil {
+		return nil, err
+	}
+	nameTok, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	proc := &Process{Name: nameTok.text, Properties: map[string]PropValue{}, Line: start.line}
+	if keywordIs(p.peek(), "features") {
+		p.next()
+		for p.peek().kind == tokIdent && !keywordIs(p.peek(), "properties") && !keywordIs(p.peek(), "end") {
+			port, perr := p.parsePort()
+			if perr != nil {
+				return nil, perr
+			}
+			proc.Ports = append(proc.Ports, *port)
+		}
+	}
+	if keywordIs(p.peek(), "properties") {
+		p.next()
+		for p.peek().kind == tokIdent && !keywordIs(p.peek(), "end") {
+			key, val, perr := p.parseProperty()
+			if perr != nil {
+				return nil, perr
+			}
+			proc.Properties[key] = val
+		}
+	}
+	if err := p.parseEnd(proc.Name); err != nil {
+		return nil, err
+	}
+	return proc, nil
+}
+
+// parsePort parses "name: in|out event data port;".
+func (p *parser) parsePort() (*Port, error) {
+	nameTok, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokColon); err != nil {
+		return nil, err
+	}
+	dirTok := p.next()
+	var dir PortDirection
+	switch {
+	case keywordIs(dirTok, "in"):
+		dir = DirIn
+	case keywordIs(dirTok, "out"):
+		dir = DirOut
+	default:
+		return nil, p.errf(dirTok, "expected in or out, found %q", dirTok.text)
+	}
+	// "event data port" | "event port" | "data port"
+	sawCategory := false
+	for {
+		t := p.peek()
+		if keywordIs(t, "event") || keywordIs(t, "data") {
+			p.next()
+			continue
+		}
+		if keywordIs(t, "port") {
+			p.next()
+			sawCategory = true
+		}
+		break
+	}
+	if !sawCategory {
+		return nil, p.errf(p.peek(), "expected port category")
+	}
+	if _, err := p.expect(tokSemi); err != nil {
+		return nil, err
+	}
+	return &Port{Name: nameTok.text, Direction: dir, Line: nameTok.line}, nil
+}
+
+// parseProperty parses "Key => value;" where value is a number or
+// "(n, n, ...)". Keys are normalised to lower case.
+func (p *parser) parseProperty() (string, PropValue, error) {
+	keyTok, err := p.expect(tokIdent)
+	if err != nil {
+		return "", PropValue{}, err
+	}
+	key := strings.ToLower(keyTok.text)
+	// Allow namespaced property names like BAS_Properties::AC_ID.
+	if p.peek().kind == tokDblColon {
+		p.next()
+		sub, serr := p.expect(tokIdent)
+		if serr != nil {
+			return "", PropValue{}, serr
+		}
+		key = strings.ToLower(sub.text)
+	}
+	if _, err := p.expect(tokAssoc); err != nil {
+		return "", PropValue{}, err
+	}
+	val, err := p.parsePropValue()
+	if err != nil {
+		return "", PropValue{}, err
+	}
+	if _, err := p.expect(tokSemi); err != nil {
+		return "", PropValue{}, err
+	}
+	return key, val, nil
+}
+
+func (p *parser) parsePropValue() (PropValue, error) {
+	t := p.next()
+	switch t.kind {
+	case tokNumber:
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return PropValue{}, p.errf(t, "bad number %q", t.text)
+		}
+		return PropValue{Number: n}, nil
+	case tokLParen:
+		var list []int64
+		for {
+			numTok, err := p.expect(tokNumber)
+			if err != nil {
+				return PropValue{}, err
+			}
+			n, err := strconv.ParseInt(numTok.text, 10, 64)
+			if err != nil {
+				return PropValue{}, p.errf(numTok, "bad number %q", numTok.text)
+			}
+			list = append(list, n)
+			sep := p.next()
+			if sep.kind == tokComma {
+				continue
+			}
+			if sep.kind == tokRParen {
+				return PropValue{List: list, IsList: true}, nil
+			}
+			return PropValue{}, p.errf(sep, "expected ',' or ')', found %q", sep.text)
+		}
+	default:
+		return PropValue{}, p.errf(t, "expected number or list, found %q", t.text)
+	}
+}
+
+// parseSystem parses
+// "system implementation Name.Impl [subcomponents ...] [connections ...] end Name.Impl;".
+func (p *parser) parseSystem() (*SystemImpl, error) {
+	start, err := p.expectKeyword("system")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectKeyword("implementation"); err != nil {
+		return nil, err
+	}
+	name, err := p.parseDottedName()
+	if err != nil {
+		return nil, err
+	}
+	sys := &SystemImpl{Name: name, Line: start.line}
+	if keywordIs(p.peek(), "subcomponents") {
+		p.next()
+		for p.peek().kind == tokIdent && !keywordIs(p.peek(), "connections") && !keywordIs(p.peek(), "end") {
+			sub, serr := p.parseSubcomponent()
+			if serr != nil {
+				return nil, serr
+			}
+			sys.Subcomponents = append(sys.Subcomponents, *sub)
+		}
+	}
+	if keywordIs(p.peek(), "connections") {
+		p.next()
+		for p.peek().kind == tokIdent && !keywordIs(p.peek(), "end") {
+			conn, cerr := p.parseConnection()
+			if cerr != nil {
+				return nil, cerr
+			}
+			sys.Connections = append(sys.Connections, *conn)
+		}
+	}
+	if err := p.parseEnd(sys.Name); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+// parseDottedName parses "name" or "name.impl".
+func (p *parser) parseDottedName() (string, error) {
+	first, err := p.expect(tokIdent)
+	if err != nil {
+		return "", err
+	}
+	name := first.text
+	if p.peek().kind == tokDot {
+		p.next()
+		second, serr := p.expect(tokIdent)
+		if serr != nil {
+			return "", serr
+		}
+		name += "." + second.text
+	}
+	return name, nil
+}
+
+// parseSubcomponent parses "instance: process TypeName;".
+func (p *parser) parseSubcomponent() (*Subcomponent, error) {
+	nameTok, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokColon); err != nil {
+		return nil, err
+	}
+	if _, err := p.expectKeyword("process"); err != nil {
+		return nil, err
+	}
+	typeTok, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSemi); err != nil {
+		return nil, err
+	}
+	return &Subcomponent{Name: nameTok.text, ProcessType: typeTok.text, Line: nameTok.line}, nil
+}
+
+// parseConnection parses
+// "label: port a.x -> b.y [{ Props }];".
+func (p *parser) parseConnection() (*Connection, error) {
+	labelTok, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokColon); err != nil {
+		return nil, err
+	}
+	if _, err := p.expectKeyword("port"); err != nil {
+		return nil, err
+	}
+	src, err := p.parsePortRef()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokArrow); err != nil {
+		return nil, err
+	}
+	dst, err := p.parsePortRef()
+	if err != nil {
+		return nil, err
+	}
+	conn := &Connection{
+		Label:      labelTok.text,
+		Src:        src,
+		Dst:        dst,
+		Properties: map[string]PropValue{},
+		Line:       labelTok.line,
+	}
+	if p.peek().kind == tokLBrace {
+		p.next()
+		for p.peek().kind == tokIdent {
+			key, val, perr := p.parseProperty()
+			if perr != nil {
+				return nil, perr
+			}
+			conn.Properties[key] = val
+		}
+		if _, err := p.expect(tokRBrace); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokSemi); err != nil {
+		return nil, err
+	}
+	return conn, nil
+}
+
+// parsePortRef parses "component.port".
+func (p *parser) parsePortRef() (PortRef, error) {
+	comp, err := p.expect(tokIdent)
+	if err != nil {
+		return PortRef{}, err
+	}
+	if _, err := p.expect(tokDot); err != nil {
+		return PortRef{}, err
+	}
+	port, err := p.expect(tokIdent)
+	if err != nil {
+		return PortRef{}, err
+	}
+	return PortRef{Component: comp.text, Port: port.text}, nil
+}
+
+// parseEnd parses "end Name;" verifying the name matches.
+func (p *parser) parseEnd(want string) error {
+	if _, err := p.expectKeyword("end"); err != nil {
+		return err
+	}
+	name, err := p.parseDottedName()
+	if err != nil {
+		return err
+	}
+	if !strings.EqualFold(name, want) {
+		return &SyntaxError{Line: p.peek().line, Msg: fmt.Sprintf("end %q does not match %q", name, want)}
+	}
+	_, err = p.expect(tokSemi)
+	return err
+}

@@ -1,0 +1,93 @@
+package aadl
+
+import (
+	"fmt"
+
+	"mkbas/internal/core"
+)
+
+// analyze performs the semantic checks the AADL workbench would: every
+// subcomponent's process type exists, connections reference real ports with
+// compatible directions, every process carries a unique AC_ID, and message
+// types fit the ACM's 0..63 space.
+func analyze(pkg *Package) error {
+	seenProc := make(map[string]bool, len(pkg.Processes))
+	for _, proc := range pkg.Processes {
+		if seenProc[proc.Name] {
+			return &SemanticError{Line: proc.Line, Msg: fmt.Sprintf("duplicate process %q", proc.Name)}
+		}
+		seenProc[proc.Name] = true
+		seenPort := make(map[string]bool, len(proc.Ports))
+		for _, port := range proc.Ports {
+			if seenPort[port.Name] {
+				return &SemanticError{Line: port.Line, Msg: fmt.Sprintf("duplicate port %q in %q", port.Name, proc.Name)}
+			}
+			seenPort[port.Name] = true
+		}
+	}
+
+	acids := make(map[int64]string, len(pkg.Processes))
+	for _, proc := range pkg.Processes {
+		id := proc.ACID()
+		if id == 0 {
+			return &SemanticError{Line: proc.Line, Msg: fmt.Sprintf("process %q has no AC_ID property", proc.Name)}
+		}
+		if id < 0 || id > int64(^uint32(0)) {
+			return &SemanticError{Line: proc.Line, Msg: fmt.Sprintf("process %q AC_ID %d out of range", proc.Name, id)}
+		}
+		if other, dup := acids[id]; dup {
+			return &SemanticError{Line: proc.Line, Msg: fmt.Sprintf("AC_ID %d assigned to both %q and %q", id, other, proc.Name)}
+		}
+		acids[id] = proc.Name
+	}
+
+	for i := range pkg.Systems {
+		sys := &pkg.Systems[i]
+		seenSub := make(map[string]bool, len(sys.Subcomponents))
+		for _, sub := range sys.Subcomponents {
+			if seenSub[sub.Name] {
+				return &SemanticError{Line: sub.Line, Msg: fmt.Sprintf("duplicate subcomponent %q", sub.Name)}
+			}
+			seenSub[sub.Name] = true
+			if _, ok := pkg.Process(sub.ProcessType); !ok {
+				return &SemanticError{Line: sub.Line, Msg: fmt.Sprintf("subcomponent %q references unknown process %q", sub.Name, sub.ProcessType)}
+			}
+		}
+		for _, conn := range sys.Connections {
+			srcPort, err := resolvePort(pkg, sys, conn.Src, conn.Line)
+			if err != nil {
+				return err
+			}
+			dstPort, err := resolvePort(pkg, sys, conn.Dst, conn.Line)
+			if err != nil {
+				return err
+			}
+			if srcPort.Direction != DirOut {
+				return &SemanticError{Line: conn.Line, Msg: fmt.Sprintf("connection %q source %s is not an out port", conn.Label, conn.Src)}
+			}
+			if dstPort.Direction != DirIn {
+				return &SemanticError{Line: conn.Line, Msg: fmt.Sprintf("connection %q destination %s is not an in port", conn.Label, conn.Dst)}
+			}
+			for _, mt := range conn.MessageTypes() {
+				if mt < 0 || mt > int64(core.MaxMsgType) {
+					return &SemanticError{Line: conn.Line, Msg: fmt.Sprintf("connection %q message type %d outside 0..%d", conn.Label, mt, core.MaxMsgType)}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// resolvePort maps a PortRef to its declared port.
+func resolvePort(pkg *Package, sys *SystemImpl, ref PortRef, line int) (Port, error) {
+	sub, ok := sys.Sub(ref.Component)
+	if !ok {
+		return Port{}, &SemanticError{Line: line, Msg: fmt.Sprintf("unknown subcomponent %q", ref.Component)}
+	}
+	proc, _ := pkg.Process(sub.ProcessType)
+	port, ok := proc.Port(ref.Port)
+	if !ok {
+		return Port{}, &SemanticError{Line: line, Msg: fmt.Sprintf("process %q has no port %q", sub.ProcessType, ref.Port)}
+	}
+	return port, nil
+}

@@ -1,0 +1,181 @@
+// Package attack implements the paper's Section IV-D attack simulations and
+// the harness that reproduces its platform-comparison results (experiment
+// E1).
+//
+// Threat model, exactly as in the paper: the web interface process is
+// compromised and executes arbitrary attacker code, with "enough knowledge
+// about other control processes" (names, queue names, pid ranges, slot
+// numbers). The second attacker model additionally holds root, obtained
+// through a simulated privilege-escalation exploit.
+//
+// Each attack runs on a fresh testbed: the scenario settles for 30 virtual
+// minutes, the attack executes for 3 virtual hours, and ground-truth safety
+// monitors (internal/safety) decide whether the physical world was
+// compromised. The attacker's own success/denial counters are recorded
+// separately — a denied operation that caused no physical deviation is the
+// microkernel story; an accepted operation with physical deviation is the
+// Linux story.
+package attack
+
+import (
+	"fmt"
+	"time"
+
+	"mkbas/internal/bas"
+	"mkbas/internal/safety"
+)
+
+// Platform selects the deployment under attack.
+type Platform string
+
+// Platforms under comparison. MinixVanilla (ACM disabled) and LinuxHardened
+// (unique accounts + restrictive modes) are ablations beyond the paper's
+// three headline systems.
+const (
+	PlatformLinux         Platform = "linux"
+	PlatformLinuxHardened Platform = "linux-hardened"
+	PlatformMinix         Platform = "minix3-acm"
+	PlatformMinixVanilla  Platform = "minix3-vanilla"
+	PlatformSel4          Platform = "sel4"
+)
+
+// AllPlatforms lists the headline platforms in the paper's order.
+func AllPlatforms() []Platform {
+	return []Platform{PlatformLinux, PlatformMinix, PlatformSel4}
+}
+
+// Action selects the attack.
+type Action string
+
+// Attacks from Section IV-D.
+const (
+	// ActionSpoofSensor impersonates the temperature sensor, feeding the
+	// controller an in-range reading while the room drifts.
+	ActionSpoofSensor Action = "spoof-sensor"
+	// ActionCommandActuators sends heater-off/alarm-off commands directly
+	// to the actuator drivers ("arbitrarily control the fan and LED").
+	ActionCommandActuators Action = "command-actuators"
+	// ActionKillController destroys the temperature control process.
+	ActionKillController Action = "kill-controller"
+	// ActionEnumerate brute-forces IPC handles: capability slots on seL4,
+	// endpoints on MINIX, queue names on Linux.
+	ActionEnumerate Action = "enumerate-handles"
+	// ActionForkBomb spawns processes until stopped.
+	ActionForkBomb Action = "fork-bomb"
+)
+
+// AllActions lists every attack.
+func AllActions() []Action {
+	return []Action{
+		ActionSpoofSensor, ActionCommandActuators, ActionKillController,
+		ActionEnumerate, ActionForkBomb,
+	}
+}
+
+// Spec is one attack configuration.
+type Spec struct {
+	Platform Platform
+	Action   Action
+	// Root applies the second attacker model (privilege escalation). On
+	// seL4 there is no root to escalate to; the flag is accepted and noted.
+	Root bool
+	// ForkQuota, when > 0 on MINIX, applies the E8 quota policy.
+	ForkQuota int
+}
+
+// progress is the attacker's self-reported tally, shared between the
+// malicious body and the report.
+type progress struct {
+	attempts  int
+	successes int
+	denials   int
+	notes     []string
+}
+
+func (p *progress) note(format string, args ...any) {
+	p.notes = append(p.notes, fmt.Sprintf(format, args...))
+}
+
+// Report is the outcome of one attack run.
+type Report struct {
+	Spec Spec
+	// OperationSucceeded: at least one malicious operation was accepted by
+	// the platform.
+	OperationSucceeded bool
+	// Attempts/Successes/Denials tally individual malicious operations.
+	Attempts  int
+	Successes int
+	Denials   int
+	// ControllerAlive: the temperature control process survived.
+	ControllerAlive bool
+	// PhysicalCompromise: ground-truth safety monitors recorded violations.
+	PhysicalCompromise bool
+	// Violations are the recorded safety breaches.
+	Violations []safety.Violation
+	// Notes carries attacker- and harness-observations.
+	Notes []string
+}
+
+// Verdict renders the cell for the E1 outcome matrix.
+func (r *Report) Verdict() string {
+	switch {
+	case r.PhysicalCompromise:
+		return "COMPROMISED"
+	case r.OperationSucceeded:
+		return "accepted-no-impact"
+	default:
+		return "BLOCKED"
+	}
+}
+
+// Durations of the phases (virtual time).
+const (
+	settleTime = 30 * time.Minute
+	attackTime = 3 * time.Hour
+)
+
+// Execute runs one attack end to end on a fresh testbed.
+func Execute(spec Spec) (*Report, error) {
+	cfg := bas.DefaultScenario()
+	tb := bas.NewTestbed(cfg)
+	defer tb.Machine.Shutdown()
+
+	prog := &progress{}
+	var controllerAlive func() bool
+	var err error
+	switch spec.Platform {
+	case PlatformMinix, PlatformMinixVanilla:
+		controllerAlive, err = deployMinixAttack(tb, cfg, spec, prog)
+	case PlatformLinux, PlatformLinuxHardened:
+		controllerAlive, err = deployLinuxAttack(tb, cfg, spec, prog)
+	case PlatformSel4:
+		controllerAlive, err = deploySel4Attack(tb, cfg, spec, prog)
+	default:
+		return nil, fmt.Errorf("attack: unknown platform %q", spec.Platform)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	monCfg := safety.DefaultConfig()
+	monCfg.Setpoint = cfg.Controller.Setpoint
+	monCfg.Tolerance = cfg.Controller.AlarmTolerance
+	monCfg.AlarmDelay = cfg.Controller.AlarmDelay
+	monCfg.SettleTime = settleTime / 2
+	mon := safety.Attach(tb.Machine.Clock(), tb.Room, monCfg)
+
+	tb.Machine.Run(settleTime + attackTime)
+
+	report := &Report{
+		Spec:               spec,
+		OperationSucceeded: prog.successes > 0,
+		Attempts:           prog.attempts,
+		Successes:          prog.successes,
+		Denials:            prog.denials,
+		ControllerAlive:    controllerAlive(),
+		Violations:         mon.Violations(),
+		PhysicalCompromise: len(mon.Violations()) > 0 || !controllerAlive(),
+		Notes:              prog.notes,
+	}
+	return report, nil
+}

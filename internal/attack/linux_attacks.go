@@ -1,0 +1,179 @@
+package attack
+
+import (
+	"errors"
+	"time"
+
+	"mkbas/internal/bas"
+	"mkbas/internal/linuxsim"
+	"mkbas/internal/machine"
+)
+
+// deployLinuxAttack boots the Linux platform with the malicious web body.
+// Root escalation is injected five minutes before the attack window opens
+// ("root privilege gained through a privilege escalation exploit").
+func deployLinuxAttack(tb *bas.Testbed, cfg bas.ScenarioConfig, spec Spec, prog *progress) (func() bool, error) {
+	dep, err := bas.DeployLinux(tb, cfg, bas.LinuxOptions{
+		Hardened: spec.Platform == PlatformLinuxHardened,
+		WebBody:  linuxAttackBody(spec.Action, prog),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if spec.Root {
+		tb.Machine.Clock().After(settleTime-5*time.Minute, func() {
+			webPID, pidErr := dep.WebPID()
+			if pidErr != nil {
+				prog.note("escalation failed: web process gone: %v", pidErr)
+				return
+			}
+			if rootErr := dep.Kernel.GrantRoot(webPID); rootErr != nil {
+				prog.note("escalation failed: %v", rootErr)
+			} else {
+				prog.note("privilege escalation: web interface now uid 0")
+			}
+		})
+	}
+	alive := func() bool {
+		_, pidErr := dep.Kernel.PIDOf(bas.NameTempControl)
+		return pidErr == nil
+	}
+	return alive, nil
+}
+
+// linuxAttackBody builds the compromised web interface for one action.
+func linuxAttackBody(action Action, prog *progress) func(api *linuxsim.API) {
+	return func(api *linuxsim.API) {
+		api.Sleep(settleTime)
+		api.Trace("attack", "web interface compromised, starting "+string(action))
+		switch action {
+		case ActionSpoofSensor:
+			linuxSpoofSensor(api, prog)
+		case ActionCommandActuators:
+			linuxCommandActuators(api, prog)
+		case ActionKillController:
+			linuxKillController(api, prog)
+		case ActionEnumerate:
+			linuxEnumerate(api, prog)
+		case ActionForkBomb:
+			linuxForkBomb(api, prog)
+		}
+		for {
+			api.Sleep(time.Hour)
+		}
+	}
+}
+
+// linuxOpenWriteRetry keeps trying to open a queue for writing. Under the
+// hardened deployment the open is denied until (and unless) the escalation
+// fires; each failed open is tallied as a denied operation.
+func linuxOpenWriteRetry(api *linuxsim.API, prog *progress, name string, until machine.Time) (int32, bool) {
+	for api.Now() < until {
+		fd, err := api.MQOpen(name, linuxsim.MQOpenFlags{Write: true})
+		if err == nil {
+			return fd, true
+		}
+		prog.tally(err)
+		api.Sleep(5 * time.Second)
+	}
+	return 0, false
+}
+
+// linuxSpoofSensor writes fake readings straight into the sensor queue: "we
+// successfully used the web interface process to impersonate the temperature
+// sensor process".
+func linuxSpoofSensor(api *linuxsim.API, prog *progress) {
+	end := api.Now().Add(attackTime)
+	fd, ok := linuxOpenWriteRetry(api, prog, bas.QSensorData, end)
+	if !ok {
+		prog.note("never gained write access to %s", bas.QSensorData)
+		return
+	}
+	prog.note("opened %s for writing", bas.QSensorData)
+	for api.Now() < end {
+		sendErr := api.MQSend(fd, []byte("temp 23.0000"), 2)
+		if errors.Is(sendErr, linuxsim.ErrAgain) {
+			api.Sleep(200 * time.Millisecond)
+			continue
+		}
+		prog.tally(sendErr)
+		api.Sleep(200 * time.Millisecond)
+	}
+}
+
+// linuxCommandActuators drives the actuator queues directly, overriding the
+// controller ("we were able to send commands to the heater actuator process
+// and the alarm actuator process to arbitrarily control the fan and LED").
+func linuxCommandActuators(api *linuxsim.API, prog *progress) {
+	end := api.Now().Add(attackTime)
+	heaterFD, okH := linuxOpenWriteRetry(api, prog, bas.QHeaterCmd, end)
+	if !okH {
+		prog.note("never gained write access to %s", bas.QHeaterCmd)
+		return
+	}
+	alarmFD, okA := linuxOpenWriteRetry(api, prog, bas.QAlarmCmd, end)
+	if !okA {
+		prog.note("never gained write access to %s", bas.QAlarmCmd)
+		return
+	}
+	for api.Now() < end {
+		err1 := api.MQSend(heaterFD, []byte("heater off"), 9)
+		if !errors.Is(err1, linuxsim.ErrAgain) {
+			prog.tally(err1)
+		}
+		err2 := api.MQSend(alarmFD, []byte("alarm off"), 9)
+		if !errors.Is(err2, linuxsim.ErrAgain) {
+			prog.tally(err2)
+		}
+		api.Sleep(200 * time.Millisecond)
+	}
+}
+
+// linuxKillController scans the pid space and kills whatever it may — under
+// a shared account that is every scenario process; with root, everything.
+func linuxKillController(api *linuxsim.API, prog *progress) {
+	end := api.Now().Add(attackTime)
+	self := api.GetPID()
+	for api.Now() < end {
+		for pid := 100; pid < 140; pid++ {
+			if pid == self {
+				continue
+			}
+			killErr := api.Kill(pid, linuxsim.SIGKILL)
+			if errors.Is(killErr, linuxsim.ErrNoEnt) {
+				continue // empty pid slot: not an authorization datum
+			}
+			prog.tally(killErr)
+			if killErr == nil {
+				prog.note("killed pid %d", pid)
+			}
+		}
+		api.Sleep(30 * time.Second)
+	}
+}
+
+// linuxEnumerate probes every scenario queue for unauthorized access; the
+// web interface's legitimate surface is only QWebReq (write) and QWebResp
+// (read).
+func linuxEnumerate(api *linuxsim.API, prog *progress) {
+	unauthorized := []string{bas.QSensorData, bas.QHeaterCmd, bas.QAlarmCmd, bas.QAuditLog}
+	for _, name := range unauthorized {
+		_, err := api.MQOpen(name, linuxsim.MQOpenFlags{Write: true})
+		prog.tally(err)
+		if err == nil {
+			prog.note("unauthorized write access to %s", name)
+		}
+	}
+	prog.note("queue scan complete: %d/%d accessible", prog.successes, prog.attempts)
+}
+
+// linuxForkBomb forks without limit; only the global process ceiling
+// eventually pushes back, and it starves everyone, not just the attacker.
+func linuxForkBomb(api *linuxsim.API, prog *progress) {
+	for i := 0; i < 100; i++ {
+		_, forkErr := api.Fork(bas.NameWebInterface)
+		prog.tally(forkErr)
+		api.Sleep(10 * time.Second)
+	}
+	prog.note("fork bomb wave complete: %d clones created", prog.successes)
+}

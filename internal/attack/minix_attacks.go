@@ -1,0 +1,170 @@
+package attack
+
+import (
+	"errors"
+	"time"
+
+	"mkbas/internal/bas"
+	"mkbas/internal/core"
+	"mkbas/internal/minix"
+)
+
+// deployMinixAttack boots the MINIX platform with the malicious web body.
+func deployMinixAttack(tb *bas.Testbed, cfg bas.ScenarioConfig, spec Spec, prog *progress) (func() bool, error) {
+	var policy *core.Policy
+	if spec.ForkQuota > 0 {
+		policy = core.ScenarioPolicyWithForkQuota(spec.ForkQuota)
+	}
+	dep, err := bas.DeployMinix(tb, cfg, bas.MinixOptions{
+		Policy:     policy,
+		DisableACM: spec.Platform == PlatformMinixVanilla,
+		WebRoot:    spec.Root,
+		WebBody:    minixAttackBody(spec.Action, prog),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if spec.Root {
+		prog.note("web interface running with root uid (no effect expected: IPC authority is the ACM, not uid)")
+	}
+	alive := func() bool {
+		_, lookupErr := dep.Kernel.EndpointOf(bas.NameTempControl)
+		return lookupErr == nil
+	}
+	return alive, nil
+}
+
+// minixAttackBody builds the compromised web interface for one action.
+func minixAttackBody(action Action, prog *progress) func(api *minix.API) {
+	return func(api *minix.API) {
+		api.Sleep(settleTime)
+		api.Trace("attack", "web interface compromised, starting "+string(action))
+		switch action {
+		case ActionSpoofSensor:
+			minixSpoofSensor(api, prog)
+		case ActionCommandActuators:
+			minixCommandActuators(api, prog)
+		case ActionKillController:
+			minixKillController(api, prog)
+		case ActionEnumerate:
+			minixEnumerate(api, prog)
+		case ActionForkBomb:
+			minixForkBomb(api, prog)
+		}
+		for {
+			api.Sleep(time.Hour)
+		}
+	}
+}
+
+// tally books one operation outcome.
+func (p *progress) tally(err error) {
+	p.attempts++
+	if err == nil {
+		p.successes++
+	} else {
+		p.denials++
+	}
+}
+
+// minixSpoofSensor impersonates the sensor: a constant 23 °C reading keeps
+// the heater off (above the dead band) while staying inside the alarm
+// tolerance, so a believing controller lets the room drift cold without
+// alarming — the paper's "fake sensor data ... LED showed everything is
+// normal".
+func minixSpoofSensor(api *minix.API, prog *progress) {
+	ctrl, err := api.Lookup(bas.NameTempControl)
+	if err != nil {
+		prog.note("controller lookup failed: %v", err)
+		return
+	}
+	end := api.Now().Add(attackTime)
+	for i := 0; api.Now() < end; i++ {
+		msg := minix.NewMessage(int32(core.MsgSensorData))
+		msg.PutF64(0, 23.0)
+		sendErr := api.SendNB(ctrl, msg)
+		if errors.Is(sendErr, minix.ErrMailboxFull) {
+			// Queue pressure, not policy: don't count as a denial.
+			api.Sleep(200 * time.Millisecond)
+			continue
+		}
+		prog.tally(sendErr)
+		if i == 0 && sendErr != nil {
+			prog.note("first spoof denied: %v", sendErr)
+		}
+		api.Sleep(200 * time.Millisecond)
+	}
+}
+
+// minixCommandActuators drives the heater and alarm drivers directly.
+func minixCommandActuators(api *minix.API, prog *progress) {
+	heater, errH := api.Lookup(bas.NameHeaterAct)
+	alarm, errA := api.Lookup(bas.NameAlarmAct)
+	if errH != nil || errA != nil {
+		prog.note("driver lookup failed: %v / %v", errH, errA)
+		return
+	}
+	end := api.Now().Add(attackTime)
+	for i := 0; api.Now() < end; i++ {
+		off := minix.NewMessage(int32(core.MsgHeaterCmd)) // heater off
+		_, sendErr := api.SendRec(heater, off)
+		prog.tally(sendErr)
+		silence := minix.NewMessage(int32(core.MsgAlarmCmd)) // alarm off
+		_, sendErr = api.SendRec(alarm, silence)
+		prog.tally(sendErr)
+		if i == 0 && sendErr != nil {
+			prog.note("first actuator command denied: %v", sendErr)
+		}
+		api.Sleep(200 * time.Millisecond)
+	}
+}
+
+// minixKillController asks PM to kill the control process, as the paper's
+// root attacker does; PM's ACM audit denies it regardless of uid.
+func minixKillController(api *minix.API, prog *progress) {
+	end := api.Now().Add(attackTime)
+	for i := 0; api.Now() < end; i++ {
+		ctrl, err := api.Lookup(bas.NameTempControl)
+		if err != nil {
+			prog.note("controller gone at attempt %d", i)
+			return
+		}
+		killErr := api.Kill(ctrl)
+		prog.tally(killErr)
+		if i == 0 {
+			prog.note("kill via PM: %v", killErr)
+		}
+		api.Sleep(time.Second)
+	}
+}
+
+// minixEnumerate scans the endpoint space, attempting to command whatever
+// answers (the MINIX analogue of the seL4 capability brute force).
+func minixEnumerate(api *minix.API, prog *progress) {
+	for slot := 0; slot < 64; slot++ {
+		for gen := 1; gen <= 4; gen++ {
+			target := minix.EndpointAt(slot, gen)
+			if target == api.Self() {
+				continue
+			}
+			msg := minix.NewMessage(int32(core.MsgHeaterCmd))
+			sendErr := api.SendNB(target, msg)
+			prog.tally(sendErr)
+		}
+	}
+	prog.note("endpoint scan complete: %d/%d accepted", prog.successes, prog.attempts)
+}
+
+// minixForkBomb spawns copies of itself until denied ("because web interface
+// process has the privilege to fork children processes, it can potentially
+// launch a fork bomb").
+func minixForkBomb(api *minix.API, prog *progress) {
+	for i := 0; i < 100; i++ {
+		_, forkErr := api.Fork2(bas.NameWebInterface, 0)
+		prog.tally(forkErr)
+		if forkErr != nil && errors.Is(forkErr, minix.ErrPMQuota) && prog.notes == nil {
+			prog.note("fork quota exhausted after %d forks", prog.successes)
+		}
+		api.Sleep(10 * time.Second)
+	}
+}

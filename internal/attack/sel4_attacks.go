@@ -1,0 +1,161 @@
+package attack
+
+import (
+	"math"
+	"time"
+
+	"mkbas/internal/bas"
+	"mkbas/internal/camkes"
+	"mkbas/internal/sel4"
+)
+
+// deploySel4Attack boots the seL4/CAmkES platform with the malicious web
+// control thread. There is no root to escalate to: "the seL4 kernel and
+// CAmkES generated code have no concept of user or root" — the flag is
+// noted and ignored.
+func deploySel4Attack(tb *bas.Testbed, cfg bas.ScenarioConfig, spec Spec, prog *progress) (func() bool, error) {
+	dep, err := bas.DeploySel4(tb, cfg, bas.Sel4Options{
+		WebRun: sel4AttackBody(spec.Action, prog),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if spec.Root {
+		prog.note("root requested: seL4/CAmkES has no user/root concept; attack surface unchanged")
+	}
+	// The generated CapDL spec documents the attacker's whole authority.
+	if verr := dep.System.Verify(); verr != nil {
+		prog.note("CapDL verification failed before attack: %v", verr)
+	}
+	sensorTCB, _ := dep.System.TCB(bas.NameTempControl + "." + bas.IfaceSensorIn)
+	mgmtTCB, _ := dep.System.TCB(bas.NameTempControl + "." + bas.IfaceMgmt)
+	alive := func() bool {
+		return dep.System.Kernel().ThreadAlive(sensorTCB) && dep.System.Kernel().ThreadAlive(mgmtTCB)
+	}
+	return alive, nil
+}
+
+// sel4AttackBody builds the compromised web component for one action.
+func sel4AttackBody(action Action, prog *progress) func(rt *camkes.Runtime) {
+	return func(rt *camkes.Runtime) {
+		rt.Sleep(settleTime)
+		rt.Trace("attack", "web interface compromised, starting "+string(action))
+		switch action {
+		case ActionSpoofSensor:
+			sel4SpoofSensor(rt, prog)
+		case ActionCommandActuators:
+			sel4CommandActuators(rt, prog)
+		case ActionKillController:
+			sel4KillController(rt, prog)
+		case ActionEnumerate:
+			sel4Enumerate(rt, prog)
+		case ActionForkBomb:
+			// CAmkES components have no process-creation interface at all;
+			// there is nothing to even attempt.
+			prog.note("fork bomb impossible: no process-creation authority in the component's capability set")
+			prog.attempts++
+			prog.denials++
+		}
+		for {
+			rt.Sleep(time.Hour)
+		}
+	}
+}
+
+// sel4SpoofSensor tries to deliver fake sensor samples. The attacker's only
+// endpoint capability reaches the mgmt interface, whose handler does not
+// accept samples; reaching the sensor interface requires a capability that
+// was never distributed, so raw sends across the slot space all fail.
+func sel4SpoofSensor(rt *camkes.Runtime, prog *progress) {
+	api := rt.API()
+	fake := sel4.Msg{Label: 1} // methodSample
+	fake.Words[0] = math.Float64bits(23.0)
+
+	end := rt.Now().Add(attackTime)
+	for rt.Now() < end {
+		// Through the legitimate channel: the mgmt handler rejects the
+		// sample method.
+		_, err := rt.Call(bas.IfaceMgmt, 99 /* not a mgmt method */, fake.Words[0])
+		prog.tally(err)
+		// Around the legitimate channel: probe slots for a sensor endpoint.
+		for slot := sel4.CPtr(0); slot < 32; slot++ {
+			if sendErr := api.NBSend(slot, fake); sendErr == nil {
+				// Only the mgmt cap accepts a send, and the mgmt handler
+				// ignores the sample — check whether that ever counts as a
+				// success is the monitor's job. Count the acceptance.
+				prog.attempts++
+				prog.successes++
+				prog.note("slot %d accepted a send", slot)
+			} else {
+				prog.tally(sendErr)
+			}
+		}
+		rt.Sleep(time.Minute)
+	}
+}
+
+// sel4CommandActuators tries to command the heater/alarm drivers, which the
+// web component holds no capabilities for.
+func sel4CommandActuators(rt *camkes.Runtime, prog *progress) {
+	api := rt.API()
+	off := sel4.Msg{Label: 1} // methodActuate, args[0]=0 (off)
+	end := rt.Now().Add(attackTime)
+	for rt.Now() < end {
+		for slot := sel4.CPtr(0); slot < sel4.CSpaceSize; slot++ {
+			if mgmtSlot, ok := rt.UsesSlot(bas.IfaceMgmt); ok && slot == mgmtSlot {
+				continue // skip the legitimate channel; it is not a driver
+			}
+			sendErr := api.NBSend(slot, off)
+			prog.tally(sendErr)
+		}
+		rt.Sleep(5 * time.Minute)
+	}
+}
+
+// sel4KillController attempts TCB_Suspend on every slot: without a TCB
+// capability it is all invalid-capability errors.
+func sel4KillController(rt *camkes.Runtime, prog *progress) {
+	api := rt.API()
+	end := rt.Now().Add(attackTime)
+	for rt.Now() < end {
+		for slot := sel4.CPtr(0); slot < sel4.CSpaceSize; slot++ {
+			susErr := api.TCBSuspend(slot)
+			prog.tally(susErr)
+		}
+		rt.Sleep(5 * time.Minute)
+	}
+}
+
+// sel4Enumerate is the paper's brute-force experiment: scan every slot with
+// every relevant invocation and count what is usable.
+func sel4Enumerate(rt *camkes.Runtime, prog *progress) {
+	api := rt.API()
+	usable := 0
+	for slot := sel4.CPtr(0); slot < sel4.CSpaceSize; slot++ {
+		any := false
+		if err := api.NBSend(slot, sel4.Msg{Label: 0}); err == nil {
+			any = true
+		}
+		if _, err := api.NBRecv(slot); err == nil || err == sel4.ErrWouldBlock {
+			if err == sel4.ErrWouldBlock {
+				// A would-block means the cap is real and readable.
+				any = true
+			}
+		}
+		if err := api.TCBSuspend(slot); err == nil {
+			any = true
+		}
+		if _, err := api.NetListen(slot); err == nil {
+			any = true
+		}
+		prog.attempts++
+		if any {
+			usable++
+			prog.successes++
+			prog.note("slot %d is usable", slot)
+		} else {
+			prog.denials++
+		}
+	}
+	prog.note("brute force complete: %d usable slots out of %d", usable, sel4.CSpaceSize)
+}

@@ -1,0 +1,145 @@
+package bacnet
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// The secure proxy of Fig. 1: a bump-in-the-wire in front of a legacy
+// device. Frames are authenticated with HMAC-SHA256 under a shared device
+// key and carry a per-client strictly increasing nonce, so spoofed frames
+// fail the MAC and captured frames fail the freshness check. The legacy
+// device behind the proxy is untouched, which is the point — "any approach
+// to secure BAS must accommodate the long field life of control hardware".
+
+// Proxy errors.
+var (
+	ErrBadMAC      = errors.New("bacnet: authentication failed")
+	ErrReplay      = errors.New("bacnet: stale nonce (replay)")
+	ErrShortSecure = errors.New("bacnet: short secure frame")
+)
+
+// secure frame layout: client id (4) | nonce (8) | mac (32) | pdu.
+const (
+	clientIDLen     = 4
+	nonceLen        = 8
+	macLen          = sha256.Size
+	secureHeaderLen = clientIDLen + nonceLen + macLen
+)
+
+// sealFrame builds an authenticated frame.
+func sealFrame(key []byte, clientID uint32, nonce uint64, pdu []byte) []byte {
+	out := make([]byte, secureHeaderLen+len(pdu))
+	binary.BigEndian.PutUint32(out, clientID)
+	binary.BigEndian.PutUint64(out[clientIDLen:], nonce)
+	copy(out[secureHeaderLen:], pdu)
+	mac := hmac.New(sha256.New, key)
+	mac.Write(out[:clientIDLen+nonceLen])
+	mac.Write(pdu)
+	copy(out[clientIDLen+nonceLen:], mac.Sum(nil))
+	return out
+}
+
+// openFrame verifies and strips the security header.
+func openFrame(key []byte, frame []byte) (clientID uint32, nonce uint64, pdu []byte, err error) {
+	if len(frame) < secureHeaderLen {
+		return 0, 0, nil, fmt.Errorf("%w: %d bytes", ErrShortSecure, len(frame))
+	}
+	clientID = binary.BigEndian.Uint32(frame)
+	nonce = binary.BigEndian.Uint64(frame[clientIDLen:])
+	gotMAC := frame[clientIDLen+nonceLen : secureHeaderLen]
+	pdu = frame[secureHeaderLen:]
+	mac := hmac.New(sha256.New, key)
+	mac.Write(frame[:clientIDLen+nonceLen])
+	mac.Write(pdu)
+	if !hmac.Equal(gotMAC, mac.Sum(nil)) {
+		return 0, 0, nil, ErrBadMAC
+	}
+	return clientID, nonce, pdu, nil
+}
+
+// Proxy authenticates secure frames and forwards the inner legacy PDUs to
+// the wrapped server.
+type Proxy struct {
+	key    []byte
+	server *Server
+	// lastNonce tracks per-client freshness.
+	lastNonce map[uint32]uint64
+
+	// Audit counters.
+	accepted int64
+	rejected int64
+}
+
+// NewProxy wraps a legacy server with the shared device key.
+func NewProxy(key []byte, server *Server) *Proxy {
+	if len(key) == 0 {
+		panic("bacnet: proxy needs a key")
+	}
+	return &Proxy{
+		key:       append([]byte(nil), key...),
+		server:    server,
+		lastNonce: make(map[uint32]uint64),
+	}
+}
+
+// Accepted reports how many frames passed authentication and freshness.
+func (p *Proxy) Accepted() int64 { return p.accepted }
+
+// Rejected reports how many frames were dropped.
+func (p *Proxy) Rejected() int64 { return p.rejected }
+
+// HandleFrame verifies one secure frame; on success it forwards the inner
+// PDU to the legacy server and seals the response under the same client id
+// and nonce. On failure it returns an error and no response leaves the
+// proxy (fail-silent, like a firewall drop).
+func (p *Proxy) HandleFrame(frame []byte) ([]byte, error) {
+	clientID, nonce, pdu, err := openFrame(p.key, frame)
+	if err != nil {
+		p.rejected++
+		return nil, err
+	}
+	if last, seen := p.lastNonce[clientID]; seen && nonce <= last {
+		p.rejected++
+		return nil, fmt.Errorf("%w: nonce %d <= %d", ErrReplay, nonce, last)
+	}
+	p.lastNonce[clientID] = nonce
+	p.accepted++
+	resp := p.server.HandleFrame(pdu)
+	return sealFrame(p.key, clientID, nonce, resp), nil
+}
+
+// SecureClient produces and consumes secure frames for one client identity.
+type SecureClient struct {
+	key      []byte
+	clientID uint32
+	nonce    uint64
+}
+
+// NewSecureClient builds a client with the shared key.
+func NewSecureClient(key []byte, clientID uint32) *SecureClient {
+	return &SecureClient{key: append([]byte(nil), key...), clientID: clientID}
+}
+
+// Seal wraps a request PDU in a fresh authenticated frame.
+func (c *SecureClient) Seal(req PDU) []byte {
+	c.nonce++
+	return sealFrame(c.key, c.clientID, c.nonce, req.Encode())
+}
+
+// Open verifies a response frame and returns the inner PDU. Responses reuse
+// the request nonce; the client accepts only its own current nonce, closing
+// the response-replay direction too.
+func (c *SecureClient) Open(frame []byte) (PDU, error) {
+	clientID, nonce, pdu, err := openFrame(c.key, frame)
+	if err != nil {
+		return PDU{}, err
+	}
+	if clientID != c.clientID || nonce != c.nonce {
+		return PDU{}, fmt.Errorf("%w: response nonce %d, want %d", ErrReplay, nonce, c.nonce)
+	}
+	return DecodePDU(pdu)
+}

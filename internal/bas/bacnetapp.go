@@ -1,0 +1,196 @@
+package bas
+
+import (
+	"fmt"
+	"time"
+
+	"mkbas/internal/bacnet"
+	"mkbas/internal/core"
+	"mkbas/internal/minix"
+	"mkbas/internal/vnet"
+)
+
+// BACnetPort is the gateway's network port (BACnet/IP's 47808).
+const BACnetPort vnet.Port = 47808
+
+// NameBACnetGateway is the gateway process image name.
+const NameBACnetGateway = "bacnetGateway"
+
+// BACnetOptions enables the field-bus gateway on a MINIX deployment: the
+// Fig. 1 integration story, where the controller also speaks the building's
+// legacy protocol.
+type BACnetOptions struct {
+	// Enabled adds the gateway process.
+	Enabled bool
+	// Key, when non-empty, interposes the secure proxy (HMAC + anti-replay)
+	// in front of the legacy protocol. Empty models the unprotected legacy
+	// deployment the paper's introduction criticises.
+	Key []byte
+	// DeviceID is the BACnet device identifier; zero means 1.
+	DeviceID uint32
+}
+
+// DeployMinixWithBACnet is DeployMinix plus the BACnet gateway. The gateway
+// runs as its own process under ACIDBACnetGateway: the kernel's ACM gives it
+// exactly the web interface's authority, so field-bus requests — forged or
+// not — can never reach the actuator drivers.
+func DeployMinixWithBACnet(tb *Testbed, cfg ScenarioConfig, opts MinixOptions, bopts BACnetOptions) (*MinixDeployment, error) {
+	if opts.Policy == nil {
+		opts.Policy = core.ScenarioPolicyWithGateway()
+	}
+	dep, err := DeployMinix(tb, cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	if !bopts.Enabled {
+		return dep, nil
+	}
+	deviceID := bopts.DeviceID
+	if deviceID == 0 {
+		deviceID = 1
+	}
+	dep.Kernel.RegisterImage(minix.Image{
+		Name: NameBACnetGateway, Priority: 7, Net: true,
+		Body: bacnetGatewayBody(deviceID, bopts.Key),
+	})
+	if _, err := dep.Kernel.SpawnImage(NameBACnetGateway, core.ACIDBACnetGateway); err != nil {
+		return nil, fmt.Errorf("bas: spawning bacnet gateway: %w", err)
+	}
+	return dep, nil
+}
+
+// controlStore adapts the controller RPC protocol to a BACnet property
+// store. Temperature, heater, and alarm are read-only points; the setpoint
+// is writable (and the controller still clamps it).
+type controlStore struct {
+	client *minixControlClient
+}
+
+var _ bacnet.PropertyStore = (*controlStore)(nil)
+
+func (s *controlStore) ReadProperty(obj bacnet.ObjectID) (float64, uint8) {
+	st, err := s.client.Status()
+	if err != nil {
+		return 0, bacnet.CodeBadRequest
+	}
+	switch obj {
+	case bacnet.ObjTemperature:
+		return st.Temp, 0
+	case bacnet.ObjSetpoint:
+		return st.Setpoint, 0
+	case bacnet.ObjHeater:
+		return boolPoint(st.HeaterOn), 0
+	case bacnet.ObjAlarm:
+		return boolPoint(st.AlarmOn), 0
+	default:
+		return 0, bacnet.CodeUnknownObject
+	}
+}
+
+func (s *controlStore) WriteProperty(obj bacnet.ObjectID, value float64) uint8 {
+	switch obj {
+	case bacnet.ObjSetpoint:
+		if err := s.client.SetSetpoint(value); err != nil {
+			return bacnet.CodeWriteDenied
+		}
+		return 0
+	case bacnet.ObjTemperature, bacnet.ObjHeater, bacnet.ObjAlarm:
+		// The gateway's IPC authority has no path to the drivers; the
+		// points are structurally read-only on this platform.
+		return bacnet.CodeWriteDenied
+	default:
+		return bacnet.CodeUnknownObject
+	}
+}
+
+func boolPoint(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// bacnetGatewayBody serves the (optionally proxied) protocol on BACnetPort.
+func bacnetGatewayBody(deviceID uint32, key []byte) func(api *minix.API) {
+	return func(api *minix.API) {
+		ctrl, ok := minixLookupWait(api, NameTempControl)
+		if !ok {
+			return
+		}
+		store := &controlStore{client: &minixControlClient{api: api, ctrl: ctrl}}
+		server := bacnet.NewServer(deviceID, store)
+		var proxy *bacnet.Proxy
+		if len(key) > 0 {
+			proxy = bacnet.NewProxy(key, server)
+		}
+		l, err := api.NetListen(BACnetPort)
+		if err != nil {
+			api.Trace("bacnet", fmt.Sprintf("listen failed: %v", err))
+			return
+		}
+		for {
+			conn, err := api.NetAccept(l)
+			if err != nil {
+				return
+			}
+			serveBACnetConn(api, conn, server, proxy)
+		}
+	}
+}
+
+// serveBACnetConn handles one connection until EOF. Legacy mode answers
+// every frame; proxy mode silently drops unauthenticated or stale frames.
+func serveBACnetConn(api *minix.API, conn int32, server *bacnet.Server, proxy *bacnet.Proxy) {
+	defer api.NetClose(conn)
+	var d bacnet.Deframer
+	for {
+		for {
+			frame := d.Next()
+			if frame == nil {
+				break
+			}
+			var resp []byte
+			if proxy != nil {
+				secured, err := proxy.HandleFrame(frame)
+				if err != nil {
+					api.Trace("bacnet", "dropped frame: "+err.Error())
+					continue
+				}
+				resp = secured
+			} else {
+				resp = server.HandleFrame(frame)
+			}
+			if err := api.NetWrite(conn, bacnet.Frame(resp)); err != nil {
+				return
+			}
+		}
+		data, err := api.NetRead(conn, 0)
+		if err != nil {
+			return
+		}
+		d.Feed(data)
+	}
+}
+
+// BACnetExchange sends one raw (legacy) frame from the host side and runs
+// the board until the response arrives; nil response means the gateway
+// dropped the frame (proxy mode) or never answered.
+func (tb *Testbed) BACnetExchange(raw []byte) []byte {
+	conn, err := tb.Net.Dial(BACnetPort)
+	if err != nil {
+		return nil
+	}
+	defer conn.Close()
+	if err := conn.Write(bacnet.Frame(raw)); err != nil {
+		return nil
+	}
+	var d bacnet.Deframer
+	for i := 0; i < 40; i++ {
+		tb.Machine.Run(50 * time.Millisecond)
+		d.Feed(conn.ReadAll())
+		if frame := d.Next(); frame != nil {
+			return frame
+		}
+	}
+	return nil
+}

@@ -1,0 +1,220 @@
+package bas
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mkbas/internal/httpmini"
+	"mkbas/internal/machine"
+)
+
+func at(d time.Duration) machine.Time { return machine.Time(d) }
+
+func TestControllerBangBang(t *testing.T) {
+	c := NewController(DefaultControllerConfig()) // setpoint 22, hysteresis 0.25
+	cases := []struct {
+		temp       float64
+		wantHeater bool
+	}{
+		{18, true},   // cold: heater on
+		{21.9, true}, // inside dead band: hold previous (on)
+		{22.3, false},
+		{22.1, false}, // inside dead band: hold previous (off)
+		{21.5, true},
+	}
+	for i, tc := range cases {
+		c.OnSample(at(time.Duration(i)*time.Second), tc.temp)
+		if c.HeaterOn() != tc.wantHeater {
+			t.Fatalf("step %d temp=%.1f heater=%v, want %v", i, tc.temp, c.HeaterOn(), tc.wantHeater)
+		}
+	}
+}
+
+func TestControllerAlarmAfterDelay(t *testing.T) {
+	cfg := DefaultControllerConfig()
+	c := NewController(cfg) // tolerance 2.0, delay 5m
+	// In range: no alarm.
+	c.OnSample(at(0), 21)
+	if c.AlarmOn() {
+		t.Fatal("alarm on while in range")
+	}
+	// Out of range but not yet past the delay.
+	c.OnSample(at(time.Minute), 17)
+	c.OnSample(at(4*time.Minute), 17)
+	if c.AlarmOn() {
+		t.Fatal("alarm tripped before the 5-minute delay")
+	}
+	// Past the delay.
+	c.OnSample(at(6*time.Minute+time.Second), 17)
+	if !c.AlarmOn() {
+		t.Fatal("alarm did not trip after delay")
+	}
+	// Recovery clears the alarm.
+	c.OnSample(at(7*time.Minute), 21.5)
+	if c.AlarmOn() {
+		t.Fatal("alarm did not clear on recovery")
+	}
+}
+
+func TestControllerAlarmTimerResetsOnRecovery(t *testing.T) {
+	c := NewController(DefaultControllerConfig())
+	c.OnSample(at(0), 17)             // out
+	c.OnSample(at(3*time.Minute), 21) // back in: timer resets
+	c.OnSample(at(4*time.Minute), 17) // out again
+	c.OnSample(at(8*time.Minute), 17) // only 4 minutes out
+	if c.AlarmOn() {
+		t.Fatal("alarm used stale out-of-range timestamp")
+	}
+	c.OnSample(at(9*time.Minute+time.Second), 17)
+	if !c.AlarmOn() {
+		t.Fatal("alarm missing after full delay")
+	}
+}
+
+func TestSetpointClamping(t *testing.T) {
+	c := NewController(DefaultControllerConfig()) // range 15..30
+	if err := c.SetSetpoint(25); err != nil {
+		t.Fatalf("valid setpoint rejected: %v", err)
+	}
+	if c.Setpoint() != 25 {
+		t.Fatalf("setpoint = %v, want 25", c.Setpoint())
+	}
+	for _, bad := range []float64{14.9, 30.1, 99, -5} {
+		if err := c.SetSetpoint(bad); !errors.Is(err, ErrSetpointRange) {
+			t.Fatalf("setpoint %v accepted, want range error", bad)
+		}
+	}
+	if c.Setpoint() != 25 {
+		t.Fatal("rejected setpoint modified state")
+	}
+}
+
+func TestControllerProperty_HeaterNeverOnAboveBand(t *testing.T) {
+	cfg := DefaultControllerConfig()
+	f := func(temps []float64, step uint8) bool {
+		c := NewController(cfg)
+		now := machine.Time(0)
+		for _, raw := range temps {
+			temp := 10 + mod(raw, 25) // keep in a physical range
+			now = now.Add(time.Duration(step%60+1) * time.Second)
+			c.OnSample(now, temp)
+			if temp > cfg.Setpoint+cfg.Hysteresis && c.HeaterOn() {
+				return false
+			}
+			if temp < cfg.Setpoint-cfg.Hysteresis && !c.HeaterOn() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mod(v float64, m float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	x := math.Mod(v, m)
+	if x < 0 {
+		x += m
+	}
+	return x
+}
+
+func TestStatusString(t *testing.T) {
+	st := Status{Temp: 21.5, Setpoint: 22, HeaterOn: true, AlarmOn: false, Samples: 9}
+	s := st.String()
+	for _, want := range []string{"temp=21.50", "setpoint=22.00", "heater=on", "alarm=off", "samples=9"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("status %q missing %q", s, want)
+		}
+	}
+}
+
+func TestParseStatusLineRoundTrip(t *testing.T) {
+	st := Status{Temp: 19.25, Setpoint: 23.5, HeaterOn: true, AlarmOn: true, Samples: 77}
+	got, err := parseStatusLine(st.String())
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if got.Setpoint != 23.5 || !got.HeaterOn || !got.AlarmOn || got.Samples != 77 {
+		t.Fatalf("round trip = %+v", got)
+	}
+	if got.Temp != 19.25 {
+		t.Fatalf("temp = %v", got.Temp)
+	}
+	if _, err := parseStatusLine("garbage"); err == nil {
+		t.Fatal("garbage parsed")
+	}
+}
+
+// fakeClient implements ControlClient for webui routing tests.
+type fakeClient struct {
+	st        Status
+	stErr     error
+	setCalled []float64
+	setErr    error
+}
+
+func (f *fakeClient) Status() (Status, error) { return f.st, f.stErr }
+func (f *fakeClient) SetSetpoint(v float64) error {
+	f.setCalled = append(f.setCalled, v)
+	return f.setErr
+}
+
+func parseReq(t *testing.T, raw string) *httpmini.Request {
+	t.Helper()
+	var p httpmini.Parser
+	p.Feed([]byte(raw))
+	req, err := p.Next()
+	if err != nil || req == nil {
+		t.Fatalf("bad test request %q: %v", raw, err)
+	}
+	return req
+}
+
+func TestHandleRequestRouting(t *testing.T) {
+	client := &fakeClient{st: Status{Temp: 20, Setpoint: 22}}
+
+	resp := HandleRequest(parseReq(t, "GET /status HTTP/1.0\r\n\r\n"), client)
+	if resp.Status != 200 || !strings.Contains(string(resp.Body), "setpoint=22.00") {
+		t.Fatalf("status resp = %d %q", resp.Status, resp.Body)
+	}
+
+	resp = HandleRequest(parseReq(t, "POST /setpoint HTTP/1.0\r\nContent-Type: application/x-www-form-urlencoded\r\nContent-Length: 10\r\n\r\nvalue=23.5"), client)
+	if resp.Status != 200 || len(client.setCalled) != 1 || client.setCalled[0] != 23.5 {
+		t.Fatalf("setpoint resp = %d, calls %v", resp.Status, client.setCalled)
+	}
+
+	resp = HandleRequest(parseReq(t, "POST /setpoint HTTP/1.0\r\nContent-Length: 9\r\n\r\nvalue=bad"), client)
+	if resp.Status != 400 {
+		t.Fatalf("bad value status = %d, want 400", resp.Status)
+	}
+
+	client.setErr = ErrSetpointRange
+	resp = HandleRequest(parseReq(t, "GET /setpoint?value=99 HTTP/1.0\r\n\r\n"), client)
+	if resp.Status != 404 {
+		t.Fatalf("GET on setpoint = %d, want 404", resp.Status)
+	}
+	resp = HandleRequest(parseReq(t, "POST /setpoint HTTP/1.0\r\nContent-Type: application/x-www-form-urlencoded\r\nContent-Length: 8\r\n\r\nvalue=99"), client)
+	if resp.Status != 400 || !strings.Contains(string(resp.Body), "rejected") {
+		t.Fatalf("rejected resp = %d %q", resp.Status, resp.Body)
+	}
+
+	client.stErr = errors.New("controller dead")
+	resp = HandleRequest(parseReq(t, "GET /status HTTP/1.0\r\n\r\n"), client)
+	if resp.Status != 500 {
+		t.Fatalf("dead controller status = %d, want 500", resp.Status)
+	}
+
+	resp = HandleRequest(parseReq(t, "GET / HTTP/1.0\r\n\r\n"), client)
+	if resp.Status != 200 || !strings.Contains(string(resp.Body), "GET /status") {
+		t.Fatalf("usage resp = %d %q", resp.Status, resp.Body)
+	}
+}

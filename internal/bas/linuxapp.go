@@ -1,0 +1,448 @@
+package bas
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"mkbas/internal/linuxsim"
+	"mkbas/internal/plant"
+)
+
+// POSIX message-queue names — "the scenario process in Linux spawns all
+// other processes and creates 6 message queues that are needed for various
+// communications" (Section IV-C).
+const (
+	QSensorData = "/sensor-data"
+	QHeaterCmd  = "/heater-cmd"
+	QAlarmCmd   = "/alarm-cmd"
+	QWebReq     = "/web-req"
+	QWebResp    = "/web-resp"
+	QAuditLog   = "/audit-log"
+)
+
+// Wire format on Linux: newline-less text commands, e.g. "temp 21.50",
+// "heater on", "setpoint 23", "status".
+
+// Unix accounts. The paper's default deployment runs every process under the
+// same account; the Hardened variant gives each a unique account, which the
+// paper notes as the (insufficient) DAC mitigation.
+const (
+	baseUID = 1000
+	baseGID = 1000
+
+	hardScenarioUID = 100
+	hardSensorUID   = 101
+	hardCtrlUID     = 102
+	hardHeaterUID   = 103
+	hardAlarmUID    = 104
+	hardWebUID      = 105
+	hardCtrlGID     = 50 // control-plane group
+	hardWebGID      = 60
+)
+
+// LinuxOptions configures DeployLinux.
+type LinuxOptions struct {
+	// Hardened runs each process under a unique account with restrictive
+	// queue modes — the configuration the paper says is required to blunt
+	// the user-level attack ("unless each process runs under a unique user
+	// account, and the message queue is specifically configured ... the
+	// problem will still remain"). Even hardened, DAC cannot express
+	// per-pair, per-message-type policy, and root bypasses it entirely.
+	Hardened bool
+	// WebBody replaces the legitimate web interface with attacker code.
+	WebBody func(api *linuxsim.API)
+}
+
+// LinuxDeployment is the booted Linux platform.
+type LinuxDeployment struct {
+	Kernel  *linuxsim.Kernel
+	Testbed *Testbed
+}
+
+// WebPID returns the unix pid of the (possibly compromised) web interface,
+// for the GrantRoot escalation step.
+func (d *LinuxDeployment) WebPID() (int, error) {
+	return d.Kernel.PIDOf(NameWebInterface)
+}
+
+// DeployLinux boots the Linux platform on a testbed.
+func DeployLinux(tb *Testbed, cfg ScenarioConfig, opts LinuxOptions) (*LinuxDeployment, error) {
+	k := linuxsim.Boot(tb.Machine, linuxsim.Config{Net: tb.Net})
+	webBody := opts.WebBody
+	if webBody == nil {
+		webBody = linuxWebBody
+	}
+
+	type account struct{ uid, gid int }
+	acct := map[string]account{
+		NameScenario:     {baseUID, baseGID},
+		NameTempSensor:   {baseUID, baseGID},
+		NameTempControl:  {baseUID, baseGID},
+		NameHeaterAct:    {baseUID, baseGID},
+		NameAlarmAct:     {baseUID, baseGID},
+		NameWebInterface: {baseUID, baseGID},
+	}
+	qmode := map[string]linuxsim.Mode{
+		QSensorData: 0o600, QHeaterCmd: 0o600, QAlarmCmd: 0o600,
+		QWebReq: 0o600, QWebResp: 0o600, QAuditLog: 0o600,
+	}
+	if opts.Hardened {
+		acct = map[string]account{
+			NameScenario:     {hardScenarioUID, hardCtrlGID},
+			NameTempSensor:   {hardSensorUID, hardCtrlGID},
+			NameTempControl:  {hardCtrlUID, hardCtrlGID},
+			NameHeaterAct:    {hardHeaterUID, hardCtrlGID},
+			NameAlarmAct:     {hardAlarmUID, hardCtrlGID},
+			NameWebInterface: {hardWebUID, hardWebGID},
+		}
+		qmode = map[string]linuxsim.Mode{
+			QSensorData: 0o620, // control group may write (sensor)
+			QHeaterCmd:  0o620, // control group may write (controller)
+			QAlarmCmd:   0o620,
+			QWebReq:     0o602, // web (other) may submit requests
+			QWebResp:    0o604, // web (other) may read responses
+			QAuditLog:   0o600,
+		}
+	}
+
+	// Device files: same-account deployment puts everything under one
+	// owner; hardened gives each driver its device.
+	if opts.Hardened {
+		k.RegisterDeviceFile(plant.DevTempSensor, hardSensorUID, hardCtrlGID, 0o600)
+		k.RegisterDeviceFile(plant.DevHeater, hardHeaterUID, hardCtrlGID, 0o600)
+		k.RegisterDeviceFile(plant.DevAlarm, hardAlarmUID, hardCtrlGID, 0o600)
+	} else {
+		k.RegisterDeviceFile(plant.DevTempSensor, baseUID, baseGID, 0o600)
+		k.RegisterDeviceFile(plant.DevHeater, baseUID, baseGID, 0o600)
+		k.RegisterDeviceFile(plant.DevAlarm, baseUID, baseGID, 0o600)
+	}
+
+	k.RegisterImage(linuxsim.Image{
+		Name: NameHeaterAct, Priority: 4,
+		UID: acct[NameHeaterAct].uid, GID: acct[NameHeaterAct].gid,
+		Body: linuxActuatorBody(QHeaterCmd, "heater", plant.DevHeater, qmode[QHeaterCmd]),
+	})
+	k.RegisterImage(linuxsim.Image{
+		Name: NameAlarmAct, Priority: 4,
+		UID: acct[NameAlarmAct].uid, GID: acct[NameAlarmAct].gid,
+		Body: linuxActuatorBody(QAlarmCmd, "alarm", plant.DevAlarm, qmode[QAlarmCmd]),
+	})
+	k.RegisterImage(linuxsim.Image{
+		Name: NameTempControl, Priority: 5,
+		UID: acct[NameTempControl].uid, GID: acct[NameTempControl].gid,
+		Body: linuxControllerBody(cfg.Controller, qmode),
+	})
+	k.RegisterImage(linuxsim.Image{
+		Name: NameTempSensor, Priority: 6,
+		UID: acct[NameTempSensor].uid, GID: acct[NameTempSensor].gid,
+		Body: linuxSensorBody(cfg.SamplePeriod),
+	})
+	k.RegisterImage(linuxsim.Image{
+		Name: NameWebInterface, Priority: 7,
+		UID: acct[NameWebInterface].uid, GID: acct[NameWebInterface].gid,
+		Body: webBody,
+	})
+
+	if opts.Hardened {
+		// Unique accounts cannot be reached through fork (children inherit
+		// credentials), so the deployment spawns each process directly.
+		for _, name := range []string{NameHeaterAct, NameAlarmAct, NameTempControl, NameTempSensor, NameWebInterface} {
+			if _, err := k.SpawnImage(name); err != nil {
+				return nil, fmt.Errorf("bas: spawning %s: %w", name, err)
+			}
+		}
+	} else {
+		k.RegisterImage(linuxsim.Image{
+			Name: NameScenario, Priority: 3, UID: baseUID, GID: baseGID,
+			Body: func(api *linuxsim.API) {
+				for _, name := range []string{NameHeaterAct, NameAlarmAct, NameTempControl, NameTempSensor, NameWebInterface} {
+					if _, err := api.Fork(name); err != nil {
+						api.Trace("bas", fmt.Sprintf("loader: fork %s failed: %v", name, err))
+					}
+				}
+				api.Exit()
+			},
+		})
+		if _, err := k.SpawnImage(NameScenario); err != nil {
+			return nil, fmt.Errorf("bas: spawning loader: %w", err)
+		}
+	}
+	return &LinuxDeployment{Kernel: k, Testbed: tb}, nil
+}
+
+// linuxOpenRetry opens a queue, retrying while it does not exist yet
+// (boot-order race between readers that create and writers that open).
+func linuxOpenRetry(api *linuxsim.API, name string, flags linuxsim.MQOpenFlags) (int32, error) {
+	for i := 0; i < 100; i++ {
+		fd, err := api.MQOpen(name, flags)
+		if err == nil {
+			return fd, nil
+		}
+		if !errors.Is(err, linuxsim.ErrNoEnt) {
+			return 0, err
+		}
+		api.Sleep(time.Millisecond)
+	}
+	return 0, fmt.Errorf("bas: queue %s never appeared", name)
+}
+
+// linuxActuatorBody creates its command queue and passively applies
+// commands ("<verb> on|off").
+func linuxActuatorBody(queue, verb string, dev plantDevice, mode linuxsim.Mode) func(api *linuxsim.API) {
+	return func(api *linuxsim.API) {
+		fd, err := api.MQOpen(queue, linuxsim.MQOpenFlags{Create: true, Read: true, Mode: mode})
+		if err != nil {
+			api.Trace("bas", fmt.Sprintf("%s driver: open: %v", verb, err))
+			return
+		}
+		for {
+			msg, err := api.MQReceive(fd)
+			if err != nil {
+				return
+			}
+			fields := strings.Fields(string(msg.Data))
+			if len(fields) != 2 || fields[0] != verb {
+				continue
+			}
+			var value uint32
+			if fields[1] == "on" {
+				value = 1
+			}
+			if err := api.DevWrite(dev, plant.RegActuate, value); err != nil {
+				api.Trace("bas", fmt.Sprintf("%s driver: devwrite: %v", verb, err))
+			}
+		}
+	}
+}
+
+// linuxSensorBody samples the room and pushes readings.
+func linuxSensorBody(period time.Duration) func(api *linuxsim.API) {
+	return func(api *linuxsim.API) {
+		fd, err := linuxOpenRetry(api, QSensorData, linuxsim.MQOpenFlags{Write: true})
+		if err != nil {
+			api.Trace("bas", fmt.Sprintf("sensor: %v", err))
+			return
+		}
+		for {
+			api.Sleep(period)
+			raw, err := api.DevRead(plant.DevTempSensor, plant.RegTempMilliC)
+			if err != nil {
+				continue
+			}
+			line := fmt.Sprintf("temp %.4f", plant.DecodeTemp(raw))
+			if err := api.MQSend(fd, []byte(line), 0); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// linuxControllerBody is the control loop: blocking-read sensor data, then
+// poll the web request queue, exactly the paper's loop shape ("Then the
+// process will check if there are pending messages from web interface
+// process for updating new setpoint. At the end of the while loop,
+// environment information will be written in a log").
+func linuxControllerBody(cfg ControllerConfig, qmode map[string]linuxsim.Mode) func(api *linuxsim.API) {
+	return func(api *linuxsim.API) {
+		ctrl := NewController(cfg)
+		sensorFD, err := api.MQOpen(QSensorData, linuxsim.MQOpenFlags{Create: true, Read: true, Mode: qmode[QSensorData]})
+		if err != nil {
+			return
+		}
+		webReqFD, err := api.MQOpen(QWebReq, linuxsim.MQOpenFlags{Create: true, Read: true, NonBlock: true, Mode: qmode[QWebReq]})
+		if err != nil {
+			return
+		}
+		webRespFD, err := api.MQOpen(QWebResp, linuxsim.MQOpenFlags{Create: true, Write: true, Mode: qmode[QWebResp]})
+		if err != nil {
+			return
+		}
+		auditFD, err := api.MQOpen(QAuditLog, linuxsim.MQOpenFlags{Create: true, Write: true, NonBlock: true, Mode: qmode[QAuditLog], MaxMsgs: 64})
+		if err != nil {
+			return
+		}
+		heaterFD, err := linuxOpenRetry(api, QHeaterCmd, linuxsim.MQOpenFlags{Write: true})
+		if err != nil {
+			return
+		}
+		alarmFD, err := linuxOpenRetry(api, QAlarmCmd, linuxsim.MQOpenFlags{Write: true})
+		if err != nil {
+			return
+		}
+
+		command := func(fd int32, verb string, on bool) {
+			state := "off"
+			if on {
+				state = "on"
+			}
+			_ = api.MQSend(fd, []byte(verb+" "+state), 1)
+		}
+		for {
+			msg, err := api.MQReceive(sensorFD)
+			if err != nil {
+				return
+			}
+			fields := strings.Fields(string(msg.Data))
+			if len(fields) == 2 && fields[0] == "temp" {
+				temp, perr := strconv.ParseFloat(fields[1], 64)
+				if perr == nil {
+					// Design flaw preserved: no sender authentication — any
+					// process that can write the queue is believed.
+					heaterChanged, alarmChanged := ctrl.OnSample(api.Now(), temp)
+					if heaterChanged {
+						command(heaterFD, "heater", ctrl.HeaterOn())
+					}
+					if alarmChanged {
+						command(alarmFD, "alarm", ctrl.AlarmOn())
+					}
+				}
+			}
+			// Poll pending web requests.
+			for {
+				req, rerr := api.MQReceive(webReqFD)
+				if rerr != nil {
+					break
+				}
+				resp := handleLinuxWebReq(ctrl, string(req.Data))
+				_ = api.MQSend(webRespFD, []byte(resp), 0)
+			}
+			// Environment log; drop lines when the log is full.
+			_ = api.MQSend(auditFD, []byte(ctrl.Snapshot().String()), 0)
+		}
+	}
+}
+
+// handleLinuxWebReq processes one text request from the web queue.
+func handleLinuxWebReq(ctrl *Controller, req string) string {
+	fields := strings.Fields(req)
+	switch {
+	case len(fields) == 1 && fields[0] == "status":
+		return ctrl.Snapshot().String()
+	case len(fields) == 2 && fields[0] == "setpoint":
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return "err bad value"
+		}
+		if err := ctrl.SetSetpoint(v); err != nil {
+			return "err range"
+		}
+		return "ok"
+	default:
+		return "err unknown request"
+	}
+}
+
+// linuxControlClient adapts the request/response queue pair to
+// ControlClient.
+type linuxControlClient struct {
+	api    *linuxsim.API
+	reqFD  int32
+	respFD int32
+}
+
+var _ ControlClient = (*linuxControlClient)(nil)
+
+func (c *linuxControlClient) roundTrip(req string) (string, error) {
+	if err := c.api.MQSend(c.reqFD, []byte(req), 0); err != nil {
+		return "", err
+	}
+	resp, err := c.api.MQReceive(c.respFD)
+	if err != nil {
+		return "", err
+	}
+	return string(resp.Data), nil
+}
+
+func (c *linuxControlClient) Status() (Status, error) {
+	line, err := c.roundTrip("status")
+	if err != nil {
+		return Status{}, err
+	}
+	return parseStatusLine(line)
+}
+
+func (c *linuxControlClient) SetSetpoint(v float64) error {
+	resp, err := c.roundTrip(fmt.Sprintf("setpoint %.4f", v))
+	if err != nil {
+		return err
+	}
+	if resp != "ok" {
+		return ErrSetpointRange
+	}
+	return nil
+}
+
+// parseStatusLine decodes Status.String() back into a Status.
+func parseStatusLine(line string) (Status, error) {
+	var st Status
+	for _, field := range strings.Fields(line) {
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			continue
+		}
+		switch key {
+		case "temp":
+			st.Temp, _ = strconv.ParseFloat(val, 64)
+		case "setpoint":
+			st.Setpoint, _ = strconv.ParseFloat(val, 64)
+		case "heater":
+			st.HeaterOn = val == "on"
+		case "alarm":
+			st.AlarmOn = val == "on"
+		case "samples":
+			st.Samples, _ = strconv.ParseInt(val, 10, 64)
+		}
+	}
+	if st.Setpoint == 0 {
+		return st, fmt.Errorf("bas: malformed status line %q", line)
+	}
+	return st, nil
+}
+
+// linuxWebBody is the legitimate web interface on Linux.
+func linuxWebBody(api *linuxsim.API) {
+	reqFD, err := linuxOpenRetry(api, QWebReq, linuxsim.MQOpenFlags{Write: true})
+	if err != nil {
+		api.Trace("bas", fmt.Sprintf("web: %v", err))
+		return
+	}
+	respFD, err := linuxOpenRetry(api, QWebResp, linuxsim.MQOpenFlags{Read: true})
+	if err != nil {
+		api.Trace("bas", fmt.Sprintf("web: %v", err))
+		return
+	}
+	l, err := api.NetListen(WebPort)
+	if err != nil {
+		api.Trace("bas", fmt.Sprintf("web: listen: %v", err))
+		return
+	}
+	client := &linuxControlClient{api: api, reqFD: reqFD, respFD: respFD}
+	ServeWeb(linuxListener{api: api, l: l}, client)
+}
+
+// Net adapters.
+
+type linuxListener struct {
+	api *linuxsim.API
+	l   int32
+}
+
+func (ll linuxListener) Accept() (NetConn, error) {
+	conn, err := ll.api.NetAccept(ll.l)
+	if err != nil {
+		return nil, err
+	}
+	return linuxConn{api: ll.api, fd: conn}, nil
+}
+
+type linuxConn struct {
+	api *linuxsim.API
+	fd  int32
+}
+
+func (lc linuxConn) Read(max int) ([]byte, error) { return lc.api.NetRead(lc.fd, max) }
+func (lc linuxConn) Write(data []byte) error      { return lc.api.NetWrite(lc.fd, data) }
+func (lc linuxConn) Close() error                 { return lc.api.NetClose(lc.fd) }

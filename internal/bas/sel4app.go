@@ -1,0 +1,249 @@
+package bas
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mkbas/internal/camkes"
+	"mkbas/internal/plant"
+	"mkbas/internal/sel4"
+	"mkbas/internal/vnet"
+)
+
+// CAmkES interface names and RPC method numbers for the scenario assembly.
+// The assembly mirrors the AADL model: the web interface's ONLY connection
+// is mgmt on the controller ("the web interface has only one capability, to
+// communicate with the temperature controller process").
+const (
+	IfaceSensorIn = "sensor" // provided by controller, used by sensor driver
+	IfaceMgmt     = "mgmt"   // provided by controller, used by web interface
+	IfaceCmd      = "cmd"    // provided by each actuator driver
+
+	methodSample      uint64 = 1
+	methodStatus      uint64 = 1
+	methodSetSetpoint uint64 = 2
+	methodActuate     uint64 = 1
+
+	rpcCodeRange uint64 = 2
+)
+
+// Sel4Options configures DeploySel4.
+type Sel4Options struct {
+	// WebRun replaces the legitimate web interface's control thread with
+	// attacker code.
+	WebRun func(rt *camkes.Runtime)
+}
+
+// Sel4Deployment is the booted seL4/CAmkES platform.
+type Sel4Deployment struct {
+	System  *camkes.System
+	Testbed *Testbed
+}
+
+// ScenarioAssembly builds the CAmkES assembly for the Fig. 2 scenario. It is
+// exported so the AADL→CAmkES compiler tests can compare their generated
+// assembly against the hand-written one, as the authors did while their
+// source-to-source compiler was in development.
+func ScenarioAssembly(cfg ScenarioConfig, webRun func(rt *camkes.Runtime)) *camkes.Assembly {
+	ctrl := NewController(cfg.Controller)
+
+	controller := &camkes.Component{
+		Name:     NameTempControl,
+		Priority: 5,
+		Uses:     []string{"heater", "alarm"},
+		Provides: map[string]camkes.Handler{
+			IfaceSensorIn: func(rt *camkes.Runtime, method uint64, args []uint64, badge sel4.Badge) ([]uint64, error) {
+				if method != methodSample {
+					return nil, errors.New("bas: unknown sensor method")
+				}
+				temp := math.Float64frombits(args[0])
+				heaterChanged, alarmChanged := ctrl.OnSample(rt.Now(), temp)
+				if heaterChanged {
+					if _, err := rt.Call("heater", methodActuate, b2u(ctrl.HeaterOn())); err != nil {
+						rt.Trace("bas", fmt.Sprintf("controller: heater cmd failed: %v", err))
+					}
+				}
+				if alarmChanged {
+					if _, err := rt.Call("alarm", methodActuate, b2u(ctrl.AlarmOn())); err != nil {
+						rt.Trace("bas", fmt.Sprintf("controller: alarm cmd failed: %v", err))
+					}
+				}
+				if ctrl.Snapshot().Samples%60 == 0 || heaterChanged || alarmChanged {
+					rt.Trace("bas", ctrl.Snapshot().String())
+				}
+				return nil, nil
+			},
+			IfaceMgmt: func(rt *camkes.Runtime, method uint64, args []uint64, badge sel4.Badge) ([]uint64, error) {
+				switch method {
+				case methodStatus:
+					st := ctrl.Snapshot()
+					var flags uint64
+					if st.HeaterOn {
+						flags |= statusFlagHeater
+					}
+					if st.AlarmOn {
+						flags |= statusFlagAlarm
+					}
+					return []uint64{
+						math.Float64bits(st.Temp),
+						math.Float64bits(st.Setpoint),
+						flags,
+						uint64(st.Samples),
+					}, nil
+				case methodSetSetpoint:
+					if err := ctrl.SetSetpoint(math.Float64frombits(args[0])); err != nil {
+						return nil, &camkes.RPCError{Iface: IfaceMgmt, Code: rpcCodeRange}
+					}
+					return nil, nil
+				default:
+					return nil, errors.New("bas: unknown mgmt method")
+				}
+			},
+		},
+	}
+
+	actuator := func(name string, dev machineDeviceID) *camkes.Component {
+		return &camkes.Component{
+			Name:     name,
+			Priority: 4,
+			Devices:  []machineDeviceID{dev},
+			Provides: map[string]camkes.Handler{
+				IfaceCmd: func(rt *camkes.Runtime, method uint64, args []uint64, badge sel4.Badge) ([]uint64, error) {
+					if method != methodActuate {
+						return nil, errors.New("bas: unknown cmd method")
+					}
+					return nil, rt.DevWrite(dev, plant.RegActuate, uint32(args[0]))
+				},
+			},
+		}
+	}
+
+	sensor := &camkes.Component{
+		Name:     NameTempSensor,
+		Priority: 6,
+		Uses:     []string{"ctrl"},
+		Devices:  []machineDeviceID{plant.DevTempSensor},
+		Run: func(rt *camkes.Runtime) {
+			for {
+				rt.Sleep(cfg.SamplePeriod)
+				raw, err := rt.DevRead(plant.DevTempSensor, plant.RegTempMilliC)
+				if err != nil {
+					continue
+				}
+				temp := plant.DecodeTemp(raw)
+				if _, err := rt.Call("ctrl", methodSample, math.Float64bits(temp)); err != nil {
+					rt.Trace("bas", fmt.Sprintf("sensor: sample delivery failed: %v", err))
+				}
+			}
+		},
+	}
+
+	if webRun == nil {
+		webRun = sel4WebBody
+	}
+	web := &camkes.Component{
+		Name:     NameWebInterface,
+		Priority: 7,
+		Uses:     []string{IfaceMgmt},
+		NetPorts: []vnet.Port{WebPort},
+		Run:      webRun,
+	}
+
+	return &camkes.Assembly{
+		Components: []*camkes.Component{
+			controller,
+			actuator(NameHeaterAct, plant.DevHeater),
+			actuator(NameAlarmAct, plant.DevAlarm),
+			sensor,
+			web,
+		},
+		Connections: []camkes.Connection{
+			{FromComp: NameTempSensor, FromIface: "ctrl", ToComp: NameTempControl, ToIface: IfaceSensorIn},
+			{FromComp: NameTempControl, FromIface: "heater", ToComp: NameHeaterAct, ToIface: IfaceCmd},
+			{FromComp: NameTempControl, FromIface: "alarm", ToComp: NameAlarmAct, ToIface: IfaceCmd},
+			{FromComp: NameWebInterface, FromIface: IfaceMgmt, ToComp: NameTempControl, ToIface: IfaceMgmt},
+		},
+	}
+}
+
+// DeploySel4 boots the seL4/CAmkES platform on a testbed.
+func DeploySel4(tb *Testbed, cfg ScenarioConfig, opts Sel4Options) (*Sel4Deployment, error) {
+	assembly := ScenarioAssembly(cfg, opts.WebRun)
+	sys, err := camkes.Build(tb.Machine, assembly, camkes.BuildConfig{Net: tb.Net})
+	if err != nil {
+		return nil, fmt.Errorf("bas: building camkes assembly: %w", err)
+	}
+	return &Sel4Deployment{System: sys, Testbed: tb}, nil
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// sel4ControlClient adapts the mgmt RPC interface to ControlClient.
+type sel4ControlClient struct {
+	rt *camkes.Runtime
+}
+
+var _ ControlClient = (*sel4ControlClient)(nil)
+
+func (c *sel4ControlClient) Status() (Status, error) {
+	words, err := c.rt.Call(IfaceMgmt, methodStatus)
+	if err != nil {
+		return Status{}, err
+	}
+	return Status{
+		Temp:     math.Float64frombits(words[0]),
+		Setpoint: math.Float64frombits(words[1]),
+		HeaterOn: words[2]&statusFlagHeater != 0,
+		AlarmOn:  words[2]&statusFlagAlarm != 0,
+		Samples:  int64(words[3]),
+	}, nil
+}
+
+func (c *sel4ControlClient) SetSetpoint(v float64) error {
+	_, err := c.rt.Call(IfaceMgmt, methodSetSetpoint, math.Float64bits(v))
+	var rpcErr *camkes.RPCError
+	if errors.As(err, &rpcErr) && rpcErr.Code == rpcCodeRange {
+		return ErrSetpointRange
+	}
+	return err
+}
+
+// sel4WebBody is the legitimate web interface control thread.
+func sel4WebBody(rt *camkes.Runtime) {
+	l, err := rt.NetListen(WebPort)
+	if err != nil {
+		rt.Trace("bas", fmt.Sprintf("web: listen failed: %v", err))
+		return
+	}
+	ServeWeb(sel4Listener{rt: rt, l: l}, &sel4ControlClient{rt: rt})
+}
+
+// Net adapters.
+
+type sel4Listener struct {
+	rt *camkes.Runtime
+	l  int32
+}
+
+func (sl sel4Listener) Accept() (NetConn, error) {
+	conn, err := sl.rt.NetAccept(sl.l)
+	if err != nil {
+		return nil, err
+	}
+	return sel4Conn{rt: sl.rt, fd: conn}, nil
+}
+
+type sel4Conn struct {
+	rt *camkes.Runtime
+	fd int32
+}
+
+func (sc sel4Conn) Read(max int) ([]byte, error) { return sc.rt.NetRead(sc.fd, max) }
+func (sc sel4Conn) Write(data []byte) error      { return sc.rt.NetWrite(sc.fd, data) }
+func (sc sel4Conn) Close() error                 { return sc.rt.NetClose(sc.fd) }

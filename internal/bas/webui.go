@@ -1,0 +1,103 @@
+package bas
+
+import (
+	"fmt"
+	"strconv"
+
+	"mkbas/internal/httpmini"
+)
+
+// ControlClient is the web interface's view of the controller, implemented
+// per platform over the respective IPC mechanism.
+type ControlClient interface {
+	// Status queries the controller's current state.
+	Status() (Status, error)
+	// SetSetpoint proposes a new desired temperature.
+	SetSetpoint(v float64) error
+}
+
+// HandleRequest implements the web interface's HTTP routing, shared by all
+// three platforms:
+//
+//	GET  /           — usage text
+//	GET  /status     — controller status line
+//	POST /setpoint   — value=<float> form field sets a new setpoint
+func HandleRequest(req *httpmini.Request, ctrl ControlClient) *httpmini.Response {
+	switch {
+	case req.Method == "GET" && req.Path == "/":
+		return httpmini.Text(200,
+			"BAS temperature controller\n"+
+				"GET /status — current state\n"+
+				"POST /setpoint value=<°C> — change setpoint\n")
+	case req.Method == "GET" && req.Path == "/status":
+		st, err := ctrl.Status()
+		if err != nil {
+			return httpmini.Text(500, fmt.Sprintf("controller unavailable: %v\n", err))
+		}
+		return httpmini.Text(200, st.String()+"\n")
+	case req.Method == "POST" && req.Path == "/setpoint":
+		raw := req.FormValue("value")
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return httpmini.Text(400, fmt.Sprintf("bad setpoint %q\n", raw))
+		}
+		if err := ctrl.SetSetpoint(v); err != nil {
+			return httpmini.Text(400, fmt.Sprintf("rejected: %v\n", err))
+		}
+		return httpmini.Text(200, fmt.Sprintf("setpoint=%.2f\n", v))
+	case req.Method == "GET":
+		return httpmini.Text(404, "not found\n")
+	default:
+		return httpmini.Text(405, "method not allowed\n")
+	}
+}
+
+// NetConn abstracts one accepted connection for the shared server loop.
+type NetConn interface {
+	Read(max int) ([]byte, error)
+	Write(data []byte) error
+	Close() error
+}
+
+// NetListener abstracts the platform listener.
+type NetListener interface {
+	Accept() (NetConn, error)
+}
+
+// ServeWeb is the web interface's main loop, shared by all platforms: accept
+// a connection, parse one or more HTTP requests off it, answer each, close.
+// It returns when Accept fails (listener torn down).
+func ServeWeb(l NetListener, ctrl ControlClient) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		serveConn(conn, ctrl)
+	}
+}
+
+// serveConn handles one connection until EOF or a protocol error.
+func serveConn(conn NetConn, ctrl ControlClient) {
+	defer conn.Close()
+	var parser httpmini.Parser
+	for {
+		req, err := parser.Next()
+		if err != nil {
+			conn.Write(httpmini.Text(400, "malformed request\n").Render())
+			return
+		}
+		if req != nil {
+			resp := HandleRequest(req, ctrl)
+			if err := conn.Write(resp.Render()); err != nil {
+				return
+			}
+			continue
+		}
+		data, err := conn.Read(0)
+		if err != nil {
+			return // EOF or reset
+		}
+		parser.Feed(data)
+	}
+}

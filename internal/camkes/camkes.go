@@ -1,0 +1,233 @@
+// Package camkes implements a CAmkES-style component framework (Section
+// III-D) on top of the internal/sel4 kernel.
+//
+// A system is described as an Assembly: component instances plus
+// seL4RPCCall connections between "uses" (client) and "provides" (server)
+// procedure interfaces. Build plays the role of the CAmkES glue-code
+// generator and the CapDL-generated bootstrap process rolled into one: it
+// creates one endpoint per provided interface, one server thread per
+// provided interface (so "the malicious web interface could [not]
+// indefinitely block one of the temperature controller's threads"), mints
+// badged client capabilities for every connection, installs device and
+// network-port capabilities, and emits the capdl.Spec describing the
+// finished distribution so it can be verified against the kernel.
+//
+// RPC wire format: request Label = method number, Words = arguments; reply
+// Label = 0 for success or an error code, Words = results.
+package camkes
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"mkbas/internal/capdl"
+	"mkbas/internal/machine"
+	"mkbas/internal/sel4"
+	"mkbas/internal/vnet"
+)
+
+// Slot layout for generated CSpaces. Fixed and documented so CapDL specs are
+// readable: the provides endpoint (interface threads only) sits at slot 0,
+// client capabilities for uses-interfaces start at SlotUsesBase, devices and
+// network ports follow.
+const (
+	// SlotProvides is the interface thread's own endpoint capability.
+	SlotProvides sel4.CPtr = 0
+	// SlotUsesBase is the first client capability slot.
+	SlotUsesBase sel4.CPtr = 10
+	// SlotDeviceBase is the first device capability slot.
+	SlotDeviceBase sel4.CPtr = 40
+	// SlotNetBase is the first network-port capability slot.
+	SlotNetBase sel4.CPtr = 60
+)
+
+// Handler serves one provided procedure interface. It runs on the
+// interface's dedicated thread; badge identifies the calling connection.
+type Handler func(rt *Runtime, method uint64, args []uint64, badge sel4.Badge) ([]uint64, error)
+
+// Component is one CAmkES component definition/instance.
+type Component struct {
+	// Name is the instance name.
+	Name string
+	// Priority applies to all the component's threads.
+	Priority int
+	// Uses lists procedure interfaces this component is a client of.
+	Uses []string
+	// Provides maps provided interface names to their handlers; each gets
+	// its own server thread.
+	Provides map[string]Handler
+	// Emits lists event interfaces this component raises.
+	Emits []string
+	// Consumes lists event interfaces this component waits on.
+	Consumes []string
+	// Run, if non-nil, is the component's active control thread.
+	Run func(rt *Runtime)
+	// Devices lists bus devices the component's threads get capabilities
+	// for.
+	Devices []machine.DeviceID
+	// NetPorts lists network ports the component's threads get capabilities
+	// for.
+	NetPorts []vnet.Port
+}
+
+// Connection is a seL4RPCCall connection from a component's uses-interface
+// to another component's provides-interface.
+type Connection struct {
+	FromComp  string
+	FromIface string
+	ToComp    string
+	ToIface   string
+}
+
+// Assembly is the complete system description.
+type Assembly struct {
+	Components []*Component
+	// Connections are seL4RPCCall (procedure) connections.
+	Connections []Connection
+	// EventConnections connect an emits-interface to a consumes-interface
+	// (seL4Notification connections).
+	EventConnections []Connection
+}
+
+// Build errors.
+var (
+	ErrBadAssembly = errors.New("camkes: invalid assembly")
+)
+
+// Runtime is the per-thread view a component's code receives: RPC client
+// stubs for its uses-interfaces plus device and network access through the
+// thread's capabilities.
+type Runtime struct {
+	api  *sel4.API
+	comp *Component
+
+	uses     map[string]sel4.CPtr
+	devs     map[machine.DeviceID]sel4.CPtr
+	ports    map[vnet.Port]sel4.CPtr
+	emits    map[string]sel4.CPtr
+	consumes map[string]sel4.CPtr
+}
+
+// RPCError carries a non-zero reply label from a remote handler.
+type RPCError struct {
+	Iface string
+	Code  uint64
+}
+
+func (e *RPCError) Error() string {
+	return fmt.Sprintf("camkes: rpc on %q failed with code %d", e.Iface, e.Code)
+}
+
+// Call invokes method on the connected provider of a uses-interface.
+func (rt *Runtime) Call(iface string, method uint64, args ...uint64) ([]uint64, error) {
+	slot, ok := rt.uses[iface]
+	if !ok {
+		return nil, fmt.Errorf("%w: component %q does not use %q", ErrBadAssembly, rt.comp.Name, iface)
+	}
+	if len(args) > sel4.MsgWords {
+		return nil, fmt.Errorf("camkes: too many arguments (%d)", len(args))
+	}
+	msg := sel4.Msg{Label: method}
+	copy(msg.Words[:], args)
+	reply, err := rt.api.Call(slot, msg)
+	if err != nil {
+		return nil, err
+	}
+	if reply.Label != 0 {
+		return nil, &RPCError{Iface: iface, Code: reply.Label}
+	}
+	out := make([]uint64, sel4.MsgWords)
+	copy(out, reply.Words[:])
+	return out, nil
+}
+
+// DevRead reads a device register through the component's device capability.
+func (rt *Runtime) DevRead(dev machine.DeviceID, reg uint32) (uint32, error) {
+	slot, ok := rt.devs[dev]
+	if !ok {
+		return 0, fmt.Errorf("%w: component %q has no device %q", ErrBadAssembly, rt.comp.Name, dev)
+	}
+	return rt.api.DevRead(slot, reg)
+}
+
+// DevWrite writes a device register through the component's device
+// capability.
+func (rt *Runtime) DevWrite(dev machine.DeviceID, reg uint32, value uint32) error {
+	slot, ok := rt.devs[dev]
+	if !ok {
+		return fmt.Errorf("%w: component %q has no device %q", ErrBadAssembly, rt.comp.Name, dev)
+	}
+	return rt.api.DevWrite(slot, reg, value)
+}
+
+// NetListen binds one of the component's network-port capabilities.
+func (rt *Runtime) NetListen(port vnet.Port) (int32, error) {
+	slot, ok := rt.ports[port]
+	if !ok {
+		return 0, fmt.Errorf("%w: component %q has no port %d", ErrBadAssembly, rt.comp.Name, port)
+	}
+	return rt.api.NetListen(slot)
+}
+
+// NetAccept / NetRead / NetWrite / NetClose wrap the thread's network
+// handles.
+func (rt *Runtime) NetAccept(listener int32) (int32, error) { return rt.api.NetAccept(listener) }
+
+// NetRead blocks until data or EOF is available.
+func (rt *Runtime) NetRead(conn int32, max int) ([]byte, error) { return rt.api.NetRead(conn, max) }
+
+// NetWrite sends bytes on a connection handle.
+func (rt *Runtime) NetWrite(conn int32, data []byte) error { return rt.api.NetWrite(conn, data) }
+
+// NetClose closes a connection handle.
+func (rt *Runtime) NetClose(conn int32) error { return rt.api.NetClose(conn) }
+
+// Sleep parks the thread for a virtual duration.
+func (rt *Runtime) Sleep(d time.Duration) { rt.api.Sleep(d) }
+
+// Now returns the current virtual time.
+func (rt *Runtime) Now() machine.Time { return rt.api.Now() }
+
+// Trace writes to the board trace console.
+func (rt *Runtime) Trace(tag, text string) { rt.api.Trace(tag, text) }
+
+// API exposes the raw seL4 API, used by attack bodies that deliberately step
+// outside the glue (brute-forcing slots, attempting suspends).
+func (rt *Runtime) API() *sel4.API { return rt.api }
+
+// UsesSlot reports the CSpace slot of a uses-interface capability (attack
+// code inspects this; regular components use Call).
+func (rt *Runtime) UsesSlot(iface string) (sel4.CPtr, bool) {
+	s, ok := rt.uses[iface]
+	return s, ok
+}
+
+// System is a built, running assembly.
+type System struct {
+	kernel *sel4.Kernel
+	spec   *capdl.Spec
+	bind   capdl.Binding
+
+	// ifaceEP maps "comp.iface" to its endpoint object.
+	ifaceEP map[string]sel4.ObjID
+	// tcbs maps thread names ("comp" for control, "comp.iface" for
+	// interface threads) to TCB ids.
+	tcbs map[string]sel4.ObjID
+}
+
+// Kernel returns the underlying seL4 kernel.
+func (s *System) Kernel() *sel4.Kernel { return s.kernel }
+
+// Spec returns the generated CapDL description.
+func (s *System) Spec() *capdl.Spec { return s.spec }
+
+// Verify checks the kernel's live capability distribution against the
+// generated CapDL spec.
+func (s *System) Verify() error { return capdl.Verify(s.spec, s.kernel, s.bind) }
+
+// TCB returns the TCB object id for a thread name ("comp" or "comp.iface").
+func (s *System) TCB(name string) (sel4.ObjID, bool) {
+	id, ok := s.tcbs[name]
+	return id, ok
+}

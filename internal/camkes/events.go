@@ -1,0 +1,48 @@
+package camkes
+
+import (
+	"fmt"
+
+	"mkbas/internal/sel4"
+)
+
+// CAmkES event connections ("CAmkES, like AADL, allows for many different
+// connection types"): an emitter raises an event, a consumer waits for it.
+// Events are built on seL4 notification objects; each consumed event gets a
+// notification object, each emitting connection a badged signal capability.
+//
+// Slot layout continues the scheme in build.go.
+const (
+	// SlotEmitBase is the first emit-capability slot (signal rights).
+	SlotEmitBase sel4.CPtr = 80
+	// SlotConsumeBase is the first consume-capability slot (wait rights).
+	SlotConsumeBase sel4.CPtr = 100
+)
+
+// Emit raises an event on one of the component's emits-interfaces.
+func (rt *Runtime) Emit(event string) error {
+	slot, ok := rt.emits[event]
+	if !ok {
+		return fmt.Errorf("%w: component %q does not emit %q", ErrBadAssembly, rt.comp.Name, event)
+	}
+	return rt.api.Signal(slot)
+}
+
+// WaitEvent blocks until the named consumed event fires; the returned word
+// carries the badges of all emitters that fired since the last wait.
+func (rt *Runtime) WaitEvent(event string) (sel4.Badge, error) {
+	slot, ok := rt.consumes[event]
+	if !ok {
+		return 0, fmt.Errorf("%w: component %q does not consume %q", ErrBadAssembly, rt.comp.Name, event)
+	}
+	return rt.api.Wait(slot)
+}
+
+// PollEvent is the non-blocking WaitEvent.
+func (rt *Runtime) PollEvent(event string) (sel4.Badge, error) {
+	slot, ok := rt.consumes[event]
+	if !ok {
+		return 0, fmt.Errorf("%w: component %q does not consume %q", ErrBadAssembly, rt.comp.Name, event)
+	}
+	return rt.api.Poll(slot)
+}

@@ -1,0 +1,186 @@
+package capdl
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"mkbas/internal/machine"
+	"mkbas/internal/sel4"
+)
+
+func sampleSpec() *Spec {
+	s := &Spec{}
+	s.AddObject("ep_ctrl", sel4.KindEndpoint)
+	s.AddObject("dev_sensor", sel4.KindDevice)
+	s.AddCap("web", CapSpec{Slot: 10, Object: "ep_ctrl", Rights: sel4.CapWrite | sel4.CapGrant, Badge: 104})
+	s.AddCap("driver", CapSpec{Slot: 1, Object: "ep_ctrl", Rights: sel4.CapRead})
+	s.AddCap("driver", CapSpec{Slot: 40, Object: "dev_sensor", Rights: sel4.RightsRW})
+	return s
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	s := sampleSpec()
+	first := s.Render()
+	for i := 0; i < 5; i++ {
+		if got := s.Render(); got != first {
+			t.Fatal("Render not deterministic")
+		}
+	}
+	for _, want := range []string{
+		"ep_ctrl = ep",
+		"dev_sensor = device",
+		"10: ep_ctrl (-wg, badge: 104)",
+		"40: dev_sensor (rw-, badge: 0)",
+	} {
+		if !strings.Contains(first, want) {
+			t.Errorf("render missing %q:\n%s", want, first)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	s := sampleSpec()
+	parsed, err := Parse(s.Render())
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if parsed.Render() != s.Render() {
+		t.Fatalf("round trip mismatch:\n%s\nvs\n%s", s.Render(), parsed.Render())
+	}
+}
+
+func TestParseToleratesCommentsAndBlankLines(t *testing.T) {
+	text := `
+# a comment
+objects {
+  e1 = ep
+
+  t1 = tcb
+}
+caps {
+  thread {
+    3: e1 (rw-, badge: 9)
+  }
+}
+`
+	s, err := Parse(text)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	tcb := s.TCB("thread")
+	if tcb == nil || len(tcb.Caps) != 1 || tcb.Caps[0].Badge != 9 {
+		t.Fatalf("parsed %+v", s)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"objects {\n  garbage line without equals\n}",
+		"objects {\n  x = nosuchkind\n}",
+		"caps {\n  t {\n    notanumber: obj (rw-, badge: 0)\n  }\n}",
+		"caps {\n  t {\n    1: obj (zz-, badge: 0)\n  }\n}",
+		"caps {\n  t {\n    1: obj (rw-, badge: abc)\n  }\n}",
+		"caps {\n  t {\n    1: obj missingparens\n  }\n}",
+		"floating text",
+	}
+	for _, text := range cases {
+		if _, err := Parse(text); !errors.Is(err, ErrParse) {
+			t.Errorf("Parse(%q) err = %v, want ErrParse", text, err)
+		}
+	}
+}
+
+// buildKernel boots a tiny kernel matching sampleSpec.
+func buildKernel(t *testing.T) (*sel4.Kernel, Binding, func()) {
+	t.Helper()
+	m := machine.New(machine.Config{})
+	k := sel4.NewKernel(m, sel4.Config{})
+	ep := k.CreateEndpoint("ctrl")
+	dev := k.CreateDevice("sensor")
+	web := k.CreateThread("web", 7, func(api *sel4.API) {})
+	driver := k.CreateThread("driver", 7, func(api *sel4.API) {})
+	if err := k.InstallCap(web, 10, sel4.EndpointCap(ep, sel4.CapWrite|sel4.CapGrant, 104)); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.InstallCap(driver, 1, sel4.EndpointCap(ep, sel4.CapRead, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.InstallCap(driver, 40, sel4.DeviceCap(dev, sel4.RightsRW)); err != nil {
+		t.Fatal(err)
+	}
+	bind := Binding{
+		Objects: map[string]sel4.ObjID{"ep_ctrl": ep, "dev_sensor": dev},
+		TCBs:    map[string]sel4.ObjID{"web": web, "driver": driver},
+	}
+	return k, bind, m.Shutdown
+}
+
+func TestVerifyExactMatch(t *testing.T) {
+	k, bind, done := buildKernel(t)
+	defer done()
+	if err := Verify(sampleSpec(), k, bind); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestVerifyDetectsMissingCap(t *testing.T) {
+	k, bind, done := buildKernel(t)
+	defer done()
+	spec := sampleSpec()
+	spec.AddCap("web", CapSpec{Slot: 99, Object: "ep_ctrl", Rights: sel4.CapRead})
+	err := Verify(spec, k, bind)
+	if !errors.Is(err, ErrVerify) || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("err = %v, want missing-cap verify error", err)
+	}
+}
+
+func TestVerifyDetectsWrongRightsAndBadge(t *testing.T) {
+	k, bind, done := buildKernel(t)
+	defer done()
+	spec := sampleSpec()
+	spec.TCB("web").Caps[0].Badge = 999
+	if err := Verify(spec, k, bind); !errors.Is(err, ErrVerify) {
+		t.Fatalf("badge mismatch not caught: %v", err)
+	}
+	spec = sampleSpec()
+	spec.TCB("driver").Caps[0].Rights = sel4.RightsRWG
+	if err := Verify(spec, k, bind); !errors.Is(err, ErrVerify) {
+		t.Fatalf("rights mismatch not caught: %v", err)
+	}
+}
+
+func TestVerifyDetectsUnboundNames(t *testing.T) {
+	k, bind, done := buildKernel(t)
+	defer done()
+	spec := sampleSpec()
+	spec.AddCap("ghost-thread", CapSpec{Slot: 0, Object: "ep_ctrl", Rights: sel4.CapRead})
+	if err := Verify(spec, k, bind); !errors.Is(err, ErrVerify) {
+		t.Fatalf("unbound thread not caught: %v", err)
+	}
+	spec = sampleSpec()
+	spec.TCB("web").Caps[0].Object = "ghost-object"
+	if err := Verify(spec, k, bind); !errors.Is(err, ErrVerify) {
+		t.Fatalf("unbound object not caught: %v", err)
+	}
+}
+
+func TestVerifyDetectsExtraCapability(t *testing.T) {
+	k, bind, done := buildKernel(t)
+	defer done()
+	// The kernel grows a capability the spec never declared.
+	if err := k.InstallCap(bind.TCBs["web"], 200, sel4.TCBCap(bind.TCBs["driver"], sel4.CapWrite)); err != nil {
+		t.Fatal(err)
+	}
+	err := Verify(sampleSpec(), k, bind)
+	if !errors.Is(err, ErrVerify) || !strings.Contains(err.Error(), "EXTRA") {
+		t.Fatalf("extra capability not caught: %v", err)
+	}
+}
+
+func TestSpecTCBLookup(t *testing.T) {
+	s := sampleSpec()
+	if s.TCB("web") == nil || s.TCB("nobody") != nil {
+		t.Fatal("TCB lookup wrong")
+	}
+}

@@ -1,0 +1,286 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ACID is an access-control identity: the paper's ac_id field added to the
+// MINIX 3 process control block. ACIDs are assigned when a process is loaded
+// (fork2/srv_fork2) and, unlike PIDs, never recycled, so policy written in
+// terms of ACIDs survives process restarts.
+type ACID uint32
+
+// NoACID marks a process that carries no access-control identity. Subjects
+// without an identity match no Matrix row and are denied everything.
+const NoACID ACID = 0
+
+// MsgType is a small message-type number carried in every IPC message. The
+// interpretation is negotiated between sender and receiver (the paper uses
+// types as RPC selectors); the kernel treats it as an opaque index into the
+// permission bitmask.
+type MsgType uint8
+
+// MsgAck is message type 0, reserved by convention for acknowledgments
+// (Fig. 3).
+const MsgAck MsgType = 0
+
+// MaxMsgType is the largest representable message type (one 64-bit mask per
+// matrix cell).
+const MaxMsgType MsgType = 63
+
+// TypeMask is a set of permitted message types, one bit per type.
+type TypeMask uint64
+
+// MaskOf builds a mask from individual types.
+func MaskOf(types ...MsgType) TypeMask {
+	var m TypeMask
+	for _, t := range types {
+		m |= 1 << t
+	}
+	return m
+}
+
+// MaskAll permits every message type.
+const MaskAll TypeMask = ^TypeMask(0)
+
+// Has reports whether type t is in the mask.
+func (m TypeMask) Has(t MsgType) bool { return m&(1<<t) != 0 }
+
+// With returns the mask with type t added.
+func (m TypeMask) With(t MsgType) TypeMask { return m | 1<<t }
+
+// Without returns the mask with type t removed.
+func (m TypeMask) Without(t MsgType) TypeMask { return m &^ (1 << t) }
+
+// Types expands the mask into its member types, ascending.
+func (m TypeMask) Types() []MsgType {
+	var out []MsgType
+	for t := MsgType(0); ; t++ {
+		if m.Has(t) {
+			out = append(out, t)
+		}
+		if t == MaxMsgType {
+			break
+		}
+	}
+	return out
+}
+
+// String renders the mask in the paper's Fig. 3 bitmap notation: most
+// significant type first, at least four digits wide, so {0,2,3} renders as
+// "1101" and the ACK-only mask {0} as "0001" — exactly the figure's cells.
+func (m TypeMask) String() string {
+	if m == 0 {
+		return "0000"
+	}
+	hi := MsgType(3) // Fig. 3 renders at least types 3..0
+	for t := MsgType(0); ; t++ {
+		if m.Has(t) && t > hi {
+			hi = t
+		}
+		if t == MaxMsgType {
+			break
+		}
+	}
+	var b strings.Builder
+	for t := int(hi); t >= 0; t-- {
+		if m.Has(MsgType(t)) {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// Matrix is the sparse access control matrix. A cell (src, dst) holds the
+// mask of message types src may send to dst; an absent cell denies all
+// communication. The matrix is mutable while being built (by hand or by the
+// AADL compiler) and immutable after Seal.
+type Matrix struct {
+	rules  map[ACID]map[ACID]TypeMask
+	names  map[ACID]string
+	sealed bool
+}
+
+// NewMatrix returns an empty, unsealed matrix.
+func NewMatrix() *Matrix {
+	return &Matrix{
+		rules: make(map[ACID]map[ACID]TypeMask),
+		names: make(map[ACID]string),
+	}
+}
+
+// Matrix errors.
+var (
+	ErrSealed      = errors.New("core: matrix is sealed")
+	ErrNotSealed   = errors.New("core: matrix is not sealed")
+	ErrBadACID     = errors.New("core: invalid ACID")
+	ErrBadMsgType  = errors.New("core: message type out of range")
+	errDeniedBase  = errors.New("core: IPC denied by access control matrix")
+	ErrNoQuotaLeft = errors.New("core: syscall quota exhausted")
+)
+
+// DeniedError describes one IPC denial, for kernel audit logs.
+type DeniedError struct {
+	Src  ACID
+	Dst  ACID
+	Type MsgType
+}
+
+func (e *DeniedError) Error() string {
+	return fmt.Sprintf("core: IPC denied by ACM: src=%d dst=%d m_type=%d", e.Src, e.Dst, e.Type)
+}
+
+// Is makes errors.Is(err, ErrDenied) work for all denials.
+func (e *DeniedError) Is(target error) bool { return target == ErrDenied }
+
+// ErrDenied is the sentinel matched by every ACM denial.
+var ErrDenied = errDeniedBase
+
+// Name attaches a human-readable label to an ACID for rendering.
+func (m *Matrix) Name(id ACID, name string) *Matrix {
+	if m.sealed {
+		panic(ErrSealed)
+	}
+	m.names[id] = name
+	return m
+}
+
+// NameOf returns the label for an ACID, or its number if unnamed.
+func (m *Matrix) NameOf(id ACID) string {
+	if n, ok := m.names[id]; ok {
+		return n
+	}
+	return fmt.Sprintf("acid-%d", id)
+}
+
+// Allow grants src the right to send the listed message types to dst,
+// merging with any existing grant. It panics on a sealed matrix: policy is
+// fixed at kernel build time, and attempted runtime mutation is a bug in the
+// caller, not an operational error.
+func (m *Matrix) Allow(src, dst ACID, types ...MsgType) *Matrix {
+	return m.AllowMask(src, dst, MaskOf(types...))
+}
+
+// AllowMask grants src the right to send every type in mask to dst.
+func (m *Matrix) AllowMask(src, dst ACID, mask TypeMask) *Matrix {
+	if m.sealed {
+		panic(ErrSealed)
+	}
+	if src == NoACID || dst == NoACID {
+		panic(fmt.Sprintf("core: Allow with %v", ErrBadACID))
+	}
+	row, ok := m.rules[src]
+	if !ok {
+		row = make(map[ACID]TypeMask)
+		m.rules[src] = row
+	}
+	row[dst] |= mask
+	return m
+}
+
+// AllowBidirectionalAck grants both directions the ACKNOWLEDGE type (the
+// Fig. 3 convention that "all confirm messages between processes be
+// allowed" among communicating peers).
+func (m *Matrix) AllowBidirectionalAck(a, b ACID) *Matrix {
+	m.Allow(a, b, MsgAck)
+	m.Allow(b, a, MsgAck)
+	return m
+}
+
+// Seal freezes the matrix. Sealing twice is a no-op.
+func (m *Matrix) Seal() *Matrix {
+	m.sealed = true
+	return m
+}
+
+// Sealed reports whether the matrix is frozen.
+func (m *Matrix) Sealed() bool { return m.sealed }
+
+// Mask returns the permitted-type mask for (src, dst); absent cells are 0.
+func (m *Matrix) Mask(src, dst ACID) TypeMask {
+	return m.rules[src][dst]
+}
+
+// Allows reports whether src may send a message of type t to dst.
+func (m *Matrix) Allows(src, dst ACID, t MsgType) bool {
+	if src == NoACID || dst == NoACID || t > MaxMsgType {
+		return false
+	}
+	return m.rules[src][dst].Has(t)
+}
+
+// Check returns nil when the send is permitted and a *DeniedError otherwise.
+func (m *Matrix) Check(src, dst ACID, t MsgType) error {
+	if m.Allows(src, dst, t) {
+		return nil
+	}
+	return &DeniedError{Src: src, Dst: dst, Type: t}
+}
+
+// Subjects returns every ACID mentioned by the matrix (as sender or
+// receiver), ascending.
+func (m *Matrix) Subjects() []ACID {
+	seen := make(map[ACID]bool)
+	for src, row := range m.rules {
+		seen[src] = true
+		for dst := range row {
+			seen[dst] = true
+		}
+	}
+	for id := range m.names {
+		seen[id] = true
+	}
+	out := make([]ACID, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Clone returns an unsealed deep copy (useful for deriving variant policies
+// in experiments).
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix()
+	for src, row := range m.rules {
+		for dst, mask := range row {
+			c.AllowMask(src, dst, mask)
+		}
+	}
+	for id, n := range m.names {
+		c.names[id] = n
+	}
+	return c
+}
+
+// String renders the matrix in the tabular style of Fig. 3: one line per
+// populated cell, "src -> dst : bitmap (types...)", sorted for stable output.
+func (m *Matrix) String() string {
+	type cell struct {
+		src, dst ACID
+		mask     TypeMask
+	}
+	var cells []cell
+	for src, row := range m.rules {
+		for dst, mask := range row {
+			cells = append(cells, cell{src: src, dst: dst, mask: mask})
+		}
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].src != cells[j].src {
+			return cells[i].src < cells[j].src
+		}
+		return cells[i].dst < cells[j].dst
+	})
+	var b strings.Builder
+	for _, c := range cells {
+		fmt.Fprintf(&b, "%-16s -> %-16s : %s (m_types %v)\n",
+			m.NameOf(c.src), m.NameOf(c.dst), c.mask, c.mask.Types())
+	}
+	return b.String()
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaskOfAndHas(t *testing.T) {
+	m := MaskOf(0, 2, 3)
+	for _, tc := range []struct {
+		t    MsgType
+		want bool
+	}{{0, true}, {1, false}, {2, true}, {3, true}, {4, false}, {63, false}} {
+		if got := m.Has(tc.t); got != tc.want {
+			t.Errorf("MaskOf(0,2,3).Has(%d) = %v, want %v", tc.t, got, tc.want)
+		}
+	}
+}
+
+func TestMaskWithWithout(t *testing.T) {
+	m := TypeMask(0).With(5).With(9)
+	if !m.Has(5) || !m.Has(9) {
+		t.Fatalf("With failed: %v", m)
+	}
+	m = m.Without(5)
+	if m.Has(5) || !m.Has(9) {
+		t.Fatalf("Without failed: %v", m)
+	}
+}
+
+func TestMaskTypesRoundTrip(t *testing.T) {
+	f := func(raw uint64) bool {
+		m := TypeMask(raw)
+		return MaskOf(m.Types()...) == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaskString(t *testing.T) {
+	for _, tc := range []struct {
+		mask TypeMask
+		want string
+	}{
+		{MaskOf(), "0000"},
+		{MaskOf(0), "0001"},
+		{MaskOf(0, 2, 3), "1101"},
+		{MaskOf(1), "0010"},
+		{MaskOf(3), "1000"},
+		{MaskOf(0, 4), "10001"},
+	} {
+		if got := tc.mask.String(); got != tc.want {
+			t.Errorf("mask %v String() = %q, want %q", tc.mask.Types(), got, tc.want)
+		}
+	}
+}
+
+func TestMatrixDenyByDefault(t *testing.T) {
+	m := NewMatrix().Seal()
+	if m.Allows(1, 2, 0) {
+		t.Fatal("empty matrix allows IPC")
+	}
+	err := m.Check(1, 2, 0)
+	if err == nil {
+		t.Fatal("Check on empty matrix = nil")
+	}
+	if !errors.Is(err, ErrDenied) {
+		t.Fatalf("denial does not match ErrDenied: %v", err)
+	}
+	var denied *DeniedError
+	if !errors.As(err, &denied) {
+		t.Fatalf("denial is not *DeniedError: %T", err)
+	}
+	if denied.Src != 1 || denied.Dst != 2 || denied.Type != 0 {
+		t.Fatalf("denial fields wrong: %+v", denied)
+	}
+}
+
+func TestMatrixAllowMerges(t *testing.T) {
+	m := NewMatrix()
+	m.Allow(10, 20, 1)
+	m.Allow(10, 20, 3)
+	if got := m.Mask(10, 20); got != MaskOf(1, 3) {
+		t.Fatalf("mask = %v, want {1,3}", got.Types())
+	}
+}
+
+func TestMatrixNoACIDAlwaysDenied(t *testing.T) {
+	m := NewMatrix().Allow(1, 2, MaskAll.Types()...).Seal()
+	if m.Allows(NoACID, 2, 0) || m.Allows(1, NoACID, 0) {
+		t.Fatal("NoACID subject passed the matrix")
+	}
+}
+
+func TestMatrixSealPreventsMutation(t *testing.T) {
+	m := NewMatrix().Allow(1, 2, 0).Seal()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Allow on sealed matrix did not panic")
+		}
+	}()
+	m.Allow(3, 4, 0)
+}
+
+func TestMatrixCloneIsIndependent(t *testing.T) {
+	m := NewMatrix().Allow(1, 2, 0).Name(1, "a").Seal()
+	c := m.Clone()
+	if c.Sealed() {
+		t.Fatal("clone inherited seal")
+	}
+	c.Allow(5, 6, 1)
+	if m.Allows(5, 6, 1) {
+		t.Fatal("mutating clone changed original")
+	}
+	if c.NameOf(1) != "a" {
+		t.Fatal("clone lost names")
+	}
+}
+
+func TestMatrixSubjects(t *testing.T) {
+	m := NewMatrix().Allow(30, 10, 0).Allow(10, 20, 1).Name(40, "idle")
+	got := m.Subjects()
+	want := []ACID{10, 20, 30, 40}
+	if len(got) != len(want) {
+		t.Fatalf("subjects = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("subjects = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestFig3Exact reproduces experiment E2: every cell of the Fig. 3 matrix and
+// the two runtime checks narrated in Section III-B ("suppose App2 tries to
+// send a message with message type 2 to App1 ... the message will be allowed
+// ... if the message type is 1 the message will be denied").
+func TestFig3Exact(t *testing.T) {
+	m := Fig3Matrix()
+
+	if !m.Allows(Fig3App2, Fig3App1, 2) {
+		t.Error("App2 -> App1 m_type 2 (app1_f2) should be allowed")
+	}
+	if m.Allows(Fig3App2, Fig3App1, 1) {
+		t.Error("App2 -> App1 m_type 1 (app1_f1) should be denied")
+	}
+
+	cells := []struct {
+		src, dst ACID
+		bitmap   string
+	}{
+		{Fig3App1, Fig3App2, "0001"},
+		{Fig3App2, Fig3App1, "1101"},
+		{Fig3App3, Fig3App1, "0011"},
+		{Fig3App1, Fig3App3, "0111"},
+		{Fig3App2, Fig3App3, "0011"},
+		{Fig3App3, Fig3App2, "0001"},
+	}
+	for _, c := range cells {
+		if got := m.Mask(c.src, c.dst).String(); got != c.bitmap {
+			t.Errorf("cell %s->%s = %s, want %s",
+				m.NameOf(c.src), m.NameOf(c.dst), got, c.bitmap)
+		}
+	}
+
+	// Everything not granted is denied: App1 may not call any App1 function
+	// on itself, no self-loops, App2 exposes nothing.
+	for _, mt := range []MsgType{1, 2, 3} {
+		if m.Allows(Fig3App1, Fig3App2, mt) {
+			t.Errorf("App1 -> App2 m_type %d should be denied (App2 has no RPCs)", mt)
+		}
+		if m.Allows(Fig3App3, Fig3App2, mt) {
+			t.Errorf("App3 -> App2 m_type %d should be denied", mt)
+		}
+	}
+	if !m.Sealed() {
+		t.Error("Fig3Matrix must come sealed")
+	}
+}
+
+func TestFig3Rendering(t *testing.T) {
+	s := Fig3Matrix().String()
+	for _, want := range []string{"App1", "App2", "App3", "1101"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestMatrixProperty_AllowImpliesAllows is the core soundness property: any
+// (src, dst, type) triple granted through the builder is allowed, and any
+// triple never granted is denied.
+func TestMatrixProperty_AllowImpliesAllows(t *testing.T) {
+	f := func(src, dst uint8, typ uint8, noise uint64) bool {
+		s := ACID(src) + 1 // avoid NoACID
+		d := ACID(dst) + 1
+		mt := MsgType(typ % 64)
+		m := NewMatrix()
+		m.AllowMask(s, d, TypeMask(noise))
+		m.Allow(s, d, mt)
+		m.Seal()
+		if !m.Allows(s, d, mt) {
+			return false
+		}
+		// A distinct destination with no grant must be denied.
+		other := d + 1
+		return !m.Allows(s, other, mt)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMsgTypeOutOfRangeDenied(t *testing.T) {
+	m := NewMatrix().AllowMask(1, 2, MaskAll).Seal()
+	if m.Allows(1, 2, MaxMsgType+1) {
+		t.Fatal("type beyond MaxMsgType allowed")
+	}
+}

@@ -1,0 +1,30 @@
+package core
+
+import "testing"
+
+func BenchmarkMatrixAllows(b *testing.B) {
+	m := ScenarioPolicy().IPC
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Allows(ACIDWebInterface, ACIDTempControl, MsgSetpointUpdate)
+		m.Allows(ACIDWebInterface, ACIDHeaterAct, MsgHeaterCmd)
+	}
+}
+
+func BenchmarkQuotaLedgerCharge(b *testing.B) {
+	p := NewSyscallPolicy().GrantQuota(1, SysFork, QuotaUnlimited).Seal()
+	l := NewQuotaLedger(p)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := l.Charge(1, SysFork); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatrixBuildScenario(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ScenarioPolicy()
+	}
+}

@@ -1,0 +1,26 @@
+// Package core implements the paper's primary contribution as a reusable
+// library: the fine-grained mandatory access control mechanism for
+// inter-process communication ("access control matrix", Section III-B), plus
+// the syscall-auditing policy the authors add to the MINIX 3 process-management
+// server and the quota extension they propose as future work (Section IV-D.2).
+//
+// The model is deliberately tiny, exactly as in the paper:
+//
+//   - every protected subject (process or system server) carries an immutable
+//     access-control identity (ACID, the paper's ac_id) assigned at spawn
+//     time via fork2()/srv_fork2();
+//   - messages carry a small message-type number; types 0..63 fit one
+//     64-bit bitmask per (sender, receiver) pair, and type 0 is reserved for
+//     ACKNOWLEDGE by convention (Fig. 3);
+//   - the Matrix is a sparse map from sender ACID to receiver ACID to the
+//     bitmask of permitted message types. The kernel consults it on every
+//     IPC send; a miss means deny-and-drop;
+//   - the Matrix is sealed at boot. In the paper it is compiled into the
+//     kernel binary; here Seal makes it immutable, and the kernel only
+//     accepts sealed matrices.
+//
+// Package core is consumed by internal/minix (kernel enforcement), by
+// internal/aadl (the AADL → ACM compiler emits a Matrix), and by the
+// experiment harness, which reproduces the exact Fig. 3 example via
+// Fig3Policy.
+package core

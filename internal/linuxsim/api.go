@@ -1,0 +1,140 @@
+package linuxsim
+
+import (
+	"time"
+
+	"mkbas/internal/machine"
+	"mkbas/internal/vnet"
+)
+
+// API is the POSIX-ish system-call surface a simulated Linux process
+// programs against.
+type API struct {
+	ctx *machine.Context
+}
+
+// Now returns the current virtual time (free, no trap).
+func (a *API) Now() machine.Time { return a.ctx.Now() }
+
+// MQOpenFlags configures MQOpen.
+type MQOpenFlags struct {
+	Create   bool
+	Excl     bool
+	Read     bool
+	Write    bool
+	NonBlock bool
+	Mode     Mode
+	MaxMsgs  int
+}
+
+// MQOpen implements mq_open.
+func (a *API) MQOpen(name string, flags MQOpenFlags) (int32, error) {
+	reply := a.ctx.Trap(mqOpenReq{
+		name:     name,
+		create:   flags.Create,
+		excl:     flags.Excl,
+		mode:     flags.Mode,
+		maxMsgs:  flags.MaxMsgs,
+		read:     flags.Read,
+		write:    flags.Write,
+		nonblock: flags.NonBlock,
+	}).(fdReply)
+	return reply.fd, reply.err
+}
+
+// MQSend implements mq_send.
+func (a *API) MQSend(fd int32, data []byte, prio uint32) error {
+	return a.ctx.Trap(mqSendReq{fd: fd, data: data, prio: prio}).(errReply).err
+}
+
+// MQReceive implements mq_receive.
+func (a *API) MQReceive(fd int32) (MQMsg, error) {
+	reply := a.ctx.Trap(mqReceiveReq{fd: fd}).(msgReply)
+	return reply.msg, reply.err
+}
+
+// MQUnlink implements mq_unlink.
+func (a *API) MQUnlink(name string) error {
+	return a.ctx.Trap(mqUnlinkReq{name: name}).(errReply).err
+}
+
+// MQClose implements mq_close.
+func (a *API) MQClose(fd int32) error {
+	return a.ctx.Trap(mqCloseReq{fd: fd}).(errReply).err
+}
+
+// Kill implements kill(2).
+func (a *API) Kill(unixPID, sig int) error {
+	return a.ctx.Trap(killReq{unixPID: unixPID, sig: sig}).(errReply).err
+}
+
+// Fork spawns a registered image under the caller's credentials.
+func (a *API) Fork(image string) (int, error) {
+	reply := a.ctx.Trap(forkReq{image: image}).(intReply)
+	return reply.value, reply.err
+}
+
+// GetPID returns the caller's unix pid.
+func (a *API) GetPID() int {
+	return a.ctx.Trap(getPIDReq{}).(intReply).value
+}
+
+// GetUID returns the caller's uid.
+func (a *API) GetUID() int {
+	return a.ctx.Trap(getUIDReq{}).(intReply).value
+}
+
+// Sleep blocks for a virtual duration.
+func (a *API) Sleep(d time.Duration) {
+	a.ctx.Trap(sleepReq{d: d})
+}
+
+// DevRead reads a device register through its /dev node (DAC applies).
+func (a *API) DevRead(dev machine.DeviceID, reg uint32) (uint32, error) {
+	reply := a.ctx.Trap(devReadReq{dev: dev, reg: reg}).(u32Reply)
+	return reply.value, reply.err
+}
+
+// DevWrite writes a device register through its /dev node (DAC applies).
+func (a *API) DevWrite(dev machine.DeviceID, reg uint32, value uint32) error {
+	return a.ctx.Trap(devWriteReq{dev: dev, reg: reg, value: value}).(errReply).err
+}
+
+// Trace writes to the board trace console.
+func (a *API) Trace(tag, text string) {
+	a.ctx.Trap(traceReq{tag: tag, text: text})
+}
+
+// Exit terminates the caller. It does not return.
+func (a *API) Exit() {
+	a.ctx.Trap(exitReq{})
+	panic("linuxsim: Exit returned")
+}
+
+// NetListen binds a port.
+func (a *API) NetListen(port vnet.Port) (int32, error) {
+	reply := a.ctx.Trap(netListenReq{port: port}).(handleReply)
+	return reply.handle, reply.err
+}
+
+// NetAccept blocks until a connection arrives.
+func (a *API) NetAccept(listener int32) (int32, error) {
+	reply := a.ctx.Trap(netAcceptReq{listener: listener}).(handleReply)
+	return reply.handle, reply.err
+}
+
+// NetRead blocks until data or EOF is available.
+func (a *API) NetRead(conn int32, max int) ([]byte, error) {
+	reply := a.ctx.Trap(netReadReq{conn: conn, max: max}).(bytesReply)
+	return reply.data, reply.err
+}
+
+// NetWrite sends bytes on a connection.
+func (a *API) NetWrite(conn int32, data []byte) error {
+	return a.ctx.Trap(netWriteReq{conn: conn, data: data}).(errReply).err
+}
+
+// NetClose closes a connection.
+func (a *API) NetClose(conn int32) error {
+	return a.ctx.Trap(netCloseReq{conn: conn}).(errReply).err
+}

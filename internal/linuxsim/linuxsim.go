@@ -1,0 +1,352 @@
+// Package linuxsim simulates the paper's comparison platform: a monolithic
+// Unix-like kernel (Section IV-C) running the same five-process scenario
+// over POSIX message queues.
+//
+// The simulation keeps exactly the properties the paper's attacks exploit:
+//
+//   - IPC objects (message queues) live in a kernel namespace guarded only
+//     by discretionary access control: owner uid/gid and a permission mode.
+//     Any process that passes the DAC check can open any queue for reading
+//     or writing — there is no notion of per-pair, per-message-type policy;
+//   - messages carry whatever the sender wrote; there is no kernel-stamped
+//     sender identity, so a process with write access to a queue can
+//     impersonate anyone (the spoofing attack);
+//   - credentials are per-process uid/gid, and uid 0 bypasses every DAC
+//     check ("these monolithic systems have few techniques to restrain a
+//     process with root privilege");
+//   - kill(2) is permitted for same-uid targets and unrestricted for root,
+//     so a root-compromised web interface can destroy the control process;
+//   - fork is unrestricted (no quota surface at all).
+//
+// Device registers are exposed as device files with owner/mode, mirroring
+// /dev nodes.
+package linuxsim
+
+import (
+	"errors"
+	"fmt"
+
+	"mkbas/internal/machine"
+	"mkbas/internal/vnet"
+)
+
+// Errors.
+var (
+	// ErrPerm is EPERM/EACCES: a DAC check failed.
+	ErrPerm = errors.New("linuxsim: permission denied")
+	// ErrNoEnt is ENOENT: missing queue, device, or process.
+	ErrNoEnt = errors.New("linuxsim: no such object")
+	// ErrExist is EEXIST: exclusive create of an existing queue.
+	ErrExist = errors.New("linuxsim: already exists")
+	// ErrBadFD is EBADF: bad descriptor or wrong access mode.
+	ErrBadFD = errors.New("linuxsim: bad file descriptor")
+	// ErrAgain is EAGAIN: non-blocking operation would block.
+	ErrAgain = errors.New("linuxsim: resource temporarily unavailable")
+	// ErrUnknownImage reports exec of an unregistered binary.
+	ErrUnknownImage = errors.New("linuxsim: unknown process image")
+)
+
+// Signals. Only termination signals are modelled.
+const (
+	SIGTERM = 15
+	SIGKILL = 9
+)
+
+// Mode is a Unix permission mode (rw bits only; execute is meaningless
+// here).
+type Mode uint16
+
+// Permission bit helpers.
+const (
+	ModeUserRead   Mode = 0o400
+	ModeUserWrite  Mode = 0o200
+	ModeGroupRead  Mode = 0o040
+	ModeGroupWrite Mode = 0o020
+	ModeOtherRead  Mode = 0o004
+	ModeOtherWrite Mode = 0o002
+)
+
+// MQMsg is one POSIX message with its priority.
+type MQMsg struct {
+	Data []byte
+	Prio uint32
+}
+
+// mqueue is one kernel message-queue object.
+type mqueue struct {
+	name     string
+	ownerUID int
+	ownerGID int
+	mode     Mode
+	maxMsgs  int
+	msgs     []MQMsg
+
+	readers []machine.PID // blocked in mq_receive
+	writers []blockedWriter
+}
+
+type blockedWriter struct {
+	pid machine.PID
+	msg MQMsg
+}
+
+// devFile is a /dev node fronting a bus device.
+type devFile struct {
+	dev      machine.DeviceID
+	ownerUID int
+	ownerGID int
+	mode     Mode
+}
+
+// fd is one file-descriptor table entry.
+type fd struct {
+	q        *mqueue
+	canRead  bool
+	canWrite bool
+	nonblock bool
+}
+
+// proc is the kernel's process record.
+type proc struct {
+	pid     machine.PID
+	unixPID int
+	name    string
+	uid     int
+	gid     int
+
+	fds    map[int32]*fd
+	nextFD int32
+
+	phase     procPhase
+	waitToken uint64
+
+	listeners map[int32]*vnet.Listener
+	conns     map[int32]*vnet.Conn
+}
+
+type procPhase int
+
+const (
+	phaseIdle procPhase = iota
+	phaseMQRecv
+	phaseMQSend
+	phaseSleeping
+	phaseNet
+)
+
+// Image is a loadable binary: body plus credentials.
+type Image struct {
+	Name     string
+	Body     func(api *API)
+	UID      int
+	GID      int
+	Priority int
+}
+
+// Config parameterises the kernel.
+type Config struct {
+	// Net is the board network stack; nil boards have no network. Unlike the
+	// microkernels, any process may use it (Linux DAC does not gate socket
+	// creation for unprivileged ports).
+	Net *vnet.Stack
+	// DefaultMaxMsgs bounds queue depth when mq_open does not specify;
+	// zero means 10, the Linux default.
+	DefaultMaxMsgs int
+	// MaxProcs models RLIMIT_NPROC-style process-count pressure: spawns
+	// beyond it fail with ErrAgain. Zero means 1024. Note this is a global
+	// resource limit, not a per-subject quota — a fork bomb still crowds
+	// out everyone else, which is the paper's point.
+	MaxProcs int
+}
+
+// Stats counts kernel events.
+type Stats struct {
+	MQSends    int64
+	MQReceives int64
+	DACDenied  int64
+	Kills      int64
+	Forks      int64
+}
+
+// Kernel is the monolithic kernel simulator.
+type Kernel struct {
+	m   *machine.Machine
+	cfg Config
+
+	images  map[string]Image
+	procs   map[machine.PID]*proc
+	byUnix  map[int]*proc
+	mqs     map[string]*mqueue
+	devs    map[machine.DeviceID]*devFile
+	nextPID int
+
+	stats Stats
+}
+
+var _ machine.TrapHandler = (*Kernel)(nil)
+
+// Boot installs the kernel on a board.
+func Boot(m *machine.Machine, cfg Config) *Kernel {
+	if cfg.DefaultMaxMsgs == 0 {
+		cfg.DefaultMaxMsgs = 10
+	}
+	if cfg.MaxProcs == 0 {
+		cfg.MaxProcs = 1024
+	}
+	k := &Kernel{
+		m:       m,
+		cfg:     cfg,
+		images:  make(map[string]Image),
+		procs:   make(map[machine.PID]*proc),
+		byUnix:  make(map[int]*proc),
+		mqs:     make(map[string]*mqueue),
+		devs:    make(map[machine.DeviceID]*devFile),
+		nextPID: 100,
+	}
+	m.Engine().SetHandler(k)
+	return k
+}
+
+// Stats returns a snapshot of kernel counters.
+func (k *Kernel) Stats() Stats { return k.stats }
+
+// Machine returns the underlying board.
+func (k *Kernel) Machine() *machine.Machine { return k.m }
+
+// RegisterImage adds a binary to the image registry.
+func (k *Kernel) RegisterImage(img Image) {
+	if img.Name == "" || img.Body == nil {
+		panic("linuxsim: image needs a name and a body")
+	}
+	if _, dup := k.images[img.Name]; dup {
+		panic(fmt.Sprintf("linuxsim: image %q registered twice", img.Name))
+	}
+	k.images[img.Name] = img
+}
+
+// RegisterDeviceFile creates a /dev node for a bus device.
+func (k *Kernel) RegisterDeviceFile(dev machine.DeviceID, ownerUID, ownerGID int, mode Mode) {
+	k.devs[dev] = &devFile{dev: dev, ownerUID: ownerUID, ownerGID: ownerGID, mode: mode}
+}
+
+// SpawnImage starts a registered image (the boot/loader path).
+func (k *Kernel) SpawnImage(image string) (int, error) {
+	img, ok := k.images[image]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownImage, image)
+	}
+	return k.spawn(img)
+}
+
+func (k *Kernel) spawn(img Image) (int, error) {
+	if len(k.procs) >= k.cfg.MaxProcs {
+		return 0, fmt.Errorf("%w: process limit %d reached", ErrAgain, k.cfg.MaxProcs)
+	}
+	p := &proc{
+		name:      img.Name,
+		uid:       img.UID,
+		gid:       img.GID,
+		unixPID:   k.nextPID,
+		fds:       make(map[int32]*fd),
+		listeners: make(map[int32]*vnet.Listener),
+		conns:     make(map[int32]*vnet.Conn),
+	}
+	k.nextPID++
+	body := img.Body
+	mp, err := k.m.Engine().Spawn(img.Name, img.Priority, func(ctx *machine.Context) {
+		body(&API{ctx: ctx})
+	})
+	if err != nil {
+		return 0, fmt.Errorf("linuxsim: spawning %q: %w", img.Name, err)
+	}
+	p.pid = mp.PID()
+	k.procs[p.pid] = p
+	k.byUnix[p.unixPID] = p
+	k.stats.Forks++
+	k.m.Trace().Logf("linux", "spawn %s pid=%d uid=%d", img.Name, p.unixPID, p.uid)
+	return p.unixPID, nil
+}
+
+// GrantRoot elevates a process to uid 0, modelling the paper's assumed
+// privilege-escalation exploit ("we also assume the web interface process
+// has root privilege gained through a privilege escalation exploit"). The
+// harness calls it between run slices.
+func (k *Kernel) GrantRoot(unixPID int) error {
+	p, ok := k.byUnix[unixPID]
+	if !ok {
+		return fmt.Errorf("%w: pid %d", ErrNoEnt, unixPID)
+	}
+	k.m.Trace().Logf("linux", "privilege escalation: %s (pid %d) is now root", p.name, p.unixPID)
+	p.uid = 0
+	p.gid = 0
+	return nil
+}
+
+// UIDOf reports a process's current uid.
+func (k *Kernel) UIDOf(unixPID int) (int, error) {
+	p, ok := k.byUnix[unixPID]
+	if !ok {
+		return 0, fmt.Errorf("%w: pid %d", ErrNoEnt, unixPID)
+	}
+	return p.uid, nil
+}
+
+// Alive reports whether a unix pid is live.
+func (k *Kernel) Alive(unixPID int) bool {
+	_, ok := k.byUnix[unixPID]
+	return ok
+}
+
+// PIDOf finds a live process's unix pid by image name.
+func (k *Kernel) PIDOf(name string) (int, error) {
+	for _, p := range k.procs {
+		if p.name == name {
+			return p.unixPID, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: process %q", ErrNoEnt, name)
+}
+
+// Queue inspection for experiments.
+
+// QueueDepth reports the number of queued messages, or an error if the
+// queue does not exist.
+func (k *Kernel) QueueDepth(name string) (int, error) {
+	q, ok := k.mqs[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: queue %q", ErrNoEnt, name)
+	}
+	return len(q.msgs), nil
+}
+
+// allowed implements the DAC check: root bypasses everything; otherwise the
+// owner, group, and other bit classes apply in order.
+func allowed(uid, gid int, ownerUID, ownerGID int, mode Mode, wantRead, wantWrite bool) bool {
+	if uid == 0 {
+		return true
+	}
+	var readBit, writeBit Mode
+	switch {
+	case uid == ownerUID:
+		readBit, writeBit = ModeUserRead, ModeUserWrite
+	case gid == ownerGID:
+		readBit, writeBit = ModeGroupRead, ModeGroupWrite
+	default:
+		readBit, writeBit = ModeOtherRead, ModeOtherWrite
+	}
+	if wantRead && mode&readBit == 0 {
+		return false
+	}
+	if wantWrite && mode&writeBit == 0 {
+		return false
+	}
+	return true
+}
+
+func (k *Kernel) procOf(pid machine.PID) *proc {
+	p, ok := k.procs[pid]
+	if !ok {
+		panic(fmt.Sprintf("linuxsim: trap from unknown pid %d", pid))
+	}
+	return p
+}

@@ -1,0 +1,522 @@
+package linuxsim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"mkbas/internal/machine"
+	"mkbas/internal/vnet"
+)
+
+// Trap request types.
+type (
+	mqOpenReq struct {
+		name     string
+		create   bool
+		excl     bool
+		mode     Mode
+		maxMsgs  int
+		read     bool
+		write    bool
+		nonblock bool
+	}
+	mqSendReq struct {
+		fd   int32
+		data []byte
+		prio uint32
+	}
+	mqReceiveReq struct {
+		fd int32
+	}
+	mqUnlinkReq struct {
+		name string
+	}
+	mqCloseReq struct {
+		fd int32
+	}
+	killReq struct {
+		unixPID int
+		sig     int
+	}
+	forkReq struct {
+		image string
+	}
+	getPIDReq  struct{}
+	getUIDReq  struct{}
+	sleepReq   struct{ d time.Duration }
+	devReadReq struct {
+		dev machine.DeviceID
+		reg uint32
+	}
+	devWriteReq struct {
+		dev   machine.DeviceID
+		reg   uint32
+		value uint32
+	}
+	traceReq struct{ tag, text string }
+	exitReq  struct{}
+
+	netListenReq struct{ port vnet.Port }
+	netAcceptReq struct{ listener int32 }
+	netReadReq   struct {
+		conn int32
+		max  int
+	}
+	netWriteReq struct {
+		conn int32
+		data []byte
+	}
+	netCloseReq struct{ conn int32 }
+)
+
+// Trap reply types.
+type (
+	errReply struct{ err error }
+	fdReply  struct {
+		fd  int32
+		err error
+	}
+	msgReply struct {
+		msg MQMsg
+		err error
+	}
+	intReply struct {
+		value int
+		err   error
+	}
+	u32Reply struct {
+		value uint32
+		err   error
+	}
+	handleReply struct {
+		handle int32
+		err    error
+	}
+	bytesReply struct {
+		data []byte
+		err  error
+	}
+)
+
+// HandleTrap implements machine.TrapHandler.
+func (k *Kernel) HandleTrap(pid machine.PID, req any) (any, machine.Disposition) {
+	self := k.procOf(pid)
+	switch r := req.(type) {
+	case mqOpenReq:
+		return k.doMQOpen(self, r)
+	case mqSendReq:
+		return k.doMQSend(self, r)
+	case mqReceiveReq:
+		return k.doMQReceive(self, r)
+	case mqUnlinkReq:
+		return k.doMQUnlink(self, r)
+	case mqCloseReq:
+		if _, ok := self.fds[r.fd]; !ok {
+			return errReply{err: ErrBadFD}, machine.DispositionContinue
+		}
+		delete(self.fds, r.fd)
+		return errReply{}, machine.DispositionContinue
+	case killReq:
+		return k.doKill(self, r)
+	case forkReq:
+		img, ok := k.images[r.image]
+		if !ok {
+			return intReply{err: fmt.Errorf("%w: %q", ErrUnknownImage, r.image)}, machine.DispositionContinue
+		}
+		// fork/exec inherits the caller's credentials, not the image's
+		// declared ones.
+		img.UID = self.uid
+		img.GID = self.gid
+		unixPID, err := k.spawn(img)
+		return intReply{value: unixPID, err: err}, machine.DispositionContinue
+	case getPIDReq:
+		return intReply{value: self.unixPID}, machine.DispositionContinue
+	case getUIDReq:
+		return intReply{value: self.uid}, machine.DispositionContinue
+	case sleepReq:
+		return k.doSleep(self, r)
+	case devReadReq:
+		df, ok := k.devs[r.dev]
+		if !ok {
+			return u32Reply{err: fmt.Errorf("%w: device %q", ErrNoEnt, r.dev)}, machine.DispositionContinue
+		}
+		if !allowed(self.uid, self.gid, df.ownerUID, df.ownerGID, df.mode, true, false) {
+			k.stats.DACDenied++
+			return u32Reply{err: fmt.Errorf("%w: read %q", ErrPerm, r.dev)}, machine.DispositionContinue
+		}
+		v, err := k.m.Bus().Read(r.dev, r.reg)
+		return u32Reply{value: v, err: err}, machine.DispositionContinue
+	case devWriteReq:
+		df, ok := k.devs[r.dev]
+		if !ok {
+			return errReply{err: fmt.Errorf("%w: device %q", ErrNoEnt, r.dev)}, machine.DispositionContinue
+		}
+		if !allowed(self.uid, self.gid, df.ownerUID, df.ownerGID, df.mode, false, true) {
+			k.stats.DACDenied++
+			return errReply{err: fmt.Errorf("%w: write %q", ErrPerm, r.dev)}, machine.DispositionContinue
+		}
+		return errReply{err: k.m.Bus().Write(r.dev, r.reg, r.value)}, machine.DispositionContinue
+	case traceReq:
+		k.m.Trace().Logf(r.tag, "%s", r.text)
+		return errReply{}, machine.DispositionContinue
+	case exitReq:
+		if err := k.m.Engine().Kill(pid); err != nil {
+			return errReply{err: err}, machine.DispositionContinue
+		}
+		return errReply{}, machine.DispositionContinue
+	case netListenReq:
+		return k.doNetListen(self, r)
+	case netAcceptReq:
+		return k.doNetAccept(self, r)
+	case netReadReq:
+		return k.doNetRead(self, r)
+	case netWriteReq:
+		return k.doNetWrite(self, r)
+	case netCloseReq:
+		return k.doNetClose(self, r)
+	default:
+		return errReply{err: fmt.Errorf("linuxsim: unknown trap %T", req)}, machine.DispositionContinue
+	}
+}
+
+// doMQOpen implements mq_open with O_CREAT/O_EXCL and access-mode flags.
+func (k *Kernel) doMQOpen(self *proc, r mqOpenReq) (any, machine.Disposition) {
+	q, exists := k.mqs[r.name]
+	switch {
+	case exists && r.create && r.excl:
+		return fdReply{err: fmt.Errorf("%w: queue %q", ErrExist, r.name)}, machine.DispositionContinue
+	case !exists && !r.create:
+		return fdReply{err: fmt.Errorf("%w: queue %q", ErrNoEnt, r.name)}, machine.DispositionContinue
+	case !exists:
+		maxMsgs := r.maxMsgs
+		if maxMsgs <= 0 {
+			maxMsgs = k.cfg.DefaultMaxMsgs
+		}
+		q = &mqueue{
+			name:     r.name,
+			ownerUID: self.uid,
+			ownerGID: self.gid,
+			mode:     r.mode,
+			maxMsgs:  maxMsgs,
+		}
+		k.mqs[r.name] = q
+	}
+	if !allowed(self.uid, self.gid, q.ownerUID, q.ownerGID, q.mode, r.read, r.write) {
+		k.stats.DACDenied++
+		k.m.Trace().Logf("linux-dac", "DENY mq_open %s by %s (uid %d)", r.name, self.name, self.uid)
+		return fdReply{err: fmt.Errorf("%w: queue %q", ErrPerm, r.name)}, machine.DispositionContinue
+	}
+	self.nextFD++
+	handle := self.nextFD
+	self.fds[handle] = &fd{q: q, canRead: r.read, canWrite: r.write, nonblock: r.nonblock}
+	return fdReply{fd: handle}, machine.DispositionContinue
+}
+
+// doMQSend implements mq_send: insert by priority, block when full.
+func (k *Kernel) doMQSend(self *proc, r mqSendReq) (any, machine.Disposition) {
+	f, ok := self.fds[r.fd]
+	if !ok || !f.canWrite {
+		return errReply{err: ErrBadFD}, machine.DispositionContinue
+	}
+	msg := MQMsg{Data: append([]byte(nil), r.data...), Prio: r.prio}
+	q := f.q
+	// A blocked reader consumes the message directly.
+	if reader := k.popReader(q); reader != nil {
+		k.stats.MQSends++
+		k.stats.MQReceives++
+		reader.phase = phaseIdle
+		k.mustReady(reader.pid, msgReply{msg: msg})
+		return errReply{}, machine.DispositionContinue
+	}
+	if len(q.msgs) >= q.maxMsgs {
+		if f.nonblock {
+			return errReply{err: ErrAgain}, machine.DispositionContinue
+		}
+		self.phase = phaseMQSend
+		q.writers = append(q.writers, blockedWriter{pid: self.pid, msg: msg})
+		return nil, machine.DispositionBlock
+	}
+	k.stats.MQSends++
+	insertByPrio(q, msg)
+	return errReply{}, machine.DispositionContinue
+}
+
+// doMQReceive implements mq_receive: highest priority first, block when
+// empty.
+func (k *Kernel) doMQReceive(self *proc, r mqReceiveReq) (any, machine.Disposition) {
+	f, ok := self.fds[r.fd]
+	if !ok || !f.canRead {
+		return msgReply{err: ErrBadFD}, machine.DispositionContinue
+	}
+	q := f.q
+	if len(q.msgs) > 0 {
+		msg := q.msgs[0]
+		q.msgs = q.msgs[1:]
+		k.stats.MQReceives++
+		// Unblock one writer into the freed slot.
+		if w := k.popWriter(q); w != nil {
+			insertByPrio(q, w.msg)
+			k.stats.MQSends++
+			wp := k.procs[w.pid]
+			wp.phase = phaseIdle
+			k.mustReady(w.pid, errReply{})
+		}
+		return msgReply{msg: msg}, machine.DispositionContinue
+	}
+	if f.nonblock {
+		return msgReply{err: ErrAgain}, machine.DispositionContinue
+	}
+	self.phase = phaseMQRecv
+	q.readers = append(q.readers, self.pid)
+	return nil, machine.DispositionBlock
+}
+
+// doMQUnlink implements mq_unlink: owner or root only.
+func (k *Kernel) doMQUnlink(self *proc, r mqUnlinkReq) (any, machine.Disposition) {
+	q, ok := k.mqs[r.name]
+	if !ok {
+		return errReply{err: fmt.Errorf("%w: queue %q", ErrNoEnt, r.name)}, machine.DispositionContinue
+	}
+	if self.uid != 0 && self.uid != q.ownerUID {
+		k.stats.DACDenied++
+		return errReply{err: fmt.Errorf("%w: unlink %q", ErrPerm, r.name)}, machine.DispositionContinue
+	}
+	delete(k.mqs, r.name)
+	// Blocked parties get ENOENT, like a destroyed queue.
+	for _, pid := range q.readers {
+		if p := k.procs[pid]; p != nil && p.phase == phaseMQRecv {
+			p.phase = phaseIdle
+			k.mustReady(pid, msgReply{err: fmt.Errorf("%w: queue %q unlinked", ErrNoEnt, r.name)})
+		}
+	}
+	for _, w := range q.writers {
+		if p := k.procs[w.pid]; p != nil && p.phase == phaseMQSend {
+			p.phase = phaseIdle
+			k.mustReady(w.pid, errReply{err: fmt.Errorf("%w: queue %q unlinked", ErrNoEnt, r.name)})
+		}
+	}
+	q.readers, q.writers = nil, nil
+	return errReply{}, machine.DispositionContinue
+}
+
+// doKill implements kill(2): same-uid or root.
+func (k *Kernel) doKill(self *proc, r killReq) (any, machine.Disposition) {
+	victim, ok := k.byUnix[r.unixPID]
+	if !ok {
+		return errReply{err: fmt.Errorf("%w: pid %d", ErrNoEnt, r.unixPID)}, machine.DispositionContinue
+	}
+	if self.uid != 0 && self.uid != victim.uid {
+		k.stats.DACDenied++
+		k.m.Trace().Logf("linux-dac", "DENY kill %d by %s (uid %d)", r.unixPID, self.name, self.uid)
+		return errReply{err: fmt.Errorf("%w: kill %d", ErrPerm, r.unixPID)}, machine.DispositionContinue
+	}
+	if r.sig != SIGKILL && r.sig != SIGTERM {
+		// Non-terminating signals are absorbed.
+		return errReply{}, machine.DispositionContinue
+	}
+	k.stats.Kills++
+	k.m.Trace().Logf("linux", "kill %s (pid %d) by %s sig=%d", victim.name, victim.unixPID, self.name, r.sig)
+	if err := k.m.Engine().Kill(victim.pid); err != nil {
+		return errReply{err: err}, machine.DispositionContinue
+	}
+	return errReply{}, machine.DispositionContinue
+}
+
+func (k *Kernel) doSleep(self *proc, r sleepReq) (any, machine.Disposition) {
+	self.phase = phaseSleeping
+	self.waitToken++
+	token := self.waitToken
+	pid := self.pid
+	k.m.Clock().After(r.d, func() {
+		p := k.procs[pid]
+		if p != self || p.waitToken != token || p.phase != phaseSleeping {
+			return
+		}
+		p.phase = phaseIdle
+		k.mustReady(pid, errReply{})
+	})
+	return nil, machine.DispositionBlock
+}
+
+// popReader dequeues the next still-blocked reader.
+func (k *Kernel) popReader(q *mqueue) *proc {
+	for len(q.readers) > 0 {
+		pid := q.readers[0]
+		q.readers = q.readers[1:]
+		if p := k.procs[pid]; p != nil && p.phase == phaseMQRecv {
+			return p
+		}
+	}
+	return nil
+}
+
+// popWriter dequeues the next still-blocked writer.
+func (k *Kernel) popWriter(q *mqueue) *blockedWriter {
+	for len(q.writers) > 0 {
+		w := q.writers[0]
+		q.writers = q.writers[1:]
+		if p := k.procs[w.pid]; p != nil && p.phase == phaseMQSend {
+			return &w
+		}
+	}
+	return nil
+}
+
+// insertByPrio inserts keeping the queue sorted by descending priority,
+// FIFO within a priority (POSIX semantics).
+func insertByPrio(q *mqueue, msg MQMsg) {
+	i := len(q.msgs)
+	for i > 0 && q.msgs[i-1].Prio < msg.Prio {
+		i--
+	}
+	q.msgs = append(q.msgs, MQMsg{})
+	copy(q.msgs[i+1:], q.msgs[i:])
+	q.msgs[i] = msg
+}
+
+// OnProcExit implements machine.TrapHandler.
+func (k *Kernel) OnProcExit(pid machine.PID, info machine.ExitInfo) {
+	p, ok := k.procs[pid]
+	if !ok {
+		return
+	}
+	if info.Crashed {
+		k.m.Trace().Logf("linux", "SEGFAULT %s: %v", p.name, info.PanicValue)
+	}
+	delete(k.procs, pid)
+	delete(k.byUnix, p.unixPID)
+	p.waitToken++
+	// Drop the dead process from queue wait lists.
+	for _, q := range k.mqs {
+		for i, rp := range q.readers {
+			if rp == pid {
+				q.readers = append(q.readers[:i:i], q.readers[i+1:]...)
+				break
+			}
+		}
+		for i, w := range q.writers {
+			if w.pid == pid {
+				q.writers = append(q.writers[:i:i], q.writers[i+1:]...)
+				break
+			}
+		}
+	}
+	if k.cfg.Net != nil {
+		for _, l := range p.listeners {
+			k.cfg.Net.CloseListener(l)
+		}
+		for _, c := range p.conns {
+			k.cfg.Net.BoardClose(c)
+		}
+	}
+}
+
+func (k *Kernel) mustReady(pid machine.PID, reply any) {
+	if err := k.m.Engine().Ready(pid, reply); err != nil {
+		panic(fmt.Sprintf("linuxsim: Ready(%d): %v", pid, err))
+	}
+}
+
+// --- Network ----------------------------------------------------------------
+
+func (k *Kernel) doNetListen(self *proc, r netListenReq) (any, machine.Disposition) {
+	if k.cfg.Net == nil {
+		return handleReply{err: fmt.Errorf("%w: no network", ErrNoEnt)}, machine.DispositionContinue
+	}
+	l, err := k.cfg.Net.Listen(r.port)
+	if err != nil {
+		return handleReply{err: err}, machine.DispositionContinue
+	}
+	self.nextFD++
+	h := self.nextFD
+	self.listeners[h] = l
+	return handleReply{handle: h}, machine.DispositionContinue
+}
+
+func (k *Kernel) doNetAccept(self *proc, r netAcceptReq) (any, machine.Disposition) {
+	l, ok := self.listeners[r.listener]
+	if !ok {
+		return handleReply{err: ErrBadFD}, machine.DispositionContinue
+	}
+	conn, err := k.cfg.Net.Accept(l)
+	switch {
+	case err == nil:
+		self.nextFD++
+		h := self.nextFD
+		self.conns[h] = conn
+		return handleReply{handle: h}, machine.DispositionContinue
+	case errors.Is(err, vnet.ErrWouldBlock):
+		self.phase = phaseNet
+		self.waitToken++
+		token := self.waitToken
+		pid := self.pid
+		k.cfg.Net.WaitConn(l, func() {
+			p := k.procs[pid]
+			if p != self || p.waitToken != token || p.phase != phaseNet {
+				return
+			}
+			p.phase = phaseIdle
+			conn, acceptErr := k.cfg.Net.Accept(l)
+			if acceptErr != nil {
+				k.mustReady(pid, handleReply{err: acceptErr})
+				return
+			}
+			p.nextFD++
+			h := p.nextFD
+			p.conns[h] = conn
+			k.mustReady(pid, handleReply{handle: h})
+		})
+		return nil, machine.DispositionBlock
+	default:
+		return handleReply{err: err}, machine.DispositionContinue
+	}
+}
+
+func (k *Kernel) doNetRead(self *proc, r netReadReq) (any, machine.Disposition) {
+	conn, ok := self.conns[r.conn]
+	if !ok {
+		return bytesReply{err: ErrBadFD}, machine.DispositionContinue
+	}
+	data, err := k.cfg.Net.BoardRead(conn, r.max)
+	switch {
+	case err == nil:
+		return bytesReply{data: data}, machine.DispositionContinue
+	case errors.Is(err, vnet.ErrWouldBlock):
+		self.phase = phaseNet
+		self.waitToken++
+		token := self.waitToken
+		pid := self.pid
+		maxBytes := r.max
+		k.cfg.Net.WaitReadable(conn, func() {
+			p := k.procs[pid]
+			if p != self || p.waitToken != token || p.phase != phaseNet {
+				return
+			}
+			p.phase = phaseIdle
+			data, readErr := k.cfg.Net.BoardRead(conn, maxBytes)
+			k.mustReady(pid, bytesReply{data: data, err: readErr})
+		})
+		return nil, machine.DispositionBlock
+	default:
+		return bytesReply{err: err}, machine.DispositionContinue
+	}
+}
+
+func (k *Kernel) doNetWrite(self *proc, r netWriteReq) (any, machine.Disposition) {
+	conn, ok := self.conns[r.conn]
+	if !ok {
+		return errReply{err: ErrBadFD}, machine.DispositionContinue
+	}
+	return errReply{err: k.cfg.Net.BoardWrite(conn, r.data)}, machine.DispositionContinue
+}
+
+func (k *Kernel) doNetClose(self *proc, r netCloseReq) (any, machine.Disposition) {
+	conn, ok := self.conns[r.conn]
+	if !ok {
+		return errReply{err: ErrBadFD}, machine.DispositionContinue
+	}
+	delete(self.conns, r.conn)
+	k.cfg.Net.BoardClose(conn)
+	return errReply{}, machine.DispositionContinue
+}

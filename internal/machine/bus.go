@@ -1,0 +1,94 @@
+package machine
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DeviceID addresses one device on the board bus.
+type DeviceID string
+
+// Device is simulated memory-mapped hardware. Register semantics are device
+// specific; drivers and devices agree on a register map out of band, exactly
+// as real drivers do with a datasheet.
+type Device interface {
+	// ReadReg returns the current value of a register.
+	ReadReg(reg uint32) uint32
+	// WriteReg stores a value into a register.
+	WriteReg(reg uint32, value uint32)
+}
+
+// Bus connects drivers to devices. Kernels decide which processes may touch
+// the bus: on the microkernels only the driver processes are handed access,
+// on the monolithic kernel the kernel itself mediates.
+type Bus struct {
+	devices map[DeviceID]Device
+
+	// Accounting of programmed I/O operations, per device.
+	reads  map[DeviceID]int64
+	writes map[DeviceID]int64
+}
+
+// NewBus returns an empty bus.
+func NewBus() *Bus {
+	return &Bus{
+		devices: make(map[DeviceID]Device),
+		reads:   make(map[DeviceID]int64),
+		writes:  make(map[DeviceID]int64),
+	}
+}
+
+// Attach plugs a device into the bus. Attaching a duplicate ID panics: board
+// layout is fixed at construction time.
+func (b *Bus) Attach(id DeviceID, dev Device) {
+	if dev == nil {
+		panic("machine: Bus.Attach with nil device")
+	}
+	if _, dup := b.devices[id]; dup {
+		panic(fmt.Sprintf("machine: device %q already attached", id))
+	}
+	b.devices[id] = dev
+}
+
+// Devices lists attached device IDs in stable order.
+func (b *Bus) Devices() []DeviceID {
+	ids := make([]DeviceID, 0, len(b.devices))
+	for id := range b.devices {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// ErrNoDevice reports access to an unattached device.
+type ErrNoDevice struct{ ID DeviceID }
+
+func (e *ErrNoDevice) Error() string {
+	return fmt.Sprintf("machine: no device %q on bus", e.ID)
+}
+
+// Read performs a programmed-I/O read of one device register.
+func (b *Bus) Read(id DeviceID, reg uint32) (uint32, error) {
+	dev, ok := b.devices[id]
+	if !ok {
+		return 0, &ErrNoDevice{ID: id}
+	}
+	b.reads[id]++
+	return dev.ReadReg(reg), nil
+}
+
+// Write performs a programmed-I/O write of one device register.
+func (b *Bus) Write(id DeviceID, reg uint32, value uint32) error {
+	dev, ok := b.devices[id]
+	if !ok {
+		return &ErrNoDevice{ID: id}
+	}
+	b.writes[id]++
+	dev.WriteReg(reg, value)
+	return nil
+}
+
+// IOCount returns the number of reads and writes issued to a device.
+func (b *Bus) IOCount(id DeviceID) (reads, writes int64) {
+	return b.reads[id], b.writes[id]
+}

@@ -1,0 +1,156 @@
+package machine
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is an instant of virtual time, in nanoseconds since boot.
+//
+// Virtual time is entirely decoupled from wall-clock time: it advances only
+// when the Engine charges cycle costs or fast-forwards an idle board to the
+// next timer. This makes every simulation deterministic.
+type Time int64
+
+// Add returns the instant d after t.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration elapsed from u to t.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// Duration converts the instant to the duration elapsed since boot.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// String formats the instant as a duration since boot, e.g. "2m30s".
+func (t Time) String() string { return time.Duration(t).String() }
+
+// timer is a pending callback on the virtual clock.
+type timer struct {
+	at  Time
+	seq uint64 // tie-breaker so equal deadlines fire in scheduling order
+	fn  func()
+
+	canceled bool
+}
+
+// TimerID identifies a scheduled callback so it can be canceled.
+type TimerID struct{ t *timer }
+
+// timerHeap orders timers by (deadline, sequence).
+type timerHeap []*timer
+
+func (h timerHeap) Len() int { return len(h) }
+
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h timerHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *timerHeap) Push(x any) { *h = append(*h, x.(*timer)) }
+
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}
+
+// Clock is the virtual time source for one board.
+//
+// All methods must be called from the engine loop (or while the engine is
+// parked between Run calls); the Clock is intentionally not safe for
+// concurrent use, because concurrency would destroy determinism.
+type Clock struct {
+	now    Time
+	seq    uint64
+	timers timerHeap
+}
+
+// NewClock returns a clock at instant zero with no pending timers.
+func NewClock() *Clock { return &Clock{} }
+
+// Now returns the current virtual instant.
+func (c *Clock) Now() Time { return c.now }
+
+// At schedules fn to run at instant at. Deadlines in the past fire at the
+// next opportunity. Timers with equal deadlines fire in scheduling order.
+func (c *Clock) At(at Time, fn func()) TimerID {
+	if fn == nil {
+		panic("machine: Clock.At with nil callback")
+	}
+	t := &timer{at: at, seq: c.seq, fn: fn}
+	c.seq++
+	heap.Push(&c.timers, t)
+	return TimerID{t: t}
+}
+
+// After schedules fn to run d after the current instant.
+func (c *Clock) After(d time.Duration, fn func()) TimerID {
+	return c.At(c.now.Add(d), fn)
+}
+
+// Cancel prevents a scheduled callback from firing. Canceling an already
+// fired or already canceled timer is a no-op.
+func (c *Clock) Cancel(id TimerID) {
+	if id.t != nil {
+		id.t.canceled = true
+	}
+}
+
+// PendingTimers reports the number of live (not canceled) timers.
+func (c *Clock) PendingTimers() int {
+	n := 0
+	for _, t := range c.timers {
+		if !t.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// nextDeadline returns the earliest live timer deadline, or ok=false if none.
+func (c *Clock) nextDeadline() (Time, bool) {
+	for len(c.timers) > 0 {
+		if c.timers[0].canceled {
+			heap.Pop(&c.timers)
+			continue
+		}
+		return c.timers[0].at, true
+	}
+	return 0, false
+}
+
+// advance moves the clock forward to instant at without firing timers; the
+// engine fires due timers itself so that firing interleaves deterministically
+// with scheduling. Moving backwards is a programming error.
+func (c *Clock) advance(at Time) {
+	if at < c.now {
+		panic(fmt.Sprintf("machine: clock moving backwards: %v -> %v", c.now, at))
+	}
+	c.now = at
+}
+
+// popDue removes and returns the earliest live timer due at or before the
+// current instant, or nil if none are due.
+func (c *Clock) popDue() *timer {
+	for len(c.timers) > 0 {
+		top := c.timers[0]
+		if top.canceled {
+			heap.Pop(&c.timers)
+			continue
+		}
+		if top.at > c.now {
+			return nil
+		}
+		heap.Pop(&c.timers)
+		return top
+	}
+	return nil
+}

@@ -1,0 +1,461 @@
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Disposition tells the engine what to do with a process after its trap has
+// been handled.
+type Disposition int
+
+const (
+	// DispositionContinue delivers the reply and returns the process to the
+	// ready queue.
+	DispositionContinue Disposition = iota + 1
+	// DispositionBlock parks the process; the kernel must later wake it with
+	// Engine.Ready (typically from another process's trap or a timer).
+	DispositionBlock
+)
+
+// TrapHandler is the kernel personality of a board. Exactly one handler is
+// attached to an Engine; it receives every trap and every process exit.
+//
+// Handlers run on the engine goroutine and may call back into the engine
+// (Spawn, Ready, Kill, clock scheduling) synchronously. A handler that kills
+// the trapping process during HandleTrap may return any disposition; the
+// engine notices the death and discards the reply.
+type TrapHandler interface {
+	// HandleTrap processes one system call from process pid.
+	HandleTrap(pid PID, req any) (reply any, disposition Disposition)
+	// OnProcExit is invoked after a process dies for any reason (return,
+	// crash, kill). It runs before the next dispatch, so kernels can clean up
+	// or restart drivers (reincarnation) deterministically.
+	OnProcExit(pid PID, info ExitInfo)
+}
+
+// StopReason explains why Engine.Run returned.
+type StopReason int
+
+const (
+	// StopDeadline means virtual time reached the requested horizon.
+	StopDeadline StopReason = iota + 1
+	// StopAllExited means no live processes remain.
+	StopAllExited
+	// StopIdle means live processes exist but all are blocked and no timers
+	// are pending: the board is deadlocked.
+	StopIdle
+)
+
+// String returns a short description of the stop reason.
+func (r StopReason) String() string {
+	switch r {
+	case StopDeadline:
+		return "deadline"
+	case StopAllExited:
+		return "all-exited"
+	case StopIdle:
+		return "idle-deadlock"
+	default:
+		return fmt.Sprintf("StopReason(%d)", int(r))
+	}
+}
+
+// RunResult summarises one Engine.Run call.
+type RunResult struct {
+	Reason StopReason
+	Now    Time
+}
+
+// Costs models the virtual-time price of kernel entry and context switching.
+// These drive the E4 overhead experiments: a microkernel IPC round trip pays
+// several traps and switches, a monolithic syscall pays one.
+type Costs struct {
+	// Trap is charged on every kernel entry.
+	Trap time.Duration
+	// Switch is charged whenever a different process is dispatched than the
+	// one that ran last.
+	Switch time.Duration
+}
+
+// DefaultCosts approximate an ARM Cortex-A8 class controller: half a
+// microsecond per kernel entry, one microsecond per context switch.
+func DefaultCosts() Costs {
+	return Costs{Trap: 500 * time.Nanosecond, Switch: time.Microsecond}
+}
+
+// Stats aggregates board-level accounting.
+type Stats struct {
+	Traps           int64
+	ContextSwitches int64
+	Spawns          int64
+	Exits           int64
+	KernelTime      time.Duration
+}
+
+// numPriorities bounds process priority levels; 0 is most urgent.
+const numPriorities = 16
+
+// Engine schedules simulated processes over a virtual clock and routes their
+// traps to the attached kernel. It is single-threaded: all engine, clock, and
+// kernel state is touched only from the goroutine that calls Run.
+type Engine struct {
+	clock   *Clock
+	handler TrapHandler
+	costs   Costs
+
+	procs   map[PID]*Proc
+	ready   [numPriorities][]PID
+	nextPID PID
+	live    int
+
+	// current is the PID whose trap is being handled; lastRun drives
+	// context-switch accounting.
+	current PID
+	lastRun PID
+
+	trapCh chan trapMsg
+
+	stats    Stats
+	shutdown bool
+}
+
+// NewEngine creates an engine over clock. The handler must be attached with
+// SetHandler before the first Spawn.
+func NewEngine(clock *Clock, costs Costs) *Engine {
+	return &Engine{
+		clock:   clock,
+		costs:   costs,
+		procs:   make(map[PID]*Proc),
+		trapCh:  make(chan trapMsg),
+		nextPID: 1,
+	}
+}
+
+// SetHandler attaches the kernel personality. It must be called exactly once,
+// before any process is spawned.
+func (e *Engine) SetHandler(h TrapHandler) {
+	if e.handler != nil {
+		panic("machine: SetHandler called twice")
+	}
+	if h == nil {
+		panic("machine: SetHandler with nil handler")
+	}
+	e.handler = h
+}
+
+// Clock returns the board clock.
+func (e *Engine) Clock() *Clock { return e.clock }
+
+// Stats returns a snapshot of the accounting counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Proc returns the process control block for pid, or nil if it never existed.
+func (e *Engine) Proc(pid PID) *Proc { return e.procs[pid] }
+
+// Current returns the PID whose trap is being handled, or NoPID outside
+// dispatch.
+func (e *Engine) Current() PID { return e.current }
+
+// LiveCount reports the number of processes that have not exited.
+func (e *Engine) LiveCount() int { return e.live }
+
+// Procs returns all process control blocks, live and dead, in PID order.
+func (e *Engine) Procs() []*Proc {
+	out := make([]*Proc, 0, len(e.procs))
+	for pid := PID(1); pid < e.nextPID; pid++ {
+		if p, ok := e.procs[pid]; ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Engine errors.
+var (
+	ErrNoSuchProc  = errors.New("machine: no such process")
+	ErrProcDead    = errors.New("machine: process is dead")
+	ErrNotBlocked  = errors.New("machine: process not blocked")
+	ErrShutDown    = errors.New("machine: engine shut down")
+	ErrBadPriority = errors.New("machine: priority out of range")
+)
+
+// Spawn creates a process and enqueues it for its first dispatch. It is
+// callable both before Run and from kernel code during a run.
+func (e *Engine) Spawn(name string, prio int, body func(ctx *Context)) (*Proc, error) {
+	if e.handler == nil {
+		panic("machine: Spawn before SetHandler")
+	}
+	if e.shutdown {
+		return nil, ErrShutDown
+	}
+	if prio < 0 || prio >= numPriorities {
+		return nil, fmt.Errorf("%w: %d", ErrBadPriority, prio)
+	}
+	if body == nil {
+		panic("machine: Spawn with nil body")
+	}
+	p := &Proc{
+		pid:    e.nextPID,
+		name:   name,
+		prio:   prio,
+		state:  StateNew,
+		engine: e,
+		body:   body,
+		resume: make(chan any),
+		done:   make(chan struct{}),
+	}
+	e.nextPID++
+	e.procs[p.pid] = p
+	e.live++
+	e.stats.Spawns++
+	e.enqueue(p)
+	go runBody(p)
+	return p, nil
+}
+
+// runBody hosts one process goroutine: it waits for the first dispatch, runs
+// the body, and reports the exit to the engine. A kill sentinel received at
+// any parking point unwinds the goroutine without reporting (the engine is
+// synchronously waiting on done in that case).
+func runBody(p *Proc) {
+	defer close(p.done)
+
+	first := <-p.resume
+	if _, killed := first.(killSentinel); killed {
+		return
+	}
+
+	var (
+		crashed bool
+		killed  bool
+		pv      any
+	)
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				return
+			}
+			if _, isKill := r.(killSentinel); isKill {
+				killed = true
+				return
+			}
+			crashed = true
+			pv = r
+		}()
+		p.body(&Context{proc: p})
+	}()
+	if killed {
+		return
+	}
+	p.engine.trapCh <- trapMsg{pid: p.pid, req: bodyExit{crashed: crashed, panicValue: pv}}
+}
+
+// Ready wakes a blocked process, delivering reply as the return value of the
+// Trap call it is parked in. Kernels call this from timers or from other
+// processes' traps. Waking the currently running process is a programming
+// error: return DispositionContinue instead.
+func (e *Engine) Ready(pid PID, reply any) error {
+	p, ok := e.procs[pid]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoSuchProc, pid)
+	}
+	switch p.state {
+	case StateBlocked:
+		p.pendingReply = reply
+		p.state = StateReady
+		e.enqueue(p)
+		return nil
+	case StateDead:
+		return fmt.Errorf("%w: %d", ErrProcDead, pid)
+	default:
+		return fmt.Errorf("%w: %d is %v", ErrNotBlocked, pid, p.state)
+	}
+}
+
+// Kill destroys a process in any live state, including the process whose trap
+// is currently being handled. The victim's goroutine is fully unwound before
+// Kill returns, and the kernel's OnProcExit hook fires with Killed set.
+func (e *Engine) Kill(pid PID) error {
+	p, ok := e.procs[pid]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoSuchProc, pid)
+	}
+	if p.state == StateDead {
+		return fmt.Errorf("%w: %d", ErrProcDead, pid)
+	}
+	// Every live process that is not running is parked on its resume channel
+	// (New: awaiting first dispatch; Ready: awaiting reply delivery; Blocked:
+	// awaiting wake-up). The currently running process is also parked there,
+	// because the engine handles its trap before replying. So the sentinel
+	// handoff below cannot block.
+	p.state = StateDead
+	e.dequeue(p)
+	p.resume <- killSentinel{}
+	<-p.done
+	e.live--
+	e.stats.Exits++
+	e.handler.OnProcExit(pid, ExitInfo{Killed: true})
+	return nil
+}
+
+// Run executes the board until virtual time reaches until, all processes
+// exit, or the board deadlocks. It may be called repeatedly to run a
+// simulation in slices; all state is preserved between calls.
+func (e *Engine) Run(until Time) RunResult {
+	if e.handler == nil {
+		panic("machine: Run before SetHandler")
+	}
+	if e.shutdown {
+		return RunResult{Reason: StopAllExited, Now: e.clock.Now()}
+	}
+	for {
+		e.fireDueTimers()
+		if e.clock.Now() >= until {
+			return RunResult{Reason: StopDeadline, Now: e.clock.Now()}
+		}
+		p := e.nextReady()
+		if p == nil {
+			dl, ok := e.clock.nextDeadline()
+			switch {
+			case ok && dl <= until:
+				e.clock.advance(dl)
+				continue
+			case ok:
+				e.clock.advance(until)
+				return RunResult{Reason: StopDeadline, Now: e.clock.Now()}
+			case e.live == 0:
+				return RunResult{Reason: StopAllExited, Now: e.clock.Now()}
+			default:
+				return RunResult{Reason: StopIdle, Now: e.clock.Now()}
+			}
+		}
+		e.dispatch(p)
+	}
+}
+
+// Shutdown kills every live process so no goroutines outlive the simulation.
+// The engine is unusable afterwards.
+func (e *Engine) Shutdown() {
+	for pid := PID(1); pid < e.nextPID; pid++ {
+		p, ok := e.procs[pid]
+		if !ok || p.state == StateDead {
+			continue
+		}
+		p.state = StateDead
+		e.dequeue(p)
+		p.resume <- killSentinel{}
+		<-p.done
+		e.live--
+	}
+	e.shutdown = true
+}
+
+// fireDueTimers runs every timer whose deadline has passed, in deterministic
+// order. Timer callbacks may schedule more timers and wake processes.
+func (e *Engine) fireDueTimers() {
+	for {
+		t := e.clock.popDue()
+		if t == nil {
+			return
+		}
+		t.fn()
+	}
+}
+
+// dispatch hands the CPU to p, waits for its next trap, and routes it to the
+// kernel.
+func (e *Engine) dispatch(p *Proc) {
+	if e.lastRun != p.pid {
+		e.stats.ContextSwitches++
+		p.switches++
+		e.charge(e.costs.Switch)
+	}
+	e.lastRun = p.pid
+	p.state = StateRunning
+	e.current = p.pid
+
+	reply := p.pendingReply
+	p.pendingReply = nil
+	p.resume <- reply
+
+	msg := <-e.trapCh
+	if msg.pid != p.pid {
+		panic(fmt.Sprintf("machine: trap from %d while %d running", msg.pid, p.pid))
+	}
+	e.stats.Traps++
+	p.traps++
+	e.charge(e.costs.Trap)
+
+	if exit, isExit := msg.req.(bodyExit); isExit {
+		p.state = StateDead
+		e.live--
+		e.stats.Exits++
+		e.current = NoPID
+		e.handler.OnProcExit(p.pid, ExitInfo{Crashed: exit.crashed, PanicValue: exit.panicValue})
+		return
+	}
+
+	kernelReply, disposition := e.handler.HandleTrap(p.pid, msg.req)
+	e.current = NoPID
+	if p.state == StateDead {
+		// The kernel killed the trapping process while handling its trap;
+		// the goroutine is already unwound.
+		return
+	}
+	switch disposition {
+	case DispositionContinue:
+		p.pendingReply = kernelReply
+		p.state = StateReady
+		e.enqueue(p)
+	case DispositionBlock:
+		p.state = StateBlocked
+	default:
+		panic(fmt.Sprintf("machine: invalid disposition %d", disposition))
+	}
+}
+
+// charge advances virtual time by a kernel cost.
+func (e *Engine) charge(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	e.stats.KernelTime += d
+	e.clock.advance(e.clock.Now().Add(d))
+}
+
+// enqueue appends p to its priority's FIFO ready queue.
+func (e *Engine) enqueue(p *Proc) {
+	e.ready[p.prio] = append(e.ready[p.prio], p.pid)
+}
+
+// dequeue removes p from its ready queue, if present.
+func (e *Engine) dequeue(p *Proc) {
+	q := e.ready[p.prio]
+	for i, pid := range q {
+		if pid == p.pid {
+			e.ready[p.prio] = append(q[:i:i], q[i+1:]...)
+			return
+		}
+	}
+}
+
+// nextReady pops the next runnable process: highest priority first, FIFO
+// within a priority.
+func (e *Engine) nextReady() *Proc {
+	for prio := 0; prio < numPriorities; prio++ {
+		q := e.ready[prio]
+		for len(q) > 0 {
+			pid := q[0]
+			q = q[1:]
+			e.ready[prio] = q
+			p := e.procs[pid]
+			if p != nil && (p.state == StateReady || p.state == StateNew) {
+				return p
+			}
+		}
+	}
+	return nil
+}

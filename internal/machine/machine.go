@@ -1,0 +1,143 @@
+package machine
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+)
+
+// Config parameterises a board.
+type Config struct {
+	// Costs is the kernel-entry/context-switch cost model; zero value means
+	// DefaultCosts.
+	Costs Costs
+	// Seed drives the board's deterministic randomness source (sensor noise
+	// etc.). The zero seed is replaced with 1 so that the zero Config is
+	// usable.
+	Seed int64
+	// TraceCapacity bounds the console ring buffer; zero means 4096 lines.
+	TraceCapacity int
+}
+
+// Machine is one virtual controller board: engine + clock + bus + trace
+// console + deterministic randomness.
+type Machine struct {
+	clock  *Clock
+	engine *Engine
+	bus    *Bus
+	trace  *Trace
+	rng    *rand.Rand
+}
+
+// New assembles a board from cfg.
+func New(cfg Config) *Machine {
+	costs := cfg.Costs
+	if costs == (Costs{}) {
+		costs = DefaultCosts()
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	clock := NewClock()
+	m := &Machine{
+		clock:  clock,
+		engine: NewEngine(clock, costs),
+		bus:    NewBus(),
+		trace:  NewTrace(clock, cfg.TraceCapacity),
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+	return m
+}
+
+// Clock returns the board clock.
+func (m *Machine) Clock() *Clock { return m.clock }
+
+// Engine returns the scheduler engine.
+func (m *Machine) Engine() *Engine { return m.engine }
+
+// Bus returns the device bus.
+func (m *Machine) Bus() *Bus { return m.bus }
+
+// Trace returns the board trace console.
+func (m *Machine) Trace() *Trace { return m.trace }
+
+// Rand returns the board's deterministic randomness source.
+func (m *Machine) Rand() *rand.Rand { return m.rng }
+
+// Run drives the engine for a virtual duration from the current instant.
+func (m *Machine) Run(d time.Duration) RunResult {
+	return m.engine.Run(m.clock.Now().Add(d))
+}
+
+// Shutdown tears down all process goroutines.
+func (m *Machine) Shutdown() { m.engine.Shutdown() }
+
+// TraceLine is one timestamped console line.
+type TraceLine struct {
+	At   Time
+	Tag  string
+	Text string
+}
+
+// String renders the line as "[12.5s] tag: text".
+func (l TraceLine) String() string {
+	return fmt.Sprintf("[%s] %s: %s", l.At, l.Tag, l.Text)
+}
+
+// Trace is a bounded, timestamped console log. Kernels and applications use
+// it for the experiment traces printed by cmd/bascontrol; tests assert on it.
+type Trace struct {
+	clock *Clock
+	cap   int
+	lines []TraceLine
+}
+
+// NewTrace creates a trace console; capacity <= 0 means 4096 lines.
+func NewTrace(clock *Clock, capacity int) *Trace {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Trace{clock: clock, cap: capacity}
+}
+
+// Logf appends a formatted line under tag. When the buffer is full the
+// oldest line is dropped.
+func (t *Trace) Logf(tag, format string, args ...any) {
+	line := TraceLine{At: t.clock.Now(), Tag: tag, Text: fmt.Sprintf(format, args...)}
+	if len(t.lines) == t.cap {
+		copy(t.lines, t.lines[1:])
+		t.lines[len(t.lines)-1] = line
+		return
+	}
+	t.lines = append(t.lines, line)
+}
+
+// Lines returns a copy of the buffered lines, oldest first.
+func (t *Trace) Lines() []TraceLine {
+	out := make([]TraceLine, len(t.lines))
+	copy(out, t.lines)
+	return out
+}
+
+// Grep returns the lines whose tag or text contains substr.
+func (t *Trace) Grep(substr string) []TraceLine {
+	var out []TraceLine
+	for _, l := range t.lines {
+		if strings.Contains(l.Tag, substr) || strings.Contains(l.Text, substr) {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// String renders the whole trace, one line per entry.
+func (t *Trace) String() string {
+	var b strings.Builder
+	for _, l := range t.lines {
+		b.WriteString(l.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

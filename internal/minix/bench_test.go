@@ -1,0 +1,69 @@
+package minix
+
+import (
+	"testing"
+	"time"
+
+	"mkbas/internal/core"
+	"mkbas/internal/machine"
+)
+
+func BenchmarkMessageCodec(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var msg Message
+		msg.PutF64(0, 21.5)
+		msg.PutU32(8, 42)
+		msg.PutString(16, "tempProc")
+		if msg.F64(0) != 21.5 || msg.U32(8) != 42 {
+			b.Fatal("codec broke")
+		}
+	}
+}
+
+// BenchmarkACMCheckedSend measures the kernel send path with the ACM check
+// against the same path on the vanilla (ACM-disabled) kernel: the per-IPC
+// price of mandatory checking.
+func benchSendPath(b *testing.B, disableACM bool) {
+	b.Helper()
+	m := machine.New(machine.Config{})
+	policy := core.NewPolicy()
+	policy.IPC.Allow(1, 2, 1).AllowBidirectionalAck(1, 2)
+	policy.Seal()
+	k, err := Boot(m, policy, Config{DisableACM: disableACM})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Shutdown()
+	rounds := 0
+	k.RegisterImage(Image{Name: "sink", Priority: 7, Body: func(api *API) {
+		for {
+			if _, err := api.Receive(EndpointAny); err != nil {
+				return
+			}
+		}
+	}})
+	k.RegisterImage(Image{Name: "source", Priority: 7, Body: func(api *API) {
+		dst, _ := api.Lookup("sink")
+		for {
+			if err := api.Send(dst, NewMessage(1)); err != nil {
+				return
+			}
+			rounds++
+		}
+	}})
+	if _, err := k.SpawnImage("sink", 2); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := k.SpawnImage("source", 1); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	target := rounds + b.N
+	for rounds < target {
+		m.Run(50 * time.Microsecond)
+	}
+}
+
+func BenchmarkSend_WithACM(b *testing.B)      { benchSendPath(b, false) }
+func BenchmarkSend_VanillaNoACM(b *testing.B) { benchSendPath(b, true) }

@@ -1,0 +1,33 @@
+// Package minix simulates the paper's security-enhanced MINIX 3 platform
+// (Sections III-A, III-B, IV-A).
+//
+// The simulated kernel reproduces the mechanisms the experiments exercise:
+//
+//   - fixed-size 64-byte messages: a 4-byte source endpoint stamped by the
+//     kernel (user code cannot forge it), a 4-byte message type, and a
+//     56-byte payload;
+//   - endpoints that uniquely identify a process as a slot number
+//     concatenated with a generation number, so a restarted process gets a
+//     fresh endpoint and stale endpoints are detectable;
+//   - rendezvous-style synchronous message passing (Send/Receive/SendRec),
+//     non-blocking asynchronous sends, and notifications — all exposed to
+//     every user process, which is the authors' first kernel modification;
+//   - the access control matrix (core.Matrix) consulted on every IPC
+//     operation; denied sends are dropped and audited. The matrix is sealed
+//     before boot, mirroring "compiled together with kernel binary";
+//   - an ac_id field in the process control block, assigned at spawn
+//     (fork2/srv_fork2), never recycled, and independent of Unix uid — root
+//     privilege buys an attacker nothing on the IPC path;
+//   - a user-space process manager (PM) reached via message passing, which
+//     audits fork/kill/exec against a core.SyscallPolicy with optional
+//     quotas (the paper's fork-bomb countermeasure, experiment E8);
+//   - a reincarnation server (RS) that restarts registered drivers when they
+//     crash, MINIX 3's hallmark self-repair.
+//
+// System servers (PM, RS) are reached through the same kernel IPC as
+// everything else. Messages addressed to or sent by registered system
+// servers bypass the *user* matrix — in MINIX any process may call PM — and
+// are instead audited inside the server against the syscall policy, exactly
+// the split the paper describes ("we incorporated the process management
+// server with ACM auditing mechanism").
+package minix

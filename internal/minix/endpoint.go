@@ -1,0 +1,54 @@
+package minix
+
+import "fmt"
+
+// Endpoint identifies a process uniquely for IPC addressing: the process
+// slot number concatenated with a generation number, exactly as in MINIX 3.
+// Slot numbers are recycled when processes die; generations are not, so a
+// message addressed to a dead process's endpoint fails instead of reaching
+// whatever reused the slot.
+type Endpoint uint32
+
+// Special endpoints.
+const (
+	// EndpointNone is the zero endpoint; no process ever has it.
+	EndpointNone Endpoint = 0
+	// EndpointAny is the wildcard source for Receive.
+	EndpointAny Endpoint = 0xFFFFFFFF
+)
+
+// slotBits is the width of the slot field; the rest is generation.
+const slotBits = 12
+
+// maxSlots bounds the process table, like MINIX's NR_PROCS.
+const maxSlots = 1 << slotBits
+
+// makeEndpoint composes slot and generation.
+func makeEndpoint(slot, generation int) Endpoint {
+	return Endpoint(uint32(generation)<<slotBits | uint32(slot)&(maxSlots-1))
+}
+
+// EndpointAt composes an endpoint value from a slot and generation. The
+// encoding is public knowledge (any process can do this arithmetic), which
+// is exactly why endpoint *guessing* must not confer authority — the ACM
+// decides, not possession of the number. The attack experiments use this to
+// scan the endpoint space.
+func EndpointAt(slot, generation int) Endpoint { return makeEndpoint(slot, generation) }
+
+// Slot extracts the process-table slot.
+func (e Endpoint) Slot() int { return int(uint32(e) & (maxSlots - 1)) }
+
+// Generation extracts the generation counter.
+func (e Endpoint) Generation() int { return int(uint32(e) >> slotBits) }
+
+// String renders "ep(slot:gen)".
+func (e Endpoint) String() string {
+	switch e {
+	case EndpointNone:
+		return "ep(none)"
+	case EndpointAny:
+		return "ep(any)"
+	default:
+		return fmt.Sprintf("ep(%d:%d)", e.Slot(), e.Generation())
+	}
+}

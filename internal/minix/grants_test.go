@@ -1,0 +1,179 @@
+package minix
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestGrantBulkTransfer(t *testing.T) {
+	m, k := testBoard(t, testPolicy(), Config{})
+	payload := []byte("a log line far larger than the fixed 56-byte message payload could ever carry")
+	var received []byte
+	k.RegisterImage(Image{Name: "b", Priority: 7, Body: func(api *API) {
+		msg, err := api.Receive(EndpointAny)
+		if err != nil {
+			return
+		}
+		id := GrantID(msg.U32(0))
+		length := int(msg.U32(4))
+		data, err := api.SafeCopyFrom(msg.Source, id, 0, length)
+		if err != nil {
+			t.Errorf("safecopyfrom: %v", err)
+			return
+		}
+		received = data
+		_ = api.Send(msg.Source, NewMessage(0))
+	}})
+	k.RegisterImage(Image{Name: "a", Priority: 7, Body: func(api *API) {
+		dst, _ := api.Lookup("b")
+		id, err := api.GrantCreate(payload, GrantRead, dst)
+		if err != nil {
+			t.Errorf("grantcreate: %v", err)
+			return
+		}
+		msg := NewMessage(1)
+		msg.PutU32(0, uint32(id))
+		msg.PutU32(4, uint32(len(payload)))
+		if _, err := api.SendRec(dst, msg); err != nil {
+			t.Errorf("sendrec: %v", err)
+		}
+	}})
+	spawnOrFatal(t, k, "b", acidB)
+	spawnOrFatal(t, k, "a", acidA)
+	m.Run(time.Second)
+	if !bytes.Equal(received, payload) {
+		t.Fatalf("received %q", received)
+	}
+}
+
+func TestGrantWriteBackVisibleToGrantor(t *testing.T) {
+	m, k := testBoard(t, testPolicy(), Config{})
+	buf := make([]byte, 16)
+	k.RegisterImage(Image{Name: "b", Priority: 7, Body: func(api *API) {
+		msg, err := api.Receive(EndpointAny)
+		if err != nil {
+			return
+		}
+		id := GrantID(msg.U32(0))
+		if err := api.SafeCopyTo(msg.Source, id, 4, []byte("WXYZ")); err != nil {
+			t.Errorf("safecopyto: %v", err)
+		}
+		_ = api.Send(msg.Source, NewMessage(0))
+	}})
+	k.RegisterImage(Image{Name: "a", Priority: 7, Body: func(api *API) {
+		dst, _ := api.Lookup("b")
+		id, _ := api.GrantCreate(buf, GrantRead|GrantWrite, dst)
+		msg := NewMessage(1)
+		msg.PutU32(0, uint32(id))
+		api.SendRec(dst, msg)
+	}})
+	spawnOrFatal(t, k, "b", acidB)
+	spawnOrFatal(t, k, "a", acidA)
+	m.Run(time.Second)
+	if string(buf[4:8]) != "WXYZ" {
+		t.Fatalf("grantor buffer = %q, write-through failed", buf)
+	}
+}
+
+func TestGrantChecks(t *testing.T) {
+	// One board, three processes: A grants read-only to B; C is an
+	// interloper.
+	policy := multiPolicy() // B->A, C->A type 1
+	m, k := testBoard(t, policy, Config{})
+	buf := []byte("secret-region")
+	var (
+		outOfBounds, writeDenied, wrongGrantee, revoked error
+		aEP                                             Endpoint
+		id                                              GrantID
+	)
+	k.RegisterImage(Image{Name: "a", Priority: 6, Body: func(api *API) {
+		aEP = api.Self()
+		bEP, _ := api.Lookup("b")
+		var err error
+		id, err = api.GrantCreate(buf, GrantRead, bEP)
+		if err != nil {
+			t.Errorf("grantcreate: %v", err)
+		}
+		api.Sleep(50 * time.Millisecond)
+		if err := api.GrantRevoke(id); err != nil {
+			t.Errorf("revoke: %v", err)
+		}
+		api.Sleep(time.Hour)
+	}})
+	k.RegisterImage(Image{Name: "b", Priority: 7, Body: func(api *API) {
+		api.Sleep(10 * time.Millisecond)
+		if _, err := api.SafeCopyFrom(aEP, id, 0, 5); err != nil {
+			t.Errorf("legit read: %v", err)
+		}
+		_, outOfBounds = api.SafeCopyFrom(aEP, id, 8, 100)
+		writeDenied = api.SafeCopyTo(aEP, id, 0, []byte("x"))
+		api.Sleep(100 * time.Millisecond) // grant revoked meanwhile
+		_, revoked = api.SafeCopyFrom(aEP, id, 0, 1)
+	}})
+	k.RegisterImage(Image{Name: "c", Priority: 7, Body: func(api *API) {
+		api.Sleep(20 * time.Millisecond)
+		_, wrongGrantee = api.SafeCopyFrom(aEP, id, 0, 5)
+	}})
+	spawnOrFatal(t, k, "a", acidA)
+	spawnOrFatal(t, k, "b", acidB)
+	spawnOrFatal(t, k, "c", acidC)
+	m.Run(time.Second)
+	if !errors.Is(outOfBounds, ErrGrantBounds) {
+		t.Errorf("out of bounds = %v, want ErrGrantBounds", outOfBounds)
+	}
+	if !errors.Is(writeDenied, ErrGrantAccess) {
+		t.Errorf("write = %v, want ErrGrantAccess", writeDenied)
+	}
+	if !errors.Is(wrongGrantee, ErrNotGrantee) {
+		t.Errorf("interloper = %v, want ErrNotGrantee", wrongGrantee)
+	}
+	if !errors.Is(revoked, ErrBadGrant) {
+		t.Errorf("revoked = %v, want ErrBadGrant", revoked)
+	}
+}
+
+func TestGrantDiesWithGrantor(t *testing.T) {
+	m, k := testBoard(t, testPolicy(), Config{})
+	var copyErr error
+	var aEP Endpoint
+	var id GrantID
+	k.RegisterImage(Image{Name: "a", Priority: 6, Body: func(api *API) {
+		aEP = api.Self()
+		bEP, _ := api.Lookup("b")
+		id, _ = api.GrantCreate(make([]byte, 8), GrantRead, bEP)
+		api.Sleep(10 * time.Millisecond)
+		api.Exit()
+	}})
+	k.RegisterImage(Image{Name: "b", Priority: 7, Body: func(api *API) {
+		api.Sleep(50 * time.Millisecond) // a is gone now
+		_, copyErr = api.SafeCopyFrom(aEP, id, 0, 4)
+	}})
+	spawnOrFatal(t, k, "a", acidA)
+	spawnOrFatal(t, k, "b", acidB)
+	m.Run(time.Second)
+	if !errors.Is(copyErr, ErrDeadSrcDst) {
+		t.Fatalf("copy from dead grantor = %v, want ErrDeadSrcDst", copyErr)
+	}
+}
+
+func TestGrantTableLimit(t *testing.T) {
+	m, k := testBoard(t, testPolicy(), Config{})
+	var overflowErr error
+	k.RegisterImage(Image{Name: "a", Priority: 7, Body: func(api *API) {
+		buf := make([]byte, 4)
+		for i := 0; i < maxGrantsPerProc; i++ {
+			if _, err := api.GrantCreate(buf, GrantRead, api.Self()); err != nil {
+				t.Errorf("grant %d: %v", i, err)
+				return
+			}
+		}
+		_, overflowErr = api.GrantCreate(buf, GrantRead, api.Self())
+	}})
+	spawnOrFatal(t, k, "a", acidA)
+	m.Run(time.Second)
+	if !errors.Is(overflowErr, ErrGrantExceeded) {
+		t.Fatalf("overflow = %v, want ErrGrantExceeded", overflowErr)
+	}
+}

@@ -1,0 +1,695 @@
+package minix
+
+import (
+	"fmt"
+
+	"mkbas/internal/core"
+	"mkbas/internal/machine"
+	"mkbas/internal/vnet"
+)
+
+// EndpointSystem is the kernel's own endpoint, used as the source of
+// kernel-generated messages (driver-exit reports to the reincarnation
+// server). It is never allocated to a process.
+const EndpointSystem Endpoint = 0xFFFFFFFE
+
+// TypeProcExit is the kernel message type reporting a process exit to the
+// reincarnation server. It uses the top of the 0..63 type space, which the
+// scenario policies never grant to user processes.
+const TypeProcExit int32 = 63
+
+// Image is a loadable process binary: in the simulator, a Go function plus
+// the static privileges the boot image assigns. Images are registered before
+// boot and instantiated by fork2/exec (through PM) or directly by Boot.
+type Image struct {
+	// Name is the image's binary name; spawned processes are auto-published
+	// under it in the kernel directory service.
+	Name string
+	// Body is the program.
+	Body func(api *API)
+	// UID is the Unix user ID the process runs under. It exists for fidelity
+	// with the paper's root-privilege experiments: IPC and ACM decisions
+	// never consult it.
+	UID int
+	// Priority is the scheduling priority (0 most urgent, 15 least).
+	Priority int
+	// Devices lists bus devices the process may access (drivers only).
+	Devices []machine.DeviceID
+	// Net grants access to the network stack (the web interface only).
+	Net bool
+	// Server marks a system server: it may invoke privileged kernel calls,
+	// and IPC to/from it bypasses the user ACM (it performs its own
+	// auditing, like PM).
+	Server bool
+	// Restart asks the reincarnation server to respawn the process when it
+	// crashes (device drivers in the scenario).
+	Restart bool
+}
+
+// Config parameterises the kernel.
+type Config struct {
+	// DisableACM turns off the access control matrix, yielding a vanilla
+	// MINIX 3 for ablation experiments. The zero value enforces the ACM.
+	DisableACM bool
+	// MailboxCap bounds each process's asynchronous mailbox; zero means 16.
+	MailboxCap int
+	// Net is the board's network stack; nil boards have no network.
+	Net *vnet.Stack
+}
+
+// Stats counts kernel-level events for the experiments.
+type Stats struct {
+	IPCDelivered int64
+	IPCDenied    int64
+	Notifies     int64
+	AsyncQueued  int64
+	DevReads     int64
+	DevWrites    int64
+	Spawns       int64
+	Kills        int64
+	Crashes      int64
+}
+
+// ipcPhase records why a process is blocked, if it is.
+type ipcPhase int
+
+const (
+	phaseIdle ipcPhase = iota
+	phaseSendBlocked
+	phaseRecvBlocked
+	phaseSleeping
+	phaseNetBlocked
+)
+
+// procEntry is the kernel-side process control block. The paper's ac_id
+// addition is the acID field.
+type procEntry struct {
+	pid  machine.PID
+	ep   Endpoint
+	name string
+	acID core.ACID
+	uid  int
+
+	image     string
+	isServer  bool
+	restart   bool
+	devs      map[machine.DeviceID]bool
+	netAccess bool
+
+	// IPC state.
+	phase       ipcPhase
+	wantSendRec bool
+	sendDst     Endpoint
+	outMsg      Message
+	recvFrom    Endpoint
+	senders     []machine.PID
+	notifies    []Endpoint
+	mailbox     []Message
+
+	// waitToken invalidates stale timer/network callbacks after the process
+	// unblocks or dies.
+	waitToken uint64
+
+	// exiting marks a voluntary exit() so OnProcExit does not count it as a
+	// crash.
+	exiting bool
+
+	// Network handles.
+	nextHandle int32
+	listeners  map[int32]*vnet.Listener
+	conns      map[int32]*vnet.Conn
+
+	// Memory grants.
+	grants    map[GrantID]*grant
+	nextGrant GrantID
+}
+
+// Kernel is the simulated security-enhanced MINIX 3 kernel: the board's
+// machine.TrapHandler plus the process table, directory service, ACM
+// enforcement, and device/network mediation.
+type Kernel struct {
+	m      *machine.Machine
+	policy *core.Policy
+	cfg    Config
+
+	images map[string]Image
+	slots  []*procEntry
+	gens   []int
+	byPID  map[machine.PID]*procEntry
+	names  map[string]Endpoint
+
+	pm *pmServer
+	rs *rsServer
+
+	stats Stats
+}
+
+var _ machine.TrapHandler = (*Kernel)(nil)
+
+// Boot installs the kernel on a board and starts the system servers (PM,
+// RS). The policy must be sealed; the ACM half is enforced in the kernel on
+// every IPC, the syscall half inside PM.
+func Boot(m *machine.Machine, policy *core.Policy, cfg Config) (*Kernel, error) {
+	if !policy.Sealed() {
+		return nil, core.ErrNotSealed
+	}
+	if cfg.MailboxCap == 0 {
+		cfg.MailboxCap = 16
+	}
+	k := &Kernel{
+		m:      m,
+		policy: policy,
+		cfg:    cfg,
+		images: make(map[string]Image),
+		slots:  make([]*procEntry, maxSlots),
+		gens:   make([]int, maxSlots),
+		byPID:  make(map[machine.PID]*procEntry),
+		names:  make(map[string]Endpoint),
+	}
+	for i := range k.gens {
+		k.gens[i] = 1
+	}
+	m.Engine().SetHandler(k)
+
+	k.pm = newPMServer(k, policy.Syscalls)
+	k.rs = newRSServer(k)
+	if _, err := k.startServer(pmImage(k.pm)); err != nil {
+		return nil, fmt.Errorf("minix: starting pm: %w", err)
+	}
+	rsEP, err := k.startServer(rsImage(k.rs))
+	if err != nil {
+		return nil, fmt.Errorf("minix: starting rs: %w", err)
+	}
+	k.rs.ep = rsEP
+	return k, nil
+}
+
+// startServer registers and spawns a system-server image.
+func (k *Kernel) startServer(img Image) (Endpoint, error) {
+	k.RegisterImage(img)
+	return k.SpawnImage(img.Name, core.NoACID)
+}
+
+// RegisterImage adds a binary image to the boot image registry. Duplicate
+// names panic: the image list is fixed at build time.
+func (k *Kernel) RegisterImage(img Image) {
+	if img.Name == "" || img.Body == nil {
+		panic("minix: image needs a name and a body")
+	}
+	if _, dup := k.images[img.Name]; dup {
+		panic(fmt.Sprintf("minix: image %q registered twice", img.Name))
+	}
+	k.images[img.Name] = img
+}
+
+// Stats returns a snapshot of kernel counters.
+func (k *Kernel) Stats() Stats { return k.stats }
+
+// Machine returns the underlying board.
+func (k *Kernel) Machine() *machine.Machine { return k.m }
+
+// PM returns the process-manager server handle (for experiment inspection).
+func (k *Kernel) PM() *PMView { return &PMView{pm: k.pm} }
+
+// EndpointOf resolves a published name from the host side.
+func (k *Kernel) EndpointOf(name string) (Endpoint, error) {
+	ep, ok := k.names[name]
+	if !ok {
+		return EndpointNone, fmt.Errorf("%w: %q", ErrNameNotFound, name)
+	}
+	return ep, nil
+}
+
+// ACIDOf reports the access-control identity of a live endpoint.
+func (k *Kernel) ACIDOf(ep Endpoint) (core.ACID, error) {
+	e := k.resolve(ep)
+	if e == nil {
+		return core.NoACID, fmt.Errorf("%w: %v", ErrDeadSrcDst, ep)
+	}
+	return e.acID, nil
+}
+
+// Alive reports whether an endpoint currently addresses a live process.
+func (k *Kernel) Alive(ep Endpoint) bool { return k.resolve(ep) != nil }
+
+// LiveProcs lists the published names of live processes, for tests.
+func (k *Kernel) LiveProcs() []string {
+	var out []string
+	for _, e := range k.slots {
+		if e != nil {
+			out = append(out, e.name)
+		}
+	}
+	return out
+}
+
+// SpawnImage instantiates a registered image with the given access-control
+// identity (NoACID spawns an identity-less process). It is the host/boot
+// path; running processes go through PM's fork2 instead.
+func (k *Kernel) SpawnImage(image string, acid core.ACID) (Endpoint, error) {
+	img, ok := k.images[image]
+	if !ok {
+		return EndpointNone, fmt.Errorf("%w: %q", ErrUnknownImage, image)
+	}
+	return k.spawn(img, acid)
+}
+
+// spawn allocates a slot and starts the image body.
+func (k *Kernel) spawn(img Image, acid core.ACID) (Endpoint, error) {
+	slot := -1
+	for i, e := range k.slots {
+		if e == nil {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		return EndpointNone, ErrTableFull
+	}
+	ep := makeEndpoint(slot, k.gens[slot])
+	entry := &procEntry{
+		ep:        ep,
+		name:      img.Name,
+		acID:      acid,
+		uid:       img.UID,
+		image:     img.Name,
+		isServer:  img.Server,
+		restart:   img.Restart,
+		netAccess: img.Net,
+		devs:      make(map[machine.DeviceID]bool, len(img.Devices)),
+		listeners: make(map[int32]*vnet.Listener),
+		conns:     make(map[int32]*vnet.Conn),
+	}
+	for _, d := range img.Devices {
+		entry.devs[d] = true
+	}
+	body := img.Body
+	proc, err := k.m.Engine().Spawn(img.Name, img.Priority, func(ctx *machine.Context) {
+		body(&API{ctx: ctx, self: ep})
+	})
+	if err != nil {
+		return EndpointNone, fmt.Errorf("minix: spawning %q: %w", img.Name, err)
+	}
+	entry.pid = proc.PID()
+	k.slots[slot] = entry
+	k.byPID[proc.PID()] = entry
+	k.names[img.Name] = ep
+	k.stats.Spawns++
+	k.m.Trace().Logf("minix", "spawn %s ep=%v acid=%d uid=%d", img.Name, ep, acid, img.UID)
+	return ep, nil
+}
+
+// resolve maps an endpoint to its live process entry, nil when dead/invalid.
+func (k *Kernel) resolve(ep Endpoint) *procEntry {
+	if ep == EndpointNone || ep == EndpointAny || ep == EndpointSystem {
+		return nil
+	}
+	slot := ep.Slot()
+	if slot >= len(k.slots) {
+		return nil
+	}
+	e := k.slots[slot]
+	if e == nil || e.ep != ep {
+		return nil
+	}
+	return e
+}
+
+// entryOf maps a trapping PID to its entry; every trapping process was
+// spawned by this kernel, so a miss is a kernel bug.
+func (k *Kernel) entryOf(pid machine.PID) *procEntry {
+	e, ok := k.byPID[pid]
+	if !ok {
+		panic(fmt.Sprintf("minix: trap from unknown pid %d", pid))
+	}
+	return e
+}
+
+// checkIPC is the access control matrix hook on every user-to-user IPC
+// operation. System servers bypass it (they audit their own protocols), as
+// does a kernel with the ACM disabled (the vanilla-MINIX ablation).
+func (k *Kernel) checkIPC(src, dst *procEntry, msgType int32) error {
+	if k.cfg.DisableACM || src.isServer || dst.isServer {
+		return nil
+	}
+	if msgType < 0 || int64(msgType) > int64(core.MaxMsgType) {
+		k.auditDeny(src, dst, msgType)
+		return &core.DeniedError{Src: src.acID, Dst: dst.acID, Type: core.MaxMsgType}
+	}
+	if err := k.policy.IPC.Check(src.acID, dst.acID, core.MsgType(msgType)); err != nil {
+		k.auditDeny(src, dst, msgType)
+		return err
+	}
+	return nil
+}
+
+// auditDeny records one ACM denial in the board trace and counters.
+func (k *Kernel) auditDeny(src, dst *procEntry, msgType int32) {
+	k.stats.IPCDenied++
+	k.m.Trace().Logf("minix-acm", "DENY %s(acid=%d) -> %s(acid=%d) m_type=%d",
+		src.name, src.acID, dst.name, dst.acID, msgType)
+}
+
+// HandleTrap implements machine.TrapHandler.
+func (k *Kernel) HandleTrap(pid machine.PID, req any) (any, machine.Disposition) {
+	self := k.entryOf(pid)
+	switch r := req.(type) {
+	case sendReq:
+		return k.doSend(self, r.dst, r.msg, false)
+	case sendRecReq:
+		return k.doSend(self, r.dst, r.msg, true)
+	case receiveReq:
+		return k.doReceive(self, r.from)
+	case notifyReq:
+		return k.doNotify(self, r.dst)
+	case sendNBReq:
+		return k.doSendNB(self, r.dst, r.msg)
+	case sleepReq:
+		return k.doSleep(self, r)
+	case devReadReq:
+		if !self.devs[r.dev] {
+			return u32Reply{err: fmt.Errorf("%w: device %q", ErrNoPrivilege, r.dev)}, machine.DispositionContinue
+		}
+		k.stats.DevReads++
+		v, err := k.m.Bus().Read(r.dev, r.reg)
+		return u32Reply{value: v, err: err}, machine.DispositionContinue
+	case devWriteReq:
+		if !self.devs[r.dev] {
+			return errReply{err: fmt.Errorf("%w: device %q", ErrNoPrivilege, r.dev)}, machine.DispositionContinue
+		}
+		k.stats.DevWrites++
+		return errReply{err: k.m.Bus().Write(r.dev, r.reg, r.value)}, machine.DispositionContinue
+	case lookupReq:
+		ep, err := k.EndpointOf(r.name)
+		return epReply{ep: ep, err: err}, machine.DispositionContinue
+	case traceReq:
+		k.m.Trace().Logf(r.tag, "%s", r.text)
+		return errReply{}, machine.DispositionContinue
+	case netListenReq:
+		return k.doNetListen(self, r)
+	case netAcceptReq:
+		return k.doNetAccept(self, r)
+	case netReadReq:
+		return k.doNetRead(self, r)
+	case netWriteReq:
+		return k.doNetWrite(self, r)
+	case netCloseReq:
+		return k.doNetClose(self, r)
+	case grantCreateReq:
+		return k.doGrantCreate(self, r)
+	case grantRevokeReq:
+		return k.doGrantRevoke(self, r)
+	case safeCopyReq:
+		return k.doSafeCopy(self, r)
+	case exitReq:
+		self.exiting = true
+		if err := k.m.Engine().Kill(pid); err != nil {
+			return errReply{err: err}, machine.DispositionContinue
+		}
+		// Unreachable: Kill unwound the goroutine.
+		return errReply{}, machine.DispositionContinue
+	case kSpawnReq:
+		if !self.isServer {
+			return epReply{err: ErrNoPrivilege}, machine.DispositionContinue
+		}
+		ep, err := k.SpawnImage(r.image, core.ACID(r.acid))
+		return epReply{ep: ep, err: err}, machine.DispositionContinue
+	case kKillReq:
+		if !self.isServer {
+			return errReply{err: ErrNoPrivilege}, machine.DispositionContinue
+		}
+		victim := k.resolve(r.target)
+		if victim == nil {
+			return errReply{err: fmt.Errorf("%w: %v", ErrDeadSrcDst, r.target)}, machine.DispositionContinue
+		}
+		k.stats.Kills++
+		victim.exiting = true // killed by policy decision, not a fault
+		if err := k.m.Engine().Kill(victim.pid); err != nil {
+			return errReply{err: err}, machine.DispositionContinue
+		}
+		return errReply{}, machine.DispositionContinue
+	default:
+		return errReply{err: fmt.Errorf("minix: unknown trap %T", req)}, machine.DispositionContinue
+	}
+}
+
+// doSend implements synchronous send and the send half of sendrec.
+func (k *Kernel) doSend(self *procEntry, dst Endpoint, msg Message, sendRec bool) (any, machine.Disposition) {
+	target := k.resolve(dst)
+	if target == nil {
+		return ipcReply{err: fmt.Errorf("%w: %v", ErrDeadSrcDst, dst)}, machine.DispositionContinue
+	}
+	if target == self {
+		return ipcReply{err: ErrSelfSend}, machine.DispositionContinue
+	}
+	if err := k.checkIPC(self, target, msg.Type); err != nil {
+		return ipcReply{err: err}, machine.DispositionContinue
+	}
+	msg.Source = self.ep // kernel stamp: spoofing-proof sender identity
+	self.outMsg = msg
+	self.sendDst = dst
+	self.wantSendRec = sendRec
+
+	if target.phase == phaseRecvBlocked && matches(target.recvFrom, self.ep) {
+		// Rendezvous: receiver is waiting, deliver immediately.
+		k.completeReceive(target, msg)
+		if sendRec {
+			self.phase = phaseRecvBlocked
+			self.recvFrom = dst
+			return nil, machine.DispositionBlock
+		}
+		return ipcReply{}, machine.DispositionContinue
+	}
+	// Receiver not ready: queue and block (rendezvous semantics).
+	target.senders = append(target.senders, self.pid)
+	self.phase = phaseSendBlocked
+	return nil, machine.DispositionBlock
+}
+
+// completeReceive hands msg to a receiver blocked in Receive and wakes it.
+func (k *Kernel) completeReceive(receiver *procEntry, msg Message) {
+	receiver.phase = phaseIdle
+	receiver.waitToken++
+	k.stats.IPCDelivered++
+	if err := k.m.Engine().Ready(receiver.pid, ipcReply{msg: msg}); err != nil {
+		panic(fmt.Sprintf("minix: waking receiver %s: %v", receiver.name, err))
+	}
+}
+
+// doReceive implements Receive(from).
+func (k *Kernel) doReceive(self *procEntry, from Endpoint) (any, machine.Disposition) {
+	// Specific receive from a dead endpoint can never complete.
+	if from != EndpointAny && k.resolve(from) == nil && from != EndpointSystem {
+		return ipcReply{err: fmt.Errorf("%w: %v", ErrDeadSrcDst, from)}, machine.DispositionContinue
+	}
+	// Delivery priority: notifications, then the async mailbox, then blocked
+	// senders, mirroring MINIX's notify-before-message rule.
+	for i, src := range self.notifies {
+		if matches(from, src) {
+			self.notifies = append(self.notifies[:i:i], self.notifies[i+1:]...)
+			k.stats.IPCDelivered++
+			return ipcReply{msg: Message{Source: src, Type: int32(core.MsgAck)}}, machine.DispositionContinue
+		}
+	}
+	for i, msg := range self.mailbox {
+		if matches(from, msg.Source) {
+			self.mailbox = append(self.mailbox[:i:i], self.mailbox[i+1:]...)
+			k.stats.IPCDelivered++
+			return ipcReply{msg: msg}, machine.DispositionContinue
+		}
+	}
+	for i, senderPID := range self.senders {
+		sender := k.byPID[senderPID]
+		if sender == nil || sender.phase != phaseSendBlocked {
+			continue
+		}
+		if !matches(from, sender.ep) {
+			continue
+		}
+		self.senders = append(self.senders[:i:i], self.senders[i+1:]...)
+		msg := sender.outMsg
+		k.stats.IPCDelivered++
+		// Complete the sender's operation.
+		if sender.wantSendRec {
+			sender.phase = phaseRecvBlocked
+			sender.recvFrom = self.ep
+		} else {
+			sender.phase = phaseIdle
+			if err := k.m.Engine().Ready(sender.pid, ipcReply{}); err != nil {
+				panic(fmt.Sprintf("minix: waking sender %s: %v", sender.name, err))
+			}
+		}
+		return ipcReply{msg: msg}, machine.DispositionContinue
+	}
+	// Nothing pending: block.
+	self.phase = phaseRecvBlocked
+	self.recvFrom = from
+	return nil, machine.DispositionBlock
+}
+
+// doNotify implements the non-blocking notification primitive. A
+// notification carries no payload and is delivered as a type-0
+// (ACKNOWLEDGE) message, so the ACM's ack bit governs it.
+func (k *Kernel) doNotify(self *procEntry, dst Endpoint) (any, machine.Disposition) {
+	target := k.resolve(dst)
+	if target == nil {
+		return errReply{err: fmt.Errorf("%w: %v", ErrDeadSrcDst, dst)}, machine.DispositionContinue
+	}
+	if err := k.checkIPC(self, target, int32(core.MsgAck)); err != nil {
+		return errReply{err: err}, machine.DispositionContinue
+	}
+	k.stats.Notifies++
+	if target.phase == phaseRecvBlocked && matches(target.recvFrom, self.ep) {
+		k.completeReceive(target, Message{Source: self.ep, Type: int32(core.MsgAck)})
+		return errReply{}, machine.DispositionContinue
+	}
+	// Pending notifications are a set: duplicates collapse, like MINIX bits.
+	for _, src := range target.notifies {
+		if src == self.ep {
+			return errReply{}, machine.DispositionContinue
+		}
+	}
+	target.notifies = append(target.notifies, self.ep)
+	return errReply{}, machine.DispositionContinue
+}
+
+// doSendNB implements the asynchronous non-blocking send the sensor driver
+// uses ("sends the fresh data using nonblocking send").
+func (k *Kernel) doSendNB(self *procEntry, dst Endpoint, msg Message) (any, machine.Disposition) {
+	target := k.resolve(dst)
+	if target == nil {
+		return errReply{err: fmt.Errorf("%w: %v", ErrDeadSrcDst, dst)}, machine.DispositionContinue
+	}
+	if target == self {
+		return errReply{err: ErrSelfSend}, machine.DispositionContinue
+	}
+	if err := k.checkIPC(self, target, msg.Type); err != nil {
+		return errReply{err: err}, machine.DispositionContinue
+	}
+	msg.Source = self.ep
+	if target.phase == phaseRecvBlocked && matches(target.recvFrom, self.ep) {
+		k.completeReceive(target, msg)
+		return errReply{}, machine.DispositionContinue
+	}
+	if len(target.mailbox) >= k.cfg.MailboxCap {
+		return errReply{err: ErrMailboxFull}, machine.DispositionContinue
+	}
+	target.mailbox = append(target.mailbox, msg)
+	k.stats.AsyncQueued++
+	return errReply{}, machine.DispositionContinue
+}
+
+// deliverSystem queues a kernel-generated message to a server process,
+// delivering immediately when it is blocked in a matching receive.
+func (k *Kernel) deliverSystem(target *procEntry, msg Message) {
+	msg.Source = EndpointSystem
+	if target.phase == phaseRecvBlocked && matches(target.recvFrom, EndpointSystem) {
+		k.completeReceive(target, msg)
+		return
+	}
+	target.mailbox = append(target.mailbox, msg) // system messages bypass the cap
+}
+
+// doSleep blocks the caller for a virtual duration.
+func (k *Kernel) doSleep(self *procEntry, r sleepReq) (any, machine.Disposition) {
+	self.phase = phaseSleeping
+	self.waitToken++
+	token := self.waitToken
+	pid := self.pid
+	k.m.Clock().After(r.d, func() {
+		e := k.byPID[pid]
+		if e != self || e.waitToken != token || e.phase != phaseSleeping {
+			return
+		}
+		e.phase = phaseIdle
+		if err := k.m.Engine().Ready(pid, errReply{}); err != nil {
+			panic(fmt.Sprintf("minix: waking sleeper %s: %v", e.name, err))
+		}
+	})
+	return nil, machine.DispositionBlock
+}
+
+// matches implements the Receive source filter.
+func matches(filter, src Endpoint) bool {
+	return filter == EndpointAny || filter == src
+}
+
+// OnProcExit implements machine.TrapHandler: it tears down the dead
+// process's kernel state, errors out every peer blocked on it, and reports
+// driver crashes to the reincarnation server.
+func (k *Kernel) OnProcExit(pid machine.PID, info machine.ExitInfo) {
+	e, ok := k.byPID[pid]
+	if !ok {
+		return
+	}
+	crashed := info.Crashed || (info.Killed && !e.exiting)
+	if info.Crashed {
+		k.stats.Crashes++
+		k.m.Trace().Logf("minix", "CRASH %s ep=%v panic=%v", e.name, e.ep, info.PanicValue)
+	} else {
+		k.m.Trace().Logf("minix", "exit %s ep=%v", e.name, e.ep)
+	}
+
+	// Free the slot; bump the generation so the endpoint goes stale.
+	slot := e.ep.Slot()
+	k.slots[slot] = nil
+	k.gens[slot]++
+	delete(k.byPID, pid)
+	if k.names[e.name] == e.ep {
+		delete(k.names, e.name)
+	}
+	e.waitToken++ // invalidate timers and net callbacks
+
+	// Wake senders queued on the victim.
+	for _, senderPID := range e.senders {
+		sender := k.byPID[senderPID]
+		if sender == nil || sender.phase != phaseSendBlocked {
+			continue
+		}
+		sender.phase = phaseIdle
+		if err := k.m.Engine().Ready(senderPID, ipcReply{err: fmt.Errorf("%w: %v", ErrDeadSrcDst, e.ep)}); err != nil {
+			panic(fmt.Sprintf("minix: waking sender of dead proc: %v", err))
+		}
+	}
+	// Wake receivers waiting specifically on the victim, and drop the victim
+	// from other processes' sender queues.
+	for _, other := range k.slots {
+		if other == nil {
+			continue
+		}
+		if other.phase == phaseRecvBlocked && other.recvFrom == e.ep {
+			other.phase = phaseIdle
+			other.waitToken++
+			if err := k.m.Engine().Ready(other.pid, ipcReply{err: fmt.Errorf("%w: %v", ErrDeadSrcDst, e.ep)}); err != nil {
+				panic(fmt.Sprintf("minix: waking receiver of dead proc: %v", err))
+			}
+		}
+		for i, senderPID := range other.senders {
+			if senderPID == pid {
+				other.senders = append(other.senders[:i:i], other.senders[i+1:]...)
+				break
+			}
+		}
+	}
+
+	// Release network resources.
+	if k.cfg.Net != nil {
+		for _, l := range e.listeners {
+			k.cfg.Net.CloseListener(l)
+		}
+		for _, c := range e.conns {
+			k.cfg.Net.BoardClose(c)
+		}
+	}
+
+	// Report to RS for driver reincarnation.
+	if k.rs != nil && e.restart && crashed {
+		if rsEntry := k.resolve(k.rs.ep); rsEntry != nil {
+			msg := NewMessage(TypeProcExit)
+			msg.PutU32(0, uint32(e.ep))
+			msg.PutString(8, e.image)
+			msg.PutU32(44, uint32(e.acID))
+			k.deliverSystem(rsEntry, msg)
+		}
+	}
+}

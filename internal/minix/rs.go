@@ -1,0 +1,79 @@
+package minix
+
+import (
+	"fmt"
+
+	"mkbas/internal/core"
+)
+
+// RSName is the reincarnation server's published name.
+const RSName = "rs"
+
+// maxRestartsPerImage caps crash-loop respawns of one driver image.
+const maxRestartsPerImage = 10
+
+// rsServer is the reincarnation server: MINIX 3's self-repair component
+// ("a highly reliable, self-repairing operating system"). The kernel reports
+// the crash of any Restart-flagged process; RS respawns the same image with
+// the same access-control identity, so the ACM policy keeps applying to the
+// reborn driver.
+type rsServer struct {
+	k  *Kernel
+	ep Endpoint
+
+	restarts map[string]int
+	total    int64
+}
+
+func newRSServer(k *Kernel) *rsServer {
+	return &rsServer{k: k, restarts: make(map[string]int)}
+}
+
+// rsImage is the RS boot image.
+func rsImage(rs *rsServer) Image {
+	return Image{
+		Name:     RSName,
+		Body:     rs.run,
+		Priority: 1,
+		Server:   true,
+	}
+}
+
+// run is the RS main loop: wait for kernel exit reports, respawn drivers.
+func (rs *rsServer) run(api *API) {
+	rs.ep = api.Self()
+	for {
+		msg, err := api.Receive(EndpointAny)
+		if err != nil || msg.Type != TypeProcExit {
+			continue
+		}
+		image := msg.GetString(8)
+		acid := core.ACID(msg.U32(44))
+		if rs.restarts[image] >= maxRestartsPerImage {
+			api.Trace("minix-rs", fmt.Sprintf("giving up on %s after %d restarts", image, rs.restarts[image]))
+			continue
+		}
+		ep, err := api.kSpawn(image, acid)
+		if err != nil {
+			api.Trace("minix-rs", fmt.Sprintf("restart of %s failed: %v", image, err))
+			continue
+		}
+		rs.restarts[image]++
+		rs.total++
+		api.Trace("minix-rs", fmt.Sprintf("restarted %s as %v (restart #%d)", image, ep, rs.restarts[image]))
+	}
+}
+
+// RSView exposes RS state to experiments.
+type RSView struct {
+	rs *rsServer
+}
+
+// RS returns the reincarnation-server view.
+func (k *Kernel) RS() *RSView { return &RSView{rs: k.rs} }
+
+// Restarts reports how many times an image has been reincarnated.
+func (v *RSView) Restarts(image string) int { return v.rs.restarts[image] }
+
+// TotalRestarts reports all reincarnations on this boot.
+func (v *RSView) TotalRestarts() int64 { return v.rs.total }

@@ -1,0 +1,185 @@
+package minix
+
+import (
+	"errors"
+	"time"
+
+	"mkbas/internal/machine"
+	"mkbas/internal/vnet"
+)
+
+// IPC and kernel-call errors.
+var (
+	// ErrDeadSrcDst reports IPC addressed to a dead or never-existing
+	// endpoint (MINIX EDEADSRCDST).
+	ErrDeadSrcDst = errors.New("minix: dead or invalid source/destination endpoint")
+	// ErrMailboxFull reports an asynchronous send to a full mailbox.
+	ErrMailboxFull = errors.New("minix: asynchronous mailbox full")
+	// ErrNoPrivilege reports a privileged operation attempted by an
+	// unprivileged process (kernel calls, device or network access).
+	ErrNoPrivilege = errors.New("minix: operation not permitted for this process")
+	// ErrUnknownImage reports a fork2/exec of an unregistered binary image.
+	ErrUnknownImage = errors.New("minix: unknown process image")
+	// ErrNameNotFound reports a directory-service lookup miss.
+	ErrNameNotFound = errors.New("minix: name not published")
+	// ErrBadHandle reports an invalid listener/connection handle.
+	ErrBadHandle = errors.New("minix: bad descriptor")
+	// ErrTableFull reports process-table exhaustion.
+	ErrTableFull = errors.New("minix: process table full")
+	// ErrSelfSend reports a process sending to itself (guaranteed deadlock
+	// under rendezvous semantics, refused like MINIX's ELOCKED).
+	ErrSelfSend = errors.New("minix: send to self would deadlock")
+)
+
+// Trap request types. These are the wire format between a simulated process
+// and the kernel; user code uses the API wrappers instead.
+type (
+	sendReq struct {
+		dst Endpoint
+		msg Message
+	}
+	receiveReq struct {
+		from Endpoint
+	}
+	sendRecReq struct {
+		dst Endpoint
+		msg Message
+	}
+	notifyReq struct {
+		dst Endpoint
+	}
+	sendNBReq struct {
+		dst Endpoint
+		msg Message
+	}
+	sleepReq struct {
+		d time.Duration
+	}
+	devReadReq struct {
+		dev machine.DeviceID
+		reg uint32
+	}
+	devWriteReq struct {
+		dev   machine.DeviceID
+		reg   uint32
+		value uint32
+	}
+	lookupReq struct {
+		name string
+	}
+	netListenReq struct {
+		port vnet.Port
+	}
+	netAcceptReq struct {
+		listener int32
+	}
+	netReadReq struct {
+		conn int32
+		max  int
+	}
+	netWriteReq struct {
+		conn int32
+		data []byte
+	}
+	netCloseReq struct {
+		conn int32
+	}
+	exitReq struct{}
+
+	// Privileged kernel calls, usable only by system servers (PM, RS).
+	kSpawnReq struct {
+		image string
+		acid  acidArg
+	}
+	kKillReq struct {
+		target Endpoint
+	}
+)
+
+// acidArg carries an access-control identity across the PM protocol; the
+// zero value means "inherit the caller's".
+type acidArg uint32
+
+// Trap reply types.
+type (
+	errReply struct {
+		err error
+	}
+	ipcReply struct {
+		msg Message
+		err error
+	}
+	u32Reply struct {
+		value uint32
+		err   error
+	}
+	epReply struct {
+		ep  Endpoint
+		err error
+	}
+	handleReply struct {
+		handle int32
+		err    error
+	}
+	bytesReply struct {
+		data []byte
+		err  error
+	}
+)
+
+// Wire error codes used inside PM protocol payloads.
+const (
+	codeOK int32 = iota
+	codeEPerm
+	codeENoEnt
+	codeEQuota
+	codeETableFull
+	codeEUnknownImage
+)
+
+// codeFromErr maps kernel errors onto PM wire codes.
+func codeFromErr(err error) int32 {
+	switch {
+	case err == nil:
+		return codeOK
+	case errors.Is(err, ErrUnknownImage):
+		return codeEUnknownImage
+	case errors.Is(err, ErrTableFull):
+		return codeETableFull
+	case errors.Is(err, ErrDeadSrcDst):
+		return codeENoEnt
+	default:
+		return codeEPerm
+	}
+}
+
+// errFromCode maps PM wire codes back to errors on the caller side.
+func errFromCode(code int32) error {
+	switch code {
+	case codeOK:
+		return nil
+	case codeENoEnt:
+		return ErrDeadSrcDst
+	case codeEQuota:
+		return errQuotaWire
+	case codeETableFull:
+		return ErrTableFull
+	case codeEUnknownImage:
+		return ErrUnknownImage
+	default:
+		return errPermWire
+	}
+}
+
+// Wire-level sentinels for PM denials; distinct from kernel errors so tests
+// can tell where a denial happened.
+var (
+	errPermWire  = errors.New("minix: denied by process manager policy")
+	errQuotaWire = errors.New("minix: denied by process manager: quota exhausted")
+)
+
+// ErrPMDenied is the sentinel for PM policy denials.
+var ErrPMDenied = errPermWire
+
+// ErrPMQuota is the sentinel for PM quota exhaustion.
+var ErrPMQuota = errQuotaWire

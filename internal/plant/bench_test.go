@@ -1,0 +1,31 @@
+package plant
+
+import (
+	"testing"
+	"time"
+
+	"mkbas/internal/machine"
+)
+
+func BenchmarkRoomSync(b *testing.B) {
+	m := machine.New(machine.Config{})
+	room := NewRoom(m.Clock(), DefaultConfig())
+	room.setHeater(true)
+	c := m.Clock()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.At(c.Now().Add(time.Second), func() {})
+		// advance lazily through Temperature (the hot path drivers hit)
+		_ = room.Temperature()
+	}
+}
+
+func BenchmarkSensorEncodeDecode(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if DecodeTemp(EncodeTemp(21.37)) < 21 {
+			b.Fatal("bad codec")
+		}
+	}
+}

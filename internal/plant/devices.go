@@ -1,0 +1,102 @@
+package plant
+
+import "mkbas/internal/machine"
+
+// Bus device IDs for the standard testbed layout.
+const (
+	// DevTempSensor is the BMP180-style temperature sensor.
+	DevTempSensor machine.DeviceID = "bmp180"
+	// DevHeater is the heater (fan in the paper's mockup) actuator.
+	DevHeater machine.DeviceID = "heater"
+	// DevAlarm is the on-board LED standing in for the alarm actuator.
+	DevAlarm machine.DeviceID = "alarm-led"
+)
+
+// Register map shared by drivers and devices.
+const (
+	// RegTempMilliC (sensor, read-only): temperature in milli-°C, offset by
+	// TempOffsetMilliC so sub-zero rooms encode as unsigned values.
+	RegTempMilliC uint32 = 0
+	// RegSampleCount (sensor, read-only): number of samples served.
+	RegSampleCount uint32 = 1
+	// RegActuate (heater/alarm): 1 = on, 0 = off; reads return the commanded
+	// state.
+	RegActuate uint32 = 0
+)
+
+// TempOffsetMilliC biases encoded temperatures; 0 encodes -273.15 °C.
+const TempOffsetMilliC = 273150
+
+// EncodeTemp converts °C to the sensor's register encoding.
+func EncodeTemp(celsius float64) uint32 {
+	return uint32(int32(celsius*1000) + TempOffsetMilliC)
+}
+
+// DecodeTemp converts a sensor register value back to °C.
+func DecodeTemp(raw uint32) float64 {
+	return float64(int32(raw)-TempOffsetMilliC) / 1000
+}
+
+// tempSensorDevice exposes the room temperature as registers.
+type tempSensorDevice struct {
+	room    *Room
+	samples uint32
+}
+
+func (d *tempSensorDevice) ReadReg(reg uint32) uint32 {
+	switch reg {
+	case RegTempMilliC:
+		d.samples++
+		return EncodeTemp(d.room.readSensor())
+	case RegSampleCount:
+		return d.samples
+	default:
+		return 0
+	}
+}
+
+func (d *tempSensorDevice) WriteReg(reg uint32, value uint32) {
+	// Sensor registers are read-only; writes are ignored like real hardware
+	// with no writable registers at those offsets.
+}
+
+// heaterDevice drives the room heater input.
+type heaterDevice struct{ room *Room }
+
+func (d *heaterDevice) ReadReg(reg uint32) uint32 {
+	if reg == RegActuate && d.room.HeaterOn() {
+		return 1
+	}
+	return 0
+}
+
+func (d *heaterDevice) WriteReg(reg uint32, value uint32) {
+	if reg == RegActuate {
+		d.room.setHeater(value != 0)
+	}
+}
+
+// alarmDevice drives the alarm LED.
+type alarmDevice struct{ room *Room }
+
+func (d *alarmDevice) ReadReg(reg uint32) uint32 {
+	if reg == RegActuate && d.room.AlarmOn() {
+		return 1
+	}
+	return 0
+}
+
+func (d *alarmDevice) WriteReg(reg uint32, value uint32) {
+	if reg == RegActuate {
+		d.room.setAlarm(value != 0)
+	}
+}
+
+// Attach wires the room's three devices onto a board bus under the standard
+// IDs and returns the room for chaining.
+func Attach(bus *machine.Bus, room *Room) *Room {
+	bus.Attach(DevTempSensor, &tempSensorDevice{room: room})
+	bus.Attach(DevHeater, &heaterDevice{room: room})
+	bus.Attach(DevAlarm, &alarmDevice{room: room})
+	return room
+}

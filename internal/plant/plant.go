@@ -1,0 +1,242 @@
+// Package plant simulates the physical side of the paper's testbed (Fig. 4):
+// a room with a thermal process, a BMP180-style temperature sensor, a heater
+// actuator, and an alarm LED.
+//
+// The room follows a first-order thermal model
+//
+//	dT/dt = -k (T - T_ambient) + P·u
+//
+// where u ∈ {0,1} is the heater command and P is the heater's heating rate.
+// Between events the inputs are constant, so the model is integrated with the
+// exact closed-form solution rather than numerically; simulations are both
+// deterministic and cheap regardless of how rarely the plant is observed.
+//
+// The plant is what makes the paper's safety argument observable: when a
+// compromised process spoofs sensor data or kills the controller, the room
+// temperature physically diverges and the safety monitors in internal/safety
+// record the violation.
+package plant
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"mkbas/internal/machine"
+)
+
+// Config parameterises a room.
+type Config struct {
+	// InitialTemp is the room temperature at boot, in °C.
+	InitialTemp float64
+	// Ambient is the outside temperature the room leaks toward, in °C.
+	Ambient float64
+	// LeakRate is k in the model, in 1/s. Typical rooms: 1e-3..1e-2.
+	LeakRate float64
+	// HeaterPower is P in the model, in °C/s of heating when on.
+	HeaterPower float64
+	// SensorNoise is the standard deviation of sensor read noise, in °C.
+	// Zero disables noise.
+	SensorNoise float64
+	// Rand supplies deterministic noise; required when SensorNoise > 0.
+	Rand *rand.Rand
+}
+
+// DefaultConfig models a small lab room: 15 °C ambient, time constant of
+// about 17 minutes, and a heater that can raise the room ~1 °C/min.
+func DefaultConfig() Config {
+	return Config{
+		InitialTemp: 18,
+		Ambient:     15,
+		LeakRate:    1e-3,
+		HeaterPower: 1.0 / 60,
+	}
+}
+
+// Room is the simulated thermal process plus its attached devices.
+type Room struct {
+	clock *machine.Clock
+	cfg   Config
+
+	temp      float64 // at lastSync
+	lastSync  machine.Time
+	heaterOn  bool
+	heaterBad bool // failure injection: commands accepted but no heat
+	alarmOn   bool
+
+	// history records every actuator transition for experiment assertions.
+	history []Event
+}
+
+// EventKind labels a plant history entry.
+type EventKind int
+
+// Plant event kinds.
+const (
+	EventHeaterOn EventKind = iota + 1
+	EventHeaterOff
+	EventAlarmOn
+	EventAlarmOff
+	EventHeaterFailed
+	EventHeaterRepaired
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventHeaterOn:
+		return "heater-on"
+	case EventHeaterOff:
+		return "heater-off"
+	case EventAlarmOn:
+		return "alarm-on"
+	case EventAlarmOff:
+		return "alarm-off"
+	case EventHeaterFailed:
+		return "heater-failed"
+	case EventHeaterRepaired:
+		return "heater-repaired"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one actuator transition with its instant and the room temperature
+// at that instant.
+type Event struct {
+	At   machine.Time
+	Kind EventKind
+	Temp float64
+}
+
+// NewRoom builds a room over the board clock.
+func NewRoom(clock *machine.Clock, cfg Config) *Room {
+	if cfg.LeakRate <= 0 {
+		panic("plant: LeakRate must be positive")
+	}
+	if cfg.SensorNoise > 0 && cfg.Rand == nil {
+		panic("plant: SensorNoise requires a Rand source")
+	}
+	return &Room{
+		clock:    clock,
+		cfg:      cfg,
+		temp:     cfg.InitialTemp,
+		lastSync: clock.Now(),
+	}
+}
+
+// sync integrates the model from lastSync to now with constant inputs.
+func (r *Room) sync() {
+	now := r.clock.Now()
+	dt := now.Sub(r.lastSync).Seconds()
+	if dt <= 0 {
+		return
+	}
+	u := 0.0
+	if r.heaterOn && !r.heaterBad {
+		u = 1
+	}
+	// Steady state for constant input, exact exponential approach to it.
+	tInf := r.cfg.Ambient + r.cfg.HeaterPower*u/r.cfg.LeakRate
+	r.temp = tInf + (r.temp-tInf)*math.Exp(-r.cfg.LeakRate*dt)
+	r.lastSync = now
+}
+
+// Temperature returns the true room temperature, in °C, at the current
+// virtual instant. This is ground truth for safety monitors; processes read
+// through the sensor device instead.
+func (r *Room) Temperature() float64 {
+	r.sync()
+	return r.temp
+}
+
+// SetTemperature overrides the room temperature (test and scenario setup).
+func (r *Room) SetTemperature(temp float64) {
+	r.sync()
+	r.temp = temp
+}
+
+// SetAmbient changes the outside temperature (disturbance injection).
+func (r *Room) SetAmbient(ambient float64) {
+	r.sync()
+	r.cfg.Ambient = ambient
+}
+
+// Ambient returns the current outside temperature.
+func (r *Room) Ambient() float64 { return r.cfg.Ambient }
+
+// HeaterOn reports the commanded heater state.
+func (r *Room) HeaterOn() bool { return r.heaterOn }
+
+// AlarmOn reports the alarm actuator state.
+func (r *Room) AlarmOn() bool { return r.alarmOn }
+
+// setHeater applies a heater command at the current instant.
+func (r *Room) setHeater(on bool) {
+	if on == r.heaterOn {
+		return
+	}
+	r.sync()
+	r.heaterOn = on
+	kind := EventHeaterOff
+	if on {
+		kind = EventHeaterOn
+	}
+	r.history = append(r.history, Event{At: r.clock.Now(), Kind: kind, Temp: r.temp})
+}
+
+// setAlarm applies an alarm command at the current instant.
+func (r *Room) setAlarm(on bool) {
+	if on == r.alarmOn {
+		return
+	}
+	r.sync()
+	r.alarmOn = on
+	kind := EventAlarmOff
+	if on {
+		kind = EventAlarmOn
+	}
+	r.history = append(r.history, Event{At: r.clock.Now(), Kind: kind, Temp: r.temp})
+}
+
+// FailHeater injects or repairs a heater fault. While failed, commands are
+// accepted (the driver sees success) but produce no heat — the scenario that
+// must eventually trip the alarm.
+func (r *Room) FailHeater(failed bool) {
+	if failed == r.heaterBad {
+		return
+	}
+	r.sync()
+	r.heaterBad = failed
+	kind := EventHeaterRepaired
+	if failed {
+		kind = EventHeaterFailed
+	}
+	r.history = append(r.history, Event{At: r.clock.Now(), Kind: kind, Temp: r.temp})
+}
+
+// HeaterFailed reports whether the heater fault is active.
+func (r *Room) HeaterFailed() bool { return r.heaterBad }
+
+// History returns a copy of all actuator transitions so far.
+func (r *Room) History() []Event {
+	out := make([]Event, len(r.history))
+	copy(out, r.history)
+	return out
+}
+
+// readSensor returns the noisy measured temperature in °C.
+func (r *Room) readSensor() float64 {
+	r.sync()
+	t := r.temp
+	if r.cfg.SensorNoise > 0 {
+		t += r.cfg.Rand.NormFloat64() * r.cfg.SensorNoise
+	}
+	return t
+}
+
+// TimeConstant returns the thermal time constant 1/k.
+func (r *Room) TimeConstant() time.Duration {
+	return time.Duration(float64(time.Second) / r.cfg.LeakRate)
+}

@@ -1,0 +1,198 @@
+// Package safety implements the experiment harness's physical-world safety
+// monitors. The paper's bottom line is about "safety properties in the
+// physical world": an attack matters only if the room the BAS controls is
+// actually jeopardized. Monitors sample ground truth from the plant (not the
+// controller's possibly-subverted view) and record violations.
+//
+// Monitored properties, matching the scenario narrative:
+//
+//   - TempInRange: the room temperature stays within tolerance of the
+//     intended setpoint (after an initial settling grace period);
+//   - AlarmLiveness: whenever the room has been continuously out of range
+//     longer than the alarm delay plus a grace interval, the physical alarm
+//     actuator must be on — a suppressed or spoofed-away alarm violates it;
+//   - AlarmHonesty: the alarm must not be on while the room is healthy
+//     (an attacker blaring the alarm is also a physical-world violation).
+package safety
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"mkbas/internal/machine"
+	"mkbas/internal/plant"
+)
+
+// Property identifies one monitored safety property.
+type Property string
+
+// Monitored properties.
+const (
+	PropTempInRange   Property = "temp-in-range"
+	PropAlarmLiveness Property = "alarm-liveness"
+	PropAlarmHonesty  Property = "alarm-honesty"
+)
+
+// Violation records one observed breach.
+type Violation struct {
+	At       machine.Time
+	Property Property
+	Detail   string
+}
+
+// String renders "[12m30s] temp-in-range: ...".
+func (v Violation) String() string {
+	return fmt.Sprintf("[%s] %s: %s", v.At, v.Property, v.Detail)
+}
+
+// Config parameterises a monitor.
+type Config struct {
+	// Setpoint is the intended temperature the physical room must track.
+	// The monitor deliberately holds its own copy: a spoofed controller
+	// believes something else, which is exactly the deviation to catch.
+	Setpoint float64
+	// Tolerance is the acceptable |T - setpoint| band (the scenario's alarm
+	// tolerance).
+	Tolerance float64
+	// AlarmDelay is the controller's alarm delay; liveness is checked with
+	// slack on top of it.
+	AlarmDelay time.Duration
+	// SettleTime exempts the initial heat-up from range checking.
+	SettleTime time.Duration
+	// Period is the sampling interval; zero means 5 seconds.
+	Period time.Duration
+}
+
+// DefaultConfig matches the default scenario.
+func DefaultConfig() Config {
+	return Config{
+		Setpoint:   22,
+		Tolerance:  2.0,
+		AlarmDelay: 5 * time.Minute,
+		SettleTime: 20 * time.Minute,
+		Period:     5 * time.Second,
+	}
+}
+
+// Monitor samples a room on the board clock and records violations.
+type Monitor struct {
+	cfg   Config
+	clock *machine.Clock
+	room  *plant.Room
+
+	start      machine.Time
+	outSince   machine.Time
+	outOfRange bool
+
+	violations []Violation
+	lastRecord map[Property]machine.Time
+	samples    int64
+	stopped    bool
+}
+
+// Attach starts monitoring room on the board clock. Sampling is driven by
+// clock callbacks, so it perturbs neither scheduling nor physics.
+func Attach(clock *machine.Clock, room *plant.Room, cfg Config) *Monitor {
+	if cfg.Period == 0 {
+		cfg.Period = 5 * time.Second
+	}
+	m := &Monitor{
+		cfg:        cfg,
+		clock:      clock,
+		room:       room,
+		start:      clock.Now(),
+		lastRecord: make(map[Property]machine.Time),
+	}
+	m.schedule()
+	return m
+}
+
+// SetSetpoint informs the monitor of a legitimate setpoint change (e.g. the
+// administrator moved it through the web interface).
+func (m *Monitor) SetSetpoint(v float64) { m.cfg.Setpoint = v }
+
+// Stop ends sampling.
+func (m *Monitor) Stop() { m.stopped = true }
+
+// Violations returns all recorded breaches, oldest first.
+func (m *Monitor) Violations() []Violation {
+	out := make([]Violation, len(m.violations))
+	copy(out, m.violations)
+	return out
+}
+
+// ViolationsOf filters by property.
+func (m *Monitor) ViolationsOf(p Property) []Violation {
+	var out []Violation
+	for _, v := range m.violations {
+		if v.Property == p {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Healthy reports whether no violations were observed.
+func (m *Monitor) Healthy() bool { return len(m.violations) == 0 }
+
+// Samples reports how many observations the monitor has taken.
+func (m *Monitor) Samples() int64 { return m.samples }
+
+func (m *Monitor) schedule() {
+	m.clock.After(m.cfg.Period, func() {
+		if m.stopped {
+			return
+		}
+		m.observe()
+		m.schedule()
+	})
+}
+
+// observe takes one ground-truth sample and evaluates the properties.
+func (m *Monitor) observe() {
+	now := m.clock.Now()
+	m.samples++
+	temp := m.room.Temperature()
+	deviation := math.Abs(temp - m.cfg.Setpoint)
+	inRange := deviation <= m.cfg.Tolerance
+
+	settled := now.Sub(m.start) > m.cfg.SettleTime
+	if !inRange {
+		if !m.outOfRange {
+			m.outOfRange = true
+			m.outSince = now
+		}
+	} else {
+		m.outOfRange = false
+	}
+
+	if settled && !inRange {
+		m.record(now, PropTempInRange,
+			fmt.Sprintf("room at %.2f°C, want %.2f±%.2f", temp, m.cfg.Setpoint, m.cfg.Tolerance))
+	}
+	// Liveness: continuously out of range beyond delay (+2 sample periods
+	// of slack) requires the physical alarm.
+	slack := 2 * m.cfg.Period
+	if m.outOfRange && now.Sub(m.outSince) > m.cfg.AlarmDelay+slack && !m.room.AlarmOn() {
+		m.record(now, PropAlarmLiveness,
+			fmt.Sprintf("out of range since %s but alarm is off", m.outSince))
+	}
+	// Honesty: alarm blaring while the room is fine (with the settling
+	// exemption, since heat-up legitimately trips it in cold starts only
+	// after the delay — during settling we stay silent either way).
+	if settled && inRange && m.room.AlarmOn() {
+		m.record(now, PropAlarmHonesty,
+			fmt.Sprintf("alarm on while room healthy at %.2f°C", temp))
+	}
+}
+
+// record appends a violation, coalescing repeats of the same property within
+// one minute so a sustained breach reads as a few entries, not thousands.
+func (m *Monitor) record(now machine.Time, p Property, detail string) {
+	if last, seen := m.lastRecord[p]; seen && now.Sub(last) < time.Minute {
+		return
+	}
+	m.lastRecord[p] = now
+	m.violations = append(m.violations, Violation{At: now, Property: p, Detail: detail})
+}

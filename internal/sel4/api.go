@@ -1,0 +1,131 @@
+package sel4
+
+import (
+	"time"
+
+	"mkbas/internal/machine"
+)
+
+// API is the system-call interface a simulated seL4 thread programs against.
+// Every method that names a capability takes a CPtr into the calling
+// thread's own CSpace; the kernel validates possession and rights.
+type API struct {
+	ctx *machine.Context
+	k   *Kernel
+}
+
+// Now returns the current virtual time (free, no trap).
+func (a *API) Now() machine.Time { return a.ctx.Now() }
+
+// Send performs seL4_Send: blocking send through an endpoint capability
+// (write right required; grant required when msg transfers a capability).
+func (a *API) Send(cptr CPtr, msg Msg) error {
+	return a.ctx.Trap(sendTrap{cptr: cptr, msg: msg}).(errResult).err
+}
+
+// NBSend performs seL4_NBSend: like Send, but silently dropped when no
+// receiver is waiting.
+func (a *API) NBSend(cptr CPtr, msg Msg) error {
+	return a.ctx.Trap(sendTrap{cptr: cptr, msg: msg, nb: true}).(errResult).err
+}
+
+// Recv performs seL4_Recv: blocking receive on an endpoint capability (read
+// right required). The result carries the sender's badge and, if the sender
+// transferred a capability, the slot it landed in.
+func (a *API) Recv(cptr CPtr) (RecvResult, error) {
+	reply := a.ctx.Trap(recvTrap{cptr: cptr}).(recvResultReply)
+	return reply.res, reply.err
+}
+
+// NBRecv performs seL4_NBRecv: ErrWouldBlock when no sender is queued.
+func (a *API) NBRecv(cptr CPtr) (RecvResult, error) {
+	reply := a.ctx.Trap(recvTrap{cptr: cptr, nb: true}).(recvResultReply)
+	return reply.res, reply.err
+}
+
+// Call performs seL4_Call: atomic send plus receive of the reply, using a
+// one-time reply capability the kernel mints for the receiver. Requires
+// write and grant rights on the endpoint capability.
+func (a *API) Call(cptr CPtr, msg Msg) (Msg, error) {
+	reply := a.ctx.Trap(callTrap{cptr: cptr, msg: msg}).(callResultReply)
+	return reply.msg, reply.err
+}
+
+// Reply performs seL4_Reply, consuming the thread's pending reply
+// capability.
+func (a *API) Reply(msg Msg) error {
+	return a.ctx.Trap(replyTrap{msg: msg}).(errResult).err
+}
+
+// TCBSuspend invokes TCB_Suspend on the thread referenced by a TCB
+// capability (write right required). The suspended thread never runs again.
+func (a *API) TCBSuspend(cptr CPtr) error {
+	return a.ctx.Trap(tcbSuspendTrap{cptr: cptr}).(errResult).err
+}
+
+// CapCopy copies a capability between two of the caller's own slots.
+func (a *API) CapCopy(src, dst CPtr) error {
+	return a.ctx.Trap(capCopyTrap{src: src, dst: dst}).(errResult).err
+}
+
+// CapMint copies a capability with a (possibly) narrowed rights mask and a
+// new badge. Rights can never be widened.
+func (a *API) CapMint(src, dst CPtr, badge Badge, rights Rights) error {
+	return a.ctx.Trap(capMintTrap{src: src, dst: dst, badge: badge, rights: rights}).(errResult).err
+}
+
+// CapDelete empties one of the caller's slots.
+func (a *API) CapDelete(slot CPtr) error {
+	return a.ctx.Trap(capDeleteTrap{slot: slot}).(errResult).err
+}
+
+// DevRead reads a device register through a device capability (read right).
+func (a *API) DevRead(cptr CPtr, reg uint32) (uint32, error) {
+	reply := a.ctx.Trap(devReadTrap{cptr: cptr, reg: reg}).(u32Result)
+	return reply.value, reply.err
+}
+
+// DevWrite writes a device register through a device capability (write
+// right).
+func (a *API) DevWrite(cptr CPtr, reg uint32, value uint32) error {
+	return a.ctx.Trap(devWriteTrap{cptr: cptr, reg: reg, value: value}).(errResult).err
+}
+
+// Sleep parks the thread on the timer service for a virtual duration.
+func (a *API) Sleep(d time.Duration) {
+	a.ctx.Trap(sleepTrap{d: d})
+}
+
+// Trace writes a line to the board trace console.
+func (a *API) Trace(tag, text string) {
+	a.ctx.Trap(traceTrap{tag: tag, text: text})
+}
+
+// NetListen binds the port referenced by a net-port capability (read right)
+// and returns a listener handle.
+func (a *API) NetListen(cptr CPtr) (int32, error) {
+	reply := a.ctx.Trap(netListenTrap{cptr: cptr}).(handleResult)
+	return reply.handle, reply.err
+}
+
+// NetAccept blocks until a connection arrives on the listener handle.
+func (a *API) NetAccept(listener int32) (int32, error) {
+	reply := a.ctx.Trap(netAcceptTrap{listener: listener}).(handleResult)
+	return reply.handle, reply.err
+}
+
+// NetRead blocks until data (or EOF) is available on the connection handle.
+func (a *API) NetRead(conn int32, max int) ([]byte, error) {
+	reply := a.ctx.Trap(netReadTrap{conn: conn, max: max}).(bytesResult)
+	return reply.data, reply.err
+}
+
+// NetWrite sends bytes on the connection handle.
+func (a *API) NetWrite(conn int32, data []byte) error {
+	return a.ctx.Trap(netWriteTrap{conn: conn, data: data}).(errResult).err
+}
+
+// NetClose closes the connection handle.
+func (a *API) NetClose(conn int32) error {
+	return a.ctx.Trap(netCloseTrap{conn: conn}).(errResult).err
+}

@@ -1,0 +1,549 @@
+package sel4
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"mkbas/internal/machine"
+	"mkbas/internal/vnet"
+)
+
+// Trap request and reply types (the syscall wire format).
+type (
+	sendTrap struct {
+		cptr CPtr
+		msg  Msg
+		nb   bool
+	}
+	recvTrap struct {
+		cptr CPtr
+		nb   bool
+	}
+	callTrap struct {
+		cptr CPtr
+		msg  Msg
+	}
+	replyTrap struct {
+		msg Msg
+	}
+	tcbSuspendTrap struct {
+		cptr CPtr
+	}
+	capCopyTrap struct {
+		src, dst CPtr
+	}
+	capMintTrap struct {
+		src, dst CPtr
+		badge    Badge
+		rights   Rights
+	}
+	capDeleteTrap struct {
+		slot CPtr
+	}
+	devReadTrap struct {
+		cptr CPtr
+		reg  uint32
+	}
+	devWriteTrap struct {
+		cptr  CPtr
+		reg   uint32
+		value uint32
+	}
+	sleepTrap struct {
+		d time.Duration
+	}
+	traceTrap struct {
+		tag, text string
+	}
+	netListenTrap struct {
+		cptr CPtr
+	}
+	netAcceptTrap struct {
+		listener int32
+	}
+	netReadTrap struct {
+		conn int32
+		max  int
+	}
+	netWriteTrap struct {
+		conn int32
+		data []byte
+	}
+	netCloseTrap struct {
+		conn int32
+	}
+)
+
+type (
+	errResult struct {
+		err error
+	}
+	recvResultReply struct {
+		res RecvResult
+		err error
+	}
+	callResultReply struct {
+		msg Msg
+		err error
+	}
+	u32Result struct {
+		value uint32
+		err   error
+	}
+	handleResult struct {
+		handle int32
+		err    error
+	}
+	bytesResult struct {
+		data []byte
+		err  error
+	}
+)
+
+// HandleTrap implements machine.TrapHandler.
+func (k *Kernel) HandleTrap(pid machine.PID, req any) (any, machine.Disposition) {
+	t := k.tcbOf(pid)
+	switch r := req.(type) {
+	case sendTrap:
+		return k.doSend(t, r)
+	case recvTrap:
+		return k.doRecv(t, r)
+	case callTrap:
+		return k.doCall(t, r)
+	case replyTrap:
+		return k.doReply(t, r)
+	case tcbSuspendTrap:
+		return k.doSuspend(t, r)
+	case signalTrap:
+		return k.doSignal(t, r)
+	case waitTrap:
+		return k.doWait(t, r)
+	case capCopyTrap:
+		return k.doCapCopy(t, r.src, r.dst, nil, nil)
+	case capMintTrap:
+		return k.doCapCopy(t, r.src, r.dst, &r.badge, &r.rights)
+	case capDeleteTrap:
+		if int(r.slot) >= CSpaceSize {
+			return errResult{err: fmt.Errorf("%w: %d", ErrBadSlot, r.slot)}, machine.DispositionContinue
+		}
+		t.cspace[r.slot] = Capability{}
+		return errResult{}, machine.DispositionContinue
+	case devReadTrap:
+		c, err := k.lookupCap(t, r.cptr, KindDevice, CapRead)
+		if err != nil {
+			return u32Result{err: err}, machine.DispositionContinue
+		}
+		v, err := k.m.Bus().Read(k.devs[c.Object].dev, r.reg)
+		return u32Result{value: v, err: err}, machine.DispositionContinue
+	case devWriteTrap:
+		c, err := k.lookupCap(t, r.cptr, KindDevice, CapWrite)
+		if err != nil {
+			return errResult{err: err}, machine.DispositionContinue
+		}
+		return errResult{err: k.m.Bus().Write(k.devs[c.Object].dev, r.reg, r.value)}, machine.DispositionContinue
+	case sleepTrap:
+		return k.doSleep(t, r)
+	case traceTrap:
+		k.m.Trace().Logf(r.tag, "%s", r.text)
+		return errResult{}, machine.DispositionContinue
+	case netListenTrap:
+		return k.doNetListen(t, r)
+	case netAcceptTrap:
+		return k.doNetAccept(t, r)
+	case netReadTrap:
+		return k.doNetRead(t, r)
+	case netWriteTrap:
+		return k.doNetWrite(t, r)
+	case netCloseTrap:
+		return k.doNetClose(t, r)
+	default:
+		return errResult{err: fmt.Errorf("sel4: unknown trap %T", req)}, machine.DispositionContinue
+	}
+}
+
+// doSend implements seL4_Send / seL4_NBSend.
+func (k *Kernel) doSend(t *tcb, r sendTrap) (any, machine.Disposition) {
+	c, err := k.lookupCap(t, r.cptr, KindEndpoint, CapWrite)
+	if err != nil {
+		return errResult{err: err}, machine.DispositionContinue
+	}
+	if r.msg.TransferCap != nil && !c.Rights.Has(CapGrant) {
+		k.stats.RightsDenied++
+		return errResult{err: fmt.Errorf("%w: cap transfer needs grant", ErrNoRights)}, machine.DispositionContinue
+	}
+	ep := k.eps[c.Object]
+	if receiver := popReceiver(ep); receiver != nil {
+		k.deliver(t, c, receiver, r.msg, false)
+		return errResult{}, machine.DispositionContinue
+	}
+	if r.nb {
+		// seL4_NBSend silently drops when no receiver is waiting.
+		return errResult{}, machine.DispositionContinue
+	}
+	t.state = stateBlockedSend
+	t.sendMsg = r.msg
+	t.sendCap = c
+	t.wantsCall = false
+	ep.sendQ = append(ep.sendQ, t)
+	return nil, machine.DispositionBlock
+}
+
+// doCall implements seL4_Call: atomic send + receive-reply. Per the paper,
+// Call requires the grant right ("if a thread is given grant access to an
+// endpoint it can use seL4_Call") because it attaches a one-time reply
+// capability to the message.
+func (k *Kernel) doCall(t *tcb, r callTrap) (any, machine.Disposition) {
+	c, err := k.lookupCap(t, r.cptr, KindEndpoint, CapWrite|CapGrant)
+	if err != nil {
+		return callResultReply{err: err}, machine.DispositionContinue
+	}
+	k.stats.Calls++
+	ep := k.eps[c.Object]
+	t.sendMsg = r.msg
+	t.sendCap = c
+	t.wantsCall = true
+	if receiver := popReceiver(ep); receiver != nil {
+		k.deliver(t, c, receiver, r.msg, true)
+		t.state = stateBlockedCall
+		return nil, machine.DispositionBlock
+	}
+	t.state = stateBlockedSend
+	ep.sendQ = append(ep.sendQ, t)
+	return nil, machine.DispositionBlock
+}
+
+// doRecv implements seL4_Recv / seL4_NBRecv.
+func (k *Kernel) doRecv(t *tcb, r recvTrap) (any, machine.Disposition) {
+	c, err := k.lookupCap(t, r.cptr, KindEndpoint, CapRead)
+	if err != nil {
+		return recvResultReply{err: err}, machine.DispositionContinue
+	}
+	ep := k.eps[c.Object]
+	if sender := popSender(ep); sender != nil {
+		res := k.buildDelivery(sender, sender.sendCap, t, sender.sendMsg, sender.wantsCall)
+		if sender.wantsCall {
+			sender.state = stateBlockedCall
+		} else {
+			sender.state = stateReady
+			k.mustReady(sender.pid, errResult{})
+		}
+		return recvResultReply{res: res}, machine.DispositionContinue
+	}
+	if r.nb {
+		return recvResultReply{err: ErrWouldBlock}, machine.DispositionContinue
+	}
+	t.state = stateBlockedRecv
+	ep.recvQ = append(ep.recvQ, t)
+	return nil, machine.DispositionBlock
+}
+
+// doReply implements seL4_Reply using the thread's one-time reply capability.
+func (k *Kernel) doReply(t *tcb, r replyTrap) (any, machine.Disposition) {
+	rc := t.replyCap
+	if rc == nil || rc.used {
+		return errResult{err: ErrNoReplyCap}, machine.DispositionContinue
+	}
+	rc.used = true
+	t.replyCap = nil
+	caller := rc.caller
+	if caller == nil || caller.state != stateBlockedCall {
+		// Caller died or was aborted; the reply evaporates.
+		return errResult{}, machine.DispositionContinue
+	}
+	k.stats.Replies++
+	k.stats.IPCDelivered++
+	caller.state = stateReady
+	k.mustReady(caller.pid, callResultReply{msg: r.msg})
+	return errResult{}, machine.DispositionContinue
+}
+
+// deliver wakes a blocked receiver with the sender's message.
+func (k *Kernel) deliver(sender *tcb, senderCap Capability, receiver *tcb, msg Msg, isCall bool) {
+	res := k.buildDelivery(sender, senderCap, receiver, msg, isCall)
+	receiver.state = stateReady
+	receiver.waitToken++
+	k.mustReady(receiver.pid, recvResultReply{res: res})
+}
+
+// buildDelivery constructs the receiver-side result: badge, transferred
+// capability, and (for calls) the reply capability installed on the
+// receiver.
+func (k *Kernel) buildDelivery(sender *tcb, senderCap Capability, receiver *tcb, msg Msg, isCall bool) RecvResult {
+	k.stats.IPCDelivered++
+	res := RecvResult{Msg: msg, Badge: senderCap.Badge}
+	res.Msg.TransferCap = nil
+	if msg.TransferCap != nil {
+		moved := sender.cspace[*msg.TransferCap]
+		if !moved.IsNull() {
+			if slot, ok := freeSlot(receiver); ok {
+				receiver.cspace[slot] = moved
+				res.CapSlot = &slot
+				k.stats.CapsTransferred++
+				k.m.Trace().Logf("sel4", "cap transfer %v from %s to %s slot %d",
+					moved, sender.name, receiver.name, slot)
+			}
+		}
+	}
+	if isCall {
+		rc := &replyObj{caller: sender}
+		receiver.replyCap = rc
+	}
+	return res
+}
+
+// doSuspend implements the TCB_Suspend invocation: the "kill" of the seL4
+// world. It requires a TCB capability with write rights — which the CAmkES
+// scenario never distributes to the web interface.
+func (k *Kernel) doSuspend(t *tcb, r tcbSuspendTrap) (any, machine.Disposition) {
+	c, err := k.lookupCap(t, r.cptr, KindTCB, CapWrite)
+	if err != nil {
+		return errResult{err: err}, machine.DispositionContinue
+	}
+	victim, ok := k.tcbs[c.Object]
+	if !ok || !victim.started || victim.suspended {
+		return errResult{err: ErrSuspended}, machine.DispositionContinue
+	}
+	k.stats.Suspends++
+	victim.suspended = true
+	k.m.Trace().Logf("sel4", "suspend %s by %s", victim.name, t.name)
+	if err := k.m.Engine().Kill(victim.pid); err != nil {
+		return errResult{err: err}, machine.DispositionContinue
+	}
+	return errResult{}, machine.DispositionContinue
+}
+
+// doCapCopy implements CNode copy/mint within the caller's own CSpace.
+// Minting may narrow rights and set a badge; it can never widen rights.
+func (k *Kernel) doCapCopy(t *tcb, src, dst CPtr, badge *Badge, rights *Rights) (any, machine.Disposition) {
+	if int(src) >= CSpaceSize || int(dst) >= CSpaceSize {
+		return errResult{err: fmt.Errorf("%w: %d/%d", ErrBadSlot, src, dst)}, machine.DispositionContinue
+	}
+	c := t.cspace[src]
+	if c.IsNull() {
+		k.stats.InvalidCapErrs++
+		return errResult{err: fmt.Errorf("%w: slot %d", ErrInvalidCap, src)}, machine.DispositionContinue
+	}
+	if !t.cspace[dst].IsNull() {
+		return errResult{err: fmt.Errorf("%w: destination %d occupied", ErrBadSlot, dst)}, machine.DispositionContinue
+	}
+	out := c
+	if rights != nil {
+		out.Rights = c.Rights & *rights // narrow only
+	}
+	if badge != nil {
+		out.Badge = *badge
+	}
+	t.cspace[dst] = out
+	return errResult{}, machine.DispositionContinue
+}
+
+// doSleep parks the thread on the timer service (the paper's added timer
+// driver processes, collapsed into a kernel-provided service here).
+func (k *Kernel) doSleep(t *tcb, r sleepTrap) (any, machine.Disposition) {
+	t.state = stateSleeping
+	t.waitToken++
+	token := t.waitToken
+	pid := t.pid
+	k.m.Clock().After(r.d, func() {
+		cur := k.byPID[pid]
+		if cur != t || cur.waitToken != token || cur.state != stateSleeping {
+			return
+		}
+		cur.state = stateReady
+		k.mustReady(pid, errResult{})
+	})
+	return nil, machine.DispositionBlock
+}
+
+// popReceiver dequeues the next live receiver from an endpoint.
+func popReceiver(ep *endpointObj) *tcb {
+	for len(ep.recvQ) > 0 {
+		r := ep.recvQ[0]
+		ep.recvQ = ep.recvQ[1:]
+		if r.state == stateBlockedRecv {
+			return r
+		}
+	}
+	return nil
+}
+
+// popSender dequeues the next live sender from an endpoint.
+func popSender(ep *endpointObj) *tcb {
+	for len(ep.sendQ) > 0 {
+		s := ep.sendQ[0]
+		ep.sendQ = ep.sendQ[1:]
+		if s.state == stateBlockedSend {
+			return s
+		}
+	}
+	return nil
+}
+
+// OnProcExit implements machine.TrapHandler: scrub the dead thread from all
+// wait queues and abort callers waiting on its reply capability.
+func (k *Kernel) OnProcExit(pid machine.PID, info machine.ExitInfo) {
+	t, ok := k.byPID[pid]
+	if !ok {
+		return
+	}
+	delete(k.byPID, pid)
+	t.waitToken++
+	prevState := t.state
+	t.state = stateSuspendedDead
+	if info.Crashed {
+		k.m.Trace().Logf("sel4", "FAULT %s: %v", t.name, info.PanicValue)
+	}
+	_ = prevState
+
+	// Remove from endpoint and notification queues.
+	for _, ep := range k.eps {
+		ep.sendQ = removeTCB(ep.sendQ, t)
+		ep.recvQ = removeTCB(ep.recvQ, t)
+	}
+	for _, n := range k.notifs {
+		n.waitQ = removeTCB(n.waitQ, t)
+	}
+	// Abort a caller waiting on this thread's pending reply capability.
+	if t.replyCap != nil && !t.replyCap.used {
+		t.replyCap.used = true
+		caller := t.replyCap.caller
+		if caller != nil && caller.state == stateBlockedCall {
+			caller.state = stateReady
+			k.mustReady(caller.pid, callResultReply{err: ErrCallAborted})
+		}
+		t.replyCap = nil
+	}
+	// Release network resources.
+	if k.cfg.Net != nil {
+		for _, l := range t.listeners {
+			k.cfg.Net.CloseListener(l)
+		}
+		for _, c := range t.conns {
+			k.cfg.Net.BoardClose(c)
+		}
+	}
+}
+
+func removeTCB(q []*tcb, t *tcb) []*tcb {
+	for i, x := range q {
+		if x == t {
+			return append(q[:i:i], q[i+1:]...)
+		}
+	}
+	return q
+}
+
+// mustReady wakes a thread the kernel knows is blocked.
+func (k *Kernel) mustReady(pid machine.PID, reply any) {
+	if err := k.m.Engine().Ready(pid, reply); err != nil {
+		panic(fmt.Sprintf("sel4: Ready(%d): %v", pid, err))
+	}
+}
+
+// --- Network mediation ------------------------------------------------------
+
+func (k *Kernel) doNetListen(t *tcb, r netListenTrap) (any, machine.Disposition) {
+	c, err := k.lookupCap(t, r.cptr, KindNetPort, CapRead)
+	if err != nil {
+		return handleResult{err: err}, machine.DispositionContinue
+	}
+	if k.cfg.Net == nil {
+		return handleResult{err: fmt.Errorf("%w: board has no network", ErrInvalidCap)}, machine.DispositionContinue
+	}
+	l, err := k.cfg.Net.Listen(k.ports[c.Object].port)
+	if err != nil {
+		return handleResult{err: err}, machine.DispositionContinue
+	}
+	t.nextHandle++
+	h := t.nextHandle
+	t.listeners[h] = l
+	return handleResult{handle: h}, machine.DispositionContinue
+}
+
+func (k *Kernel) doNetAccept(t *tcb, r netAcceptTrap) (any, machine.Disposition) {
+	l, ok := t.listeners[r.listener]
+	if !ok {
+		return handleResult{err: ErrBadHandle}, machine.DispositionContinue
+	}
+	conn, err := k.cfg.Net.Accept(l)
+	switch {
+	case err == nil:
+		t.nextHandle++
+		h := t.nextHandle
+		t.conns[h] = conn
+		return handleResult{handle: h}, machine.DispositionContinue
+	case errors.Is(err, vnet.ErrWouldBlock):
+		t.state = stateNetBlocked
+		t.waitToken++
+		token := t.waitToken
+		pid := t.pid
+		k.cfg.Net.WaitConn(l, func() {
+			cur := k.byPID[pid]
+			if cur != t || cur.waitToken != token || cur.state != stateNetBlocked {
+				return
+			}
+			cur.state = stateReady
+			conn, acceptErr := k.cfg.Net.Accept(l)
+			if acceptErr != nil {
+				k.mustReady(pid, handleResult{err: acceptErr})
+				return
+			}
+			cur.nextHandle++
+			h := cur.nextHandle
+			cur.conns[h] = conn
+			k.mustReady(pid, handleResult{handle: h})
+		})
+		return nil, machine.DispositionBlock
+	default:
+		return handleResult{err: err}, machine.DispositionContinue
+	}
+}
+
+func (k *Kernel) doNetRead(t *tcb, r netReadTrap) (any, machine.Disposition) {
+	conn, ok := t.conns[r.conn]
+	if !ok {
+		return bytesResult{err: ErrBadHandle}, machine.DispositionContinue
+	}
+	data, err := k.cfg.Net.BoardRead(conn, r.max)
+	switch {
+	case err == nil:
+		return bytesResult{data: data}, machine.DispositionContinue
+	case errors.Is(err, vnet.ErrWouldBlock):
+		t.state = stateNetBlocked
+		t.waitToken++
+		token := t.waitToken
+		pid := t.pid
+		maxBytes := r.max
+		k.cfg.Net.WaitReadable(conn, func() {
+			cur := k.byPID[pid]
+			if cur != t || cur.waitToken != token || cur.state != stateNetBlocked {
+				return
+			}
+			cur.state = stateReady
+			data, readErr := k.cfg.Net.BoardRead(conn, maxBytes)
+			k.mustReady(pid, bytesResult{data: data, err: readErr})
+		})
+		return nil, machine.DispositionBlock
+	default:
+		return bytesResult{err: err}, machine.DispositionContinue
+	}
+}
+
+func (k *Kernel) doNetWrite(t *tcb, r netWriteTrap) (any, machine.Disposition) {
+	conn, ok := t.conns[r.conn]
+	if !ok {
+		return errResult{err: ErrBadHandle}, machine.DispositionContinue
+	}
+	return errResult{err: k.cfg.Net.BoardWrite(conn, r.data)}, machine.DispositionContinue
+}
+
+func (k *Kernel) doNetClose(t *tcb, r netCloseTrap) (any, machine.Disposition) {
+	conn, ok := t.conns[r.conn]
+	if !ok {
+		return errResult{err: ErrBadHandle}, machine.DispositionContinue
+	}
+	delete(t.conns, r.conn)
+	k.cfg.Net.BoardClose(conn)
+	return errResult{}, machine.DispositionContinue
+}

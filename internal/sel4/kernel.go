@@ -1,0 +1,339 @@
+package sel4
+
+import (
+	"errors"
+	"fmt"
+
+	"mkbas/internal/machine"
+	"mkbas/internal/vnet"
+)
+
+// Kernel errors.
+var (
+	// ErrInvalidCap reports an invocation of an empty or wrong-kind slot:
+	// what a brute-forcing attacker sees on every probe.
+	ErrInvalidCap = errors.New("sel4: invalid capability")
+	// ErrNoRights reports a capability lacking the required rights.
+	ErrNoRights = errors.New("sel4: capability lacks required rights")
+	// ErrWouldBlock reports an NB operation that found no partner.
+	ErrWouldBlock = errors.New("sel4: would block")
+	// ErrNoReplyCap reports Reply without a pending reply capability.
+	ErrNoReplyCap = errors.New("sel4: no reply capability")
+	// ErrCallAborted reports a Call whose server died before replying.
+	ErrCallAborted = errors.New("sel4: call aborted (reply capability destroyed)")
+	// ErrCSpaceFull reports no free slot for a transferred capability.
+	ErrCSpaceFull = errors.New("sel4: capability space full")
+	// ErrBadSlot reports a CNode operation on an out-of-range slot.
+	ErrBadSlot = errors.New("sel4: slot out of range")
+	// ErrNotStarted reports Start on an unknown or already started TCB.
+	ErrNotStarted = errors.New("sel4: thread cannot be started")
+	// ErrSuspended reports an invocation on a suspended TCB.
+	ErrSuspended = errors.New("sel4: thread is suspended")
+	// ErrBadHandle reports an invalid network handle.
+	ErrBadHandle = errors.New("sel4: bad descriptor")
+)
+
+// Stats counts kernel events for the experiments.
+type Stats struct {
+	IPCDelivered    int64
+	InvalidCapErrs  int64
+	RightsDenied    int64
+	CapsTransferred int64
+	Suspends        int64
+	Calls           int64
+	Replies         int64
+	Signals         int64
+}
+
+// tcbState tracks why a thread is not running.
+type tcbState int
+
+const (
+	stateReady tcbState = iota
+	stateBlockedSend
+	stateBlockedRecv
+	stateBlockedCall // awaiting reply
+	stateSleeping
+	stateNetBlocked
+	stateBlockedNotif
+	stateSuspendedDead
+)
+
+// tcb is the kernel-side thread control block.
+type tcb struct {
+	id     ObjID
+	name   string
+	prio   int
+	pid    machine.PID
+	body   func(api *API)
+	cspace [CSpaceSize]Capability
+
+	state     tcbState
+	started   bool
+	suspended bool
+
+	// Blocked-send context.
+	sendMsg   Msg
+	sendCap   Capability
+	wantsCall bool
+
+	// replyCap is the one-time reply capability produced by receiving a
+	// Call.
+	replyCap *replyObj
+
+	waitToken uint64
+
+	// Network handles.
+	nextHandle int32
+	listeners  map[int32]*vnet.Listener
+	conns      map[int32]*vnet.Conn
+}
+
+// endpointObj is a rendezvous endpoint: "endpoints are implemented as wait
+// queues".
+type endpointObj struct {
+	id    ObjID
+	name  string
+	sendQ []*tcb
+	recvQ []*tcb
+}
+
+// deviceObj exposes one bus device through a capability.
+type deviceObj struct {
+	id  ObjID
+	dev machine.DeviceID
+}
+
+// netPortObj exposes one network port through a capability.
+type netPortObj struct {
+	id   ObjID
+	port vnet.Port
+}
+
+// replyObj is a one-time reply capability.
+type replyObj struct {
+	caller *tcb
+	used   bool
+}
+
+// Config parameterises the kernel.
+type Config struct {
+	// Net is the board network stack; nil boards have no network.
+	Net *vnet.Stack
+}
+
+// Kernel is the simulated seL4 kernel: the board's trap handler plus the
+// object and capability tables.
+type Kernel struct {
+	m   *machine.Machine
+	cfg Config
+
+	nextObj ObjID
+	eps     map[ObjID]*endpointObj
+	tcbs    map[ObjID]*tcb
+	devs    map[ObjID]*deviceObj
+	ports   map[ObjID]*netPortObj
+	notifs  map[ObjID]*notificationObj
+	byPID   map[machine.PID]*tcb
+
+	stats Stats
+}
+
+var _ machine.TrapHandler = (*Kernel)(nil)
+
+// NewKernel installs an seL4 kernel on a board. Object construction and
+// capability distribution happen through the returned kernel's root-task
+// methods before the board runs (or between run slices).
+func NewKernel(m *machine.Machine, cfg Config) *Kernel {
+	k := &Kernel{
+		m:       m,
+		cfg:     cfg,
+		nextObj: 1,
+		eps:     make(map[ObjID]*endpointObj),
+		tcbs:    make(map[ObjID]*tcb),
+		devs:    make(map[ObjID]*deviceObj),
+		ports:   make(map[ObjID]*netPortObj),
+		notifs:  make(map[ObjID]*notificationObj),
+		byPID:   make(map[machine.PID]*tcb),
+	}
+	m.Engine().SetHandler(k)
+	return k
+}
+
+// Stats returns a snapshot of kernel counters.
+func (k *Kernel) Stats() Stats { return k.stats }
+
+// Machine returns the underlying board.
+func (k *Kernel) Machine() *machine.Machine { return k.m }
+
+// --- Root-task object construction -----------------------------------------
+
+// CreateEndpoint allocates an IPC endpoint object.
+func (k *Kernel) CreateEndpoint(name string) ObjID {
+	id := k.allocID()
+	k.eps[id] = &endpointObj{id: id, name: name}
+	return id
+}
+
+// CreateDevice allocates a device object backed by a bus device.
+func (k *Kernel) CreateDevice(dev machine.DeviceID) ObjID {
+	id := k.allocID()
+	k.devs[id] = &deviceObj{id: id, dev: dev}
+	return id
+}
+
+// CreateNetPort allocates a network-port object.
+func (k *Kernel) CreateNetPort(port vnet.Port) ObjID {
+	id := k.allocID()
+	k.ports[id] = &netPortObj{id: id, port: port}
+	return id
+}
+
+// CreateThread allocates a TCB with an empty CSpace. The thread does not run
+// until Start.
+func (k *Kernel) CreateThread(name string, prio int, body func(api *API)) ObjID {
+	id := k.allocID()
+	k.tcbs[id] = &tcb{
+		id:        id,
+		name:      name,
+		prio:      prio,
+		body:      body,
+		listeners: make(map[int32]*vnet.Listener),
+		conns:     make(map[int32]*vnet.Conn),
+	}
+	return id
+}
+
+// InstallCap writes a capability into a thread's CSpace slot (root-task
+// privilege; at runtime capabilities move only via IPC grant).
+func (k *Kernel) InstallCap(tcbID ObjID, slot CPtr, cap Capability) error {
+	t, ok := k.tcbs[tcbID]
+	if !ok {
+		return fmt.Errorf("%w: tcb %d", ErrInvalidCap, tcbID)
+	}
+	if int(slot) >= CSpaceSize {
+		return fmt.Errorf("%w: %d", ErrBadSlot, slot)
+	}
+	t.cspace[slot] = cap
+	return nil
+}
+
+// Start launches a created thread.
+func (k *Kernel) Start(tcbID ObjID) error {
+	t, ok := k.tcbs[tcbID]
+	if !ok || t.started {
+		return ErrNotStarted
+	}
+	body := t.body
+	proc, err := k.m.Engine().Spawn(t.name, t.prio, func(ctx *machine.Context) {
+		body(&API{ctx: ctx, k: k})
+	})
+	if err != nil {
+		return fmt.Errorf("sel4: starting %q: %w", t.name, err)
+	}
+	t.pid = proc.PID()
+	t.started = true
+	k.byPID[proc.PID()] = t
+	k.m.Trace().Logf("sel4", "start %s tcb=%d", t.name, t.id)
+	return nil
+}
+
+// EndpointCap builds an endpoint capability.
+func EndpointCap(ep ObjID, rights Rights, badge Badge) Capability {
+	return Capability{Object: ep, Kind: KindEndpoint, Rights: rights, Badge: badge}
+}
+
+// TCBCap builds a TCB capability.
+func TCBCap(tcbID ObjID, rights Rights) Capability {
+	return Capability{Object: tcbID, Kind: KindTCB, Rights: rights}
+}
+
+// DeviceCap builds a device capability.
+func DeviceCap(dev ObjID, rights Rights) Capability {
+	return Capability{Object: dev, Kind: KindDevice, Rights: rights}
+}
+
+// NetPortCap builds a network-port capability.
+func NetPortCap(port ObjID, rights Rights) Capability {
+	return Capability{Object: port, Kind: KindNetPort, Rights: rights}
+}
+
+// CapsOf returns a copy of a thread's CSpace (experiment inspection and
+// CapDL verification).
+func (k *Kernel) CapsOf(tcbID ObjID) ([]Capability, error) {
+	t, ok := k.tcbs[tcbID]
+	if !ok {
+		return nil, fmt.Errorf("%w: tcb %d", ErrInvalidCap, tcbID)
+	}
+	out := make([]Capability, CSpaceSize)
+	copy(out, t.cspace[:])
+	return out, nil
+}
+
+// CapCount reports the number of non-null slots in a thread's CSpace.
+func (k *Kernel) CapCount(tcbID ObjID) (int, error) {
+	caps, err := k.CapsOf(tcbID)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, c := range caps {
+		if !c.IsNull() {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// ThreadAlive reports whether a thread is started and not suspended/dead.
+func (k *Kernel) ThreadAlive(tcbID ObjID) bool {
+	t, ok := k.tcbs[tcbID]
+	if !ok || !t.started || t.suspended {
+		return false
+	}
+	p := k.m.Engine().Proc(t.pid)
+	return p != nil && p.State() != machine.StateDead
+}
+
+func (k *Kernel) allocID() ObjID {
+	id := k.nextObj
+	k.nextObj++
+	return id
+}
+
+// lookupCap resolves a thread's slot with a required kind and rights.
+func (k *Kernel) lookupCap(t *tcb, cptr CPtr, kind ObjKind, rights Rights) (Capability, error) {
+	if int(cptr) >= CSpaceSize {
+		k.stats.InvalidCapErrs++
+		return Capability{}, fmt.Errorf("%w: slot %d", ErrInvalidCap, cptr)
+	}
+	c := t.cspace[cptr]
+	if c.IsNull() || c.Kind != kind {
+		k.stats.InvalidCapErrs++
+		return Capability{}, fmt.Errorf("%w: slot %d", ErrInvalidCap, cptr)
+	}
+	if !c.Rights.Has(rights) {
+		k.stats.RightsDenied++
+		return Capability{}, fmt.Errorf("%w: slot %d has %v, needs %v", ErrNoRights, cptr, c.Rights, rights)
+	}
+	return c, nil
+}
+
+// freeSlot finds the lowest empty CSpace slot.
+func freeSlot(t *tcb) (CPtr, bool) {
+	for i := range t.cspace {
+		if t.cspace[i].IsNull() {
+			return CPtr(i), true
+		}
+	}
+	return 0, false
+}
+
+// tcbOf maps a trapping PID to its TCB.
+func (k *Kernel) tcbOf(pid machine.PID) *tcb {
+	t, ok := k.byPID[pid]
+	if !ok {
+		panic(fmt.Sprintf("sel4: trap from unknown pid %d", pid))
+	}
+	return t
+}

@@ -1,0 +1,184 @@
+package sel4
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestSignalWaitRendezvous(t *testing.T) {
+	m, k := newBoard(t)
+	n := k.CreateNotification("irq")
+	var got Badge
+	var waitErr error
+	waiter := k.CreateThread("waiter", 7, func(api *API) {
+		got, waitErr = api.Wait(1)
+	})
+	signaler := k.CreateThread("signaler", 8, func(api *API) {
+		api.Sleep(time.Millisecond)
+		if err := api.Signal(1); err != nil {
+			t.Errorf("signal: %v", err)
+		}
+	})
+	mustInstall(t, k, waiter, 1, NotificationCap(n, CapRead, 0))
+	mustInstall(t, k, signaler, 1, NotificationCap(n, CapWrite, 0b100))
+	mustStart(t, k, waiter)
+	mustStart(t, k, signaler)
+	m.Run(time.Second)
+	if waitErr != nil {
+		t.Fatalf("wait: %v", waitErr)
+	}
+	if got != 0b100 {
+		t.Fatalf("word = %b, want signaler badge 100", got)
+	}
+}
+
+func TestSignalBadgesAccumulate(t *testing.T) {
+	m, k := newBoard(t)
+	n := k.CreateNotification("irq")
+	var got Badge
+	collector := k.CreateThread("collector", 8, func(api *API) {
+		api.Sleep(10 * time.Millisecond) // let both signals land first
+		got, _ = api.Wait(1)
+	})
+	mkSignaler := func(name string, badge Badge) ObjID {
+		id := k.CreateThread(name, 7, func(api *API) {
+			api.Signal(1)
+			api.Signal(1) // duplicate collapses into the same bit
+		})
+		mustInstall(t, k, id, 1, NotificationCap(n, CapWrite, badge))
+		return id
+	}
+	s1 := mkSignaler("s1", 0b01)
+	s2 := mkSignaler("s2", 0b10)
+	mustInstall(t, k, collector, 1, NotificationCap(n, CapRead, 0))
+	mustStart(t, k, collector)
+	mustStart(t, k, s1)
+	mustStart(t, k, s2)
+	m.Run(time.Second)
+	if got != 0b11 {
+		t.Fatalf("word = %b, want OR of both badges", got)
+	}
+}
+
+func TestPollNonBlocking(t *testing.T) {
+	m, k := newBoard(t)
+	n := k.CreateNotification("irq")
+	var first, second error
+	var word Badge
+	th := k.CreateThread("poller", 7, func(api *API) {
+		_, first = api.Poll(1)
+		api.Signal(2)
+		word, second = api.Poll(1)
+	})
+	mustInstall(t, k, th, 1, NotificationCap(n, CapRead, 0))
+	mustInstall(t, k, th, 2, NotificationCap(n, CapWrite, 0b1000))
+	mustStart(t, k, th)
+	m.Run(time.Second)
+	if !errors.Is(first, ErrWouldBlock) {
+		t.Fatalf("empty poll = %v, want ErrWouldBlock", first)
+	}
+	if second != nil || word != 0b1000 {
+		t.Fatalf("poll after signal = %b, %v", word, second)
+	}
+}
+
+func TestNotificationRightsEnforced(t *testing.T) {
+	m, k := newBoard(t)
+	n := k.CreateNotification("irq")
+	var sigErr, waitErr error
+	th := k.CreateThread("wrong", 7, func(api *API) {
+		sigErr = api.Signal(1)   // read-only cap
+		_, waitErr = api.Poll(2) // write-only cap
+	})
+	mustInstall(t, k, th, 1, NotificationCap(n, CapRead, 1))
+	mustInstall(t, k, th, 2, NotificationCap(n, CapWrite, 1))
+	mustStart(t, k, th)
+	m.Run(time.Second)
+	if !errors.Is(sigErr, ErrNoRights) {
+		t.Fatalf("signal with read-only cap = %v", sigErr)
+	}
+	if !errors.Is(waitErr, ErrNoRights) {
+		t.Fatalf("wait with write-only cap = %v", waitErr)
+	}
+}
+
+func TestSignalOnEndpointCapFails(t *testing.T) {
+	m, k := newBoard(t)
+	ep := k.CreateEndpoint("chan")
+	var sigErr error
+	th := k.CreateThread("confused", 7, func(api *API) {
+		sigErr = api.Signal(1)
+	})
+	mustInstall(t, k, th, 1, EndpointCap(ep, RightsRWG, 0))
+	mustStart(t, k, th)
+	m.Run(time.Second)
+	if !errors.Is(sigErr, ErrInvalidCap) {
+		t.Fatalf("signal on endpoint cap = %v, want ErrInvalidCap", sigErr)
+	}
+}
+
+func TestWaiterRemovedOnDeath(t *testing.T) {
+	m, k := newBoard(t)
+	n := k.CreateNotification("irq")
+	waiter := k.CreateThread("doomed", 7, func(api *API) {
+		api.Wait(1)
+	})
+	var got Badge
+	survivor := k.CreateThread("survivor", 8, func(api *API) {
+		api.Sleep(5 * time.Millisecond)
+		got, _ = api.Wait(1)
+	})
+	killer := k.CreateThread("killer", 8, func(api *API) {
+		api.Sleep(time.Millisecond)
+		if err := api.TCBSuspend(3); err != nil {
+			t.Errorf("suspend: %v", err)
+		}
+		api.Sleep(10 * time.Millisecond)
+		api.Signal(1)
+	})
+	mustInstall(t, k, waiter, 1, NotificationCap(n, CapRead, 0))
+	mustInstall(t, k, survivor, 1, NotificationCap(n, CapRead, 0))
+	mustInstall(t, k, killer, 1, NotificationCap(n, CapWrite, 7))
+	mustInstall(t, k, killer, 3, TCBCap(waiter, CapWrite))
+	mustStart(t, k, waiter)
+	mustStart(t, k, survivor)
+	mustStart(t, k, killer)
+	m.Run(time.Second)
+	if got != 7 {
+		t.Fatalf("survivor word = %d, want 7 (dead waiter must not absorb the signal)", got)
+	}
+	if k.ThreadAlive(waiter) {
+		t.Fatal("waiter should be suspended")
+	}
+}
+
+func TestInterruptStyleDriverPattern(t *testing.T) {
+	// The pattern notifications enable: a device-ish signaler wakes a driver
+	// thread which batches work. Deterministic count check.
+	m, k := newBoard(t)
+	n := k.CreateNotification("irq")
+	handled := 0
+	driver := k.CreateThread("driver", 7, func(api *API) {
+		for handled < 5 {
+			if _, err := api.Wait(1); err != nil {
+				return
+			}
+			handled++
+		}
+	})
+	source := k.CreateThread("source", 8, func(api *API) {
+		for i := 0; i < 5; i++ {
+			api.Sleep(time.Millisecond)
+			api.Signal(1)
+		}
+	})
+	mustInstall(t, k, driver, 1, NotificationCap(n, CapRead, 0))
+	mustInstall(t, k, source, 1, NotificationCap(n, CapWrite, 1))
+	mustStart(t, k, driver)
+	mustStart(t, k, source)
+	res := m.Run(time.Second)
+	if handled != 5 {
+		t.Fatalf("handled = %d, want 5 (stop: %v)", handled, res.Reason)
+	}
+}

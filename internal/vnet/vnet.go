@@ -1,0 +1,253 @@
+// Package vnet is a deterministic virtual network for one simulated board.
+//
+// It stands in for the building's IT network: the paper's web interface
+// listens on TCP port 8080, and administrators (or attackers) reach it from
+// the outside. Real sockets would make experiments racy; vnet keeps byte
+// streams entirely in memory and integrates with the virtual clock, so an
+// experiment can inject an HTTP request at exactly t = 90s of virtual time
+// and observe the response deterministically.
+//
+// The package is intentionally passive: it owns buffers and wakeup callbacks
+// but never blocks. Simulated processes block *in their kernel*, which
+// registers a waiter callback here; the host-side test harness reads and
+// writes directly between engine slices or from clock callbacks.
+package vnet
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Port addresses a listener on the board, like a TCP port.
+type Port uint16
+
+// Network errors.
+var (
+	ErrPortInUse   = errors.New("vnet: port already in use")
+	ErrConnClosed  = errors.New("vnet: connection closed")
+	ErrNoListener  = errors.New("vnet: connection refused (no listener)")
+	ErrWouldBlock  = errors.New("vnet: operation would block")
+	ErrBacklogFull = errors.New("vnet: listener backlog full")
+)
+
+// backlogMax bounds pending un-accepted connections per listener.
+const backlogMax = 16
+
+// halfStream is one direction of a connection.
+type halfStream struct {
+	buf    []byte
+	closed bool
+	// onReadable fires (once) when data or EOF arrives while a reader waits.
+	onReadable func()
+}
+
+func (h *halfStream) write(p []byte) error {
+	if h.closed {
+		return ErrConnClosed
+	}
+	h.buf = append(h.buf, p...)
+	h.wake()
+	return nil
+}
+
+func (h *halfStream) wake() {
+	if h.onReadable != nil {
+		fn := h.onReadable
+		h.onReadable = nil
+		fn()
+	}
+}
+
+// read drains up to max bytes; returns ErrWouldBlock when empty and open,
+// and (nil, ErrConnClosed) when empty and closed.
+func (h *halfStream) read(max int) ([]byte, error) {
+	if len(h.buf) == 0 {
+		if h.closed {
+			return nil, ErrConnClosed
+		}
+		return nil, ErrWouldBlock
+	}
+	n := len(h.buf)
+	if max > 0 && max < n {
+		n = max
+	}
+	out := make([]byte, n)
+	copy(out, h.buf[:n])
+	h.buf = h.buf[n:]
+	return out, nil
+}
+
+// Conn is a bidirectional in-memory stream. The two ends are symmetric; each
+// end reads from its inbound halfStream and writes to the peer's.
+type Conn struct {
+	id       uint64
+	toBoard  halfStream // host writes, board reads
+	toHost   halfStream // board writes, host reads
+	refused  bool
+	accepted bool
+}
+
+// ID returns a stable identifier for tracing.
+func (c *Conn) ID() uint64 { return c.id }
+
+// Listener is a bound port with a backlog of pending connections.
+type Listener struct {
+	port    Port
+	backlog []*Conn
+	// onConn fires (once) when a connection arrives while an acceptor waits.
+	onConn func()
+	closed bool
+}
+
+// Port returns the bound port.
+func (l *Listener) Port() Port { return l.port }
+
+// Stack is the per-board network. All methods must run on the engine
+// goroutine (kernel traps, clock callbacks, or between Run slices).
+type Stack struct {
+	listeners map[Port]*Listener
+	nextConn  uint64
+}
+
+// NewStack returns an empty network stack.
+func NewStack() *Stack {
+	return &Stack{listeners: make(map[Port]*Listener), nextConn: 1}
+}
+
+// Listen binds a port. Kernels call this on behalf of a simulated process.
+func (s *Stack) Listen(port Port) (*Listener, error) {
+	if _, used := s.listeners[port]; used {
+		return nil, fmt.Errorf("%w: %d", ErrPortInUse, port)
+	}
+	l := &Listener{port: port}
+	s.listeners[port] = l
+	return l, nil
+}
+
+// CloseListener unbinds a port and refuses its backlog.
+func (s *Stack) CloseListener(l *Listener) {
+	if l.closed {
+		return
+	}
+	l.closed = true
+	delete(s.listeners, l.port)
+	for _, c := range l.backlog {
+		c.refused = true
+		c.toHost.closed = true
+		c.toHost.wake()
+	}
+	l.backlog = nil
+}
+
+// Dial connects the host side (an administrator's browser, an attacker's
+// tool) to a board port. The returned HostConn is used directly by the test
+// harness; the board side surfaces through Listener accept.
+func (s *Stack) Dial(port Port) (*HostConn, error) {
+	l, ok := s.listeners[port]
+	if !ok || l.closed {
+		return nil, fmt.Errorf("%w: port %d", ErrNoListener, port)
+	}
+	if len(l.backlog) >= backlogMax {
+		return nil, fmt.Errorf("%w: port %d", ErrBacklogFull, port)
+	}
+	c := &Conn{id: s.nextConn}
+	s.nextConn++
+	l.backlog = append(l.backlog, c)
+	if l.onConn != nil {
+		fn := l.onConn
+		l.onConn = nil
+		fn()
+	}
+	return &HostConn{conn: c}, nil
+}
+
+// Accept pops a pending connection, or returns ErrWouldBlock. Kernels that
+// need to block a process register a waiter with WaitConn first.
+func (s *Stack) Accept(l *Listener) (*Conn, error) {
+	if l.closed {
+		return nil, ErrConnClosed
+	}
+	if len(l.backlog) == 0 {
+		return nil, ErrWouldBlock
+	}
+	c := l.backlog[0]
+	l.backlog = l.backlog[1:]
+	c.accepted = true
+	return c, nil
+}
+
+// WaitConn registers fn to fire when the listener next has a pending
+// connection. Registering a new waiter replaces any previous one (last
+// wins), so a kernel can abandon a dead process's waiter by simply
+// registering the next.
+func (s *Stack) WaitConn(l *Listener, fn func()) {
+	if len(l.backlog) > 0 {
+		l.onConn = nil
+		fn()
+		return
+	}
+	l.onConn = fn
+}
+
+// BoardRead reads up to max bytes from the board side of c.
+func (s *Stack) BoardRead(c *Conn, max int) ([]byte, error) {
+	return c.toBoard.read(max)
+}
+
+// BoardWrite writes bytes from the board side of c toward the host.
+func (s *Stack) BoardWrite(c *Conn, p []byte) error {
+	return c.toHost.write(p)
+}
+
+// BoardClose closes the board side; the host observes EOF.
+func (s *Stack) BoardClose(c *Conn) {
+	c.toHost.closed = true
+	c.toHost.wake()
+	c.toBoard.closed = true
+	c.toBoard.wake()
+}
+
+// WaitReadable registers fn to fire when the board side of c next has data
+// or EOF. Registering a new waiter replaces any previous one (last wins).
+func (s *Stack) WaitReadable(c *Conn, fn func()) {
+	if len(c.toBoard.buf) > 0 || c.toBoard.closed {
+		c.toBoard.onReadable = nil
+		fn()
+		return
+	}
+	c.toBoard.onReadable = fn
+}
+
+// HostConn is the harness's handle on one connection.
+type HostConn struct {
+	conn *Conn
+}
+
+// Write sends bytes toward the board, waking any blocked reader.
+func (h *HostConn) Write(p []byte) error {
+	if h.conn.refused {
+		return ErrNoListener
+	}
+	return h.conn.toBoard.write(p)
+}
+
+// ReadAll drains everything the board has written so far. It never blocks;
+// it returns nil when nothing is pending.
+func (h *HostConn) ReadAll() []byte {
+	out, err := h.conn.toHost.read(0)
+	if err != nil {
+		return nil
+	}
+	return out
+}
+
+// Closed reports whether the board side has closed the connection.
+func (h *HostConn) Closed() bool {
+	return h.conn.toHost.closed && len(h.conn.toHost.buf) == 0
+}
+
+// Close closes the host side; the board observes EOF on read.
+func (h *HostConn) Close() {
+	h.conn.toBoard.closed = true
+	h.conn.toBoard.wake()
+}
