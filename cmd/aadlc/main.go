@@ -28,6 +28,7 @@ func main() {
 func run() error {
 	system := flag.String("system", "", "system implementation to compile (default: the model's only one)")
 	emit := flag.String("emit", "acm", "output: acm, c, or camkes")
+	lint := flag.Bool("lint", false, "run post-compile policy lint and print findings after the output")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		return fmt.Errorf("usage: aadlc [-system name] [-emit acm|c|camkes] <model.aadl>")
@@ -71,6 +72,16 @@ func run() error {
 		fmt.Print(topo.RenderCAmkES(sysName))
 	default:
 		return fmt.Errorf("unknown -emit %q", *emit)
+	}
+	if *lint {
+		findings, err := aadl.Lint(pkg, sysName)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("-- lint: %d finding(s)\n", len(findings))
+		for _, f := range findings {
+			fmt.Println(f.String())
+		}
 	}
 	return nil
 }

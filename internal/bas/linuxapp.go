@@ -56,6 +56,65 @@ type LinuxOptions struct {
 	WebBody func(api *linuxsim.API)
 }
 
+// account pairs a uid and gid.
+type account struct{ uid, gid int }
+
+// linuxAccounts is the deployment's account table, shared with the static
+// DAC model (LinuxScenarioDAC) so the analyzer sees exactly what boots.
+func linuxAccounts(hardened bool) map[string]account {
+	if hardened {
+		return map[string]account{
+			NameScenario:     {hardScenarioUID, hardCtrlGID},
+			NameTempSensor:   {hardSensorUID, hardCtrlGID},
+			NameTempControl:  {hardCtrlUID, hardCtrlGID},
+			NameHeaterAct:    {hardHeaterUID, hardCtrlGID},
+			NameAlarmAct:     {hardAlarmUID, hardCtrlGID},
+			NameWebInterface: {hardWebUID, hardWebGID},
+		}
+	}
+	return map[string]account{
+		NameScenario:     {baseUID, baseGID},
+		NameTempSensor:   {baseUID, baseGID},
+		NameTempControl:  {baseUID, baseGID},
+		NameHeaterAct:    {baseUID, baseGID},
+		NameAlarmAct:     {baseUID, baseGID},
+		NameWebInterface: {baseUID, baseGID},
+	}
+}
+
+// linuxQueueModes is the deployment's queue permission table, shared with
+// the static DAC model.
+func linuxQueueModes(hardened bool) map[string]linuxsim.Mode {
+	if hardened {
+		return map[string]linuxsim.Mode{
+			QSensorData: 0o620, // control group may write (sensor)
+			QHeaterCmd:  0o620, // control group may write (controller)
+			QAlarmCmd:   0o620,
+			QWebReq:     0o602, // web (other) may submit requests
+			QWebResp:    0o604, // web (other) may read responses
+			QAuditLog:   0o600,
+		}
+	}
+	return map[string]linuxsim.Mode{
+		QSensorData: 0o600, QHeaterCmd: 0o600, QAlarmCmd: 0o600,
+		QWebReq: 0o600, QWebResp: 0o600, QAuditLog: 0o600,
+	}
+}
+
+// linuxQueueCreators maps each queue to the process whose MQOpen(Create)
+// establishes it — the queue's DAC owner: actuators create their command
+// queues, the controller everything else.
+func linuxQueueCreators() map[string]string {
+	return map[string]string{
+		QSensorData: NameTempControl,
+		QHeaterCmd:  NameHeaterAct,
+		QAlarmCmd:   NameAlarmAct,
+		QWebReq:     NameTempControl,
+		QWebResp:    NameTempControl,
+		QAuditLog:   NameTempControl,
+	}
+}
+
 // LinuxDeployment is the booted Linux platform.
 type LinuxDeployment struct {
 	Kernel  *linuxsim.Kernel
@@ -76,37 +135,8 @@ func DeployLinux(tb *Testbed, cfg ScenarioConfig, opts LinuxOptions) (*LinuxDepl
 		webBody = linuxWebBody
 	}
 
-	type account struct{ uid, gid int }
-	acct := map[string]account{
-		NameScenario:     {baseUID, baseGID},
-		NameTempSensor:   {baseUID, baseGID},
-		NameTempControl:  {baseUID, baseGID},
-		NameHeaterAct:    {baseUID, baseGID},
-		NameAlarmAct:     {baseUID, baseGID},
-		NameWebInterface: {baseUID, baseGID},
-	}
-	qmode := map[string]linuxsim.Mode{
-		QSensorData: 0o600, QHeaterCmd: 0o600, QAlarmCmd: 0o600,
-		QWebReq: 0o600, QWebResp: 0o600, QAuditLog: 0o600,
-	}
-	if opts.Hardened {
-		acct = map[string]account{
-			NameScenario:     {hardScenarioUID, hardCtrlGID},
-			NameTempSensor:   {hardSensorUID, hardCtrlGID},
-			NameTempControl:  {hardCtrlUID, hardCtrlGID},
-			NameHeaterAct:    {hardHeaterUID, hardCtrlGID},
-			NameAlarmAct:     {hardAlarmUID, hardCtrlGID},
-			NameWebInterface: {hardWebUID, hardWebGID},
-		}
-		qmode = map[string]linuxsim.Mode{
-			QSensorData: 0o620, // control group may write (sensor)
-			QHeaterCmd:  0o620, // control group may write (controller)
-			QAlarmCmd:   0o620,
-			QWebReq:     0o602, // web (other) may submit requests
-			QWebResp:    0o604, // web (other) may read responses
-			QAuditLog:   0o600,
-		}
-	}
+	acct := linuxAccounts(opts.Hardened)
+	qmode := linuxQueueModes(opts.Hardened)
 
 	// Device files: same-account deployment puts everything under one
 	// owner; hardened gives each driver its device.

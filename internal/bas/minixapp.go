@@ -8,6 +8,7 @@ import (
 	"mkbas/internal/core"
 	"mkbas/internal/minix"
 	"mkbas/internal/plant"
+	"mkbas/internal/polcheck"
 )
 
 // MINIX payload layout for the scenario protocol (offsets into the 56-byte
@@ -39,6 +40,10 @@ type MinixOptions struct {
 	// outcome — that is the point: "user privilege is not directly tied
 	// with access control and IPC".
 	WebRoot bool
+	// SkipPolicyCheck disables the pre-deploy static policy gate. Attack
+	// experiments that deliberately deploy over-permissive policies set it;
+	// production paths never should.
+	SkipPolicyCheck bool
 }
 
 // MinixDeployment is the booted MINIX platform.
@@ -54,6 +59,14 @@ func DeployMinix(tb *Testbed, cfg ScenarioConfig, opts MinixOptions) (*MinixDepl
 	policy := opts.Policy
 	if policy == nil {
 		policy = core.ScenarioPolicy()
+	}
+	// Pre-deploy gate: prove the matrix satisfies the scenario's security
+	// contract before any process runs. The DisableACM ablation skips it —
+	// vanilla MINIX enforces nothing, so there is no policy to certify.
+	if !opts.SkipPolicyCheck && !opts.DisableACM {
+		if err := checkDeployPolicy(polcheck.FromPolicy(policy)); err != nil {
+			return nil, err
+		}
 	}
 	k, err := minix.Boot(tb.Machine, policy, minix.Config{
 		Net:        tb.Net,

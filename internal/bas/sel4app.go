@@ -7,6 +7,7 @@ import (
 
 	"mkbas/internal/camkes"
 	"mkbas/internal/plant"
+	"mkbas/internal/polcheck"
 	"mkbas/internal/sel4"
 	"mkbas/internal/vnet"
 )
@@ -33,6 +34,9 @@ type Sel4Options struct {
 	// WebRun replaces the legitimate web interface's control thread with
 	// attacker code.
 	WebRun func(rt *camkes.Runtime)
+	// SkipPolicyCheck disables the pre-deploy static policy gate over the
+	// generated CapDL spec.
+	SkipPolicyCheck bool
 }
 
 // Sel4Deployment is the booted seL4/CAmkES platform.
@@ -170,6 +174,18 @@ func ScenarioAssembly(cfg ScenarioConfig, webRun func(rt *camkes.Runtime)) *camk
 // DeploySel4 boots the seL4/CAmkES platform on a testbed.
 func DeploySel4(tb *Testbed, cfg ScenarioConfig, opts Sel4Options) (*Sel4Deployment, error) {
 	assembly := ScenarioAssembly(cfg, opts.WebRun)
+	// Pre-deploy gate: analyze the capability distribution the builder is
+	// about to install. Attacker WebRun bodies run with the same caps — the
+	// paper's threat model — so the gate holds for attack deployments too.
+	if !opts.SkipPolicyCheck {
+		spec, err := camkes.GenerateSpec(assembly)
+		if err != nil {
+			return nil, fmt.Errorf("bas: generating capdl spec: %w", err)
+		}
+		if err := checkDeployPolicy(polcheck.FromCapDL(spec)); err != nil {
+			return nil, err
+		}
+	}
 	sys, err := camkes.Build(tb.Machine, assembly, camkes.BuildConfig{Net: tb.Net})
 	if err != nil {
 		return nil, fmt.Errorf("bas: building camkes assembly: %w", err)

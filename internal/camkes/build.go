@@ -17,86 +17,62 @@ type BuildConfig struct {
 	Net *vnet.Stack
 }
 
-// Build validates the assembly, boots an seL4 kernel on the board, creates
-// all objects and threads, distributes capabilities, generates the CapDL
-// spec, and starts every thread. This is the bootstrap process of Section
+// Build boots an seL4 kernel on the board, creates all objects and threads,
+// installs the capability distribution that GenerateSpec compiled from the
+// assembly, and starts every thread. This is the bootstrap process of Section
 // III-C ("the kernel simply hands over all capabilities to the bootstrap
 // process ... this bootstrap process can create new processes and distribute
 // capabilities to them") driven by the component model, as CAmkES does.
+//
+// The running system's capabilities are installed FROM the generated spec —
+// not built alongside it — so what internal/polcheck analyzes statically is,
+// by construction, what the kernel enforces dynamically.
 func Build(m *machine.Machine, assembly *Assembly, cfg BuildConfig) (*System, error) {
-	if err := validate(assembly); err != nil {
+	spec, err := GenerateSpec(assembly)
+	if err != nil {
 		return nil, err
 	}
 	k := sel4.NewKernel(m, sel4.Config{Net: cfg.Net})
 	sys := &System{
 		kernel:  k,
-		spec:    &capdl.Spec{},
+		spec:    spec,
 		bind:    capdl.Binding{Objects: make(map[string]sel4.ObjID), TCBs: make(map[string]sel4.ObjID)},
 		ifaceEP: make(map[string]sel4.ObjID),
 		tcbs:    make(map[string]sel4.ObjID),
 	}
 
-	// Pass 1: one endpoint per provided interface.
+	// Pass 1: kernel objects, bound to their spec names. One endpoint per
+	// provided interface; device and net-port objects shared across
+	// components that name them; one notification per consumed event.
 	for _, comp := range assembly.Components {
 		for _, iface := range sortedIfaces(comp) {
 			full := comp.Name + "." + iface
 			ep := k.CreateEndpoint(full)
 			sys.ifaceEP[full] = ep
-			objName := "ep_" + comp.Name + "_" + iface
-			sys.spec.AddObject(objName, sel4.KindEndpoint)
-			sys.bind.Objects[objName] = ep
+			sys.bind.Objects[epObjName(comp.Name, iface)] = ep
 		}
 	}
-	// Device and net-port objects, shared across components that name them.
-	devObjs := make(map[machine.DeviceID]sel4.ObjID)
-	portObjs := make(map[vnet.Port]sel4.ObjID)
 	for _, comp := range assembly.Components {
 		for _, dev := range comp.Devices {
-			if _, ok := devObjs[dev]; !ok {
-				id := k.CreateDevice(dev)
-				devObjs[dev] = id
-				objName := "dev_" + string(dev)
-				sys.spec.AddObject(objName, sel4.KindDevice)
-				sys.bind.Objects[objName] = id
+			if _, ok := sys.bind.Objects[devObjName(dev)]; !ok {
+				sys.bind.Objects[devObjName(dev)] = k.CreateDevice(dev)
 			}
 		}
 		for _, port := range comp.NetPorts {
-			if _, ok := portObjs[port]; !ok {
-				id := k.CreateNetPort(port)
-				portObjs[port] = id
-				objName := fmt.Sprintf("port_%d", port)
-				sys.spec.AddObject(objName, sel4.KindNetPort)
-				sys.bind.Objects[objName] = id
+			if _, ok := sys.bind.Objects[portObjName(port)]; !ok {
+				sys.bind.Objects[portObjName(port)] = k.CreateNetPort(port)
 			}
 		}
 	}
-
-	// Badges: one per connection, deterministic by connection order.
-	connBadge := make(map[Connection]sel4.Badge, len(assembly.Connections))
-	for i, conn := range assembly.Connections {
-		connBadge[conn] = sel4.Badge(i + 1)
-	}
-	// Notification objects: one per consumed event interface.
-	eventNtfn := make(map[string]sel4.ObjID)
 	for _, comp := range assembly.Components {
 		for _, ev := range comp.Consumes {
-			full := comp.Name + "." + ev
-			id := k.CreateNotification(full)
-			eventNtfn[full] = id
-			objName := "ntfn_" + comp.Name + "_" + ev
-			sys.spec.AddObject(objName, sel4.KindNotification)
-			sys.bind.Objects[objName] = id
+			sys.bind.Objects[ntfnObjName(comp.Name, ev)] = k.CreateNotification(comp.Name + "." + ev)
 		}
 	}
-	eventBadge := make(map[Connection]sel4.Badge, len(assembly.EventConnections))
-	for i, conn := range assembly.EventConnections {
-		eventBadge[conn] = sel4.Badge(1) << uint(i%63)
-	}
 
-	// Pass 2: create threads and install capabilities.
+	// Pass 2: create threads.
 	for _, comp := range assembly.Components {
-		threads := componentThreads(comp)
-		for _, th := range threads {
+		for _, th := range componentThreads(comp) {
 			comp := comp
 			iface := th.iface
 			var body func(api *sel4.API)
@@ -114,84 +90,43 @@ func Build(m *machine.Machine, assembly *Assembly, cfg BuildConfig) (*System, er
 			tcbID := k.CreateThread(th.name, comp.Priority, body)
 			sys.tcbs[th.name] = tcbID
 			sys.bind.TCBs[th.name] = tcbID
-
-			if iface != "" {
-				ep := sys.ifaceEP[comp.Name+"."+iface]
-				mustInstall(k, tcbID, SlotProvides, sel4.EndpointCap(ep, sel4.CapRead, 0))
-				sys.spec.AddCap(th.name, capdl.CapSpec{
-					Slot:   SlotProvides,
-					Object: "ep_" + comp.Name + "_" + iface,
-					Rights: sel4.CapRead,
-				})
-			}
-			// Client capabilities for every uses-interface, on every thread
-			// of the component.
-			for i, uses := range comp.Uses {
-				conn, ok := findConnection(assembly, comp.Name, uses)
-				if !ok {
-					continue // validated earlier; unreachable
-				}
-				ep := sys.ifaceEP[conn.ToComp+"."+conn.ToIface]
-				slot := SlotUsesBase + sel4.CPtr(i)
-				badge := connBadge[conn]
-				// Clients get write+grant, never read: a client must not be
-				// able to intercept requests addressed to the server.
-				mustInstall(k, tcbID, slot, sel4.EndpointCap(ep, sel4.CapWrite|sel4.CapGrant, badge))
-				sys.spec.AddCap(th.name, capdl.CapSpec{
-					Slot:   slot,
-					Object: "ep_" + conn.ToComp + "_" + conn.ToIface,
-					Rights: sel4.CapWrite | sel4.CapGrant,
-					Badge:  badge,
-				})
-			}
-			for i, dev := range comp.Devices {
-				slot := SlotDeviceBase + sel4.CPtr(i)
-				mustInstall(k, tcbID, slot, sel4.DeviceCap(devObjs[dev], sel4.RightsRW))
-				sys.spec.AddCap(th.name, capdl.CapSpec{
-					Slot:   slot,
-					Object: "dev_" + string(dev),
-					Rights: sel4.RightsRW,
-				})
-			}
-			for i, port := range comp.NetPorts {
-				slot := SlotNetBase + sel4.CPtr(i)
-				mustInstall(k, tcbID, slot, sel4.NetPortCap(portObjs[port], sel4.RightsRW))
-				sys.spec.AddCap(th.name, capdl.CapSpec{
-					Slot:   slot,
-					Object: fmt.Sprintf("port_%d", port),
-					Rights: sel4.RightsRW,
-				})
-			}
-			for i, ev := range comp.Emits {
-				conn, ok := findEventConnection(assembly, comp.Name, ev)
-				if !ok {
-					continue // validated earlier; unreachable
-				}
-				ntfn := eventNtfn[conn.ToComp+"."+conn.ToIface]
-				slot := SlotEmitBase + sel4.CPtr(i)
-				badge := eventBadge[conn]
-				mustInstall(k, tcbID, slot, sel4.NotificationCap(ntfn, sel4.CapWrite, badge))
-				sys.spec.AddCap(th.name, capdl.CapSpec{
-					Slot:   slot,
-					Object: "ntfn_" + conn.ToComp + "_" + conn.ToIface,
-					Rights: sel4.CapWrite,
-					Badge:  badge,
-				})
-			}
-			for i, ev := range comp.Consumes {
-				ntfn := eventNtfn[comp.Name+"."+ev]
-				slot := SlotConsumeBase + sel4.CPtr(i)
-				mustInstall(k, tcbID, slot, sel4.NotificationCap(ntfn, sel4.CapRead, 0))
-				sys.spec.AddCap(th.name, capdl.CapSpec{
-					Slot:   slot,
-					Object: "ntfn_" + comp.Name + "_" + ev,
-					Rights: sel4.CapRead,
-				})
-			}
 		}
 	}
 
-	// Pass 3: start everything, servers before control threads so RPC
+	// Pass 3: install the generated capability distribution, slot by slot.
+	kinds := make(map[string]sel4.ObjKind, len(spec.Objects))
+	for _, o := range spec.Objects {
+		kinds[o.Name] = o.Kind
+	}
+	for _, t := range spec.TCBs {
+		tcbID, ok := sys.tcbs[t.Name]
+		if !ok {
+			return nil, fmt.Errorf("%w: spec thread %q was not created", ErrBadAssembly, t.Name)
+		}
+		for _, c := range t.Caps {
+			objID, ok := sys.bind.Objects[c.Object]
+			if !ok {
+				return nil, fmt.Errorf("%w: spec object %q was not created", ErrBadAssembly, c.Object)
+			}
+			var cap sel4.Capability
+			switch kinds[c.Object] {
+			case sel4.KindEndpoint:
+				cap = sel4.EndpointCap(objID, c.Rights, c.Badge)
+			case sel4.KindNotification:
+				cap = sel4.NotificationCap(objID, c.Rights, c.Badge)
+			case sel4.KindDevice:
+				cap = sel4.DeviceCap(objID, c.Rights)
+			case sel4.KindNetPort:
+				cap = sel4.NetPortCap(objID, c.Rights)
+			default:
+				return nil, fmt.Errorf("%w: spec object %q has uninstallable kind %v",
+					ErrBadAssembly, c.Object, kinds[c.Object])
+			}
+			mustInstall(k, tcbID, c.Slot, cap)
+		}
+	}
+
+	// Pass 4: start everything, servers before control threads so RPC
 	// targets exist when Run bodies issue their first calls.
 	for _, comp := range assembly.Components {
 		for _, th := range componentThreads(comp) {

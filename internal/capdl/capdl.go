@@ -165,6 +165,7 @@ func Parse(text string) (*Spec, error) {
 func parseKind(s string) (sel4.ObjKind, error) {
 	for _, k := range []sel4.ObjKind{
 		sel4.KindEndpoint, sel4.KindTCB, sel4.KindDevice, sel4.KindNetPort, sel4.KindReply,
+		sel4.KindNotification,
 	} {
 		if k.String() == s {
 			return k, nil

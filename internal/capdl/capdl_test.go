@@ -184,3 +184,55 @@ func TestSpecTCBLookup(t *testing.T) {
 		t.Fatal("TCB lookup wrong")
 	}
 }
+
+// TestNotificationRoundTrip locks the parser's notification support: a spec
+// declaring a notification object must survive Render -> Parse unchanged
+// (regression for parseKind rejecting "notification").
+func TestNotificationRoundTrip(t *testing.T) {
+	s := &Spec{}
+	s.AddObject("ntfn_alarm", sel4.KindNotification)
+	s.AddCap("web", CapSpec{Slot: 3, Object: "ntfn_alarm", Rights: sel4.CapWrite, Badge: 2})
+	rendered := s.Render()
+	if !strings.Contains(rendered, "ntfn_alarm = notification") {
+		t.Fatalf("render missing notification object:\n%s", rendered)
+	}
+	parsed, err := Parse(rendered)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if parsed.Render() != rendered {
+		t.Fatalf("round trip mismatch:\n%s\nvs\n%s", rendered, parsed.Render())
+	}
+}
+
+// TestVerifyReportsCapsOfError covers the error path where a spec thread is
+// bound to an object ID the kernel does not recognise as a TCB: Verify must
+// report the thread by name instead of panicking or silently passing.
+func TestVerifyReportsCapsOfError(t *testing.T) {
+	k, bind, done := buildKernel(t)
+	defer done()
+	// Rebind "web" to the endpoint's object ID — a live object, but not a TCB.
+	bind.TCBs["web"] = bind.Objects["ep_ctrl"]
+	err := Verify(sampleSpec(), k, bind)
+	if !errors.Is(err, ErrVerify) || !strings.Contains(err.Error(), `thread "web"`) {
+		t.Fatalf("err = %v, want verify error naming thread web", err)
+	}
+}
+
+// TestVerifyMismatchNamesExpectation: a rights mismatch must print both what
+// the kernel holds and what the spec wants, so the report is actionable.
+func TestVerifyMismatchNamesExpectation(t *testing.T) {
+	k, bind, done := buildKernel(t)
+	defer done()
+	spec := sampleSpec()
+	spec.TCB("driver").Caps[1].Rights = sel4.CapWrite
+	err := Verify(spec, k, bind)
+	if !errors.Is(err, ErrVerify) {
+		t.Fatalf("err = %v, want ErrVerify", err)
+	}
+	for _, want := range []string{"driver slot 40", "have", "want dev_sensor"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("verify error missing %q: %v", want, err)
+		}
+	}
+}

@@ -34,13 +34,24 @@ const MaxMsgType MsgType = 63
 // TypeMask is a set of permitted message types, one bit per type.
 type TypeMask uint64
 
-// MaskOf builds a mask from individual types.
+// MaskOf builds a mask from individual types. It panics on a type above
+// MaxMsgType: a Go shift of 64 or more silently yields a zero bit, which
+// would turn the intended grant into a deny, so an out-of-range type is a
+// policy-construction bug, never a runtime condition.
 func MaskOf(types ...MsgType) TypeMask {
 	var m TypeMask
 	for _, t := range types {
+		mustValidType(t)
 		m |= 1 << t
 	}
 	return m
+}
+
+// mustValidType panics when t cannot be represented in a TypeMask.
+func mustValidType(t MsgType) {
+	if t > MaxMsgType {
+		panic(fmt.Sprintf("core: message type %d out of range 0..%d: %v", t, MaxMsgType, ErrBadMsgType))
+	}
 }
 
 // MaskAll permits every message type.
@@ -49,8 +60,12 @@ const MaskAll TypeMask = ^TypeMask(0)
 // Has reports whether type t is in the mask.
 func (m TypeMask) Has(t MsgType) bool { return m&(1<<t) != 0 }
 
-// With returns the mask with type t added.
-func (m TypeMask) With(t MsgType) TypeMask { return m | 1<<t }
+// With returns the mask with type t added. Like MaskOf it panics on a type
+// above MaxMsgType instead of silently granting nothing.
+func (m TypeMask) With(t MsgType) TypeMask {
+	mustValidType(t)
+	return m | 1<<t
+}
 
 // Without returns the mask with type t removed.
 func (m TypeMask) Without(t MsgType) TypeMask { return m &^ (1 << t) }

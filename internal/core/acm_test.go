@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -218,5 +219,33 @@ func TestMsgTypeOutOfRangeDenied(t *testing.T) {
 	m := NewMatrix().AllowMask(1, 2, MaskAll).Seal()
 	if m.Allows(1, 2, MaxMsgType+1) {
 		t.Fatal("type beyond MaxMsgType allowed")
+	}
+}
+
+// TestMaskOutOfRangePanics is the regression test for the silent-corruption
+// bug where MaskOf/With shifted by >= 64 bits: the mask constructors must
+// refuse unrepresentable message types loudly instead of wrapping.
+func TestMaskOutOfRangePanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Errorf("%s: expected panic for type %d", name, MaxMsgType+1)
+				return
+			}
+			msg := fmt.Sprint(r)
+			if !strings.Contains(msg, "out of range") || !strings.Contains(msg, ErrBadMsgType.Error()) {
+				t.Errorf("%s: panic %q should cite the range and ErrBadMsgType", name, msg)
+			}
+		}()
+		f()
+	}
+	mustPanic("MaskOf", func() { MaskOf(MaxMsgType + 1) })
+	mustPanic("With", func() { TypeMask(0).With(MaxMsgType + 1) })
+
+	// The boundary type itself is fine.
+	if !MaskOf(MaxMsgType).Has(MaxMsgType) {
+		t.Fatal("MaxMsgType must be representable")
 	}
 }

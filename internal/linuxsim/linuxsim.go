@@ -319,6 +319,13 @@ func (k *Kernel) QueueDepth(name string) (int, error) {
 	return len(q.msgs), nil
 }
 
+// Allowed exposes the kernel's DAC predicate so the static policy analyzer
+// (internal/polcheck) answers permission questions with exactly the code the
+// kernel runs, rather than a reimplementation that could drift.
+func Allowed(uid, gid int, ownerUID, ownerGID int, mode Mode, wantRead, wantWrite bool) bool {
+	return allowed(uid, gid, ownerUID, ownerGID, mode, wantRead, wantWrite)
+}
+
 // allowed implements the DAC check: root bypasses everything; otherwise the
 // owner, group, and other bit classes apply in order.
 func allowed(uid, gid int, ownerUID, ownerGID int, mode Mode, wantRead, wantWrite bool) bool {

@@ -225,6 +225,8 @@ func (k *Kernel) doMQSend(self *proc, r mqSendReq) (any, machine.Disposition) {
 	if reader := k.popReader(q); reader != nil {
 		k.stats.MQSends++
 		k.stats.MQReceives++
+		k.m.IPC().Record(self.name, q.name, "send")
+		k.m.IPC().Record(q.name, reader.name, "recv")
 		reader.phase = phaseIdle
 		k.mustReady(reader.pid, msgReply{msg: msg})
 		return errReply{}, machine.DispositionContinue
@@ -238,6 +240,7 @@ func (k *Kernel) doMQSend(self *proc, r mqSendReq) (any, machine.Disposition) {
 		return nil, machine.DispositionBlock
 	}
 	k.stats.MQSends++
+	k.m.IPC().Record(self.name, q.name, "send")
 	insertByPrio(q, msg)
 	return errReply{}, machine.DispositionContinue
 }
@@ -254,11 +257,13 @@ func (k *Kernel) doMQReceive(self *proc, r mqReceiveReq) (any, machine.Dispositi
 		msg := q.msgs[0]
 		q.msgs = q.msgs[1:]
 		k.stats.MQReceives++
+		k.m.IPC().Record(q.name, self.name, "recv")
 		// Unblock one writer into the freed slot.
 		if w := k.popWriter(q); w != nil {
 			insertByPrio(q, w.msg)
 			k.stats.MQSends++
 			wp := k.procs[w.pid]
+			k.m.IPC().Record(wp.name, q.name, "send")
 			wp.phase = phaseIdle
 			k.mustReady(w.pid, errReply{})
 		}

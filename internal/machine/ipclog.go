@@ -1,0 +1,76 @@
+package machine
+
+import "sort"
+
+// IPCUsage identifies one kind of observed IPC delivery: a source and
+// destination node (named in whatever namespace the recording kernel uses —
+// ACM subject names on MINIX, thread/endpoint names on seL4, process/queue
+// names on Linux) plus a label classifying the operation ("mt4", "send",
+// "recv").
+type IPCUsage struct {
+	Src   string
+	Dst   string
+	Label string
+}
+
+// IPCUsageCount is one aggregated usage row.
+type IPCUsageCount struct {
+	IPCUsage
+	Count int64
+}
+
+// IPCLog aggregates the board's observed IPC traffic. Kernels record every
+// permitted delivery; the static policy analyzer (internal/polcheck) diffs
+// the aggregate against the static grants to flag granted-but-never-used
+// rights. Counts are bounded by the number of distinct (src, dst, label)
+// triples, not by traffic volume, so the log is safe to leave enabled for
+// long runs.
+//
+// Like Trace, the log is unsynchronised: trap handlers run serialized on the
+// engine's scheduling discipline.
+type IPCLog struct {
+	counts map[IPCUsage]int64
+}
+
+// NewIPCLog returns an empty usage log.
+func NewIPCLog() *IPCLog {
+	return &IPCLog{counts: make(map[IPCUsage]int64)}
+}
+
+// Record books one observed delivery.
+func (l *IPCLog) Record(src, dst, label string) {
+	l.counts[IPCUsage{Src: src, Dst: dst, Label: label}]++
+}
+
+// Count reports how many deliveries matched (src, dst, label).
+func (l *IPCLog) Count(src, dst, label string) int64 {
+	return l.counts[IPCUsage{Src: src, Dst: dst, Label: label}]
+}
+
+// Used reports whether (src, dst, label) was observed at least once.
+func (l *IPCLog) Used(src, dst, label string) bool {
+	return l.Count(src, dst, label) > 0
+}
+
+// Len reports the number of distinct usage rows.
+func (l *IPCLog) Len() int { return len(l.counts) }
+
+// Usages returns the aggregated rows sorted by (src, dst, label) for stable
+// reports.
+func (l *IPCLog) Usages() []IPCUsageCount {
+	out := make([]IPCUsageCount, 0, len(l.counts))
+	for u, n := range l.counts {
+		out = append(out, IPCUsageCount{IPCUsage: u, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		if a.Dst != b.Dst {
+			return a.Dst < b.Dst
+		}
+		return a.Label < b.Label
+	})
+	return out
+}

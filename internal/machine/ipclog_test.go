@@ -1,0 +1,45 @@
+package machine
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestIPCLogAggregation(t *testing.T) {
+	l := NewIPCLog()
+	if l.Len() != 0 || l.Used("a", "b", "mt1") {
+		t.Fatal("fresh log must be empty")
+	}
+	l.Record("a", "b", "mt1")
+	l.Record("a", "b", "mt1")
+	l.Record("a", "b", "mt2")
+	l.Record("z", "a", "send")
+
+	if got := l.Count("a", "b", "mt1"); got != 2 {
+		t.Errorf("Count(a,b,mt1) = %d, want 2", got)
+	}
+	if !l.Used("a", "b", "mt2") || l.Used("b", "a", "mt1") {
+		t.Error("Used should reflect exactly the recorded direction")
+	}
+	if l.Len() != 3 {
+		t.Errorf("Len = %d, want 3 distinct rows", l.Len())
+	}
+
+	want := []IPCUsageCount{
+		{IPCUsage{"a", "b", "mt1"}, 2},
+		{IPCUsage{"a", "b", "mt2"}, 1},
+		{IPCUsage{"z", "a", "send"}, 1},
+	}
+	if got := l.Usages(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Usages = %+v, want %+v", got, want)
+	}
+}
+
+func TestMachineHasIPCLog(t *testing.T) {
+	m := New(Config{})
+	defer m.Shutdown()
+	m.IPC().Record("x", "y", "send")
+	if !m.IPC().Used("x", "y", "send") {
+		t.Fatal("machine's IPC log should retain recordings")
+	}
+}

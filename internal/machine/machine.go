@@ -27,6 +27,7 @@ type Machine struct {
 	engine *Engine
 	bus    *Bus
 	trace  *Trace
+	ipc    *IPCLog
 	rng    *rand.Rand
 }
 
@@ -46,6 +47,7 @@ func New(cfg Config) *Machine {
 		engine: NewEngine(clock, costs),
 		bus:    NewBus(),
 		trace:  NewTrace(clock, cfg.TraceCapacity),
+		ipc:    NewIPCLog(),
 		rng:    rand.New(rand.NewSource(seed)),
 	}
 	return m
@@ -62,6 +64,9 @@ func (m *Machine) Bus() *Bus { return m.bus }
 
 // Trace returns the board trace console.
 func (m *Machine) Trace() *Trace { return m.trace }
+
+// IPC returns the board's aggregated IPC usage log.
+func (m *Machine) IPC() *IPCLog { return m.ipc }
 
 // Rand returns the board's deterministic randomness source.
 func (m *Machine) Rand() *rand.Rand { return m.rng }

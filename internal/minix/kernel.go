@@ -340,6 +340,11 @@ func (k *Kernel) checkIPC(src, dst *procEntry, msgType int32) error {
 		k.auditDeny(src, dst, msgType)
 		return err
 	}
+	// Record the exercised grant for the least-privilege audit
+	// (polcheck.AuditMatrix): names match the matrix so the audit can diff
+	// cells against usage directly.
+	k.m.IPC().Record(k.policy.IPC.NameOf(src.acID), k.policy.IPC.NameOf(dst.acID),
+		fmt.Sprintf("mt%d", msgType))
 	return nil
 }
 

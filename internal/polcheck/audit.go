@@ -1,0 +1,69 @@
+package polcheck
+
+import (
+	"fmt"
+
+	"mkbas/internal/core"
+	"mkbas/internal/machine"
+)
+
+// AuditMatrix diffs an access control matrix's static grants against the
+// dynamic IPC usage a board recorded (machine.IPCLog): every (src, dst,
+// message type) cell that was granted but never exercised is a least-privilege
+// warning — the grant could be removed without changing observed behaviour.
+// An all-types grant is audited as a whole: it is "used" if any message
+// flowed on the pair, since enumerating 64 unused types for one wildcard
+// would drown the report.
+//
+// The audit is advisory (warnings, not violations): one run is evidence, not
+// proof, that a grant is dead.
+func AuditMatrix(m *core.Matrix, log *machine.IPCLog) []Finding {
+	var out []Finding
+	subjects := m.Subjects()
+	for _, src := range subjects {
+		for _, dst := range subjects {
+			mask := m.Mask(src, dst)
+			if mask == 0 {
+				continue
+			}
+			srcName, dstName := m.NameOf(src), m.NameOf(dst)
+			if mask == core.MaskAll {
+				if !pairUsed(log, srcName, dstName) {
+					out = append(out, Finding{
+						Property: "unused_grant",
+						Check:    fmt.Sprintf("unused_grant(%s, %s, mt*)", srcName, dstName),
+						Severity: SeverityWarning,
+						Detail: fmt.Sprintf(
+							"%s may send any message type to %s but sent none during the recorded run",
+							srcName, dstName),
+					})
+				}
+				continue
+			}
+			for _, t := range mask.Types() {
+				label := fmt.Sprintf("mt%d", t)
+				if log.Used(srcName, dstName, label) {
+					continue
+				}
+				out = append(out, Finding{
+					Property: "unused_grant",
+					Check:    fmt.Sprintf("unused_grant(%s, %s, %s)", srcName, dstName, label),
+					Severity: SeverityWarning,
+					Detail: fmt.Sprintf(
+						"%s is granted message type %d to %s but never sent it during the recorded run",
+						srcName, t, dstName),
+				})
+			}
+		}
+	}
+	return out
+}
+
+func pairUsed(log *machine.IPCLog, src, dst string) bool {
+	for _, u := range log.Usages() {
+		if u.Src == src && u.Dst == dst {
+			return true
+		}
+	}
+	return false
+}

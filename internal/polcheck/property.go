@@ -1,0 +1,211 @@
+package polcheck
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Property is one static assertion about an access graph.
+type Property interface {
+	// Name is the instantiated check string, e.g.
+	// "deny_path(webInterface, heaterActProc)".
+	Name() string
+	// Check evaluates the property and returns exactly one finding.
+	Check(g *Graph) Finding
+}
+
+// ErrProperty reports a malformed property source text.
+var ErrProperty = errors.New("polcheck: bad property")
+
+// DenyPath asserts that From cannot deliver data to To without another
+// subject's cooperation (ReachDirect). This is the paper's spoofing/attack
+// question: a web interface that can reach the heater actuator directly can
+// forge actuation commands no matter what the controller does. A flow that
+// exists only transitively — through a mediating subject — is reported as
+// info, not violation: mediation is the architecture working as intended.
+type DenyPath struct {
+	From, To string
+}
+
+// Name implements Property.
+func (p DenyPath) Name() string { return fmt.Sprintf("deny_path(%s, %s)", p.From, p.To) }
+
+// Check implements Property.
+func (p DenyPath) Check(g *Graph) Finding {
+	f := Finding{Property: "deny_path", Check: p.Name()}
+	if path, ok := g.Reachable(p.From, p.To, ReachDirect); ok {
+		f.Severity = SeverityViolation
+		f.Detail = fmt.Sprintf("%s can reach %s without mediation: %s", p.From, p.To, path)
+		f.Path = path.Steps()
+		return f
+	}
+	if path, ok := g.Reachable(p.From, p.To, ReachTransitive); ok {
+		f.Severity = SeverityOK
+		f.Detail = fmt.Sprintf(
+			"no unmediated path %s -> %s (information can still flow via mediators: %s)",
+			p.From, p.To, path)
+		return f
+	}
+	f.Severity = SeverityOK
+	f.Detail = fmt.Sprintf("no path %s -> %s at all", p.From, p.To)
+	return f
+}
+
+// AllowPath asserts that From CAN deliver data to To without mediation —
+// the liveness side: a policy that denies everything trivially "passes" all
+// DenyPath checks but runs nothing.
+type AllowPath struct {
+	From, To string
+}
+
+// Name implements Property.
+func (p AllowPath) Name() string { return fmt.Sprintf("allow_path(%s, %s)", p.From, p.To) }
+
+// Check implements Property.
+func (p AllowPath) Check(g *Graph) Finding {
+	f := Finding{Property: "allow_path", Check: p.Name()}
+	if path, ok := g.Reachable(p.From, p.To, ReachDirect); ok {
+		f.Severity = SeverityOK
+		f.Detail = fmt.Sprintf("%s reaches %s: %s", p.From, p.To, path)
+		f.Path = path.Steps()
+		return f
+	}
+	f.Severity = SeverityViolation
+	f.Detail = fmt.Sprintf("required flow %s -> %s is not granted", p.From, p.To)
+	return f
+}
+
+// NoKillAuthority asserts that Subject holds no destroy authority over
+// Target — the paper's process-destruction attack ("the attacker can simply
+// kill the temperature control process").
+type NoKillAuthority struct {
+	Subject, Target string
+}
+
+// Name implements Property.
+func (p NoKillAuthority) Name() string {
+	return fmt.Sprintf("no_kill_authority(%s, %s)", p.Subject, p.Target)
+}
+
+// Check implements Property.
+func (p NoKillAuthority) Check(g *Graph) Finding {
+	f := Finding{Property: "no_kill_authority", Check: p.Name()}
+	if origin, ok := g.CanKill(p.Subject, p.Target); ok {
+		f.Severity = SeverityViolation
+		f.Detail = fmt.Sprintf("%s can destroy %s (%s)", p.Subject, p.Target, origin)
+		return f
+	}
+	f.Severity = SeverityOK
+	f.Detail = fmt.Sprintf("%s holds no destroy authority over %s", p.Subject, p.Target)
+	return f
+}
+
+// OnlyEndpoint asserts least privilege on a subject's IPC surface: it may
+// send into at most Max distinct destinations (channels or direct subjects).
+// The paper's configuration gives the web interface "only one capability, to
+// communicate with the temperature controller process".
+type OnlyEndpoint struct {
+	Subject string
+	Max     int
+}
+
+// Name implements Property.
+func (p OnlyEndpoint) Name() string {
+	return fmt.Sprintf("only_endpoint(%s, %d)", p.Subject, p.Max)
+}
+
+// Check implements Property.
+func (p OnlyEndpoint) Check(g *Graph) Finding {
+	f := Finding{Property: "only_endpoint", Check: p.Name()}
+	targets := g.SendTargets(p.Subject)
+	names := make([]string, len(targets))
+	for i, t := range targets {
+		names[i] = t.Name
+	}
+	if len(targets) > p.Max {
+		f.Severity = SeverityViolation
+		f.Detail = fmt.Sprintf("%s can send to %d destinations (max %d): %s",
+			p.Subject, len(targets), p.Max, strings.Join(names, ", "))
+		return f
+	}
+	f.Severity = SeverityOK
+	f.Detail = fmt.Sprintf("%s sends to %d destination(s) (max %d): %s",
+		p.Subject, len(targets), p.Max, strings.Join(names, ", "))
+	return f
+}
+
+// ParseProperties reads the declarative property language: one property per
+// line, "#" comments, blank lines ignored.
+//
+//	deny_path(webInterface, heaterActProc)
+//	allow_path(tempSensProc, tempProc)
+//	no_kill_authority(webInterface, tempProc)
+//	only_endpoint(webInterface, 1)
+func ParseProperties(text string) ([]Property, error) {
+	var props []Property
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		p, err := parseProperty(line)
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrProperty, lineNo+1, err)
+		}
+		props = append(props, p)
+	}
+	return props, nil
+}
+
+func parseProperty(line string) (Property, error) {
+	name, rest, ok := strings.Cut(line, "(")
+	if !ok || !strings.HasSuffix(rest, ")") {
+		return nil, fmt.Errorf("want name(arg, arg), got %q", line)
+	}
+	name = strings.TrimSpace(name)
+	var args []string
+	for _, a := range strings.Split(strings.TrimSuffix(rest, ")"), ",") {
+		args = append(args, strings.TrimSpace(a))
+	}
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s wants %d args, got %d", name, n, len(args))
+		}
+		for _, a := range args {
+			if a == "" {
+				return fmt.Errorf("%s has an empty argument", name)
+			}
+		}
+		return nil
+	}
+	switch name {
+	case "deny_path":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return DenyPath{From: args[0], To: args[1]}, nil
+	case "allow_path":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return AllowPath{From: args[0], To: args[1]}, nil
+	case "no_kill_authority":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return NoKillAuthority{Subject: args[0], Target: args[1]}, nil
+	case "only_endpoint":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		max, err := strconv.Atoi(args[1])
+		if err != nil || max < 0 {
+			return nil, fmt.Errorf("only_endpoint wants a non-negative count, got %q", args[1])
+		}
+		return OnlyEndpoint{Subject: args[0], Max: max}, nil
+	default:
+		return nil, fmt.Errorf("unknown property %q", name)
+	}
+}

@@ -1,0 +1,126 @@
+package polcheck
+
+import (
+	"sort"
+	"strings"
+)
+
+// ReachMode selects how far reachability flows through the graph.
+type ReachMode int
+
+// Reachability modes.
+const (
+	// ReachDirect follows only conduit nodes (channels, devices): it
+	// answers "which subjects can A deliver data to without any other
+	// subject's code cooperating". Subjects are reported as reachable but
+	// not expanded — a path through another subject requires that subject
+	// to actively forward, which is mediation, not authority.
+	ReachDirect ReachMode = iota + 1
+	// ReachTransitive also expands subject nodes: it computes the full
+	// information-flow closure, answering "can data originating at A ever
+	// influence B, however many mediators relay it".
+	ReachTransitive
+)
+
+// String names the mode.
+func (m ReachMode) String() string {
+	switch m {
+	case ReachDirect:
+		return "direct"
+	case ReachTransitive:
+		return "transitive"
+	default:
+		return "unknown"
+	}
+}
+
+// Path is one witness route through the graph, alternating nodes and edge
+// labels.
+type Path struct {
+	Nodes []Node
+	// Labels[i] justifies the hop Nodes[i] → Nodes[i+1].
+	Labels [][]string
+}
+
+// String renders "webInterface -[send]-> /heater-cmd -[recv]-> heaterActProc".
+func (p Path) String() string {
+	if len(p.Nodes) == 0 {
+		return "<empty path>"
+	}
+	var b strings.Builder
+	b.WriteString(p.Nodes[0].Name)
+	for i := 1; i < len(p.Nodes); i++ {
+		b.WriteString(" -[")
+		b.WriteString(strings.Join(p.Labels[i-1], ","))
+		b.WriteString("]-> ")
+		b.WriteString(p.Nodes[i].Name)
+	}
+	return b.String()
+}
+
+// Steps renders the path as a node-name list for JSON reports.
+func (p Path) Steps() []string {
+	out := make([]string, len(p.Nodes))
+	for i, n := range p.Nodes {
+		out[i] = n.Name
+	}
+	return out
+}
+
+// Reach computes the set of subjects reachable from a starting subject under
+// the given mode, mapping each reached subject name to one shortest witness
+// path. The start subject itself is not reported.
+func (g *Graph) Reach(from string, mode ReachMode) map[string]Path {
+	start := Subject(from)
+	reached := make(map[string]Path)
+	if !g.HasNode(start) {
+		return reached
+	}
+	type item struct {
+		node Node
+		path Path
+	}
+	visited := map[Node]bool{start: true}
+	queue := []item{{node: start, path: Path{Nodes: []Node{start}}}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, e := range g.FlowsFrom(cur.node) {
+			if visited[e.To] {
+				continue
+			}
+			visited[e.To] = true
+			next := Path{
+				Nodes:  append(append([]Node{}, cur.path.Nodes...), e.To),
+				Labels: append(append([][]string{}, cur.path.Labels...), e.Labels),
+			}
+			if e.To.Kind == KindSubject {
+				reached[e.To.Name] = next
+				if mode != ReachTransitive {
+					continue // report, but do not expand through it
+				}
+			}
+			queue = append(queue, item{node: e.To, path: next})
+		}
+	}
+	return reached
+}
+
+// Reachable reports whether to is reachable from from under mode, with a
+// witness path when it is.
+func (g *Graph) Reachable(from, to string, mode ReachMode) (Path, bool) {
+	p, ok := g.Reach(from, mode)[to]
+	return p, ok
+}
+
+// ReachableSubjects returns the sorted names of subjects reachable from from
+// under mode.
+func (g *Graph) ReachableSubjects(from string, mode ReachMode) []string {
+	m := g.Reach(from, mode)
+	out := make([]string, 0, len(m))
+	for name := range m {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,108 @@
+package polcheck
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Severity grades a finding.
+type Severity string
+
+// Severities, in increasing order of concern.
+const (
+	// SeverityOK records a property that holds.
+	SeverityOK Severity = "ok"
+	// SeverityInfo is a neutral observation (e.g. a mediated-only flow).
+	SeverityInfo Severity = "info"
+	// SeverityWarning flags hygiene problems that are not policy
+	// violations: over-broad grants, unused rights, isolated subjects.
+	SeverityWarning Severity = "warning"
+	// SeverityViolation is a failed property: the policy admits the attack.
+	SeverityViolation Severity = "violation"
+)
+
+// Finding is one analyzer result, serialisable as JSON.
+type Finding struct {
+	// Property names the property or rule that produced the finding
+	// ("deny_path", "no_kill_authority", "unused_grant", ...).
+	Property string `json:"property"`
+	// Check is the instantiated check ("deny_path(webInterface, heaterActProc)").
+	Check string `json:"check"`
+	// Severity grades the result.
+	Severity Severity `json:"severity"`
+	// Detail is the human-readable explanation.
+	Detail string `json:"detail"`
+	// Path is the witness route for reachability findings, node by node.
+	Path []string `json:"path,omitempty"`
+}
+
+func (f Finding) String() string {
+	s := fmt.Sprintf("[%s] %s: %s", f.Severity, f.Check, f.Detail)
+	if len(f.Path) > 0 {
+		s += "\n    path: " + strings.Join(f.Path, " -> ")
+	}
+	return s
+}
+
+// Report is the analysis result for one platform's policy graph.
+type Report struct {
+	Platform string    `json:"platform"`
+	Findings []Finding `json:"findings"`
+}
+
+// Add appends findings.
+func (r *Report) Add(fs ...Finding) { r.Findings = append(r.Findings, fs...) }
+
+// Pass reports whether the report contains no violations. Warnings and infos
+// do not fail a report.
+func (r *Report) Pass() bool {
+	for _, f := range r.Findings {
+		if f.Severity == SeverityViolation {
+			return false
+		}
+	}
+	return true
+}
+
+// Violations returns only the violation findings.
+func (r *Report) Violations() []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if f.Severity == SeverityViolation {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Text renders the human-readable report.
+func (r *Report) Text() string {
+	var b strings.Builder
+	verdict := "PASS"
+	if !r.Pass() {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(&b, "policy analysis: %s — %s (%d findings)\n", r.Platform, verdict, len(r.Findings))
+	for _, f := range r.Findings {
+		b.WriteString("  ")
+		b.WriteString(f.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// JSON renders the machine-readable report.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// CheckProperties evaluates every property against the graph and collects
+// the findings into a report.
+func CheckProperties(g *Graph, props []Property) *Report {
+	r := &Report{Platform: g.Platform}
+	for _, p := range props {
+		r.Add(p.Check(g))
+	}
+	return r
+}

@@ -271,6 +271,12 @@ func (k *Kernel) deliver(sender *tcb, senderCap Capability, receiver *tcb, msg M
 // receiver.
 func (k *Kernel) buildDelivery(sender *tcb, senderCap Capability, receiver *tcb, msg Msg, isCall bool) RecvResult {
 	k.stats.IPCDelivered++
+	// Record the delivery through its endpoint for the least-privilege
+	// audit: the sender exercised its send cap, the receiver its recv cap.
+	if ep, ok := k.eps[senderCap.Object]; ok {
+		k.m.IPC().Record(sender.name, ep.name, "send")
+		k.m.IPC().Record(ep.name, receiver.name, "recv")
+	}
 	res := RecvResult{Msg: msg, Badge: senderCap.Badge}
 	res.Msg.TransferCap = nil
 	if msg.TransferCap != nil {
