@@ -79,6 +79,16 @@ func run() error {
 			}
 		}
 		fmt.Println(attack.FormatMatrix(reports))
+		fmt.Println("mediation (from the security-event stream):")
+		for _, r := range reports {
+			if len(r.SecurityEvents) == 0 {
+				fmt.Printf("  %-20s %-20s no denial events\n", r.Spec.Platform, r.Spec.Action)
+				continue
+			}
+			fmt.Printf("  %-20s %-20s stopped by %-14s (%d denial events)\n",
+				r.Spec.Platform, r.Spec.Action, r.BlockedBy(), len(r.SecurityEvents))
+		}
+		fmt.Println()
 	}
 	fmt.Println(`verdicts: COMPROMISED        = the physical process was jeopardized
           accepted-no-impact = operations were accepted but the plant stayed safe

@@ -37,6 +37,8 @@ func run() error {
 	setpointAt := flag.Duration("setpoint-at", 10*time.Minute, "when to POST the new setpoint")
 	failHeaterAt := flag.Duration("fail-heater-at", 0, "inject a heater fault at this instant (0 = never)")
 	showTrace := flag.Bool("trace", true, "print the board trace")
+	showEvents := flag.Bool("events", false, "dump the unified security-event stream")
+	showMetrics := flag.Bool("metrics", false, "print board metrics in Prometheus text exposition")
 	withBACnet := flag.Bool("bacnet", false, "also run the BACnet gateway (MINIX only) and demo a field-bus read")
 	bacnetKey := flag.String("bacnet-key", "", "enable the secure proxy with this shared key")
 	flag.Parse()
@@ -107,6 +109,21 @@ func run() error {
 	stats := tb.Machine.Engine().Stats()
 	fmt.Printf("\n--- board ---\ntraps: %d  context switches: %d  kernel time: %v\n",
 		stats.Traps, stats.ContextSwitches, stats.KernelTime)
+
+	if *showEvents {
+		fmt.Printf("\n--- security events ---\n")
+		evlog := tb.Machine.Obs().Events()
+		if evlog.Total() == 0 {
+			fmt.Println("none")
+		}
+		for _, e := range evlog.Events() {
+			fmt.Printf("[%s] %s\n", e.At, e)
+		}
+	}
+	if *showMetrics {
+		fmt.Printf("\n--- metrics ---\n")
+		fmt.Print(tb.Machine.Obs().Metrics().PromText())
+	}
 
 	if *showTrace {
 		fmt.Printf("\n--- trace (last 40 lines) ---\n")

@@ -1,0 +1,155 @@
+// Command basmon replays the Fig. 2 temperature-control scenario on one
+// platform and prints the board's observability report: the metrics
+// registry, IPC span statistics, and the unified security-event stream
+// (experiment E9). Everything is derived from virtual time, so the same
+// flags produce byte-identical output on every run.
+//
+// Usage:
+//
+//	basmon -platform minix                      text report
+//	basmon -platform sel4 -json                 deterministic JSON report
+//	basmon -platform linux -chrome trace.json   Chrome trace-event export
+//	basmon -platform minix -prom                Prometheus text exposition
+//	basmon -platform sel4 -attack kill-controller -root
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mkbas/internal/attack"
+	"mkbas/internal/bas"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "basmon:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	platform := flag.String("platform", "minix", "platform: minix, minix-vanilla, sel4, linux, linux-hardened")
+	duration := flag.Duration("duration", 40*time.Minute, "virtual run time")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON")
+	withEvents := flag.Bool("events", true, "embed the retained security events in the report")
+	chromePath := flag.String("chrome", "", `write the IPC spans as Chrome trace-event JSON to this file ("-" = stdout)`)
+	promOut := flag.Bool("prom", false, "print metrics in Prometheus text exposition instead of a report")
+	action := flag.String("attack", "", "replay an E1 attack instead of the plain scenario (spoof-sensor, command-actuators, kill-controller, enumerate-handles, fork-bomb)")
+	root := flag.Bool("root", false, "attack with the root attacker model")
+	flag.Parse()
+
+	if *action != "" {
+		return runAttack(*platform, attack.Action(*action), *root, *jsonOut)
+	}
+
+	cfg := bas.DefaultScenario()
+	tb := bas.NewTestbed(cfg)
+	defer tb.Machine.Shutdown()
+	if err := deploy(tb, cfg, *platform); err != nil {
+		return err
+	}
+	tb.Machine.Run(*duration)
+
+	board := tb.Machine.Obs()
+	if *chromePath != "" {
+		out, err := board.Tracer().ChromeTrace()
+		if err != nil {
+			return err
+		}
+		if *chromePath == "-" {
+			_, err = os.Stdout.Write(out)
+			return err
+		}
+		if err := os.WriteFile(*chromePath, out, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d bytes of trace events to %s\n", len(out), *chromePath)
+	}
+	if *promOut {
+		fmt.Print(board.Metrics().PromText())
+		return nil
+	}
+
+	report := board.Report(*platform, *withEvents)
+	if *jsonOut {
+		out, err := report.JSON()
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	fmt.Print(report.Text())
+	return nil
+}
+
+// runAttack replays one E1 attack and reports which mediation layer, if
+// any, stopped it — the security-event stream is the evidence.
+func runAttack(platform string, action attack.Action, root, jsonOut bool) error {
+	spec := attack.Spec{Platform: attackPlatform(platform), Action: action, Root: root}
+	report, err := attack.Execute(spec)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		out, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+		return nil
+	}
+	fmt.Print(attack.Summarize(report))
+	if len(report.SecurityEvents) == 0 {
+		fmt.Println("security events: none recorded")
+		return nil
+	}
+	fmt.Printf("security events (%d):\n", len(report.SecurityEvents))
+	for _, e := range report.SecurityEvents {
+		fmt.Printf("  [%s] %s\n", e.At, e)
+	}
+	return nil
+}
+
+// attackPlatform maps basmon's platform spellings onto the attack library's.
+func attackPlatform(p string) attack.Platform {
+	switch strings.ToLower(p) {
+	case "minix":
+		return attack.PlatformMinix
+	case "minix-vanilla":
+		return attack.PlatformMinixVanilla
+	case "sel4":
+		return attack.PlatformSel4
+	case "linux-hardened":
+		return attack.PlatformLinuxHardened
+	default:
+		return attack.PlatformLinux
+	}
+}
+
+func deploy(tb *bas.Testbed, cfg bas.ScenarioConfig, platform string) error {
+	switch strings.ToLower(platform) {
+	case "minix":
+		_, err := bas.DeployMinix(tb, cfg, bas.MinixOptions{})
+		return err
+	case "minix-vanilla":
+		_, err := bas.DeployMinix(tb, cfg, bas.MinixOptions{DisableACM: true})
+		return err
+	case "sel4":
+		_, err := bas.DeploySel4(tb, cfg, bas.Sel4Options{})
+		return err
+	case "linux":
+		_, err := bas.DeployLinux(tb, cfg, bas.LinuxOptions{})
+		return err
+	case "linux-hardened":
+		_, err := bas.DeployLinux(tb, cfg, bas.LinuxOptions{Hardened: true})
+		return err
+	default:
+		return fmt.Errorf("unknown platform %q", platform)
+	}
+}

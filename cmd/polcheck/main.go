@@ -30,6 +30,7 @@ import (
 	"mkbas/internal/bas"
 	"mkbas/internal/camkes"
 	"mkbas/internal/core"
+	"mkbas/internal/machine"
 	"mkbas/internal/polcheck"
 )
 
@@ -190,7 +191,9 @@ func aadlGraph(path, system string) (*polcheck.Graph, error) {
 }
 
 // runAudit boots the MINIX scenario, runs it for a stretch of virtual time,
-// and diffs the matrix against the IPC usage the board recorded.
+// and diffs the matrix against the IPC usage the board recorded. The run is
+// sliced: the live log is folded into an aggregate and reset between
+// slices, so usage gathered across several runs audits as one corpus.
 func runAudit(runFor time.Duration, jsonOut bool) error {
 	cfg := bas.DefaultScenario()
 	tb := bas.NewTestbed(cfg)
@@ -198,8 +201,14 @@ func runAudit(runFor time.Duration, jsonOut bool) error {
 	if _, err := bas.DeployMinix(tb, cfg, bas.MinixOptions{Policy: policy}); err != nil {
 		return err
 	}
-	tb.Machine.Run(runFor)
-	findings := polcheck.AuditMatrix(policy.IPC, tb.Machine.IPC())
+	const slices = 2
+	combined := machine.NewIPCLog()
+	for i := 0; i < slices; i++ {
+		tb.Machine.Run(runFor / slices)
+		combined.Merge(tb.Machine.IPC())
+		tb.Machine.IPC().Reset()
+	}
+	findings := polcheck.AuditMatrix(policy.IPC, combined)
 	if jsonOut {
 		out, err := json.MarshalIndent(findings, "", "  ")
 		if err != nil {
@@ -208,8 +217,8 @@ func runAudit(runFor time.Duration, jsonOut bool) error {
 		fmt.Println(string(out))
 		return nil
 	}
-	fmt.Printf("least-privilege audit: minix scenario, %s of virtual time, %d unused grant(s)\n",
-		runFor, len(findings))
+	fmt.Printf("least-privilege audit: minix scenario, %s of virtual time over %d slices, %d unused grant(s)\n",
+		runFor, slices, len(findings))
 	for _, f := range findings {
 		fmt.Println(f.String())
 	}

@@ -19,9 +19,11 @@ package attack
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"mkbas/internal/bas"
+	"mkbas/internal/obs"
 	"mkbas/internal/safety"
 )
 
@@ -114,6 +116,22 @@ type Report struct {
 	Violations []safety.Violation
 	// Notes carries attacker- and harness-observations.
 	Notes []string
+	// SecurityEvents are the denial events the platform's mediation layers
+	// emitted during the run, in virtual-time order.
+	SecurityEvents []obs.SecurityEvent
+	// Mechanisms lists the distinct mediation mechanisms that denied at
+	// least one operation (sorted; empty when nothing was denied).
+	Mechanisms []obs.Mechanism
+}
+
+// BlockedBy names the mediation layer(s) that denied attack operations,
+// e.g. "acm" or "capability". Empty when no denial event was recorded.
+func (r *Report) BlockedBy() string {
+	parts := make([]string, len(r.Mechanisms))
+	for i, m := range r.Mechanisms {
+		parts[i] = string(m)
+	}
+	return strings.Join(parts, ", ")
 }
 
 // Verdict renders the cell for the E1 outcome matrix.
@@ -166,6 +184,14 @@ func Execute(spec Spec) (*Report, error) {
 
 	tb.Machine.Run(settleTime + attackTime)
 
+	eventLog := tb.Machine.Obs().Events()
+	var denied []obs.SecurityEvent
+	for _, e := range eventLog.Events() {
+		if e.Denied {
+			denied = append(denied, e)
+		}
+	}
+
 	report := &Report{
 		Spec:               spec,
 		OperationSucceeded: prog.successes > 0,
@@ -176,6 +202,8 @@ func Execute(spec Spec) (*Report, error) {
 		Violations:         mon.Violations(),
 		PhysicalCompromise: len(mon.Violations()) > 0 || !controllerAlive(),
 		Notes:              prog.notes,
+		SecurityEvents:     denied,
+		Mechanisms:         eventLog.Mechanisms(),
 	}
 	return report, nil
 }

@@ -3,6 +3,8 @@ package attack
 import (
 	"strings"
 	"testing"
+
+	"mkbas/internal/obs"
 )
 
 // These tests pin the shape of the paper's Section IV-D results: every cell
@@ -17,6 +19,21 @@ func mustExecute(t *testing.T, spec Spec) *Report {
 	}
 	t.Logf("\n%s", Summarize(report))
 	return report
+}
+
+// assertDeniedBy checks that the platform's security-event stream named the
+// expected mediation mechanism for a blocked attack.
+func assertDeniedBy(t *testing.T, r *Report, mech obs.Mechanism) {
+	t.Helper()
+	if len(r.SecurityEvents) == 0 {
+		t.Fatalf("%s/%s blocked but emitted no security events", r.Spec.Platform, r.Spec.Action)
+	}
+	for _, m := range r.Mechanisms {
+		if m == mech {
+			return
+		}
+	}
+	t.Fatalf("%s/%s: mechanisms %v do not include %q", r.Spec.Platform, r.Spec.Action, r.Mechanisms, mech)
 }
 
 // --- Linux: the attacks succeed -------------------------------------------
@@ -77,6 +94,7 @@ func TestHardenedLinuxBlocksUserSpoof(t *testing.T) {
 	if r.PhysicalCompromise {
 		t.Fatalf("physical compromise despite denied operations: %v", r.Violations)
 	}
+	assertDeniedBy(t, r, obs.MechDAC)
 }
 
 func TestHardenedLinuxRootSpoofCompromises(t *testing.T) {
@@ -114,6 +132,7 @@ func TestMinixBlocksSpoofBothModels(t *testing.T) {
 		if r.Denials == 0 {
 			t.Fatalf("root=%v: no denials recorded; attack never ran?", root)
 		}
+		assertDeniedBy(t, r, obs.MechACM)
 	}
 }
 
@@ -133,6 +152,7 @@ func TestMinixBlocksKillBothModels(t *testing.T) {
 		if r.OperationSucceeded {
 			t.Fatalf("root=%v: PM granted a kill to the web interface", root)
 		}
+		assertDeniedBy(t, r, obs.MechSyscallMask)
 	}
 }
 
@@ -215,6 +235,7 @@ func TestSel4BlocksKill(t *testing.T) {
 	if r.Successes != 0 {
 		t.Fatalf("%d suspend invocations accepted, want 0", r.Successes)
 	}
+	assertDeniedBy(t, r, obs.MechCapability)
 }
 
 func TestSel4BruteForceFindsOnlyGrantedSlots(t *testing.T) {

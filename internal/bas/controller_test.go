@@ -10,6 +10,7 @@ import (
 
 	"mkbas/internal/httpmini"
 	"mkbas/internal/machine"
+	"mkbas/internal/obs"
 )
 
 func at(d time.Duration) machine.Time { return machine.Time(d) }
@@ -179,41 +180,57 @@ func parseReq(t *testing.T, raw string) *httpmini.Request {
 	return req
 }
 
+func TestHandleRequestMetricsRoute(t *testing.T) {
+	client := &fakeClient{st: Status{Temp: 20, Setpoint: 22}}
+	reg := obs.NewRegistry()
+	reg.Counter("demo_total").Add(9)
+
+	resp := HandleRequest(parseReq(t, "GET /metrics HTTP/1.0\r\n\r\n"), client, reg)
+	if resp.Status != 200 || !strings.Contains(string(resp.Body), "demo_total 9") {
+		t.Fatalf("metrics route = %d %q", resp.Status, resp.Body)
+	}
+	// Without a wired source (the microkernel deployments), the route 404s.
+	resp = HandleRequest(parseReq(t, "GET /metrics HTTP/1.0\r\n\r\n"), client, nil)
+	if resp.Status != 404 {
+		t.Fatalf("metrics without source = %d, want 404", resp.Status)
+	}
+}
+
 func TestHandleRequestRouting(t *testing.T) {
 	client := &fakeClient{st: Status{Temp: 20, Setpoint: 22}}
 
-	resp := HandleRequest(parseReq(t, "GET /status HTTP/1.0\r\n\r\n"), client)
+	resp := HandleRequest(parseReq(t, "GET /status HTTP/1.0\r\n\r\n"), client, nil)
 	if resp.Status != 200 || !strings.Contains(string(resp.Body), "setpoint=22.00") {
 		t.Fatalf("status resp = %d %q", resp.Status, resp.Body)
 	}
 
-	resp = HandleRequest(parseReq(t, "POST /setpoint HTTP/1.0\r\nContent-Type: application/x-www-form-urlencoded\r\nContent-Length: 10\r\n\r\nvalue=23.5"), client)
+	resp = HandleRequest(parseReq(t, "POST /setpoint HTTP/1.0\r\nContent-Type: application/x-www-form-urlencoded\r\nContent-Length: 10\r\n\r\nvalue=23.5"), client, nil)
 	if resp.Status != 200 || len(client.setCalled) != 1 || client.setCalled[0] != 23.5 {
 		t.Fatalf("setpoint resp = %d, calls %v", resp.Status, client.setCalled)
 	}
 
-	resp = HandleRequest(parseReq(t, "POST /setpoint HTTP/1.0\r\nContent-Length: 9\r\n\r\nvalue=bad"), client)
+	resp = HandleRequest(parseReq(t, "POST /setpoint HTTP/1.0\r\nContent-Length: 9\r\n\r\nvalue=bad"), client, nil)
 	if resp.Status != 400 {
 		t.Fatalf("bad value status = %d, want 400", resp.Status)
 	}
 
 	client.setErr = ErrSetpointRange
-	resp = HandleRequest(parseReq(t, "GET /setpoint?value=99 HTTP/1.0\r\n\r\n"), client)
+	resp = HandleRequest(parseReq(t, "GET /setpoint?value=99 HTTP/1.0\r\n\r\n"), client, nil)
 	if resp.Status != 404 {
 		t.Fatalf("GET on setpoint = %d, want 404", resp.Status)
 	}
-	resp = HandleRequest(parseReq(t, "POST /setpoint HTTP/1.0\r\nContent-Type: application/x-www-form-urlencoded\r\nContent-Length: 8\r\n\r\nvalue=99"), client)
+	resp = HandleRequest(parseReq(t, "POST /setpoint HTTP/1.0\r\nContent-Type: application/x-www-form-urlencoded\r\nContent-Length: 8\r\n\r\nvalue=99"), client, nil)
 	if resp.Status != 400 || !strings.Contains(string(resp.Body), "rejected") {
 		t.Fatalf("rejected resp = %d %q", resp.Status, resp.Body)
 	}
 
 	client.stErr = errors.New("controller dead")
-	resp = HandleRequest(parseReq(t, "GET /status HTTP/1.0\r\n\r\n"), client)
+	resp = HandleRequest(parseReq(t, "GET /status HTTP/1.0\r\n\r\n"), client, nil)
 	if resp.Status != 500 {
 		t.Fatalf("dead controller status = %d, want 500", resp.Status)
 	}
 
-	resp = HandleRequest(parseReq(t, "GET / HTTP/1.0\r\n\r\n"), client)
+	resp = HandleRequest(parseReq(t, "GET / HTTP/1.0\r\n\r\n"), client, nil)
 	if resp.Status != 200 || !strings.Contains(string(resp.Body), "GET /status") {
 		t.Fatalf("usage resp = %d %q", resp.Status, resp.Body)
 	}

@@ -132,7 +132,10 @@ func DeployLinux(tb *Testbed, cfg ScenarioConfig, opts LinuxOptions) (*LinuxDepl
 	k := linuxsim.Boot(tb.Machine, linuxsim.Config{Net: tb.Net})
 	webBody := opts.WebBody
 	if webBody == nil {
-		webBody = linuxWebBody
+		// The Linux deployment exports board metrics over its own web
+		// interface, the way a real Linux controller would run node_exporter.
+		metrics := tb.Machine.Obs().Metrics()
+		webBody = func(api *linuxsim.API) { linuxWebBody(api, metrics) }
 	}
 
 	acct := linuxAccounts(opts.Hardened)
@@ -433,7 +436,7 @@ func parseStatusLine(line string) (Status, error) {
 }
 
 // linuxWebBody is the legitimate web interface on Linux.
-func linuxWebBody(api *linuxsim.API) {
+func linuxWebBody(api *linuxsim.API, metrics MetricsSource) {
 	reqFD, err := linuxOpenRetry(api, QWebReq, linuxsim.MQOpenFlags{Write: true})
 	if err != nil {
 		api.Trace("bas", fmt.Sprintf("web: %v", err))
@@ -450,7 +453,7 @@ func linuxWebBody(api *linuxsim.API) {
 		return
 	}
 	client := &linuxControlClient{api: api, reqFD: reqFD, respFD: respFD}
-	ServeWeb(linuxListener{api: api, l: l}, client)
+	ServeWeb(linuxListener{api: api, l: l}, client, metrics)
 }
 
 // Net adapters.

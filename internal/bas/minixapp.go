@@ -336,7 +336,7 @@ func minixWebBody(api *minix.API) {
 		api.Trace("bas", fmt.Sprintf("web: listen failed: %v", err))
 		return
 	}
-	ServeWeb(minixListener{api: api, l: l}, &minixControlClient{api: api, ctrl: ctrl})
+	ServeWeb(minixListener{api: api, l: l}, &minixControlClient{api: api, ctrl: ctrl}, nil)
 }
 
 // Net adapters.

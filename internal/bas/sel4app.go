@@ -237,7 +237,7 @@ func sel4WebBody(rt *camkes.Runtime) {
 		rt.Trace("bas", fmt.Sprintf("web: listen failed: %v", err))
 		return
 	}
-	ServeWeb(sel4Listener{rt: rt, l: l}, &sel4ControlClient{rt: rt})
+	ServeWeb(sel4Listener{rt: rt, l: l}, &sel4ControlClient{rt: rt}, nil)
 }
 
 // Net adapters.

@@ -16,19 +16,34 @@ type ControlClient interface {
 	SetSetpoint(v float64) error
 }
 
+// MetricsSource supplies the Prometheus text exposition served at
+// GET /metrics. *obs.Registry implements it; a nil source disables the
+// route (the microkernel deployments keep kernel state off the web
+// surface, so only the Linux deployment wires one up).
+type MetricsSource interface {
+	PromText() string
+}
+
 // HandleRequest implements the web interface's HTTP routing, shared by all
 // three platforms:
 //
 //	GET  /           — usage text
 //	GET  /status     — controller status line
+//	GET  /metrics    — Prometheus text exposition (if a source is wired)
 //	POST /setpoint   — value=<float> form field sets a new setpoint
-func HandleRequest(req *httpmini.Request, ctrl ControlClient) *httpmini.Response {
+func HandleRequest(req *httpmini.Request, ctrl ControlClient, metrics MetricsSource) *httpmini.Response {
 	switch {
 	case req.Method == "GET" && req.Path == "/":
 		return httpmini.Text(200,
 			"BAS temperature controller\n"+
 				"GET /status — current state\n"+
+				"GET /metrics — Prometheus metrics\n"+
 				"POST /setpoint value=<°C> — change setpoint\n")
+	case req.Method == "GET" && req.Path == "/metrics":
+		if metrics == nil {
+			return httpmini.Text(404, "not found\n")
+		}
+		return httpmini.Text(200, metrics.PromText())
 	case req.Method == "GET" && req.Path == "/status":
 		st, err := ctrl.Status()
 		if err != nil {
@@ -67,18 +82,18 @@ type NetListener interface {
 // ServeWeb is the web interface's main loop, shared by all platforms: accept
 // a connection, parse one or more HTTP requests off it, answer each, close.
 // It returns when Accept fails (listener torn down).
-func ServeWeb(l NetListener, ctrl ControlClient) {
+func ServeWeb(l NetListener, ctrl ControlClient, metrics MetricsSource) {
 	for {
 		conn, err := l.Accept()
 		if err != nil {
 			return
 		}
-		serveConn(conn, ctrl)
+		serveConn(conn, ctrl, metrics)
 	}
 }
 
 // serveConn handles one connection until EOF or a protocol error.
-func serveConn(conn NetConn, ctrl ControlClient) {
+func serveConn(conn NetConn, ctrl ControlClient, metrics MetricsSource) {
 	defer conn.Close()
 	var parser httpmini.Parser
 	for {
@@ -88,7 +103,7 @@ func serveConn(conn NetConn, ctrl ControlClient) {
 			return
 		}
 		if req != nil {
-			resp := HandleRequest(req, ctrl)
+			resp := HandleRequest(req, ctrl, metrics)
 			if err := conn.Write(resp.Render()); err != nil {
 				return
 			}

@@ -25,8 +25,10 @@ package linuxsim
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"mkbas/internal/machine"
+	"mkbas/internal/obs"
 	"mkbas/internal/vnet"
 )
 
@@ -83,6 +85,9 @@ type mqueue struct {
 
 	readers []machine.PID // blocked in mq_receive
 	writers []blockedWriter
+
+	// depth is the queue's exported depth gauge, labelled by queue name.
+	depth *obs.Gauge
 }
 
 type blockedWriter struct {
@@ -119,6 +124,9 @@ type proc struct {
 
 	phase     procPhase
 	waitToken uint64
+
+	// span is the open mq_send/mq_receive span while blocked on a queue.
+	span obs.SpanID
 
 	listeners map[int32]*vnet.Listener
 	conns     map[int32]*vnet.Conn
@@ -181,6 +189,17 @@ type Kernel struct {
 	nextPID int
 
 	stats Stats
+
+	// Observability hooks, resolved once at boot.
+	reg        *obs.Registry
+	tracer     *obs.Tracer
+	events     *obs.EventLog
+	mSendsC    *obs.Counter
+	mRecvsC    *obs.Counter
+	mDACDenied *obs.Counter
+	mKills     *obs.Counter
+	mForks     *obs.Counter
+	mMQWaitNs  *obs.Histogram
 }
 
 var _ machine.TrapHandler = (*Kernel)(nil)
@@ -203,8 +222,46 @@ func Boot(m *machine.Machine, cfg Config) *Kernel {
 		devs:    make(map[machine.DeviceID]*devFile),
 		nextPID: 100,
 	}
+	board := m.Obs()
+	board.Events().SetPlatform("linux")
+	k.reg = board.Metrics()
+	k.tracer = board.Tracer()
+	k.events = board.Events()
+	k.mSendsC = k.reg.Counter("linux_mq_send_total")
+	k.mRecvsC = k.reg.Counter("linux_mq_receive_total")
+	k.mDACDenied = k.reg.Counter("linux_dac_denied_total")
+	k.mKills = k.reg.Counter("linux_kills_total")
+	k.mForks = k.reg.Counter("linux_forks_total")
+	k.mMQWaitNs = k.reg.Histogram("linux_mq_wait_ns", nil)
 	m.Engine().SetHandler(k)
 	return k
+}
+
+// dacDeny books one DAC denial on the counters and the security-event
+// stream.
+func (k *Kernel) dacDeny(kind obs.EventKind, src, dst, detail string) {
+	k.stats.DACDenied++
+	k.mDACDenied.Inc()
+	k.events.Emit(obs.SecurityEvent{
+		Kind:      kind,
+		Mechanism: obs.MechDAC,
+		Denied:    true,
+		Src:       src,
+		Dst:       dst,
+		Detail:    detail,
+	})
+}
+
+// endSpan closes p's open queue span, observing the wait on delivery.
+func (k *Kernel) endSpan(p *proc, outcome obs.Outcome) {
+	if p.span == 0 {
+		return
+	}
+	s, ok := k.tracer.End(p.span, outcome)
+	p.span = 0
+	if ok && outcome == obs.OutcomeDelivered {
+		k.mMQWaitNs.Observe(time.Duration(s.Duration()))
+	}
 }
 
 // Stats returns a snapshot of kernel counters.
@@ -240,6 +297,13 @@ func (k *Kernel) SpawnImage(image string) (int, error) {
 
 func (k *Kernel) spawn(img Image) (int, error) {
 	if len(k.procs) >= k.cfg.MaxProcs {
+		k.events.Emit(obs.SecurityEvent{
+			Kind:      obs.EventForkDenied,
+			Mechanism: obs.MechKernel,
+			Denied:    true,
+			Src:       img.Name,
+			Detail:    fmt.Sprintf("process limit %d reached", k.cfg.MaxProcs),
+		})
 		return 0, fmt.Errorf("%w: process limit %d reached", ErrAgain, k.cfg.MaxProcs)
 	}
 	p := &proc{
@@ -263,6 +327,7 @@ func (k *Kernel) spawn(img Image) (int, error) {
 	k.procs[p.pid] = p
 	k.byUnix[p.unixPID] = p
 	k.stats.Forks++
+	k.mForks.Inc()
 	k.m.Trace().Logf("linux", "spawn %s pid=%d uid=%d", img.Name, p.unixPID, p.uid)
 	return p.unixPID, nil
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"mkbas/internal/machine"
+	"mkbas/internal/obs"
 	"mkbas/internal/vnet"
 )
 
@@ -142,7 +143,7 @@ func (k *Kernel) HandleTrap(pid machine.PID, req any) (any, machine.Disposition)
 			return u32Reply{err: fmt.Errorf("%w: device %q", ErrNoEnt, r.dev)}, machine.DispositionContinue
 		}
 		if !allowed(self.uid, self.gid, df.ownerUID, df.ownerGID, df.mode, true, false) {
-			k.stats.DACDenied++
+			k.dacDeny(obs.EventSyscallDenied, self.name, string(r.dev), fmt.Sprintf("read /dev/%s reg %d", r.dev, r.reg))
 			return u32Reply{err: fmt.Errorf("%w: read %q", ErrPerm, r.dev)}, machine.DispositionContinue
 		}
 		v, err := k.m.Bus().Read(r.dev, r.reg)
@@ -153,7 +154,7 @@ func (k *Kernel) HandleTrap(pid machine.PID, req any) (any, machine.Disposition)
 			return errReply{err: fmt.Errorf("%w: device %q", ErrNoEnt, r.dev)}, machine.DispositionContinue
 		}
 		if !allowed(self.uid, self.gid, df.ownerUID, df.ownerGID, df.mode, false, true) {
-			k.stats.DACDenied++
+			k.dacDeny(obs.EventSyscallDenied, self.name, string(r.dev), fmt.Sprintf("write /dev/%s reg %d", r.dev, r.reg))
 			return errReply{err: fmt.Errorf("%w: write %q", ErrPerm, r.dev)}, machine.DispositionContinue
 		}
 		return errReply{err: k.m.Bus().Write(r.dev, r.reg, r.value)}, machine.DispositionContinue
@@ -199,11 +200,13 @@ func (k *Kernel) doMQOpen(self *proc, r mqOpenReq) (any, machine.Disposition) {
 			ownerGID: self.gid,
 			mode:     r.mode,
 			maxMsgs:  maxMsgs,
+			depth:    k.reg.Gauge(fmt.Sprintf("linux_mq_depth{queue=%q}", r.name)),
 		}
 		k.mqs[r.name] = q
 	}
 	if !allowed(self.uid, self.gid, q.ownerUID, q.ownerGID, q.mode, r.read, r.write) {
-		k.stats.DACDenied++
+		k.dacDeny(obs.EventIPCDenied, self.name, r.name, fmt.Sprintf("mq_open uid=%d mode=%04o", self.uid, q.mode))
+		k.tracer.Emit(self.name, r.name, "mq_open", obs.OutcomeDACDenied)
 		k.m.Trace().Logf("linux-dac", "DENY mq_open %s by %s (uid %d)", r.name, self.name, self.uid)
 		return fdReply{err: fmt.Errorf("%w: queue %q", ErrPerm, r.name)}, machine.DispositionContinue
 	}
@@ -215,6 +218,7 @@ func (k *Kernel) doMQOpen(self *proc, r mqOpenReq) (any, machine.Disposition) {
 
 // doMQSend implements mq_send: insert by priority, block when full.
 func (k *Kernel) doMQSend(self *proc, r mqSendReq) (any, machine.Disposition) {
+	k.mSendsC.Inc()
 	f, ok := self.fds[r.fd]
 	if !ok || !f.canWrite {
 		return errReply{err: ErrBadFD}, machine.DispositionContinue
@@ -227,6 +231,8 @@ func (k *Kernel) doMQSend(self *proc, r mqSendReq) (any, machine.Disposition) {
 		k.stats.MQReceives++
 		k.m.IPC().Record(self.name, q.name, "send")
 		k.m.IPC().Record(q.name, reader.name, "recv")
+		k.tracer.Emit(self.name, q.name, "mq_send", obs.OutcomeDelivered)
+		k.endSpan(reader, obs.OutcomeDelivered)
 		reader.phase = phaseIdle
 		k.mustReady(reader.pid, msgReply{msg: msg})
 		return errReply{}, machine.DispositionContinue
@@ -236,18 +242,22 @@ func (k *Kernel) doMQSend(self *proc, r mqSendReq) (any, machine.Disposition) {
 			return errReply{err: ErrAgain}, machine.DispositionContinue
 		}
 		self.phase = phaseMQSend
+		self.span = k.tracer.Begin(self.name, q.name, "mq_send")
 		q.writers = append(q.writers, blockedWriter{pid: self.pid, msg: msg})
 		return nil, machine.DispositionBlock
 	}
 	k.stats.MQSends++
 	k.m.IPC().Record(self.name, q.name, "send")
+	k.tracer.Emit(self.name, q.name, "mq_send", obs.OutcomeDelivered)
 	insertByPrio(q, msg)
+	q.depth.Set(int64(len(q.msgs)))
 	return errReply{}, machine.DispositionContinue
 }
 
 // doMQReceive implements mq_receive: highest priority first, block when
 // empty.
 func (k *Kernel) doMQReceive(self *proc, r mqReceiveReq) (any, machine.Disposition) {
+	k.mRecvsC.Inc()
 	f, ok := self.fds[r.fd]
 	if !ok || !f.canRead {
 		return msgReply{err: ErrBadFD}, machine.DispositionContinue
@@ -258,21 +268,25 @@ func (k *Kernel) doMQReceive(self *proc, r mqReceiveReq) (any, machine.Dispositi
 		q.msgs = q.msgs[1:]
 		k.stats.MQReceives++
 		k.m.IPC().Record(q.name, self.name, "recv")
+		k.tracer.Emit(self.name, q.name, "mq_receive", obs.OutcomeDelivered)
 		// Unblock one writer into the freed slot.
 		if w := k.popWriter(q); w != nil {
 			insertByPrio(q, w.msg)
 			k.stats.MQSends++
 			wp := k.procs[w.pid]
 			k.m.IPC().Record(wp.name, q.name, "send")
+			k.endSpan(wp, obs.OutcomeDelivered)
 			wp.phase = phaseIdle
 			k.mustReady(w.pid, errReply{})
 		}
+		q.depth.Set(int64(len(q.msgs)))
 		return msgReply{msg: msg}, machine.DispositionContinue
 	}
 	if f.nonblock {
 		return msgReply{err: ErrAgain}, machine.DispositionContinue
 	}
 	self.phase = phaseMQRecv
+	self.span = k.tracer.Begin(self.name, q.name, "mq_receive")
 	q.readers = append(q.readers, self.pid)
 	return nil, machine.DispositionBlock
 }
@@ -284,20 +298,23 @@ func (k *Kernel) doMQUnlink(self *proc, r mqUnlinkReq) (any, machine.Disposition
 		return errReply{err: fmt.Errorf("%w: queue %q", ErrNoEnt, r.name)}, machine.DispositionContinue
 	}
 	if self.uid != 0 && self.uid != q.ownerUID {
-		k.stats.DACDenied++
+		k.dacDeny(obs.EventSyscallDenied, self.name, r.name, fmt.Sprintf("mq_unlink uid=%d owner=%d", self.uid, q.ownerUID))
 		return errReply{err: fmt.Errorf("%w: unlink %q", ErrPerm, r.name)}, machine.DispositionContinue
 	}
 	delete(k.mqs, r.name)
+	q.depth.Set(0)
 	// Blocked parties get ENOENT, like a destroyed queue.
 	for _, pid := range q.readers {
 		if p := k.procs[pid]; p != nil && p.phase == phaseMQRecv {
 			p.phase = phaseIdle
+			k.endSpan(p, obs.OutcomeAborted)
 			k.mustReady(pid, msgReply{err: fmt.Errorf("%w: queue %q unlinked", ErrNoEnt, r.name)})
 		}
 	}
 	for _, w := range q.writers {
 		if p := k.procs[w.pid]; p != nil && p.phase == phaseMQSend {
 			p.phase = phaseIdle
+			k.endSpan(p, obs.OutcomeAborted)
 			k.mustReady(w.pid, errReply{err: fmt.Errorf("%w: queue %q unlinked", ErrNoEnt, r.name)})
 		}
 	}
@@ -312,7 +329,7 @@ func (k *Kernel) doKill(self *proc, r killReq) (any, machine.Disposition) {
 		return errReply{err: fmt.Errorf("%w: pid %d", ErrNoEnt, r.unixPID)}, machine.DispositionContinue
 	}
 	if self.uid != 0 && self.uid != victim.uid {
-		k.stats.DACDenied++
+		k.dacDeny(obs.EventKillDenied, self.name, victim.name, fmt.Sprintf("kill pid %d sig %d uid=%d", r.unixPID, r.sig, self.uid))
 		k.m.Trace().Logf("linux-dac", "DENY kill %d by %s (uid %d)", r.unixPID, self.name, self.uid)
 		return errReply{err: fmt.Errorf("%w: kill %d", ErrPerm, r.unixPID)}, machine.DispositionContinue
 	}
@@ -321,6 +338,14 @@ func (k *Kernel) doKill(self *proc, r killReq) (any, machine.Disposition) {
 		return errReply{}, machine.DispositionContinue
 	}
 	k.stats.Kills++
+	k.mKills.Inc()
+	k.events.Emit(obs.SecurityEvent{
+		Kind:      obs.EventKill,
+		Mechanism: obs.MechDAC,
+		Src:       self.name,
+		Dst:       victim.name,
+		Detail:    fmt.Sprintf("uid-authorized kill sig=%d", r.sig),
+	})
 	k.m.Trace().Logf("linux", "kill %s (pid %d) by %s sig=%d", victim.name, victim.unixPID, self.name, r.sig)
 	if err := k.m.Engine().Kill(victim.pid); err != nil {
 		return errReply{err: err}, machine.DispositionContinue
@@ -389,6 +414,7 @@ func (k *Kernel) OnProcExit(pid machine.PID, info machine.ExitInfo) {
 	if info.Crashed {
 		k.m.Trace().Logf("linux", "SEGFAULT %s: %v", p.name, info.PanicValue)
 	}
+	k.endSpan(p, obs.OutcomeAborted)
 	delete(k.procs, pid)
 	delete(k.byUnix, p.unixPID)
 	p.waitToken++

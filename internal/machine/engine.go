@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"mkbas/internal/obs"
 )
 
 // Disposition tells the engine what to do with a process after its trap has
@@ -119,6 +121,17 @@ type Engine struct {
 
 	stats    Stats
 	shutdown bool
+
+	// Metrics series, resolved once at instrument time so the hot path
+	// pays one integer add per sample. All are nil-safe: an engine built
+	// outside machine.New (unit tests) runs uninstrumented.
+	mTraps      *obs.Counter
+	mSwitches   *obs.Counter
+	mDispatches *obs.Counter
+	mSpawns     *obs.Counter
+	mExits      *obs.Counter
+	mRunQ       *obs.Gauge
+	mLive       *obs.Gauge
 }
 
 // NewEngine creates an engine over clock. The handler must be attached with
@@ -143,6 +156,17 @@ func (e *Engine) SetHandler(h TrapHandler) {
 		panic("machine: SetHandler with nil handler")
 	}
 	e.handler = h
+}
+
+// instrument binds the engine's accounting to a metrics registry.
+func (e *Engine) instrument(r *obs.Registry) {
+	e.mTraps = r.Counter("machine_traps_total")
+	e.mSwitches = r.Counter("machine_context_switches_total")
+	e.mDispatches = r.Counter("machine_dispatches_total")
+	e.mSpawns = r.Counter("machine_spawns_total")
+	e.mExits = r.Counter("machine_exits_total")
+	e.mRunQ = r.Gauge("machine_run_queue_depth")
+	e.mLive = r.Gauge("machine_live_procs")
 }
 
 // Clock returns the board clock.
@@ -210,6 +234,8 @@ func (e *Engine) Spawn(name string, prio int, body func(ctx *Context)) (*Proc, e
 	e.procs[p.pid] = p
 	e.live++
 	e.stats.Spawns++
+	e.mSpawns.Inc()
+	e.mLive.Set(int64(e.live))
 	e.enqueue(p)
 	go runBody(p)
 	return p, nil
@@ -297,6 +323,8 @@ func (e *Engine) Kill(pid PID) error {
 	<-p.done
 	e.live--
 	e.stats.Exits++
+	e.mExits.Inc()
+	e.mLive.Set(int64(e.live))
 	e.handler.OnProcExit(pid, ExitInfo{Killed: true})
 	return nil
 }
@@ -368,9 +396,11 @@ func (e *Engine) fireDueTimers() {
 // dispatch hands the CPU to p, waits for its next trap, and routes it to the
 // kernel.
 func (e *Engine) dispatch(p *Proc) {
+	e.mDispatches.Inc()
 	if e.lastRun != p.pid {
 		e.stats.ContextSwitches++
 		p.switches++
+		e.mSwitches.Inc()
 		e.charge(e.costs.Switch)
 	}
 	e.lastRun = p.pid
@@ -387,12 +417,15 @@ func (e *Engine) dispatch(p *Proc) {
 	}
 	e.stats.Traps++
 	p.traps++
+	e.mTraps.Inc()
 	e.charge(e.costs.Trap)
 
 	if exit, isExit := msg.req.(bodyExit); isExit {
 		p.state = StateDead
 		e.live--
 		e.stats.Exits++
+		e.mExits.Inc()
+		e.mLive.Set(int64(e.live))
 		e.current = NoPID
 		e.handler.OnProcExit(p.pid, ExitInfo{Crashed: exit.crashed, PanicValue: exit.panicValue})
 		return
@@ -426,9 +459,12 @@ func (e *Engine) charge(d time.Duration) {
 	e.clock.advance(e.clock.Now().Add(d))
 }
 
-// enqueue appends p to its priority's FIFO ready queue.
+// enqueue appends p to its priority's FIFO ready queue. The run-queue
+// depth gauge tracks queue mutations incrementally so dispatch never has
+// to walk the priority bands.
 func (e *Engine) enqueue(p *Proc) {
 	e.ready[p.prio] = append(e.ready[p.prio], p.pid)
+	e.mRunQ.Add(1)
 }
 
 // dequeue removes p from its ready queue, if present.
@@ -437,6 +473,7 @@ func (e *Engine) dequeue(p *Proc) {
 	for i, pid := range q {
 		if pid == p.pid {
 			e.ready[p.prio] = append(q[:i:i], q[i+1:]...)
+			e.mRunQ.Add(-1)
 			return
 		}
 	}
@@ -451,6 +488,7 @@ func (e *Engine) nextReady() *Proc {
 			pid := q[0]
 			q = q[1:]
 			e.ready[prio] = q
+			e.mRunQ.Add(-1)
 			p := e.procs[pid]
 			if p != nil && (p.state == StateReady || p.state == StateNew) {
 				return p

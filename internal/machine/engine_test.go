@@ -2,6 +2,7 @@ package machine
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 )
@@ -564,6 +565,41 @@ func TestTraceRingBuffer(t *testing.T) {
 	}
 	if got := tr.Grep("line 3"); len(got) != 1 {
 		t.Fatalf("grep = %v, want 1 hit", got)
+	}
+}
+
+func TestTraceWraparoundKeepsOrderAcrossManyWraps(t *testing.T) {
+	// Regression for the head-index ring: Lines must stay oldest-first no
+	// matter where the head sits, including exactly-full and multi-wrap
+	// states, and String/Grep must agree with Lines.
+	c := NewClock()
+	const capacity = 4
+	tr := NewTrace(c, capacity)
+	for n := 1; n <= 3*capacity+1; n++ {
+		tr.Logf("tag", "line %d", n)
+		lines := tr.Lines()
+		wantLen := n
+		if wantLen > capacity {
+			wantLen = capacity
+		}
+		if len(lines) != wantLen {
+			t.Fatalf("after %d logs: len = %d, want %d", n, len(lines), wantLen)
+		}
+		first := n - wantLen + 1
+		for i, l := range lines {
+			if want := fmt.Sprintf("line %d", first+i); l.Text != want {
+				t.Fatalf("after %d logs: lines[%d] = %q, want %q", n, i, l.Text, want)
+			}
+		}
+	}
+	if hits := tr.Grep("line 13"); len(hits) != 1 {
+		t.Fatalf("grep newest = %v", hits)
+	}
+	if hits := tr.Grep("line 9"); len(hits) != 0 {
+		t.Fatalf("evicted line still greps: %v", hits)
+	}
+	if !strings.Contains(tr.String(), "line 10") || strings.Contains(tr.String(), "line 9\n") {
+		t.Fatalf("String out of sync with ring:\n%s", tr.String())
 	}
 }
 

@@ -55,6 +55,31 @@ func (l *IPCLog) Used(src, dst, label string) bool {
 // Len reports the number of distinct usage rows.
 func (l *IPCLog) Len() int { return len(l.counts) }
 
+// Merge folds other's counts into l. other is unchanged; a nil other is a
+// no-op. polcheck's -audit uses Merge with Reset to diff usage across
+// multiple run slices of the same board.
+func (l *IPCLog) Merge(other *IPCLog) {
+	if other == nil {
+		return
+	}
+	for u, n := range other.counts {
+		l.counts[u] += n
+	}
+}
+
+// Reset discards all recorded usage, so the next run slice starts from an
+// empty log.
+func (l *IPCLog) Reset() {
+	clear(l.counts)
+}
+
+// Clone returns an independent copy of the log.
+func (l *IPCLog) Clone() *IPCLog {
+	out := NewIPCLog()
+	out.Merge(l)
+	return out
+}
+
 // Usages returns the aggregated rows sorted by (src, dst, label) for stable
 // reports.
 func (l *IPCLog) Usages() []IPCUsageCount {

@@ -35,6 +35,44 @@ func TestIPCLogAggregation(t *testing.T) {
 	}
 }
 
+func TestIPCLogMergeAndReset(t *testing.T) {
+	a := NewIPCLog()
+	a.Record("a", "b", "mt1")
+	a.Record("a", "b", "mt1")
+	b := NewIPCLog()
+	b.Record("a", "b", "mt1")
+	b.Record("c", "d", "send")
+
+	a.Merge(b)
+	if got := a.Count("a", "b", "mt1"); got != 3 {
+		t.Errorf("merged Count(a,b,mt1) = %d, want 3", got)
+	}
+	if !a.Used("c", "d", "send") {
+		t.Error("merge must import rows the target had not seen")
+	}
+	if b.Count("a", "b", "mt1") != 1 {
+		t.Error("merge must not mutate the source")
+	}
+	a.Merge(nil) // nil source is a no-op
+	if a.Len() != 2 {
+		t.Errorf("Len after nil merge = %d, want 2", a.Len())
+	}
+
+	clone := a.Clone()
+	a.Reset()
+	if a.Len() != 0 || a.Used("a", "b", "mt1") {
+		t.Error("Reset must clear the log")
+	}
+	if clone.Count("a", "b", "mt1") != 3 || clone.Len() != 2 {
+		t.Errorf("clone must survive the source's Reset: %+v", clone.Usages())
+	}
+	// A reset log is immediately usable for the next run slice.
+	a.Record("x", "y", "recv")
+	if a.Count("x", "y", "recv") != 1 {
+		t.Error("reset log must accept new recordings")
+	}
+}
+
 func TestMachineHasIPCLog(t *testing.T) {
 	m := New(Config{})
 	defer m.Shutdown()

@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"strings"
 	"time"
+
+	"mkbas/internal/obs"
 )
 
 // Config parameterises a board.
@@ -28,6 +30,7 @@ type Machine struct {
 	bus    *Bus
 	trace  *Trace
 	ipc    *IPCLog
+	obs    *obs.Board
 	rng    *rand.Rand
 }
 
@@ -42,14 +45,17 @@ func New(cfg Config) *Machine {
 		seed = 1
 	}
 	clock := NewClock()
+	board := obs.NewBoard(func() obs.Time { return obs.Time(clock.Now()) })
 	m := &Machine{
 		clock:  clock,
 		engine: NewEngine(clock, costs),
 		bus:    NewBus(),
 		trace:  NewTrace(clock, cfg.TraceCapacity),
 		ipc:    NewIPCLog(),
+		obs:    board,
 		rng:    rand.New(rand.NewSource(seed)),
 	}
+	m.engine.instrument(board.Metrics())
 	return m
 }
 
@@ -67,6 +73,10 @@ func (m *Machine) Trace() *Trace { return m.trace }
 
 // IPC returns the board's aggregated IPC usage log.
 func (m *Machine) IPC() *IPCLog { return m.ipc }
+
+// Obs returns the board's observability layer: metrics registry, IPC span
+// tracer, and security-event stream.
+func (m *Machine) Obs() *obs.Board { return m.obs }
 
 // Rand returns the board's deterministic randomness source.
 func (m *Machine) Rand() *rand.Rand { return m.rng }
@@ -93,10 +103,13 @@ func (l TraceLine) String() string {
 
 // Trace is a bounded, timestamped console log. Kernels and applications use
 // it for the experiment traces printed by cmd/bascontrol; tests assert on it.
+// Once full it is a circular buffer: head indexes the oldest line, so an
+// append overwrites in place instead of shifting the whole backlog.
 type Trace struct {
 	clock *Clock
 	cap   int
 	lines []TraceLine
+	head  int
 }
 
 // NewTrace creates a trace console; capacity <= 0 means 4096 lines.
@@ -112,37 +125,47 @@ func NewTrace(clock *Clock, capacity int) *Trace {
 func (t *Trace) Logf(tag, format string, args ...any) {
 	line := TraceLine{At: t.clock.Now(), Tag: tag, Text: fmt.Sprintf(format, args...)}
 	if len(t.lines) == t.cap {
-		copy(t.lines, t.lines[1:])
-		t.lines[len(t.lines)-1] = line
+		t.lines[t.head] = line
+		t.head = (t.head + 1) % t.cap
 		return
 	}
 	t.lines = append(t.lines, line)
 }
 
+// each calls fn on every buffered line, oldest first.
+func (t *Trace) each(fn func(TraceLine)) {
+	for _, l := range t.lines[t.head:] {
+		fn(l)
+	}
+	for _, l := range t.lines[:t.head] {
+		fn(l)
+	}
+}
+
 // Lines returns a copy of the buffered lines, oldest first.
 func (t *Trace) Lines() []TraceLine {
-	out := make([]TraceLine, len(t.lines))
-	copy(out, t.lines)
+	out := make([]TraceLine, 0, len(t.lines))
+	t.each(func(l TraceLine) { out = append(out, l) })
 	return out
 }
 
-// Grep returns the lines whose tag or text contains substr.
+// Grep returns the lines whose tag or text contains substr, oldest first.
 func (t *Trace) Grep(substr string) []TraceLine {
 	var out []TraceLine
-	for _, l := range t.lines {
+	t.each(func(l TraceLine) {
 		if strings.Contains(l.Tag, substr) || strings.Contains(l.Text, substr) {
 			out = append(out, l)
 		}
-	}
+	})
 	return out
 }
 
 // String renders the whole trace, one line per entry.
 func (t *Trace) String() string {
 	var b strings.Builder
-	for _, l := range t.lines {
+	t.each(func(l TraceLine) {
 		b.WriteString(l.String())
 		b.WriteByte('\n')
-	}
+	})
 	return b.String()
 }

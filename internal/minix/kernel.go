@@ -2,9 +2,11 @@ package minix
 
 import (
 	"fmt"
+	"time"
 
 	"mkbas/internal/core"
 	"mkbas/internal/machine"
+	"mkbas/internal/obs"
 	"mkbas/internal/vnet"
 )
 
@@ -110,6 +112,9 @@ type procEntry struct {
 	// unblocks or dies.
 	waitToken uint64
 
+	// span is the open sendrec round-trip span, zero outside a sendrec.
+	span obs.SpanID
+
 	// exiting marks a voluntary exit() so OnProcExit does not count it as a
 	// crash.
 	exiting bool
@@ -142,6 +147,23 @@ type Kernel struct {
 	rs *rsServer
 
 	stats Stats
+
+	// Observability hooks, resolved once at boot.
+	tracer     *obs.Tracer
+	events     *obs.EventLog
+	mSends     *obs.Counter
+	mSendRecs  *obs.Counter
+	mReceives  *obs.Counter
+	mNotifies  *obs.Counter
+	mSendNBs   *obs.Counter
+	mDelivered *obs.Counter
+	mDenied    *obs.Counter
+	mKills     *obs.Counter
+	mSendRecNs *obs.Histogram
+	// srLabels caches "sendrec mtN" span labels so the hot IPC path does
+	// not format strings per call.
+	srLabels map[int32]string
+	mMailbox   *obs.Gauge
 }
 
 var _ machine.TrapHandler = (*Kernel)(nil)
@@ -169,6 +191,21 @@ func Boot(m *machine.Machine, policy *core.Policy, cfg Config) (*Kernel, error) 
 	for i := range k.gens {
 		k.gens[i] = 1
 	}
+	board := m.Obs()
+	board.Events().SetPlatform("minix")
+	k.tracer = board.Tracer()
+	k.events = board.Events()
+	reg := board.Metrics()
+	k.mSends = reg.Counter("minix_ipc_send_total")
+	k.mSendRecs = reg.Counter("minix_ipc_sendrec_total")
+	k.mReceives = reg.Counter("minix_ipc_receive_total")
+	k.mNotifies = reg.Counter("minix_ipc_notify_total")
+	k.mSendNBs = reg.Counter("minix_ipc_sendnb_total")
+	k.mDelivered = reg.Counter("minix_ipc_delivered_total")
+	k.mDenied = reg.Counter("minix_ipc_denied_total")
+	k.mKills = reg.Counter("minix_kills_total")
+	k.mSendRecNs = reg.Histogram("minix_sendrec_roundtrip_ns", nil)
+	k.mMailbox = reg.Gauge("minix_mailbox_depth")
 	m.Engine().SetHandler(k)
 
 	k.pm = newPMServer(k, policy.Syscalls)
@@ -348,11 +385,49 @@ func (k *Kernel) checkIPC(src, dst *procEntry, msgType int32) error {
 	return nil
 }
 
-// auditDeny records one ACM denial in the board trace and counters.
+// auditDeny records one ACM denial in the board trace, counters, and the
+// unified security-event stream.
 func (k *Kernel) auditDeny(src, dst *procEntry, msgType int32) {
 	k.stats.IPCDenied++
+	k.mDenied.Inc()
+	k.events.Emit(obs.SecurityEvent{
+		Kind:      obs.EventIPCDenied,
+		Mechanism: obs.MechACM,
+		Denied:    true,
+		Src:       src.name,
+		Dst:       dst.name,
+		Detail:    fmt.Sprintf("m_type=%d acid=%d->%d", msgType, src.acID, dst.acID),
+	})
 	k.m.Trace().Logf("minix-acm", "DENY %s(acid=%d) -> %s(acid=%d) m_type=%d",
 		src.name, src.acID, dst.name, dst.acID, msgType)
+}
+
+// sendRecLabel returns the cached span label for a sendrec of one message
+// type. The set of types is tiny and fixed by the scenario, so the cache
+// stays small while keeping fmt off the IPC hot path.
+func (k *Kernel) sendRecLabel(msgType int32) string {
+	if l, ok := k.srLabels[msgType]; ok {
+		return l
+	}
+	if k.srLabels == nil {
+		k.srLabels = make(map[int32]string)
+	}
+	l := fmt.Sprintf("sendrec mt%d", msgType)
+	k.srLabels[msgType] = l
+	return l
+}
+
+// endSpan closes e's open sendrec span, if any, observing the round-trip
+// latency on delivery.
+func (k *Kernel) endSpan(e *procEntry, outcome obs.Outcome) {
+	if e.span == 0 {
+		return
+	}
+	s, ok := k.tracer.End(e.span, outcome)
+	e.span = 0
+	if ok && outcome == obs.OutcomeDelivered {
+		k.mSendRecNs.Observe(time.Duration(s.Duration()))
+	}
 }
 
 // HandleTrap implements machine.TrapHandler.
@@ -421,6 +496,13 @@ func (k *Kernel) HandleTrap(pid machine.PID, req any) (any, machine.Disposition)
 		return epReply{ep: ep, err: err}, machine.DispositionContinue
 	case kKillReq:
 		if !self.isServer {
+			k.events.Emit(obs.SecurityEvent{
+				Kind:      obs.EventKillDenied,
+				Mechanism: obs.MechKernel,
+				Denied:    true,
+				Src:       self.name,
+				Detail:    "kernel kill requires server privilege",
+			})
 			return errReply{err: ErrNoPrivilege}, machine.DispositionContinue
 		}
 		victim := k.resolve(r.target)
@@ -428,6 +510,14 @@ func (k *Kernel) HandleTrap(pid machine.PID, req any) (any, machine.Disposition)
 			return errReply{err: fmt.Errorf("%w: %v", ErrDeadSrcDst, r.target)}, machine.DispositionContinue
 		}
 		k.stats.Kills++
+		k.mKills.Inc()
+		k.events.Emit(obs.SecurityEvent{
+			Kind:      obs.EventKill,
+			Mechanism: obs.MechSyscallMask,
+			Src:       self.name,
+			Dst:       victim.name,
+			Detail:    "pm-authorized kill",
+		})
 		victim.exiting = true // killed by policy decision, not a fault
 		if err := k.m.Engine().Kill(victim.pid); err != nil {
 			return errReply{err: err}, machine.DispositionContinue
@@ -440,6 +530,11 @@ func (k *Kernel) HandleTrap(pid machine.PID, req any) (any, machine.Disposition)
 
 // doSend implements synchronous send and the send half of sendrec.
 func (k *Kernel) doSend(self *procEntry, dst Endpoint, msg Message, sendRec bool) (any, machine.Disposition) {
+	if sendRec {
+		k.mSendRecs.Inc()
+	} else {
+		k.mSends.Inc()
+	}
 	target := k.resolve(dst)
 	if target == nil {
 		return ipcReply{err: fmt.Errorf("%w: %v", ErrDeadSrcDst, dst)}, machine.DispositionContinue
@@ -448,12 +543,19 @@ func (k *Kernel) doSend(self *procEntry, dst Endpoint, msg Message, sendRec bool
 		return ipcReply{err: ErrSelfSend}, machine.DispositionContinue
 	}
 	if err := k.checkIPC(self, target, msg.Type); err != nil {
+		if sendRec {
+			k.tracer.Emit(self.name, target.name, k.sendRecLabel(msg.Type), obs.OutcomeACMDenied)
+		}
 		return ipcReply{err: err}, machine.DispositionContinue
 	}
 	msg.Source = self.ep // kernel stamp: spoofing-proof sender identity
 	self.outMsg = msg
 	self.sendDst = dst
 	self.wantSendRec = sendRec
+	if sendRec {
+		// The round-trip span stays open until the reply wakes the caller.
+		self.span = k.tracer.Begin(self.name, target.name, k.sendRecLabel(msg.Type))
+	}
 
 	if target.phase == phaseRecvBlocked && matches(target.recvFrom, self.ep) {
 		// Rendezvous: receiver is waiting, deliver immediately.
@@ -476,6 +578,8 @@ func (k *Kernel) completeReceive(receiver *procEntry, msg Message) {
 	receiver.phase = phaseIdle
 	receiver.waitToken++
 	k.stats.IPCDelivered++
+	k.mDelivered.Inc()
+	k.endSpan(receiver, obs.OutcomeDelivered)
 	if err := k.m.Engine().Ready(receiver.pid, ipcReply{msg: msg}); err != nil {
 		panic(fmt.Sprintf("minix: waking receiver %s: %v", receiver.name, err))
 	}
@@ -483,6 +587,7 @@ func (k *Kernel) completeReceive(receiver *procEntry, msg Message) {
 
 // doReceive implements Receive(from).
 func (k *Kernel) doReceive(self *procEntry, from Endpoint) (any, machine.Disposition) {
+	k.mReceives.Inc()
 	// Specific receive from a dead endpoint can never complete.
 	if from != EndpointAny && k.resolve(from) == nil && from != EndpointSystem {
 		return ipcReply{err: fmt.Errorf("%w: %v", ErrDeadSrcDst, from)}, machine.DispositionContinue
@@ -493,13 +598,16 @@ func (k *Kernel) doReceive(self *procEntry, from Endpoint) (any, machine.Disposi
 		if matches(from, src) {
 			self.notifies = append(self.notifies[:i:i], self.notifies[i+1:]...)
 			k.stats.IPCDelivered++
+			k.mDelivered.Inc()
 			return ipcReply{msg: Message{Source: src, Type: int32(core.MsgAck)}}, machine.DispositionContinue
 		}
 	}
 	for i, msg := range self.mailbox {
 		if matches(from, msg.Source) {
 			self.mailbox = append(self.mailbox[:i:i], self.mailbox[i+1:]...)
+			k.mMailbox.Add(-1)
 			k.stats.IPCDelivered++
+			k.mDelivered.Inc()
 			return ipcReply{msg: msg}, machine.DispositionContinue
 		}
 	}
@@ -514,6 +622,7 @@ func (k *Kernel) doReceive(self *procEntry, from Endpoint) (any, machine.Disposi
 		self.senders = append(self.senders[:i:i], self.senders[i+1:]...)
 		msg := sender.outMsg
 		k.stats.IPCDelivered++
+		k.mDelivered.Inc()
 		// Complete the sender's operation.
 		if sender.wantSendRec {
 			sender.phase = phaseRecvBlocked
@@ -536,6 +645,7 @@ func (k *Kernel) doReceive(self *procEntry, from Endpoint) (any, machine.Disposi
 // notification carries no payload and is delivered as a type-0
 // (ACKNOWLEDGE) message, so the ACM's ack bit governs it.
 func (k *Kernel) doNotify(self *procEntry, dst Endpoint) (any, machine.Disposition) {
+	k.mNotifies.Inc()
 	target := k.resolve(dst)
 	if target == nil {
 		return errReply{err: fmt.Errorf("%w: %v", ErrDeadSrcDst, dst)}, machine.DispositionContinue
@@ -561,6 +671,7 @@ func (k *Kernel) doNotify(self *procEntry, dst Endpoint) (any, machine.Dispositi
 // doSendNB implements the asynchronous non-blocking send the sensor driver
 // uses ("sends the fresh data using nonblocking send").
 func (k *Kernel) doSendNB(self *procEntry, dst Endpoint, msg Message) (any, machine.Disposition) {
+	k.mSendNBs.Inc()
 	target := k.resolve(dst)
 	if target == nil {
 		return errReply{err: fmt.Errorf("%w: %v", ErrDeadSrcDst, dst)}, machine.DispositionContinue
@@ -580,6 +691,7 @@ func (k *Kernel) doSendNB(self *procEntry, dst Endpoint, msg Message) (any, mach
 		return errReply{err: ErrMailboxFull}, machine.DispositionContinue
 	}
 	target.mailbox = append(target.mailbox, msg)
+	k.mMailbox.Add(1)
 	k.stats.AsyncQueued++
 	return errReply{}, machine.DispositionContinue
 }
@@ -593,6 +705,7 @@ func (k *Kernel) deliverSystem(target *procEntry, msg Message) {
 		return
 	}
 	target.mailbox = append(target.mailbox, msg) // system messages bypass the cap
+	k.mMailbox.Add(1)
 }
 
 // doSleep blocks the caller for a virtual duration.
@@ -644,6 +757,8 @@ func (k *Kernel) OnProcExit(pid machine.PID, info machine.ExitInfo) {
 		delete(k.names, e.name)
 	}
 	e.waitToken++ // invalidate timers and net callbacks
+	k.endSpan(e, obs.OutcomeAborted)
+	k.mMailbox.Add(int64(-len(e.mailbox)))
 
 	// Wake senders queued on the victim.
 	for _, senderPID := range e.senders {
@@ -652,6 +767,7 @@ func (k *Kernel) OnProcExit(pid machine.PID, info machine.ExitInfo) {
 			continue
 		}
 		sender.phase = phaseIdle
+		k.endSpan(sender, obs.OutcomeAborted)
 		if err := k.m.Engine().Ready(senderPID, ipcReply{err: fmt.Errorf("%w: %v", ErrDeadSrcDst, e.ep)}); err != nil {
 			panic(fmt.Sprintf("minix: waking sender of dead proc: %v", err))
 		}
@@ -665,6 +781,7 @@ func (k *Kernel) OnProcExit(pid machine.PID, info machine.ExitInfo) {
 		if other.phase == phaseRecvBlocked && other.recvFrom == e.ep {
 			other.phase = phaseIdle
 			other.waitToken++
+			k.endSpan(other, obs.OutcomeAborted)
 			if err := k.m.Engine().Ready(other.pid, ipcReply{err: fmt.Errorf("%w: %v", ErrDeadSrcDst, e.ep)}); err != nil {
 				panic(fmt.Sprintf("minix: waking receiver of dead proc: %v", err))
 			}

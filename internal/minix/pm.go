@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"mkbas/internal/core"
+	"mkbas/internal/obs"
 )
 
 // PMName is the process manager's published name.
@@ -74,7 +75,7 @@ func (pm *pmServer) handleFork2(api *API, msg Message) Message {
 
 	if err := pm.ledger.Charge(caller, core.SysFork); err != nil {
 		pm.forksDenied++
-		pm.audit(api, "fork2", caller, err)
+		pm.audit(api, "fork2", msg.Source, caller, obs.EventForkDenied, err)
 		return pmReply(pmDenyCode(err), EndpointNone)
 	}
 	acid := requested
@@ -84,7 +85,7 @@ func (pm *pmServer) handleFork2(api *API, msg Message) Message {
 		// Assigning a different identity is a loader privilege (srv_fork2).
 		if err := pm.ledger.Charge(caller, core.SysSetACID); err != nil {
 			pm.forksDenied++
-			pm.audit(api, "fork2/set_acid", caller, err)
+			pm.audit(api, "fork2/set_acid", msg.Source, caller, obs.EventForkDenied, err)
 			return pmReply(pmDenyCode(err), EndpointNone)
 		}
 	}
@@ -104,7 +105,7 @@ func (pm *pmServer) handleKill(api *API, msg Message) Message {
 
 	if err := pm.ledger.Charge(caller, core.SysKill); err != nil {
 		pm.killsDenied++
-		pm.audit(api, "kill", caller, err)
+		pm.audit(api, "kill", msg.Source, caller, obs.EventKillDenied, err)
 		return pmReply(pmDenyCode(err), EndpointNone)
 	}
 	if err := api.kKill(target); err != nil {
@@ -124,8 +125,23 @@ func (pm *pmServer) callerACID(src Endpoint) core.ACID {
 	return core.NoACID
 }
 
-// audit logs one PM denial on the board trace.
-func (pm *pmServer) audit(api *API, op string, caller core.ACID, err error) {
+// audit logs one PM denial on the board trace and the security-event
+// stream. PM runs as a simulated process, so the engine is parked while
+// this executes — touching the event log here is race-free by the same
+// argument that lets PM read kernel tables.
+func (pm *pmServer) audit(api *API, op string, src Endpoint, caller core.ACID, kind obs.EventKind, err error) {
+	name := fmt.Sprintf("acid=%d", caller)
+	if e := pm.k.resolve(src); e != nil {
+		name = e.name
+	}
+	pm.k.events.Emit(obs.SecurityEvent{
+		Kind:      kind,
+		Mechanism: obs.MechSyscallMask,
+		Denied:    true,
+		Src:       name,
+		Dst:       PMName,
+		Detail:    fmt.Sprintf("%s: %v", op, err),
+	})
 	api.Trace("minix-pm", fmt.Sprintf("DENY %s by acid=%d: %v", op, caller, err))
 }
 

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// chromeEvent is one entry in the Chrome trace-event JSON format that
+// Perfetto and chrome://tracing load. "X" events are complete spans with
+// microsecond timestamps; "M" events carry thread-name metadata.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// ChromeTrace renders the tracer's retained spans as Chrome trace-event
+// JSON. Each source name becomes a "thread" (sorted for determinism), each
+// span a complete event with src/dst/outcome in args, timestamps in
+// virtual microseconds since boot.
+func (t *Tracer) ChromeTrace() ([]byte, error) {
+	spans := t.Spans()
+	names := map[string]int{}
+	for _, s := range spans {
+		names[s.Src] = 0
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	for i, n := range sorted {
+		names[n] = i + 1
+	}
+
+	trace := chromeTrace{DisplayTimeUnit: "ns", TraceEvents: []chromeEvent{}}
+	for _, n := range sorted {
+		trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: names[n],
+			Args: map[string]any{"name": n},
+		})
+	}
+	for _, s := range spans {
+		trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+			Name: s.Label,
+			Cat:  "ipc",
+			Ph:   "X",
+			Ts:   float64(s.Start) / 1e3,
+			Dur:  float64(s.Duration()) / 1e3,
+			PID:  1,
+			TID:  names[s.Src],
+			Args: map[string]any{
+				"src":     s.Src,
+				"dst":     s.Dst,
+				"outcome": s.Outcome.String(),
+			},
+		})
+	}
+	return json.MarshalIndent(trace, "", " ")
+}

@@ -1,0 +1,235 @@
+package obs
+
+import "sort"
+
+// Mechanism names the mediation layer that produced a security event —
+// the platform-neutral vocabulary the paper's outcome table compares.
+type Mechanism string
+
+const (
+	// MechACM is the MINIX access control matrix (IPC permission bitmasks).
+	MechACM Mechanism = "acm"
+	// MechSyscallMask is the MINIX PM's per-process system-call mask and
+	// fork/kill quota ledger.
+	MechSyscallMask Mechanism = "syscall-mask"
+	// MechCapability is seL4 capability possession and rights checking.
+	MechCapability Mechanism = "capability"
+	// MechDAC is Linux discretionary access control (uid/gid/mode).
+	MechDAC Mechanism = "dac"
+	// MechKernel marks events enforced by generic kernel limits (process
+	// table exhaustion, rlimits) rather than a security policy.
+	MechKernel Mechanism = "kernel"
+)
+
+// EventKind classifies a security event.
+type EventKind string
+
+const (
+	// EventIPCDenied is a refused message delivery (ACM or DAC refused a
+	// send/receive/open).
+	EventIPCDenied EventKind = "ipc-denied"
+	// EventCapFault is an seL4 capability fault: invalid slot or missing
+	// rights on an invocation.
+	EventCapFault EventKind = "cap-fault"
+	// EventKillDenied is a refused kill/suspend attempt.
+	EventKillDenied EventKind = "kill-denied"
+	// EventKill is a kill/suspend attempt that the platform allowed — on a
+	// compromised web process this is the event that shows DAC failing.
+	EventKill EventKind = "kill"
+	// EventForkDenied is a refused process creation (quota or table limit).
+	EventForkDenied EventKind = "fork-denied"
+	// EventSyscallDenied is a refused non-IPC system call (PM syscall-mask
+	// or privilege checks outside kill/fork).
+	EventSyscallDenied EventKind = "syscall-denied"
+)
+
+// SecurityEvent is one mediation decision in the platform-neutral schema:
+// which board, which mechanism, who asked, who was the target, and whether
+// the platform refused. Denied=false events record mediated actions that
+// were *allowed* — the interesting ones for the paper are allowed kills.
+type SecurityEvent struct {
+	At        Time      `json:"at_ns"`
+	Platform  string    `json:"platform"`
+	Kind      EventKind `json:"kind"`
+	Mechanism Mechanism `json:"mechanism"`
+	Denied    bool      `json:"denied"`
+	Src       string    `json:"src"`
+	Dst       string    `json:"dst,omitempty"`
+	Detail    string    `json:"detail,omitempty"`
+}
+
+// EventLog is the unified security-event stream: a bounded ring of recent
+// events plus lifetime totals per (kind, mechanism, denied) that survive
+// ring eviction. Subscribers observe every event synchronously at emit
+// time, before it can be dropped. The nil EventLog discards everything.
+type EventLog struct {
+	now      func() Time
+	platform string
+	cap      int
+	events   []SecurityEvent
+	head     int
+	total    int64
+	dropped  int64
+	totals   map[eventKey]int64
+	subs     []func(SecurityEvent)
+}
+
+type eventKey struct {
+	Kind      EventKind
+	Mechanism Mechanism
+	Denied    bool
+}
+
+// NewEventLog creates an event stream; capacity <= 0 means 16384 retained
+// events.
+func NewEventLog(now func() Time, capacity int) *EventLog {
+	if now == nil {
+		now = func() Time { return 0 }
+	}
+	if capacity <= 0 {
+		capacity = 16384
+	}
+	return &EventLog{now: now, cap: capacity, totals: make(map[eventKey]int64)}
+}
+
+// SetPlatform sets the default platform stamp applied to events emitted
+// without one. Each kernel personality calls this once at construction.
+func (l *EventLog) SetPlatform(p string) {
+	if l != nil {
+		l.platform = p
+	}
+}
+
+// Emit stamps e with the current virtual instant (and the default platform,
+// if e carries none), stores it, and notifies subscribers in registration
+// order.
+func (l *EventLog) Emit(e SecurityEvent) {
+	if l == nil {
+		return
+	}
+	e.At = l.now()
+	if e.Platform == "" {
+		e.Platform = l.platform
+	}
+	l.total++
+	l.totals[eventKey{Kind: e.Kind, Mechanism: e.Mechanism, Denied: e.Denied}]++
+	if len(l.events) < l.cap {
+		l.events = append(l.events, e)
+	} else {
+		l.events[l.head] = e
+		l.head = (l.head + 1) % l.cap
+		l.dropped++
+	}
+	for _, fn := range l.subs {
+		fn(e)
+	}
+}
+
+// Subscribe registers fn to observe every subsequent event. The returned
+// cancel detaches it. Subscribers run synchronously on the emitting
+// goroutine and must not emit events themselves.
+func (l *EventLog) Subscribe(fn func(SecurityEvent)) (cancel func()) {
+	if l == nil || fn == nil {
+		return func() {}
+	}
+	idx := len(l.subs)
+	l.subs = append(l.subs, fn)
+	return func() {
+		if idx < len(l.subs) {
+			l.subs[idx] = func(SecurityEvent) {}
+		}
+	}
+}
+
+// Events returns the retained events, oldest first.
+func (l *EventLog) Events() []SecurityEvent {
+	if l == nil {
+		return nil
+	}
+	out := make([]SecurityEvent, 0, len(l.events))
+	out = append(out, l.events[l.head:]...)
+	out = append(out, l.events[:l.head]...)
+	return out
+}
+
+// Total reports the lifetime event count, including evicted events.
+func (l *EventLog) Total() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.total
+}
+
+// Dropped reports how many events the ring evicted.
+func (l *EventLog) Dropped() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.dropped
+}
+
+// EventTotal is one lifetime aggregate row.
+type EventTotal struct {
+	Kind      EventKind `json:"kind"`
+	Mechanism Mechanism `json:"mechanism"`
+	Denied    bool      `json:"denied"`
+	Count     int64     `json:"count"`
+}
+
+// Totals returns lifetime counts per (kind, mechanism, denied), sorted for
+// stable reports.
+func (l *EventLog) Totals() []EventTotal {
+	if l == nil {
+		return nil
+	}
+	out := make([]EventTotal, 0, len(l.totals))
+	for k, n := range l.totals {
+		out = append(out, EventTotal{Kind: k.Kind, Mechanism: k.Mechanism, Denied: k.Denied, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Mechanism != b.Mechanism {
+			return a.Mechanism < b.Mechanism
+		}
+		return !a.Denied && b.Denied
+	})
+	return out
+}
+
+// DeniedTotal reports the lifetime number of denied events — the quick
+// "did mediation fire" probe attack reports use.
+func (l *EventLog) DeniedTotal() int64 {
+	if l == nil {
+		return 0
+	}
+	var n int64
+	for k, c := range l.totals {
+		if k.Denied {
+			n += c
+		}
+	}
+	return n
+}
+
+// Mechanisms returns the distinct mechanisms that denied at least one
+// action, sorted — "which layers stopped the attack".
+func (l *EventLog) Mechanisms() []Mechanism {
+	if l == nil {
+		return nil
+	}
+	seen := map[Mechanism]bool{}
+	for k, c := range l.totals {
+		if k.Denied && c > 0 {
+			seen[k.Mechanism] = true
+		}
+	}
+	out := make([]Mechanism, 0, len(seen))
+	for m := range seen {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

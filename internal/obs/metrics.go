@@ -1,0 +1,297 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Registry is a deterministic metrics registry. Series are created lazily
+// by name; a name may carry a Prometheus-style label suffix, e.g.
+// `linux_mq_depth{queue="/sensor-data"}`, which the exposition formats
+// pass through verbatim. Lookups return the same series object every
+// time, so hot paths should resolve their series once and keep the
+// pointer: increments are then a single integer add.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter is a monotonically increasing series. The nil Counter discards
+// writes, so uninstrumented components can share kernel code paths.
+type Counter struct{ v int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v++
+	}
+}
+
+// Add adds n; negative deltas are ignored (counters are monotonic).
+func (c *Counter) Add(n int64) {
+	if c != nil && n > 0 {
+		c.v += n
+	}
+}
+
+// Value reports the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a series that can move both ways (queue depths, live process
+// counts). The nil Gauge discards writes.
+type Gauge struct{ v int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v = v
+	}
+}
+
+// Add applies a delta.
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v += n
+	}
+}
+
+// Value reports the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Histogram accumulates virtual-time durations into fixed buckets. Bucket
+// bounds are inclusive upper edges; observations above the last bound land
+// in the implicit +Inf bucket. The nil Histogram discards writes.
+type Histogram struct {
+	bounds []time.Duration
+	counts []int64 // len(bounds)+1; last is +Inf
+	sum    int64   // nanoseconds
+	total  int64
+}
+
+// DefaultLatencyBuckets spans the board's IPC latency range: from a single
+// trap cost (500ns) up to a full scheduling quantum-scale stall.
+func DefaultLatencyBuckets() []time.Duration {
+	return []time.Duration{
+		time.Microsecond,
+		2 * time.Microsecond,
+		5 * time.Microsecond,
+		10 * time.Microsecond,
+		20 * time.Microsecond,
+		50 * time.Microsecond,
+		100 * time.Microsecond,
+		time.Millisecond,
+		10 * time.Millisecond,
+		100 * time.Millisecond,
+		time.Second,
+	}
+}
+
+// Observe books one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	h.sum += int64(d)
+	h.total++
+	for i, b := range h.bounds {
+		if d <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(h.bounds)]++
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.total
+}
+
+// Sum reports the accumulated duration.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sum)
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use.
+func (r *Registry) Counter(name string) *Counter {
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given bucket bounds on first use (nil bounds mean
+// DefaultLatencyBuckets). Bounds must be sorted ascending; later lookups
+// ignore the bounds argument.
+func (r *Registry) Histogram(name string, bounds []time.Duration) *Histogram {
+	h, ok := r.hists[name]
+	if !ok {
+		if bounds == nil {
+			bounds = DefaultLatencyBuckets()
+		}
+		own := make([]time.Duration, len(bounds))
+		copy(own, bounds)
+		for i := 1; i < len(own); i++ {
+			if own[i] <= own[i-1] {
+				panic(fmt.Sprintf("obs: histogram %q bounds not ascending", name))
+			}
+		}
+		h = &Histogram{bounds: own, counts: make([]int64, len(own)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// CounterSnap is one exported counter row.
+type CounterSnap struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeSnap is one exported gauge row.
+type GaugeSnap struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// BucketSnap is one exported histogram bucket: the inclusive upper bound in
+// nanoseconds (0 marks +Inf) and the count of observations that landed in
+// the bucket (not cumulative).
+type BucketSnap struct {
+	UpperNanos int64 `json:"upper_ns"`
+	Count      int64 `json:"count"`
+}
+
+// HistogramSnap is one exported histogram.
+type HistogramSnap struct {
+	Name     string       `json:"name"`
+	Count    int64        `json:"count"`
+	SumNanos int64        `json:"sum_ns"`
+	Buckets  []BucketSnap `json:"buckets"`
+}
+
+// Counters exports all counters sorted by name.
+func (r *Registry) Counters() []CounterSnap {
+	out := make([]CounterSnap, 0, len(r.counters))
+	for name, c := range r.counters {
+		out = append(out, CounterSnap{Name: name, Value: c.v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Gauges exports all gauges sorted by name.
+func (r *Registry) Gauges() []GaugeSnap {
+	out := make([]GaugeSnap, 0, len(r.gauges))
+	for name, g := range r.gauges {
+		out = append(out, GaugeSnap{Name: name, Value: g.v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Histograms exports all histograms sorted by name.
+func (r *Registry) Histograms() []HistogramSnap {
+	out := make([]HistogramSnap, 0, len(r.hists))
+	for name, h := range r.hists {
+		snap := HistogramSnap{Name: name, Count: h.total, SumNanos: h.sum}
+		for i, b := range h.bounds {
+			snap.Buckets = append(snap.Buckets, BucketSnap{UpperNanos: int64(b), Count: h.counts[i]})
+		}
+		snap.Buckets = append(snap.Buckets, BucketSnap{UpperNanos: 0, Count: h.counts[len(h.bounds)]})
+		out = append(out, snap)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// PromText renders the registry in the Prometheus text exposition format
+// (version 0.0.4). Histogram buckets are cumulative with an explicit +Inf
+// bucket, matching the format's histogram convention. The output is
+// deterministic: series are sorted by name.
+func (r *Registry) PromText() string {
+	var b strings.Builder
+	lastType := ""
+	typeLine := func(base, kind string) {
+		// One TYPE line per metric name: labeled series of the same base
+		// are adjacent after the sort and share it.
+		if base != lastType {
+			fmt.Fprintf(&b, "# TYPE %s %s\n", base, kind)
+			lastType = base
+		}
+	}
+	for _, c := range r.Counters() {
+		typeLine(promBase(c.Name), "counter")
+		fmt.Fprintf(&b, "%s %d\n", c.Name, c.Value)
+	}
+	for _, g := range r.Gauges() {
+		typeLine(promBase(g.Name), "gauge")
+		fmt.Fprintf(&b, "%s %d\n", g.Name, g.Value)
+	}
+	for _, h := range r.Histograms() {
+		base := promBase(h.Name)
+		typeLine(base, "histogram")
+		cum := int64(0)
+		for _, bk := range h.Buckets {
+			cum += bk.Count
+			if bk.UpperNanos == 0 {
+				fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", base, cum)
+			} else {
+				fmt.Fprintf(&b, "%s_bucket{le=\"%d\"} %d\n", base, bk.UpperNanos, cum)
+			}
+		}
+		fmt.Fprintf(&b, "%s_sum %d\n%s_count %d\n", base, h.SumNanos, base, h.Count)
+	}
+	return b.String()
+}
+
+// promBase strips a label suffix from a series name: the exposition
+// format's TYPE line wants the bare metric name.
+func promBase(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}

@@ -1,0 +1,273 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock is a settable virtual clock for tests.
+type fakeClock struct{ t Time }
+
+func (c *fakeClock) now() Time { return c.t }
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total")
+	c.Inc()
+	c.Add(4)
+	c.Add(-1) // negative adds are dropped: counters are monotone
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if r.Counter("x_total") != c {
+		t.Fatal("same name must return the same counter")
+	}
+	g := r.Gauge("depth")
+	g.Set(7)
+	g.Add(-3)
+	if g.Value() != 4 {
+		t.Fatalf("gauge = %d, want 4", g.Value())
+	}
+}
+
+func TestNilMetricsAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var tr *Tracer
+	var l *EventLog
+	c.Inc()
+	c.Add(2)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(time.Second)
+	tr.Emit("a", "b", "x", OutcomeDelivered)
+	tr.End(tr.Begin("a", "b", "x"), OutcomeDelivered)
+	l.Emit(SecurityEvent{Kind: EventKill})
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || l.Total() != 0 {
+		t.Fatal("nil receivers must observe nothing")
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_ns", []time.Duration{10, 100})
+	// Upper edges are inclusive; past the last bound goes to +Inf.
+	h.Observe(10)
+	h.Observe(11)
+	h.Observe(100)
+	h.Observe(101)
+	h.Observe(0)
+	snap := r.Histograms()[0]
+	if snap.Count != 5 || snap.SumNanos != 10+11+100+101 {
+		t.Fatalf("count=%d sum=%d", snap.Count, snap.SumNanos)
+	}
+	want := []BucketSnap{{UpperNanos: 10, Count: 2}, {UpperNanos: 100, Count: 2}, {UpperNanos: 0, Count: 1}}
+	if len(snap.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v, want %+v", snap.Buckets, want)
+	}
+	for i := range want {
+		if snap.Buckets[i] != want[i] {
+			t.Fatalf("bucket %d = %+v, want %+v", i, snap.Buckets[i], want[i])
+		}
+	}
+}
+
+func TestHistogramRejectsUnsortedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-ascending bounds must panic at registration")
+		}
+	}()
+	NewRegistry().Histogram("bad", []time.Duration{5, 5})
+}
+
+func TestSpanLifecycleAndOutcomes(t *testing.T) {
+	clk := &fakeClock{}
+	tr := NewTracer(clk.now, 8)
+	outer := tr.Begin("web", "pm", "sendrec mt4")
+	clk.t = 10
+	inner := tr.Begin("pm", "kernel", "kSpawn")
+	clk.t = 20
+	if s, ok := tr.End(inner, OutcomeDelivered); !ok || s.Start != 10 || s.End != 20 {
+		t.Fatalf("inner = %+v ok=%v", s, ok)
+	}
+	clk.t = 30
+	if s, ok := tr.End(outer, OutcomeACMDenied); !ok || s.Duration() != 30 {
+		t.Fatalf("outer = %+v ok=%v", s, ok)
+	}
+	if _, ok := tr.End(outer, OutcomeDelivered); ok {
+		t.Fatal("double End must fail")
+	}
+	if _, ok := tr.End(0, OutcomeDelivered); ok {
+		t.Fatal("zero id must fail")
+	}
+	tr.Emit("x", "y", "mq_open", OutcomeDACDenied)
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("completed spans = %d, want 3", len(spans))
+	}
+	// Sorted by start time: outer (0), inner (10), emit (30).
+	if spans[0].Label != "sendrec mt4" || spans[1].Label != "kSpawn" || spans[2].Label != "mq_open" {
+		t.Fatalf("span order wrong: %+v", spans)
+	}
+	byOutcome := tr.ByOutcome()
+	got := map[Outcome]int64{}
+	for _, oc := range byOutcome {
+		got[oc.Outcome] = oc.Count
+	}
+	if got[OutcomeDelivered] != 1 || got[OutcomeACMDenied] != 1 || got[OutcomeDACDenied] != 1 {
+		t.Fatalf("outcome counts wrong: %+v", byOutcome)
+	}
+}
+
+func TestSpanRingEviction(t *testing.T) {
+	clk := &fakeClock{}
+	tr := NewTracer(clk.now, 2)
+	for i := 0; i < 5; i++ {
+		clk.t = Time(i)
+		tr.Emit("a", "b", "x", OutcomeDelivered)
+	}
+	if tr.Completed() != 5 || tr.Dropped() != 3 {
+		t.Fatalf("completed=%d dropped=%d", tr.Completed(), tr.Dropped())
+	}
+	spans := tr.Spans()
+	if len(spans) != 2 || spans[0].Start != 3 || spans[1].Start != 4 {
+		t.Fatalf("ring should keep the newest spans: %+v", spans)
+	}
+}
+
+func TestEventLogTotalsAndSubscribe(t *testing.T) {
+	clk := &fakeClock{t: 42}
+	l := NewEventLog(clk.now, 16)
+	l.SetPlatform("minix")
+	var seen []SecurityEvent
+	cancel := l.Subscribe(func(e SecurityEvent) { seen = append(seen, e) })
+	l.Emit(SecurityEvent{Kind: EventIPCDenied, Mechanism: MechACM, Denied: true, Src: "web", Dst: "temp"})
+	l.Emit(SecurityEvent{Kind: EventIPCDenied, Mechanism: MechACM, Denied: true, Src: "web", Dst: "heater"})
+	l.Emit(SecurityEvent{Kind: EventKill, Mechanism: MechSyscallMask, Src: "pm", Dst: "web"})
+	cancel()
+	l.Emit(SecurityEvent{Kind: EventKillDenied, Mechanism: MechKernel, Denied: true})
+
+	if len(seen) != 3 {
+		t.Fatalf("subscriber saw %d events, want 3 (cancel must stop delivery)", len(seen))
+	}
+	if seen[0].At != 42 || seen[0].Platform != "minix" {
+		t.Fatalf("event not stamped: %+v", seen[0])
+	}
+	if l.Total() != 4 || l.DeniedTotal() != 3 {
+		t.Fatalf("total=%d denied=%d", l.Total(), l.DeniedTotal())
+	}
+	mechs := l.Mechanisms()
+	if len(mechs) != 2 || mechs[0] != MechACM || mechs[1] != MechKernel {
+		t.Fatalf("denying mechanisms = %v", mechs)
+	}
+	var acmDenied *EventTotal
+	for i, tot := range l.Totals() {
+		if tot.Kind == EventIPCDenied && tot.Mechanism == MechACM && tot.Denied {
+			acmDenied = &l.Totals()[i]
+		}
+	}
+	if acmDenied == nil || acmDenied.Count != 2 {
+		t.Fatalf("acm ipc-denied total wrong: %+v", l.Totals())
+	}
+}
+
+func TestEventLogRingRetention(t *testing.T) {
+	clk := &fakeClock{}
+	l := NewEventLog(clk.now, 2)
+	for i := 0; i < 4; i++ {
+		clk.t = Time(i)
+		l.Emit(SecurityEvent{Kind: EventCapFault, Mechanism: MechCapability, Denied: true})
+	}
+	evs := l.Events()
+	if l.Total() != 4 || l.Dropped() != 2 || len(evs) != 2 {
+		t.Fatalf("total=%d dropped=%d retained=%d", l.Total(), l.Dropped(), len(evs))
+	}
+	if evs[0].At != 2 || evs[1].At != 3 {
+		t.Fatalf("retained events must be the newest, oldest-first: %+v", evs)
+	}
+	// Totals survive eviction.
+	if l.DeniedTotal() != 4 {
+		t.Fatalf("DeniedTotal = %d, want 4", l.DeniedTotal())
+	}
+}
+
+func TestPromTextEmitsTypeOncePerBase(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total").Inc()
+	r.Gauge(`mq_depth{queue="/x"}`).Set(1)
+	r.Gauge(`mq_depth{queue="/y"}`).Set(2)
+	r.Histogram("lat_ns", []time.Duration{10}).Observe(5)
+	text := r.PromText()
+	if got := strings.Count(text, "# TYPE mq_depth gauge"); got != 1 {
+		t.Fatalf("TYPE mq_depth emitted %d times:\n%s", got, text)
+	}
+	for _, want := range []string{
+		"a_total 1",
+		`mq_depth{queue="/x"} 1`,
+		`lat_ns_bucket{le="10"} 1`,
+		`lat_ns_bucket{le="+Inf"} 1`,
+		"lat_ns_sum 5",
+		"lat_ns_count 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestChromeTraceDeterministic(t *testing.T) {
+	build := func() []byte {
+		clk := &fakeClock{}
+		tr := NewTracer(clk.now, 8)
+		id := tr.Begin("web", "pm", "sendrec")
+		clk.t = 3000
+		tr.End(id, OutcomeDelivered)
+		tr.Emit("temp", "heater", "send", OutcomeACMDenied)
+		out, err := tr.ChromeTrace()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := build(), build()
+	if !bytes.Equal(a, b) {
+		t.Fatal("ChromeTrace must be byte-stable for identical histories")
+	}
+	for _, want := range []string{`"ph": "X"`, `"ph": "M"`, "thread_name", "sendrec"} {
+		if !strings.Contains(string(a), want) {
+			t.Fatalf("missing %q in trace:\n%s", want, a)
+		}
+	}
+}
+
+func TestBoardReportJSONDeterministic(t *testing.T) {
+	build := func() []byte {
+		clk := &fakeClock{}
+		b := NewBoard(clk.now)
+		b.Events().SetPlatform("test")
+		b.Metrics().Counter("c_total").Add(3)
+		b.Metrics().Histogram("h_ns", nil).Observe(4 * time.Microsecond)
+		id := b.Tracer().Begin("a", "b", "x")
+		clk.t = 1000
+		b.Tracer().End(id, OutcomeDelivered)
+		b.Events().Emit(SecurityEvent{Kind: EventIPCDenied, Mechanism: MechACM, Denied: true, Src: "a", Dst: "b"})
+		out, err := b.Report("test", true).JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := build(), build()
+	if !bytes.Equal(a, b) {
+		t.Fatal("report JSON must be byte-stable")
+	}
+	for _, want := range []string{`"platform": "test"`, `"ipc-denied"`, `"acm"`, "c_total", "h_ns"} {
+		if !strings.Contains(string(a), want) {
+			t.Fatalf("missing %q in report:\n%s", want, a)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// SpanStats summarises the tracer for a report.
+type SpanStats struct {
+	Completed int64          `json:"completed"`
+	Open      int            `json:"open"`
+	Dropped   int64          `json:"dropped"`
+	ByOutcome []OutcomeCount `json:"by_outcome,omitempty"`
+}
+
+// Report is the exportable snapshot of one board's observability state.
+// Every collection is sorted, every timestamp virtual, so marshalling the
+// same simulation twice yields identical bytes.
+type Report struct {
+	Platform    string          `json:"platform"`
+	At          Time            `json:"at_ns"`
+	Counters    []CounterSnap   `json:"counters"`
+	Gauges      []GaugeSnap     `json:"gauges,omitempty"`
+	Histograms  []HistogramSnap `json:"histograms"`
+	Spans       SpanStats       `json:"spans"`
+	EventTotals []EventTotal    `json:"event_totals"`
+	Events      []SecurityEvent `json:"events,omitempty"`
+}
+
+// Report snapshots the board. includeEvents controls whether the retained
+// event ring is embedded (totals are always included).
+func (b *Board) Report(platform string, includeEvents bool) *Report {
+	r := &Report{
+		Platform:   platform,
+		At:         b.now(),
+		Counters:   b.metrics.Counters(),
+		Gauges:     b.metrics.Gauges(),
+		Histograms: b.metrics.Histograms(),
+		Spans: SpanStats{
+			Completed: b.tracer.Completed(),
+			Open:      b.tracer.OpenCount(),
+			Dropped:   b.tracer.Dropped(),
+			ByOutcome: b.tracer.ByOutcome(),
+		},
+		EventTotals: b.events.Totals(),
+	}
+	if includeEvents {
+		r.Events = b.events.Events()
+		if r.Events == nil {
+			r.Events = []SecurityEvent{}
+		}
+	}
+	return r
+}
+
+// JSON renders the report as indented JSON with a trailing newline.
+func (r *Report) JSON() ([]byte, error) {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// Text renders the report as a human-readable summary.
+func (r *Report) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== observability report: %s at %s ==\n", r.Platform, r.At)
+	fmt.Fprintf(&b, "counters (%d):\n", len(r.Counters))
+	for _, c := range r.Counters {
+		fmt.Fprintf(&b, "  %-46s %d\n", c.Name, c.Value)
+	}
+	if len(r.Gauges) > 0 {
+		fmt.Fprintf(&b, "gauges (%d):\n", len(r.Gauges))
+		for _, g := range r.Gauges {
+			fmt.Fprintf(&b, "  %-46s %d\n", g.Name, g.Value)
+		}
+	}
+	fmt.Fprintf(&b, "histograms (%d):\n", len(r.Histograms))
+	for _, h := range r.Histograms {
+		mean := time.Duration(0)
+		if h.Count > 0 {
+			mean = time.Duration(h.SumNanos / h.Count)
+		}
+		fmt.Fprintf(&b, "  %s: n=%d mean=%s\n", h.Name, h.Count, mean)
+		for _, bk := range h.Buckets {
+			if bk.Count == 0 {
+				continue
+			}
+			if bk.UpperNanos == 0 {
+				fmt.Fprintf(&b, "    le +Inf%-38s %d\n", "", bk.Count)
+			} else {
+				fmt.Fprintf(&b, "    le %-42s %d\n", time.Duration(bk.UpperNanos), bk.Count)
+			}
+		}
+	}
+	fmt.Fprintf(&b, "spans: completed=%d open=%d dropped=%d\n",
+		r.Spans.Completed, r.Spans.Open, r.Spans.Dropped)
+	for _, oc := range r.Spans.ByOutcome {
+		fmt.Fprintf(&b, "  %-46s %d\n", oc.Outcome, oc.Count)
+	}
+	fmt.Fprintf(&b, "security events (%d kinds):\n", len(r.EventTotals))
+	for _, t := range r.EventTotals {
+		verdict := "allowed"
+		if t.Denied {
+			verdict = "DENIED"
+		}
+		fmt.Fprintf(&b, "  %-18s by %-14s %-8s %d\n", t.Kind, t.Mechanism, verdict, t.Count)
+	}
+	for _, e := range r.Events {
+		fmt.Fprintf(&b, "  [%s] %s\n", e.At, e)
+	}
+	return b.String()
+}
+
+// String renders one event compactly: "kind src->dst via mechanism
+// (detail)". The timestamp is left to the caller.
+func (e SecurityEvent) String() string {
+	var b strings.Builder
+	b.WriteString(string(e.Kind))
+	if e.Denied {
+		b.WriteString(" DENIED")
+	}
+	b.WriteString(" ")
+	b.WriteString(e.Src)
+	if e.Dst != "" {
+		b.WriteString("->")
+		b.WriteString(e.Dst)
+	}
+	b.WriteString(" via ")
+	b.WriteString(string(e.Mechanism))
+	if e.Detail != "" {
+		b.WriteString(" (")
+		b.WriteString(e.Detail)
+		b.WriteString(")")
+	}
+	return b.String()
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"mkbas/internal/machine"
+	"mkbas/internal/obs"
 	"mkbas/internal/vnet"
 )
 
@@ -164,16 +165,26 @@ func (k *Kernel) HandleTrap(pid machine.PID, req any) (any, machine.Disposition)
 
 // doSend implements seL4_Send / seL4_NBSend.
 func (k *Kernel) doSend(t *tcb, r sendTrap) (any, machine.Disposition) {
+	k.mSends.Inc()
 	c, err := k.lookupCap(t, r.cptr, KindEndpoint, CapWrite)
 	if err != nil {
 		return errResult{err: err}, machine.DispositionContinue
 	}
 	if r.msg.TransferCap != nil && !c.Rights.Has(CapGrant) {
 		k.stats.RightsDenied++
+		k.mRightsDenied.Inc()
+		k.events.Emit(obs.SecurityEvent{
+			Kind:      obs.EventCapFault,
+			Mechanism: obs.MechCapability,
+			Denied:    true,
+			Src:       t.name,
+			Dst:       k.objName(c.Object),
+			Detail:    "cap transfer needs grant",
+		})
 		return errResult{err: fmt.Errorf("%w: cap transfer needs grant", ErrNoRights)}, machine.DispositionContinue
 	}
 	ep := k.eps[c.Object]
-	if receiver := popReceiver(ep); receiver != nil {
+	if receiver := k.popReceiver(ep); receiver != nil {
 		k.deliver(t, c, receiver, r.msg, false)
 		return errResult{}, machine.DispositionContinue
 	}
@@ -186,6 +197,7 @@ func (k *Kernel) doSend(t *tcb, r sendTrap) (any, machine.Disposition) {
 	t.sendCap = c
 	t.wantsCall = false
 	ep.sendQ = append(ep.sendQ, t)
+	k.mEPQ.Add(1)
 	return nil, machine.DispositionBlock
 }
 
@@ -194,33 +206,40 @@ func (k *Kernel) doSend(t *tcb, r sendTrap) (any, machine.Disposition) {
 // endpoint it can use seL4_Call") because it attaches a one-time reply
 // capability to the message.
 func (k *Kernel) doCall(t *tcb, r callTrap) (any, machine.Disposition) {
+	k.mCalls.Inc()
 	c, err := k.lookupCap(t, r.cptr, KindEndpoint, CapWrite|CapGrant)
 	if err != nil {
+		k.tracer.Emit(t.name, "", "call", obs.OutcomeCapFault)
 		return callResultReply{err: err}, machine.DispositionContinue
 	}
 	k.stats.Calls++
 	ep := k.eps[c.Object]
+	// The round-trip span stays open until Reply (or abort) wakes the
+	// caller.
+	t.span = k.tracer.Begin(t.name, ep.name, "call")
 	t.sendMsg = r.msg
 	t.sendCap = c
 	t.wantsCall = true
-	if receiver := popReceiver(ep); receiver != nil {
+	if receiver := k.popReceiver(ep); receiver != nil {
 		k.deliver(t, c, receiver, r.msg, true)
 		t.state = stateBlockedCall
 		return nil, machine.DispositionBlock
 	}
 	t.state = stateBlockedSend
 	ep.sendQ = append(ep.sendQ, t)
+	k.mEPQ.Add(1)
 	return nil, machine.DispositionBlock
 }
 
 // doRecv implements seL4_Recv / seL4_NBRecv.
 func (k *Kernel) doRecv(t *tcb, r recvTrap) (any, machine.Disposition) {
+	k.mRecvs.Inc()
 	c, err := k.lookupCap(t, r.cptr, KindEndpoint, CapRead)
 	if err != nil {
 		return recvResultReply{err: err}, machine.DispositionContinue
 	}
 	ep := k.eps[c.Object]
-	if sender := popSender(ep); sender != nil {
+	if sender := k.popSender(ep); sender != nil {
 		res := k.buildDelivery(sender, sender.sendCap, t, sender.sendMsg, sender.wantsCall)
 		if sender.wantsCall {
 			sender.state = stateBlockedCall
@@ -235,6 +254,7 @@ func (k *Kernel) doRecv(t *tcb, r recvTrap) (any, machine.Disposition) {
 	}
 	t.state = stateBlockedRecv
 	ep.recvQ = append(ep.recvQ, t)
+	k.mEPQ.Add(1)
 	return nil, machine.DispositionBlock
 }
 
@@ -253,7 +273,10 @@ func (k *Kernel) doReply(t *tcb, r replyTrap) (any, machine.Disposition) {
 	}
 	k.stats.Replies++
 	k.stats.IPCDelivered++
+	k.mReplies.Inc()
+	k.mDelivered.Inc()
 	caller.state = stateReady
+	k.endSpan(caller, obs.OutcomeDelivered)
 	k.mustReady(caller.pid, callResultReply{msg: r.msg})
 	return errResult{}, machine.DispositionContinue
 }
@@ -271,6 +294,7 @@ func (k *Kernel) deliver(sender *tcb, senderCap Capability, receiver *tcb, msg M
 // receiver.
 func (k *Kernel) buildDelivery(sender *tcb, senderCap Capability, receiver *tcb, msg Msg, isCall bool) RecvResult {
 	k.stats.IPCDelivered++
+	k.mDelivered.Inc()
 	// Record the delivery through its endpoint for the least-privilege
 	// audit: the sender exercised its send cap, the receiver its recv cap.
 	if ep, ok := k.eps[senderCap.Object]; ok {
@@ -304,6 +328,15 @@ func (k *Kernel) buildDelivery(sender *tcb, senderCap Capability, receiver *tcb,
 func (k *Kernel) doSuspend(t *tcb, r tcbSuspendTrap) (any, machine.Disposition) {
 	c, err := k.lookupCap(t, r.cptr, KindTCB, CapWrite)
 	if err != nil {
+		// lookupCap emitted the cap-fault; this event classifies the
+		// attempt as a blocked kill for the attack reports.
+		k.events.Emit(obs.SecurityEvent{
+			Kind:      obs.EventKillDenied,
+			Mechanism: obs.MechCapability,
+			Denied:    true,
+			Src:       t.name,
+			Detail:    fmt.Sprintf("TCB_Suspend: %v", err),
+		})
 		return errResult{err: err}, machine.DispositionContinue
 	}
 	victim, ok := k.tcbs[c.Object]
@@ -311,6 +344,14 @@ func (k *Kernel) doSuspend(t *tcb, r tcbSuspendTrap) (any, machine.Disposition) 
 		return errResult{err: ErrSuspended}, machine.DispositionContinue
 	}
 	k.stats.Suspends++
+	k.mSuspends.Inc()
+	k.events.Emit(obs.SecurityEvent{
+		Kind:      obs.EventKill,
+		Mechanism: obs.MechCapability,
+		Src:       t.name,
+		Dst:       victim.name,
+		Detail:    "TCB_Suspend with write cap",
+	})
 	victim.suspended = true
 	k.m.Trace().Logf("sel4", "suspend %s by %s", victim.name, t.name)
 	if err := k.m.Engine().Kill(victim.pid); err != nil {
@@ -362,11 +403,14 @@ func (k *Kernel) doSleep(t *tcb, r sleepTrap) (any, machine.Disposition) {
 	return nil, machine.DispositionBlock
 }
 
-// popReceiver dequeues the next live receiver from an endpoint.
-func popReceiver(ep *endpointObj) *tcb {
+// popReceiver dequeues the next live receiver from an endpoint. Every
+// dequeued entry — live or stale — left the wait queues, so the depth
+// gauge drops per removal, mirroring the increment at append time.
+func (k *Kernel) popReceiver(ep *endpointObj) *tcb {
 	for len(ep.recvQ) > 0 {
 		r := ep.recvQ[0]
 		ep.recvQ = ep.recvQ[1:]
+		k.mEPQ.Add(-1)
 		if r.state == stateBlockedRecv {
 			return r
 		}
@@ -375,10 +419,11 @@ func popReceiver(ep *endpointObj) *tcb {
 }
 
 // popSender dequeues the next live sender from an endpoint.
-func popSender(ep *endpointObj) *tcb {
+func (k *Kernel) popSender(ep *endpointObj) *tcb {
 	for len(ep.sendQ) > 0 {
 		s := ep.sendQ[0]
 		ep.sendQ = ep.sendQ[1:]
+		k.mEPQ.Add(-1)
 		if s.state == stateBlockedSend {
 			return s
 		}
@@ -401,11 +446,14 @@ func (k *Kernel) OnProcExit(pid machine.PID, info machine.ExitInfo) {
 		k.m.Trace().Logf("sel4", "FAULT %s: %v", t.name, info.PanicValue)
 	}
 	_ = prevState
+	k.endSpan(t, obs.OutcomeAborted)
 
 	// Remove from endpoint and notification queues.
 	for _, ep := range k.eps {
+		before := len(ep.sendQ) + len(ep.recvQ)
 		ep.sendQ = removeTCB(ep.sendQ, t)
 		ep.recvQ = removeTCB(ep.recvQ, t)
+		k.mEPQ.Add(int64(len(ep.sendQ) + len(ep.recvQ) - before))
 	}
 	for _, n := range k.notifs {
 		n.waitQ = removeTCB(n.waitQ, t)
@@ -416,6 +464,7 @@ func (k *Kernel) OnProcExit(pid machine.PID, info machine.ExitInfo) {
 		caller := t.replyCap.caller
 		if caller != nil && caller.state == stateBlockedCall {
 			caller.state = stateReady
+			k.endSpan(caller, obs.OutcomeAborted)
 			k.mustReady(caller.pid, callResultReply{err: ErrCallAborted})
 		}
 		t.replyCap = nil

@@ -3,8 +3,10 @@ package sel4
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"mkbas/internal/machine"
+	"mkbas/internal/obs"
 	"mkbas/internal/vnet"
 )
 
@@ -83,6 +85,9 @@ type tcb struct {
 
 	waitToken uint64
 
+	// span is the open Call round-trip span, zero outside a Call.
+	span obs.SpanID
+
 	// Network handles.
 	nextHandle int32
 	listeners  map[int32]*vnet.Listener
@@ -137,6 +142,20 @@ type Kernel struct {
 	byPID   map[machine.PID]*tcb
 
 	stats Stats
+
+	// Observability hooks, resolved once at construction.
+	tracer        *obs.Tracer
+	events        *obs.EventLog
+	mSends        *obs.Counter
+	mRecvs        *obs.Counter
+	mCalls        *obs.Counter
+	mReplies      *obs.Counter
+	mDelivered    *obs.Counter
+	mCapFaults    *obs.Counter
+	mRightsDenied *obs.Counter
+	mSuspends     *obs.Counter
+	mCallNs       *obs.Histogram
+	mEPQ          *obs.Gauge
 }
 
 var _ machine.TrapHandler = (*Kernel)(nil)
@@ -156,6 +175,21 @@ func NewKernel(m *machine.Machine, cfg Config) *Kernel {
 		notifs:  make(map[ObjID]*notificationObj),
 		byPID:   make(map[machine.PID]*tcb),
 	}
+	board := m.Obs()
+	board.Events().SetPlatform("sel4")
+	k.tracer = board.Tracer()
+	k.events = board.Events()
+	reg := board.Metrics()
+	k.mSends = reg.Counter("sel4_ipc_send_total")
+	k.mRecvs = reg.Counter("sel4_ipc_recv_total")
+	k.mCalls = reg.Counter("sel4_ipc_call_total")
+	k.mReplies = reg.Counter("sel4_ipc_reply_total")
+	k.mDelivered = reg.Counter("sel4_ipc_delivered_total")
+	k.mCapFaults = reg.Counter("sel4_cap_faults_total")
+	k.mRightsDenied = reg.Counter("sel4_rights_denied_total")
+	k.mSuspends = reg.Counter("sel4_suspends_total")
+	k.mCallNs = reg.Histogram("sel4_call_roundtrip_ns", nil)
+	k.mEPQ = reg.Gauge("sel4_ep_queue_depth")
 	m.Engine().SetHandler(k)
 	return k
 }
@@ -302,21 +336,71 @@ func (k *Kernel) allocID() ObjID {
 }
 
 // lookupCap resolves a thread's slot with a required kind and rights.
+// Every failure is a capability fault: counted, and emitted on the
+// security-event stream (this is what an attacker brute-forcing CPtrs
+// looks like in the unified view).
 func (k *Kernel) lookupCap(t *tcb, cptr CPtr, kind ObjKind, rights Rights) (Capability, error) {
 	if int(cptr) >= CSpaceSize {
 		k.stats.InvalidCapErrs++
+		k.capFault(t, fmt.Sprintf("slot %d out of range", cptr))
 		return Capability{}, fmt.Errorf("%w: slot %d", ErrInvalidCap, cptr)
 	}
 	c := t.cspace[cptr]
 	if c.IsNull() || c.Kind != kind {
 		k.stats.InvalidCapErrs++
+		k.capFault(t, fmt.Sprintf("slot %d empty or not %v", cptr, kind))
 		return Capability{}, fmt.Errorf("%w: slot %d", ErrInvalidCap, cptr)
 	}
 	if !c.Rights.Has(rights) {
 		k.stats.RightsDenied++
+		k.mRightsDenied.Inc()
+		k.events.Emit(obs.SecurityEvent{
+			Kind:      obs.EventCapFault,
+			Mechanism: obs.MechCapability,
+			Denied:    true,
+			Src:       t.name,
+			Dst:       k.objName(c.Object),
+			Detail:    fmt.Sprintf("slot %d has %v, needs %v", cptr, c.Rights, rights),
+		})
 		return Capability{}, fmt.Errorf("%w: slot %d has %v, needs %v", ErrNoRights, cptr, c.Rights, rights)
 	}
 	return c, nil
+}
+
+// capFault books one invalid-capability fault.
+func (k *Kernel) capFault(t *tcb, detail string) {
+	k.mCapFaults.Inc()
+	k.events.Emit(obs.SecurityEvent{
+		Kind:      obs.EventCapFault,
+		Mechanism: obs.MechCapability,
+		Denied:    true,
+		Src:       t.name,
+		Detail:    detail,
+	})
+}
+
+// objName best-effort resolves an object ID to a human name for events.
+func (k *Kernel) objName(id ObjID) string {
+	if ep, ok := k.eps[id]; ok {
+		return ep.name
+	}
+	if t, ok := k.tcbs[id]; ok {
+		return t.name
+	}
+	return fmt.Sprintf("obj-%d", id)
+}
+
+// endSpan closes t's open Call span, if any, observing round-trip latency
+// on delivery.
+func (k *Kernel) endSpan(t *tcb, outcome obs.Outcome) {
+	if t.span == 0 {
+		return
+	}
+	s, ok := k.tracer.End(t.span, outcome)
+	t.span = 0
+	if ok && outcome == obs.OutcomeDelivered {
+		k.mCallNs.Observe(time.Duration(s.Duration()))
+	}
 }
 
 // freeSlot finds the lowest empty CSpace slot.

@@ -1,9 +1,19 @@
 #!/usr/bin/env sh
-# Repo-wide gate: build, vet, race-clean tests, then prove the scenario's
-# security properties statically on every platform.
+# Repo-wide gate: build, vet, race-clean tests, prove the scenario's
+# security properties statically on every platform, smoke the E4 overhead
+# benchmarks, and check that the observability report is byte-deterministic.
 set -eux
 cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
 go test -race ./...
 go run ./cmd/polcheck -scenario tempcontrol
+# E4 must at least run; perf comparisons happen out of band.
+go test -run XXX -bench E4 -benchtime 10x .
+# Determinism golden: two runs of the default MINIX scenario must produce
+# byte-identical observability reports (virtual time only, no map order).
+out1="$(mktemp)"; out2="$(mktemp)"
+trap 'rm -f "$out1" "$out2"' EXIT
+go run ./cmd/basmon -platform minix -json >"$out1"
+go run ./cmd/basmon -platform minix -json >"$out2"
+cmp "$out1" "$out2"
