@@ -1,0 +1,115 @@
+// Command baslab is the sharded experiment campaign runner: it expands a
+// parameter sweep into independent virtual-board cases, runs them across a
+// worker pool, and prints (or saves) the deterministically merged report —
+// whose bytes are identical regardless of worker count.
+//
+// Usage:
+//
+//	baslab                                        # full E1: paper platforms × all actions × both models
+//	baslab -workers 8                             # same campaign, 8 boards in flight
+//	baslab -sweep "platforms=all;plants=all"      # every platform on every plant variant
+//	baslab -sweep "platforms=minix3-acm;actions=fork-bomb;quotas=0,5" -json
+//	baslab -bench 1,2,4,8 -bench-out BENCH_lab.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"mkbas/internal/attack"
+	"mkbas/internal/lab"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "baslab:", err)
+		os.Exit(1)
+	}
+}
+
+// defaultSweep is the paper's full E1 campaign.
+const defaultSweep = "platforms=paper;actions=all;models=both"
+
+func run() error {
+	sweepFlag := flag.String("sweep", defaultSweep, `sweep spec: semicolon-separated axis=values clauses over platforms, actions, models, plants, quotas`)
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "boards in flight at once (1 = serial reference)")
+	jsonOut := flag.Bool("json", false, "emit the merged campaign report as JSON instead of text")
+	benchFlag := flag.String("bench", "", `comma list of worker counts to benchmark, e.g. "1,2,4,8" (first is the speedup baseline)`)
+	benchOut := flag.String("bench-out", "", "write the bench report JSON to this file (default stdout)")
+	quiet := flag.Bool("q", false, "suppress per-case progress lines on stderr")
+	flag.Parse()
+
+	sweep, err := lab.ParseSweep(*sweepFlag)
+	if err != nil {
+		return err
+	}
+
+	if *benchFlag != "" {
+		return runBench(sweep, *benchFlag, *benchOut)
+	}
+
+	opts := lab.Options{Workers: *workers}
+	if !*quiet {
+		// Progress callbacks arrive from worker goroutines; stderr writes are
+		// independent lines, and ordering is cosmetic.
+		opts.Progress = func(c lab.Case, r *attack.Report) {
+			fmt.Fprintf(os.Stderr, "done %-58s %s\n", c, r.Verdict())
+		}
+	}
+	res, err := lab.Run(sweep, opts)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		out, jerr := res.JSON()
+		if jerr != nil {
+			return jerr
+		}
+		_, werr := os.Stdout.Write(out)
+		return werr
+	}
+	fmt.Print(res.Text())
+	return nil
+}
+
+func runBench(sweep lab.Sweep, counts, outPath string) error {
+	var workerCounts []int
+	for _, part := range strings.Split(counts, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad worker count %q", part)
+		}
+		workerCounts = append(workerCounts, n)
+	}
+	rep, err := lab.Bench(sweep, workerCounts, runtime.GOMAXPROCS(0))
+	if err != nil {
+		return err
+	}
+	out, err := rep.JSON()
+	if err != nil {
+		return err
+	}
+	if outPath != "" {
+		if err := os.WriteFile(outPath, out, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "bench report written to %s\n", outPath)
+		for _, p := range rep.Points {
+			fmt.Fprintf(os.Stderr, "  workers=%d %8.1fms %6.2f shards/s speedup=%.2fx\n",
+				p.Workers, p.ElapsedMS, p.ShardsPerSec, p.Speedup)
+		}
+		if !rep.Identical {
+			return fmt.Errorf("determinism violated: merged JSON differed across worker counts")
+		}
+		return nil
+	}
+	_, err = os.Stdout.Write(out)
+	if !rep.Identical {
+		return fmt.Errorf("determinism violated: merged JSON differed across worker counts")
+	}
+	return err
+}

@@ -91,7 +91,11 @@ func run() error {
 // runAttack replays one E1 attack and reports which mediation layer, if
 // any, stopped it — the security-event stream is the evidence.
 func runAttack(platform string, action attack.Action, root, jsonOut bool) error {
-	spec := attack.Spec{Platform: attackPlatform(platform), Action: action, Root: root}
+	p, err := basPlatform(platform)
+	if err != nil {
+		return err
+	}
+	spec := attack.Spec{Platform: p, Action: action, Root: root}
 	report, err := attack.Execute(spec)
 	if err != nil {
 		return err
@@ -116,40 +120,30 @@ func runAttack(platform string, action attack.Action, root, jsonOut bool) error 
 	return nil
 }
 
-// attackPlatform maps basmon's platform spellings onto the attack library's.
-func attackPlatform(p string) attack.Platform {
+// basPlatform maps basmon's short platform spellings (and the registry's
+// own names, which are accepted verbatim) onto registry platform values.
+func basPlatform(p string) (bas.Platform, error) {
 	switch strings.ToLower(p) {
-	case "minix":
-		return attack.PlatformMinix
-	case "minix-vanilla":
-		return attack.PlatformMinixVanilla
+	case "minix", string(bas.PlatformMinix):
+		return bas.PlatformMinix, nil
+	case "minix-vanilla", string(bas.PlatformMinixVanilla):
+		return bas.PlatformMinixVanilla, nil
 	case "sel4":
-		return attack.PlatformSel4
+		return bas.PlatformSel4, nil
+	case "linux":
+		return bas.PlatformLinux, nil
 	case "linux-hardened":
-		return attack.PlatformLinuxHardened
+		return bas.PlatformLinuxHardened, nil
 	default:
-		return attack.PlatformLinux
+		return "", fmt.Errorf("unknown platform %q", p)
 	}
 }
 
 func deploy(tb *bas.Testbed, cfg bas.ScenarioConfig, platform string) error {
-	switch strings.ToLower(platform) {
-	case "minix":
-		_, err := bas.DeployMinix(tb, cfg, bas.MinixOptions{})
+	p, err := basPlatform(platform)
+	if err != nil {
 		return err
-	case "minix-vanilla":
-		_, err := bas.DeployMinix(tb, cfg, bas.MinixOptions{DisableACM: true})
-		return err
-	case "sel4":
-		_, err := bas.DeploySel4(tb, cfg, bas.Sel4Options{})
-		return err
-	case "linux":
-		_, err := bas.DeployLinux(tb, cfg, bas.LinuxOptions{})
-		return err
-	case "linux-hardened":
-		_, err := bas.DeployLinux(tb, cfg, bas.LinuxOptions{Hardened: true})
-		return err
-	default:
-		return fmt.Errorf("unknown platform %q", platform)
 	}
+	_, err = bas.Deploy(p, tb, cfg, bas.DeployOptions{})
+	return err
 }

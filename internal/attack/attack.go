@@ -23,27 +23,31 @@ import (
 	"time"
 
 	"mkbas/internal/bas"
+	"mkbas/internal/core"
+	"mkbas/internal/machine"
 	"mkbas/internal/obs"
 	"mkbas/internal/safety"
 )
 
-// Platform selects the deployment under attack.
-type Platform string
+// Platform selects the deployment under attack. It aliases the deploy
+// registry's platform names, so attack specs and bas.Deploy speak one
+// vocabulary.
+type Platform = bas.Platform
 
 // Platforms under comparison. MinixVanilla (ACM disabled) and LinuxHardened
 // (unique accounts + restrictive modes) are ablations beyond the paper's
 // three headline systems.
 const (
-	PlatformLinux         Platform = "linux"
-	PlatformLinuxHardened Platform = "linux-hardened"
-	PlatformMinix         Platform = "minix3-acm"
-	PlatformMinixVanilla  Platform = "minix3-vanilla"
-	PlatformSel4          Platform = "sel4"
+	PlatformLinux         = bas.PlatformLinux
+	PlatformLinuxHardened = bas.PlatformLinuxHardened
+	PlatformMinix         = bas.PlatformMinix
+	PlatformMinixVanilla  = bas.PlatformMinixVanilla
+	PlatformSel4          = bas.PlatformSel4
 )
 
 // AllPlatforms lists the headline platforms in the paper's order.
 func AllPlatforms() []Platform {
-	return []Platform{PlatformLinux, PlatformMinix, PlatformSel4}
+	return bas.AllPlatforms()
 }
 
 // Action selects the attack.
@@ -122,6 +126,14 @@ type Report struct {
 	// Mechanisms lists the distinct mediation mechanisms that denied at
 	// least one operation (sorted; empty when nothing was denied).
 	Mechanisms []obs.Mechanism
+	// Obs is the board's observability snapshot at the end of the run —
+	// counters, span stats, and event totals, without the embedded event
+	// ring (the denied events are already in SecurityEvents). The fleet
+	// runner (internal/lab) merges these across shards.
+	Obs *obs.Report `json:"Obs,omitempty"`
+	// IPCUsages is the board's aggregated IPC usage log at the end of the
+	// run, sorted by (src, dst, label).
+	IPCUsages []machine.IPCUsageCount `json:"IPCUsages,omitempty"`
 }
 
 // BlockedBy names the mediation layer(s) that denied attack operations,
@@ -152,25 +164,21 @@ const (
 	attackTime = 3 * time.Hour
 )
 
-// Execute runs one attack end to end on a fresh testbed.
+// Execute runs one attack end to end on a fresh testbed with the default
+// scenario.
 func Execute(spec Spec) (*Report, error) {
-	cfg := bas.DefaultScenario()
+	return ExecuteScenario(spec, bas.DefaultScenario())
+}
+
+// ExecuteScenario runs one attack end to end on a fresh testbed built from
+// cfg — the entry point parameter sweeps use to vary plant physics and
+// controller tuning per case.
+func ExecuteScenario(spec Spec, cfg bas.ScenarioConfig) (*Report, error) {
 	tb := bas.NewTestbed(cfg)
 	defer tb.Machine.Shutdown()
 
 	prog := &progress{}
-	var controllerAlive func() bool
-	var err error
-	switch spec.Platform {
-	case PlatformMinix, PlatformMinixVanilla:
-		controllerAlive, err = deployMinixAttack(tb, cfg, spec, prog)
-	case PlatformLinux, PlatformLinuxHardened:
-		controllerAlive, err = deployLinuxAttack(tb, cfg, spec, prog)
-	case PlatformSel4:
-		controllerAlive, err = deploySel4Attack(tb, cfg, spec, prog)
-	default:
-		return nil, fmt.Errorf("attack: unknown platform %q", spec.Platform)
-	}
+	dep, err := deployForSpec(tb, cfg, spec, prog)
 	if err != nil {
 		return nil, err
 	}
@@ -182,7 +190,7 @@ func Execute(spec Spec) (*Report, error) {
 	monCfg.SettleTime = settleTime / 2
 	mon := safety.Attach(tb.Machine.Clock(), tb.Room, monCfg)
 
-	tb.Machine.Run(settleTime + attackTime)
+	dep.Run(settleTime + attackTime)
 
 	eventLog := tb.Machine.Obs().Events()
 	var denied []obs.SecurityEvent
@@ -192,18 +200,76 @@ func Execute(spec Spec) (*Report, error) {
 		}
 	}
 
+	alive := dep.ControllerAlive()
 	report := &Report{
 		Spec:               spec,
 		OperationSucceeded: prog.successes > 0,
 		Attempts:           prog.attempts,
 		Successes:          prog.successes,
 		Denials:            prog.denials,
-		ControllerAlive:    controllerAlive(),
+		ControllerAlive:    alive,
 		Violations:         mon.Violations(),
-		PhysicalCompromise: len(mon.Violations()) > 0 || !controllerAlive(),
+		PhysicalCompromise: len(mon.Violations()) > 0 || !alive,
 		Notes:              prog.notes,
 		SecurityEvents:     denied,
 		Mechanisms:         eventLog.Mechanisms(),
+		Obs:                dep.Report(false),
+		IPCUsages:          tb.Machine.IPC().Usages(),
 	}
 	return report, nil
+}
+
+// deployForSpec boots the platform under attack through the bas.Deploy
+// registry, arming the malicious web interface body for every platform (the
+// backend consults only its own) and the spec's attacker model.
+func deployForSpec(tb *bas.Testbed, cfg bas.ScenarioConfig, spec Spec, prog *progress) (bas.Deployment, error) {
+	opts := bas.DeployOptions{
+		WebRoot:  spec.Root,
+		MinixWeb: minixAttackBody(spec.Action, prog),
+		Sel4Web:  sel4AttackBody(spec.Action, prog),
+		LinuxWeb: linuxAttackBody(spec.Action, prog),
+	}
+	if spec.ForkQuota > 0 {
+		opts.Policy = core.ScenarioPolicyWithForkQuota(spec.ForkQuota)
+	}
+	dep, err := bas.Deploy(spec.Platform, tb, cfg, opts)
+	if err != nil {
+		return nil, fmt.Errorf("attack: %w", err)
+	}
+
+	switch d := dep.(type) {
+	case *bas.MinixDeployment:
+		if spec.Root {
+			prog.note("web interface running with root uid (no effect expected: IPC authority is the ACM, not uid)")
+		}
+	case *bas.Sel4Deployment:
+		// There is no root to escalate to: "the seL4 kernel and CAmkES
+		// generated code have no concept of user or root".
+		if spec.Root {
+			prog.note("root requested: seL4/CAmkES has no user/root concept; attack surface unchanged")
+		}
+		// The generated CapDL spec documents the attacker's whole authority.
+		if verr := d.System.Verify(); verr != nil {
+			prog.note("CapDL verification failed before attack: %v", verr)
+		}
+	case *bas.LinuxDeployment:
+		// Root escalation is injected five minutes before the attack window
+		// opens ("root privilege gained through a privilege escalation
+		// exploit").
+		if spec.Root {
+			tb.Machine.Clock().After(settleTime-5*time.Minute, func() {
+				webPID, pidErr := d.WebPID()
+				if pidErr != nil {
+					prog.note("escalation failed: web process gone: %v", pidErr)
+					return
+				}
+				if rootErr := d.Kernel.GrantRoot(webPID); rootErr != nil {
+					prog.note("escalation failed: %v", rootErr)
+				} else {
+					prog.note("privilege escalation: web interface now uid 0")
+				}
+			})
+		}
+	}
+	return dep, nil
 }

@@ -9,38 +9,6 @@ import (
 	"mkbas/internal/machine"
 )
 
-// deployLinuxAttack boots the Linux platform with the malicious web body.
-// Root escalation is injected five minutes before the attack window opens
-// ("root privilege gained through a privilege escalation exploit").
-func deployLinuxAttack(tb *bas.Testbed, cfg bas.ScenarioConfig, spec Spec, prog *progress) (func() bool, error) {
-	dep, err := bas.DeployLinux(tb, cfg, bas.LinuxOptions{
-		Hardened: spec.Platform == PlatformLinuxHardened,
-		WebBody:  linuxAttackBody(spec.Action, prog),
-	})
-	if err != nil {
-		return nil, err
-	}
-	if spec.Root {
-		tb.Machine.Clock().After(settleTime-5*time.Minute, func() {
-			webPID, pidErr := dep.WebPID()
-			if pidErr != nil {
-				prog.note("escalation failed: web process gone: %v", pidErr)
-				return
-			}
-			if rootErr := dep.Kernel.GrantRoot(webPID); rootErr != nil {
-				prog.note("escalation failed: %v", rootErr)
-			} else {
-				prog.note("privilege escalation: web interface now uid 0")
-			}
-		})
-	}
-	alive := func() bool {
-		_, pidErr := dep.Kernel.PIDOf(bas.NameTempControl)
-		return pidErr == nil
-	}
-	return alive, nil
-}
-
 // linuxAttackBody builds the compromised web interface for one action.
 func linuxAttackBody(action Action, prog *progress) func(api *linuxsim.API) {
 	return func(api *linuxsim.API) {

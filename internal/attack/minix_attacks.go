@@ -9,31 +9,6 @@ import (
 	"mkbas/internal/minix"
 )
 
-// deployMinixAttack boots the MINIX platform with the malicious web body.
-func deployMinixAttack(tb *bas.Testbed, cfg bas.ScenarioConfig, spec Spec, prog *progress) (func() bool, error) {
-	var policy *core.Policy
-	if spec.ForkQuota > 0 {
-		policy = core.ScenarioPolicyWithForkQuota(spec.ForkQuota)
-	}
-	dep, err := bas.DeployMinix(tb, cfg, bas.MinixOptions{
-		Policy:     policy,
-		DisableACM: spec.Platform == PlatformMinixVanilla,
-		WebRoot:    spec.Root,
-		WebBody:    minixAttackBody(spec.Action, prog),
-	})
-	if err != nil {
-		return nil, err
-	}
-	if spec.Root {
-		prog.note("web interface running with root uid (no effect expected: IPC authority is the ACM, not uid)")
-	}
-	alive := func() bool {
-		_, lookupErr := dep.Kernel.EndpointOf(bas.NameTempControl)
-		return lookupErr == nil
-	}
-	return alive, nil
-}
-
 // minixAttackBody builds the compromised web interface for one action.
 func minixAttackBody(action Action, prog *progress) func(api *minix.API) {
 	return func(api *minix.API) {

@@ -9,32 +9,6 @@ import (
 	"mkbas/internal/sel4"
 )
 
-// deploySel4Attack boots the seL4/CAmkES platform with the malicious web
-// control thread. There is no root to escalate to: "the seL4 kernel and
-// CAmkES generated code have no concept of user or root" — the flag is
-// noted and ignored.
-func deploySel4Attack(tb *bas.Testbed, cfg bas.ScenarioConfig, spec Spec, prog *progress) (func() bool, error) {
-	dep, err := bas.DeploySel4(tb, cfg, bas.Sel4Options{
-		WebRun: sel4AttackBody(spec.Action, prog),
-	})
-	if err != nil {
-		return nil, err
-	}
-	if spec.Root {
-		prog.note("root requested: seL4/CAmkES has no user/root concept; attack surface unchanged")
-	}
-	// The generated CapDL spec documents the attacker's whole authority.
-	if verr := dep.System.Verify(); verr != nil {
-		prog.note("CapDL verification failed before attack: %v", verr)
-	}
-	sensorTCB, _ := dep.System.TCB(bas.NameTempControl + "." + bas.IfaceSensorIn)
-	mgmtTCB, _ := dep.System.TCB(bas.NameTempControl + "." + bas.IfaceMgmt)
-	alive := func() bool {
-		return dep.System.Kernel().ThreadAlive(sensorTCB) && dep.System.Kernel().ThreadAlive(mgmtTCB)
-	}
-	return alive, nil
-}
-
 // sel4AttackBody builds the compromised web component for one action.
 func sel4AttackBody(action Action, prog *progress) func(rt *camkes.Runtime) {
 	return func(rt *camkes.Runtime) {

@@ -9,6 +9,7 @@ import (
 
 	"mkbas/internal/linuxsim"
 	"mkbas/internal/plant"
+	"mkbas/internal/polcheck"
 )
 
 // POSIX message-queue names — "the scenario process in Linux spawns all
@@ -54,6 +55,14 @@ type LinuxOptions struct {
 	Hardened bool
 	// WebBody replaces the legitimate web interface with attacker code.
 	WebBody func(api *linuxsim.API)
+	// SkipPolicyCheck disables the pre-deploy static policy gate; see
+	// DeployOptions.SkipPolicyCheck for the shared semantics. On Linux the
+	// gate certifies the hardened unique-account DAC model; the
+	// same-account default deploys no per-process policy (every process is
+	// one DAC principal, the paper's baseline finding), so — like
+	// DisableACM on MINIX — there is nothing to certify and the gate is
+	// skipped regardless of this field.
+	SkipPolicyCheck bool
 }
 
 // account pairs a uid and gid.
@@ -117,9 +126,12 @@ func linuxQueueCreators() map[string]string {
 
 // LinuxDeployment is the booted Linux platform.
 type LinuxDeployment struct {
+	deploymentBase
 	Kernel  *linuxsim.Kernel
 	Testbed *Testbed
 }
+
+var _ Deployment = (*LinuxDeployment)(nil)
 
 // WebPID returns the unix pid of the (possibly compromised) web interface,
 // for the GrantRoot escalation step.
@@ -127,10 +139,46 @@ func (d *LinuxDeployment) WebPID() (int, error) {
 	return d.Kernel.PIDOf(NameWebInterface)
 }
 
-// DeployLinux boots the Linux platform on a testbed.
+// ControllerAlive reports whether the temperature control process still has
+// a pid.
+func (d *LinuxDeployment) ControllerAlive() bool {
+	_, err := d.Kernel.PIDOf(NameTempControl)
+	return err == nil
+}
+
+// DeployLinux boots the Linux platform on a testbed. It is a thin wrapper
+// over the Deploy registry, kept so existing callers compile unchanged.
 func DeployLinux(tb *Testbed, cfg ScenarioConfig, opts LinuxOptions) (*LinuxDeployment, error) {
+	platform := PlatformLinux
+	if opts.Hardened {
+		platform = PlatformLinuxHardened
+	}
+	dep, err := Deploy(platform, tb, cfg, DeployOptions{
+		SkipPolicyCheck: opts.SkipPolicyCheck,
+		LinuxWeb:        opts.WebBody,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return dep.(*LinuxDeployment), nil
+}
+
+// deployLinux is the Linux backend of the Deploy registry. platform selects
+// the same-account default (PlatformLinux) or the unique-account hardened
+// configuration (PlatformLinuxHardened).
+func deployLinux(platform Platform, tb *Testbed, cfg ScenarioConfig, opts DeployOptions) (*LinuxDeployment, error) {
+	hardened := platform == PlatformLinuxHardened
+	// Pre-deploy gate: the hardened configuration claims the scenario's
+	// security contract, so prove its DAC model satisfies it before boot.
+	// The same-account default deploys no per-process policy and skips the
+	// gate (see LinuxOptions.SkipPolicyCheck).
+	if hardened && !opts.SkipPolicyCheck {
+		if err := checkDeployPolicy(polcheck.FromDAC(LinuxScenarioDAC(true, false))); err != nil {
+			return nil, err
+		}
+	}
 	k := linuxsim.Boot(tb.Machine, linuxsim.Config{Net: tb.Net})
-	webBody := opts.WebBody
+	webBody := opts.LinuxWeb
 	if webBody == nil {
 		// The Linux deployment exports board metrics over its own web
 		// interface, the way a real Linux controller would run node_exporter.
@@ -138,12 +186,12 @@ func DeployLinux(tb *Testbed, cfg ScenarioConfig, opts LinuxOptions) (*LinuxDepl
 		webBody = func(api *linuxsim.API) { linuxWebBody(api, metrics) }
 	}
 
-	acct := linuxAccounts(opts.Hardened)
-	qmode := linuxQueueModes(opts.Hardened)
+	acct := linuxAccounts(hardened)
+	qmode := linuxQueueModes(hardened)
 
 	// Device files: same-account deployment puts everything under one
 	// owner; hardened gives each driver its device.
-	if opts.Hardened {
+	if hardened {
 		k.RegisterDeviceFile(plant.DevTempSensor, hardSensorUID, hardCtrlGID, 0o600)
 		k.RegisterDeviceFile(plant.DevHeater, hardHeaterUID, hardCtrlGID, 0o600)
 		k.RegisterDeviceFile(plant.DevAlarm, hardAlarmUID, hardCtrlGID, 0o600)
@@ -179,7 +227,7 @@ func DeployLinux(tb *Testbed, cfg ScenarioConfig, opts LinuxOptions) (*LinuxDepl
 		Body: webBody,
 	})
 
-	if opts.Hardened {
+	if hardened {
 		// Unique accounts cannot be reached through fork (children inherit
 		// credentials), so the deployment spawns each process directly.
 		for _, name := range []string{NameHeaterAct, NameAlarmAct, NameTempControl, NameTempSensor, NameWebInterface} {
@@ -203,7 +251,11 @@ func DeployLinux(tb *Testbed, cfg ScenarioConfig, opts LinuxOptions) (*LinuxDepl
 			return nil, fmt.Errorf("bas: spawning loader: %w", err)
 		}
 	}
-	return &LinuxDeployment{Kernel: k, Testbed: tb}, nil
+	return &LinuxDeployment{
+		deploymentBase: deploymentBase{platform: platform, tb: tb},
+		Kernel:         k,
+		Testbed:        tb,
+	}, nil
 }
 
 // linuxOpenRetry opens a queue, retrying while it does not exist yet

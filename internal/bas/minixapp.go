@@ -40,7 +40,8 @@ type MinixOptions struct {
 	// outcome — that is the point: "user privilege is not directly tied
 	// with access control and IPC".
 	WebRoot bool
-	// SkipPolicyCheck disables the pre-deploy static policy gate. Attack
+	// SkipPolicyCheck disables the pre-deploy static policy gate; see
+	// DeployOptions.SkipPolicyCheck for the shared semantics. Attack
 	// experiments that deliberately deploy over-permissive policies set it;
 	// production paths never should.
 	SkipPolicyCheck bool
@@ -48,29 +49,61 @@ type MinixOptions struct {
 
 // MinixDeployment is the booted MINIX platform.
 type MinixDeployment struct {
+	deploymentBase
 	Kernel  *minix.Kernel
 	Testbed *Testbed
 }
 
-// DeployMinix boots the security-enhanced MINIX 3 platform on a testbed and
-// starts the scenario loader, which forks the five application processes
-// with their ac_ids (Section IV-A).
+var _ Deployment = (*MinixDeployment)(nil)
+
+// ControllerAlive reports whether the temperature control process still has
+// a live endpoint.
+func (d *MinixDeployment) ControllerAlive() bool {
+	_, err := d.Kernel.EndpointOf(NameTempControl)
+	return err == nil
+}
+
+// DeployMinix boots the security-enhanced MINIX 3 platform on a testbed. It
+// is a thin wrapper over the Deploy registry, kept so existing callers
+// compile unchanged.
 func DeployMinix(tb *Testbed, cfg ScenarioConfig, opts MinixOptions) (*MinixDeployment, error) {
+	platform := PlatformMinix
+	if opts.DisableACM {
+		platform = PlatformMinixVanilla
+	}
+	dep, err := Deploy(platform, tb, cfg, DeployOptions{
+		SkipPolicyCheck: opts.SkipPolicyCheck,
+		Policy:          opts.Policy,
+		WebRoot:         opts.WebRoot,
+		MinixWeb:        opts.WebBody,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return dep.(*MinixDeployment), nil
+}
+
+// deployMinix is the MINIX backend of the Deploy registry: it boots the
+// kernel and starts the scenario loader, which forks the five application
+// processes with their ac_ids (Section IV-A). platform selects whether the
+// ACM is enforced (PlatformMinix) or ablated (PlatformMinixVanilla).
+func deployMinix(platform Platform, tb *Testbed, cfg ScenarioConfig, opts DeployOptions) (*MinixDeployment, error) {
+	disableACM := platform == PlatformMinixVanilla
 	policy := opts.Policy
 	if policy == nil {
 		policy = core.ScenarioPolicy()
 	}
 	// Pre-deploy gate: prove the matrix satisfies the scenario's security
-	// contract before any process runs. The DisableACM ablation skips it —
+	// contract before any process runs. The vanilla ablation skips it —
 	// vanilla MINIX enforces nothing, so there is no policy to certify.
-	if !opts.SkipPolicyCheck && !opts.DisableACM {
+	if !opts.SkipPolicyCheck && !disableACM {
 		if err := checkDeployPolicy(polcheck.FromPolicy(policy)); err != nil {
 			return nil, err
 		}
 	}
 	k, err := minix.Boot(tb.Machine, policy, minix.Config{
 		Net:        tb.Net,
-		DisableACM: opts.DisableACM,
+		DisableACM: disableACM,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("bas: booting minix: %w", err)
@@ -80,7 +113,7 @@ func DeployMinix(tb *Testbed, cfg ScenarioConfig, opts MinixOptions) (*MinixDepl
 	if opts.WebRoot {
 		webUID = 0
 	}
-	webBody := opts.WebBody
+	webBody := opts.MinixWeb
 	if webBody == nil {
 		webBody = minixWebBody
 	}
@@ -115,7 +148,11 @@ func DeployMinix(tb *Testbed, cfg ScenarioConfig, opts MinixOptions) (*MinixDepl
 	if _, err := k.SpawnImage(NameScenario, core.ACIDScenario); err != nil {
 		return nil, fmt.Errorf("bas: spawning loader: %w", err)
 	}
-	return &MinixDeployment{Kernel: k, Testbed: tb}, nil
+	return &MinixDeployment{
+		deploymentBase: deploymentBase{platform: platform, tb: tb},
+		Kernel:         k,
+		Testbed:        tb,
+	}, nil
 }
 
 // plantDevice aliases the device ID type for terse image declarations.

@@ -35,14 +35,28 @@ type Sel4Options struct {
 	// attacker code.
 	WebRun func(rt *camkes.Runtime)
 	// SkipPolicyCheck disables the pre-deploy static policy gate over the
-	// generated CapDL spec.
+	// generated CapDL spec; see DeployOptions.SkipPolicyCheck for the
+	// shared semantics.
 	SkipPolicyCheck bool
 }
 
 // Sel4Deployment is the booted seL4/CAmkES platform.
 type Sel4Deployment struct {
+	deploymentBase
 	System  *camkes.System
 	Testbed *Testbed
+}
+
+var _ Deployment = (*Sel4Deployment)(nil)
+
+// ControllerAlive reports whether both controller interface threads (sensor
+// intake and management) are still running.
+func (d *Sel4Deployment) ControllerAlive() bool {
+	sensorTCB, okS := d.System.TCB(NameTempControl + "." + IfaceSensorIn)
+	mgmtTCB, okM := d.System.TCB(NameTempControl + "." + IfaceMgmt)
+	return okS && okM &&
+		d.System.Kernel().ThreadAlive(sensorTCB) &&
+		d.System.Kernel().ThreadAlive(mgmtTCB)
 }
 
 // ScenarioAssembly builds the CAmkES assembly for the Fig. 2 scenario. It is
@@ -171,11 +185,25 @@ func ScenarioAssembly(cfg ScenarioConfig, webRun func(rt *camkes.Runtime)) *camk
 	}
 }
 
-// DeploySel4 boots the seL4/CAmkES platform on a testbed.
+// DeploySel4 boots the seL4/CAmkES platform on a testbed. It is a thin
+// wrapper over the Deploy registry, kept so existing callers compile
+// unchanged.
 func DeploySel4(tb *Testbed, cfg ScenarioConfig, opts Sel4Options) (*Sel4Deployment, error) {
-	assembly := ScenarioAssembly(cfg, opts.WebRun)
+	dep, err := Deploy(PlatformSel4, tb, cfg, DeployOptions{
+		SkipPolicyCheck: opts.SkipPolicyCheck,
+		Sel4Web:         opts.WebRun,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return dep.(*Sel4Deployment), nil
+}
+
+// deploySel4 is the seL4 backend of the Deploy registry.
+func deploySel4(tb *Testbed, cfg ScenarioConfig, opts DeployOptions) (*Sel4Deployment, error) {
+	assembly := ScenarioAssembly(cfg, opts.Sel4Web)
 	// Pre-deploy gate: analyze the capability distribution the builder is
-	// about to install. Attacker WebRun bodies run with the same caps — the
+	// about to install. Attacker Sel4Web bodies run with the same caps — the
 	// paper's threat model — so the gate holds for attack deployments too.
 	if !opts.SkipPolicyCheck {
 		spec, err := camkes.GenerateSpec(assembly)
@@ -190,7 +218,11 @@ func DeploySel4(tb *Testbed, cfg ScenarioConfig, opts Sel4Options) (*Sel4Deploym
 	if err != nil {
 		return nil, fmt.Errorf("bas: building camkes assembly: %w", err)
 	}
-	return &Sel4Deployment{System: sys, Testbed: tb}, nil
+	return &Sel4Deployment{
+		deploymentBase: deploymentBase{platform: PlatformSel4, tb: tb},
+		System:         sys,
+		Testbed:        tb,
+	}, nil
 }
 
 func b2u(b bool) uint64 {

@@ -1,0 +1,78 @@
+package lab
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// BenchPoint is one worker-count measurement.
+type BenchPoint struct {
+	Workers int `json:"workers"`
+	// ElapsedMS is wall-clock time for the whole campaign, in milliseconds.
+	ElapsedMS float64 `json:"elapsed_ms"`
+	// ShardsPerSec is campaign throughput.
+	ShardsPerSec float64 `json:"shards_per_sec"`
+	// Speedup is relative to the first (serial) point.
+	Speedup float64 `json:"speedup"`
+}
+
+// BenchReport is the scaling measurement check.sh records to BENCH_lab.json.
+type BenchReport struct {
+	Shards int          `json:"shards"`
+	Points []BenchPoint `json:"points"`
+	// Identical confirms the determinism contract held: every worker
+	// count's merged JSON was byte-identical to the serial run's.
+	Identical bool `json:"identical"`
+	// HostCPUs is GOMAXPROCS at measurement time — scaling beyond it is
+	// not expected.
+	HostCPUs int `json:"host_cpus"`
+}
+
+// Bench runs the sweep once per worker count, measuring wall-clock
+// throughput and verifying that every run's merged JSON is byte-identical
+// to the first. The first worker count is the speedup baseline, so pass 1
+// first for honest serial-relative numbers.
+func Bench(sweep Sweep, workerCounts []int, hostCPUs int) (*BenchReport, error) {
+	if len(workerCounts) == 0 {
+		return nil, fmt.Errorf("lab: no worker counts to bench")
+	}
+	rep := &BenchReport{Identical: true, HostCPUs: hostCPUs}
+	var baseline []byte
+	var baseElapsed float64
+	for i, w := range workerCounts {
+		res, err := Run(sweep, Options{Workers: w})
+		if err != nil {
+			return nil, err
+		}
+		out, err := res.JSON()
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			rep.Shards = len(res.Cases)
+			baseline = out
+			baseElapsed = float64(res.Elapsed.Nanoseconds())
+		} else if !bytes.Equal(out, baseline) {
+			rep.Identical = false
+		}
+		elapsed := float64(res.Elapsed.Nanoseconds())
+		pt := BenchPoint{
+			Workers:      res.Workers,
+			ElapsedMS:    elapsed / 1e6,
+			ShardsPerSec: float64(len(res.Cases)) / (elapsed / 1e9),
+			Speedup:      baseElapsed / elapsed,
+		}
+		rep.Points = append(rep.Points, pt)
+	}
+	return rep, nil
+}
+
+// JSON renders the bench report as indented JSON with a trailing newline.
+func (r *BenchReport) JSON() ([]byte, error) {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

@@ -1,0 +1,238 @@
+package lab
+
+import (
+	"bytes"
+	"testing"
+
+	"mkbas/internal/attack"
+)
+
+// TestExpandOrder pins the expansion order: platform outermost, then model,
+// action, plant, quota — shard index equals position. The merge keys on this
+// order, so changing it silently changes every golden file.
+func TestExpandOrder(t *testing.T) {
+	s := Sweep{
+		Platforms: []attack.Platform{attack.PlatformMinix, attack.PlatformSel4},
+		Actions:   []attack.Action{attack.ActionSpoofSensor, attack.ActionForkBomb},
+		Models:    []Model{ModelUser, ModelRoot},
+		Plants:    []Plant{PlantDefault},
+		Quotas:    []int{0, 8},
+	}
+	cases := s.Expand()
+	// MINIX: 2 models × 2 actions × 1 plant × 2 quotas = 8.
+	// seL4 (quota axis collapses): 2 × 2 × 1 × 1 = 4.
+	if len(cases) != 12 {
+		t.Fatalf("expanded %d cases, want 12", len(cases))
+	}
+	for i, c := range cases {
+		if c.Shard != i {
+			t.Errorf("case %d has shard %d", i, c.Shard)
+		}
+	}
+	first := cases[0]
+	if first.Platform != attack.PlatformMinix || first.Model != ModelUser ||
+		first.Action != attack.ActionSpoofSensor || first.ForkQuota != 0 {
+		t.Errorf("unexpected first case: %+v", first)
+	}
+	if cases[1].ForkQuota != 8 {
+		t.Errorf("quota must be the innermost axis, got %+v", cases[1])
+	}
+	for _, c := range cases[8:] {
+		if c.Platform != attack.PlatformSel4 {
+			t.Errorf("cases 8.. must be sel4, got %+v", c)
+		}
+		if c.ForkQuota != 0 {
+			t.Errorf("non-MINIX case carries quota: %+v", c)
+		}
+	}
+}
+
+func TestParseSweep(t *testing.T) {
+	s, err := ParseSweep("platforms=paper;actions=all;models=both;plants=default;quotas=0")
+	if err != nil {
+		t.Fatalf("ParseSweep: %v", err)
+	}
+	if got, want := len(s.Platforms), 3; got != want {
+		t.Errorf("platforms=paper: got %d platforms, want %d", got, want)
+	}
+	if got, want := len(s.Actions), len(attack.AllActions()); got != want {
+		t.Errorf("actions=all: got %d, want %d", got, want)
+	}
+	if got, want := len(s.Models), 2; got != want {
+		t.Errorf("models=both: got %d, want %d", got, want)
+	}
+
+	// Duplicates collapse: "paper" already includes linux.
+	s, err = ParseSweep("platforms=paper,linux")
+	if err != nil {
+		t.Fatalf("ParseSweep: %v", err)
+	}
+	if got := len(s.Platforms); got != 3 {
+		t.Errorf("paper,linux: got %d platforms, want 3", got)
+	}
+
+	for _, bad := range []string{
+		"platforms=windows",
+		"actions=frobnicate",
+		"models=guest",
+		"plants=volcano",
+		"quotas=many",
+		"quotas=-1",
+		"color=red",
+		"platforms",
+	} {
+		if _, err := ParseSweep(bad); err == nil {
+			t.Errorf("ParseSweep(%q) succeeded, want error", bad)
+		}
+	}
+
+	// Empty spec is the all-defaults sweep.
+	s, err = ParseSweep("")
+	if err != nil {
+		t.Fatalf("ParseSweep(empty): %v", err)
+	}
+	if len(s.Expand()) != len(attack.AllPlatforms())*len(attack.AllActions()) {
+		t.Errorf("empty sweep expanded to %d cases", len(s.Expand()))
+	}
+}
+
+// smallSweep is the cheap cross-platform sweep the determinism tests run:
+// one fast-failing action on every headline platform, both models.
+func smallSweep() Sweep {
+	return Sweep{
+		Actions: []attack.Action{attack.ActionKillController},
+		Models:  []Model{ModelUser, ModelRoot},
+	}
+}
+
+// TestShardDeterminism is the tentpole contract: the merged campaign JSON is
+// byte-identical regardless of worker count. With 6 boards and 8 workers,
+// every board runs concurrently with every other; under -race this is also
+// the proof that fully independent boards share no mutable state.
+func TestShardDeterminism(t *testing.T) {
+	serial, err := Run(smallSweep(), Options{Workers: 1})
+	if err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+	parallel, err := Run(smallSweep(), Options{Workers: 8})
+	if err != nil {
+		t.Fatalf("parallel run: %v", err)
+	}
+	serialJSON, err := serial.JSON()
+	if err != nil {
+		t.Fatalf("serial JSON: %v", err)
+	}
+	parallelJSON, err := parallel.JSON()
+	if err != nil {
+		t.Fatalf("parallel JSON: %v", err)
+	}
+	if !bytes.Equal(serialJSON, parallelJSON) {
+		t.Fatalf("merged JSON differs between 1 and 8 workers:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serialJSON, parallelJSON)
+	}
+	if len(serial.Cases) != 6 {
+		t.Fatalf("smallSweep expanded to %d cases, want 6", len(serial.Cases))
+	}
+	// The kill attack is the paper's sharpest split: blocked on the
+	// microkernels, controller dead on Linux.
+	for _, sr := range serial.Cases {
+		switch sr.Case.Platform {
+		case attack.PlatformMinix, attack.PlatformSel4:
+			if sr.Verdict != "BLOCKED" {
+				t.Errorf("%s: verdict %s, want BLOCKED", sr.Case, sr.Verdict)
+			}
+		case attack.PlatformLinux:
+			if sr.Verdict != "COMPROMISED" {
+				t.Errorf("%s: verdict %s, want COMPROMISED", sr.Case, sr.Verdict)
+			}
+		}
+	}
+}
+
+// TestAggregateMerge spot-checks the merged collections: totals sum across
+// shards and every merged collection is sorted by key.
+func TestAggregateMerge(t *testing.T) {
+	res, err := Run(smallSweep(), Options{Workers: 4})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	agg := res.Merged
+	if agg.Cases != len(res.Cases) {
+		t.Errorf("aggregate cases %d != %d", agg.Cases, len(res.Cases))
+	}
+	var attempts int
+	for _, sr := range res.Cases {
+		attempts += sr.Report.Attempts
+	}
+	if agg.Attempts != attempts {
+		t.Errorf("aggregate attempts %d, want %d", agg.Attempts, attempts)
+	}
+	var verdictSum int
+	for _, v := range agg.Verdicts {
+		verdictSum += v.Count
+	}
+	if verdictSum != len(res.Cases) {
+		t.Errorf("verdict counts sum to %d, want %d", verdictSum, len(res.Cases))
+	}
+	for i := 1; i < len(agg.Counters); i++ {
+		if agg.Counters[i-1].Name >= agg.Counters[i].Name {
+			t.Errorf("merged counters unsorted at %d: %q >= %q", i, agg.Counters[i-1].Name, agg.Counters[i].Name)
+		}
+	}
+	for i := 1; i < len(agg.IPCUsages); i++ {
+		a, b := agg.IPCUsages[i-1], agg.IPCUsages[i]
+		if a.Src > b.Src || (a.Src == b.Src && a.Dst > b.Dst) {
+			t.Errorf("merged IPC usages unsorted at %d", i)
+		}
+	}
+	if len(agg.Mechanisms) == 0 {
+		t.Error("campaign with blocked attacks reports no denying mechanisms")
+	}
+	// Per-shard counters must sum into the merged value.
+	want := make(map[string]int64)
+	for _, sr := range res.Cases {
+		for _, c := range sr.Report.Obs.Counters {
+			want[c.Name] += c.Value
+		}
+	}
+	for _, c := range agg.Counters {
+		if c.Value != want[c.Name] {
+			t.Errorf("merged counter %s = %d, want %d", c.Name, c.Value, want[c.Name])
+		}
+	}
+}
+
+// TestRunValidates rejects bad sweeps before booting anything.
+func TestRunValidates(t *testing.T) {
+	if _, err := Run(Sweep{Platforms: []attack.Platform{"os2-warp"}}, Options{Workers: 1}); err == nil {
+		t.Error("unknown platform accepted")
+	}
+	if _, err := Run(Sweep{Plants: []Plant{"lava"}}, Options{Workers: 1}); err == nil {
+		t.Error("unknown plant accepted")
+	}
+}
+
+// TestBenchIdentical runs the scaling bench on a tiny sweep and checks the
+// determinism bit survives the measurement path.
+func TestBenchIdentical(t *testing.T) {
+	sweep := Sweep{
+		Platforms: []attack.Platform{attack.PlatformMinix, attack.PlatformLinux},
+		Actions:   []attack.Action{attack.ActionKillController},
+	}
+	rep, err := Bench(sweep, []int{1, 2}, 1)
+	if err != nil {
+		t.Fatalf("bench: %v", err)
+	}
+	if !rep.Identical {
+		t.Error("bench runs were not byte-identical")
+	}
+	if rep.Shards != 2 {
+		t.Errorf("bench shards %d, want 2", rep.Shards)
+	}
+	if len(rep.Points) != 2 || rep.Points[0].Workers != 1 || rep.Points[1].Workers != 2 {
+		t.Errorf("bench points %+v", rep.Points)
+	}
+	if rep.Points[0].Speedup != 1 {
+		t.Errorf("serial speedup %f, want 1", rep.Points[0].Speedup)
+	}
+}

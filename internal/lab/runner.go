@@ -1,0 +1,115 @@
+package lab
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"mkbas/internal/attack"
+)
+
+// Options configures a campaign run.
+type Options struct {
+	// Workers is the number of boards in flight at once. Zero means
+	// GOMAXPROCS. One is the serial reference ordering.
+	Workers int
+	// Progress, when non-nil, receives one callback per finished case from
+	// whichever worker finished it (callers that print must synchronise).
+	Progress func(c Case, r *attack.Report)
+}
+
+// ShardResult is one case's outcome, in shard position.
+type ShardResult struct {
+	Case    Case           `json:"case"`
+	Verdict string         `json:"verdict"`
+	Report  *attack.Report `json:"report"`
+}
+
+// Result is a completed campaign. Its JSON form is a deterministic function
+// of the sweep alone: Workers and Elapsed are excluded from marshalling so
+// serial and parallel runs of the same sweep produce identical bytes.
+type Result struct {
+	Sweep  Sweep         `json:"sweep"`
+	Cases  []ShardResult `json:"cases"`
+	Merged Aggregate     `json:"merged"`
+	// Workers and Elapsed describe this particular execution, not the
+	// experiment; they are deliberately unmarshalled (the determinism rule).
+	Workers int           `json:"-"`
+	Elapsed time.Duration `json:"-"`
+}
+
+// Run executes every case of the sweep across a pool of opts.Workers
+// goroutines. Each case boots a fresh, fully independent virtual board —
+// boards never share mutable state, so data-parallelism cannot perturb any
+// board's single-threaded determinism (DESIGN §7). Results land in a slice
+// indexed by shard; merge order is shard order, never completion order.
+//
+// A failing case fails the campaign: remaining shards still run, and the
+// error of the lowest-numbered failing shard is returned (again independent
+// of timing).
+func Run(sweep Sweep, opts Options) (*Result, error) {
+	if err := sweep.Validate(); err != nil {
+		return nil, err
+	}
+	cases := sweep.Expand()
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cases) {
+		workers = len(cases)
+	}
+
+	start := time.Now()
+	reports := make([]*attack.Report, len(cases))
+	errs := make([]error, len(cases))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				c := cases[i]
+				cfg, err := c.Plant.Scenario()
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				r, err := attack.ExecuteScenario(c.Spec(), cfg)
+				if err != nil {
+					errs[i] = fmt.Errorf("lab: shard %s: %w", c, err)
+					continue
+				}
+				reports[i] = r
+				if opts.Progress != nil {
+					opts.Progress(c, r)
+				}
+			}
+		}()
+	}
+	for i := range cases {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Result{
+		Sweep:   sweep.withDefaults(),
+		Cases:   make([]ShardResult, len(cases)),
+		Workers: workers,
+		Elapsed: time.Since(start),
+	}
+	for i, c := range cases {
+		res.Cases[i] = ShardResult{Case: c, Verdict: reports[i].Verdict(), Report: reports[i]}
+	}
+	res.Merged = aggregate(res.Cases)
+	return res, nil
+}

@@ -1,0 +1,332 @@
+// Package lab is the sharded experiment campaign runner: it expands a
+// parameter sweep — platforms × attacker models × attack actions × plant
+// variants × policy ablations — into an ordered list of fully independent
+// cases, boots each case on its own virtual board across a worker pool, and
+// deterministically merges the per-shard results into one aggregate report.
+//
+// The determinism contract (DESIGN §9): each board is single-threaded and
+// seeded, so a case's result depends only on its Case value; the merge is
+// keyed by shard index — the case's position in the deterministic expansion
+// order — never by completion order. The merged report's bytes are therefore
+// identical regardless of worker count or scheduling.
+package lab
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mkbas/internal/attack"
+	"mkbas/internal/bas"
+)
+
+// Model selects the attacker model from Section IV-D: a compromised web
+// interface process, optionally escalated to root.
+type Model string
+
+// The paper's two attacker models.
+const (
+	ModelUser Model = "user"
+	ModelRoot Model = "root"
+)
+
+// AllModels lists both attacker models, weakest first.
+func AllModels() []Model { return []Model{ModelUser, ModelRoot} }
+
+// Plant names a plant-parameter variant of the default scenario. Variants
+// stress the control loop differently, probing whether a platform's attack
+// outcome is robust to the physics rather than an artifact of one room.
+type Plant string
+
+// Plant variants.
+const (
+	// PlantDefault is the testbed room: 18 °C start, 15 °C ambient.
+	PlantDefault Plant = "default"
+	// PlantColdSnap drops the ambient to 2 °C, so losing the heater hurts
+	// fast — attacks that suppress heating compromise physics sooner.
+	PlantColdSnap Plant = "cold-snap"
+	// PlantNoisySensor adds 0.15 °C sensor read noise, exercising the
+	// controller's dead band and the spoofing attack's believability.
+	PlantNoisySensor Plant = "noisy-sensor"
+	// PlantDrafty triples the leak rate (poor insulation), shrinking the
+	// margin between heater capacity and loss.
+	PlantDrafty Plant = "drafty"
+)
+
+// AllPlants lists every plant variant, default first.
+func AllPlants() []Plant {
+	return []Plant{PlantDefault, PlantColdSnap, PlantNoisySensor, PlantDrafty}
+}
+
+// Scenario builds the scenario configuration for a plant variant.
+func (p Plant) Scenario() (bas.ScenarioConfig, error) {
+	cfg := bas.DefaultScenario()
+	switch p {
+	case PlantDefault:
+	case PlantColdSnap:
+		cfg.Plant.Ambient = 2
+	case PlantNoisySensor:
+		cfg.Plant.SensorNoise = 0.15
+	case PlantDrafty:
+		cfg.Plant.LeakRate = 3e-3
+	default:
+		return bas.ScenarioConfig{}, fmt.Errorf("lab: unknown plant variant %q", p)
+	}
+	return cfg, nil
+}
+
+// Sweep is a parameter campaign. Empty fields default to the paper's E1
+// axes: the three headline platforms, all actions, the user model, the
+// default plant, no quota ablation.
+type Sweep struct {
+	Platforms []attack.Platform `json:"platforms"`
+	Actions   []attack.Action   `json:"actions"`
+	Models    []Model           `json:"models"`
+	Plants    []Plant           `json:"plants"`
+	// Quotas are fork-quota ablations (E8). A quota applies only on MINIX
+	// platforms, where the PM policy enforces it; on every other platform
+	// the axis collapses to a single unquotaed case rather than running
+	// identical boards per quota value.
+	Quotas []int `json:"quotas"`
+}
+
+// Case is one fully specified experiment: a single board, a single attack.
+type Case struct {
+	// Shard is the case's position in the sweep's deterministic expansion
+	// order — the merge key.
+	Shard     int             `json:"shard"`
+	Platform  attack.Platform `json:"platform"`
+	Action    attack.Action   `json:"action"`
+	Model     Model           `json:"model"`
+	Plant     Plant           `json:"plant"`
+	ForkQuota int             `json:"fork_quota,omitempty"`
+}
+
+// Spec translates the case into an attack spec.
+func (c Case) Spec() attack.Spec {
+	return attack.Spec{
+		Platform:  c.Platform,
+		Action:    c.Action,
+		Root:      c.Model == ModelRoot,
+		ForkQuota: c.ForkQuota,
+	}
+}
+
+// String renders the case compactly for logs: "7: sel4/user spoof-sensor
+// plant=default".
+func (c Case) String() string {
+	s := fmt.Sprintf("%d: %s/%s %s plant=%s", c.Shard, c.Platform, c.Model, c.Action, c.Plant)
+	if c.ForkQuota > 0 {
+		s += fmt.Sprintf(" quota=%d", c.ForkQuota)
+	}
+	return s
+}
+
+func minixPlatform(p attack.Platform) bool {
+	return p == attack.PlatformMinix || p == attack.PlatformMinixVanilla
+}
+
+// withDefaults fills empty axes.
+func (s Sweep) withDefaults() Sweep {
+	if len(s.Platforms) == 0 {
+		s.Platforms = attack.AllPlatforms()
+	}
+	if len(s.Actions) == 0 {
+		s.Actions = attack.AllActions()
+	}
+	if len(s.Models) == 0 {
+		s.Models = []Model{ModelUser}
+	}
+	if len(s.Plants) == 0 {
+		s.Plants = []Plant{PlantDefault}
+	}
+	if len(s.Quotas) == 0 {
+		s.Quotas = []int{0}
+	}
+	return s
+}
+
+// Validate rejects unknown axis values before any board boots, so a bad
+// sweep fails in microseconds instead of at shard N.
+func (s Sweep) Validate() error {
+	s = s.withDefaults()
+	known := make(map[attack.Platform]bool)
+	for _, p := range bas.KnownPlatforms() {
+		known[p] = true
+	}
+	for _, p := range s.Platforms {
+		if !known[p] {
+			return fmt.Errorf("lab: unknown platform %q", p)
+		}
+	}
+	actions := make(map[attack.Action]bool)
+	for _, a := range attack.AllActions() {
+		actions[a] = true
+	}
+	for _, a := range s.Actions {
+		if !actions[a] {
+			return fmt.Errorf("lab: unknown action %q", a)
+		}
+	}
+	for _, m := range s.Models {
+		if m != ModelUser && m != ModelRoot {
+			return fmt.Errorf("lab: unknown attacker model %q", m)
+		}
+	}
+	for _, p := range s.Plants {
+		if _, err := p.Scenario(); err != nil {
+			return err
+		}
+	}
+	for _, q := range s.Quotas {
+		if q < 0 {
+			return fmt.Errorf("lab: negative fork quota %d", q)
+		}
+	}
+	return nil
+}
+
+// Expand enumerates the sweep's cases in deterministic order: platform,
+// model, action, plant, quota — outermost to innermost, each axis in the
+// order given. Shard indices are assigned by position. Quota values beyond
+// the first apply only on MINIX platforms (the only backends that enforce
+// them); elsewhere the quota axis contributes one unquotaed case.
+func (s Sweep) Expand() []Case {
+	s = s.withDefaults()
+	var cases []Case
+	for _, platform := range s.Platforms {
+		quotas := s.Quotas
+		if !minixPlatform(platform) {
+			quotas = []int{0}
+		}
+		for _, model := range s.Models {
+			for _, action := range s.Actions {
+				for _, pl := range s.Plants {
+					for _, quota := range quotas {
+						cases = append(cases, Case{
+							Shard:     len(cases),
+							Platform:  platform,
+							Action:    action,
+							Model:     model,
+							Plant:     pl,
+							ForkQuota: quota,
+						})
+					}
+				}
+			}
+		}
+	}
+	return cases
+}
+
+// ParseSweep parses the baslab sweep grammar: semicolon-separated
+// `axis=value[,value...]` clauses, e.g.
+//
+//	platforms=paper;actions=all;models=both;plants=default;quotas=0,8
+//
+// Axis keywords: platforms accepts "paper" (the three headline systems) and
+// "all" (every registered platform); actions and plants accept "all"; models
+// accepts "both". Unknown axes and values are rejected.
+func ParseSweep(spec string) (Sweep, error) {
+	var s Sweep
+	if strings.TrimSpace(spec) == "" {
+		return s, nil
+	}
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		axis, values, ok := strings.Cut(clause, "=")
+		if !ok {
+			return Sweep{}, fmt.Errorf("lab: sweep clause %q is not axis=values", clause)
+		}
+		axis = strings.TrimSpace(axis)
+		var vals []string
+		for _, v := range strings.Split(values, ",") {
+			if v = strings.TrimSpace(v); v != "" {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			return Sweep{}, fmt.Errorf("lab: sweep axis %q has no values", axis)
+		}
+		switch axis {
+		case "platforms":
+			for _, v := range vals {
+				switch v {
+				case "paper":
+					s.Platforms = append(s.Platforms, attack.AllPlatforms()...)
+				case "all":
+					s.Platforms = append(s.Platforms, bas.KnownPlatforms()...)
+				default:
+					s.Platforms = append(s.Platforms, attack.Platform(v))
+				}
+			}
+		case "actions":
+			for _, v := range vals {
+				if v == "all" {
+					s.Actions = append(s.Actions, attack.AllActions()...)
+				} else {
+					s.Actions = append(s.Actions, attack.Action(v))
+				}
+			}
+		case "models":
+			for _, v := range vals {
+				if v == "both" {
+					s.Models = append(s.Models, AllModels()...)
+				} else {
+					s.Models = append(s.Models, Model(v))
+				}
+			}
+		case "plants":
+			for _, v := range vals {
+				if v == "all" {
+					s.Plants = append(s.Plants, AllPlants()...)
+				} else {
+					s.Plants = append(s.Plants, Plant(v))
+				}
+			}
+		case "quotas":
+			for _, v := range vals {
+				q, err := strconv.Atoi(v)
+				if err != nil {
+					return Sweep{}, fmt.Errorf("lab: quota %q is not an integer", v)
+				}
+				s.Quotas = append(s.Quotas, q)
+			}
+		default:
+			return Sweep{}, fmt.Errorf("lab: unknown sweep axis %q (known: actions, models, plants, platforms, quotas)", axis)
+		}
+	}
+	s.Platforms = dedup(s.Platforms)
+	s.Actions = dedup(s.Actions)
+	s.Models = dedup(s.Models)
+	s.Plants = dedup(s.Plants)
+	s.Quotas = dedupInts(s.Quotas)
+	if err := s.Validate(); err != nil {
+		return Sweep{}, err
+	}
+	return s, nil
+}
+
+// dedup removes repeated values, keeping first-occurrence order — "paper"
+// plus an explicit platform must not run the platform twice.
+func dedup[T comparable](in []T) []T {
+	seen := make(map[T]bool, len(in))
+	out := in[:0]
+	for _, v := range in {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func dedupInts(in []int) []int {
+	out := dedup(in)
+	sort.Ints(out)
+	return out
+}

@@ -80,6 +80,19 @@ func (l *IPCLog) Clone() *IPCLog {
 	return out
 }
 
+// MergeUsages sums usage rows from many boards by (src, dst, label). The
+// fleet runner folds per-shard IPC logs with it; the result is sorted like
+// Usages, a deterministic function of the inputs alone.
+func MergeUsages(sets ...[]IPCUsageCount) []IPCUsageCount {
+	merged := NewIPCLog()
+	for _, set := range sets {
+		for _, u := range set {
+			merged.counts[u.IPCUsage] += u.Count
+		}
+	}
+	return merged.Usages()
+}
+
 // Usages returns the aggregated rows sorted by (src, dst, label) for stable
 // reports.
 func (l *IPCLog) Usages() []IPCUsageCount {

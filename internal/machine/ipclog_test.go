@@ -81,3 +81,26 @@ func TestMachineHasIPCLog(t *testing.T) {
 		t.Fatal("machine's IPC log should retain recordings")
 	}
 }
+
+func TestMergeUsages(t *testing.T) {
+	a := []IPCUsageCount{
+		{IPCUsage: IPCUsage{Src: "web", Dst: "ctrl", Label: "send"}, Count: 2},
+		{IPCUsage: IPCUsage{Src: "ctrl", Dst: "heater", Label: "send"}, Count: 1},
+	}
+	b := []IPCUsageCount{
+		{IPCUsage: IPCUsage{Src: "web", Dst: "ctrl", Label: "send"}, Count: 5},
+	}
+	got := MergeUsages(a, b, nil)
+	if len(got) != 2 {
+		t.Fatalf("MergeUsages returned %d rows, want 2", len(got))
+	}
+	if got[0].Src != "ctrl" || got[0].Count != 1 {
+		t.Errorf("row 0 = %+v", got[0])
+	}
+	if got[1].Src != "web" || got[1].Count != 7 {
+		t.Errorf("row 1 = %+v", got[1])
+	}
+	if out := MergeUsages(); len(out) != 0 {
+		t.Errorf("empty merge returned %+v", out)
+	}
+}

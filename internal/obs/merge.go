@@ -1,0 +1,72 @@
+package obs
+
+import "sort"
+
+// Cross-board merge helpers. The fleet runner (internal/lab) boots many
+// independent boards and folds their per-shard reports into one aggregate;
+// these helpers define the fold so its output is a deterministic function of
+// the inputs alone — sorted by key, never by arrival order.
+
+// MergeCounters sums counter rows from many boards by name. Inputs need not
+// be sorted; the result is sorted by name, matching Registry.Counters.
+func MergeCounters(sets ...[]CounterSnap) []CounterSnap {
+	sums := make(map[string]int64)
+	for _, set := range sets {
+		for _, c := range set {
+			sums[c.Name] += c.Value
+		}
+	}
+	out := make([]CounterSnap, 0, len(sums))
+	for name, v := range sums {
+		out = append(out, CounterSnap{Name: name, Value: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// MergeEventTotals sums event totals from many boards by (kind, mechanism,
+// denied). The result is sorted exactly like EventLog.Totals.
+func MergeEventTotals(sets ...[]EventTotal) []EventTotal {
+	type key struct {
+		Kind      EventKind
+		Mechanism Mechanism
+		Denied    bool
+	}
+	sums := make(map[key]int64)
+	for _, set := range sets {
+		for _, t := range set {
+			sums[key{t.Kind, t.Mechanism, t.Denied}] += t.Count
+		}
+	}
+	out := make([]EventTotal, 0, len(sums))
+	for k, n := range sums {
+		out = append(out, EventTotal{Kind: k.Kind, Mechanism: k.Mechanism, Denied: k.Denied, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Mechanism != b.Mechanism {
+			return a.Mechanism < b.Mechanism
+		}
+		return !a.Denied && b.Denied
+	})
+	return out
+}
+
+// MergeMechanisms unions sorted mechanism lists from many boards.
+func MergeMechanisms(sets ...[]Mechanism) []Mechanism {
+	seen := make(map[Mechanism]bool)
+	for _, set := range sets {
+		for _, m := range set {
+			seen[m] = true
+		}
+	}
+	out := make([]Mechanism, 0, len(seen))
+	for m := range seen {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

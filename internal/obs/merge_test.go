@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestMergeCounters(t *testing.T) {
+	got := MergeCounters(
+		[]CounterSnap{{Name: "b", Value: 2}, {Name: "a", Value: 1}},
+		[]CounterSnap{{Name: "b", Value: 3}, {Name: "c", Value: 5}},
+		nil,
+	)
+	want := []CounterSnap{{Name: "a", Value: 1}, {Name: "b", Value: 5}, {Name: "c", Value: 5}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("MergeCounters = %+v, want %+v", got, want)
+	}
+	if out := MergeCounters(); len(out) != 0 {
+		t.Errorf("empty merge returned %+v", out)
+	}
+}
+
+func TestMergeEventTotals(t *testing.T) {
+	a := []EventTotal{
+		{Kind: EventIPCDenied, Mechanism: MechACM, Denied: true, Count: 2},
+		{Kind: EventIPCDenied, Mechanism: MechACM, Denied: false, Count: 1},
+	}
+	b := []EventTotal{
+		{Kind: EventIPCDenied, Mechanism: MechACM, Denied: true, Count: 3},
+		{Kind: EventIPCDenied, Mechanism: MechCapability, Denied: true, Count: 7},
+	}
+	got := MergeEventTotals(a, b)
+	want := []EventTotal{
+		{Kind: EventIPCDenied, Mechanism: MechACM, Denied: false, Count: 1},
+		{Kind: EventIPCDenied, Mechanism: MechACM, Denied: true, Count: 5},
+		{Kind: EventIPCDenied, Mechanism: MechCapability, Denied: true, Count: 7},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("MergeEventTotals = %+v, want %+v", got, want)
+	}
+}
+
+func TestMergeMechanisms(t *testing.T) {
+	got := MergeMechanisms(
+		[]Mechanism{MechDAC, MechACM},
+		[]Mechanism{MechACM, MechCapability},
+	)
+	want := []Mechanism{MechACM, MechCapability, MechDAC}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("MergeMechanisms = %v, want %v", got, want)
+	}
+}

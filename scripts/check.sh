@@ -17,3 +17,12 @@ trap 'rm -f "$out1" "$out2"' EXIT
 go run ./cmd/basmon -platform minix -json >"$out1"
 go run ./cmd/basmon -platform minix -json >"$out2"
 cmp "$out1" "$out2"
+# Shard-merge determinism golden: the same campaign run serially and with 8
+# workers must produce byte-identical merged JSON (DESIGN.md §9).
+smoke='platforms=paper;actions=kill-controller;models=both'
+go run ./cmd/baslab -sweep "$smoke" -workers 1 -json -q >"$out1"
+go run ./cmd/baslab -sweep "$smoke" -workers 8 -json -q >"$out2"
+cmp "$out1" "$out2"
+# Scaling bench: record shards/sec at 1/2/4/8 workers; exits nonzero if any
+# width's merged JSON deviates from the serial baseline.
+go run ./cmd/baslab -sweep "$smoke" -bench 1,2,4,8 -bench-out BENCH_lab.json
