@@ -9,6 +9,8 @@
 //	baslab -workers 8                             # same campaign, 8 boards in flight
 //	baslab -sweep "platforms=all;plants=all"      # every platform on every plant variant
 //	baslab -sweep "platforms=minix3-acm;actions=fork-bomb;quotas=0,5" -json
+//	baslab -faults crash-sensor -sweep "platforms=paper;actions=none"   # E10 chaos
+//	baslab -faults plan.json                      # operator-authored fault plan
 //	baslab -bench 1,2,4,8 -bench-out BENCH_lab.json
 package main
 
@@ -21,6 +23,7 @@ import (
 	"strings"
 
 	"mkbas/internal/attack"
+	"mkbas/internal/faultinject"
 	"mkbas/internal/lab"
 )
 
@@ -35,7 +38,8 @@ func main() {
 const defaultSweep = "platforms=paper;actions=all;models=both"
 
 func run() error {
-	sweepFlag := flag.String("sweep", defaultSweep, `sweep spec: semicolon-separated axis=values clauses over platforms, actions, models, plants, quotas`)
+	sweepFlag := flag.String("sweep", defaultSweep, `sweep spec: semicolon-separated axis=values clauses over platforms, actions, models, plants, quotas, faults`)
+	faultsFlag := flag.String("faults", "", `comma list of fault plans for the chaos axis: builtin names (see faultinject.Names) or paths to plan JSON files`)
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "boards in flight at once (1 = serial reference)")
 	jsonOut := flag.Bool("json", false, "emit the merged campaign report as JSON instead of text")
 	benchFlag := flag.String("bench", "", `comma list of worker counts to benchmark, e.g. "1,2,4,8" (first is the speedup baseline)`)
@@ -46,6 +50,16 @@ func run() error {
 	sweep, err := lab.ParseSweep(*sweepFlag)
 	if err != nil {
 		return err
+	}
+	if *faultsFlag != "" {
+		names, ferr := resolveFaults(*faultsFlag)
+		if ferr != nil {
+			return ferr
+		}
+		sweep.Faults = append(sweep.Faults, names...)
+		if verr := sweep.Validate(); verr != nil {
+			return verr
+		}
 	}
 
 	if *benchFlag != "" {
@@ -74,6 +88,32 @@ func run() error {
 	}
 	fmt.Print(res.Text())
 	return nil
+}
+
+// resolveFaults turns each -faults item into a registered plan name. An item
+// that names a readable file is parsed as a plan JSON and registered; anything
+// else must be a builtin plan name.
+func resolveFaults(spec string) ([]string, error) {
+	var names []string
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		if data, err := os.ReadFile(item); err == nil {
+			plan, perr := faultinject.ParsePlan(data)
+			if perr != nil {
+				return nil, fmt.Errorf("fault plan %s: %w", item, perr)
+			}
+			if rerr := faultinject.Register(plan); rerr != nil {
+				return nil, fmt.Errorf("fault plan %s: %w", item, rerr)
+			}
+			names = append(names, plan.Name)
+			continue
+		}
+		names = append(names, item)
+	}
+	return names, nil
 }
 
 func runBench(sweep lab.Sweep, counts, outPath string) error {

@@ -11,6 +11,7 @@
 //	basmon -platform linux -chrome trace.json   Chrome trace-event export
 //	basmon -platform minix -prom                Prometheus text exposition
 //	basmon -platform sel4 -attack kill-controller -root
+//	basmon -platform minix -faults crash-sensor -duration 1h   E10 chaos run
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 
 	"mkbas/internal/attack"
 	"mkbas/internal/bas"
+	"mkbas/internal/faultinject"
 )
 
 func main() {
@@ -41,17 +43,31 @@ func run() error {
 	promOut := flag.Bool("prom", false, "print metrics in Prometheus text exposition instead of a report")
 	action := flag.String("attack", "", "replay an E1 attack instead of the plain scenario (spoof-sensor, command-actuators, kill-controller, enumerate-handles, fork-bomb)")
 	root := flag.Bool("root", false, "attack with the root attacker model")
+	faults := flag.String("faults", "", "arm a builtin fault-injection plan (E10 chaos), e.g. crash-sensor")
+	recovery := flag.Bool("recovery", false, "enable the optional recovery machinery (seL4 monitor, hardened-Linux supervisor)")
 	flag.Parse()
 
 	if *action != "" {
-		return runAttack(*platform, attack.Action(*action), *root, *jsonOut)
+		return runAttack(*platform, attack.Action(*action), *root, *jsonOut, *faults, *recovery)
 	}
 
 	cfg := bas.DefaultScenario()
 	tb := bas.NewTestbed(cfg)
 	defer tb.Machine.Shutdown()
-	if err := deploy(tb, cfg, *platform); err != nil {
+	dep, err := deploy(tb, cfg, *platform, *recovery)
+	if err != nil {
 		return err
+	}
+	var inj *faultinject.Injector
+	if *faults != "" {
+		plan, perr := faultinject.Lookup(*faults)
+		if perr != nil {
+			return perr
+		}
+		inj, err = dep.ArmFaults(plan)
+		if err != nil {
+			return err
+		}
 	}
 	tb.Machine.Run(*duration)
 
@@ -77,6 +93,9 @@ func run() error {
 
 	report := board.Report(*platform, *withEvents)
 	if *jsonOut {
+		// The fault campaign already shows in the JSON report through the
+		// fault_injected_total counter, the fault_mttr histogram, and the
+		// restart/fault events in the stream; no extra shape is needed.
 		out, err := report.JSON()
 		if err != nil {
 			return err
@@ -85,17 +104,40 @@ func run() error {
 		return err
 	}
 	fmt.Print(report.Text())
+	if inj != nil {
+		printFaultReport(inj.Report(), dep)
+	}
 	return nil
+}
+
+// printFaultReport renders the chaos campaign outcome: per-fault MTTR plus
+// the deployment's recovery tally.
+func printFaultReport(rep *faultinject.Report, dep bas.Deployment) {
+	fmt.Printf("fault campaign %q: %d injected, %d recovered, %d unrecovered\n",
+		rep.Plan, rep.Injected, rep.Recovered, rep.Unrecovered)
+	for _, f := range rep.Faults {
+		line := fmt.Sprintf("  %s %s at %s", f.Kind, f.Target, time.Duration(f.AtNs))
+		if f.MTTRNs >= 0 {
+			line += fmt.Sprintf(": recovered, MTTR %s", time.Duration(f.MTTRNs))
+		} else if f.Injected {
+			line += ": NOT recovered"
+		} else {
+			line += ": not injected"
+		}
+		fmt.Println(line)
+	}
+	fmt.Printf("restarts: %d, controller alive: %v, recovered: %v\n",
+		dep.ControllerRestarts(), dep.ControllerAlive(), dep.ControllerRecovered())
 }
 
 // runAttack replays one E1 attack and reports which mediation layer, if
 // any, stopped it — the security-event stream is the evidence.
-func runAttack(platform string, action attack.Action, root, jsonOut bool) error {
+func runAttack(platform string, action attack.Action, root, jsonOut bool, faults string, recovery bool) error {
 	p, err := basPlatform(platform)
 	if err != nil {
 		return err
 	}
-	spec := attack.Spec{Platform: p, Action: action, Root: root}
+	spec := attack.Spec{Platform: p, Action: action, Root: root, FaultPlan: faults, Recovery: recovery}
 	report, err := attack.Execute(spec)
 	if err != nil {
 		return err
@@ -139,11 +181,10 @@ func basPlatform(p string) (bas.Platform, error) {
 	}
 }
 
-func deploy(tb *bas.Testbed, cfg bas.ScenarioConfig, platform string) error {
+func deploy(tb *bas.Testbed, cfg bas.ScenarioConfig, platform string, recovery bool) (bas.Deployment, error) {
 	p, err := basPlatform(platform)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	_, err = bas.Deploy(p, tb, cfg, bas.DeployOptions{})
-	return err
+	return bas.Deploy(p, tb, cfg, bas.DeployOptions{Recovery: recovery})
 }

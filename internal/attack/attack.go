@@ -24,6 +24,7 @@ import (
 
 	"mkbas/internal/bas"
 	"mkbas/internal/core"
+	"mkbas/internal/faultinject"
 	"mkbas/internal/machine"
 	"mkbas/internal/obs"
 	"mkbas/internal/safety"
@@ -68,6 +69,10 @@ const (
 	ActionEnumerate Action = "enumerate-handles"
 	// ActionForkBomb spawns processes until stopped.
 	ActionForkBomb Action = "fork-bomb"
+	// ActionNone runs no attack: the legitimate web interface stays in
+	// place. Chaos runs (experiment E10) use it so the safety verdict
+	// isolates the injected fault and the platform's recovery response.
+	ActionNone Action = "none"
 )
 
 // AllActions lists every attack.
@@ -87,6 +92,12 @@ type Spec struct {
 	Root bool
 	// ForkQuota, when > 0 on MINIX, applies the E8 quota policy.
 	ForkQuota int
+	// FaultPlan, when non-empty, names a builtin faultinject plan armed at
+	// boot — the chaos campaign (E10). "none" is accepted and arms nothing.
+	FaultPlan string
+	// Recovery enables the optional recovery machinery (seL4 monitor,
+	// hardened-Linux supervisor); see bas.DeployOptions.Recovery.
+	Recovery bool
 }
 
 // progress is the attacker's self-reported tally, shared between the
@@ -134,6 +145,19 @@ type Report struct {
 	// IPCUsages is the board's aggregated IPC usage log at the end of the
 	// run, sorted by (src, dst, label).
 	IPCUsages []machine.IPCUsageCount `json:"IPCUsages,omitempty"`
+	// Restarts counts scenario processes reincarnated by the platform's
+	// recovery machinery during the run (omitted when zero, which keeps
+	// fault-free reports byte-identical to earlier versions).
+	Restarts int `json:"Restarts,omitempty"`
+	// Recovered: the control plane died and was reincarnated, and is alive
+	// now — the row the verdict renders as RECOVERED.
+	Recovered bool `json:"Recovered,omitempty"`
+	// FaultReport is the fault-injection campaign outcome (MTTR per fault);
+	// nil when no plan was armed.
+	FaultReport *faultinject.Report `json:"FaultReport,omitempty"`
+	// ViolationsDuringFault counts safety violations that fell inside a
+	// fault's effect window (injection to recovery).
+	ViolationsDuringFault int `json:"ViolationsDuringFault,omitempty"`
 }
 
 // BlockedBy names the mediation layer(s) that denied attack operations,
@@ -146,11 +170,15 @@ func (r *Report) BlockedBy() string {
 	return strings.Join(parts, ", ")
 }
 
-// Verdict renders the cell for the E1 outcome matrix.
+// Verdict renders the cell for the E1 outcome matrix (and E10's chaos
+// table). RECOVERED distinguishes "the platform reincarnated a dead process
+// and the physical world stayed safe" from a run where nothing ever died.
 func (r *Report) Verdict() string {
 	switch {
 	case r.PhysicalCompromise:
 		return "COMPROMISED"
+	case r.Recovered:
+		return "RECOVERED"
 	case r.OperationSucceeded:
 		return "accepted-no-impact"
 	default:
@@ -183,6 +211,22 @@ func ExecuteScenario(spec Spec, cfg bas.ScenarioConfig) (*Report, error) {
 		return nil, err
 	}
 
+	// Arm the chaos campaign (if any) after deploy, before the run starts.
+	var inj *faultinject.Injector
+	armStart := tb.Machine.Clock().Now()
+	if spec.FaultPlan != "" {
+		plan, perr := faultinject.Lookup(spec.FaultPlan)
+		if perr != nil {
+			return nil, fmt.Errorf("attack: %w", perr)
+		}
+		if len(plan.Faults) > 0 {
+			inj, err = dep.ArmFaults(plan)
+			if err != nil {
+				return nil, fmt.Errorf("attack: arming faults: %w", err)
+			}
+		}
+	}
+
 	monCfg := safety.DefaultConfig()
 	monCfg.Setpoint = cfg.Controller.Setpoint
 	monCfg.Tolerance = cfg.Controller.AlarmTolerance
@@ -200,6 +244,13 @@ func ExecuteScenario(spec Spec, cfg bas.ScenarioConfig) (*Report, error) {
 		}
 	}
 
+	violations := mon.Violations()
+	var faultRep *faultinject.Report
+	if inj != nil {
+		faultRep = inj.Report()
+		violations = filterFailsafeAlarms(armStart, faultRep, violations)
+	}
+
 	alive := dep.ControllerAlive()
 	report := &Report{
 		Spec:               spec,
@@ -208,15 +259,42 @@ func ExecuteScenario(spec Spec, cfg bas.ScenarioConfig) (*Report, error) {
 		Successes:          prog.successes,
 		Denials:            prog.denials,
 		ControllerAlive:    alive,
-		Violations:         mon.Violations(),
-		PhysicalCompromise: len(mon.Violations()) > 0 || !alive,
+		Violations:         violations,
+		PhysicalCompromise: len(violations) > 0 || !alive,
 		Notes:              prog.notes,
 		SecurityEvents:     denied,
 		Mechanisms:         eventLog.Mechanisms(),
 		Obs:                dep.Report(false),
 		IPCUsages:          tb.Machine.IPC().Usages(),
+		Restarts:           dep.ControllerRestarts(),
+		Recovered:          dep.ControllerRecovered(),
+	}
+	if faultRep != nil {
+		report.FaultReport = faultRep
+		times := make([]machine.Time, len(violations))
+		for i, v := range violations {
+			times[i] = v.At
+		}
+		report.ViolationsDuringFault = faultinject.ViolationsDuring(armStart, faultRep, times)
 	}
 	return report, nil
+}
+
+// filterFailsafeAlarms drops alarm-honesty violations that fall inside an
+// injected fault's effect window. The hardened controller's failsafe raises
+// the alarm while it is blind — mandated behavior under the fault the
+// harness itself injected, which the purely physical monitor cannot tell
+// from an attacker blaring the alarm. Range and liveness violations always
+// count: a fault is no excuse for a cold room or a silent alarm.
+func filterFailsafeAlarms(start machine.Time, rep *faultinject.Report, vs []safety.Violation) []safety.Violation {
+	kept := vs[:0]
+	for _, v := range vs {
+		if v.Property == safety.PropAlarmHonesty && faultinject.InWindow(start, rep, v.At) {
+			continue
+		}
+		kept = append(kept, v)
+	}
+	return kept
 }
 
 // deployForSpec boots the platform under attack through the bas.Deploy
@@ -225,9 +303,12 @@ func ExecuteScenario(spec Spec, cfg bas.ScenarioConfig) (*Report, error) {
 func deployForSpec(tb *bas.Testbed, cfg bas.ScenarioConfig, spec Spec, prog *progress) (bas.Deployment, error) {
 	opts := bas.DeployOptions{
 		WebRoot:  spec.Root,
-		MinixWeb: minixAttackBody(spec.Action, prog),
-		Sel4Web:  sel4AttackBody(spec.Action, prog),
-		LinuxWeb: linuxAttackBody(spec.Action, prog),
+		Recovery: spec.Recovery,
+	}
+	if spec.Action != ActionNone {
+		opts.MinixWeb = minixAttackBody(spec.Action, prog)
+		opts.Sel4Web = sel4AttackBody(spec.Action, prog)
+		opts.LinuxWeb = linuxAttackBody(spec.Action, prog)
 	}
 	if spec.ForkQuota > 0 {
 		opts.Policy = core.ScenarioPolicyWithForkQuota(spec.ForkQuota)

@@ -42,6 +42,12 @@ type ControllerConfig struct {
 	// temperature within certain time interval (e.g., 5 minutes), the alarm
 	// will be triggered").
 	AlarmDelay time.Duration
+	// StalenessWindow is the sensor watchdog: with no fresh sample for this
+	// long the controller enters failsafe (heater off, alarm on) rather than
+	// keep actuating on stale data. Zero disables the watchdog. The window
+	// must comfortably exceed the platforms' driver-restart MTTR so a
+	// reincarnated sensor never trips it.
+	StalenessWindow time.Duration
 }
 
 // DefaultControllerConfig matches the scenario narrative: 22 °C setpoint
@@ -49,12 +55,13 @@ type ControllerConfig struct {
 // minute alarm delay.
 func DefaultControllerConfig() ControllerConfig {
 	return ControllerConfig{
-		Setpoint:       22,
-		MinSetpoint:    15,
-		MaxSetpoint:    30,
-		Hysteresis:     0.25,
-		AlarmTolerance: 2.0,
-		AlarmDelay:     5 * time.Minute,
+		Setpoint:        22,
+		MinSetpoint:     15,
+		MaxSetpoint:     30,
+		Hysteresis:      0.25,
+		AlarmTolerance:  2.0,
+		AlarmDelay:      5 * time.Minute,
+		StalenessWindow: 10 * time.Second,
 	}
 }
 
@@ -97,6 +104,9 @@ type Controller struct {
 	outSince    machine.Time
 	outOfRange  bool
 	everSampled bool
+
+	lastSampleAt machine.Time
+	failsafe     bool
 }
 
 // NewController builds a controller.
@@ -111,6 +121,11 @@ func (c *Controller) OnSample(now machine.Time, temp float64) (heaterChanged, al
 	c.lastTemp = temp
 	c.samples++
 	c.everSampled = true
+	c.lastSampleAt = now
+
+	// A fresh reading ends failsafe: the decisions below are the exit
+	// transition, computed from real data again.
+	c.failsafe = false
 
 	// Bang-bang heater control with hysteresis.
 	wantHeater := c.heaterOn
@@ -142,6 +157,30 @@ func (c *Controller) OnSample(now machine.Time, temp float64) (heaterChanged, al
 	c.alarmOn = wantAlarm
 	return heaterChanged, alarmChanged
 }
+
+// OnTick runs the sensor-staleness watchdog. Platform bindings call it when
+// a sample period elapses without a reading. If the last sample is older
+// than the staleness window the controller enters failsafe: heater off (a
+// blind controller must not keep heating) and alarm on (operators must hear
+// that the loop is broken). The next OnSample exits failsafe.
+func (c *Controller) OnTick(now machine.Time) (heaterChanged, alarmChanged bool) {
+	if c.cfg.StalenessWindow <= 0 || !c.everSampled || c.failsafe {
+		return false, false
+	}
+	if now.Sub(c.lastSampleAt) < c.cfg.StalenessWindow {
+		return false, false
+	}
+	c.failsafe = true
+	heaterChanged = c.heaterOn
+	c.heaterOn = false
+	alarmChanged = !c.alarmOn
+	c.alarmOn = true
+	return heaterChanged, alarmChanged
+}
+
+// Failsafe reports whether the staleness watchdog has the controller in its
+// degraded mode.
+func (c *Controller) Failsafe() bool { return c.failsafe }
 
 // SetSetpoint applies an administrator update, clamped to the permitted
 // range. Out-of-range requests are rejected, not clamped, so a compromised

@@ -8,6 +8,7 @@ import (
 
 	"mkbas/internal/camkes"
 	"mkbas/internal/core"
+	"mkbas/internal/faultinject"
 	"mkbas/internal/linuxsim"
 	"mkbas/internal/machine"
 	"mkbas/internal/minix"
@@ -73,6 +74,19 @@ type Deployment interface {
 	// ControllerAlive reports whether the temperature control process (the
 	// attack experiments' kill target) is still running.
 	ControllerAlive() bool
+	// ControllerRestarts reports how many times the platform's recovery
+	// machinery reincarnated scenario processes on this boot. Zero on
+	// platforms without recovery (vanilla Linux has no supervisor).
+	ControllerRestarts() int
+	// ControllerRecovered distinguishes "died" from "died and was
+	// reincarnated": the control plane is alive now AND at least one restart
+	// happened. ControllerAlive alone cannot tell the two apart — it reads
+	// true both for a process that never died and for one mid-recovery.
+	ControllerRecovered() bool
+	// ArmFaults schedules a deterministic fault-injection plan against this
+	// board. Call after deploy, before Run; the returned injector reports
+	// outcomes (MTTR, unrecovered faults) once the run completes.
+	ArmFaults(plan *faultinject.Plan) (*faultinject.Injector, error)
 }
 
 // DeployOptions is the platform-neutral option set for Deploy. Each backend
@@ -108,6 +122,16 @@ type DeployOptions struct {
 	MinixWeb func(api *minix.API)
 	Sel4Web  func(rt *camkes.Runtime)
 	LinuxWeb func(api *linuxsim.API)
+	// Recovery enables the optional recovery machinery on platforms where it
+	// is a deployment choice rather than part of the platform: the seL4
+	// monitor component (watches every scenario thread, respawns the dead
+	// from the CapDL spec) and the hardened-Linux supervisor (root
+	// supervisord-style respawn loop). MINIX ignores it — the reincarnation
+	// server is integral to the platform and always runs. Plain Linux
+	// (PlatformLinux) also ignores it: the paper's default deployment has no
+	// supervisor, which is exactly the gap the chaos experiment (E10)
+	// measures.
+	Recovery bool
 }
 
 // deployer is one registry entry: boot cfg on tb under opts.
@@ -116,11 +140,21 @@ type deployer func(tb *Testbed, cfg ScenarioConfig, opts DeployOptions) (Deploym
 // deployers is the platform registry. Variants share a backend: the
 // platform value tells the backend which configuration to boot.
 var deployers = map[Platform]deployer{
-	PlatformMinix:         func(tb *Testbed, cfg ScenarioConfig, opts DeployOptions) (Deployment, error) { return deployMinix(PlatformMinix, tb, cfg, opts) },
-	PlatformMinixVanilla:  func(tb *Testbed, cfg ScenarioConfig, opts DeployOptions) (Deployment, error) { return deployMinix(PlatformMinixVanilla, tb, cfg, opts) },
-	PlatformSel4:          func(tb *Testbed, cfg ScenarioConfig, opts DeployOptions) (Deployment, error) { return deploySel4(tb, cfg, opts) },
-	PlatformLinux:         func(tb *Testbed, cfg ScenarioConfig, opts DeployOptions) (Deployment, error) { return deployLinux(PlatformLinux, tb, cfg, opts) },
-	PlatformLinuxHardened: func(tb *Testbed, cfg ScenarioConfig, opts DeployOptions) (Deployment, error) { return deployLinux(PlatformLinuxHardened, tb, cfg, opts) },
+	PlatformMinix: func(tb *Testbed, cfg ScenarioConfig, opts DeployOptions) (Deployment, error) {
+		return deployMinix(PlatformMinix, tb, cfg, opts)
+	},
+	PlatformMinixVanilla: func(tb *Testbed, cfg ScenarioConfig, opts DeployOptions) (Deployment, error) {
+		return deployMinix(PlatformMinixVanilla, tb, cfg, opts)
+	},
+	PlatformSel4: func(tb *Testbed, cfg ScenarioConfig, opts DeployOptions) (Deployment, error) {
+		return deploySel4(tb, cfg, opts)
+	},
+	PlatformLinux: func(tb *Testbed, cfg ScenarioConfig, opts DeployOptions) (Deployment, error) {
+		return deployLinux(PlatformLinux, tb, cfg, opts)
+	},
+	PlatformLinuxHardened: func(tb *Testbed, cfg ScenarioConfig, opts DeployOptions) (Deployment, error) {
+		return deployLinux(PlatformLinuxHardened, tb, cfg, opts)
+	},
 }
 
 // Deploy boots cfg on tb under the named platform — the single entry point

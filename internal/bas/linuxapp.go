@@ -227,9 +227,25 @@ func deployLinux(platform Platform, tb *Testbed, cfg ScenarioConfig, opts Deploy
 		Body: webBody,
 	})
 
+	if hardened && opts.Recovery {
+		// Recovery on Linux is a root supervisord-style daemon, only offered
+		// with the hardened configuration. The same-account default never gets
+		// one: the paper's deployment has no supervisor, which is the gap the
+		// chaos experiment (E10) measures.
+		k.RegisterImage(linuxsim.Image{
+			Name: NameSupervisor, Priority: 2, UID: 0, GID: 0,
+			Body: linuxSupervisorBody(supervisedImages()),
+		})
+	}
+
 	if hardened {
 		// Unique accounts cannot be reached through fork (children inherit
 		// credentials), so the deployment spawns each process directly.
+		if opts.Recovery {
+			if _, err := k.SpawnImage(NameSupervisor); err != nil {
+				return nil, fmt.Errorf("bas: spawning %s: %w", NameSupervisor, err)
+			}
+		}
 		for _, name := range []string{NameHeaterAct, NameAlarmAct, NameTempControl, NameTempSensor, NameWebInterface} {
 			if _, err := k.SpawnImage(name); err != nil {
 				return nil, fmt.Errorf("bas: spawning %s: %w", name, err)
@@ -365,10 +381,47 @@ func linuxControllerBody(cfg ControllerConfig, qmode map[string]linuxsim.Mode) f
 			}
 			_ = api.MQSend(fd, []byte(verb+" "+state), 1)
 		}
+		// watchdog runs the staleness check and pushes failsafe decisions.
+		watchdog := func() {
+			heaterChanged, alarmChanged := ctrl.OnTick(api.Now())
+			if heaterChanged || alarmChanged {
+				api.Trace("bas", "controller: failsafe engaged, sensor readings stale")
+			}
+			if heaterChanged {
+				command(heaterFD, "heater", ctrl.HeaterOn())
+			}
+			if alarmChanged {
+				command(alarmFD, "alarm", ctrl.AlarmOn())
+			}
+		}
+		// drainWeb answers pending web requests.
+		drainWeb := func() {
+			for {
+				req, rerr := api.MQReceive(webReqFD)
+				if rerr != nil {
+					break
+				}
+				resp := handleLinuxWebReq(ctrl, string(req.Data))
+				_ = api.MQSend(webRespFD, []byte(resp), 0)
+			}
+		}
 		for {
-			msg, err := api.MQReceive(sensorFD)
+			var msg linuxsim.MQMsg
+			var err error
+			if cfg.StalenessWindow > 0 {
+				msg, err = api.MQReceiveTimeout(sensorFD, cfg.StalenessWindow/2)
+			} else {
+				msg, err = api.MQReceive(sensorFD)
+			}
 			if err != nil {
-				return
+				if !errors.Is(err, linuxsim.ErrTimeout) {
+					return
+				}
+				// Sensor silence: run the watchdog, and keep the web UI
+				// responsive while the sensor path is down.
+				watchdog()
+				drainWeb()
+				continue
 			}
 			fields := strings.Fields(string(msg.Data))
 			if len(fields) == 2 && fields[0] == "temp" {
@@ -385,17 +438,32 @@ func linuxControllerBody(cfg ControllerConfig, qmode map[string]linuxsim.Mode) f
 					}
 				}
 			}
-			// Poll pending web requests.
-			for {
-				req, rerr := api.MQReceive(webReqFD)
-				if rerr != nil {
-					break
-				}
-				resp := handleLinuxWebReq(ctrl, string(req.Data))
-				_ = api.MQSend(webRespFD, []byte(resp), 0)
-			}
+			// Non-sensor traffic must not starve the watchdog.
+			watchdog()
+			drainWeb()
 			// Environment log; drop lines when the log is full.
 			_ = api.MQSend(auditFD, []byte(ctrl.Snapshot().String()), 0)
+		}
+	}
+}
+
+// linuxSupervisorPeriod paces the supervisor's respawn sweep.
+const linuxSupervisorPeriod = time.Second
+
+// linuxSupervisorBody is the supervisord-style process supervisor: a root
+// daemon that respawns any scenario process found dead. Only the hardened
+// deployment runs one — the paper's default Linux deployment has no
+// supervisor, which is what the chaos experiment (E10) measures.
+func linuxSupervisorBody(images []string) func(api *linuxsim.API) {
+	return func(api *linuxsim.API) {
+		for {
+			api.Sleep(linuxSupervisorPeriod)
+			for _, name := range images {
+				_, err := api.Respawn(name)
+				if err != nil && !errors.Is(err, linuxsim.ErrExist) {
+					api.Trace("supervisord", fmt.Sprintf("respawn %s: %v", name, err))
+				}
+			}
 		}
 	}
 }

@@ -255,21 +255,57 @@ func minixControllerBody(cfg ControllerConfig) func(api *minix.API) {
 			api.Trace("bas", "controller: actuators missing, cannot start")
 			return
 		}
+		// sendCmd is a bounded retry-with-backoff RPC to an actuator driver:
+		// a driver mid-reincarnation answers ErrDeadSrcDst (stale endpoint)
+		// or times out, so each attempt refreshes the endpoint and backs off
+		// before giving up for this command cycle.
 		sendCmd := func(dst *minix.Endpoint, name string, cmdType int32, on bool) {
 			cmd := minix.NewMessage(cmdType)
 			if on {
 				cmd.PutU32(0, 1)
 			}
-			if _, err := api.SendRec(*dst, cmd); errors.Is(err, minix.ErrDeadSrcDst) {
-				if fresh, found := minixLookupWait(api, name); found {
-					*dst = fresh
-					_, _ = api.SendRec(*dst, cmd)
+			backoff := 10 * time.Millisecond
+			for attempt := 0; attempt < 3; attempt++ {
+				_, err := api.SendRec(*dst, cmd)
+				if err == nil {
+					return
 				}
+				if errors.Is(err, minix.ErrDeadSrcDst) {
+					if fresh, found := minixLookupWait(api, name); found {
+						*dst = fresh
+					}
+				}
+				api.Sleep(backoff)
+				backoff *= 2
+			}
+			api.Trace("bas", "controller: giving up on command to "+name)
+		}
+		// watchdog runs the staleness check and pushes failsafe decisions to
+		// the actuators.
+		watchdog := func() {
+			heaterChanged, alarmChanged := ctrl.OnTick(api.Now())
+			if heaterChanged || alarmChanged {
+				api.Trace("bas", "controller: failsafe engaged, sensor readings stale")
+			}
+			if heaterChanged {
+				sendCmd(&heater, NameHeaterAct, int32(core.MsgHeaterCmd), ctrl.HeaterOn())
+			}
+			if alarmChanged {
+				sendCmd(&alarm, NameAlarmAct, int32(core.MsgAlarmCmd), ctrl.AlarmOn())
 			}
 		}
 		for {
-			msg, err := api.Receive(minix.EndpointAny)
+			var msg minix.Message
+			var err error
+			if cfg.StalenessWindow > 0 {
+				msg, err = api.ReceiveTimeout(minix.EndpointAny, cfg.StalenessWindow/2)
+			} else {
+				msg, err = api.Receive(minix.EndpointAny)
+			}
 			if err != nil {
+				if errors.Is(err, minix.ErrTimeout) {
+					watchdog()
+				}
 				continue
 			}
 			// NOTE (intentional design flaw, see package comment): the
@@ -299,6 +335,9 @@ func minixControllerBody(cfg ControllerConfig) func(api *minix.API) {
 				// Unknown type: ignore. With the ACM enabled this is
 				// unreachable for unauthorized peers.
 			}
+			// Non-sensor traffic must not starve the watchdog: check
+			// staleness after every message, not only on timeouts.
+			watchdog()
 		}
 	}
 }

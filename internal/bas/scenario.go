@@ -31,6 +31,7 @@ const (
 	NameAlarmAct     = "alarmProc"
 	NameWebInterface = "webInterface"
 	NameScenario     = "scenario"
+	NameSupervisor   = "supervisord"
 )
 
 // ScenarioConfig bundles everything the testbed needs.

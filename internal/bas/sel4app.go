@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"mkbas/internal/camkes"
 	"mkbas/internal/plant"
@@ -78,14 +79,10 @@ func ScenarioAssembly(cfg ScenarioConfig, webRun func(rt *camkes.Runtime)) *camk
 				temp := math.Float64frombits(args[0])
 				heaterChanged, alarmChanged := ctrl.OnSample(rt.Now(), temp)
 				if heaterChanged {
-					if _, err := rt.Call("heater", methodActuate, b2u(ctrl.HeaterOn())); err != nil {
-						rt.Trace("bas", fmt.Sprintf("controller: heater cmd failed: %v", err))
-					}
+					sel4Actuate(rt, "heater", ctrl.HeaterOn())
 				}
 				if alarmChanged {
-					if _, err := rt.Call("alarm", methodActuate, b2u(ctrl.AlarmOn())); err != nil {
-						rt.Trace("bas", fmt.Sprintf("controller: alarm cmd failed: %v", err))
-					}
+					sel4Actuate(rt, "alarm", ctrl.AlarmOn())
 				}
 				if ctrl.Snapshot().Samples%60 == 0 || heaterChanged || alarmChanged {
 					rt.Trace("bas", ctrl.Snapshot().String())
@@ -119,6 +116,27 @@ func ScenarioAssembly(cfg ScenarioConfig, webRun func(rt *camkes.Runtime)) *camk
 				}
 			},
 		},
+	}
+	// The control thread is the staleness watchdog: CAmkES gives every
+	// thread of a component the component's full capability set, so the
+	// ticker can push failsafe commands through the same heater/alarm
+	// connections the sensor handler uses.
+	if window := cfg.Controller.StalenessWindow; window > 0 {
+		controller.Run = func(rt *camkes.Runtime) {
+			for {
+				rt.Sleep(window / 2)
+				heaterChanged, alarmChanged := ctrl.OnTick(rt.Now())
+				if heaterChanged || alarmChanged {
+					rt.Trace("bas", "controller: failsafe engaged, sensor readings stale")
+				}
+				if heaterChanged {
+					sel4Actuate(rt, "heater", ctrl.HeaterOn())
+				}
+				if alarmChanged {
+					sel4Actuate(rt, "alarm", ctrl.AlarmOn())
+				}
+			}
+		}
 	}
 
 	actuator := func(name string, dev machineDeviceID) *camkes.Component {
@@ -218,11 +236,59 @@ func deploySel4(tb *Testbed, cfg ScenarioConfig, opts DeployOptions) (*Sel4Deplo
 	if err != nil {
 		return nil, fmt.Errorf("bas: building camkes assembly: %w", err)
 	}
+	if opts.Recovery {
+		startSel4Monitor(tb, sys)
+	}
 	return &Sel4Deployment{
 		deploymentBase: deploymentBase{platform: PlatformSel4, tb: tb},
 		System:         sys,
 		Testbed:        tb,
 	}, nil
+}
+
+// sel4MonitorPeriod paces the monitor's liveness sweep.
+const sel4MonitorPeriod = time.Second
+
+// startSel4Monitor installs the root-task monitor: seL4 itself has no restart
+// policy (mechanism, not policy), so recovery lives in user space. The
+// monitor sweeps every generated thread once a second and respawns the dead
+// from the CapDL spec — the component-framework analogue of MINIX's
+// reincarnation server. It runs on the board clock (root-task context, like
+// the bootstrap that built the system), not as a kernel-privileged process.
+func startSel4Monitor(tb *Testbed, sys *camkes.System) {
+	watched := sys.ThreadNames()
+	clock := tb.Machine.Clock()
+	var sweep func()
+	sweep = func() {
+		for _, name := range watched {
+			if sys.ThreadAlive(name) {
+				continue
+			}
+			if err := sys.Respawn(name); err != nil {
+				tb.Machine.Trace().Logf("monitor", "respawn %s failed: %v", name, err)
+			} else {
+				tb.Machine.Trace().Logf("monitor", "respawned %s", name)
+			}
+		}
+		clock.After(sel4MonitorPeriod, sweep)
+	}
+	clock.After(sel4MonitorPeriod, sweep)
+}
+
+// sel4Actuate is the controller's bounded retry-with-backoff actuator RPC: a
+// call aborted by a driver mid-respawn (or lost to injected faults) is
+// retried briefly before this command cycle is abandoned.
+func sel4Actuate(rt *camkes.Runtime, iface string, on bool) {
+	backoff := 10 * time.Millisecond
+	for attempt := 0; attempt < 3; attempt++ {
+		_, err := rt.Call(iface, methodActuate, b2u(on))
+		if err == nil {
+			return
+		}
+		rt.Sleep(backoff)
+		backoff *= 2
+	}
+	rt.Trace("bas", "controller: giving up on "+iface+" command")
 }
 
 func b2u(b bool) uint64 {

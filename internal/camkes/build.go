@@ -34,11 +34,13 @@ func Build(m *machine.Machine, assembly *Assembly, cfg BuildConfig) (*System, er
 	}
 	k := sel4.NewKernel(m, sel4.Config{Net: cfg.Net})
 	sys := &System{
-		kernel:  k,
-		spec:    spec,
-		bind:    capdl.Binding{Objects: make(map[string]sel4.ObjID), TCBs: make(map[string]sel4.ObjID)},
-		ifaceEP: make(map[string]sel4.ObjID),
-		tcbs:    make(map[string]sel4.ObjID),
+		kernel:   k,
+		spec:     spec,
+		assembly: assembly,
+		bind:     capdl.Binding{Objects: make(map[string]sel4.ObjID), TCBs: make(map[string]sel4.ObjID)},
+		ifaceEP:  make(map[string]sel4.ObjID),
+		tcbs:     make(map[string]sel4.ObjID),
+		restarts: make(map[string]int),
 	}
 
 	// Pass 1: kernel objects, bound to their spec names. One endpoint per
@@ -73,56 +75,20 @@ func Build(m *machine.Machine, assembly *Assembly, cfg BuildConfig) (*System, er
 	// Pass 2: create threads.
 	for _, comp := range assembly.Components {
 		for _, th := range componentThreads(comp) {
-			comp := comp
-			iface := th.iface
-			var body func(api *sel4.API)
-			if iface == "" {
-				run := comp.Run
-				body = func(api *sel4.API) {
-					run(newRuntime(api, comp))
-				}
-			} else {
-				handler := comp.Provides[iface]
-				body = func(api *sel4.API) {
-					serveInterface(newRuntime(api, comp), handler)
-				}
-			}
-			tcbID := k.CreateThread(th.name, comp.Priority, body)
+			tcbID := k.CreateThread(th.name, comp.Priority, threadBody(comp, th.iface))
 			sys.tcbs[th.name] = tcbID
 			sys.bind.TCBs[th.name] = tcbID
 		}
 	}
 
 	// Pass 3: install the generated capability distribution, slot by slot.
-	kinds := make(map[string]sel4.ObjKind, len(spec.Objects))
-	for _, o := range spec.Objects {
-		kinds[o.Name] = o.Kind
-	}
 	for _, t := range spec.TCBs {
 		tcbID, ok := sys.tcbs[t.Name]
 		if !ok {
 			return nil, fmt.Errorf("%w: spec thread %q was not created", ErrBadAssembly, t.Name)
 		}
-		for _, c := range t.Caps {
-			objID, ok := sys.bind.Objects[c.Object]
-			if !ok {
-				return nil, fmt.Errorf("%w: spec object %q was not created", ErrBadAssembly, c.Object)
-			}
-			var cap sel4.Capability
-			switch kinds[c.Object] {
-			case sel4.KindEndpoint:
-				cap = sel4.EndpointCap(objID, c.Rights, c.Badge)
-			case sel4.KindNotification:
-				cap = sel4.NotificationCap(objID, c.Rights, c.Badge)
-			case sel4.KindDevice:
-				cap = sel4.DeviceCap(objID, c.Rights)
-			case sel4.KindNetPort:
-				cap = sel4.NetPortCap(objID, c.Rights)
-			default:
-				return nil, fmt.Errorf("%w: spec object %q has uninstallable kind %v",
-					ErrBadAssembly, c.Object, kinds[c.Object])
-			}
-			mustInstall(k, tcbID, c.Slot, cap)
+		if err := sys.installSpecCaps(tcbID, t); err != nil {
+			return nil, err
 		}
 	}
 
@@ -147,6 +113,52 @@ func Build(m *machine.Machine, assembly *Assembly, cfg BuildConfig) (*System, er
 		}
 	}
 	return sys, nil
+}
+
+// threadBody builds the glue body for one generated thread. Shared between
+// Build and System.Respawn so a reincarnated thread runs exactly the code the
+// original did.
+func threadBody(comp *Component, iface string) func(api *sel4.API) {
+	if iface == "" {
+		run := comp.Run
+		return func(api *sel4.API) {
+			run(newRuntime(api, comp))
+		}
+	}
+	handler := comp.Provides[iface]
+	return func(api *sel4.API) {
+		serveInterface(newRuntime(api, comp), handler)
+	}
+}
+
+// installSpecCaps installs one spec thread's capability rows into a live TCB.
+func (s *System) installSpecCaps(tcbID sel4.ObjID, t capdl.TCBSpec) error {
+	kinds := make(map[string]sel4.ObjKind, len(s.spec.Objects))
+	for _, o := range s.spec.Objects {
+		kinds[o.Name] = o.Kind
+	}
+	for _, c := range t.Caps {
+		objID, ok := s.bind.Objects[c.Object]
+		if !ok {
+			return fmt.Errorf("%w: spec object %q was not created", ErrBadAssembly, c.Object)
+		}
+		var cap sel4.Capability
+		switch kinds[c.Object] {
+		case sel4.KindEndpoint:
+			cap = sel4.EndpointCap(objID, c.Rights, c.Badge)
+		case sel4.KindNotification:
+			cap = sel4.NotificationCap(objID, c.Rights, c.Badge)
+		case sel4.KindDevice:
+			cap = sel4.DeviceCap(objID, c.Rights)
+		case sel4.KindNetPort:
+			cap = sel4.NetPortCap(objID, c.Rights)
+		default:
+			return fmt.Errorf("%w: spec object %q has uninstallable kind %v",
+				ErrBadAssembly, c.Object, kinds[c.Object])
+		}
+		mustInstall(s.kernel, tcbID, c.Slot, cap)
+	}
+	return nil
 }
 
 // thread describes one generated thread of a component.

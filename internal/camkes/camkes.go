@@ -19,10 +19,12 @@ package camkes
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"mkbas/internal/capdl"
 	"mkbas/internal/machine"
+	"mkbas/internal/obs"
 	"mkbas/internal/sel4"
 	"mkbas/internal/vnet"
 )
@@ -205,15 +207,18 @@ func (rt *Runtime) UsesSlot(iface string) (sel4.CPtr, bool) {
 
 // System is a built, running assembly.
 type System struct {
-	kernel *sel4.Kernel
-	spec   *capdl.Spec
-	bind   capdl.Binding
+	kernel   *sel4.Kernel
+	spec     *capdl.Spec
+	assembly *Assembly
+	bind     capdl.Binding
 
 	// ifaceEP maps "comp.iface" to its endpoint object.
 	ifaceEP map[string]sel4.ObjID
 	// tcbs maps thread names ("comp" for control, "comp.iface" for
 	// interface threads) to TCB ids.
 	tcbs map[string]sel4.ObjID
+	// restarts counts Respawn calls per thread name.
+	restarts map[string]int
 }
 
 // Kernel returns the underlying seL4 kernel.
@@ -230,4 +235,97 @@ func (s *System) Verify() error { return capdl.Verify(s.spec, s.kernel, s.bind) 
 func (s *System) TCB(name string) (sel4.ObjID, bool) {
 	id, ok := s.tcbs[name]
 	return id, ok
+}
+
+// ThreadAlive reports whether the named thread is currently running.
+func (s *System) ThreadAlive(name string) bool {
+	id, ok := s.tcbs[name]
+	return ok && s.kernel.ThreadAlive(id)
+}
+
+// ThreadNames returns every generated thread name in stable order.
+func (s *System) ThreadNames() []string {
+	out := make([]string, 0, len(s.tcbs))
+	for name := range s.tcbs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CrashThread kills a thread by name (fault injection).
+func (s *System) CrashThread(name string) error {
+	id, ok := s.tcbs[name]
+	if !ok {
+		return fmt.Errorf("%w: no thread %q", ErrBadAssembly, name)
+	}
+	return s.kernel.KillThread(id)
+}
+
+// Restarts reports how many times a thread has been respawned.
+func (s *System) Restarts(name string) int { return s.restarts[name] }
+
+// TotalRestarts sums Respawn counts over all threads.
+func (s *System) TotalRestarts() int {
+	n := 0
+	for _, c := range s.restarts {
+		n += c
+	}
+	return n
+}
+
+// Respawn reincarnates a dead thread: a fresh TCB running the same generated
+// body, with the capability distribution re-installed from the CapDL spec —
+// the component-level analogue of MINIX's reincarnation server, implemented
+// in a monitor component rather than the kernel (seL4 itself has no restart
+// policy; policy lives in user space). Refuses while the thread is alive.
+func (s *System) Respawn(name string) error {
+	if s.ThreadAlive(name) {
+		return fmt.Errorf("camkes: thread %q is still alive", name)
+	}
+	comp, iface, err := s.findThread(name)
+	if err != nil {
+		return err
+	}
+	var specTCB *capdl.TCBSpec
+	for i := range s.spec.TCBs {
+		if s.spec.TCBs[i].Name == name {
+			specTCB = &s.spec.TCBs[i]
+			break
+		}
+	}
+	if specTCB == nil {
+		return fmt.Errorf("%w: spec has no thread %q", ErrBadAssembly, name)
+	}
+	tcbID := s.kernel.CreateThread(name, comp.Priority, threadBody(comp, iface))
+	if err := s.installSpecCaps(tcbID, *specTCB); err != nil {
+		return err
+	}
+	if err := s.kernel.Start(tcbID); err != nil {
+		return err
+	}
+	s.tcbs[name] = tcbID
+	s.bind.TCBs[name] = tcbID
+	s.restarts[name]++
+	s.kernel.Events().Emit(obs.SecurityEvent{
+		Kind:      obs.EventRestart,
+		Mechanism: obs.MechRecovery,
+		Src:       "monitor",
+		Dst:       name,
+		Detail:    fmt.Sprintf("respawn #%d", s.restarts[name]),
+	})
+	return nil
+}
+
+// findThread resolves a generated thread name back to its component and
+// interface ("" for the control thread).
+func (s *System) findThread(name string) (*Component, string, error) {
+	for _, comp := range s.assembly.Components {
+		for _, th := range componentThreads(comp) {
+			if th.name == name {
+				return comp, th.iface, nil
+			}
+		}
+	}
+	return nil, "", fmt.Errorf("%w: no thread %q", ErrBadAssembly, name)
 }

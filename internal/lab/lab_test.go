@@ -2,6 +2,7 @@ package lab
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 
 	"mkbas/internal/attack"
@@ -146,6 +147,78 @@ func TestShardDeterminism(t *testing.T) {
 				t.Errorf("%s: verdict %s, want COMPROMISED", sr.Case, sr.Verdict)
 			}
 		}
+	}
+}
+
+// chaosSweep is the E10 campaign the fault determinism tests run: no
+// attacker, one crash fault and one hang fault on every headline platform.
+func chaosSweep() Sweep {
+	return Sweep{
+		Actions: []attack.Action{attack.ActionNone},
+		Models:  []Model{ModelUser},
+		Faults:  []string{"crash-sensor", "hang-sensor"},
+	}
+}
+
+// TestFaultSweepDeterminism extends the byte-identity contract to the chaos
+// axis: fault injection, recovery timing, and MTTR accounting are pure
+// virtual-time functions, so the merged campaign JSON cannot depend on how
+// many boards ran concurrently.
+func TestFaultSweepDeterminism(t *testing.T) {
+	serial, err := Run(chaosSweep(), Options{Workers: 1})
+	if err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+	parallel, err := Run(chaosSweep(), Options{Workers: 8})
+	if err != nil {
+		t.Fatalf("parallel run: %v", err)
+	}
+	serialJSON, err := serial.JSON()
+	if err != nil {
+		t.Fatalf("serial JSON: %v", err)
+	}
+	parallelJSON, err := parallel.JSON()
+	if err != nil {
+		t.Fatalf("parallel JSON: %v", err)
+	}
+	if !bytes.Equal(serialJSON, parallelJSON) {
+		t.Fatalf("merged JSON differs between 1 and 8 workers:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serialJSON, parallelJSON)
+	}
+	if len(serial.Cases) != 6 {
+		t.Fatalf("chaosSweep expanded to %d cases, want 6", len(serial.Cases))
+	}
+
+	// The E10 table: a crashed sensor driver is healed on the microkernels
+	// and lost for good on supervisor-less Linux; a hang self-heals
+	// everywhere behind the controller's failsafe.
+	for _, sr := range serial.Cases {
+		want := "BLOCKED"
+		if sr.Case.Faults == "crash-sensor" {
+			want = "RECOVERED"
+			if sr.Case.Platform == attack.PlatformLinux {
+				want = "COMPROMISED"
+			}
+		}
+		if sr.Verdict != want {
+			t.Errorf("%s: verdict %s, want %s", sr.Case, sr.Verdict, want)
+		}
+	}
+
+	// Chaos accounting flows into the merged aggregate.
+	agg := serial.Merged
+	if agg.FaultsInjected != 6 || agg.FaultsRecovered != 5 || agg.FaultsUnrecovered != 1 {
+		t.Errorf("aggregate faults %d/%d/%d, want 6 injected, 5 recovered, 1 unrecovered",
+			agg.FaultsInjected, agg.FaultsRecovered, agg.FaultsUnrecovered)
+	}
+	if agg.Restarts < 2 {
+		t.Errorf("aggregate restarts %d, want >= 2 (minix RS + seL4 monitor)", agg.Restarts)
+	}
+	if agg.MTTRCount != 5 || agg.MTTRMaxNs <= 0 {
+		t.Errorf("aggregate MTTR count %d max %d, want 5 recoveries with a positive max", agg.MTTRCount, agg.MTTRMaxNs)
+	}
+	if !strings.Contains(serial.Text(), "faults:") {
+		t.Error("text report omits the fault campaign line")
 	}
 }
 

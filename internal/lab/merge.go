@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"mkbas/internal/machine"
 	"mkbas/internal/obs"
@@ -36,6 +37,21 @@ type Aggregate struct {
 	Mechanisms []obs.Mechanism `json:"mechanisms"`
 	// IPCUsages merges every board's IPC usage log by (src, dst, label).
 	IPCUsages []machine.IPCUsageCount `json:"ipc_usages"`
+	// Fault-campaign tallies (E10), summed across shards that armed a fault
+	// plan; all omitted when the sweep injected nothing.
+	FaultsInjected    int `json:"faults_injected,omitempty"`
+	FaultsRecovered   int `json:"faults_recovered,omitempty"`
+	FaultsUnrecovered int `json:"faults_unrecovered,omitempty"`
+	// Restarts counts processes reincarnated by recovery machinery anywhere
+	// in the campaign.
+	Restarts int `json:"restarts,omitempty"`
+	// MTTR aggregates (nanoseconds) over every recovered fault.
+	MTTRCount int64 `json:"mttr_count,omitempty"`
+	MTTRSumNs int64 `json:"mttr_sum_ns,omitempty"`
+	MTTRMaxNs int64 `json:"mttr_max_ns,omitempty"`
+	// ViolationsDuringFault counts safety violations that fell inside fault
+	// effect windows.
+	ViolationsDuringFault int `json:"violations_during_fault,omitempty"`
 }
 
 // aggregate folds shard results, which arrive already in shard order.
@@ -58,6 +74,18 @@ func aggregate(cases []ShardResult) Aggregate {
 		}
 		mechSets = append(mechSets, r.Mechanisms)
 		ipcSets = append(ipcSets, r.IPCUsages)
+		agg.Restarts += r.Restarts
+		agg.ViolationsDuringFault += r.ViolationsDuringFault
+		if fr := r.FaultReport; fr != nil {
+			agg.FaultsInjected += fr.Injected
+			agg.FaultsRecovered += fr.Recovered
+			agg.FaultsUnrecovered += fr.Unrecovered
+			agg.MTTRCount += fr.MTTRCount
+			agg.MTTRSumNs += fr.MTTRSumNs
+			if fr.MTTRMaxNs > agg.MTTRMaxNs {
+				agg.MTTRMaxNs = fr.MTTRMaxNs
+			}
+		}
 	}
 	for v, n := range verdicts {
 		agg.Verdicts = append(agg.Verdicts, VerdictCount{Verdict: v, Count: n})
@@ -98,6 +126,18 @@ func (r *Result) Text() string {
 	}
 	fmt.Fprintf(&b, "operations: %d attempted, %d accepted, %d denied\n",
 		r.Merged.Attempts, r.Merged.Successes, r.Merged.Denials)
+	if r.Merged.FaultsInjected > 0 {
+		fmt.Fprintf(&b, "faults: %d injected, %d recovered, %d unrecovered, %d restarts\n",
+			r.Merged.FaultsInjected, r.Merged.FaultsRecovered, r.Merged.FaultsUnrecovered, r.Merged.Restarts)
+		if r.Merged.MTTRCount > 0 {
+			mean := time.Duration(r.Merged.MTTRSumNs / r.Merged.MTTRCount)
+			fmt.Fprintf(&b, "MTTR: mean %s, max %s; violations during fault windows: %d\n",
+				mean, time.Duration(r.Merged.MTTRMaxNs), r.Merged.ViolationsDuringFault)
+		} else {
+			fmt.Fprintf(&b, "MTTR: none recovered; violations during fault windows: %d\n",
+				r.Merged.ViolationsDuringFault)
+		}
+	}
 	if len(r.Merged.Mechanisms) > 0 {
 		parts := make([]string, len(r.Merged.Mechanisms))
 		for i, m := range r.Merged.Mechanisms {

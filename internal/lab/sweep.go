@@ -19,6 +19,7 @@ import (
 
 	"mkbas/internal/attack"
 	"mkbas/internal/bas"
+	"mkbas/internal/faultinject"
 )
 
 // Model selects the attacker model from Section IV-D: a compromised web
@@ -89,6 +90,11 @@ type Sweep struct {
 	// the axis collapses to a single unquotaed case rather than running
 	// identical boards per quota value.
 	Quotas []int `json:"quotas"`
+	// Faults are builtin faultinject plan names (E10 chaos axis). "none"
+	// (the default) arms nothing; any other plan also enables the optional
+	// recovery machinery so the case measures recovery, not its absence by
+	// configuration.
+	Faults []string `json:"faults,omitempty"`
 }
 
 // Case is one fully specified experiment: a single board, a single attack.
@@ -101,16 +107,28 @@ type Case struct {
 	Model     Model           `json:"model"`
 	Plant     Plant           `json:"plant"`
 	ForkQuota int             `json:"fork_quota,omitempty"`
+	Faults    string          `json:"faults,omitempty"`
 }
+
+// chaosCase reports whether the case arms a fault plan.
+func (c Case) chaosCase() bool { return c.Faults != "" && c.Faults != faultPlanNone }
 
 // Spec translates the case into an attack spec.
 func (c Case) Spec() attack.Spec {
-	return attack.Spec{
+	spec := attack.Spec{
 		Platform:  c.Platform,
 		Action:    c.Action,
 		Root:      c.Model == ModelRoot,
 		ForkQuota: c.ForkQuota,
 	}
+	if c.chaosCase() {
+		spec.FaultPlan = c.Faults
+		// A chaos case measures the platform's recovery response, so the
+		// optional machinery (seL4 monitor, hardened-Linux supervisor) is on.
+		// Plain Linux still ignores it — that absence is E10's baseline.
+		spec.Recovery = true
+	}
+	return spec
 }
 
 // String renders the case compactly for logs: "7: sel4/user spoof-sensor
@@ -120,8 +138,14 @@ func (c Case) String() string {
 	if c.ForkQuota > 0 {
 		s += fmt.Sprintf(" quota=%d", c.ForkQuota)
 	}
+	if c.chaosCase() {
+		s += " faults=" + c.Faults
+	}
 	return s
 }
+
+// faultPlanNone is the no-op fault plan name, the faults axis default.
+const faultPlanNone = "none"
 
 func minixPlatform(p attack.Platform) bool {
 	return p == attack.PlatformMinix || p == attack.PlatformMinixVanilla
@@ -144,6 +168,9 @@ func (s Sweep) withDefaults() Sweep {
 	if len(s.Quotas) == 0 {
 		s.Quotas = []int{0}
 	}
+	if len(s.Faults) == 0 {
+		s.Faults = []string{faultPlanNone}
+	}
 	return s
 }
 
@@ -164,6 +191,7 @@ func (s Sweep) Validate() error {
 	for _, a := range attack.AllActions() {
 		actions[a] = true
 	}
+	actions[attack.ActionNone] = true
 	for _, a := range s.Actions {
 		if !actions[a] {
 			return fmt.Errorf("lab: unknown action %q", a)
@@ -184,14 +212,19 @@ func (s Sweep) Validate() error {
 			return fmt.Errorf("lab: negative fork quota %d", q)
 		}
 	}
+	for _, f := range s.Faults {
+		if _, err := faultinject.Lookup(f); err != nil {
+			return fmt.Errorf("lab: %w", err)
+		}
+	}
 	return nil
 }
 
 // Expand enumerates the sweep's cases in deterministic order: platform,
-// model, action, plant, quota — outermost to innermost, each axis in the
-// order given. Shard indices are assigned by position. Quota values beyond
-// the first apply only on MINIX platforms (the only backends that enforce
-// them); elsewhere the quota axis contributes one unquotaed case.
+// model, action, plant, quota, fault plan — outermost to innermost, each axis
+// in the order given. Shard indices are assigned by position. Quota values
+// beyond the first apply only on MINIX platforms (the only backends that
+// enforce them); elsewhere the quota axis contributes one unquotaed case.
 func (s Sweep) Expand() []Case {
 	s = s.withDefaults()
 	var cases []Case
@@ -204,14 +237,17 @@ func (s Sweep) Expand() []Case {
 			for _, action := range s.Actions {
 				for _, pl := range s.Plants {
 					for _, quota := range quotas {
-						cases = append(cases, Case{
-							Shard:     len(cases),
-							Platform:  platform,
-							Action:    action,
-							Model:     model,
-							Plant:     pl,
-							ForkQuota: quota,
-						})
+						for _, faults := range s.Faults {
+							cases = append(cases, Case{
+								Shard:     len(cases),
+								Platform:  platform,
+								Action:    action,
+								Model:     model,
+								Plant:     pl,
+								ForkQuota: quota,
+								Faults:    faults,
+							})
+						}
 					}
 				}
 			}
@@ -296,8 +332,16 @@ func ParseSweep(spec string) (Sweep, error) {
 				}
 				s.Quotas = append(s.Quotas, q)
 			}
+		case "faults":
+			for _, v := range vals {
+				if v == "all" {
+					s.Faults = append(s.Faults, faultinject.Names()...)
+				} else {
+					s.Faults = append(s.Faults, v)
+				}
+			}
 		default:
-			return Sweep{}, fmt.Errorf("lab: unknown sweep axis %q (known: actions, models, plants, platforms, quotas)", axis)
+			return Sweep{}, fmt.Errorf("lab: unknown sweep axis %q (known: actions, faults, models, plants, platforms, quotas)", axis)
 		}
 	}
 	s.Platforms = dedup(s.Platforms)
@@ -305,6 +349,7 @@ func ParseSweep(spec string) (Sweep, error) {
 	s.Models = dedup(s.Models)
 	s.Plants = dedup(s.Plants)
 	s.Quotas = dedupInts(s.Quotas)
+	s.Faults = dedup(s.Faults)
 	if err := s.Validate(); err != nil {
 		return Sweep{}, err
 	}

@@ -53,6 +53,14 @@ func (a *API) MQReceive(fd int32) (MQMsg, error) {
 	return reply.msg, reply.err
 }
 
+// MQReceiveTimeout implements mq_timedreceive: it returns ErrTimeout if no
+// message arrives within d of virtual time. Hardened control loops use it as
+// a liveness watchdog on their input queues.
+func (a *API) MQReceiveTimeout(fd int32, d time.Duration) (MQMsg, error) {
+	reply := a.ctx.Trap(mqReceiveTimeoutReq{fd: fd, d: d}).(msgReply)
+	return reply.msg, reply.err
+}
+
 // MQUnlink implements mq_unlink.
 func (a *API) MQUnlink(name string) error {
 	return a.ctx.Trap(mqUnlinkReq{name: name}).(errReply).err
@@ -71,6 +79,14 @@ func (a *API) Kill(unixPID, sig int) error {
 // Fork spawns a registered image under the caller's credentials.
 func (a *API) Fork(image string) (int, error) {
 	reply := a.ctx.Trap(forkReq{image: image}).(intReply)
+	return reply.value, reply.err
+}
+
+// Respawn spawns a registered image under its declared credentials — the
+// supervisor primitive. Root only; fails with ErrExist while the image is
+// still running.
+func (a *API) Respawn(image string) (int, error) {
+	reply := a.ctx.Trap(respawnReq{image: image}).(intReply)
 	return reply.value, reply.err
 }
 

@@ -46,6 +46,8 @@ var (
 	ErrAgain = errors.New("linuxsim: resource temporarily unavailable")
 	// ErrUnknownImage reports exec of an unregistered binary.
 	ErrUnknownImage = errors.New("linuxsim: unknown process image")
+	// ErrTimeout is ETIMEDOUT: a timed receive expired.
+	ErrTimeout = errors.New("linuxsim: timed out")
 )
 
 // Signals. Only termination signals are modelled.
@@ -188,6 +190,15 @@ type Kernel struct {
 	devs    map[machine.DeviceID]*devFile
 	nextPID int
 
+	// spawnCounts tallies spawns per image name, so supervision layers can
+	// report restarts (spawns beyond the first).
+	spawnCounts map[string]int
+
+	// ipcFault, when set, is consulted on every mq_send with the sender's
+	// process name and the queue name; it may drop the message or delay its
+	// delivery (fault injection).
+	ipcFault func(src, queue string) (drop bool, delay time.Duration)
+
 	stats Stats
 
 	// Observability hooks, resolved once at boot.
@@ -213,14 +224,15 @@ func Boot(m *machine.Machine, cfg Config) *Kernel {
 		cfg.MaxProcs = 1024
 	}
 	k := &Kernel{
-		m:       m,
-		cfg:     cfg,
-		images:  make(map[string]Image),
-		procs:   make(map[machine.PID]*proc),
-		byUnix:  make(map[int]*proc),
-		mqs:     make(map[string]*mqueue),
-		devs:    make(map[machine.DeviceID]*devFile),
-		nextPID: 100,
+		m:           m,
+		cfg:         cfg,
+		images:      make(map[string]Image),
+		procs:       make(map[machine.PID]*proc),
+		byUnix:      make(map[int]*proc),
+		mqs:         make(map[string]*mqueue),
+		devs:        make(map[machine.DeviceID]*devFile),
+		spawnCounts: make(map[string]int),
+		nextPID:     100,
 	}
 	board := m.Obs()
 	board.Events().SetPlatform("linux")
@@ -326,10 +338,46 @@ func (k *Kernel) spawn(img Image) (int, error) {
 	p.pid = mp.PID()
 	k.procs[p.pid] = p
 	k.byUnix[p.unixPID] = p
+	k.spawnCounts[img.Name]++
 	k.stats.Forks++
 	k.mForks.Inc()
 	k.m.Trace().Logf("linux", "spawn %s pid=%d uid=%d", img.Name, p.unixPID, p.uid)
 	return p.unixPID, nil
+}
+
+// SpawnCount reports how many times an image has been spawned on this boot;
+// restarts are spawns beyond the first.
+func (k *Kernel) SpawnCount(image string) int { return k.spawnCounts[image] }
+
+// SetIPCFault installs (or, with nil, removes) the mq_send fault filter.
+func (k *Kernel) SetIPCFault(fn func(src, queue string) (drop bool, delay time.Duration)) {
+	k.ipcFault = fn
+}
+
+// faultFor consults the fault filter.
+func (k *Kernel) faultFor(src, queue string) (bool, time.Duration) {
+	if k.ipcFault == nil {
+		return false, 0
+	}
+	return k.ipcFault(src, queue)
+}
+
+// CrashProcess kills a live process by image name (fault injection). On
+// vanilla Linux nothing watches for the exit — that absence is the point of
+// the chaos comparison.
+func (k *Kernel) CrashProcess(name string) error {
+	victim := -1
+	for unixPID, p := range k.byUnix {
+		if p.name == name && (victim == -1 || unixPID < victim) {
+			victim = unixPID
+		}
+	}
+	if victim == -1 {
+		return fmt.Errorf("%w: process %q", ErrNoEnt, name)
+	}
+	p := k.byUnix[victim]
+	k.m.Trace().Logf("linux", "FAULT-INJECT kill %s pid=%d", p.name, p.unixPID)
+	return k.m.Engine().Kill(p.pid)
 }
 
 // GrantRoot elevates a process to uid 0, modelling the paper's assumed

@@ -30,6 +30,10 @@ type (
 	mqReceiveReq struct {
 		fd int32
 	}
+	mqReceiveTimeoutReq struct {
+		fd int32
+		d  time.Duration
+	}
 	mqUnlinkReq struct {
 		name string
 	}
@@ -41,6 +45,9 @@ type (
 		sig     int
 	}
 	forkReq struct {
+		image string
+	}
+	respawnReq struct {
 		image string
 	}
 	getPIDReq  struct{}
@@ -110,6 +117,8 @@ func (k *Kernel) HandleTrap(pid machine.PID, req any) (any, machine.Disposition)
 		return k.doMQSend(self, r)
 	case mqReceiveReq:
 		return k.doMQReceive(self, r)
+	case mqReceiveTimeoutReq:
+		return k.doMQReceiveTimeout(self, r)
 	case mqUnlinkReq:
 		return k.doMQUnlink(self, r)
 	case mqCloseReq:
@@ -131,6 +140,8 @@ func (k *Kernel) HandleTrap(pid machine.PID, req any) (any, machine.Disposition)
 		img.GID = self.gid
 		unixPID, err := k.spawn(img)
 		return intReply{value: unixPID, err: err}, machine.DispositionContinue
+	case respawnReq:
+		return k.doRespawn(self, r)
 	case getPIDReq:
 		return intReply{value: self.unixPID}, machine.DispositionContinue
 	case getUIDReq:
@@ -225,6 +236,24 @@ func (k *Kernel) doMQSend(self *proc, r mqSendReq) (any, machine.Disposition) {
 	}
 	msg := MQMsg{Data: append([]byte(nil), r.data...), Prio: r.prio}
 	q := f.q
+	drop, delay := k.faultFor(self.name, q.name)
+	if drop {
+		// mq_send reports only queue-level failures; a message lost in
+		// transit looks like success to the sender.
+		return errReply{}, machine.DispositionContinue
+	}
+	if delay > 0 {
+		// Delayed delivery is asynchronous: the sender continues, the
+		// message lands when the delay elapses (lost if the queue is full
+		// then — delay plus backpressure exceeds the fault model).
+		k.m.Clock().After(delay, func() {
+			if k.mqs[q.name] != q {
+				return
+			}
+			k.deliverToQueue(self.name, q, msg)
+		})
+		return errReply{}, machine.DispositionContinue
+	}
 	// A blocked reader consumes the message directly.
 	if reader := k.popReader(q); reader != nil {
 		k.stats.MQSends++
@@ -234,6 +263,7 @@ func (k *Kernel) doMQSend(self *proc, r mqSendReq) (any, machine.Disposition) {
 		k.tracer.Emit(self.name, q.name, "mq_send", obs.OutcomeDelivered)
 		k.endSpan(reader, obs.OutcomeDelivered)
 		reader.phase = phaseIdle
+		reader.waitToken++
 		k.mustReady(reader.pid, msgReply{msg: msg})
 		return errReply{}, machine.DispositionContinue
 	}
@@ -277,6 +307,7 @@ func (k *Kernel) doMQReceive(self *proc, r mqReceiveReq) (any, machine.Dispositi
 			k.m.IPC().Record(wp.name, q.name, "send")
 			k.endSpan(wp, obs.OutcomeDelivered)
 			wp.phase = phaseIdle
+			wp.waitToken++
 			k.mustReady(w.pid, errReply{})
 		}
 		q.depth.Set(int64(len(q.msgs)))
@@ -289,6 +320,93 @@ func (k *Kernel) doMQReceive(self *proc, r mqReceiveReq) (any, machine.Dispositi
 	self.span = k.tracer.Begin(self.name, q.name, "mq_receive")
 	q.readers = append(q.readers, self.pid)
 	return nil, machine.DispositionBlock
+}
+
+// doMQReceiveTimeout is mq_timedreceive: MQReceive that gives up with
+// ErrTimeout after d of virtual time with no message.
+func (k *Kernel) doMQReceiveTimeout(self *proc, r mqReceiveTimeoutReq) (any, machine.Disposition) {
+	reply, disp := k.doMQReceive(self, mqReceiveReq{fd: r.fd})
+	if disp == machine.DispositionContinue {
+		return reply, disp
+	}
+	// Blocked: doMQReceive queued the reader; arm the expiry alongside.
+	q := self.fds[r.fd].q
+	self.waitToken++
+	token := self.waitToken
+	pid := self.pid
+	k.m.Clock().After(r.d, func() {
+		p := k.procs[pid]
+		if p != self || p.waitToken != token || p.phase != phaseMQRecv {
+			return
+		}
+		p.phase = phaseIdle
+		p.waitToken++
+		for i, rp := range q.readers {
+			if rp == pid {
+				q.readers = append(q.readers[:i:i], q.readers[i+1:]...)
+				break
+			}
+		}
+		k.endSpan(p, obs.OutcomeAborted)
+		k.mustReady(pid, msgReply{err: ErrTimeout})
+	})
+	return nil, machine.DispositionBlock
+}
+
+// deliverToQueue lands one message on a queue outside the sender's trap
+// (delayed delivery): a waiting reader gets it directly, otherwise it queues;
+// a full queue loses it.
+func (k *Kernel) deliverToQueue(sender string, q *mqueue, msg MQMsg) {
+	if reader := k.popReader(q); reader != nil {
+		k.stats.MQSends++
+		k.stats.MQReceives++
+		k.m.IPC().Record(sender, q.name, "send")
+		k.m.IPC().Record(q.name, reader.name, "recv")
+		k.endSpan(reader, obs.OutcomeDelivered)
+		reader.phase = phaseIdle
+		reader.waitToken++
+		k.mustReady(reader.pid, msgReply{msg: msg})
+		return
+	}
+	if len(q.msgs) >= q.maxMsgs {
+		return
+	}
+	k.stats.MQSends++
+	k.m.IPC().Record(sender, q.name, "send")
+	insertByPrio(q, msg)
+	q.depth.Set(int64(len(q.msgs)))
+}
+
+// doRespawn implements the supervisor syscall: spawn a registered image
+// under its *declared* credentials (unlike fork, which inherits the
+// caller's). Root only — supervision is a privileged duty, the way
+// supervisord runs as root; unprivileged callers are denied and audited.
+func (k *Kernel) doRespawn(self *proc, r respawnReq) (any, machine.Disposition) {
+	if self.uid != 0 {
+		k.dacDeny(obs.EventSyscallDenied, self.name, r.image, fmt.Sprintf("respawn uid=%d", self.uid))
+		return intReply{err: fmt.Errorf("%w: respawn %q", ErrPerm, r.image)}, machine.DispositionContinue
+	}
+	img, ok := k.images[r.image]
+	if !ok {
+		return intReply{err: fmt.Errorf("%w: %q", ErrUnknownImage, r.image)}, machine.DispositionContinue
+	}
+	for _, p := range k.byUnix {
+		if p.name == r.image {
+			return intReply{err: fmt.Errorf("%w: %q is running", ErrExist, r.image)}, machine.DispositionContinue
+		}
+	}
+	unixPID, err := k.spawn(img)
+	if err != nil {
+		return intReply{err: err}, machine.DispositionContinue
+	}
+	k.events.Emit(obs.SecurityEvent{
+		Kind:      obs.EventRestart,
+		Mechanism: obs.MechRecovery,
+		Src:       self.name,
+		Dst:       r.image,
+		Detail:    fmt.Sprintf("respawn #%d", k.spawnCounts[r.image]-1),
+	})
+	return intReply{value: unixPID}, machine.DispositionContinue
 }
 
 // doMQUnlink implements mq_unlink: owner or root only.

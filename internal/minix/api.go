@@ -41,6 +41,14 @@ func (a *API) Receive(from Endpoint) (Message, error) {
 	return reply.msg, reply.err
 }
 
+// ReceiveTimeout is Receive with a watchdog: it returns ErrTimeout if no
+// matching message arrives within d of virtual time. Hardened drivers use
+// it to notice silent peers instead of blocking forever.
+func (a *API) ReceiveTimeout(from Endpoint, d time.Duration) (Message, error) {
+	reply := a.ctx.Trap(receiveTimeoutReq{from: from, d: d}).(ipcReply)
+	return reply.msg, reply.err
+}
+
 // SendRec performs the atomic send-then-receive used for RPC: it sends msg
 // to dst and blocks until dst sends a reply back.
 func (a *API) SendRec(dst Endpoint, msg Message) (Message, error) {

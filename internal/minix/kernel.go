@@ -163,7 +163,11 @@ type Kernel struct {
 	// srLabels caches "sendrec mtN" span labels so the hot IPC path does
 	// not format strings per call.
 	srLabels map[int32]string
-	mMailbox   *obs.Gauge
+	mMailbox *obs.Gauge
+
+	// ipcFault is the fault-injection filter, consulted after ACM checks on
+	// every send path. nil when no campaign is armed (the common case).
+	ipcFault func(src, dst string) (drop bool, delay time.Duration)
 }
 
 var _ machine.TrapHandler = (*Kernel)(nil)
@@ -219,6 +223,39 @@ func Boot(m *machine.Machine, policy *core.Policy, cfg Config) (*Kernel, error) 
 	}
 	k.rs.ep = rsEP
 	return k, nil
+}
+
+// SetIPCFault installs fn as the fault-injection IPC filter. It runs after
+// the ACM allows a delivery, with the sender's and receiver's process names;
+// drop loses the message in transit, delay postpones delivery. nil clears
+// the filter. Transport faults model flaky drivers, not policy: denials
+// still come only from the ACM.
+func (k *Kernel) SetIPCFault(fn func(src, dst string) (drop bool, delay time.Duration)) {
+	k.ipcFault = fn
+}
+
+// faultFor consults the installed IPC fault filter.
+func (k *Kernel) faultFor(src, dst string) (bool, time.Duration) {
+	if k.ipcFault == nil {
+		return false, 0
+	}
+	return k.ipcFault(src, dst)
+}
+
+// CrashProcess kills the named process as if it had faulted: unlike the
+// policy-mediated kill path it does not mark the victim as exiting, so
+// OnProcExit reports the death to the reincarnation server like any crash.
+func (k *Kernel) CrashProcess(name string) error {
+	ep, err := k.EndpointOf(name)
+	if err != nil {
+		return err
+	}
+	e := k.resolve(ep)
+	if e == nil {
+		return fmt.Errorf("%w: %v", ErrDeadSrcDst, ep)
+	}
+	k.stats.Crashes++
+	return k.m.Engine().Kill(e.pid)
 }
 
 // startServer registers and spawns a system-server image.
@@ -440,6 +477,25 @@ func (k *Kernel) HandleTrap(pid machine.PID, req any) (any, machine.Disposition)
 		return k.doSend(self, r.dst, r.msg, true)
 	case receiveReq:
 		return k.doReceive(self, r.from)
+	case receiveTimeoutReq:
+		reply, disp := k.doReceive(self, r.from)
+		if disp == machine.DispositionContinue {
+			return reply, disp
+		}
+		// Blocked: arm the timeout. Delivery bumps waitToken, so a reply
+		// racing the timer wins and the timer callback becomes a no-op.
+		self.waitToken++
+		token := self.waitToken
+		k.m.Clock().After(r.d, func() {
+			e := k.byPID[pid]
+			if e != self || e.waitToken != token || e.phase != phaseRecvBlocked {
+				return
+			}
+			e.phase = phaseIdle
+			e.waitToken++
+			k.mustReady(pid, ipcReply{err: ErrTimeout})
+		})
+		return nil, machine.DispositionBlock
 	case notifyReq:
 		return k.doNotify(self, r.dst)
 	case sendNBReq:
@@ -548,6 +604,13 @@ func (k *Kernel) doSend(self *procEntry, dst Endpoint, msg Message, sendRec bool
 		}
 		return ipcReply{err: err}, machine.DispositionContinue
 	}
+	drop, delay := k.faultFor(self.name, target.name)
+	if drop {
+		if sendRec {
+			k.tracer.Emit(self.name, target.name, k.sendRecLabel(msg.Type), obs.OutcomeAborted)
+		}
+		return ipcReply{err: ErrTimeout}, machine.DispositionContinue
+	}
 	msg.Source = self.ep // kernel stamp: spoofing-proof sender identity
 	self.outMsg = msg
 	self.sendDst = dst
@@ -555,6 +618,9 @@ func (k *Kernel) doSend(self *procEntry, dst Endpoint, msg Message, sendRec bool
 	if sendRec {
 		// The round-trip span stays open until the reply wakes the caller.
 		self.span = k.tracer.Begin(self.name, target.name, k.sendRecLabel(msg.Type))
+	}
+	if delay > 0 {
+		return k.delaySend(self, dst, msg, sendRec, delay)
 	}
 
 	if target.phase == phaseRecvBlocked && matches(target.recvFrom, self.ep) {
@@ -570,6 +636,43 @@ func (k *Kernel) doSend(self *procEntry, dst Endpoint, msg Message, sendRec bool
 	// Receiver not ready: queue and block (rendezvous semantics).
 	target.senders = append(target.senders, self.pid)
 	self.phase = phaseSendBlocked
+	return nil, machine.DispositionBlock
+}
+
+// delaySend parks a sender whose delivery is being delayed by fault
+// injection. The sender blocks as in a normal rendezvous, but joins the
+// receiver's sender queue only when the delay elapses, so the message is
+// invisible in transit.
+func (k *Kernel) delaySend(self *procEntry, dst Endpoint, msg Message, sendRec bool, delay time.Duration) (any, machine.Disposition) {
+	self.phase = phaseSendBlocked
+	self.waitToken++
+	token := self.waitToken
+	pid := self.pid
+	k.m.Clock().After(delay, func() {
+		e := k.byPID[pid]
+		if e != self || e.waitToken != token || e.phase != phaseSendBlocked {
+			return
+		}
+		target := k.resolve(dst)
+		if target == nil {
+			e.phase = phaseIdle
+			k.endSpan(e, obs.OutcomeAborted)
+			k.mustReady(pid, ipcReply{err: fmt.Errorf("%w: %v", ErrDeadSrcDst, dst)})
+			return
+		}
+		if target.phase == phaseRecvBlocked && matches(target.recvFrom, e.ep) {
+			k.completeReceive(target, msg)
+			if sendRec {
+				e.phase = phaseRecvBlocked
+				e.recvFrom = dst
+				return
+			}
+			e.phase = phaseIdle
+			k.mustReady(pid, ipcReply{})
+			return
+		}
+		target.senders = append(target.senders, pid)
+	})
 	return nil, machine.DispositionBlock
 }
 
@@ -653,19 +756,38 @@ func (k *Kernel) doNotify(self *procEntry, dst Endpoint) (any, machine.Dispositi
 	if err := k.checkIPC(self, target, int32(core.MsgAck)); err != nil {
 		return errReply{err: err}, machine.DispositionContinue
 	}
-	k.stats.Notifies++
-	if target.phase == phaseRecvBlocked && matches(target.recvFrom, self.ep) {
-		k.completeReceive(target, Message{Source: self.ep, Type: int32(core.MsgAck)})
+	drop, delay := k.faultFor(self.name, target.name)
+	if drop {
+		// Notifications are fire-and-forget: a lost one is a silent success.
 		return errReply{}, machine.DispositionContinue
 	}
+	k.stats.Notifies++
+	if delay > 0 {
+		src := self.ep
+		k.m.Clock().After(delay, func() {
+			if tgt := k.resolve(dst); tgt != nil {
+				k.queueNotify(tgt, src)
+			}
+		})
+		return errReply{}, machine.DispositionContinue
+	}
+	k.queueNotify(target, self.ep)
+	return errReply{}, machine.DispositionContinue
+}
+
+// queueNotify delivers or pends a notification from src.
+func (k *Kernel) queueNotify(target *procEntry, src Endpoint) {
+	if target.phase == phaseRecvBlocked && matches(target.recvFrom, src) {
+		k.completeReceive(target, Message{Source: src, Type: int32(core.MsgAck)})
+		return
+	}
 	// Pending notifications are a set: duplicates collapse, like MINIX bits.
-	for _, src := range target.notifies {
-		if src == self.ep {
-			return errReply{}, machine.DispositionContinue
+	for _, s := range target.notifies {
+		if s == src {
+			return
 		}
 	}
-	target.notifies = append(target.notifies, self.ep)
-	return errReply{}, machine.DispositionContinue
+	target.notifies = append(target.notifies, src)
 }
 
 // doSendNB implements the asynchronous non-blocking send the sensor driver
@@ -682,7 +804,31 @@ func (k *Kernel) doSendNB(self *procEntry, dst Endpoint, msg Message) (any, mach
 	if err := k.checkIPC(self, target, msg.Type); err != nil {
 		return errReply{err: err}, machine.DispositionContinue
 	}
+	drop, delay := k.faultFor(self.name, target.name)
+	if drop {
+		// Async sends report success; the message is lost in transit.
+		return errReply{}, machine.DispositionContinue
+	}
 	msg.Source = self.ep
+	if delay > 0 {
+		k.m.Clock().After(delay, func() {
+			tgt := k.resolve(dst)
+			if tgt == nil {
+				return
+			}
+			if tgt.phase == phaseRecvBlocked && matches(tgt.recvFrom, msg.Source) {
+				k.completeReceive(tgt, msg)
+				return
+			}
+			if len(tgt.mailbox) >= k.cfg.MailboxCap {
+				return // lost: no sender left to report to
+			}
+			tgt.mailbox = append(tgt.mailbox, msg)
+			k.mMailbox.Add(1)
+			k.stats.AsyncQueued++
+		})
+		return errReply{}, machine.DispositionContinue
+	}
 	if target.phase == phaseRecvBlocked && matches(target.recvFrom, self.ep) {
 		k.completeReceive(target, msg)
 		return errReply{}, machine.DispositionContinue

@@ -2,8 +2,11 @@ package minix
 
 import (
 	"fmt"
+	"time"
 
 	"mkbas/internal/core"
+	"mkbas/internal/machine"
+	"mkbas/internal/obs"
 )
 
 // RSName is the reincarnation server's published name.
@@ -11,6 +14,16 @@ const RSName = "rs"
 
 // maxRestartsPerImage caps crash-loop respawns of one driver image.
 const maxRestartsPerImage = 10
+
+// Restart pacing: the first respawn waits rsBackoffBase, doubling per
+// consecutive crash up to rsBackoffMax. After rsStablePeriod without a crash
+// of the image, its restart budget and backoff reset — a driver that crashed
+// a week ago should not have its budget consumed forever.
+const (
+	rsBackoffBase  = 50 * time.Millisecond
+	rsBackoffMax   = 10 * time.Second
+	rsStablePeriod = 10 * time.Minute
+)
 
 // rsServer is the reincarnation server: MINIX 3's self-repair component
 // ("a highly reliable, self-repairing operating system"). The kernel reports
@@ -21,12 +34,14 @@ type rsServer struct {
 	k  *Kernel
 	ep Endpoint
 
-	restarts map[string]int
-	total    int64
+	restarts  map[string]int
+	lastCrash map[string]machine.Time
+	total     int64
+	giveUps   int64
 }
 
 func newRSServer(k *Kernel) *rsServer {
-	return &rsServer{k: k, restarts: make(map[string]int)}
+	return &rsServer{k: k, restarts: make(map[string]int), lastCrash: make(map[string]machine.Time)}
 }
 
 // rsImage is the RS boot image.
@@ -39,6 +54,19 @@ func rsImage(rs *rsServer) Image {
 	}
 }
 
+// backoff returns the exponential restart delay for the n-th consecutive
+// restart (n counted from 1).
+func rsBackoff(n int) time.Duration {
+	d := rsBackoffBase
+	for i := 1; i < n && d < rsBackoffMax; i++ {
+		d *= 2
+	}
+	if d > rsBackoffMax {
+		d = rsBackoffMax
+	}
+	return d
+}
+
 // run is the RS main loop: wait for kernel exit reports, respawn drivers.
 func (rs *rsServer) run(api *API) {
 	rs.ep = api.Self()
@@ -49,18 +77,54 @@ func (rs *rsServer) run(api *API) {
 		}
 		image := msg.GetString(8)
 		acid := core.ACID(msg.U32(44))
+		now := api.Now()
+
+		// Budget decay: a sustained stable period forgives past crashes, so
+		// the cap bounds crash *loops*, not lifetime restarts.
+		if last, ok := rs.lastCrash[image]; ok && now.Sub(last) >= rsStablePeriod {
+			rs.restarts[image] = 0
+		}
+		rs.lastCrash[image] = now
+
 		if rs.restarts[image] >= maxRestartsPerImage {
+			rs.giveUps++
 			api.Trace("minix-rs", fmt.Sprintf("giving up on %s after %d restarts", image, rs.restarts[image]))
+			rs.k.events.Emit(obs.SecurityEvent{
+				Kind:      obs.EventRestartGiveUp,
+				Mechanism: obs.MechRecovery,
+				Src:       RSName,
+				Dst:       image,
+				Detail:    fmt.Sprintf("restart budget exhausted after %d restarts", rs.restarts[image]),
+			})
 			continue
 		}
+
+		// Exponential backoff paces crash loops without stalling the first
+		// recovery: 50ms, 100ms, 200ms, ... capped at 10s.
+		api.Sleep(rsBackoff(rs.restarts[image] + 1))
+
 		ep, err := api.kSpawn(image, acid)
 		if err != nil {
 			api.Trace("minix-rs", fmt.Sprintf("restart of %s failed: %v", image, err))
+			rs.k.events.Emit(obs.SecurityEvent{
+				Kind:      obs.EventRestartGiveUp,
+				Mechanism: obs.MechRecovery,
+				Src:       RSName,
+				Dst:       image,
+				Detail:    "respawn failed: " + err.Error(),
+			})
 			continue
 		}
 		rs.restarts[image]++
 		rs.total++
 		api.Trace("minix-rs", fmt.Sprintf("restarted %s as %v (restart #%d)", image, ep, rs.restarts[image]))
+		rs.k.events.Emit(obs.SecurityEvent{
+			Kind:      obs.EventRestart,
+			Mechanism: obs.MechRecovery,
+			Src:       RSName,
+			Dst:       image,
+			Detail:    fmt.Sprintf("restart #%d", rs.restarts[image]),
+		})
 	}
 }
 
@@ -72,8 +136,12 @@ type RSView struct {
 // RS returns the reincarnation-server view.
 func (k *Kernel) RS() *RSView { return &RSView{rs: k.rs} }
 
-// Restarts reports how many times an image has been reincarnated.
+// Restarts reports how many times an image has been reincarnated within the
+// current crash-loop window (the counter resets after a stable period).
 func (v *RSView) Restarts(image string) int { return v.rs.restarts[image] }
 
 // TotalRestarts reports all reincarnations on this boot.
 func (v *RSView) TotalRestarts() int64 { return v.rs.total }
+
+// GiveUps reports how many crash reports RS abandoned.
+func (v *RSView) GiveUps() int64 { return v.rs.giveUps }

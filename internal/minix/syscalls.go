@@ -29,6 +29,9 @@ var (
 	// ErrSelfSend reports a process sending to itself (guaranteed deadlock
 	// under rendezvous semantics, refused like MINIX's ELOCKED).
 	ErrSelfSend = errors.New("minix: send to self would deadlock")
+	// ErrTimeout reports a ReceiveTimeout that expired with no message, or a
+	// send whose delivery was lost in transit (fault injection).
+	ErrTimeout = errors.New("minix: IPC timed out")
 )
 
 // Trap request types. These are the wire format between a simulated process
@@ -40,6 +43,10 @@ type (
 	}
 	receiveReq struct {
 		from Endpoint
+	}
+	receiveTimeoutReq struct {
+		from Endpoint
+		d    time.Duration
 	}
 	sendRecReq struct {
 		dst Endpoint

@@ -19,6 +19,13 @@ const (
 	// MechKernel marks events enforced by generic kernel limits (process
 	// table exhaustion, rlimits) rather than a security policy.
 	MechKernel Mechanism = "kernel"
+	// MechRecovery marks events produced by a recovery service (MINIX RS,
+	// the seL4 monitor component, the Linux supervisor) rather than a
+	// mediation decision.
+	MechRecovery Mechanism = "recovery"
+	// MechFaultInject marks events produced by the fault-injection campaign
+	// layer itself, so chaos activity is distinguishable from real denials.
+	MechFaultInject Mechanism = "fault-inject"
 )
 
 // EventKind classifies a security event.
@@ -41,6 +48,15 @@ const (
 	// EventSyscallDenied is a refused non-IPC system call (PM syscall-mask
 	// or privilege checks outside kill/fork).
 	EventSyscallDenied EventKind = "syscall-denied"
+	// EventRestart is a successful reincarnation of a crashed process by a
+	// recovery service.
+	EventRestart EventKind = "restart"
+	// EventRestartGiveUp is a recovery service abandoning an image after
+	// exhausting its restart budget.
+	EventRestartGiveUp EventKind = "restart-give-up"
+	// EventFaultInjected is a fault-campaign fault firing at its scheduled
+	// virtual instant.
+	EventFaultInjected EventKind = "fault-injected"
 )
 
 // SecurityEvent is one mediation decision in the platform-neutral schema:

@@ -65,6 +65,16 @@ type Room struct {
 	heaterBad bool // failure injection: commands accepted but no heat
 	alarmOn   bool
 
+	// Sensor fault injection: a stuck sensor repeats one frozen value; a
+	// drifting sensor accumulates a linear bias from driftSince onward.
+	sensorStuck    bool
+	sensorStuckVal float64
+	driftRate      float64 // °C/s of accumulated bias, 0 = healthy
+	driftSince     machine.Time
+
+	// readHook observes every sensor read (the fault campaign's MTTR probe).
+	readHook func(at machine.Time, value float64, faulted bool)
+
 	// history records every actuator transition for experiment assertions.
 	history []Event
 }
@@ -226,12 +236,52 @@ func (r *Room) History() []Event {
 	return out
 }
 
-// readSensor returns the noisy measured temperature in °C.
+// StickSensor freezes the sensor at value; Unstick releases it. While stuck
+// the device reports the frozen value regardless of the true temperature.
+func (r *Room) StickSensor(value float64) {
+	r.sensorStuck = true
+	r.sensorStuckVal = value
+}
+
+// UnstickSensor releases a stuck sensor.
+func (r *Room) UnstickSensor() { r.sensorStuck = false }
+
+// SetSensorDrift starts (rate != 0) or stops (rate == 0) a linear measurement
+// bias of rate °C/s, accumulating from the current instant.
+func (r *Room) SetSensorDrift(rate float64) {
+	r.driftRate = rate
+	r.driftSince = r.clock.Now()
+}
+
+// SensorFaulted reports whether a stuck-at or drift fault is active.
+func (r *Room) SensorFaulted() bool { return r.sensorStuck || r.driftRate != 0 }
+
+// SetSensorReadHook registers fn to observe every sensor device read with the
+// reported value and whether a sensor fault distorted it. One hook only; nil
+// clears it. The fault campaign uses this as its recovery (MTTR) probe.
+func (r *Room) SetSensorReadHook(fn func(at machine.Time, value float64, faulted bool)) {
+	r.readHook = fn
+}
+
+// readSensor returns the noisy measured temperature in °C, subject to any
+// injected stuck-at or drift fault.
 func (r *Room) readSensor() float64 {
 	r.sync()
 	t := r.temp
 	if r.cfg.SensorNoise > 0 {
 		t += r.cfg.Rand.NormFloat64() * r.cfg.SensorNoise
+	}
+	faulted := false
+	if r.driftRate != 0 {
+		t += r.driftRate * r.clock.Now().Sub(r.driftSince).Seconds()
+		faulted = true
+	}
+	if r.sensorStuck {
+		t = r.sensorStuckVal
+		faulted = true
+	}
+	if r.readHook != nil {
+		r.readHook(r.clock.Now(), t, faulted)
 	}
 	return t
 }

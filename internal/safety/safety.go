@@ -84,6 +84,7 @@ type Monitor struct {
 	start      machine.Time
 	outSince   machine.Time
 	outOfRange bool
+	inSince    machine.Time
 
 	violations []Violation
 	lastRecord map[Property]machine.Time
@@ -164,6 +165,9 @@ func (m *Monitor) observe() {
 			m.outSince = now
 		}
 	} else {
+		if m.outOfRange || m.inSince == 0 {
+			m.inSince = now
+		}
 		m.outOfRange = false
 	}
 
@@ -180,8 +184,11 @@ func (m *Monitor) observe() {
 	}
 	// Honesty: alarm blaring while the room is fine (with the settling
 	// exemption, since heat-up legitimately trips it in cold starts only
-	// after the delay — during settling we stay silent either way).
-	if settled && inRange && m.room.AlarmOn() {
+	// after the delay — during settling we stay silent either way). The
+	// room must have been back in range for a couple of sample periods:
+	// the controller clears its alarm one sensor sample after recovery,
+	// and that lag is honest behavior, not a stuck alarm.
+	if settled && inRange && now.Sub(m.inSince) > slack && m.room.AlarmOn() {
 		m.record(now, PropAlarmHonesty,
 			fmt.Sprintf("alarm on while room healthy at %.2f°C", temp))
 	}

@@ -49,6 +49,45 @@ func TestHeaterFailureWithWorkingAlarmIsRangeOnly(t *testing.T) {
 	}
 }
 
+func TestHeaterRecoveryClearsAlarmWithoutHonestyViolation(t *testing.T) {
+	// Physical fault with repair: the heater dies long enough to trip the
+	// alarm, then comes back. The room reheats, the controller clears the
+	// alarm one sample after re-entering the band, and the monitor's
+	// recovery-lag slack means honesty never fires — the alarm was truthful
+	// throughout.
+	cfg := bas.DefaultScenario()
+	cfg.Plant.InitialTemp = 22
+	tb := bas.NewTestbed(cfg)
+	defer tb.Machine.Shutdown()
+	if _, err := bas.DeployMinix(tb, cfg, bas.MinixOptions{}); err != nil {
+		t.Fatalf("deploy: %v", err)
+	}
+	mon := Attach(tb.Machine.Clock(), tb.Room, DefaultConfig())
+	tb.Machine.Run(30 * time.Minute)
+	tb.Room.FailHeater(true)
+	tb.Machine.Run(40 * time.Minute) // room decays out of range, alarm trips
+	if !tb.Room.AlarmOn() {
+		t.Fatalf("alarm not raised during heater outage (temp %.2f)", tb.Room.Temperature())
+	}
+	tb.Room.FailHeater(false)
+	tb.Machine.Run(2 * time.Hour) // reheat, alarm clears
+	if tb.Room.AlarmOn() {
+		t.Fatalf("alarm still on after recovery (temp %.2f)", tb.Room.Temperature())
+	}
+	if temp := tb.Room.Temperature(); temp < 21 || temp > 23 {
+		t.Fatalf("room did not recover: %.2f", temp)
+	}
+	if len(mon.ViolationsOf(PropTempInRange)) == 0 {
+		t.Error("no range violation despite the outage")
+	}
+	if v := mon.ViolationsOf(PropAlarmLiveness); len(v) != 0 {
+		t.Errorf("liveness violations despite a truthful alarm: %v", v)
+	}
+	if v := mon.ViolationsOf(PropAlarmHonesty); len(v) != 0 {
+		t.Errorf("honesty violations during recovery: %v", v)
+	}
+}
+
 func TestSuppressedAlarmViolatesLiveness(t *testing.T) {
 	// No controller at all: the room drifts out of range and nothing raises
 	// the alarm — the signature of a killed control process.

@@ -184,6 +184,18 @@ func (k *Kernel) doSend(t *tcb, r sendTrap) (any, machine.Disposition) {
 		return errResult{err: fmt.Errorf("%w: cap transfer needs grant", ErrNoRights)}, machine.DispositionContinue
 	}
 	ep := k.eps[c.Object]
+	drop, delay := k.faultFor(t.name, ep.name)
+	if drop {
+		// Send has no delivery acknowledgment: a lost message is
+		// indistinguishable from a successful one on the sender side.
+		return errResult{}, machine.DispositionContinue
+	}
+	if delay > 0 {
+		t.sendMsg = r.msg
+		t.sendCap = c
+		t.wantsCall = false
+		return k.delaySend(t, c, ep, r.msg, false, delay)
+	}
 	if receiver := k.popReceiver(ep); receiver != nil {
 		k.deliver(t, c, receiver, r.msg, false)
 		return errResult{}, machine.DispositionContinue
@@ -198,6 +210,36 @@ func (k *Kernel) doSend(t *tcb, r sendTrap) (any, machine.Disposition) {
 	t.wantsCall = false
 	ep.sendQ = append(ep.sendQ, t)
 	k.mEPQ.Add(1)
+	return nil, machine.DispositionBlock
+}
+
+// delaySend parks a sender whose message is being delayed in transit by
+// fault injection: the sender blocks as usual but joins the endpoint's send
+// queue only when the delay elapses, so receivers cannot see the message
+// early.
+func (k *Kernel) delaySend(t *tcb, c Capability, ep *endpointObj, msg Msg, isCall bool, delay time.Duration) (any, machine.Disposition) {
+	t.state = stateBlockedSend
+	t.waitToken++
+	token := t.waitToken
+	pid := t.pid
+	k.m.Clock().After(delay, func() {
+		cur := k.byPID[pid]
+		if cur != t || cur.waitToken != token || cur.state != stateBlockedSend {
+			return
+		}
+		if receiver := k.popReceiver(ep); receiver != nil {
+			k.deliver(t, c, receiver, msg, isCall)
+			if isCall {
+				t.state = stateBlockedCall
+				return
+			}
+			t.state = stateReady
+			k.mustReady(pid, errResult{})
+			return
+		}
+		ep.sendQ = append(ep.sendQ, t)
+		k.mEPQ.Add(1)
+	})
 	return nil, machine.DispositionBlock
 }
 
@@ -220,6 +262,17 @@ func (k *Kernel) doCall(t *tcb, r callTrap) (any, machine.Disposition) {
 	t.sendMsg = r.msg
 	t.sendCap = c
 	t.wantsCall = true
+	drop, delay := k.faultFor(t.name, ep.name)
+	if drop {
+		// A lost Call is observable: the caller expected a reply that will
+		// never come, so it gets an error instead of blocking forever.
+		k.endSpan(t, obs.OutcomeAborted)
+		t.wantsCall = false
+		return callResultReply{err: ErrMsgLost}, machine.DispositionContinue
+	}
+	if delay > 0 {
+		return k.delaySend(t, c, ep, r.msg, true, delay)
+	}
 	if receiver := k.popReceiver(ep); receiver != nil {
 		k.deliver(t, c, receiver, r.msg, true)
 		t.state = stateBlockedCall

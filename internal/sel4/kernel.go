@@ -33,6 +33,10 @@ var (
 	ErrSuspended = errors.New("sel4: thread is suspended")
 	// ErrBadHandle reports an invalid network handle.
 	ErrBadHandle = errors.New("sel4: bad descriptor")
+	// ErrMsgLost reports a message lost in transit (fault injection); seL4
+	// proper has no such error, but the simulated transport fault layer
+	// needs a way to abort a Call whose request evaporated.
+	ErrMsgLost = errors.New("sel4: message lost in transit")
 )
 
 // Stats counts kernel events for the experiments.
@@ -156,6 +160,11 @@ type Kernel struct {
 	mSuspends     *obs.Counter
 	mCallNs       *obs.Histogram
 	mEPQ          *obs.Gauge
+
+	// ipcFault is the fault-injection filter, consulted after capability
+	// checks on Send and Call with (thread name, endpoint name). nil when
+	// no campaign is armed.
+	ipcFault func(src, dst string) (drop bool, delay time.Duration)
 }
 
 var _ machine.TrapHandler = (*Kernel)(nil)
@@ -199,6 +208,9 @@ func (k *Kernel) Stats() Stats { return k.stats }
 
 // Machine returns the underlying board.
 func (k *Kernel) Machine() *machine.Machine { return k.m }
+
+// Events returns the board security-event log (shared with the machine).
+func (k *Kernel) Events() *obs.EventLog { return k.events }
 
 // --- Root-task object construction -----------------------------------------
 
@@ -317,6 +329,41 @@ func (k *Kernel) CapCount(tcbID ObjID) (int, error) {
 		}
 	}
 	return n, nil
+}
+
+// SetIPCFault installs fn as the fault-injection IPC filter, consulted
+// after capability checks pass with the sending thread's name and the
+// endpoint's name. drop loses the message, delay postpones its delivery.
+// nil clears the filter. Transport faults are not capability faults: denial
+// events still come only from real rights failures.
+func (k *Kernel) SetIPCFault(fn func(src, dst string) (drop bool, delay time.Duration)) {
+	k.ipcFault = fn
+}
+
+// faultFor consults the installed IPC fault filter.
+func (k *Kernel) faultFor(src, dst string) (bool, time.Duration) {
+	if k.ipcFault == nil {
+		return false, 0
+	}
+	return k.ipcFault(src, dst)
+}
+
+// KillThread kills the named thread as if it had faulted, without marking
+// the TCB suspended: ThreadAlive goes false through the engine state, and a
+// monitor component may respawn the component from its spec. This is the
+// fault-injection crash entry point, distinct from the capability-mediated
+// TCB_Suspend path.
+func (k *Kernel) KillThread(tcbID ObjID) error {
+	t, ok := k.tcbs[tcbID]
+	if !ok || !t.started {
+		return ErrNotStarted
+	}
+	p := k.m.Engine().Proc(t.pid)
+	if p == nil || p.State() == machine.StateDead {
+		return ErrSuspended
+	}
+	k.m.Trace().Logf("sel4", "FAULT-INJECT kill %s tcb=%d", t.name, t.id)
+	return k.m.Engine().Kill(t.pid)
 }
 
 // ThreadAlive reports whether a thread is started and not suspended/dead.

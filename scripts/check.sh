@@ -26,3 +26,16 @@ cmp "$out1" "$out2"
 # Scaling bench: record shards/sec at 1/2/4/8 workers; exits nonzero if any
 # width's merged JSON deviates from the serial baseline.
 go run ./cmd/baslab -sweep "$smoke" -bench 1,2,4,8 -bench-out BENCH_lab.json
+# E10 chaos smoke: one fault plan through each platform's recovery path
+# (MINIX RS, the seL4 monitor, the hardened-Linux supervisor).
+go run ./cmd/basmon -platform minix -faults crash-sensor -duration 1h >/dev/null
+go run ./cmd/basmon -platform sel4 -recovery -faults crash-sensor -duration 1h >/dev/null
+go run ./cmd/basmon -platform linux-hardened -recovery -faults crash-sensor -duration 1h >/dev/null
+# Fault-sweep determinism golden: injection, recovery, and MTTR accounting
+# must be byte-identical between serial and 8-worker runs (DESIGN.md §10).
+chaos='platforms=paper;actions=none'
+go run ./cmd/baslab -sweep "$chaos" -faults crash-sensor,hang-sensor -workers 1 -json -q >"$out1"
+go run ./cmd/baslab -sweep "$chaos" -faults crash-sensor,hang-sensor -workers 8 -json -q >"$out2"
+cmp "$out1" "$out2"
+# Chaos scaling bench: the same determinism bit across worker widths.
+go run ./cmd/baslab -sweep "$chaos" -faults crash-sensor -bench 1,2,4,8 -bench-out BENCH_faults.json
