@@ -1,0 +1,197 @@
+// Command basbuilding runs the multi-room building fleet (experiment E11):
+// N controller boards — any platform mix, legacy or secure-proxied room by
+// room — joined by an inter-board BAS bus, supervised by a head-end BMS, and
+// optionally attacked laterally from a compromised room-0 web interface. The
+// report is byte-identical at any -workers value.
+//
+// Usage:
+//
+//	basbuilding                                   # 16-room paper-mix building, attacked
+//	basbuilding -rooms 8 -mix linux -secure none  # homogeneous legacy building
+//	basbuilding -rooms 16 -secure even -attack=false -json
+//	basbuilding -faults 2=crash-sensor            # E11 fault case: room 2 loses its sensor
+//	basbuilding -sweep "rooms=4,16;mix=paper;attack=both" -workers 4
+//	basbuilding -bench 1,2,4,8 -bench-out BENCH_building.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"mkbas/internal/attack"
+	"mkbas/internal/lab"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "basbuilding:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	rooms := flag.Int("rooms", 16, "number of rooms (one controller board each)")
+	mix := flag.String("mix", "paper", `platform rotation: "paper", "all", one platform, or names joined by "+"`)
+	secure := flag.String("secure", "even", `secure-proxy coverage: "all", "none", "even", "odd", or room indices joined by "+"`)
+	attackOn := flag.Bool("attack", true, "run the room-0 lateral-movement attacker")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "boards stepping concurrently per round (1 = serial reference)")
+	settle := flag.Duration("settle", 30*time.Minute, "virtual settle time before the attack window")
+	window := flag.Duration("window", 90*time.Minute, "virtual attack window after settle")
+	faultsFlag := flag.String("faults", "", `comma list of room=plan fault assignments, e.g. "2=crash-sensor"`)
+	recovery := flag.Bool("recovery", false, "enable each platform's optional recovery machinery")
+	seed := flag.Int64("seed", 0, "base scenario seed (room i runs seed+i)")
+	jsonOut := flag.Bool("json", false, "emit the building report as JSON instead of the verdict table")
+	sweepFlag := flag.String("sweep", "", `building campaign instead of a single run: axis=values clauses over rooms, mix, secure, attack (plus settle=, window=)`)
+	benchFlag := flag.String("bench", "", `comma list of worker counts to benchmark on one building, e.g. "1,2,4,8"`)
+	benchOut := flag.String("bench-out", "", "write the bench report JSON to this file (default stdout)")
+	quiet := flag.Bool("q", false, "suppress per-case progress lines on stderr (sweep mode)")
+	flag.Parse()
+
+	if *sweepFlag != "" {
+		return runSweep(*sweepFlag, *workers, *jsonOut, *quiet)
+	}
+
+	spec := attack.BuildingSpec{
+		Rooms:    *rooms,
+		Attack:   *attackOn,
+		Workers:  *workers,
+		Settle:   *settle,
+		Window:   *window,
+		Recovery: *recovery,
+		Seed:     *seed,
+	}
+	mixPlatforms, err := lab.Mix(*mix).Platforms()
+	if err != nil {
+		return err
+	}
+	spec.Mix = mixPlatforms
+	spec.Secure, err = lab.SecurePattern(*secure).Rooms(*rooms)
+	if err != nil {
+		return err
+	}
+	if *faultsFlag != "" {
+		spec.Faults, err = parseFaults(*faultsFlag)
+		if err != nil {
+			return err
+		}
+	}
+
+	if *benchFlag != "" {
+		return runBench(spec, *benchFlag, *benchOut)
+	}
+
+	rep, err := attack.ExecuteBuilding(spec)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		out, jerr := marshal(rep)
+		if jerr != nil {
+			return jerr
+		}
+		_, werr := os.Stdout.Write(out)
+		return werr
+	}
+	fmt.Print(attack.FormatBuildingMatrix(rep))
+	return nil
+}
+
+// parseFaults parses "room=plan" comma-list assignments.
+func parseFaults(spec string) (map[int]string, error) {
+	out := make(map[int]string)
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		roomStr, plan, ok := strings.Cut(item, "=")
+		if !ok {
+			return nil, fmt.Errorf("fault assignment %q is not room=plan", item)
+		}
+		room, err := strconv.Atoi(strings.TrimSpace(roomStr))
+		if err != nil || room < 0 {
+			return nil, fmt.Errorf("fault assignment %q: bad room index", item)
+		}
+		out[room] = strings.TrimSpace(plan)
+	}
+	return out, nil
+}
+
+func runSweep(spec string, workers int, jsonOut, quiet bool) error {
+	sweep, err := lab.ParseBuildingSweep(spec)
+	if err != nil {
+		return err
+	}
+	opts := lab.BuildingOptions{Workers: workers}
+	if !quiet {
+		opts.Progress = func(c lab.BuildingCase, r *attack.BuildingReport) {
+			fmt.Fprintf(os.Stderr, "done %-48s alarm=%v compromised=%v\n", c, r.Alarm, r.Compromised())
+		}
+	}
+	res, err := lab.RunBuilding(sweep, opts)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		out, jerr := res.JSON()
+		if jerr != nil {
+			return jerr
+		}
+		_, werr := os.Stdout.Write(out)
+		return werr
+	}
+	for _, shard := range res.Cases {
+		fmt.Printf("== %s\n%s\n", shard.Case, attack.FormatBuildingMatrix(shard.Report))
+	}
+	return nil
+}
+
+func runBench(spec attack.BuildingSpec, counts, outPath string) error {
+	var workerCounts []int
+	for _, part := range strings.Split(counts, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad worker count %q", part)
+		}
+		workerCounts = append(workerCounts, n)
+	}
+	rep, err := lab.BenchBuilding(spec, workerCounts, runtime.GOMAXPROCS(0))
+	if err != nil {
+		return err
+	}
+	out, err := rep.JSON()
+	if err != nil {
+		return err
+	}
+	if outPath != "" {
+		if err := os.WriteFile(outPath, out, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "bench report written to %s\n", outPath)
+		for _, p := range rep.Points {
+			fmt.Fprintf(os.Stderr, "  workers=%d %8.1fms %6.2f rooms/s speedup=%.2fx\n",
+				p.Workers, p.ElapsedMS, p.ShardsPerSec, p.Speedup)
+		}
+	} else if _, err = os.Stdout.Write(out); err != nil {
+		return err
+	}
+	if !rep.Identical {
+		return fmt.Errorf("determinism violated: building report differed across worker counts")
+	}
+	return nil
+}
+
+// marshal renders a report as indented JSON with a trailing newline.
+func marshal(v any) ([]byte, error) {
+	out, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

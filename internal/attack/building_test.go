@@ -1,0 +1,124 @@
+package attack
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"mkbas/internal/bas"
+)
+
+func buildingMix() []bas.Platform {
+	return []bas.Platform{bas.PlatformLinux, bas.PlatformMinix, bas.PlatformSel4}
+}
+
+func buildingEvenSecure(rooms int) []bool {
+	out := make([]bool, rooms)
+	for i := range out {
+		out[i] = i%2 == 0
+	}
+	return out
+}
+
+// TestBuildingBaselineAllSecure: without an attacker the building verdict
+// table is all-SECURE and the head-end stays quiet.
+func TestBuildingBaselineAllSecure(t *testing.T) {
+	rep, err := ExecuteBuilding(BuildingSpec{
+		Rooms:  3,
+		Mix:    buildingMix(),
+		Secure: buildingEvenSecure(3),
+		Attack: false,
+		Settle: 12 * time.Minute,
+		Window: 8 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Alarm {
+		t.Fatalf("baseline building raised the alarm: flagged %v", rep.Flagged)
+	}
+	for _, o := range rep.Outcomes {
+		if o.Verdict != "SECURE" {
+			t.Fatalf("room %d: verdict %s, want SECURE", o.Room, o.Verdict)
+		}
+		if o.FramesRejected != 0 {
+			t.Fatalf("room %d: %d frames rejected with no attacker", o.Room, o.FramesRejected)
+		}
+	}
+}
+
+// TestBuildingLateralMovement is experiment E11's acceptance case: a 16-room
+// mixed-platform building under the room-0 lateral-movement attack. Legacy
+// rooms obey forged frames and overheat (COMPROMISED); secure-proxy rooms
+// drop both forgeries and replays (SECURE); the whole report — verdicts,
+// tallies, physics — is byte-identical between 1 and 8 workers.
+func TestBuildingLateralMovement(t *testing.T) {
+	run := func(workers int) (*BuildingReport, []byte) {
+		rep, err := ExecuteBuilding(BuildingSpec{
+			Rooms:   16,
+			Mix:     buildingMix(),
+			Secure:  buildingEvenSecure(16),
+			Attack:  true,
+			Settle:  30 * time.Minute,
+			Window:  45 * time.Minute,
+			Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep, out
+	}
+
+	rep, serial := run(1)
+	_, parallel := run(8)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("building attack report diverged between 1 and 8 workers:\n1: %d bytes\n8: %d bytes", len(serial), len(parallel))
+	}
+
+	if rep.Outcomes[0].Verdict != "FOOTHOLD" {
+		t.Fatalf("room 0 verdict = %s, want FOOTHOLD", rep.Outcomes[0].Verdict)
+	}
+	if rep.CapturedFrames == 0 {
+		t.Fatal("attacker captured nothing off the shared bus")
+	}
+	for _, o := range rep.Outcomes[1:] {
+		if o.Secure {
+			if o.Verdict != "SECURE" {
+				t.Fatalf("secure room %d (%s): verdict %s, want SECURE", o.Room, o.Platform, o.Verdict)
+			}
+			if o.ForgedAccepted != 0 || o.ReplaysAccepted != 0 {
+				t.Fatalf("secure room %d accepted attacker frames: %+v", o.Room, o)
+			}
+			if o.ForgedDenied == 0 {
+				t.Fatalf("secure room %d: no forged frames recorded as denied", o.Room)
+			}
+			if o.ReplaysDenied == 0 {
+				t.Fatalf("secure room %d: no replays recorded as denied (capture path broken?)", o.Room)
+			}
+			if o.FramesRejected == 0 {
+				t.Fatalf("secure room %d: proxy rejected nothing", o.Room)
+			}
+		} else {
+			if o.Verdict != "COMPROMISED" {
+				t.Fatalf("legacy room %d (%s): verdict %s, want COMPROMISED", o.Room, o.Platform, o.Verdict)
+			}
+			if o.ForgedAccepted == 0 {
+				t.Fatalf("legacy room %d never acked a forged write", o.Room)
+			}
+			if o.Violations == 0 {
+				t.Fatalf("legacy room %d compromised without safety violations", o.Room)
+			}
+			if !o.BMSFlagged {
+				t.Fatalf("legacy room %d overheated but the head-end never flagged it", o.Room)
+			}
+		}
+	}
+	if !rep.Alarm {
+		t.Fatal("building alarm not raised while legacy rooms overheated")
+	}
+}

@@ -1,6 +1,7 @@
 package bacnet
 
 import (
+	"encoding/json"
 	"errors"
 	"testing"
 	"testing/quick"
@@ -277,5 +278,107 @@ func TestSecureFrameTooShort(t *testing.T) {
 	proxy := NewProxy([]byte("k"), NewServer(7, &memStore{}))
 	if _, err := proxy.HandleFrame([]byte{1, 2, 3}); !errors.Is(err, ErrShortSecure) {
 		t.Fatalf("err = %v, want ErrShortSecure", err)
+	}
+}
+
+func TestProxyRestartReplayWindow(t *testing.T) {
+	key := []byte("bsl3-device-key-0001")
+	store := &memStore{}
+	server := NewServer(7, store)
+	proxy := NewProxy(key, server)
+	client := NewSecureClient(key, 1)
+
+	frame := client.Seal(PDU{Type: WriteProperty, Device: 7, Object: ObjSetpoint, Value: 25})
+	if _, err := proxy.HandleFrame(frame); err != nil {
+		t.Fatalf("original: %v", err)
+	}
+	store.setpoint = 22 // operator restores it
+
+	// The regression this guards against: a proxy restarted with a fresh
+	// in-memory nonce table accepts any captured pre-restart frame again.
+	fresh := NewProxy(key, server)
+	if _, err := fresh.HandleFrame(frame); err != nil {
+		t.Fatalf("fresh-table proxy rejected the replay; the reopened window this test documents is gone: %v", err)
+	}
+	store.setpoint = 22
+
+	// A proxy resumed from the previous incarnation's state keeps the floor.
+	resumed := NewProxyResuming(key, server, proxy.State())
+	if _, err := resumed.HandleFrame(frame); !errors.Is(err, ErrReplay) {
+		t.Fatalf("resumed proxy replay err = %v, want ErrReplay", err)
+	}
+	if store.setpoint != 22 {
+		t.Fatal("pre-restart replay reached the legacy device")
+	}
+	if resumed.State() != proxy.State() {
+		t.Fatal("resumed proxy does not share the live state pointer")
+	}
+
+	// Fresh traffic still flows, and advances the shared floor.
+	next := client.Seal(PDU{Type: ReadProperty, Device: 7, Object: ObjTemperature})
+	if _, err := resumed.HandleFrame(next); err != nil {
+		t.Fatalf("post-restart frame: %v", err)
+	}
+	if got := proxy.State().LastNonce[1]; got != 2 {
+		t.Fatalf("shared nonce floor = %d, want 2", got)
+	}
+}
+
+func TestProxyStateSurvivesJSONPersistence(t *testing.T) {
+	key := []byte("k")
+	store := &memStore{}
+	server := NewServer(7, store)
+	proxy := NewProxy(key, server)
+	client := NewSecureClient(key, 44)
+	frame := client.Seal(PDU{Type: WriteProperty, Device: 7, Object: ObjSetpoint, Value: 25})
+	if _, err := proxy.HandleFrame(frame); err != nil {
+		t.Fatal(err)
+	}
+
+	// Persist the floor the way a real bump-in-the-wire box would (flash,
+	// config partition), then seed a brand-new proxy from the decoded copy.
+	blob, err := json.Marshal(proxy.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := NewProxyState()
+	if err := json.Unmarshal(blob, restored); err != nil {
+		t.Fatal(err)
+	}
+	rebooted := NewProxyResuming(key, server, restored)
+	if _, err := rebooted.HandleFrame(frame); !errors.Is(err, ErrReplay) {
+		t.Fatalf("replay after persisted restart err = %v, want ErrReplay", err)
+	}
+}
+
+func TestPDUQuickRoundTripThroughFraming(t *testing.T) {
+	// Property: any well-formed PDU survives encode → frame → deframe →
+	// decode, even when the byte stream arrives one byte at a time — the
+	// path every bus frame takes through a gateway connection.
+	f := func(typ uint8, invoke uint8, device uint32, object uint16, value float64, code uint8) bool {
+		p := PDU{
+			Type:     PDUType(typ%4 + 1),
+			InvokeID: invoke,
+			Device:   device,
+			Object:   ObjectID(object),
+			Value:    value,
+			Code:     code,
+		}
+		var d Deframer
+		for _, b := range Frame(p.Encode()) {
+			d.Feed([]byte{b})
+		}
+		raw := d.Next()
+		if raw == nil {
+			return false
+		}
+		got, err := DecodePDU(raw)
+		if err != nil {
+			return false
+		}
+		return got == p && d.Next() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
 	}
 }

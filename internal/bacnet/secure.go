@@ -61,30 +61,67 @@ func openFrame(key []byte, frame []byte) (clientID uint32, nonce uint64, pdu []b
 	return clientID, nonce, pdu, nil
 }
 
+// ProxyState is the proxy's durable anti-replay state: the per-client nonce
+// floor. A real bump-in-the-wire proxy must persist this across restarts —
+// a proxy that boots with an empty table accepts any captured pre-restart
+// frame again, reopening exactly the replay window it exists to close.
+type ProxyState struct {
+	// LastNonce is the highest nonce accepted per client id.
+	LastNonce map[uint32]uint64 `json:"last_nonce"`
+}
+
+// NewProxyState returns an empty nonce-floor table.
+func NewProxyState() *ProxyState {
+	return &ProxyState{LastNonce: make(map[uint32]uint64)}
+}
+
 // Proxy authenticates secure frames and forwards the inner legacy PDUs to
 // the wrapped server.
 type Proxy struct {
 	key    []byte
 	server *Server
-	// lastNonce tracks per-client freshness.
-	lastNonce map[uint32]uint64
+	// state holds per-client freshness floors; shared with the deployment
+	// when the proxy was built with NewProxyResuming.
+	state *ProxyState
 
 	// Audit counters.
 	accepted int64
 	rejected int64
 }
 
-// NewProxy wraps a legacy server with the shared device key.
+// NewProxy wraps a legacy server with the shared device key and a fresh
+// (empty) anti-replay state. Use NewProxyResuming when a restarted proxy
+// must honor the nonce floor of its previous incarnation.
 func NewProxy(key []byte, server *Server) *Proxy {
+	return NewProxyResuming(key, server, nil)
+}
+
+// NewProxyResuming wraps a legacy server, seeding the anti-replay nonce
+// floor from state — the handoff a restarted proxy performs so frames
+// captured before the restart stay stale after it. The proxy mutates state
+// in place, so the caller's pointer always holds the current floor (ready to
+// hand to the next incarnation). A nil state is equivalent to NewProxy.
+func NewProxyResuming(key []byte, server *Server, state *ProxyState) *Proxy {
 	if len(key) == 0 {
 		panic("bacnet: proxy needs a key")
 	}
+	if state == nil {
+		state = NewProxyState()
+	}
+	if state.LastNonce == nil {
+		state.LastNonce = make(map[uint32]uint64)
+	}
 	return &Proxy{
-		key:       append([]byte(nil), key...),
-		server:    server,
-		lastNonce: make(map[uint32]uint64),
+		key:    append([]byte(nil), key...),
+		server: server,
+		state:  state,
 	}
 }
+
+// State returns the proxy's live anti-replay state. The returned pointer
+// tracks every accepted frame, so persisting it at any instant (or passing
+// it straight to NewProxyResuming) carries the current nonce floor over.
+func (p *Proxy) State() *ProxyState { return p.state }
 
 // Accepted reports how many frames passed authentication and freshness.
 func (p *Proxy) Accepted() int64 { return p.accepted }
@@ -102,11 +139,11 @@ func (p *Proxy) HandleFrame(frame []byte) ([]byte, error) {
 		p.rejected++
 		return nil, err
 	}
-	if last, seen := p.lastNonce[clientID]; seen && nonce <= last {
+	if last, seen := p.state.LastNonce[clientID]; seen && nonce <= last {
 		p.rejected++
 		return nil, fmt.Errorf("%w: nonce %d <= %d", ErrReplay, nonce, last)
 	}
-	p.lastNonce[clientID] = nonce
+	p.state.LastNonce[clientID] = nonce
 	p.accepted++
 	resp := p.server.HandleFrame(pdu)
 	return sealFrame(p.key, clientID, nonce, resp), nil

@@ -5,8 +5,11 @@ import (
 	"time"
 
 	"mkbas/internal/bacnet"
+	"mkbas/internal/camkes"
 	"mkbas/internal/core"
+	"mkbas/internal/linuxsim"
 	"mkbas/internal/minix"
+	"mkbas/internal/obs"
 	"mkbas/internal/vnet"
 )
 
@@ -16,9 +19,10 @@ const BACnetPort vnet.Port = 47808
 // NameBACnetGateway is the gateway process image name.
 const NameBACnetGateway = "bacnetGateway"
 
-// BACnetOptions enables the field-bus gateway on a MINIX deployment: the
-// Fig. 1 integration story, where the controller also speaks the building's
-// legacy protocol.
+// BACnetOptions enables the field-bus gateway on a deployment: the Fig. 1
+// integration story, where the controller also speaks the building's legacy
+// protocol. Every platform backend consults it, so a building can mix
+// platforms room by room behind one protocol.
 type BACnetOptions struct {
 	// Enabled adds the gateway process.
 	Enabled bool
@@ -33,43 +37,40 @@ type BACnetOptions struct {
 // DeployMinixWithBACnet is DeployMinix plus the BACnet gateway. The gateway
 // runs as its own process under ACIDBACnetGateway: the kernel's ACM gives it
 // exactly the web interface's authority, so field-bus requests — forged or
-// not — can never reach the actuator drivers.
+// not — can never reach the actuator drivers. Kept as a thin wrapper over
+// the Deploy registry now that every backend understands BACnetOptions.
 func DeployMinixWithBACnet(tb *Testbed, cfg ScenarioConfig, opts MinixOptions, bopts BACnetOptions) (*MinixDeployment, error) {
 	if opts.Policy == nil {
 		opts.Policy = core.ScenarioPolicyWithGateway()
 	}
-	dep, err := DeployMinix(tb, cfg, opts)
+	platform := PlatformMinix
+	if opts.DisableACM {
+		platform = PlatformMinixVanilla
+	}
+	dep, err := Deploy(platform, tb, cfg, DeployOptions{
+		SkipPolicyCheck: opts.SkipPolicyCheck,
+		Policy:          opts.Policy,
+		WebRoot:         opts.WebRoot,
+		MinixWeb:        opts.WebBody,
+		BACnet:          bopts,
+	})
 	if err != nil {
 		return nil, err
 	}
-	if !bopts.Enabled {
-		return dep, nil
-	}
-	deviceID := bopts.DeviceID
-	if deviceID == 0 {
-		deviceID = 1
-	}
-	dep.Kernel.RegisterImage(minix.Image{
-		Name: NameBACnetGateway, Priority: 7, Net: true,
-		Body: bacnetGatewayBody(deviceID, bopts.Key),
-	})
-	if _, err := dep.Kernel.SpawnImage(NameBACnetGateway, core.ACIDBACnetGateway); err != nil {
-		return nil, fmt.Errorf("bas: spawning bacnet gateway: %w", err)
-	}
-	return dep, nil
+	return dep.(*MinixDeployment), nil
 }
 
-// controlStore adapts the controller RPC protocol to a BACnet property
+// gatewayStore adapts any platform's ControlClient to a BACnet property
 // store. Temperature, heater, and alarm are read-only points; the setpoint
 // is writable (and the controller still clamps it).
-type controlStore struct {
-	client *minixControlClient
+type gatewayStore struct {
+	ctrl ControlClient
 }
 
-var _ bacnet.PropertyStore = (*controlStore)(nil)
+var _ bacnet.PropertyStore = (*gatewayStore)(nil)
 
-func (s *controlStore) ReadProperty(obj bacnet.ObjectID) (float64, uint8) {
-	st, err := s.client.Status()
+func (s *gatewayStore) ReadProperty(obj bacnet.ObjectID) (float64, uint8) {
+	st, err := s.ctrl.Status()
 	if err != nil {
 		return 0, bacnet.CodeBadRequest
 	}
@@ -87,16 +88,16 @@ func (s *controlStore) ReadProperty(obj bacnet.ObjectID) (float64, uint8) {
 	}
 }
 
-func (s *controlStore) WriteProperty(obj bacnet.ObjectID, value float64) uint8 {
+func (s *gatewayStore) WriteProperty(obj bacnet.ObjectID, value float64) uint8 {
 	switch obj {
 	case bacnet.ObjSetpoint:
-		if err := s.client.SetSetpoint(value); err != nil {
+		if err := s.ctrl.SetSetpoint(value); err != nil {
 			return bacnet.CodeWriteDenied
 		}
 		return 0
 	case bacnet.ObjTemperature, bacnet.ObjHeater, bacnet.ObjAlarm:
 		// The gateway's IPC authority has no path to the drivers; the
-		// points are structurally read-only on this platform.
+		// points are structurally read-only on every platform.
 		return bacnet.CodeWriteDenied
 	default:
 		return bacnet.CodeUnknownObject
@@ -110,38 +111,62 @@ func boolPoint(b bool) float64 {
 	return 0
 }
 
-// bacnetGatewayBody serves the (optionally proxied) protocol on BACnetPort.
-func bacnetGatewayBody(deviceID uint32, key []byte) func(api *minix.API) {
-	return func(api *minix.API) {
-		ctrl, ok := minixLookupWait(api, NameTempControl)
-		if !ok {
-			return
-		}
-		store := &controlStore{client: &minixControlClient{api: api, ctrl: ctrl}}
-		server := bacnet.NewServer(deviceID, store)
-		var proxy *bacnet.Proxy
-		if len(key) > 0 {
-			proxy = bacnet.NewProxy(key, server)
-		}
-		l, err := api.NetListen(BACnetPort)
+// bacnetGateway is the platform-neutral half of the gateway process: frame
+// handling, the optional secure proxy, and the observability wiring. The
+// per-platform bodies supply only the ControlClient and the NetListener.
+type bacnetGateway struct {
+	server   *bacnet.Server
+	proxy    *bacnet.Proxy
+	events   *obs.EventLog
+	accepted *obs.Counter
+	rejected *obs.Counter
+}
+
+// newBACnetGateway assembles the neutral gateway. state seeds the proxy's
+// anti-replay nonce floor: the deployment owns one ProxyState per board, so
+// a gateway reincarnated by the platform's recovery machinery still rejects
+// frames captured before its restart (the satellite fix for the replay
+// window a fresh in-memory table would reopen).
+func newBACnetGateway(bopts BACnetOptions, ctrl ControlClient, state *bacnet.ProxyState, board *obs.Board) *bacnetGateway {
+	deviceID := bopts.DeviceID
+	if deviceID == 0 {
+		deviceID = 1
+	}
+	server := bacnet.NewServer(deviceID, &gatewayStore{ctrl: ctrl})
+	gw := &bacnetGateway{
+		server:   server,
+		events:   board.Events(),
+		accepted: board.Metrics().Counter("bacnet_frames_accepted_total"),
+		rejected: board.Metrics().Counter("bacnet_frames_rejected_total"),
+	}
+	if len(bopts.Key) > 0 {
+		gw.proxy = bacnet.NewProxyResuming(bopts.Key, server, state)
+	}
+	return gw
+}
+
+// serveBACnet is the gateway main loop, shared by all platforms: accept a
+// connection, answer the frames on it until EOF, close, accept the next.
+// The transport is connection-per-exchange — clients (the building head-end,
+// the host harness) dial, exchange, and close, mirroring BACnet/IP's
+// datagram nature — so a serial accept loop never starves a peer behind a
+// long-lived connection.
+func serveBACnet(l NetListener, gw *bacnetGateway) {
+	for {
+		conn, err := l.Accept()
 		if err != nil {
-			api.Trace("bacnet", fmt.Sprintf("listen failed: %v", err))
 			return
 		}
-		for {
-			conn, err := api.NetAccept(l)
-			if err != nil {
-				return
-			}
-			serveBACnetConn(api, conn, server, proxy)
-		}
+		gw.serveConn(conn)
 	}
 }
 
-// serveBACnetConn handles one connection until EOF. Legacy mode answers
-// every frame; proxy mode silently drops unauthenticated or stale frames.
-func serveBACnetConn(api *minix.API, conn int32, server *bacnet.Server, proxy *bacnet.Proxy) {
-	defer api.NetClose(conn)
+// serveConn handles one connection until EOF. Legacy mode answers every
+// frame; proxy mode silently drops unauthenticated or stale frames — and
+// records each drop as a security event, so the mediation layer that stopped
+// a bus attack shows up in reports exactly like an ACM or capability denial.
+func (gw *bacnetGateway) serveConn(conn NetConn) {
+	defer conn.Close()
 	var d bacnet.Deframer
 	for {
 		for {
@@ -150,21 +175,30 @@ func serveBACnetConn(api *minix.API, conn int32, server *bacnet.Server, proxy *b
 				break
 			}
 			var resp []byte
-			if proxy != nil {
-				secured, err := proxy.HandleFrame(frame)
+			if gw.proxy != nil {
+				secured, err := gw.proxy.HandleFrame(frame)
 				if err != nil {
-					api.Trace("bacnet", "dropped frame: "+err.Error())
+					gw.rejected.Inc()
+					gw.events.Emit(obs.SecurityEvent{
+						Kind:      obs.EventFrameRejected,
+						Mechanism: obs.MechSecureProxy,
+						Denied:    true,
+						Src:       "bas-bus",
+						Dst:       NameBACnetGateway,
+						Detail:    err.Error(),
+					})
 					continue
 				}
 				resp = secured
 			} else {
-				resp = server.HandleFrame(frame)
+				resp = gw.server.HandleFrame(frame)
 			}
-			if err := api.NetWrite(conn, bacnet.Frame(resp)); err != nil {
+			gw.accepted.Inc()
+			if err := conn.Write(bacnet.Frame(resp)); err != nil {
 				return
 			}
 		}
-		data, err := api.NetRead(conn, 0)
+		data, err := conn.Read(0)
 		if err != nil {
 			return
 		}
@@ -172,16 +206,100 @@ func serveBACnetConn(api *minix.API, conn int32, server *bacnet.Server, proxy *b
 	}
 }
 
+// minixBACnetGatewayBody serves the (optionally proxied) protocol on
+// BACnetPort as a MINIX process.
+func minixBACnetGatewayBody(bopts BACnetOptions, state *bacnet.ProxyState, board *obs.Board) func(api *minix.API) {
+	return func(api *minix.API) {
+		ctrl, ok := minixLookupWait(api, NameTempControl)
+		if !ok {
+			return
+		}
+		gw := newBACnetGateway(bopts, &minixControlClient{api: api, ctrl: ctrl}, state, board)
+		l, err := api.NetListen(BACnetPort)
+		if err != nil {
+			api.Trace("bacnet", fmt.Sprintf("listen failed: %v", err))
+			return
+		}
+		serveBACnet(minixListener{api: api, l: l}, gw)
+	}
+}
+
+// sel4BACnetGatewayRun is the gateway's control thread on seL4: the CAmkES
+// component holds exactly one connection, to the controller's management
+// interface, so the capability system bounds what any bus frame can reach.
+func sel4BACnetGatewayRun(bopts BACnetOptions, state *bacnet.ProxyState, board *obs.Board) func(rt *camkes.Runtime) {
+	return func(rt *camkes.Runtime) {
+		gw := newBACnetGateway(bopts, &sel4ControlClient{rt: rt}, state, board)
+		l, err := rt.NetListen(BACnetPort)
+		if err != nil {
+			rt.Trace("bacnet", fmt.Sprintf("listen failed: %v", err))
+			return
+		}
+		serveBACnet(sel4Listener{rt: rt, l: l}, gw)
+	}
+}
+
+// addSel4BACnetGateway appends the gateway component to the scenario
+// assembly. Like the web interface it uses only the controller's mgmt
+// interface; the controller distinguishes the two clients by badge.
+func addSel4BACnetGateway(assembly *camkes.Assembly, bopts BACnetOptions, state *bacnet.ProxyState, board *obs.Board) {
+	assembly.Components = append(assembly.Components, &camkes.Component{
+		Name:     NameBACnetGateway,
+		Priority: 7,
+		Uses:     []string{IfaceMgmt},
+		NetPorts: []vnet.Port{BACnetPort},
+		Run:      sel4BACnetGatewayRun(bopts, state, board),
+	})
+	assembly.Connections = append(assembly.Connections, camkes.Connection{
+		FromComp: NameBACnetGateway, FromIface: IfaceMgmt,
+		ToComp: NameTempControl, ToIface: IfaceMgmt,
+	})
+}
+
+// linuxBACnetGatewayBody serves the protocol as a Linux process speaking to
+// the controller over the web request/response queue pair — the only IPC the
+// DAC modes grant a non-control-group account. The gateway and the web
+// interface share those queues; in building deployments the web interface is
+// idle, so responses never interleave.
+func linuxBACnetGatewayBody(bopts BACnetOptions, state *bacnet.ProxyState, board *obs.Board) func(api *linuxsim.API) {
+	return func(api *linuxsim.API) {
+		reqFD, err := linuxOpenRetry(api, QWebReq, linuxsim.MQOpenFlags{Write: true})
+		if err != nil {
+			api.Trace("bacnet", fmt.Sprintf("gateway: %v", err))
+			return
+		}
+		respFD, err := linuxOpenRetry(api, QWebResp, linuxsim.MQOpenFlags{Read: true})
+		if err != nil {
+			api.Trace("bacnet", fmt.Sprintf("gateway: %v", err))
+			return
+		}
+		ctrl := &linuxControlClient{api: api, reqFD: reqFD, respFD: respFD}
+		gw := newBACnetGateway(bopts, ctrl, state, board)
+		l, err := api.NetListen(BACnetPort)
+		if err != nil {
+			api.Trace("bacnet", fmt.Sprintf("gateway: listen failed: %v", err))
+			return
+		}
+		serveBACnet(linuxListener{api: api, l: l}, gw)
+	}
+}
+
 // BACnetExchange sends one raw (legacy) frame from the host side and runs
 // the board until the response arrives; nil response means the gateway
 // dropped the frame (proxy mode) or never answered.
 func (tb *Testbed) BACnetExchange(raw []byte) []byte {
+	return tb.BACnetExchangeFrame(bacnet.Frame(raw))
+}
+
+// BACnetExchangeFrame is BACnetExchange for a pre-framed (length-prefixed)
+// byte string — the shape a bus attacker replays verbatim from a capture.
+func (tb *Testbed) BACnetExchangeFrame(framed []byte) []byte {
 	conn, err := tb.Net.Dial(BACnetPort)
 	if err != nil {
 		return nil
 	}
 	defer conn.Close()
-	if err := conn.Write(bacnet.Frame(raw)); err != nil {
+	if err := conn.Write(framed); err != nil {
 		return nil
 	}
 	var d bacnet.Deframer

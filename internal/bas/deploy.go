@@ -132,6 +132,9 @@ type DeployOptions struct {
 	// supervisor, which is exactly the gap the chaos experiment (E10)
 	// measures.
 	Recovery bool
+	// BACnet adds the field-bus gateway process so the board can serve a
+	// building's supervisory network. All platforms honour it.
+	BACnet BACnetOptions
 }
 
 // deployer is one registry entry: boot cfg on tb under opts.

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"mkbas/internal/bacnet"
 	"mkbas/internal/linuxsim"
 	"mkbas/internal/plant"
 	"mkbas/internal/polcheck"
@@ -42,6 +43,11 @@ const (
 	hardWebUID      = 105
 	hardCtrlGID     = 50 // control-plane group
 	hardWebGID      = 60
+
+	// The gateway account sits outside the control group, like the web
+	// interface: the 0o602/0o604 web-queue modes already admit "other"
+	// writers/readers, so no DAC table change is needed to host it.
+	hardGatewayUID = 106
 )
 
 // LinuxOptions configures DeployLinux.
@@ -265,6 +271,24 @@ func deployLinux(platform Platform, tb *Testbed, cfg ScenarioConfig, opts Deploy
 		})
 		if _, err := k.SpawnImage(NameScenario); err != nil {
 			return nil, fmt.Errorf("bas: spawning loader: %w", err)
+		}
+	}
+	if opts.BACnet.Enabled {
+		gwUID, gwGID := baseUID, baseGID
+		if hardened {
+			gwUID, gwGID = hardGatewayUID, hardWebGID
+		}
+		// The deployment owns the proxy's anti-replay state so a respawned
+		// gateway resumes its nonce floor. Spawned directly (not through the
+		// loader) on both DAC configurations: unique accounts cannot be
+		// reached through fork anyway.
+		state := bacnet.NewProxyState()
+		k.RegisterImage(linuxsim.Image{
+			Name: NameBACnetGateway, Priority: 7, UID: gwUID, GID: gwGID,
+			Body: linuxBACnetGatewayBody(opts.BACnet, state, tb.Machine.Obs()),
+		})
+		if _, err := k.SpawnImage(NameBACnetGateway); err != nil {
+			return nil, fmt.Errorf("bas: spawning bacnet gateway: %w", err)
 		}
 	}
 	return &LinuxDeployment{

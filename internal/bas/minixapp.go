@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"mkbas/internal/bacnet"
 	"mkbas/internal/core"
 	"mkbas/internal/minix"
 	"mkbas/internal/plant"
@@ -92,6 +93,11 @@ func deployMinix(platform Platform, tb *Testbed, cfg ScenarioConfig, opts Deploy
 	policy := opts.Policy
 	if policy == nil {
 		policy = core.ScenarioPolicy()
+		if opts.BACnet.Enabled {
+			// The gateway needs its own ACM row; select the policy before the
+			// gate below so the certified matrix is the deployed matrix.
+			policy = core.ScenarioPolicyWithGateway()
+		}
 	}
 	// Pre-deploy gate: prove the matrix satisfies the scenario's security
 	// contract before any process runs. The vanilla ablation skips it —
@@ -147,6 +153,19 @@ func deployMinix(platform Platform, tb *Testbed, cfg ScenarioConfig, opts Deploy
 	})
 	if _, err := k.SpawnImage(NameScenario, core.ACIDScenario); err != nil {
 		return nil, fmt.Errorf("bas: spawning loader: %w", err)
+	}
+	if opts.BACnet.Enabled {
+		// The deployment owns the proxy's anti-replay state; the body closure
+		// rebuilds the proxy from it on every (re)spawn, so a gateway
+		// reincarnated by RS keeps its nonce floor.
+		state := bacnet.NewProxyState()
+		k.RegisterImage(minix.Image{
+			Name: NameBACnetGateway, Priority: 7, Net: true, Restart: true,
+			Body: minixBACnetGatewayBody(opts.BACnet, state, tb.Machine.Obs()),
+		})
+		if _, err := k.SpawnImage(NameBACnetGateway, core.ACIDBACnetGateway); err != nil {
+			return nil, fmt.Errorf("bas: spawning bacnet gateway: %w", err)
+		}
 	}
 	return &MinixDeployment{
 		deploymentBase: deploymentBase{platform: platform, tb: tb},

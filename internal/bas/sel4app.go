@@ -6,6 +6,7 @@ import (
 	"math"
 	"time"
 
+	"mkbas/internal/bacnet"
 	"mkbas/internal/camkes"
 	"mkbas/internal/plant"
 	"mkbas/internal/polcheck"
@@ -220,6 +221,13 @@ func DeploySel4(tb *Testbed, cfg ScenarioConfig, opts Sel4Options) (*Sel4Deploym
 // deploySel4 is the seL4 backend of the Deploy registry.
 func deploySel4(tb *Testbed, cfg ScenarioConfig, opts DeployOptions) (*Sel4Deployment, error) {
 	assembly := ScenarioAssembly(cfg, opts.Sel4Web)
+	if opts.BACnet.Enabled {
+		// Appended here rather than inside ScenarioAssembly so the exported
+		// assembly the AADL compiler tests compare against stays the five-
+		// component Fig. 2 scenario. The deployment owns the proxy's
+		// anti-replay state; a monitor-respawned gateway resumes from it.
+		addSel4BACnetGateway(assembly, opts.BACnet, bacnet.NewProxyState(), tb.Machine.Obs())
+	}
 	// Pre-deploy gate: analyze the capability distribution the builder is
 	// about to install. Attacker Sel4Web bodies run with the same caps — the
 	// paper's threat model — so the gate holds for attack deployments too.

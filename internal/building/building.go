@@ -1,0 +1,260 @@
+// Package building is the multi-room fleet simulation: N controller boards
+// (any mix of platforms, one per room) joined by an inter-board BAS bus
+// (vnet.Bus), supervised by a head-end BMS that speaks BACnet to every room.
+// One virtual clock spans the whole building: boards advance in lockstep
+// rounds, stepping in parallel worker goroutines between bus-delivery
+// barriers, so a 64-room run is byte-deterministic at any worker count.
+package building
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"mkbas/internal/bas"
+	"mkbas/internal/faultinject"
+	"mkbas/internal/machine"
+	"mkbas/internal/vnet"
+)
+
+// Config describes a building.
+type Config struct {
+	// Rooms is the number of rooms (one board each); must be positive.
+	Rooms int
+	// Mix assigns platforms round-robin: room i runs Mix[i%len(Mix)].
+	// Empty means every room runs PlatformMinix.
+	Mix []bas.Platform
+	// Secure marks which rooms sit behind the secure proxy (indexed by
+	// room); nil means every room speaks the legacy protocol.
+	Secure []bool
+	// Scenario is the per-room scenario base; the zero value means
+	// bas.DefaultScenario(). Room i runs with Seed = Scenario.Seed + i, so
+	// rooms have independent sensor noise but the building stays
+	// reproducible.
+	Scenario bas.ScenarioConfig
+	// Recovery enables the optional per-platform recovery machinery in every
+	// room (see bas.DeployOptions.Recovery).
+	Recovery bool
+	// Slice is the lockstep round length; default 1s.
+	Slice time.Duration
+	// Workers bounds how many boards step concurrently within a round;
+	// <= 0 means 1. The report is byte-identical at any value — workers only
+	// trade wall-clock time.
+	Workers int
+	// HeadEnd parameterises the supervisory BMS.
+	HeadEnd HeadEndConfig
+	// Faults arms a builtin fault-injection plan (by name) on selected rooms.
+	Faults map[int]string
+}
+
+// RoomKey derives room i's secure-proxy device key. Deterministic on
+// purpose: building experiments must replay bit-for-bit.
+func RoomKey(i int) []byte {
+	return []byte(fmt.Sprintf("bldg-key-%04d", i))
+}
+
+// Room is one deployed room: a full testbed and platform deployment attached
+// to the bus.
+type Room struct {
+	Index    int
+	Platform bas.Platform
+	Secure   bool
+	Key      []byte // nil for legacy rooms
+	DeviceID uint32
+	Node     vnet.NodeID
+
+	Testbed  *bas.Testbed
+	Dep      bas.Deployment
+	Injector *faultinject.Injector
+	Plan     string
+}
+
+// Building is the assembled fleet.
+type Building struct {
+	cfg   Config
+	slice time.Duration
+
+	Bus   *vnet.Bus
+	Rooms []*Room
+	Head  *HeadEnd
+
+	headNode vnet.NodeID
+	round    int
+	elapsed  time.Duration
+	workers  int
+
+	target machine.Time
+	jobs   chan int
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// New deploys the building: every room boots its platform with the BACnet
+// gateway enabled, joins the bus, and the head-end attaches last (so room i
+// is always bus node i — the invariant attack code leans on).
+func New(cfg Config) (*Building, error) {
+	if cfg.Rooms <= 0 {
+		return nil, fmt.Errorf("building: need at least one room, got %d", cfg.Rooms)
+	}
+	scenario := cfg.Scenario
+	if scenario.SamplePeriod == 0 {
+		seed := scenario.Seed
+		scenario = bas.DefaultScenario()
+		if seed != 0 {
+			scenario.Seed = seed
+		}
+	}
+	slice := cfg.Slice
+	if slice <= 0 {
+		slice = time.Second
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > cfg.Rooms {
+		workers = cfg.Rooms
+	}
+
+	b := &Building{
+		cfg:     cfg,
+		slice:   slice,
+		Bus:     vnet.NewBus(),
+		workers: workers,
+		jobs:    make(chan int),
+	}
+	for i := 0; i < cfg.Rooms; i++ {
+		room, err := b.deployRoom(i, scenario)
+		if err != nil {
+			b.Close()
+			return nil, err
+		}
+		b.Rooms = append(b.Rooms, room)
+	}
+	b.headNode = b.Bus.AddNode("bms", nil)
+	b.Head = newHeadEnd(b.Bus, b.headNode, b.Rooms, scenario.Controller.Setpoint, slice, cfg.HeadEnd)
+
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := range b.jobs {
+				b.Rooms[i].Dep.Machine().RunUntil(b.target)
+				b.wg.Done()
+			}
+		}()
+	}
+	return b, nil
+}
+
+func (b *Building) deployRoom(i int, scenario bas.ScenarioConfig) (*Room, error) {
+	sc := scenario
+	sc.Seed = scenario.Seed + int64(i)
+	platform := bas.PlatformMinix
+	if len(b.cfg.Mix) > 0 {
+		platform = b.cfg.Mix[i%len(b.cfg.Mix)]
+	}
+	secure := i < len(b.cfg.Secure) && b.cfg.Secure[i]
+	var key []byte
+	if secure {
+		key = RoomKey(i)
+	}
+	tb := bas.NewTestbed(sc)
+	dep, err := bas.Deploy(platform, tb, sc, bas.DeployOptions{
+		Recovery: b.cfg.Recovery,
+		BACnet:   bas.BACnetOptions{Enabled: true, Key: key, DeviceID: uint32(i + 1)},
+	})
+	if err != nil {
+		tb.Machine.Shutdown()
+		return nil, fmt.Errorf("building: room %d (%s): %w", i, platform, err)
+	}
+	room := &Room{
+		Index:    i,
+		Platform: platform,
+		Secure:   secure,
+		Key:      key,
+		DeviceID: uint32(i + 1),
+		Testbed:  tb,
+		Dep:      dep,
+	}
+	room.Node = b.Bus.AddNode(fmt.Sprintf("room%02d", i), tb.Net)
+	if room.Node != vnet.NodeID(i) {
+		panic("building: room/node numbering out of sync")
+	}
+	if name, ok := b.cfg.Faults[i]; ok && name != "" {
+		plan, err := faultinject.Lookup(name)
+		if err != nil {
+			tb.Machine.Shutdown()
+			return nil, fmt.Errorf("building: room %d fault plan: %w", i, err)
+		}
+		inj, err := dep.ArmFaults(plan)
+		if err != nil {
+			tb.Machine.Shutdown()
+			return nil, fmt.Errorf("building: room %d arming faults: %w", i, err)
+		}
+		room.Injector = inj
+		room.Plan = name
+	}
+	return room, nil
+}
+
+// Step advances the whole building by one lockstep round:
+//
+//  1. every board runs to the round deadline, in parallel across the worker
+//     pool (each board's engine is touched by exactly one goroutine, and the
+//     WaitGroup barrier orders each round's work against the coordinator);
+//  2. the first bus barrier delivers everything the boards queued — room
+//     gateway responses, and any on-board attacker's frames;
+//  3. the head-end harvests responses, advances its schedule, and queues the
+//     next requests;
+//  4. the second barrier delivers the head-end's frames, so boards see them
+//     when the next round starts.
+//
+// Nothing in the sequence depends on goroutine scheduling, which is why the
+// building's report is byte-identical at any worker count.
+func (b *Building) Step() {
+	b.round++
+	b.elapsed += b.slice
+	b.target = machine.Time(0).Add(b.elapsed)
+	b.wg.Add(len(b.Rooms))
+	for i := range b.Rooms {
+		b.jobs <- i
+	}
+	b.wg.Wait()
+	b.Bus.Flush()
+	b.Head.OnRound(b.round, b.elapsed)
+	b.Bus.Flush()
+}
+
+// Run advances the building by d (rounded up to whole rounds).
+func (b *Building) Run(d time.Duration) {
+	rounds := int((d + b.slice - 1) / b.slice)
+	for i := 0; i < rounds; i++ {
+		b.Step()
+	}
+}
+
+// Round reports the number of completed rounds.
+func (b *Building) Round() int { return b.round }
+
+// Elapsed reports the building's virtual time.
+func (b *Building) Elapsed() time.Duration { return b.elapsed }
+
+// Slice reports the round length.
+func (b *Building) Slice() time.Duration { return b.slice }
+
+// HeadNode is the bus node the BMS dials from (the attack layer filters bus
+// taps by it).
+func (b *Building) HeadNode() vnet.NodeID { return b.headNode }
+
+// Close stops the worker pool and tears down every board.
+func (b *Building) Close() {
+	if b.closed {
+		return
+	}
+	b.closed = true
+	close(b.jobs)
+	for _, room := range b.Rooms {
+		if room != nil {
+			room.Testbed.Machine.Shutdown()
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package building
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"mkbas/internal/bas"
+)
+
+func paperMix() []bas.Platform {
+	return []bas.Platform{bas.PlatformLinux, bas.PlatformMinix, bas.PlatformSel4}
+}
+
+// evenSecure marks even-numbered rooms secure.
+func evenSecure(rooms int) []bool {
+	out := make([]bool, rooms)
+	for i := range out {
+		out[i] = i%2 == 0
+	}
+	return out
+}
+
+func TestBuildingPollsSchedulesAndStaysInBand(t *testing.T) {
+	b, err := New(Config{
+		Rooms:  4,
+		Mix:    paperMix(),
+		Secure: evenSecure(4),
+		HeadEnd: HeadEndConfig{
+			Schedule: []SetpointEvent{{At: 20 * time.Minute, Value: 21}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	b.Run(40 * time.Minute)
+
+	rep := b.Report()
+	if rep.Alarm {
+		t.Fatalf("healthy building raised the alarm: flagged %v", rep.Flagged)
+	}
+	if rep.Setpoint != 21 {
+		t.Fatalf("scheduled setpoint = %v, want 21", rep.Setpoint)
+	}
+	if rep.WritesSent != 4 {
+		t.Fatalf("writes sent = %d, want 4 (one per room)", rep.WritesSent)
+	}
+	if rep.PollsAnswered == 0 || rep.PollsMissed != 0 {
+		t.Fatalf("polls answered/missed = %d/%d", rep.PollsAnswered, rep.PollsMissed)
+	}
+	for _, rr := range rep.RoomReports {
+		if !rr.BMS.HaveTemp {
+			t.Fatalf("room %d: BMS never saw a temperature", rr.Room)
+		}
+		if rr.BMS.Writes != 1 {
+			t.Fatalf("room %d: %d acked writes, want 1", rr.Room, rr.BMS.Writes)
+		}
+		// Demand-response reached the physical room on every platform.
+		if rr.RoomTemp < 20 || rr.RoomTemp > 22 {
+			t.Fatalf("room %d (%s): temp %.2f, want ~21 after schedule", rr.Room, rr.Platform, rr.RoomTemp)
+		}
+		if !rr.ControllerAlive {
+			t.Fatalf("room %d: controller dead", rr.Room)
+		}
+		if rr.FramesRejected != 0 {
+			t.Fatalf("room %d: %d frames rejected with no attacker", rr.Room, rr.FramesRejected)
+		}
+	}
+}
+
+func TestBuildingByteDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) []byte {
+		b, err := New(Config{
+			Rooms:   16,
+			Mix:     paperMix(),
+			Secure:  evenSecure(16),
+			Workers: workers,
+			HeadEnd: HeadEndConfig{
+				Schedule: []SetpointEvent{{At: 10 * time.Minute, Value: 23}},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer b.Close()
+		b.Run(20 * time.Minute)
+		out, err := b.Report().JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	serial := run(1)
+	parallel := run(8)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("16-room building diverged between 1 and 8 workers:\n1: %d bytes\n8: %d bytes", len(serial), len(parallel))
+	}
+}
+
+func TestBuildingSensorCrashFlagsExactlyThatRoom(t *testing.T) {
+	// The E11 fault scenario: one room's sensor driver crashes on a platform
+	// with no recovery; the controller's failsafe engages (heater off, local
+	// alarm on) while its reported temperature freezes at the last good
+	// sample — so the supervisor can only learn the truth from the room's
+	// alarm point, and must flag that room and only that room.
+	b, err := New(Config{
+		Rooms:  4,
+		Mix:    []bas.Platform{bas.PlatformLinux},
+		Faults: map[int]string{2: "crash-sensor"}, // fires at 40m
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	b.Run(55 * time.Minute)
+
+	rep := b.Report()
+	if !rep.Alarm {
+		t.Fatal("building alarm not raised")
+	}
+	if len(rep.Flagged) != 1 || rep.Flagged[0] != 2 {
+		t.Fatalf("flagged rooms = %v, want [2]", rep.Flagged)
+	}
+	faulted := rep.RoomReports[2]
+	if faulted.Faults == nil || faulted.Faults.Injected != 1 {
+		t.Fatalf("fault report = %+v", faulted.Faults)
+	}
+	if !faulted.BMS.AlarmOn {
+		t.Fatalf("room 2 BMS state = %+v, want relayed alarm", faulted.BMS)
+	}
+	// The frozen sensor keeps reporting an in-band temperature: the alarm
+	// relay, not the temperature band, is what catches this failure.
+	if faulted.BMS.OutOfBand {
+		t.Fatalf("room 2 BMS state = %+v: frozen sensor should read in-band", faulted.BMS)
+	}
+}

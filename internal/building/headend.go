@@ -1,0 +1,344 @@
+package building
+
+import (
+	"time"
+
+	"mkbas/internal/bacnet"
+	"mkbas/internal/bas"
+	"mkbas/internal/vnet"
+)
+
+// The supervisory head-end: the building management system (BMS) every real
+// BAS has at the top of its field bus. It is deliberately not a simulated
+// process on some board — a head-end is foreign equipment from the rooms'
+// point of view, so it lives on a stackless bus node and speaks to every
+// room only through BACnet frames: legacy frames to unprotected rooms,
+// secure-proxy frames to rooms behind a bump-in-the-wire. From here it polls
+// temperatures, pushes building-wide setpoint schedules (demand-response),
+// and raises the building alarm when any room looks wrong.
+
+// SetpointEvent is one demand-response entry in the building schedule:
+// at building time At, command every room to Value.
+type SetpointEvent struct {
+	At    time.Duration `json:"at"`
+	Value float64       `json:"value"`
+}
+
+// HeadEndConfig parameterises the BMS.
+type HeadEndConfig struct {
+	// PollPeriod is the per-room temperature polling interval; default 30s.
+	PollPeriod time.Duration
+	// Band is the tolerated |room temperature − scheduled setpoint| before a
+	// room is flagged out-of-band; default 2 °C (the scenario alarm band).
+	Band float64
+	// StaleLimit is how many consecutive unanswered polls mark a room stale;
+	// default 3.
+	StaleLimit int
+	// TimeoutRounds is how many bus rounds the head-end waits for a response
+	// before counting a poll as missed; default 5.
+	TimeoutRounds int
+	// Warmup suppresses out-of-band flagging while rooms heat from their
+	// initial temperature toward the setpoint; default 15m. Staleness is
+	// never suppressed.
+	Warmup time.Duration
+	// Schedule is the building-wide demand-response program, in building
+	// time, applied in order.
+	Schedule []SetpointEvent
+}
+
+func (c HeadEndConfig) withDefaults() HeadEndConfig {
+	if c.PollPeriod <= 0 {
+		c.PollPeriod = 30 * time.Second
+	}
+	if c.Band <= 0 {
+		c.Band = 2.0
+	}
+	if c.StaleLimit <= 0 {
+		c.StaleLimit = 3
+	}
+	if c.TimeoutRounds <= 0 {
+		c.TimeoutRounds = 5
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = 15 * time.Minute
+	}
+	return c
+}
+
+// headClientBase offsets BMS client ids so they cannot collide with room-
+// local secure clients in tests.
+const headClientBase uint32 = 0xB0000000
+
+// headRoom is the head-end's view of one room.
+type headRoom struct {
+	index    int
+	node     vnet.NodeID
+	deviceID uint32
+	secure   *bacnet.SecureClient // nil for legacy rooms
+
+	// One outstanding request at a time, connection-per-exchange.
+	conn      *vnet.BusConn
+	def       bacnet.Deframer
+	reqKind   bacnet.PDUType
+	reqObj    bacnet.ObjectID
+	invoke    uint8
+	seq       uint8
+	sentRound int
+
+	wantSetpoint  *float64
+	lastPollRound int
+	pollAlarm     bool // alternate temperature / alarm-point reads
+
+	lastTemp    float64
+	haveTemp    bool
+	alarmOn     bool
+	missed      int // consecutive unanswered requests
+	writesAcked int
+}
+
+// HeadEnd is the building management system.
+type HeadEnd struct {
+	bus   *vnet.Bus
+	node  vnet.NodeID
+	cfg   HeadEndConfig
+	slice time.Duration
+
+	setpoint   float64
+	schedIdx   int
+	rooms      []*headRoom
+	pollRounds int
+	now        time.Duration
+
+	pollsSent     int
+	pollsAnswered int
+	pollsMissed   int
+	writesSent    int
+}
+
+// newHeadEnd attaches a BMS for the given rooms. initialSetpoint is the
+// setpoint the rooms booted with (the band reference until the schedule
+// overrides it).
+func newHeadEnd(bus *vnet.Bus, node vnet.NodeID, rooms []*Room, initialSetpoint float64, slice time.Duration, cfg HeadEndConfig) *HeadEnd {
+	cfg = cfg.withDefaults()
+	h := &HeadEnd{
+		bus:      bus,
+		node:     node,
+		cfg:      cfg,
+		slice:    slice,
+		setpoint: initialSetpoint,
+	}
+	h.pollRounds = int(cfg.PollPeriod / slice)
+	if h.pollRounds < 1 {
+		h.pollRounds = 1
+	}
+	for _, room := range rooms {
+		hr := &headRoom{
+			index:    room.Index,
+			node:     room.Node,
+			deviceID: room.DeviceID,
+			// Stagger first polls one round apart so a 64-room building does
+			// not synchronise every poll into the same bus round forever.
+			lastPollRound: -h.pollRounds + room.Index%h.pollRounds,
+		}
+		if room.Secure {
+			hr.secure = bacnet.NewSecureClient(room.Key, headClientBase|uint32(room.Index))
+		}
+		h.rooms = append(h.rooms, hr)
+	}
+	return h
+}
+
+// OnRound runs the BMS once per lockstep round, between the two bus
+// barriers: it harvests responses delivered by the first Flush, advances the
+// demand-response schedule, and queues the next requests for the second.
+// All in fixed room order — the head-end is part of the determinism contract.
+func (h *HeadEnd) OnRound(round int, now time.Duration) {
+	h.now = now
+	for _, r := range h.rooms {
+		h.harvest(r, round)
+	}
+	for h.schedIdx < len(h.cfg.Schedule) && now >= h.cfg.Schedule[h.schedIdx].At {
+		v := h.cfg.Schedule[h.schedIdx].Value
+		h.setpoint = v
+		for _, r := range h.rooms {
+			val := v
+			r.wantSetpoint = &val
+		}
+		h.schedIdx++
+	}
+	for _, r := range h.rooms {
+		h.issue(r, round)
+	}
+}
+
+// harvest drains one room's in-flight exchange.
+func (h *HeadEnd) harvest(r *headRoom, round int) {
+	if r.conn == nil {
+		return
+	}
+	if r.conn.Refused() {
+		h.miss(r)
+		return
+	}
+	r.def.Feed(r.conn.ReadAll())
+	for {
+		raw := r.def.Next()
+		if raw == nil {
+			break
+		}
+		var pdu bacnet.PDU
+		var err error
+		if r.secure != nil {
+			pdu, err = r.secure.Open(raw)
+		} else {
+			pdu, err = bacnet.DecodePDU(raw)
+		}
+		if err != nil || pdu.InvokeID != r.invoke {
+			continue // not our answer (stale, forged, or malformed)
+		}
+		switch r.reqKind {
+		case bacnet.ReadProperty:
+			if pdu.Type == bacnet.Ack {
+				switch r.reqObj {
+				case bacnet.ObjTemperature:
+					r.lastTemp = pdu.Value
+					r.haveTemp = true
+				case bacnet.ObjAlarm:
+					r.alarmOn = pdu.Value != 0
+				}
+			}
+			h.pollsAnswered++
+		case bacnet.WriteProperty:
+			if pdu.Type == bacnet.Ack {
+				r.writesAcked++
+			}
+		}
+		r.missed = 0
+		h.closeExchange(r)
+		return
+	}
+	if round-r.sentRound >= h.cfg.TimeoutRounds {
+		h.miss(r)
+	}
+}
+
+func (h *HeadEnd) miss(r *headRoom) {
+	r.missed++
+	if r.reqKind == bacnet.ReadProperty {
+		h.pollsMissed++
+	}
+	h.closeExchange(r)
+}
+
+func (h *HeadEnd) closeExchange(r *headRoom) {
+	r.conn.Close()
+	r.conn = nil
+	r.def = bacnet.Deframer{}
+}
+
+// issue queues one room's next request: a pending scheduled write wins over
+// a due poll.
+func (h *HeadEnd) issue(r *headRoom, round int) {
+	if r.conn != nil {
+		return
+	}
+	switch {
+	case r.wantSetpoint != nil:
+		h.send(r, round, bacnet.PDU{
+			Type: bacnet.WriteProperty, Device: r.deviceID,
+			Object: bacnet.ObjSetpoint, Value: *r.wantSetpoint,
+		})
+		r.wantSetpoint = nil
+		h.writesSent++
+	case round-r.lastPollRound >= h.pollRounds:
+		// Alternate between the temperature and alarm points: a room whose
+		// sensor path is dead keeps reporting its last believed temperature,
+		// so the controller's own failsafe alarm is the only truthful signal.
+		obj := bacnet.ObjTemperature
+		if r.pollAlarm {
+			obj = bacnet.ObjAlarm
+		}
+		r.pollAlarm = !r.pollAlarm
+		h.send(r, round, bacnet.PDU{
+			Type: bacnet.ReadProperty, Device: r.deviceID,
+			Object: obj,
+		})
+		r.lastPollRound = round
+		h.pollsSent++
+	}
+}
+
+func (h *HeadEnd) send(r *headRoom, round int, pdu bacnet.PDU) {
+	r.seq++
+	pdu.InvokeID = r.seq
+	r.invoke = r.seq
+	r.reqKind = pdu.Type
+	r.reqObj = pdu.Object
+	r.sentRound = round
+	var payload []byte
+	if r.secure != nil {
+		payload = r.secure.Seal(pdu)
+	} else {
+		payload = pdu.Encode()
+	}
+	r.conn = h.bus.Dial(h.node, r.node, bas.BACnetPort)
+	_ = r.conn.Write(bacnet.Frame(payload))
+}
+
+// RoomState is the BMS's judgement of one room.
+type RoomState struct {
+	Room      int     `json:"room"`
+	Secure    bool    `json:"secure"`
+	HaveTemp  bool    `json:"have_temp"`
+	Temp      float64 `json:"temp"`
+	Missed    int     `json:"missed"`
+	Stale     bool    `json:"stale"`
+	OutOfBand bool    `json:"out_of_band"`
+	AlarmOn   bool    `json:"alarm_on"`
+	Flagged   bool    `json:"flagged"`
+	Writes    int     `json:"writes_acked"`
+}
+
+// RoomStates evaluates every room against the current schedule, in room
+// order.
+func (h *HeadEnd) RoomStates() []RoomState {
+	out := make([]RoomState, 0, len(h.rooms))
+	for _, r := range h.rooms {
+		st := RoomState{
+			Room:   r.index,
+			Secure: r.secure != nil,
+			Temp:   r.lastTemp, HaveTemp: r.haveTemp,
+			Missed: r.missed,
+			Writes: r.writesAcked,
+		}
+		st.Stale = r.missed >= h.cfg.StaleLimit
+		if h.now >= h.cfg.Warmup {
+			// Out-of-band and alarm relays are suppressed during warm-up
+			// (every room boots cold and legitimately out of band).
+			if r.haveTemp {
+				dev := r.lastTemp - h.setpoint
+				if dev < 0 {
+					dev = -dev
+				}
+				st.OutOfBand = dev > h.cfg.Band
+			}
+			st.AlarmOn = r.alarmOn
+		}
+		st.Flagged = st.Stale || st.OutOfBand || st.AlarmOn
+		out = append(out, st)
+	}
+	return out
+}
+
+// Setpoint is the currently scheduled building-wide setpoint.
+func (h *HeadEnd) Setpoint() float64 { return h.setpoint }
+
+// Alarm reports the building alarm: any room flagged.
+func (h *HeadEnd) Alarm() bool {
+	for _, st := range h.RoomStates() {
+		if st.Flagged {
+			return true
+		}
+	}
+	return false
+}

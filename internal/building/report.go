@@ -1,0 +1,111 @@
+package building
+
+import (
+	"encoding/json"
+
+	"mkbas/internal/faultinject"
+	"mkbas/internal/obs"
+)
+
+// RoomReport is one room's row in the building report: the BMS's view plus
+// ground truth from the room's own deployment and observability layer.
+type RoomReport struct {
+	Room     int    `json:"room"`
+	Platform string `json:"platform"`
+	Secure   bool   `json:"secure"`
+
+	BMS RoomState `json:"bms"`
+
+	ControllerAlive bool    `json:"controller_alive"`
+	Restarts        int     `json:"restarts"`
+	Recovered       bool    `json:"recovered"`
+	RoomTemp        float64 `json:"room_temp"`
+
+	FramesAccepted int64 `json:"frames_accepted"`
+	FramesRejected int64 `json:"frames_rejected"`
+
+	FaultPlan string             `json:"fault_plan,omitempty"`
+	Faults    *faultinject.Report `json:"faults,omitempty"`
+}
+
+// Report is the whole-building snapshot. Every field is derived from virtual
+// state, so marshalling the same run twice — at any worker count — yields
+// identical bytes.
+type Report struct {
+	Rooms    int     `json:"rooms"`
+	Rounds   int     `json:"rounds"`
+	Setpoint float64 `json:"setpoint"`
+	Alarm    bool    `json:"alarm"`
+	Flagged  []int   `json:"flagged"`
+
+	PollsSent     int `json:"polls_sent"`
+	PollsAnswered int `json:"polls_answered"`
+	PollsMissed   int `json:"polls_missed"`
+	WritesSent    int `json:"writes_sent"`
+
+	RoomReports []RoomReport `json:"room_reports"`
+
+	// Building-wide aggregates merged across every room's board.
+	Counters    []obs.CounterSnap `json:"counters"`
+	EventTotals []obs.EventTotal  `json:"event_totals"`
+	Mechanisms  []obs.Mechanism   `json:"mechanisms"`
+}
+
+// Report snapshots the building.
+func (b *Building) Report() *Report {
+	states := b.Head.RoomStates()
+	rep := &Report{
+		Rooms:         len(b.Rooms),
+		Rounds:        b.round,
+		Setpoint:      b.Head.Setpoint(),
+		Flagged:       []int{},
+		PollsSent:     b.Head.pollsSent,
+		PollsAnswered: b.Head.pollsAnswered,
+		PollsMissed:   b.Head.pollsMissed,
+		WritesSent:    b.Head.writesSent,
+	}
+	var counters [][]obs.CounterSnap
+	var totals [][]obs.EventTotal
+	var mechs [][]obs.Mechanism
+	for i, room := range b.Rooms {
+		board := room.Testbed.Machine.Obs()
+		rr := RoomReport{
+			Room:            room.Index,
+			Platform:        string(room.Platform),
+			Secure:          room.Secure,
+			BMS:             states[i],
+			ControllerAlive: room.Dep.ControllerAlive(),
+			Restarts:        room.Dep.ControllerRestarts(),
+			Recovered:       room.Dep.ControllerRecovered(),
+			RoomTemp:        room.Testbed.Room.Temperature(),
+			FramesAccepted:  board.Metrics().Counter("bacnet_frames_accepted_total").Value(),
+			FramesRejected:  board.Metrics().Counter("bacnet_frames_rejected_total").Value(),
+			FaultPlan:       room.Plan,
+		}
+		if room.Injector != nil {
+			rr.Faults = room.Injector.Report()
+		}
+		if states[i].Flagged {
+			rep.Flagged = append(rep.Flagged, room.Index)
+		}
+		rep.RoomReports = append(rep.RoomReports, rr)
+		obsRep := room.Dep.Report(false)
+		counters = append(counters, obsRep.Counters)
+		totals = append(totals, obsRep.EventTotals)
+		mechs = append(mechs, board.Events().Mechanisms())
+	}
+	rep.Alarm = len(rep.Flagged) > 0
+	rep.Counters = obs.MergeCounters(counters...)
+	rep.EventTotals = obs.MergeEventTotals(totals...)
+	rep.Mechanisms = obs.MergeMechanisms(mechs...)
+	return rep
+}
+
+// JSON renders the report as indented JSON with a trailing newline.
+func (r *Report) JSON() ([]byte, error) {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

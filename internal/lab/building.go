@@ -1,0 +1,438 @@
+package lab
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"mkbas/internal/attack"
+	"mkbas/internal/bas"
+)
+
+// marshalIndent is the package's canonical report rendering: indented JSON
+// with a trailing newline.
+func marshalIndent(v any) ([]byte, error) {
+	out, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// The building campaign axis (experiment E11): instead of one board per
+// shard, each shard is a whole multi-room building — rooms × platform mix ×
+// secure-proxy coverage × attacker on/off. Shards stay fully independent
+// (each building owns its bus, boards, and head-end), so the sharded runner
+// and the merge-by-shard determinism contract carry over unchanged.
+
+// Mix names a building's platform rotation. "paper" rotates the three
+// headline platforms; "all" rotates every registered platform; a single
+// platform name is a homogeneous building; names joined by '+' rotate in the
+// given order (comma is the sweep grammar's value separator).
+type Mix string
+
+// Platforms expands the mix to the rotation building.Config consumes.
+func (m Mix) Platforms() ([]bas.Platform, error) {
+	switch m {
+	case "paper":
+		return attack.AllPlatforms(), nil
+	case "all":
+		return bas.KnownPlatforms(), nil
+	}
+	known := make(map[bas.Platform]bool)
+	for _, p := range bas.KnownPlatforms() {
+		known[p] = true
+	}
+	var out []bas.Platform
+	for _, part := range strings.Split(string(m), "+") {
+		p := bas.Platform(strings.TrimSpace(part))
+		if !known[p] {
+			return nil, fmt.Errorf("lab: unknown platform %q in mix %q", p, m)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// SecurePattern names which rooms sit behind the secure proxy: "none",
+// "all", "even", "odd", or explicit room indices joined by '+' ("0+3+5").
+type SecurePattern string
+
+// Rooms expands the pattern for a building of n rooms.
+func (s SecurePattern) Rooms(n int) ([]bool, error) {
+	out := make([]bool, n)
+	switch s {
+	case "none", "":
+		return nil, nil
+	case "all":
+		for i := range out {
+			out[i] = true
+		}
+	case "even":
+		for i := range out {
+			out[i] = i%2 == 0
+		}
+	case "odd":
+		for i := range out {
+			out[i] = i%2 == 1
+		}
+	default:
+		for _, part := range strings.Split(string(s), "+") {
+			i, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || i < 0 {
+				return nil, fmt.Errorf("lab: secure pattern %q: bad room index %q", s, part)
+			}
+			if i < n {
+				out[i] = true
+			}
+		}
+	}
+	return out, nil
+}
+
+// BuildingSweep is a building-campaign: the cross product of room counts,
+// platform mixes, secure-coverage patterns, and attacker on/off. Settle and
+// Window apply to every case (they size virtual time, not the sweep).
+type BuildingSweep struct {
+	Rooms   []int           `json:"rooms"`
+	Mixes   []Mix           `json:"mixes"`
+	Secures []SecurePattern `json:"secures"`
+	Attacks []bool          `json:"attacks"`
+	Settle  time.Duration   `json:"settle,omitempty"`
+	Window  time.Duration   `json:"window,omitempty"`
+}
+
+func (s BuildingSweep) withDefaults() BuildingSweep {
+	if len(s.Rooms) == 0 {
+		s.Rooms = []int{4}
+	}
+	if len(s.Mixes) == 0 {
+		s.Mixes = []Mix{"paper"}
+	}
+	if len(s.Secures) == 0 {
+		s.Secures = []SecurePattern{"even"}
+	}
+	if len(s.Attacks) == 0 {
+		s.Attacks = []bool{true}
+	}
+	return s
+}
+
+// Validate rejects bad axis values before any building boots.
+func (s BuildingSweep) Validate() error {
+	s = s.withDefaults()
+	for _, n := range s.Rooms {
+		if n <= 0 {
+			return fmt.Errorf("lab: building needs at least one room, got %d", n)
+		}
+	}
+	for _, m := range s.Mixes {
+		if _, err := m.Platforms(); err != nil {
+			return err
+		}
+	}
+	for _, sp := range s.Secures {
+		if _, err := sp.Rooms(1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BuildingCase is one fully specified building run.
+type BuildingCase struct {
+	Shard  int           `json:"shard"`
+	Rooms  int           `json:"rooms"`
+	Mix    Mix           `json:"mix"`
+	Secure SecurePattern `json:"secure"`
+	Attack bool          `json:"attack"`
+}
+
+// String renders the case compactly for logs.
+func (c BuildingCase) String() string {
+	return fmt.Sprintf("%d: rooms=%d mix=%s secure=%s attack=%v", c.Shard, c.Rooms, c.Mix, c.Secure, c.Attack)
+}
+
+// Spec translates the case into an attack.BuildingSpec. Each case runs its
+// rooms serially (Workers 1): the campaign's parallelism is across shards.
+func (c BuildingCase) Spec(settle, window time.Duration) (attack.BuildingSpec, error) {
+	mix, err := c.Mix.Platforms()
+	if err != nil {
+		return attack.BuildingSpec{}, err
+	}
+	secure, err := c.Secure.Rooms(c.Rooms)
+	if err != nil {
+		return attack.BuildingSpec{}, err
+	}
+	return attack.BuildingSpec{
+		Rooms:   c.Rooms,
+		Mix:     mix,
+		Secure:  secure,
+		Attack:  c.Attack,
+		Settle:  settle,
+		Window:  window,
+		Workers: 1,
+	}, nil
+}
+
+// Expand enumerates the cases in deterministic order: rooms, mix, secure,
+// attack — outermost to innermost.
+func (s BuildingSweep) Expand() []BuildingCase {
+	s = s.withDefaults()
+	var cases []BuildingCase
+	for _, rooms := range s.Rooms {
+		for _, mix := range s.Mixes {
+			for _, secure := range s.Secures {
+				for _, att := range s.Attacks {
+					cases = append(cases, BuildingCase{
+						Shard:  len(cases),
+						Rooms:  rooms,
+						Mix:    mix,
+						Secure: secure,
+						Attack: att,
+					})
+				}
+			}
+		}
+	}
+	return cases
+}
+
+// ParseBuildingSweep parses the building sweep grammar, the same
+// semicolon/comma shape as ParseSweep:
+//
+//	rooms=4,16;mix=paper,linux;secure=even,none;attack=both;settle=10m;window=20m
+//
+// attack accepts "on", "off", and "both"; settle and window take Go
+// durations and apply to every case.
+func ParseBuildingSweep(spec string) (BuildingSweep, error) {
+	var s BuildingSweep
+	if strings.TrimSpace(spec) == "" {
+		return s, nil
+	}
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		axis, values, ok := strings.Cut(clause, "=")
+		if !ok {
+			return BuildingSweep{}, fmt.Errorf("lab: building sweep clause %q is not axis=values", clause)
+		}
+		axis = strings.TrimSpace(axis)
+		var vals []string
+		for _, v := range strings.Split(values, ",") {
+			if v = strings.TrimSpace(v); v != "" {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			return BuildingSweep{}, fmt.Errorf("lab: building sweep axis %q has no values", axis)
+		}
+		switch axis {
+		case "rooms":
+			for _, v := range vals {
+				n, err := strconv.Atoi(v)
+				if err != nil {
+					return BuildingSweep{}, fmt.Errorf("lab: rooms %q is not an integer", v)
+				}
+				s.Rooms = append(s.Rooms, n)
+			}
+		case "mix":
+			for _, v := range vals {
+				s.Mixes = append(s.Mixes, Mix(v))
+			}
+		case "secure":
+			for _, v := range vals {
+				s.Secures = append(s.Secures, SecurePattern(v))
+			}
+		case "attack":
+			for _, v := range vals {
+				switch v {
+				case "on":
+					s.Attacks = append(s.Attacks, true)
+				case "off":
+					s.Attacks = append(s.Attacks, false)
+				case "both":
+					s.Attacks = append(s.Attacks, false, true)
+				default:
+					return BuildingSweep{}, fmt.Errorf("lab: attack value %q (want on, off, or both)", v)
+				}
+			}
+		case "settle", "window":
+			if len(vals) != 1 {
+				return BuildingSweep{}, fmt.Errorf("lab: %s takes one duration", axis)
+			}
+			d, err := time.ParseDuration(vals[0])
+			if err != nil {
+				return BuildingSweep{}, fmt.Errorf("lab: %s %q: %w", axis, vals[0], err)
+			}
+			if axis == "settle" {
+				s.Settle = d
+			} else {
+				s.Window = d
+			}
+		default:
+			return BuildingSweep{}, fmt.Errorf("lab: unknown building sweep axis %q (known: attack, mix, rooms, secure, settle, window)", axis)
+		}
+	}
+	s.Rooms = dedupInts(s.Rooms)
+	s.Mixes = dedup(s.Mixes)
+	s.Secures = dedup(s.Secures)
+	s.Attacks = dedup(s.Attacks)
+	if err := s.Validate(); err != nil {
+		return BuildingSweep{}, err
+	}
+	return s, nil
+}
+
+// BuildingShard is one building case's outcome, in shard position.
+type BuildingShard struct {
+	Case BuildingCase `json:"case"`
+	// Alarm/Compromised summarise the rows for quick grepping; Report holds
+	// the full per-room table.
+	Alarm       bool                   `json:"alarm"`
+	Compromised []int                  `json:"compromised"`
+	Report      *attack.BuildingReport `json:"report"`
+}
+
+// BuildingResult is a completed building campaign; like Result, its JSON is
+// a deterministic function of the sweep alone.
+type BuildingResult struct {
+	Sweep BuildingSweep   `json:"sweep"`
+	Cases []BuildingShard `json:"cases"`
+	// Workers and Elapsed describe this execution, not the experiment.
+	Workers int           `json:"-"`
+	Elapsed time.Duration `json:"-"`
+}
+
+// JSON renders the campaign as indented JSON with a trailing newline.
+func (r *BuildingResult) JSON() ([]byte, error) {
+	return marshalIndent(r)
+}
+
+// BuildingOptions configures a building campaign run.
+type BuildingOptions struct {
+	// Workers is the number of buildings in flight at once; zero means 1.
+	// Within each building the rooms run serially.
+	Workers int
+	// Progress, when non-nil, receives one callback per finished case.
+	Progress func(c BuildingCase, r *attack.BuildingReport)
+}
+
+// RunBuilding executes every case of the building sweep across a worker
+// pool, mirroring Run's merge-by-shard determinism.
+func RunBuilding(sweep BuildingSweep, opts BuildingOptions) (*BuildingResult, error) {
+	if err := sweep.Validate(); err != nil {
+		return nil, err
+	}
+	sweep = sweep.withDefaults()
+	cases := sweep.Expand()
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > len(cases) {
+		workers = len(cases)
+	}
+
+	start := time.Now()
+	reports := make([]*attack.BuildingReport, len(cases))
+	errs := make([]error, len(cases))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				c := cases[i]
+				spec, err := c.Spec(sweep.Settle, sweep.Window)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				r, err := attack.ExecuteBuilding(spec)
+				if err != nil {
+					errs[i] = fmt.Errorf("lab: building shard %s: %w", c, err)
+					continue
+				}
+				reports[i] = r
+				if opts.Progress != nil {
+					opts.Progress(c, r)
+				}
+			}
+		}()
+	}
+	for i := range cases {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res := &BuildingResult{
+		Sweep:   sweep,
+		Cases:   make([]BuildingShard, len(cases)),
+		Workers: workers,
+		Elapsed: time.Since(start),
+	}
+	for i, c := range cases {
+		res.Cases[i] = BuildingShard{
+			Case:        c,
+			Alarm:       reports[i].Alarm,
+			Compromised: reports[i].Compromised(),
+			Report:      reports[i],
+		}
+	}
+	return res, nil
+}
+
+// BenchBuilding measures one building's lockstep scaling: the same spec runs
+// once per worker count, and every run's report must be byte-identical to
+// the serial baseline (spec.Workers is excluded from the report JSON). It
+// reuses the campaign bench shapes, with rooms standing in for shards.
+func BenchBuilding(spec attack.BuildingSpec, workerCounts []int, hostCPUs int) (*BenchReport, error) {
+	if len(workerCounts) == 0 {
+		return nil, fmt.Errorf("lab: no worker counts to bench")
+	}
+	rep := &BenchReport{Shards: spec.Rooms, Identical: true, HostCPUs: hostCPUs}
+	var baseline []byte
+	var baseElapsed float64
+	for i, w := range workerCounts {
+		spec.Workers = w
+		start := time.Now()
+		res, err := attack.ExecuteBuilding(spec)
+		if err != nil {
+			return nil, err
+		}
+		wall := time.Since(start)
+		out, err := marshalIndent(res)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			baseline = out
+			baseElapsed = float64(wall.Nanoseconds())
+		} else if !bytes.Equal(out, baseline) {
+			rep.Identical = false
+		}
+		elapsed := float64(wall.Nanoseconds())
+		rep.Points = append(rep.Points, BenchPoint{
+			Workers:      w,
+			ElapsedMS:    elapsed / 1e6,
+			ShardsPerSec: float64(spec.Rooms) / (elapsed / 1e9),
+			Speedup:      baseElapsed / elapsed,
+		})
+	}
+	return rep, nil
+}

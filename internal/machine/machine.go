@@ -86,6 +86,14 @@ func (m *Machine) Run(d time.Duration) RunResult {
 	return m.engine.Run(m.clock.Now().Add(d))
 }
 
+// RunUntil drives the engine to an absolute virtual instant. Lockstep
+// orchestration (internal/building) uses it so every board converges on the
+// same round deadline: Run(slice) would compound each board's deterministic
+// overshoot into drift between boards, RunUntil cannot.
+func (m *Machine) RunUntil(at Time) RunResult {
+	return m.engine.Run(at)
+}
+
 // Shutdown tears down all process goroutines.
 func (m *Machine) Shutdown() { m.engine.Shutdown() }
 

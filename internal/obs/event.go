@@ -26,6 +26,10 @@ const (
 	// MechFaultInject marks events produced by the fault-injection campaign
 	// layer itself, so chaos activity is distinguishable from real denials.
 	MechFaultInject Mechanism = "fault-inject"
+	// MechSecureProxy marks events produced by the BACnet secure proxy
+	// (Fig. 1's bump-in-the-wire): frames dropped for failing the MAC or the
+	// freshness check.
+	MechSecureProxy Mechanism = "secure-proxy"
 )
 
 // EventKind classifies a security event.
@@ -57,6 +61,9 @@ const (
 	// EventFaultInjected is a fault-campaign fault firing at its scheduled
 	// virtual instant.
 	EventFaultInjected EventKind = "fault-injected"
+	// EventFrameRejected is a field-bus frame dropped by the secure proxy:
+	// bad MAC (spoofing) or stale nonce (replay).
+	EventFrameRejected EventKind = "frame-rejected"
 )
 
 // SecurityEvent is one mediation decision in the platform-neutral schema:

@@ -1,0 +1,201 @@
+package vnet
+
+import (
+	"fmt"
+)
+
+// The inter-board BAS bus. A Bus joins the per-board Stacks of a multi-room
+// building into one shared field network, the way a BACnet/IP segment joins
+// every controller in a real building: any node can dial any other node's
+// ports, and — deliberately, like the legacy bus the paper criticises — any
+// node can observe every frame in flight (SetTap).
+//
+// Determinism rule: boards run in parallel between delivery barriers, so the
+// bus splits every exchange into two phases. During a round, each node's own
+// goroutine queues writes and dials on its BusConns (touching only that
+// node's state — nodes never share mutable state mid-round). At the barrier,
+// the single coordinator goroutine calls Flush, which performs all queued
+// dials and deliveries in fixed order: nodes by ascending id, each node's
+// connections in creation order, each connection's chunks in write order.
+// Delivery order is therefore a pure function of the simulation state, never
+// of goroutine scheduling — the property the building's byte-identical
+// 1-vs-N-worker contract rests on.
+//
+// Chunks preserve write boundaries end to end; senders length-prefix frames
+// (bacnet.Frame) so receivers can re-segment the byte stream regardless of
+// how reads coalesce.
+
+// NodeID addresses one node on the bus.
+type NodeID int
+
+// busNode is one attachment point: a board's stack, or a stackless
+// originate-only node (the supervisory head-end dials out but listens on
+// nothing).
+type busNode struct {
+	name  string
+	stack *Stack
+	conns []*BusConn
+}
+
+// Bus is the building's shared field network.
+type Bus struct {
+	nodes []*busNode
+	tap   func(TapFrame)
+}
+
+// TapFrame is one delivered chunk, as seen by a bus tap.
+type TapFrame struct {
+	From, To NodeID
+	Port     Port
+	// Payload is a copy; taps may retain it.
+	Payload []byte
+}
+
+// NewBus returns an empty bus.
+func NewBus() *Bus {
+	return &Bus{}
+}
+
+// AddNode attaches a node. A nil stack attaches an originate-only node
+// (it can dial other nodes but exposes no ports). Call during setup, before
+// any board runs.
+func (b *Bus) AddNode(name string, stack *Stack) NodeID {
+	b.nodes = append(b.nodes, &busNode{name: name, stack: stack})
+	return NodeID(len(b.nodes) - 1)
+}
+
+// NodeName returns the name given at AddNode.
+func (b *Bus) NodeName(id NodeID) string { return b.nodes[id].name }
+
+// Nodes reports the number of attached nodes.
+func (b *Bus) Nodes() int { return len(b.nodes) }
+
+// SetTap installs fn to observe every delivered chunk during Flush — the
+// shared-medium exposure an on-bus attacker exploits to capture frames for
+// replay. Only one tap is supported; nil removes it.
+func (b *Bus) SetTap(fn func(TapFrame)) { b.tap = fn }
+
+// Dial opens a connection from one node toward a port on another. The actual
+// stack dial is deferred to the next Flush (the bus has store-and-forward
+// latency of one round), so Dial itself never fails: refusal surfaces on the
+// connection afterwards. Call only from the owning node's goroutine (its
+// board engine) or, for originate-only nodes, from the coordinator between
+// rounds.
+func (b *Bus) Dial(from, to NodeID, port Port) *BusConn {
+	node := b.nodes[from]
+	c := &BusConn{bus: b, from: from, to: to, port: port}
+	node.conns = append(node.conns, c)
+	return c
+}
+
+// Flush runs one delivery barrier. It must be called from the coordinator
+// while every board engine is parked: it performs the queued dials, pushes
+// queued chunks into target stacks (waking blocked readers), and drains each
+// connection's responses into its inbox, all in fixed order.
+func (b *Bus) Flush() {
+	for _, node := range b.nodes {
+		for _, c := range node.conns {
+			b.flushConn(c)
+		}
+	}
+}
+
+func (b *Bus) flushConn(c *BusConn) {
+	if c.refused || c.done {
+		c.outbox = nil
+		return
+	}
+	if c.host == nil {
+		target := b.nodes[c.to]
+		if target.stack == nil {
+			c.refused = true
+			c.outbox = nil
+			return
+		}
+		host, err := target.stack.Dial(c.port)
+		if err != nil {
+			// ErrNoListener or ErrBacklogFull: the bus reports both as a
+			// refused connection, like a RST.
+			c.refused = true
+			c.outbox = nil
+			return
+		}
+		c.host = host
+	}
+	for _, chunk := range c.outbox {
+		if err := c.host.Write(chunk); err != nil {
+			c.eof = true
+			break
+		}
+		if b.tap != nil {
+			cp := make([]byte, len(chunk))
+			copy(cp, chunk)
+			b.tap(TapFrame{From: c.from, To: c.to, Port: c.port, Payload: cp})
+		}
+	}
+	c.outbox = nil
+	if data := c.host.ReadAll(); len(data) > 0 {
+		c.inbox = append(c.inbox, data...)
+	}
+	if c.host.Closed() {
+		c.eof = true
+	}
+	if c.closeReq {
+		c.host.Close()
+		c.done = true
+	}
+}
+
+// BusConn is one node's handle on a cross-board connection. All methods
+// must be called from the owning node's goroutine (see Bus.Dial); state
+// transitions driven by the far side land at the next Flush.
+type BusConn struct {
+	bus      *Bus
+	from, to NodeID
+	port     Port
+
+	host     *HostConn // nil until the deferred dial succeeds
+	outbox   [][]byte  // chunks queued for the next Flush
+	inbox    []byte    // responses drained by the last Flush
+	refused  bool
+	eof      bool
+	closeReq bool
+	done     bool
+}
+
+// Write queues one chunk for delivery at the next Flush. The bytes are
+// copied, so the caller may reuse p.
+func (c *BusConn) Write(p []byte) error {
+	if c.refused {
+		return fmt.Errorf("%w: bus node %d port %d", ErrNoListener, c.to, c.port)
+	}
+	if c.eof || c.closeReq || c.done {
+		return ErrConnClosed
+	}
+	cp := make([]byte, len(p))
+	copy(cp, p)
+	c.outbox = append(c.outbox, cp)
+	return nil
+}
+
+// ReadAll drains everything the far side has sent up to the last Flush.
+// It never blocks; nil means nothing pending.
+func (c *BusConn) ReadAll() []byte {
+	if len(c.inbox) == 0 {
+		return nil
+	}
+	out := c.inbox
+	c.inbox = nil
+	return out
+}
+
+// Refused reports that the target had no listener (or a full backlog) when
+// the deferred dial ran.
+func (c *BusConn) Refused() bool { return c.refused }
+
+// Closed reports that the far side has closed (EOF); queued responses may
+// still be pending in the inbox.
+func (c *BusConn) Closed() bool { return c.eof || c.done }
+
+// Close requests teardown; the far side observes EOF at the next Flush.
+func (c *BusConn) Close() { c.closeReq = true }

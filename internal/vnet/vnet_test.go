@@ -195,3 +195,27 @@ func TestCloseListenerRefusesBacklog(t *testing.T) {
 		t.Fatalf("re-listen: %v", err)
 	}
 }
+
+func TestBacklogDrainsAfterAccept(t *testing.T) {
+	// The bus retries refused dials on fresh connections, so a listener that
+	// was briefly saturated must become dialable again once the board accepts.
+	s := NewStack()
+	l, err := s.Listen(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < backlogMax; i++ {
+		if _, err := s.Dial(80); err != nil {
+			t.Fatalf("dial %d: %v", i, err)
+		}
+	}
+	if _, err := s.Dial(80); !errors.Is(err, ErrBacklogFull) {
+		t.Fatalf("saturated dial err = %v, want ErrBacklogFull", err)
+	}
+	if _, err := s.Accept(l); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Dial(80); err != nil {
+		t.Fatalf("dial after drain: %v", err)
+	}
+}

@@ -24,8 +24,11 @@ go run ./cmd/baslab -sweep "$smoke" -workers 1 -json -q >"$out1"
 go run ./cmd/baslab -sweep "$smoke" -workers 8 -json -q >"$out2"
 cmp "$out1" "$out2"
 # Scaling bench: record shards/sec at 1/2/4/8 workers; exits nonzero if any
-# width's merged JSON deviates from the serial baseline.
-go run ./cmd/baslab -sweep "$smoke" -bench 1,2,4,8 -bench-out BENCH_lab.json
+# width's merged JSON deviates from the serial baseline. The bench sweep is
+# deliberately much wider than the deepest worker pool (50 shards vs 8
+# workers) so the curve measures steady-state scheduling, not pool drain.
+bench='platforms=all;actions=all;models=both'
+go run ./cmd/baslab -sweep "$bench" -bench 1,2,4,8 -bench-out BENCH_lab.json
 # E10 chaos smoke: one fault plan through each platform's recovery path
 # (MINIX RS, the seL4 monitor, the hardened-Linux supervisor).
 go run ./cmd/basmon -platform minix -faults crash-sensor -duration 1h >/dev/null
@@ -39,3 +42,17 @@ go run ./cmd/baslab -sweep "$chaos" -faults crash-sensor,hang-sensor -workers 8 
 cmp "$out1" "$out2"
 # Chaos scaling bench: the same determinism bit across worker widths.
 go run ./cmd/baslab -sweep "$chaos" -faults crash-sensor -bench 1,2,4,8 -bench-out BENCH_faults.json
+# Building determinism golden (DESIGN.md §11): a 16-room mixed building under
+# the lateral-movement attack, with one room's sensor crashed, must produce
+# byte-identical reports whether boards step serially or 8 at a time.
+bldg='-rooms 16 -mix paper -secure even -settle 10m -window 20m -faults 2=crash-sensor'
+go run ./cmd/basbuilding $bldg -workers 1 -json >"$out1"
+go run ./cmd/basbuilding $bldg -workers 8 -json >"$out2"
+cmp "$out1" "$out2"
+# E11 smoke: the per-room verdict table (legacy rooms COMPROMISED, secure
+# rooms SECURE) and the no-attack baseline both run clean.
+go run ./cmd/basbuilding -rooms 6 -settle 12m -window 20m >/dev/null
+go run ./cmd/basbuilding -sweep 'rooms=4;mix=paper;secure=even,none;attack=both;settle=10m;window=10m' -json -q >/dev/null
+# Building lockstep scaling bench: 64 boards in lockstep rounds; exits
+# nonzero if any worker width's report deviates from the serial baseline.
+go run ./cmd/basbuilding -rooms 64 -settle 10m -window 20m -bench 1,2,4,8 -bench-out BENCH_building.json
