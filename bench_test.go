@@ -18,6 +18,8 @@ import (
 	"mkbas/internal/machine"
 	"mkbas/internal/minix"
 	"mkbas/internal/plant"
+	"mkbas/internal/polcheck"
+	"mkbas/internal/polcheck/monitor"
 	"mkbas/internal/sel4"
 	"mkbas/internal/vnet"
 
@@ -280,6 +282,10 @@ func linuxRoundTrips(b *testing.B) (*machine.Machine, *int64) {
 
 func benchRoundTrips(b *testing.B, build func(b *testing.B) (*machine.Machine, *int64)) {
 	b.Helper()
+	// allocs/op is part of the E4 contract: the monitored variants must
+	// report the same figure as the bare ones (the monitor's in-graph path
+	// allocates nothing).
+	b.ReportAllocs()
 	m, rounds := build(b)
 	defer m.Shutdown()
 	// Warm up: let the pair complete its first round.
@@ -311,6 +317,61 @@ func BenchmarkE4_IPCRoundTrip_Sel4Call(b *testing.B) {
 
 func BenchmarkE4_IPCRoundTrip_LinuxMQ(b *testing.B) {
 	benchRoundTrips(b, linuxRoundTrips)
+}
+
+// Monitored E4 variants: the same round-trip pairs with the online policy
+// monitor attached over each pair's certified graph, exactly as a monitored
+// deployment attaches it — every kernel-recorded delivery checked against
+// the graph on the hot path. Comparing the _Monitored ns/op and allocs/op
+// figures against the bare benchmarks above is the E12 overhead gate: the
+// in-graph check must stay allocation-free and within a few percent.
+
+// monitoredRoundTrips wraps an E4 builder with a monitor over graph g and
+// fails the benchmark if any of the measured traffic drifted (a drifting
+// bench would be timing the event-emission slow path, not the hot path).
+func monitoredRoundTrips(build func(*testing.B) (*machine.Machine, *int64), g *polcheck.Graph) func(*testing.B) (*machine.Machine, *int64) {
+	return func(b *testing.B) (*machine.Machine, *int64) {
+		m, rounds := build(b)
+		mon := monitor.New(g, monitor.Options{Events: m.Obs().Events()})
+		m.IPC().SetObserver(mon.Observe)
+		b.Cleanup(func() {
+			st := mon.Stats()
+			if st.Observed == 0 {
+				b.Fatal("monitor observed no deliveries")
+			}
+			if st.PolicyDrifts != 0 || st.OriginDrifts != 0 {
+				b.Fatalf("bench traffic drifted off its own graph: %+v", st)
+			}
+		})
+		return m, rounds
+	}
+}
+
+func BenchmarkE4_IPCRoundTrip_MinixSendRec_Monitored(b *testing.B) {
+	// The echo pair's ACM leaves both ACIDs unnamed, so the kernel records
+	// them under the matrix's fallback labels.
+	g := polcheck.NewGraph("bench-minix")
+	g.AddFlow(polcheck.Subject("acid-1"), polcheck.Subject("acid-2"), []string{"mt0", "mt1"}, "bench")
+	g.AddFlow(polcheck.Subject("acid-2"), polcheck.Subject("acid-1"), []string{"mt0"}, "bench")
+	benchRoundTrips(b, monitoredRoundTrips(minixRoundTrips, g))
+}
+
+func BenchmarkE4_IPCRoundTrip_Sel4Call_Monitored(b *testing.B) {
+	g := polcheck.NewGraph("bench-sel4")
+	g.AddFlow(polcheck.Subject("client"), polcheck.Channel("rpc"), []string{"send"}, "bench")
+	g.AddFlow(polcheck.Channel("rpc"), polcheck.Subject("server"), []string{"recv"}, "bench")
+	g.AddFlow(polcheck.Subject("server"), polcheck.Channel("rpc"), []string{"send"}, "bench")
+	g.AddFlow(polcheck.Channel("rpc"), polcheck.Subject("client"), []string{"recv"}, "bench")
+	benchRoundTrips(b, monitoredRoundTrips(sel4RoundTrips, g))
+}
+
+func BenchmarkE4_IPCRoundTrip_LinuxMQ_Monitored(b *testing.B) {
+	g := polcheck.NewGraph("bench-linux")
+	g.AddFlow(polcheck.Subject("client"), polcheck.Channel("/req"), []string{"send"}, "bench")
+	g.AddFlow(polcheck.Channel("/req"), polcheck.Subject("server"), []string{"recv"}, "bench")
+	g.AddFlow(polcheck.Subject("server"), polcheck.Channel("/resp"), []string{"send"}, "bench")
+	g.AddFlow(polcheck.Channel("/resp"), polcheck.Subject("client"), []string{"recv"}, "bench")
+	benchRoundTrips(b, monitoredRoundTrips(linuxRoundTrips, g))
 }
 
 // The sharper version of the paper's overhead claim: an OS *service* (here,

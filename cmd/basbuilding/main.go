@@ -45,9 +45,11 @@ func run() error {
 	window := flag.Duration("window", 90*time.Minute, "virtual attack window after settle")
 	faultsFlag := flag.String("faults", "", `comma list of room=plan fault assignments, e.g. "2=crash-sensor"`)
 	recovery := flag.Bool("recovery", false, "enable each platform's optional recovery machinery")
+	monitorOn := flag.Bool("monitor", false, "attach the online policy monitor to every board and the bus (observe-only)")
+	demote := flag.Bool("demote", false, "monitor with enforcement: refuse uncertified bus dials and demote offending rooms (implies -monitor)")
 	seed := flag.Int64("seed", 0, "base scenario seed (room i runs seed+i)")
 	jsonOut := flag.Bool("json", false, "emit the building report as JSON instead of the verdict table")
-	sweepFlag := flag.String("sweep", "", `building campaign instead of a single run: axis=values clauses over rooms, mix, secure, attack (plus settle=, window=)`)
+	sweepFlag := flag.String("sweep", "", `building campaign instead of a single run: axis=values clauses over rooms, mix, secure, attack, monitor (plus settle=, window=)`)
 	benchFlag := flag.String("bench", "", `comma list of worker counts to benchmark on one building, e.g. "1,2,4,8"`)
 	benchOut := flag.String("bench-out", "", "write the bench report JSON to this file (default stdout)")
 	quiet := flag.Bool("q", false, "suppress per-case progress lines on stderr (sweep mode)")
@@ -65,6 +67,8 @@ func run() error {
 		Window:   *window,
 		Recovery: *recovery,
 		Seed:     *seed,
+		Monitor:  *monitorOn,
+		Demote:   *demote,
 	}
 	mixPlatforms, err := lab.Mix(*mix).Platforms()
 	if err != nil {
@@ -161,7 +165,7 @@ func runBench(spec attack.BuildingSpec, counts, outPath string) error {
 		}
 		workerCounts = append(workerCounts, n)
 	}
-	rep, err := lab.BenchBuilding(spec, workerCounts, runtime.GOMAXPROCS(0))
+	rep, err := lab.BenchBuilding(spec, workerCounts, runtime.NumCPU())
 	if err != nil {
 		return err
 	}

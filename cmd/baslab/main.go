@@ -38,7 +38,7 @@ func main() {
 const defaultSweep = "platforms=paper;actions=all;models=both"
 
 func run() error {
-	sweepFlag := flag.String("sweep", defaultSweep, `sweep spec: semicolon-separated axis=values clauses over platforms, actions, models, plants, quotas, faults`)
+	sweepFlag := flag.String("sweep", defaultSweep, `sweep spec: semicolon-separated axis=values clauses over platforms, actions, models, plants, quotas, faults, monitor`)
 	faultsFlag := flag.String("faults", "", `comma list of fault plans for the chaos axis: builtin names (see faultinject.Names) or paths to plan JSON files`)
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "boards in flight at once (1 = serial reference)")
 	jsonOut := flag.Bool("json", false, "emit the merged campaign report as JSON instead of text")
@@ -125,7 +125,7 @@ func runBench(sweep lab.Sweep, counts, outPath string) error {
 		}
 		workerCounts = append(workerCounts, n)
 	}
-	rep, err := lab.Bench(sweep, workerCounts, runtime.GOMAXPROCS(0))
+	rep, err := lab.Bench(sweep, workerCounts, runtime.NumCPU())
 	if err != nil {
 		return err
 	}

@@ -45,16 +45,18 @@ func run() error {
 	root := flag.Bool("root", false, "attack with the root attacker model")
 	faults := flag.String("faults", "", "arm a builtin fault-injection plan (E10 chaos), e.g. crash-sensor")
 	recovery := flag.Bool("recovery", false, "enable the optional recovery machinery (seL4 monitor, hardened-Linux supervisor)")
+	monitorOn := flag.Bool("monitor", false, "attach the online policy monitor (E12): every IPC delivery is checked against the certified static access graph")
+	demote := flag.Bool("demote", false, "with -attack: demote the compromised web subject to the untrusted origin at attack start (implies -monitor)")
 	flag.Parse()
 
 	if *action != "" {
-		return runAttack(*platform, attack.Action(*action), *root, *jsonOut, *faults, *recovery)
+		return runAttack(*platform, attack.Action(*action), *root, *jsonOut, *faults, *recovery, *monitorOn, *demote)
 	}
 
 	cfg := bas.DefaultScenario()
 	tb := bas.NewTestbed(cfg)
 	defer tb.Machine.Shutdown()
-	dep, err := deploy(tb, cfg, *platform, *recovery)
+	dep, err := deploy(tb, cfg, *platform, *recovery, *monitorOn || *demote)
 	if err != nil {
 		return err
 	}
@@ -104,6 +106,11 @@ func run() error {
 		return err
 	}
 	fmt.Print(report.Text())
+	if pm := dep.PolicyMonitor(); pm != nil {
+		stats := pm.Stats()
+		fmt.Printf("policy monitor: %d deliveries observed, %d policy drifts, %d origin drifts, %d demotions\n",
+			stats.Observed, stats.PolicyDrifts, stats.OriginDrifts, stats.Demotions)
+	}
 	if inj != nil {
 		printFaultReport(inj.Report(), dep)
 	}
@@ -132,12 +139,12 @@ func printFaultReport(rep *faultinject.Report, dep bas.Deployment) {
 
 // runAttack replays one E1 attack and reports which mediation layer, if
 // any, stopped it — the security-event stream is the evidence.
-func runAttack(platform string, action attack.Action, root, jsonOut bool, faults string, recovery bool) error {
+func runAttack(platform string, action attack.Action, root, jsonOut bool, faults string, recovery, monitorOn, demote bool) error {
 	p, err := basPlatform(platform)
 	if err != nil {
 		return err
 	}
-	spec := attack.Spec{Platform: p, Action: action, Root: root, FaultPlan: faults, Recovery: recovery}
+	spec := attack.Spec{Platform: p, Action: action, Root: root, FaultPlan: faults, Recovery: recovery, Monitor: monitorOn, Demote: demote}
 	report, err := attack.Execute(spec)
 	if err != nil {
 		return err
@@ -151,6 +158,10 @@ func runAttack(platform string, action attack.Action, root, jsonOut bool, faults
 		return nil
 	}
 	fmt.Print(attack.Summarize(report))
+	if ms := report.MonitorStats; ms != nil {
+		fmt.Printf("policy monitor: %d deliveries observed, %d policy drifts, %d origin drifts, %d demotions\n",
+			ms.Observed, ms.PolicyDrifts, ms.OriginDrifts, ms.Demotions)
+	}
 	if len(report.SecurityEvents) == 0 {
 		fmt.Println("security events: none recorded")
 		return nil
@@ -181,10 +192,10 @@ func basPlatform(p string) (bas.Platform, error) {
 	}
 }
 
-func deploy(tb *bas.Testbed, cfg bas.ScenarioConfig, platform string, recovery bool) (bas.Deployment, error) {
+func deploy(tb *bas.Testbed, cfg bas.ScenarioConfig, platform string, recovery, monitor bool) (bas.Deployment, error) {
 	p, err := basPlatform(platform)
 	if err != nil {
 		return nil, err
 	}
-	return bas.Deploy(p, tb, cfg, bas.DeployOptions{Recovery: recovery})
+	return bas.Deploy(p, tb, cfg, bas.DeployOptions{Recovery: recovery, Monitor: monitor})
 }

@@ -17,6 +17,9 @@
 //	polcheck -audit                           additionally run the MINIX
 //	                                          deployment and diff static grants
 //	                                          against observed IPC usage
+//	polcheck -audit -strict -allow FILE       enforce the audit: exit nonzero
+//	                                          on unused grants outside FILE,
+//	                                          or stale FILE entries
 package main
 
 import (
@@ -24,6 +27,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 	"time"
 
 	"mkbas/internal/aadl"
@@ -58,6 +63,8 @@ func run() error {
 	lint := flag.Bool("lint", false, "include structural lint findings in each report")
 	audit := flag.Bool("audit", false, "run the MINIX deployment and report granted-but-unused rights")
 	runFor := flag.Duration("run", 2*time.Minute, "virtual time to run the deployment for -audit")
+	strict := flag.Bool("strict", false, "with -audit: exit nonzero on unused grants outside the -allow allowlist")
+	allowPath := flag.String("allow", "", "allowlist for -audit -strict: one accepted unused_grant(...) check per line, # comments")
 	flag.Parse()
 
 	props := bas.ScenarioProperties()
@@ -121,7 +128,7 @@ func run() error {
 	}
 
 	if *audit {
-		if err := runAudit(*runFor, *jsonOut); err != nil {
+		if err := runAudit(*runFor, *jsonOut, *strict, *allowPath); err != nil {
 			return err
 		}
 	}
@@ -194,7 +201,13 @@ func aadlGraph(path, system string) (*polcheck.Graph, error) {
 // and diffs the matrix against the IPC usage the board recorded. The run is
 // sliced: the live log is folded into an aggregate and reset between
 // slices, so usage gathered across several runs audits as one corpus.
-func runAudit(runFor time.Duration, jsonOut bool) error {
+//
+// In strict mode the audit is a lint gate, not an advisory report: every
+// unused grant must be covered by the allowlist (each line an accepted
+// unused_grant(...) check), and allowlist entries the audit no longer
+// produces are themselves errors — the allowlist must shrink with the
+// policy, or it rots into a bypass.
+func runAudit(runFor time.Duration, jsonOut, strict bool, allowPath string) error {
 	cfg := bas.DefaultScenario()
 	tb := bas.NewTestbed(cfg)
 	policy := core.ScenarioPolicy()
@@ -215,12 +228,72 @@ func runAudit(runFor time.Duration, jsonOut bool) error {
 			return err
 		}
 		fmt.Println(string(out))
+	} else {
+		fmt.Printf("least-privilege audit: minix scenario, %s of virtual time over %d slices, %d unused grant(s)\n",
+			runFor, slices, len(findings))
+		for _, f := range findings {
+			fmt.Println(f.String())
+		}
+	}
+	if !strict {
 		return nil
 	}
-	fmt.Printf("least-privilege audit: minix scenario, %s of virtual time over %d slices, %d unused grant(s)\n",
-		runFor, slices, len(findings))
+	allowed, err := loadAllowlist(allowPath)
+	if err != nil {
+		return err
+	}
+	var unexpected []string
+	seen := make(map[string]bool, len(findings))
 	for _, f := range findings {
-		fmt.Println(f.String())
+		seen[f.Check] = true
+		if !allowed[f.Check] {
+			unexpected = append(unexpected, f.Check)
+		}
+	}
+	var stale []string
+	for check := range allowed {
+		if !seen[check] {
+			stale = append(stale, check)
+		}
+	}
+	sort.Strings(stale)
+	for _, check := range unexpected {
+		fmt.Fprintf(os.Stderr, "polcheck: unallowed unused grant: %s\n", check)
+	}
+	for _, check := range stale {
+		fmt.Fprintf(os.Stderr, "polcheck: stale allowlist entry (grant now used or removed): %s\n", check)
+	}
+	if len(unexpected) > 0 || len(stale) > 0 {
+		return fmt.Errorf("least-privilege lint failed: %d unallowed grant(s), %d stale allowlist entr(ies)",
+			len(unexpected), len(stale))
+	}
+	if !jsonOut {
+		fmt.Printf("least-privilege lint: all %d unused grant(s) covered by allowlist\n", len(findings))
 	}
 	return nil
+}
+
+// loadAllowlist reads an audit allowlist: one accepted check string per
+// line, blank lines and #-comments ignored. An empty path means an empty
+// allowlist (every finding fails strict mode).
+func loadAllowlist(path string) (map[string]bool, error) {
+	out := make(map[string]bool)
+	if path == "" {
+		return out, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.HasPrefix(line, "unused_grant(") || !strings.HasSuffix(line, ")") {
+			return nil, fmt.Errorf("%s:%d: allowlist entry %q is not an unused_grant(...) check", path, i+1, line)
+		}
+		out[line] = true
+	}
+	return out, nil
 }

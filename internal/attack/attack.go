@@ -27,6 +27,7 @@ import (
 	"mkbas/internal/faultinject"
 	"mkbas/internal/machine"
 	"mkbas/internal/obs"
+	"mkbas/internal/polcheck/monitor"
 	"mkbas/internal/safety"
 )
 
@@ -98,6 +99,15 @@ type Spec struct {
 	// Recovery enables the optional recovery machinery (seL4 monitor,
 	// hardened-Linux supervisor); see bas.DeployOptions.Recovery.
 	Recovery bool
+	// Monitor attaches the online policy monitor at deploy time; every IPC
+	// delivery is verified against the certified access graph and drift is
+	// recorded in the report. See bas.DeployOptions.Monitor.
+	Monitor bool
+	// Demote implies Monitor and adds the OAMAC origin response: the moment
+	// the attack window opens, the compromised web subject is demoted to the
+	// untrusted origin, so even its certified traffic is flagged as
+	// origin-drift from then on.
+	Demote bool
 }
 
 // progress is the attacker's self-reported tally, shared between the
@@ -158,6 +168,11 @@ type Report struct {
 	// ViolationsDuringFault counts safety violations that fell inside a
 	// fault's effect window (injection to recovery).
 	ViolationsDuringFault int `json:"ViolationsDuringFault,omitempty"`
+	// MonitorStats is the online policy monitor's lifetime tally (observed
+	// deliveries, policy drift, origin drift, demotions); nil when the
+	// monitor was off. All-zero drift on an attacked board means the
+	// platform denied the malicious traffic before it was ever delivered.
+	MonitorStats *monitor.Stats `json:"MonitorStats,omitempty"`
 }
 
 // BlockedBy names the mediation layer(s) that denied attack operations,
@@ -191,6 +206,11 @@ const (
 	settleTime = 30 * time.Minute
 	attackTime = 3 * time.Hour
 )
+
+// RunDuration is the total virtual time one attack run drives its board
+// (settle phase plus attack window). Bench writers use it to convert
+// shards/sec into a per-board virtual-step rate.
+func RunDuration() time.Duration { return settleTime + attackTime }
 
 // Execute runs one attack end to end on a fresh testbed with the default
 // scenario.
@@ -269,6 +289,10 @@ func ExecuteScenario(spec Spec, cfg bas.ScenarioConfig) (*Report, error) {
 		Restarts:           dep.ControllerRestarts(),
 		Recovered:          dep.ControllerRecovered(),
 	}
+	if pm := dep.PolicyMonitor(); pm != nil {
+		stats := pm.Stats()
+		report.MonitorStats = &stats
+	}
 	if faultRep != nil {
 		report.FaultReport = faultRep
 		times := make([]machine.Time, len(violations))
@@ -304,6 +328,7 @@ func deployForSpec(tb *bas.Testbed, cfg bas.ScenarioConfig, spec Spec, prog *pro
 	opts := bas.DeployOptions{
 		WebRoot:  spec.Root,
 		Recovery: spec.Recovery,
+		Monitor:  spec.Monitor || spec.Demote,
 	}
 	if spec.Action != ActionNone {
 		opts.MinixWeb = minixAttackBody(spec.Action, prog)
@@ -316,6 +341,18 @@ func deployForSpec(tb *bas.Testbed, cfg bas.ScenarioConfig, spec Spec, prog *pro
 	dep, err := bas.Deploy(spec.Platform, tb, cfg, opts)
 	if err != nil {
 		return nil, fmt.Errorf("attack: %w", err)
+	}
+	if spec.Demote && spec.Action != ActionNone {
+		// The compromise verdict: the web interface is known attacker code,
+		// so the monitor demotes it to the untrusted origin the moment the
+		// attack window opens — certified web traffic is origin-drift from
+		// then on.
+		pm := dep.PolicyMonitor()
+		tb.Machine.Clock().After(settleTime, func() {
+			if pm.Demote(bas.NameWebInterface, monitor.OriginUntrusted) {
+				prog.note("origin demotion: %s -> untrusted at attack start", bas.NameWebInterface)
+			}
+		})
 	}
 
 	switch d := dep.(type) {

@@ -48,6 +48,13 @@ type BuildingSpec struct {
 	Window time.Duration `json:"window"`
 	// Faults arms builtin fault-injection plans per room (building.Config).
 	Faults map[int]string `json:"faults,omitempty"`
+	// Monitor attaches the online policy monitor to every board and arms the
+	// bus dial guard in observe-only mode (building.Config.Monitor).
+	Monitor bool `json:"monitor,omitempty"`
+	// Demote upgrades the monitor to enforcement: uncertified bus dials are
+	// refused and the offending room's web subject is demoted to the
+	// untrusted origin (building.Config.Demote). Implies Monitor.
+	Demote bool `json:"demote,omitempty"`
 }
 
 func (s BuildingSpec) withDefaults() BuildingSpec {
@@ -58,6 +65,13 @@ func (s BuildingSpec) withDefaults() BuildingSpec {
 		s.Window = 90 * time.Minute
 	}
 	return s
+}
+
+// Duration reports the virtual time one run of the spec simulates (settle
+// plus attack window, after defaulting) — the numerator of bench step-rates.
+func (s BuildingSpec) Duration() time.Duration {
+	s = s.withDefaults()
+	return s.Settle + s.Window
 }
 
 // RoomOutcome is one room's row in the lateral-movement verdict table.
@@ -87,6 +101,13 @@ type RoomOutcome struct {
 
 	Restarts  int  `json:"restarts,omitempty"`
 	Recovered bool `json:"recovered,omitempty"`
+
+	// Policy-monitor columns (absent unless BuildingSpec.Monitor/Demote).
+	PolicyDrifts int64 `json:"policy_drifts,omitempty"`
+	OriginDrifts int64 `json:"origin_drifts,omitempty"`
+	BusDrifts    int64 `json:"bus_drifts,omitempty"`
+	BusRefused   int64 `json:"bus_refused,omitempty"`
+	Demoted      bool  `json:"demoted,omitempty"`
 }
 
 // BuildingReport is the outcome of one building run.
@@ -319,6 +340,8 @@ func ExecuteBuilding(spec BuildingSpec) (*BuildingReport, error) {
 		Slice:    spec.Slice,
 		Workers:  spec.Workers,
 		Faults:   spec.Faults,
+		Monitor:  spec.Monitor || spec.Demote,
+		Demote:   spec.Demote,
 		HeadEnd: building.HeadEndConfig{
 			Schedule: []building.SetpointEvent{{At: schedAt, Value: eco}},
 		},
@@ -380,6 +403,13 @@ func ExecuteBuilding(spec BuildingSpec) (*BuildingReport, error) {
 			out.ReplaysAccepted = attacker.replaysAccepted[i]
 			out.ReplaysDenied = attacker.replaysDenied[i]
 		}
+		if mon := brep.RoomReports[i].Monitor; mon != nil {
+			out.PolicyDrifts = mon.PolicyDrifts
+			out.OriginDrifts = mon.OriginDrifts
+		}
+		out.BusDrifts = brep.RoomReports[i].BusDrifts
+		out.BusRefused = brep.RoomReports[i].BusRefused
+		out.Demoted = brep.RoomReports[i].Demoted
 		switch {
 		case spec.Attack && i == 0:
 			out.Verdict = "FOOTHOLD"
@@ -413,5 +443,9 @@ func FormatBuildingMatrix(rep *BuildingReport) string {
 	}
 	fmt.Fprintf(&b, "building alarm: %v, flagged rooms: %v, captured frames: %d\n",
 		rep.Alarm, rep.Flagged, rep.CapturedFrames)
+	if rep.Building != nil && rep.Building.BusDrifts > 0 {
+		fmt.Fprintf(&b, "policy monitor: %d uncertified bus dials, %d refused\n",
+			rep.Building.BusDrifts, rep.Building.BusRefused)
+	}
 	return b.String()
 }

@@ -13,6 +13,8 @@ import (
 	"mkbas/internal/machine"
 	"mkbas/internal/minix"
 	"mkbas/internal/obs"
+	"mkbas/internal/polcheck"
+	"mkbas/internal/polcheck/monitor"
 )
 
 // Platform names a deployment backend in the registry. The spellings match
@@ -87,6 +89,9 @@ type Deployment interface {
 	// board. Call after deploy, before Run; the returned injector reports
 	// outcomes (MTTR, unrecovered faults) once the run completes.
 	ArmFaults(plan *faultinject.Plan) (*faultinject.Injector, error)
+	// PolicyMonitor returns the online policy monitor attached at deploy
+	// time, or nil when DeployOptions.Monitor was off.
+	PolicyMonitor() *monitor.Monitor
 }
 
 // DeployOptions is the platform-neutral option set for Deploy. Each backend
@@ -135,6 +140,15 @@ type DeployOptions struct {
 	// BACnet adds the field-bus gateway process so the board can serve a
 	// building's supervisory network. All platforms honour it.
 	BACnet BACnetOptions
+	// Monitor attaches the online policy monitor: every IPC delivery the
+	// kernel records is checked, in the same virtual tick, against the
+	// certified static access graph for this deployment, and traffic
+	// outside it emits a typed policy-drift security event. Unlike the
+	// pre-deploy gate, the monitor runs on every configuration — including
+	// the ones that enforce nothing (vanilla MINIX, same-account Linux),
+	// where runtime verification is the only policy check there is. All
+	// platforms honour it.
+	Monitor bool
 }
 
 // deployer is one registry entry: boot cfg on tb under opts.
@@ -180,7 +194,40 @@ func Deploy(platform Platform, tb *Testbed, cfg ScenarioConfig, opts DeployOptio
 type deploymentBase struct {
 	platform Platform
 	tb       *Testbed
+	mon      *monitor.Monitor
 }
+
+// scenarioOrigins is the OAMAC-style provenance assignment shared by every
+// platform's monitor: drivers, actuators, the gateway, and the loader come
+// from the verified boot image; the controller is operator logic; the web
+// interface is the web-facing surface an exploit lands on. Subject names
+// are identical across the three platforms, so one map serves all.
+func scenarioOrigins() map[string]monitor.Origin {
+	return map[string]monitor.Origin{
+		NameTempSensor:    monitor.OriginBoot,
+		NameHeaterAct:     monitor.OriginBoot,
+		NameAlarmAct:      monitor.OriginBoot,
+		NameBACnetGateway: monitor.OriginBoot,
+		NameScenario:      monitor.OriginBoot,
+		NameTempControl:   monitor.OriginOperator,
+		NameWebInterface:  monitor.OriginWeb,
+	}
+}
+
+// attachMonitor builds the online verifier over the certified graph and
+// subscribes it to the board's IPC record stream. Drift events land in the
+// board's own event log, so they surface through Report like any mediation
+// event.
+func (d *deploymentBase) attachMonitor(g *polcheck.Graph, opts monitor.Options) {
+	opts.Events = d.tb.Machine.Obs().Events()
+	if opts.Origins == nil {
+		opts.Origins = scenarioOrigins()
+	}
+	d.mon = monitor.New(g, opts)
+	d.tb.Machine.IPC().SetObserver(d.mon.Observe)
+}
+
+func (d *deploymentBase) PolicyMonitor() *monitor.Monitor { return d.mon }
 
 func (d *deploymentBase) Platform() Platform        { return d.platform }
 func (d *deploymentBase) Machine() *machine.Machine { return d.tb.Machine }

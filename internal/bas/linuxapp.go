@@ -11,6 +11,7 @@ import (
 	"mkbas/internal/linuxsim"
 	"mkbas/internal/plant"
 	"mkbas/internal/polcheck"
+	"mkbas/internal/polcheck/monitor"
 )
 
 // POSIX message-queue names — "the scenario process in Linux spawns all
@@ -291,11 +292,35 @@ func deployLinux(platform Platform, tb *Testbed, cfg ScenarioConfig, opts Deploy
 			return nil, fmt.Errorf("bas: spawning bacnet gateway: %w", err)
 		}
 	}
-	return &LinuxDeployment{
+	dep := &LinuxDeployment{
 		deploymentBase: deploymentBase{platform: platform, tb: tb},
 		Kernel:         k,
 		Testbed:        tb,
-	}, nil
+	}
+	if opts.Monitor {
+		dep.attachMonitor(linuxMonitorGraph(opts.BACnet.Enabled), monitor.Options{})
+	}
+	return dep, nil
+}
+
+// linuxMonitorGraph builds the certified graph the online monitor verifies
+// against on BOTH Linux configurations: the hardened unique-account
+// contract, the deployment's intended least-privilege shape. The
+// same-account default deploys no per-process DAC policy, so there is no
+// enforced policy to mirror — the monitor checks the contract instead,
+// which is exactly how it flags a compromised web process doing what
+// same-account DAC cannot forbid (writing /heater-cmd directly). When the
+// BACnet gateway is deployed it joins the model with its hardened account;
+// like the web interface it sits outside the control group, so the
+// 0o602/0o604 web-queue modes already derive its legitimate edges.
+func linuxMonitorGraph(withGateway bool) *polcheck.Graph {
+	model := LinuxScenarioDAC(true, false)
+	if withGateway {
+		model.Subjects = append(model.Subjects, polcheck.DACSubject{
+			Name: NameBACnetGateway, UID: hardGatewayUID, GID: hardWebGID,
+		})
+	}
+	return polcheck.FromDAC(model)
 }
 
 // linuxOpenRetry opens a queue, retrying while it does not exist yet

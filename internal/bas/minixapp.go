@@ -10,6 +10,7 @@ import (
 	"mkbas/internal/minix"
 	"mkbas/internal/plant"
 	"mkbas/internal/polcheck"
+	"mkbas/internal/polcheck/monitor"
 )
 
 // MINIX payload layout for the scenario protocol (offsets into the 56-byte
@@ -167,11 +168,19 @@ func deployMinix(platform Platform, tb *Testbed, cfg ScenarioConfig, opts Deploy
 			return nil, fmt.Errorf("bas: spawning bacnet gateway: %w", err)
 		}
 	}
-	return &MinixDeployment{
+	dep := &MinixDeployment{
 		deploymentBase: deploymentBase{platform: platform, tb: tb},
 		Kernel:         k,
 		Testbed:        tb,
-	}, nil
+	}
+	if opts.Monitor {
+		// The monitor verifies against the same matrix the gate certified.
+		// On the vanilla ablation the kernel enforces nothing, but deliveries
+		// are still recorded — the monitor is then the only policy check, the
+		// runtime-verification configuration.
+		dep.attachMonitor(polcheck.FromPolicy(policy), monitor.Options{})
+	}
+	return dep, nil
 }
 
 // plantDevice aliases the device ID type for terse image declarations.

@@ -8,8 +8,10 @@ import (
 
 	"mkbas/internal/bacnet"
 	"mkbas/internal/camkes"
+	"mkbas/internal/capdl"
 	"mkbas/internal/plant"
 	"mkbas/internal/polcheck"
+	"mkbas/internal/polcheck/monitor"
 	"mkbas/internal/sel4"
 	"mkbas/internal/vnet"
 )
@@ -228,14 +230,20 @@ func deploySel4(tb *Testbed, cfg ScenarioConfig, opts DeployOptions) (*Sel4Deplo
 		// anti-replay state; a monitor-respawned gateway resumes from it.
 		addSel4BACnetGateway(assembly, opts.BACnet, bacnet.NewProxyState(), tb.Machine.Obs())
 	}
+	// The capability distribution doubles as the monitor's certified graph,
+	// so it is generated whenever either consumer needs it.
+	var spec *capdl.Spec
+	if !opts.SkipPolicyCheck || opts.Monitor {
+		var err error
+		spec, err = camkes.GenerateSpec(assembly)
+		if err != nil {
+			return nil, fmt.Errorf("bas: generating capdl spec: %w", err)
+		}
+	}
 	// Pre-deploy gate: analyze the capability distribution the builder is
 	// about to install. Attacker Sel4Web bodies run with the same caps — the
 	// paper's threat model — so the gate holds for attack deployments too.
 	if !opts.SkipPolicyCheck {
-		spec, err := camkes.GenerateSpec(assembly)
-		if err != nil {
-			return nil, fmt.Errorf("bas: generating capdl spec: %w", err)
-		}
 		if err := checkDeployPolicy(polcheck.FromCapDL(spec)); err != nil {
 			return nil, err
 		}
@@ -247,11 +255,22 @@ func deploySel4(tb *Testbed, cfg ScenarioConfig, opts DeployOptions) (*Sel4Deplo
 	if opts.Recovery {
 		startSel4Monitor(tb, sys)
 	}
-	return &Sel4Deployment{
+	dep := &Sel4Deployment{
 		deploymentBase: deploymentBase{platform: PlatformSel4, tb: tb},
 		System:         sys,
 		Testbed:        tb,
-	}, nil
+	}
+	if opts.Monitor {
+		// Recorded traffic uses kernel names (threads "comp" / "comp.iface",
+		// endpoints "comp.iface") while the spec graph uses CapDL names;
+		// CapDLSubjectOf collapses threads to components and ChannelNames
+		// translates the IPC objects.
+		dep.attachMonitor(polcheck.FromCapDL(spec), monitor.Options{
+			SubjectOf:    polcheck.CapDLSubjectOf,
+			ChannelNames: camkes.ChannelNames(assembly),
+		})
+	}
+	return dep, nil
 }
 
 // sel4MonitorPeriod paces the monitor's liveness sweep.

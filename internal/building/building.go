@@ -14,6 +14,8 @@ import (
 	"mkbas/internal/bas"
 	"mkbas/internal/faultinject"
 	"mkbas/internal/machine"
+	"mkbas/internal/obs"
+	"mkbas/internal/polcheck/monitor"
 	"mkbas/internal/vnet"
 )
 
@@ -45,6 +47,19 @@ type Config struct {
 	HeadEnd HeadEndConfig
 	// Faults arms a builtin fault-injection plan (by name) on selected rooms.
 	Faults map[int]string
+	// Monitor attaches the online policy monitor to every room's board
+	// (bas.DeployOptions.Monitor) and installs the bus dial guard: every
+	// cross-board dial is checked against the building's certified dial set
+	// (only the head-end BMS dials room gateways, on the BACnet port).
+	// Uncertified dials raise policy-drift events on the offending board but
+	// are still delivered — observe, don't enforce.
+	Monitor bool
+	// Demote upgrades the monitor to enforcement: the first uncertified dial
+	// from a room demotes that room's web-interface subject to the untrusted
+	// origin, and every uncertified dial is refused at the bus barrier (the
+	// dialer sees a refused connection, exactly as if no listener existed).
+	// Demote implies Monitor.
+	Demote bool
 }
 
 // RoomKey derives room i's secure-proxy device key. Deterministic on
@@ -82,6 +97,12 @@ type Building struct {
 	round    int
 	elapsed  time.Duration
 	workers  int
+
+	// Bus-monitor state, touched only on the coordinator goroutine (the dial
+	// guard runs at the flush barrier with every board engine parked).
+	busDrifts  []int64 // uncertified dials observed, by originating room
+	busRefused []int64 // uncertified dials refused under Demote, by room
+	demoted    []bool  // room's web subject has been demoted
 
 	target machine.Time
 	jobs   chan int
@@ -133,6 +154,12 @@ func New(cfg Config) (*Building, error) {
 	}
 	b.headNode = b.Bus.AddNode("bms", nil)
 	b.Head = newHeadEnd(b.Bus, b.headNode, b.Rooms, scenario.Controller.Setpoint, slice, cfg.HeadEnd)
+	if cfg.Monitor || cfg.Demote {
+		b.busDrifts = make([]int64, cfg.Rooms)
+		b.busRefused = make([]int64, cfg.Rooms)
+		b.demoted = make([]bool, cfg.Rooms)
+		b.Bus.SetDialGuard(b.guardDial)
+	}
 
 	for w := 0; w < workers; w++ {
 		go func() {
@@ -160,6 +187,7 @@ func (b *Building) deployRoom(i int, scenario bas.ScenarioConfig) (*Room, error)
 	tb := bas.NewTestbed(sc)
 	dep, err := bas.Deploy(platform, tb, sc, bas.DeployOptions{
 		Recovery: b.cfg.Recovery,
+		Monitor:  b.cfg.Monitor || b.cfg.Demote,
 		BACnet:   bas.BACnetOptions{Enabled: true, Key: key, DeviceID: uint32(i + 1)},
 	})
 	if err != nil {
@@ -194,6 +222,73 @@ func (b *Building) deployRoom(i int, scenario bas.ScenarioConfig) (*Room, error)
 		room.Plan = name
 	}
 	return room, nil
+}
+
+// guardDial is the building's bus admission policy (vnet.Bus.SetDialGuard).
+// The certified dial set follows from the deployment itself: the only
+// cross-board connections the building establishes are the head-end BMS
+// dialing room gateways on the BACnet port. Anything else — in practice a
+// room's board dialing a sibling — is outside the verified inter-board
+// access graph. The guard runs at the flush barrier with every board engine
+// parked, so the drift event lands on the offending board's log stamped at
+// the round deadline: within one round of the dial, deterministically.
+func (b *Building) guardDial(from, to vnet.NodeID, port vnet.Port) bool {
+	if from == b.headNode && port == bas.BACnetPort {
+		return true
+	}
+	room := int(from)
+	if room < 0 || room >= len(b.Rooms) {
+		// Unknown originator (no board to attribute to): refuse only under
+		// enforcement.
+		return !b.cfg.Demote
+	}
+	b.busDrifts[room]++
+	events := b.Rooms[room].Testbed.Machine.Obs().Events()
+	events.Emit(obs.SecurityEvent{
+		Kind:      obs.EventPolicyDrift,
+		Mechanism: obs.MechPolicyMonitor,
+		Denied:    b.cfg.Demote,
+		Src:       b.Bus.NodeName(from),
+		Dst:       b.Bus.NodeName(to),
+		Detail:    fmt.Sprintf("uncertified bus dial on port %d", port),
+	})
+	if !b.cfg.Demote {
+		return true
+	}
+	if !b.demoted[room] {
+		b.demoted[room] = true
+		// The uncertified dial is the compromise verdict: demote the room's
+		// web-origin subject, so its in-graph traffic turns into origin drift
+		// on the board monitor from here on.
+		if pm := b.Rooms[room].Dep.PolicyMonitor(); pm != nil {
+			pm.Demote(bas.NameWebInterface, monitor.OriginUntrusted)
+		}
+	}
+	b.busRefused[room]++
+	return false
+}
+
+// BusDrifts reports how many uncertified bus dials originated from room i
+// (zero when the monitor is off).
+func (b *Building) BusDrifts(i int) int64 {
+	if i < 0 || i >= len(b.busDrifts) {
+		return 0
+	}
+	return b.busDrifts[i]
+}
+
+// BusRefused reports how many of room i's uncertified dials were refused
+// under Demote.
+func (b *Building) BusRefused(i int) int64 {
+	if i < 0 || i >= len(b.busRefused) {
+		return 0
+	}
+	return b.busRefused[i]
+}
+
+// RoomDemoted reports whether room i's web subject has been demoted.
+func (b *Building) RoomDemoted(i int) bool {
+	return i >= 0 && i < len(b.demoted) && b.demoted[i]
 }
 
 // Step advances the whole building by one lockstep round:

@@ -5,6 +5,7 @@ import (
 
 	"mkbas/internal/faultinject"
 	"mkbas/internal/obs"
+	"mkbas/internal/polcheck/monitor"
 )
 
 // RoomReport is one room's row in the building report: the BMS's view plus
@@ -26,6 +27,12 @@ type RoomReport struct {
 
 	FaultPlan string             `json:"fault_plan,omitempty"`
 	Faults    *faultinject.Report `json:"faults,omitempty"`
+
+	// Policy-monitor columns (absent when Config.Monitor is off).
+	Monitor    *monitor.Stats `json:"monitor,omitempty"`
+	BusDrifts  int64          `json:"bus_drifts,omitempty"`
+	BusRefused int64          `json:"bus_refused,omitempty"`
+	Demoted    bool           `json:"demoted,omitempty"`
 }
 
 // Report is the whole-building snapshot. Every field is derived from virtual
@@ -44,6 +51,10 @@ type Report struct {
 	WritesSent    int `json:"writes_sent"`
 
 	RoomReports []RoomReport `json:"room_reports"`
+
+	// Building-wide policy-monitor tallies (absent when the monitor is off).
+	BusDrifts  int64 `json:"bus_drifts,omitempty"`
+	BusRefused int64 `json:"bus_refused,omitempty"`
 
 	// Building-wide aggregates merged across every room's board.
 	Counters    []obs.CounterSnap `json:"counters"`
@@ -85,6 +96,15 @@ func (b *Building) Report() *Report {
 		if room.Injector != nil {
 			rr.Faults = room.Injector.Report()
 		}
+		if pm := room.Dep.PolicyMonitor(); pm != nil {
+			stats := pm.Stats()
+			rr.Monitor = &stats
+		}
+		rr.BusDrifts = b.BusDrifts(room.Index)
+		rr.BusRefused = b.BusRefused(room.Index)
+		rr.Demoted = b.RoomDemoted(room.Index)
+		rep.BusDrifts += rr.BusDrifts
+		rep.BusRefused += rr.BusRefused
 		if states[i].Flagged {
 			rep.Flagged = append(rep.Flagged, room.Index)
 		}

@@ -122,6 +122,25 @@ func GenerateSpec(assembly *Assembly) (*capdl.Spec, error) {
 	return spec, nil
 }
 
+// ChannelNames maps the kernel-side names of an assembly's IPC objects
+// ("comp.iface" endpoints, "comp.ev" notifications — the names Build hands
+// CreateEndpoint/CreateNotification) to their CapDL spec object names
+// ("ep_comp_iface", "ntfn_comp_ev"). The online policy monitor uses the map
+// to translate recorded kernel traffic into the certified graph's
+// namespace.
+func ChannelNames(assembly *Assembly) map[string]string {
+	out := make(map[string]string)
+	for _, comp := range assembly.Components {
+		for _, iface := range sortedIfaces(comp) {
+			out[comp.Name+"."+iface] = epObjName(comp.Name, iface)
+		}
+		for _, ev := range comp.Consumes {
+			out[comp.Name+"."+ev] = ntfnObjName(comp.Name, ev)
+		}
+	}
+	return out
+}
+
 // Spec object-name scheme, shared by GenerateSpec and Build.
 
 func epObjName(comp, iface string) string    { return "ep_" + comp + "_" + iface }

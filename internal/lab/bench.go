@@ -4,6 +4,9 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"runtime"
+
+	"mkbas/internal/attack"
 )
 
 // BenchPoint is one worker-count measurement.
@@ -13,6 +16,10 @@ type BenchPoint struct {
 	ElapsedMS float64 `json:"elapsed_ms"`
 	// ShardsPerSec is campaign throughput.
 	ShardsPerSec float64 `json:"shards_per_sec"`
+	// BoardStepsPerSec is per-board simulation rate: board·virtual-seconds
+	// simulated per wall-clock second, summed over every board in flight —
+	// the hardware-independent number for comparing bench records.
+	BoardStepsPerSec float64 `json:"board_steps_per_sec"`
 	// Speedup is relative to the first (serial) point.
 	Speedup float64 `json:"speedup"`
 }
@@ -24,9 +31,11 @@ type BenchReport struct {
 	// Identical confirms the determinism contract held: every worker
 	// count's merged JSON was byte-identical to the serial run's.
 	Identical bool `json:"identical"`
-	// HostCPUs is GOMAXPROCS at measurement time — scaling beyond it is
-	// not expected.
+	// HostCPUs is the host's logical CPU count at measurement time.
 	HostCPUs int `json:"host_cpus"`
+	// GOMAXPROCS is the Go scheduler's parallelism limit at measurement
+	// time — scaling beyond min(host_cpus, gomaxprocs) is not expected.
+	GOMAXPROCS int `json:"gomaxprocs"`
 }
 
 // Bench runs the sweep once per worker count, measuring wall-clock
@@ -37,9 +46,11 @@ func Bench(sweep Sweep, workerCounts []int, hostCPUs int) (*BenchReport, error) 
 	if len(workerCounts) == 0 {
 		return nil, fmt.Errorf("lab: no worker counts to bench")
 	}
-	rep := &BenchReport{Identical: true, HostCPUs: hostCPUs}
+	rep := &BenchReport{Identical: true, HostCPUs: hostCPUs, GOMAXPROCS: runtime.GOMAXPROCS(0)}
 	var baseline []byte
 	var baseElapsed float64
+	// Every campaign shard is one board simulating the full attack timeline.
+	virtSecsPerShard := attack.RunDuration().Seconds()
 	for i, w := range workerCounts {
 		res, err := Run(sweep, Options{Workers: w})
 		if err != nil {
@@ -58,10 +69,11 @@ func Bench(sweep Sweep, workerCounts []int, hostCPUs int) (*BenchReport, error) 
 		}
 		elapsed := float64(res.Elapsed.Nanoseconds())
 		pt := BenchPoint{
-			Workers:      res.Workers,
-			ElapsedMS:    elapsed / 1e6,
-			ShardsPerSec: float64(len(res.Cases)) / (elapsed / 1e9),
-			Speedup:      baseElapsed / elapsed,
+			Workers:          res.Workers,
+			ElapsedMS:        elapsed / 1e6,
+			ShardsPerSec:     float64(len(res.Cases)) / (elapsed / 1e9),
+			BoardStepsPerSec: float64(len(res.Cases)) * virtSecsPerShard / (elapsed / 1e9),
+			Speedup:          baseElapsed / elapsed,
 		}
 		rep.Points = append(rep.Points, pt)
 	}

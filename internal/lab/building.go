@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -102,8 +103,10 @@ type BuildingSweep struct {
 	Mixes   []Mix           `json:"mixes"`
 	Secures []SecurePattern `json:"secures"`
 	Attacks []bool          `json:"attacks"`
-	Settle  time.Duration   `json:"settle,omitempty"`
-	Window  time.Duration   `json:"window,omitempty"`
+	// Monitors is the policy-monitor axis (E12): "off", "on", "demote".
+	Monitors []string      `json:"monitors,omitempty"`
+	Settle   time.Duration `json:"settle,omitempty"`
+	Window   time.Duration `json:"window,omitempty"`
 }
 
 func (s BuildingSweep) withDefaults() BuildingSweep {
@@ -118,6 +121,9 @@ func (s BuildingSweep) withDefaults() BuildingSweep {
 	}
 	if len(s.Attacks) == 0 {
 		s.Attacks = []bool{true}
+	}
+	if len(s.Monitors) == 0 {
+		s.Monitors = []string{MonitorOff}
 	}
 	return s
 }
@@ -140,6 +146,13 @@ func (s BuildingSweep) Validate() error {
 			return err
 		}
 	}
+	for _, m := range s.Monitors {
+		switch m {
+		case MonitorOff, MonitorOn, MonitorDemote:
+		default:
+			return fmt.Errorf("lab: unknown monitor mode %q (known: off, on, demote)", m)
+		}
+	}
 	return nil
 }
 
@@ -150,11 +163,18 @@ type BuildingCase struct {
 	Mix    Mix           `json:"mix"`
 	Secure SecurePattern `json:"secure"`
 	Attack bool          `json:"attack"`
+	// Monitor is "" (off), MonitorOn, or MonitorDemote — kept empty for the
+	// off case so pre-monitor campaign reports stay byte-identical.
+	Monitor string `json:"monitor,omitempty"`
 }
 
 // String renders the case compactly for logs.
 func (c BuildingCase) String() string {
-	return fmt.Sprintf("%d: rooms=%d mix=%s secure=%s attack=%v", c.Shard, c.Rooms, c.Mix, c.Secure, c.Attack)
+	s := fmt.Sprintf("%d: rooms=%d mix=%s secure=%s attack=%v", c.Shard, c.Rooms, c.Mix, c.Secure, c.Attack)
+	if c.Monitor != "" && c.Monitor != MonitorOff {
+		s += " monitor=" + c.Monitor
+	}
+	return s
 }
 
 // Spec translates the case into an attack.BuildingSpec. Each case runs its
@@ -176,11 +196,13 @@ func (c BuildingCase) Spec(settle, window time.Duration) (attack.BuildingSpec, e
 		Settle:  settle,
 		Window:  window,
 		Workers: 1,
+		Monitor: c.Monitor == MonitorOn,
+		Demote:  c.Monitor == MonitorDemote,
 	}, nil
 }
 
 // Expand enumerates the cases in deterministic order: rooms, mix, secure,
-// attack — outermost to innermost.
+// attack, monitor — outermost to innermost.
 func (s BuildingSweep) Expand() []BuildingCase {
 	s = s.withDefaults()
 	var cases []BuildingCase
@@ -188,13 +210,19 @@ func (s BuildingSweep) Expand() []BuildingCase {
 		for _, mix := range s.Mixes {
 			for _, secure := range s.Secures {
 				for _, att := range s.Attacks {
-					cases = append(cases, BuildingCase{
-						Shard:  len(cases),
-						Rooms:  rooms,
-						Mix:    mix,
-						Secure: secure,
-						Attack: att,
-					})
+					for _, mon := range s.Monitors {
+						if mon == MonitorOff {
+							mon = ""
+						}
+						cases = append(cases, BuildingCase{
+							Shard:   len(cases),
+							Rooms:   rooms,
+							Mix:     mix,
+							Secure:  secure,
+							Attack:  att,
+							Monitor: mon,
+						})
+					}
 				}
 			}
 		}
@@ -263,6 +291,14 @@ func ParseBuildingSweep(spec string) (BuildingSweep, error) {
 					return BuildingSweep{}, fmt.Errorf("lab: attack value %q (want on, off, or both)", v)
 				}
 			}
+		case "monitor", "monitors":
+			for _, v := range vals {
+				if v == "all" {
+					s.Monitors = append(s.Monitors, AllMonitors()...)
+				} else {
+					s.Monitors = append(s.Monitors, v)
+				}
+			}
 		case "settle", "window":
 			if len(vals) != 1 {
 				return BuildingSweep{}, fmt.Errorf("lab: %s takes one duration", axis)
@@ -277,13 +313,14 @@ func ParseBuildingSweep(spec string) (BuildingSweep, error) {
 				s.Window = d
 			}
 		default:
-			return BuildingSweep{}, fmt.Errorf("lab: unknown building sweep axis %q (known: attack, mix, rooms, secure, settle, window)", axis)
+			return BuildingSweep{}, fmt.Errorf("lab: unknown building sweep axis %q (known: attack, mix, monitor, rooms, secure, settle, window)", axis)
 		}
 	}
 	s.Rooms = dedupInts(s.Rooms)
 	s.Mixes = dedup(s.Mixes)
 	s.Secures = dedup(s.Secures)
 	s.Attacks = dedup(s.Attacks)
+	s.Monitors = dedup(s.Monitors)
 	if err := s.Validate(); err != nil {
 		return BuildingSweep{}, err
 	}
@@ -405,9 +442,11 @@ func BenchBuilding(spec attack.BuildingSpec, workerCounts []int, hostCPUs int) (
 	if len(workerCounts) == 0 {
 		return nil, fmt.Errorf("lab: no worker counts to bench")
 	}
-	rep := &BenchReport{Shards: spec.Rooms, Identical: true, HostCPUs: hostCPUs}
+	rep := &BenchReport{Shards: spec.Rooms, Identical: true, HostCPUs: hostCPUs, GOMAXPROCS: runtime.GOMAXPROCS(0)}
 	var baseline []byte
 	var baseElapsed float64
+	// Every room board simulates the spec's full virtual timeline.
+	virtSecsPerBoard := spec.Duration().Seconds()
 	for i, w := range workerCounts {
 		spec.Workers = w
 		start := time.Now()
@@ -428,10 +467,11 @@ func BenchBuilding(spec attack.BuildingSpec, workerCounts []int, hostCPUs int) (
 		}
 		elapsed := float64(wall.Nanoseconds())
 		rep.Points = append(rep.Points, BenchPoint{
-			Workers:      w,
-			ElapsedMS:    elapsed / 1e6,
-			ShardsPerSec: float64(spec.Rooms) / (elapsed / 1e9),
-			Speedup:      baseElapsed / elapsed,
+			Workers:          w,
+			ElapsedMS:        elapsed / 1e6,
+			ShardsPerSec:     float64(spec.Rooms) / (elapsed / 1e9),
+			BoardStepsPerSec: float64(spec.Rooms) * virtSecsPerBoard / (elapsed / 1e9),
+			Speedup:          baseElapsed / elapsed,
 		})
 	}
 	return rep, nil

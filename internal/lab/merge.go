@@ -52,6 +52,12 @@ type Aggregate struct {
 	// ViolationsDuringFault counts safety violations that fell inside fault
 	// effect windows.
 	ViolationsDuringFault int `json:"violations_during_fault,omitempty"`
+	// Policy-monitor tallies (E12), summed across shards that attached the
+	// online monitor; all omitted when the monitor axis was off everywhere.
+	MonitorObserved int64 `json:"monitor_observed,omitempty"`
+	PolicyDrifts    int64 `json:"policy_drifts,omitempty"`
+	OriginDrifts    int64 `json:"origin_drifts,omitempty"`
+	Demotions       int64 `json:"demotions,omitempty"`
 }
 
 // aggregate folds shard results, which arrive already in shard order.
@@ -76,6 +82,12 @@ func aggregate(cases []ShardResult) Aggregate {
 		ipcSets = append(ipcSets, r.IPCUsages)
 		agg.Restarts += r.Restarts
 		agg.ViolationsDuringFault += r.ViolationsDuringFault
+		if ms := r.MonitorStats; ms != nil {
+			agg.MonitorObserved += ms.Observed
+			agg.PolicyDrifts += ms.PolicyDrifts
+			agg.OriginDrifts += ms.OriginDrifts
+			agg.Demotions += ms.Demotions
+		}
 		if fr := r.FaultReport; fr != nil {
 			agg.FaultsInjected += fr.Injected
 			agg.FaultsRecovered += fr.Recovered
@@ -137,6 +149,10 @@ func (r *Result) Text() string {
 			fmt.Fprintf(&b, "MTTR: none recovered; violations during fault windows: %d\n",
 				r.Merged.ViolationsDuringFault)
 		}
+	}
+	if r.Merged.MonitorObserved > 0 {
+		fmt.Fprintf(&b, "policy monitor: %d deliveries observed, %d policy drifts, %d origin drifts, %d demotions\n",
+			r.Merged.MonitorObserved, r.Merged.PolicyDrifts, r.Merged.OriginDrifts, r.Merged.Demotions)
 	}
 	if len(r.Merged.Mechanisms) > 0 {
 		parts := make([]string, len(r.Merged.Mechanisms))

@@ -95,7 +95,21 @@ type Sweep struct {
 	// recovery machinery so the case measures recovery, not its absence by
 	// configuration.
 	Faults []string `json:"faults,omitempty"`
+	// Monitors is the online policy-monitor axis (E12): "off" (default),
+	// "on" (observe-only drift detection), "demote" (observe plus origin
+	// demotion of the compromised subject at attack start).
+	Monitors []string `json:"monitors,omitempty"`
 }
+
+// Policy-monitor axis values.
+const (
+	MonitorOff    = "off"
+	MonitorOn     = "on"
+	MonitorDemote = "demote"
+)
+
+// AllMonitors lists the monitor axis values, weakest first.
+func AllMonitors() []string { return []string{MonitorOff, MonitorOn, MonitorDemote} }
 
 // Case is one fully specified experiment: a single board, a single attack.
 type Case struct {
@@ -108,6 +122,9 @@ type Case struct {
 	Plant     Plant           `json:"plant"`
 	ForkQuota int             `json:"fork_quota,omitempty"`
 	Faults    string          `json:"faults,omitempty"`
+	// Monitor is "" (off), MonitorOn, or MonitorDemote — kept empty for the
+	// off case so pre-monitor campaign reports stay byte-identical.
+	Monitor string `json:"monitor,omitempty"`
 }
 
 // chaosCase reports whether the case arms a fault plan.
@@ -128,6 +145,12 @@ func (c Case) Spec() attack.Spec {
 		// Plain Linux still ignores it — that absence is E10's baseline.
 		spec.Recovery = true
 	}
+	switch c.Monitor {
+	case MonitorOn:
+		spec.Monitor = true
+	case MonitorDemote:
+		spec.Demote = true
+	}
 	return spec
 }
 
@@ -140,6 +163,9 @@ func (c Case) String() string {
 	}
 	if c.chaosCase() {
 		s += " faults=" + c.Faults
+	}
+	if c.Monitor != "" && c.Monitor != MonitorOff {
+		s += " monitor=" + c.Monitor
 	}
 	return s
 }
@@ -170,6 +196,9 @@ func (s Sweep) withDefaults() Sweep {
 	}
 	if len(s.Faults) == 0 {
 		s.Faults = []string{faultPlanNone}
+	}
+	if len(s.Monitors) == 0 {
+		s.Monitors = []string{MonitorOff}
 	}
 	return s
 }
@@ -217,14 +246,22 @@ func (s Sweep) Validate() error {
 			return fmt.Errorf("lab: %w", err)
 		}
 	}
+	for _, m := range s.Monitors {
+		switch m {
+		case MonitorOff, MonitorOn, MonitorDemote:
+		default:
+			return fmt.Errorf("lab: unknown monitor mode %q (known: off, on, demote)", m)
+		}
+	}
 	return nil
 }
 
 // Expand enumerates the sweep's cases in deterministic order: platform,
-// model, action, plant, quota, fault plan — outermost to innermost, each axis
-// in the order given. Shard indices are assigned by position. Quota values
-// beyond the first apply only on MINIX platforms (the only backends that
-// enforce them); elsewhere the quota axis contributes one unquotaed case.
+// model, action, plant, quota, fault plan, monitor mode — outermost to
+// innermost, each axis in the order given. Shard indices are assigned by
+// position. Quota values beyond the first apply only on MINIX platforms (the
+// only backends that enforce them); elsewhere the quota axis contributes one
+// unquotaed case.
 func (s Sweep) Expand() []Case {
 	s = s.withDefaults()
 	var cases []Case
@@ -238,15 +275,21 @@ func (s Sweep) Expand() []Case {
 				for _, pl := range s.Plants {
 					for _, quota := range quotas {
 						for _, faults := range s.Faults {
-							cases = append(cases, Case{
-								Shard:     len(cases),
-								Platform:  platform,
-								Action:    action,
-								Model:     model,
-								Plant:     pl,
-								ForkQuota: quota,
-								Faults:    faults,
-							})
+							for _, mon := range s.Monitors {
+								if mon == MonitorOff {
+									mon = ""
+								}
+								cases = append(cases, Case{
+									Shard:     len(cases),
+									Platform:  platform,
+									Action:    action,
+									Model:     model,
+									Plant:     pl,
+									ForkQuota: quota,
+									Faults:    faults,
+									Monitor:   mon,
+								})
+							}
 						}
 					}
 				}
@@ -340,8 +383,16 @@ func ParseSweep(spec string) (Sweep, error) {
 					s.Faults = append(s.Faults, v)
 				}
 			}
+		case "monitor", "monitors":
+			for _, v := range vals {
+				if v == "all" {
+					s.Monitors = append(s.Monitors, AllMonitors()...)
+				} else {
+					s.Monitors = append(s.Monitors, v)
+				}
+			}
 		default:
-			return Sweep{}, fmt.Errorf("lab: unknown sweep axis %q (known: actions, faults, models, plants, platforms, quotas)", axis)
+			return Sweep{}, fmt.Errorf("lab: unknown sweep axis %q (known: actions, faults, models, monitor, plants, platforms, quotas)", axis)
 		}
 	}
 	s.Platforms = dedup(s.Platforms)
@@ -350,6 +401,7 @@ func ParseSweep(spec string) (Sweep, error) {
 	s.Plants = dedup(s.Plants)
 	s.Quotas = dedupInts(s.Quotas)
 	s.Faults = dedup(s.Faults)
+	s.Monitors = dedup(s.Monitors)
 	if err := s.Validate(); err != nil {
 		return Sweep{}, err
 	}

@@ -29,7 +29,8 @@ type IPCUsageCount struct {
 // Like Trace, the log is unsynchronised: trap handlers run serialized on the
 // engine's scheduling discipline.
 type IPCLog struct {
-	counts map[IPCUsage]int64
+	counts   map[IPCUsage]int64
+	observer func(src, dst, label string)
 }
 
 // NewIPCLog returns an empty usage log.
@@ -37,9 +38,20 @@ func NewIPCLog() *IPCLog {
 	return &IPCLog{counts: make(map[IPCUsage]int64)}
 }
 
+// SetObserver installs fn to see every Record call synchronously, in trap
+// order — the online policy monitor's subscription point. One observer is
+// supported; nil removes it. The observer runs on the recording kernel's
+// trap path, so it must not allocate on its hot path and must not trap.
+func (l *IPCLog) SetObserver(fn func(src, dst, label string)) {
+	l.observer = fn
+}
+
 // Record books one observed delivery.
 func (l *IPCLog) Record(src, dst, label string) {
 	l.counts[IPCUsage{Src: src, Dst: dst, Label: label}]++
+	if l.observer != nil {
+		l.observer(src, dst, label)
+	}
 }
 
 // Count reports how many deliveries matched (src, dst, label).

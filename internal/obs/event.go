@@ -30,6 +30,10 @@ const (
 	// (Fig. 1's bump-in-the-wire): frames dropped for failing the MAC or the
 	// freshness check.
 	MechSecureProxy Mechanism = "secure-proxy"
+	// MechPolicyMonitor marks events produced by the online policy monitor
+	// (internal/polcheck/monitor): observed traffic diffed against the
+	// certified static access graph, not a kernel mediation decision.
+	MechPolicyMonitor Mechanism = "policy-monitor"
 )
 
 // EventKind classifies a security event.
@@ -64,6 +68,18 @@ const (
 	// EventFrameRejected is a field-bus frame dropped by the secure proxy:
 	// bad MAC (spoofing) or stale nonce (replay).
 	EventFrameRejected EventKind = "frame-rejected"
+	// EventPolicyDrift is an observed IPC delivery (or bus dial) outside the
+	// certified static access graph — the running board has drifted from the
+	// policy it was verified against at deploy time.
+	EventPolicyDrift EventKind = "policy-drift"
+	// EventOriginDrift is an in-graph delivery whose governing subject's
+	// *current* origin label no longer dominates the edge's required origin:
+	// traffic that was certified for boot-image provenance issued by a
+	// subject demoted to a lower origin after a compromise verdict.
+	EventOriginDrift EventKind = "origin-drift"
+	// EventOriginDemoted records the monitor shrinking a subject's origin
+	// label (e.g. web-origin -> untrusted after a compromise verdict).
+	EventOriginDemoted EventKind = "origin-demoted"
 )
 
 // SecurityEvent is one mediation decision in the platform-neutral schema:

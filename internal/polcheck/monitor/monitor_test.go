@@ -1,0 +1,252 @@
+package monitor
+
+import (
+	"strings"
+	"testing"
+
+	"mkbas/internal/obs"
+	"mkbas/internal/polcheck"
+)
+
+// testGraph builds a small certified graph exercising every edge shape the
+// monitor distinguishes:
+//
+//	ctrl  -> heater   mt1, mt2   (subject → subject, exact labels)
+//	ctrl  -> sensor   mt*        (subject → subject, wildcard)
+//	web   -> ep_cmd   send       (subject → channel, governed by sender)
+//	ep_cmd -> ctrl    recv       (channel → subject, governed by receiver)
+//	ctrl  -> dev_gpio write      (device edge: not IPC, never monitored)
+func testGraph() *polcheck.Graph {
+	g := polcheck.NewGraph("test")
+	g.AddFlow(polcheck.Subject("ctrl"), polcheck.Subject("heater"), []string{"mt1", "mt2"}, "test")
+	g.AddFlow(polcheck.Subject("ctrl"), polcheck.Subject("sensor"), []string{"mt*"}, "test")
+	g.AddFlow(polcheck.Subject("web"), polcheck.Channel("ep_cmd"), []string{"send"}, "test")
+	g.AddFlow(polcheck.Channel("ep_cmd"), polcheck.Subject("ctrl"), []string{"recv"}, "test")
+	g.AddFlow(polcheck.Subject("ctrl"), polcheck.Device("dev_gpio"), []string{"write"}, "test")
+	return g
+}
+
+func testOrigins() map[string]Origin {
+	return map[string]Origin{"web": OriginWeb, "ctrl": OriginOperator}
+}
+
+func TestObserveInGraphIsClean(t *testing.T) {
+	events := obs.NewEventLog(nil, 0)
+	m := New(testGraph(), Options{Events: events, Origins: testOrigins()})
+	for _, d := range [][3]string{
+		{"ctrl", "heater", "mt1"},
+		{"ctrl", "heater", "mt2"},
+		{"ctrl", "sensor", "mt7"}, // wildcard cell admits any type
+		{"web", "ep_cmd", "send"},
+		{"ep_cmd", "ctrl", "recv"},
+	} {
+		m.Observe(d[0], d[1], d[2])
+	}
+	st := m.Stats()
+	if st.Observed != 5 || st.PolicyDrifts != 0 || st.OriginDrifts != 0 {
+		t.Fatalf("stats = %+v, want 5 clean observations", st)
+	}
+	if n := len(events.Events()); n != 0 {
+		t.Fatalf("clean traffic emitted %d events", n)
+	}
+}
+
+func TestObserveInGraphAllocatesNothing(t *testing.T) {
+	// The monitor rides the IPC hot path of every kernel binding; the E4
+	// overhead budget only holds if in-graph observation is allocation-free
+	// (exact edges and wildcard pairs alike), with a live event log attached.
+	m := New(testGraph(), Options{Events: obs.NewEventLog(nil, 0), Origins: testOrigins()})
+	for _, d := range [][3]string{
+		{"ctrl", "heater", "mt1"},  // exact subject→subject
+		{"ctrl", "sensor", "mt9"},  // wildcard pair
+		{"web", "ep_cmd", "send"},  // subject→channel
+		{"ep_cmd", "ctrl", "recv"}, // channel→subject
+	} {
+		d := d
+		if n := testing.AllocsPerRun(200, func() { m.Observe(d[0], d[1], d[2]) }); n != 0 {
+			t.Errorf("Observe(%q, %q, %q) allocates %.1f/op, want 0", d[0], d[1], d[2], n)
+		}
+	}
+}
+
+func TestObservePolicyDrift(t *testing.T) {
+	events := obs.NewEventLog(nil, 0)
+	m := New(testGraph(), Options{Events: events, Origins: testOrigins()})
+	m.Observe("web", "heater", "mt2") // never certified
+	m.Observe("ctrl", "heater", "mt3") // certified pair, uncertified type
+
+	st := m.Stats()
+	if st.PolicyDrifts != 2 {
+		t.Fatalf("PolicyDrifts = %d, want 2", st.PolicyDrifts)
+	}
+	evs := events.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	e := evs[0]
+	if e.Kind != obs.EventPolicyDrift || e.Mechanism != obs.MechPolicyMonitor {
+		t.Fatalf("event = %+v", e)
+	}
+	if e.Src != "web" || e.Dst != "heater" || e.Detail != "mt2" {
+		t.Fatalf("event attribution = %+v", e)
+	}
+	if e.Denied {
+		t.Fatalf("the monitor observes, it does not enforce: %+v", e)
+	}
+}
+
+func TestObserveNameNormalisation(t *testing.T) {
+	// seL4 kernels record thread names ("ctrl.t0") and kernel endpoint names
+	// ("cmd.iface"); the graph speaks components and spec objects. Both maps
+	// must apply before lookup or every delivery would read as drift.
+	m := New(testGraph(), Options{
+		SubjectOf:    func(s string) string { base, _, _ := strings.Cut(s, "."); return base },
+		ChannelNames: map[string]string{"cmd.iface": "ep_cmd"},
+		Origins:      testOrigins(),
+	})
+	m.Observe("web.t0", "cmd.iface", "send")
+	m.Observe("cmd.iface", "ctrl.t1", "recv")
+	if st := m.Stats(); st.PolicyDrifts != 0 || st.Observed != 2 {
+		t.Fatalf("normalised deliveries drifted: %+v", st)
+	}
+	// A channel name outside the map passes through unchanged — and misses.
+	m.Observe("web.t0", "other.iface", "send")
+	if st := m.Stats(); st.PolicyDrifts != 1 {
+		t.Fatalf("unmapped channel should miss: %+v", st)
+	}
+}
+
+func TestDemoteTurnsCertifiedEdgesIntoOriginDrift(t *testing.T) {
+	events := obs.NewEventLog(nil, 0)
+	m := New(testGraph(), Options{Events: events, Origins: testOrigins()})
+
+	m.Observe("web", "ep_cmd", "send")
+	if st := m.Stats(); st.OriginDrifts != 0 {
+		t.Fatalf("pre-demotion traffic drifted: %+v", st)
+	}
+
+	if !m.Demote("web", OriginUntrusted) {
+		t.Fatal("Demote(web, untrusted) refused")
+	}
+	if o, ok := m.CurrentOrigin("web"); !ok || o != OriginUntrusted {
+		t.Fatalf("CurrentOrigin(web) = %v, %v", o, ok)
+	}
+
+	// The demoted subject's own certified edge now drifts...
+	m.Observe("web", "ep_cmd", "send")
+	// ...while edges governed by other subjects stay clean.
+	m.Observe("ep_cmd", "ctrl", "recv")
+	m.Observe("ctrl", "heater", "mt1")
+
+	st := m.Stats()
+	if st.OriginDrifts != 1 || st.PolicyDrifts != 0 || st.Demotions != 1 {
+		t.Fatalf("stats = %+v, want exactly one origin drift", st)
+	}
+
+	var demoted, drift *obs.SecurityEvent
+	for i := range events.Events() {
+		e := events.Events()[i]
+		switch e.Kind {
+		case obs.EventOriginDemoted:
+			demoted = &e
+		case obs.EventOriginDrift:
+			drift = &e
+		}
+	}
+	if demoted == nil || demoted.Src != "web" || !strings.Contains(demoted.Detail, "web -> untrusted") {
+		t.Fatalf("demotion event = %+v", demoted)
+	}
+	if drift == nil || drift.Src != "web" || drift.Dst != "ep_cmd" {
+		t.Fatalf("origin-drift event = %+v", drift)
+	}
+	if !strings.Contains(drift.Detail, "requires origin web") || !strings.Contains(drift.Detail, "web is untrusted") {
+		t.Fatalf("origin-drift detail = %q", drift.Detail)
+	}
+}
+
+func TestDemoteIsMonotone(t *testing.T) {
+	m := New(testGraph(), Options{Origins: testOrigins()})
+	if m.Demote("ctrl", OriginBoot) {
+		t.Fatal("raising operator -> boot must be refused")
+	}
+	if m.Demote("ctrl", OriginOperator) {
+		t.Fatal("demoting to the current label is a no-op")
+	}
+	if !m.Demote("ctrl", OriginWeb) {
+		t.Fatal("operator -> web is a genuine demotion")
+	}
+	if m.Demote("ctrl", OriginOperator) {
+		t.Fatal("re-raising after demotion must be refused")
+	}
+	if m.Demote("nobody", OriginUntrusted) {
+		t.Fatal("unknown subject demoted")
+	}
+	if _, ok := m.CurrentOrigin("nobody"); ok {
+		t.Fatal("unknown subject has an origin")
+	}
+	if st := m.Stats(); st.Demotions != 1 {
+		t.Fatalf("Demotions = %d, want 1", st.Demotions)
+	}
+}
+
+func TestCheck(t *testing.T) {
+	m := New(testGraph(), Options{Origins: testOrigins()})
+	if !m.Check("ctrl", "heater", "mt1") || !m.Check("ctrl", "sensor", "mt42") {
+		t.Fatal("certified deliveries failed Check")
+	}
+	if m.Check("web", "heater", "mt1") {
+		t.Fatal("uncertified delivery passed Check")
+	}
+	m.Demote("web", OriginUntrusted)
+	if m.Check("web", "ep_cmd", "send") {
+		t.Fatal("demoted subject's edge passed Check")
+	}
+	if !m.Check("ep_cmd", "ctrl", "recv") {
+		t.Fatal("receiver-governed edge should be unaffected by web's demotion")
+	}
+	// Check never emits or counts: it is the enforcement-side predicate.
+	if st := m.Stats(); st.Observed != 0 || st.PolicyDrifts != 0 {
+		t.Fatalf("Check mutated stats: %+v", st)
+	}
+}
+
+func TestUnlabelledSubjectsDefaultToBoot(t *testing.T) {
+	m := New(testGraph(), Options{}) // no origin map at all
+	for _, s := range []string{"ctrl", "heater", "sensor", "web"} {
+		if o, ok := m.CurrentOrigin(s); !ok || o != OriginBoot {
+			t.Fatalf("CurrentOrigin(%s) = %v, %v, want boot", s, o, ok)
+		}
+	}
+}
+
+func TestNilEventLogStillCounts(t *testing.T) {
+	m := New(testGraph(), Options{Origins: testOrigins()})
+	m.Observe("web", "heater", "mt1")
+	m.Demote("web", OriginUntrusted)
+	m.Observe("web", "ep_cmd", "send")
+	st := m.Stats()
+	if st.Observed != 2 || st.PolicyDrifts != 1 || st.OriginDrifts != 1 || st.Demotions != 1 {
+		t.Fatalf("stats with nil event log = %+v", st)
+	}
+}
+
+func TestNilMonitorStats(t *testing.T) {
+	var m *Monitor
+	if st := m.Stats(); st != (Stats{}) {
+		t.Fatalf("nil monitor stats = %+v", st)
+	}
+}
+
+func TestOriginString(t *testing.T) {
+	for o, want := range map[Origin]string{
+		OriginUntrusted: "untrusted",
+		OriginWeb:       "web",
+		OriginOperator:  "operator",
+		OriginBoot:      "boot",
+		Origin(9):       "Origin(9)",
+	} {
+		if got := o.String(); got != want {
+			t.Errorf("Origin(%d).String() = %q, want %q", uint8(o), got, want)
+		}
+	}
+}

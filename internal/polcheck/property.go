@@ -137,7 +137,9 @@ func (p OnlyEndpoint) Check(g *Graph) Finding {
 }
 
 // ParseProperties reads the declarative property language: one property per
-// line, "#" comments, blank lines ignored.
+// line, "#" comments, blank lines ignored. A property name may appear only
+// once per file — a duplicate is almost always a copy-paste error that would
+// silently double-count one check in the report.
 //
 //	deny_path(webInterface, heaterActProc)
 //	allow_path(tempSensProc, tempProc)
@@ -145,6 +147,7 @@ func (p OnlyEndpoint) Check(g *Graph) Finding {
 //	only_endpoint(webInterface, 1)
 func ParseProperties(text string) ([]Property, error) {
 	var props []Property
+	seen := make(map[string]int)
 	for lineNo, raw := range strings.Split(text, "\n") {
 		line := strings.TrimSpace(raw)
 		if line == "" || strings.HasPrefix(line, "#") {
@@ -154,6 +157,11 @@ func ParseProperties(text string) ([]Property, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%w: line %d: %v", ErrProperty, lineNo+1, err)
 		}
+		if first, dup := seen[p.Name()]; dup {
+			return nil, fmt.Errorf("%w: line %d: duplicate property %s (first on line %d)",
+				ErrProperty, lineNo+1, p.Name(), first)
+		}
+		seen[p.Name()] = lineNo + 1
 		props = append(props, p)
 	}
 	return props, nil
@@ -176,6 +184,9 @@ func parseProperty(line string) (Property, error) {
 		for _, a := range args {
 			if a == "" {
 				return fmt.Errorf("%s has an empty argument", name)
+			}
+			if strings.ContainsAny(a, "()") {
+				return fmt.Errorf("%s has a stray parenthesis in argument %q", name, a)
 			}
 		}
 		return nil

@@ -1,0 +1,132 @@
+package polcheck
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// The property parser's edge cases: empty input, malformed lines, duplicate
+// property names, and properties that reference subjects the graph has never
+// heard of. The parser must reject ambiguity loudly; the checker must fail
+// safe (deny-style properties pass vacuously, allow-style properties flag
+// the missing flow).
+
+func TestParsePropertiesEmptyInput(t *testing.T) {
+	for name, text := range map[string]string{
+		"empty":        "",
+		"whitespace":   "  \n\t\n   ",
+		"comment-only": "# nothing here\n   # still nothing\n",
+	} {
+		props, err := ParseProperties(text)
+		if err != nil {
+			t.Errorf("%s: err = %v", name, err)
+		}
+		if len(props) != 0 {
+			t.Errorf("%s: parsed %d properties from no content", name, len(props))
+		}
+	}
+}
+
+func TestParsePropertiesMoreMalformedLines(t *testing.T) {
+	for _, bad := range []string{
+		"deny_path(a, b",            // missing close paren
+		"deny_path(a, b) trailing",  // junk after close paren
+		"(a, b)",                    // no property name
+		"deny_path()",               // no args at all
+		"only_endpoint(web, 1, 2)",  // arity
+		"no_kill_authority(a,)",     // empty trailing arg
+		"allow_path(a, b))",         // doubled close paren is a bad arg
+		"deny_path((a, b)",          // stray open paren in arg
+		"only_endpoint(, 1)",        // empty subject
+		"only_endpoint(web, 0x1)",   // non-decimal count
+		"only_endpoint(web, 1.5)",   // non-integer count
+		"deny_path(a, b)\nfrob(c)",  // later line still checked
+		"deny_path(a, b)\nallow_(",  // and malformed later line
+	} {
+		if _, err := ParseProperties(bad); !errors.Is(err, ErrProperty) {
+			t.Errorf("ParseProperties(%q) = %v, want ErrProperty", bad, err)
+		}
+	}
+}
+
+func TestParsePropertiesErrorCitesLine(t *testing.T) {
+	_, err := ParseProperties("deny_path(a, b)\n\n# ok so far\nfrob(c, d)\n")
+	if !errors.Is(err, ErrProperty) {
+		t.Fatalf("err = %v", err)
+	}
+	if !strings.Contains(err.Error(), "line 4") {
+		t.Fatalf("error should cite line 4: %v", err)
+	}
+}
+
+func TestParsePropertiesDuplicateName(t *testing.T) {
+	_, err := ParseProperties(`
+deny_path(web, heater)
+allow_path(sensor, ctrl)
+deny_path(web, heater)
+`)
+	if !errors.Is(err, ErrProperty) {
+		t.Fatalf("duplicate accepted: err = %v", err)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "duplicate property deny_path(web, heater)") {
+		t.Fatalf("error should name the duplicate: %v", err)
+	}
+	if !strings.Contains(msg, "line 4") || !strings.Contains(msg, "line 2") {
+		t.Fatalf("error should cite both lines: %v", err)
+	}
+}
+
+func TestParsePropertiesDuplicateDetectsNormalizedSpelling(t *testing.T) {
+	// Same property, different whitespace: still a duplicate, because
+	// identity is the normalised Name(), not the raw source line.
+	_, err := ParseProperties("deny_path(web,heater)\ndeny_path( web , heater )\n")
+	if !errors.Is(err, ErrProperty) {
+		t.Fatalf("whitespace variant accepted: err = %v", err)
+	}
+}
+
+func TestParsePropertiesDistinctArgsAreNotDuplicates(t *testing.T) {
+	props, err := ParseProperties(`
+deny_path(web, heater)
+deny_path(web, alarm)
+only_endpoint(web, 1)
+only_endpoint(ctrl, 3)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(props) != 4 {
+		t.Fatalf("parsed %d properties", len(props))
+	}
+}
+
+func TestPropertiesOnUnknownSubjects(t *testing.T) {
+	g := FromMatrix(testMatrix(t))
+
+	// deny_path on subjects the graph has never seen: vacuously satisfied
+	// (no flow can exist), not an error — fail-safe for deny semantics.
+	if f := (DenyPath{From: "ghost", To: "phantom"}).Check(g); f.Severity != SeverityOK {
+		t.Fatalf("deny_path on unknown subjects = %+v", f)
+	}
+
+	// allow_path on an unknown endpoint must flag the missing flow: liveness
+	// properties exist to catch a contract written against the wrong names.
+	if f := (AllowPath{From: "a", To: "phantom"}).Check(g); f.Severity != SeverityViolation {
+		t.Fatalf("allow_path to unknown subject = %+v", f)
+	}
+	if f := (AllowPath{From: "ghost", To: "b"}).Check(g); f.Severity != SeverityViolation {
+		t.Fatalf("allow_path from unknown subject = %+v", f)
+	}
+
+	// Kill authority over an unknown target cannot exist.
+	if f := (NoKillAuthority{Subject: "ghost", Target: "b"}).Check(g); f.Severity != SeverityOK {
+		t.Fatalf("no_kill_authority unknown subject = %+v", f)
+	}
+
+	// An unknown subject sends to zero destinations, within any budget.
+	if f := (OnlyEndpoint{Subject: "ghost", Max: 0}).Check(g); f.Severity != SeverityOK {
+		t.Fatalf("only_endpoint unknown subject = %+v", f)
+	}
+}

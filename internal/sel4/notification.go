@@ -55,6 +55,7 @@ func (k *Kernel) doSignal(t *tcb, r signalTrap) (any, machine.Disposition) {
 	}
 	n := k.notifs[c.Object]
 	k.stats.Signals++
+	k.m.IPC().Record(t.name, n.name, "signal")
 	if waiter := popWaiter(n); waiter != nil {
 		// Deliver directly: the waiter gets this signal's badge plus any
 		// already-accumulated bits.
@@ -62,6 +63,7 @@ func (k *Kernel) doSignal(t *tcb, r signalTrap) (any, machine.Disposition) {
 		n.word = 0
 		waiter.state = stateReady
 		waiter.waitToken++
+		k.m.IPC().Record(n.name, waiter.name, "wait")
 		k.mustReady(waiter.pid, waitResult{word: word})
 		return errResult{}, machine.DispositionContinue
 	}
@@ -79,6 +81,7 @@ func (k *Kernel) doWait(t *tcb, r waitTrap) (any, machine.Disposition) {
 	if n.word != 0 {
 		word := n.word
 		n.word = 0
+		k.m.IPC().Record(n.name, t.name, "wait")
 		return waitResult{word: word}, machine.DispositionContinue
 	}
 	if r.nb {

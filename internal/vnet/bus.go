@@ -41,6 +41,7 @@ type busNode struct {
 type Bus struct {
 	nodes []*busNode
 	tap   func(TapFrame)
+	guard func(from, to NodeID, port Port) bool
 }
 
 // TapFrame is one delivered chunk, as seen by a bus tap.
@@ -75,6 +76,15 @@ func (b *Bus) Nodes() int { return len(b.nodes) }
 // replay. Only one tap is supported; nil removes it.
 func (b *Bus) SetTap(fn func(TapFrame)) { b.tap = fn }
 
+// SetDialGuard installs fn as the bus admission policy: each queued dial is
+// submitted to it once, at the Flush that would perform the deferred stack
+// dial, and a false return refuses the connection exactly as a missing
+// listener would. The guard runs on the coordinator goroutine between
+// rounds — with every board engine parked — so it may inspect and mutate
+// cross-board monitor state deterministically. Only one guard is supported;
+// nil removes it (the legacy open bus).
+func (b *Bus) SetDialGuard(fn func(from, to NodeID, port Port) bool) { b.guard = fn }
+
 // Dial opens a connection from one node toward a port on another. The actual
 // stack dial is deferred to the next Flush (the bus has store-and-forward
 // latency of one round), so Dial itself never fails: refusal surfaces on the
@@ -106,6 +116,11 @@ func (b *Bus) flushConn(c *BusConn) {
 		return
 	}
 	if c.host == nil {
+		if b.guard != nil && !b.guard(c.from, c.to, c.port) {
+			c.refused = true
+			c.outbox = nil
+			return
+		}
 		target := b.nodes[c.to]
 		if target.stack == nil {
 			c.refused = true

@@ -7,7 +7,15 @@ cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
 go test -race ./...
+# The lab and building runners are the repo's multi-goroutine hot paths;
+# vet and race them explicitly (twice, for scheduling variety) so the
+# parallel suites stay standing gates even if the global pass is narrowed.
+go vet ./internal/lab ./internal/building
+go test -race -count=2 ./internal/lab ./internal/building
 go run ./cmd/polcheck -scenario tempcontrol
+# Least-privilege lint: every static grant the scenario never exercises must
+# be covered by the checked-in allowlist; unknown or stale entries fail.
+go run ./cmd/polcheck -scenario tempcontrol -audit -strict -allow polcheck.allow >/dev/null
 # E4 must at least run; perf comparisons happen out of band.
 go test -run XXX -bench E4 -benchtime 10x .
 # Determinism golden: two runs of the default MINIX scenario must produce
@@ -56,3 +64,14 @@ go run ./cmd/basbuilding -sweep 'rooms=4;mix=paper;secure=even,none;attack=both;
 # Building lockstep scaling bench: 64 boards in lockstep rounds; exits
 # nonzero if any worker width's report deviates from the serial baseline.
 go run ./cmd/basbuilding -rooms 64 -settle 10m -window 20m -bench 1,2,4,8 -bench-out BENCH_building.json
+# E12 monitor smoke: the online policy monitor runs clean on every platform
+# (zero drift on certified traffic is asserted by the unit tests).
+go run ./cmd/basmon -platform minix -monitor -duration 30m >/dev/null
+go run ./cmd/basmon -platform sel4 -monitor -duration 30m >/dev/null
+go run ./cmd/basmon -platform linux -monitor -duration 30m >/dev/null
+# E12 determinism golden: the monitored + demoting building (bus dial guard
+# active) must stay byte-identical across worker counts.
+e12='-rooms 6 -mix paper -secure even -settle 10m -window 15m -demote'
+go run ./cmd/basbuilding $e12 -workers 1 -json >"$out1"
+go run ./cmd/basbuilding $e12 -workers 8 -json >"$out2"
+cmp "$out1" "$out2"
