@@ -12,6 +12,8 @@
 //	basbuilding -faults 2=crash-sensor            # E11 fault case: room 2 loses its sensor
 //	basbuilding -sweep "rooms=4,16;mix=paper;attack=both" -workers 4
 //	basbuilding -bench 1,2,4,8 -bench-out BENCH_building.json
+//	basbuilding -rooms 64 -perf                   # host-side phase profile on stderr
+//	basbuilding -perf-trace trace.json            # per-worker timeline for chrome://tracing
 package main
 
 import (
@@ -26,6 +28,7 @@ import (
 
 	"mkbas/internal/attack"
 	"mkbas/internal/lab"
+	"mkbas/internal/perf"
 )
 
 func main() {
@@ -53,10 +56,15 @@ func run() error {
 	benchFlag := flag.String("bench", "", `comma list of worker counts to benchmark on one building, e.g. "1,2,4,8"`)
 	benchOut := flag.String("bench-out", "", "write the bench report JSON to this file (default stdout)")
 	quiet := flag.Bool("q", false, "suppress per-case progress lines on stderr (sweep mode)")
+	var prof perf.CLI
+	prof.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
+	if err := prof.Start(); err != nil {
+		return err
+	}
 	if *sweepFlag != "" {
-		return runSweep(*sweepFlag, *workers, *jsonOut, *quiet)
+		return runSweep(*sweepFlag, *workers, *jsonOut, *quiet, &prof)
 	}
 
 	spec := attack.BuildingSpec{
@@ -87,11 +95,20 @@ func run() error {
 	}
 
 	if *benchFlag != "" {
-		return runBench(spec, *benchFlag, *benchOut)
+		if err := runBench(spec, *benchFlag, *benchOut); err != nil {
+			return err
+		}
+		// Bench runs are not phase-profiled (each worker count would smear
+		// into one table), but -cpuprofile/-memprofile still apply.
+		return prof.Finish()
 	}
 
+	spec.Profiler = prof.Profiler()
 	rep, err := attack.ExecuteBuilding(spec)
 	if err != nil {
+		return err
+	}
+	if err := prof.Finish(); err != nil {
 		return err
 	}
 	if *jsonOut {
@@ -127,12 +144,12 @@ func parseFaults(spec string) (map[int]string, error) {
 	return out, nil
 }
 
-func runSweep(spec string, workers int, jsonOut, quiet bool) error {
+func runSweep(spec string, workers int, jsonOut, quiet bool, prof *perf.CLI) error {
 	sweep, err := lab.ParseBuildingSweep(spec)
 	if err != nil {
 		return err
 	}
-	opts := lab.BuildingOptions{Workers: workers}
+	opts := lab.BuildingOptions{Workers: workers, Profiler: prof.Profiler()}
 	if !quiet {
 		opts.Progress = func(c lab.BuildingCase, r *attack.BuildingReport) {
 			fmt.Fprintf(os.Stderr, "done %-48s alarm=%v compromised=%v\n", c, r.Alarm, r.Compromised())
@@ -140,6 +157,9 @@ func runSweep(spec string, workers int, jsonOut, quiet bool) error {
 	}
 	res, err := lab.RunBuilding(sweep, opts)
 	if err != nil {
+		return err
+	}
+	if err := prof.Finish(); err != nil {
 		return err
 	}
 	if jsonOut {

@@ -12,6 +12,8 @@
 //	baslab -faults crash-sensor -sweep "platforms=paper;actions=none"   # E10 chaos
 //	baslab -faults plan.json                      # operator-authored fault plan
 //	baslab -bench 1,2,4,8 -bench-out BENCH_lab.json
+//	baslab -perf -workers 8                       # host-side phase profile on stderr
+//	baslab -perf-trace trace.json -cpuprofile cpu.pprof
 package main
 
 import (
@@ -25,6 +27,7 @@ import (
 	"mkbas/internal/attack"
 	"mkbas/internal/faultinject"
 	"mkbas/internal/lab"
+	"mkbas/internal/perf"
 )
 
 func main() {
@@ -45,10 +48,15 @@ func run() error {
 	benchFlag := flag.String("bench", "", `comma list of worker counts to benchmark, e.g. "1,2,4,8" (first is the speedup baseline)`)
 	benchOut := flag.String("bench-out", "", "write the bench report JSON to this file (default stdout)")
 	quiet := flag.Bool("q", false, "suppress per-case progress lines on stderr")
+	var prof perf.CLI
+	prof.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	sweep, err := lab.ParseSweep(*sweepFlag)
 	if err != nil {
+		return err
+	}
+	if err := prof.Start(); err != nil {
 		return err
 	}
 	if *faultsFlag != "" {
@@ -63,10 +71,15 @@ func run() error {
 	}
 
 	if *benchFlag != "" {
-		return runBench(sweep, *benchFlag, *benchOut)
+		if err := runBench(sweep, *benchFlag, *benchOut); err != nil {
+			return err
+		}
+		// Bench runs are not phase-profiled (each worker count would smear
+		// into one table), but -cpuprofile/-memprofile still apply.
+		return prof.Finish()
 	}
 
-	opts := lab.Options{Workers: *workers}
+	opts := lab.Options{Workers: *workers, Profiler: prof.Profiler()}
 	if !*quiet {
 		// Progress callbacks arrive from worker goroutines; stderr writes are
 		// independent lines, and ordering is cosmetic.
@@ -76,6 +89,9 @@ func run() error {
 	}
 	res, err := lab.Run(sweep, opts)
 	if err != nil {
+		return err
+	}
+	if err := prof.Finish(); err != nil {
 		return err
 	}
 	if *jsonOut {

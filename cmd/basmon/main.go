@@ -12,6 +12,7 @@
 //	basmon -platform minix -prom                Prometheus text exposition
 //	basmon -platform sel4 -attack kill-controller -root
 //	basmon -platform minix -faults crash-sensor -duration 1h   E10 chaos run
+//	basmon -platform sel4 -perf -memprofile heap.pprof         host-side profile
 package main
 
 import (
@@ -25,6 +26,7 @@ import (
 	"mkbas/internal/attack"
 	"mkbas/internal/bas"
 	"mkbas/internal/faultinject"
+	"mkbas/internal/perf"
 )
 
 func main() {
@@ -47,16 +49,21 @@ func run() error {
 	recovery := flag.Bool("recovery", false, "enable the optional recovery machinery (seL4 monitor, hardened-Linux supervisor)")
 	monitorOn := flag.Bool("monitor", false, "attach the online policy monitor (E12): every IPC delivery is checked against the certified static access graph")
 	demote := flag.Bool("demote", false, "with -attack: demote the compromised web subject to the untrusted origin at attack start (implies -monitor)")
+	var prof perf.CLI
+	prof.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
+	if err := prof.Start(); err != nil {
+		return err
+	}
 	if *action != "" {
-		return runAttack(*platform, attack.Action(*action), *root, *jsonOut, *faults, *recovery, *monitorOn, *demote)
+		return runAttack(*platform, attack.Action(*action), *root, *jsonOut, *faults, *recovery, *monitorOn, *demote, &prof)
 	}
 
 	cfg := bas.DefaultScenario()
 	tb := bas.NewTestbed(cfg)
 	defer tb.Machine.Shutdown()
-	dep, err := deploy(tb, cfg, *platform, *recovery, *monitorOn || *demote)
+	dep, err := deploy(tb, cfg, *platform, *recovery, *monitorOn || *demote, prof.Profiler())
 	if err != nil {
 		return err
 	}
@@ -72,6 +79,9 @@ func run() error {
 		}
 	}
 	tb.Machine.Run(*duration)
+	if err := prof.Finish(); err != nil {
+		return err
+	}
 
 	board := tb.Machine.Obs()
 	if *chromePath != "" {
@@ -139,14 +149,17 @@ func printFaultReport(rep *faultinject.Report, dep bas.Deployment) {
 
 // runAttack replays one E1 attack and reports which mediation layer, if
 // any, stopped it — the security-event stream is the evidence.
-func runAttack(platform string, action attack.Action, root, jsonOut bool, faults string, recovery, monitorOn, demote bool) error {
+func runAttack(platform string, action attack.Action, root, jsonOut bool, faults string, recovery, monitorOn, demote bool, prof *perf.CLI) error {
 	p, err := basPlatform(platform)
 	if err != nil {
 		return err
 	}
-	spec := attack.Spec{Platform: p, Action: action, Root: root, FaultPlan: faults, Recovery: recovery, Monitor: monitorOn, Demote: demote}
+	spec := attack.Spec{Platform: p, Action: action, Root: root, FaultPlan: faults, Recovery: recovery, Monitor: monitorOn, Demote: demote, Profiler: prof.Profiler()}
 	report, err := attack.Execute(spec)
 	if err != nil {
+		return err
+	}
+	if err := prof.Finish(); err != nil {
 		return err
 	}
 	if jsonOut {
@@ -192,10 +205,10 @@ func basPlatform(p string) (bas.Platform, error) {
 	}
 }
 
-func deploy(tb *bas.Testbed, cfg bas.ScenarioConfig, platform string, recovery, monitor bool) (bas.Deployment, error) {
+func deploy(tb *bas.Testbed, cfg bas.ScenarioConfig, platform string, recovery, monitor bool, prof *perf.Profiler) (bas.Deployment, error) {
 	p, err := basPlatform(platform)
 	if err != nil {
 		return nil, err
 	}
-	return bas.Deploy(p, tb, cfg, bas.DeployOptions{Recovery: recovery, Monitor: monitor})
+	return bas.Deploy(p, tb, cfg, bas.DeployOptions{Recovery: recovery, Monitor: monitor, Profiler: prof})
 }

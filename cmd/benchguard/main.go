@@ -1,0 +1,85 @@
+// Command benchguard compares freshly recorded bench reports against the
+// checked-in baselines on the board_steps_per_sec axis and exits nonzero on
+// a regression beyond the tolerance. check.sh runs it after re-recording
+// BENCH_*.json so an accidental hot-path pessimisation (an O(n²) merge, a
+// lock inside the step loop) fails the gate instead of landing silently.
+//
+// The comparison is best-of across worker counts, so pool-width scheduling
+// noise cancels; the default tolerance is deliberately generous (host
+// benchmarks on shared CI boxes jitter) — this guard catches collapses,
+// not percent-level drift. A fresh record whose determinism bit is false
+// always fails, regardless of throughput.
+//
+// Usage:
+//
+//	benchguard                                    # compare ./BENCH_*.json vs scripts/bench_baselines
+//	benchguard -tolerance 0.6                     # allow up to a 60% throughput loss
+//	benchguard -fresh /tmp/run -files BENCH_lab.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mkbas/internal/lab"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	baselines := flag.String("baselines", "scripts/bench_baselines", "directory holding the checked-in baseline records")
+	fresh := flag.String("fresh", ".", "directory holding the freshly recorded records")
+	files := flag.String("files", "BENCH_lab.json,BENCH_faults.json,BENCH_building.json", "comma list of record file names to compare")
+	tolerance := flag.Float64("tolerance", 0.5, "allowed fractional throughput loss before failing (0.5 = fail below half the baseline rate)")
+	flag.Parse()
+
+	if *tolerance < 0 || *tolerance >= 1 {
+		return fmt.Errorf("tolerance %v out of range [0,1)", *tolerance)
+	}
+
+	failed := 0
+	for _, name := range strings.Split(*files, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		freshRep, err := lab.LoadBench(filepath.Join(*fresh, name))
+		if err != nil {
+			return fmt.Errorf("fresh record: %w", err)
+		}
+		// A missing baseline passes with a note: the first run on a new axis
+		// has nothing to regress against. Check the file in to arm the guard.
+		var baseRep *lab.BenchReport
+		if rep, err := lab.LoadBench(filepath.Join(*baselines, name)); err == nil {
+			baseRep = rep
+		} else if !os.IsNotExist(err) {
+			return fmt.Errorf("baseline record: %w", err)
+		}
+		res := lab.CompareBench(name, baseRep, freshRep, *tolerance)
+		verdict := "ok"
+		if !res.OK {
+			verdict = "FAIL"
+			failed++
+		}
+		line := fmt.Sprintf("%-4s %-22s fresh %10.1f baseline %10.1f board-steps/s", verdict, res.Name, res.FreshBest, res.BaselineBest)
+		if res.Ratio > 0 {
+			line += fmt.Sprintf("  ratio %.2f", res.Ratio)
+		}
+		if res.Reason != "" {
+			line += "  (" + res.Reason + ")"
+		}
+		fmt.Println(line)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d record(s) regressed beyond tolerance %.2f", failed, *tolerance)
+	}
+	return nil
+}

@@ -27,6 +27,7 @@ import (
 	"mkbas/internal/faultinject"
 	"mkbas/internal/machine"
 	"mkbas/internal/obs"
+	"mkbas/internal/perf"
 	"mkbas/internal/polcheck/monitor"
 	"mkbas/internal/safety"
 )
@@ -108,6 +109,10 @@ type Spec struct {
 	// untrusted origin, so even its certified traffic is flagged as
 	// origin-drift from then on.
 	Demote bool
+	// Profiler attaches the host-side performance profiler to the deployment
+	// (see bas.DeployOptions.Profiler). Never marshalled: Spec is embedded in
+	// Report, and host profiling is outside the determinism contract.
+	Profiler *perf.Profiler `json:"-"`
 }
 
 // progress is the attacker's self-reported tally, shared between the
@@ -329,6 +334,7 @@ func deployForSpec(tb *bas.Testbed, cfg bas.ScenarioConfig, spec Spec, prog *pro
 		WebRoot:  spec.Root,
 		Recovery: spec.Recovery,
 		Monitor:  spec.Monitor || spec.Demote,
+		Profiler: spec.Profiler,
 	}
 	if spec.Action != ActionNone {
 		opts.MinixWeb = minixAttackBody(spec.Action, prog)

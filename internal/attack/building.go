@@ -8,6 +8,7 @@ import (
 	"mkbas/internal/bacnet"
 	"mkbas/internal/bas"
 	"mkbas/internal/building"
+	"mkbas/internal/perf"
 	"mkbas/internal/safety"
 	"mkbas/internal/vnet"
 )
@@ -55,6 +56,10 @@ type BuildingSpec struct {
 	// refused and the offending room's web subject is demoted to the
 	// untrusted origin (building.Config.Demote). Implies Monitor.
 	Demote bool `json:"demote,omitempty"`
+	// Profiler attaches the host-side performance profiler to the building
+	// (building.Config.Profiler). Excluded from the report JSON like Workers:
+	// host profiling must not perturb the byte-identical contract.
+	Profiler *perf.Profiler `json:"-"`
 }
 
 func (s BuildingSpec) withDefaults() BuildingSpec {
@@ -342,6 +347,7 @@ func ExecuteBuilding(spec BuildingSpec) (*BuildingReport, error) {
 		Faults:   spec.Faults,
 		Monitor:  spec.Monitor || spec.Demote,
 		Demote:   spec.Demote,
+		Profiler: spec.Profiler,
 		HeadEnd: building.HeadEndConfig{
 			Schedule: []building.SetpointEvent{{At: schedAt, Value: eco}},
 		},

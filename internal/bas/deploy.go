@@ -13,6 +13,7 @@ import (
 	"mkbas/internal/machine"
 	"mkbas/internal/minix"
 	"mkbas/internal/obs"
+	"mkbas/internal/perf"
 	"mkbas/internal/polcheck"
 	"mkbas/internal/polcheck/monitor"
 )
@@ -149,6 +150,13 @@ type DeployOptions struct {
 	// where runtime verification is the only policy check there is. All
 	// platforms honour it.
 	Monitor bool
+	// Profiler attaches the host-side performance profiler: Deploy books its
+	// own wall-clock cost into the "bas.deploy" phase, binds the board engine
+	// (engine.run / engine.dispatch phases), and threads the profiler into
+	// the policy monitor (monitor.observe). nil profiles nothing — the wired
+	// scopes all discard. All platforms honour it. Never marshalled: host
+	// profiling is outside the determinism contract.
+	Profiler *perf.Profiler `json:"-"`
 }
 
 // deployer is one registry entry: boot cfg on tb under opts.
@@ -187,6 +195,12 @@ func Deploy(platform Platform, tb *Testbed, cfg ScenarioConfig, opts DeployOptio
 		}
 		return nil, fmt.Errorf("bas: unknown platform %q (known: %s)", platform, strings.Join(names, ", "))
 	}
+	// Bind the board before booting so boot-time engine activity is
+	// attributed too; the deploy scope itself covers image construction,
+	// policy gating, and process spawning.
+	sc := opts.Profiler.Phase("bas.deploy").Begin()
+	defer sc.End()
+	tb.Machine.SetProfiler(opts.Profiler)
 	return deploy(tb, cfg, opts)
 }
 

@@ -298,7 +298,7 @@ func deployLinux(platform Platform, tb *Testbed, cfg ScenarioConfig, opts Deploy
 		Testbed:        tb,
 	}
 	if opts.Monitor {
-		dep.attachMonitor(linuxMonitorGraph(opts.BACnet.Enabled), monitor.Options{})
+		dep.attachMonitor(linuxMonitorGraph(opts.BACnet.Enabled), monitor.Options{Profiler: opts.Profiler})
 	}
 	return dep, nil
 }

@@ -178,7 +178,7 @@ func deployMinix(platform Platform, tb *Testbed, cfg ScenarioConfig, opts Deploy
 		// On the vanilla ablation the kernel enforces nothing, but deliveries
 		// are still recorded — the monitor is then the only policy check, the
 		// runtime-verification configuration.
-		dep.attachMonitor(polcheck.FromPolicy(policy), monitor.Options{})
+		dep.attachMonitor(polcheck.FromPolicy(policy), monitor.Options{Profiler: opts.Profiler})
 	}
 	return dep, nil
 }

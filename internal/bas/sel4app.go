@@ -268,6 +268,7 @@ func deploySel4(tb *Testbed, cfg ScenarioConfig, opts DeployOptions) (*Sel4Deplo
 		dep.attachMonitor(polcheck.FromCapDL(spec), monitor.Options{
 			SubjectOf:    polcheck.CapDLSubjectOf,
 			ChannelNames: camkes.ChannelNames(assembly),
+			Profiler:     opts.Profiler,
 		})
 	}
 	return dep, nil

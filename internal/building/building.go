@@ -9,12 +9,14 @@ package building
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mkbas/internal/bas"
 	"mkbas/internal/faultinject"
 	"mkbas/internal/machine"
 	"mkbas/internal/obs"
+	"mkbas/internal/perf"
 	"mkbas/internal/polcheck/monitor"
 	"mkbas/internal/vnet"
 )
@@ -60,6 +62,12 @@ type Config struct {
 	// dialer sees a refused connection, exactly as if no listener existed).
 	// Demote implies Monitor.
 	Demote bool
+	// Profiler attaches the host-side performance profiler: rounds, board
+	// steps, head-end polling, and bus flushes book their wall-clock cost
+	// into named phases, and each worker goroutine keeps busy/idle accounts
+	// (WorkerStats). nil profiles nothing — busy/idle accounting still runs,
+	// it costs two time.Now calls per board step. Never marshalled.
+	Profiler *perf.Profiler `json:"-"`
 }
 
 // RoomKey derives room i's secure-proxy device key. Deterministic on
@@ -82,6 +90,10 @@ type Room struct {
 	Dep      bas.Deployment
 	Injector *faultinject.Injector
 	Plan     string
+
+	// label is the room's timeline-slice name, precomputed so the worker
+	// hot loop never formats.
+	label string
 }
 
 // Building is the assembled fleet.
@@ -108,6 +120,36 @@ type Building struct {
 	jobs   chan int
 	wg     sync.WaitGroup
 	closed bool
+
+	// Host-side profiling. The phases are nil (discarding) without a
+	// profiler; the per-worker busy/jobs counters always run. stepWallNs
+	// accumulates the coordinator's board-stepping window (dispatch to
+	// barrier) per round; every worker busy interval nests strictly inside
+	// that window, which is what makes busy+idle == stepWall an exact
+	// invariant rather than a racy approximation.
+	prof       *perf.Profiler
+	phRound    *perf.Phase
+	phBoard    *perf.Phase
+	phHead     *perf.Phase
+	stepWallNs int64
+	wstats     []workerStat
+}
+
+// workerStat is one worker goroutine's host-time account.
+type workerStat struct {
+	busyNs int64 // atomic: summed board-step time on this worker
+	jobs   int64 // atomic: board steps executed on this worker
+	track  *perf.Track
+	_      [4]int64 // pad to a cache line so workers don't false-share
+}
+
+// WorkerStats is one worker's exported busy/idle account, relative to the
+// coordinator's cumulative board-stepping wall-clock (StepWallNs).
+type WorkerStats struct {
+	Worker int   `json:"worker"`
+	Jobs   int64 `json:"jobs"`
+	BusyNs int64 `json:"busy_ns"`
+	IdleNs int64 `json:"idle_ns"`
 }
 
 // New deploys the building: every room boots its platform with the BACnet
@@ -143,7 +185,14 @@ func New(cfg Config) (*Building, error) {
 		Bus:     vnet.NewBus(),
 		workers: workers,
 		jobs:    make(chan int),
+		prof:    cfg.Profiler,
+		phRound: cfg.Profiler.HotPhase("building.round"),
+		phBoard: cfg.Profiler.HotPhase("building.board_step"),
+		phHead:  cfg.Profiler.HotPhase("building.headend"),
+		wstats:  make([]workerStat, workers),
 	}
+	b.Bus.Instrument(cfg.Profiler)
+	cfg.Profiler.SetGauge("building.workers", int64(workers))
 	for i := 0; i < cfg.Rooms; i++ {
 		room, err := b.deployRoom(i, scenario)
 		if err != nil {
@@ -162,14 +211,51 @@ func New(cfg Config) (*Building, error) {
 	}
 
 	for w := 0; w < workers; w++ {
+		st := &b.wstats[w]
+		if cfg.Profiler.TimelineEnabled() {
+			st.track = cfg.Profiler.Track(fmt.Sprintf("building-worker-%02d", w))
+		}
 		go func() {
 			for i := range b.jobs {
+				var label string
+				if st.track != nil {
+					label = b.Rooms[i].label
+				}
+				sc := b.phBoard.BeginOn(st.track, label)
+				start := time.Now()
 				b.Rooms[i].Dep.Machine().RunUntil(b.target)
+				atomic.AddInt64(&st.busyNs, int64(time.Since(start)))
+				atomic.AddInt64(&st.jobs, 1)
+				sc.End()
 				b.wg.Done()
 			}
 		}()
 	}
 	return b, nil
+}
+
+// StepWallNs is the cumulative host wall-clock the coordinator spent in the
+// board-stepping window (job dispatch to barrier) across all rounds so far.
+func (b *Building) StepWallNs() int64 { return atomic.LoadInt64(&b.stepWallNs) }
+
+// WorkerStats exports each worker's busy/idle account. Idle is defined
+// against the coordinator's stepping window: IdleNs = StepWallNs - BusyNs,
+// so for every worker BusyNs + IdleNs == StepWallNs exactly (busy intervals
+// nest inside the window). Call between rounds (the coordinator's context),
+// not while a Step is in flight.
+func (b *Building) WorkerStats() []WorkerStats {
+	wall := atomic.LoadInt64(&b.stepWallNs)
+	out := make([]WorkerStats, len(b.wstats))
+	for w := range b.wstats {
+		busy := atomic.LoadInt64(&b.wstats[w].busyNs)
+		out[w] = WorkerStats{
+			Worker: w,
+			Jobs:   atomic.LoadInt64(&b.wstats[w].jobs),
+			BusyNs: busy,
+			IdleNs: wall - busy,
+		}
+	}
+	return out
 }
 
 func (b *Building) deployRoom(i int, scenario bas.ScenarioConfig) (*Room, error) {
@@ -189,6 +275,7 @@ func (b *Building) deployRoom(i int, scenario bas.ScenarioConfig) (*Room, error)
 		Recovery: b.cfg.Recovery,
 		Monitor:  b.cfg.Monitor || b.cfg.Demote,
 		BACnet:   bas.BACnetOptions{Enabled: true, Key: key, DeviceID: uint32(i + 1)},
+		Profiler: b.cfg.Profiler,
 	})
 	if err != nil {
 		tb.Machine.Shutdown()
@@ -202,6 +289,7 @@ func (b *Building) deployRoom(i int, scenario bas.ScenarioConfig) (*Room, error)
 		DeviceID: uint32(i + 1),
 		Testbed:  tb,
 		Dep:      dep,
+		label:    fmt.Sprintf("room%02d", i),
 	}
 	room.Node = b.Bus.AddNode(fmt.Sprintf("room%02d", i), tb.Net)
 	if room.Node != vnet.NodeID(i) {
@@ -306,17 +394,23 @@ func (b *Building) RoomDemoted(i int) bool {
 // Nothing in the sequence depends on goroutine scheduling, which is why the
 // building's report is byte-identical at any worker count.
 func (b *Building) Step() {
+	rsc := b.phRound.Begin()
 	b.round++
 	b.elapsed += b.slice
 	b.target = machine.Time(0).Add(b.elapsed)
+	stepStart := time.Now()
 	b.wg.Add(len(b.Rooms))
 	for i := range b.Rooms {
 		b.jobs <- i
 	}
 	b.wg.Wait()
+	atomic.AddInt64(&b.stepWallNs, int64(time.Since(stepStart)))
 	b.Bus.Flush()
+	hsc := b.phHead.Begin()
 	b.Head.OnRound(b.round, b.elapsed)
+	hsc.End()
 	b.Bus.Flush()
+	rsc.End()
 }
 
 // Run advances the building by d (rounded up to whole rounds).

@@ -1,0 +1,103 @@
+package building
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mkbas/internal/perf"
+)
+
+// TestWorkerBusyIdleAccounting checks the exactness claim on the host-time
+// accounts: every worker's busy interval nests inside the coordinator's
+// stepping window, so BusyNs + IdleNs == StepWallNs holds per worker as an
+// identity, not an approximation — regardless of scheduling.
+func TestWorkerBusyIdleAccounting(t *testing.T) {
+	const rooms, workers = 8, 4
+	b, err := New(Config{
+		Rooms:   rooms,
+		Mix:     paperMix(),
+		Secure:  evenSecure(rooms),
+		Workers: workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	b.Run(10 * time.Minute)
+
+	wall := b.StepWallNs()
+	if wall <= 0 {
+		t.Fatalf("StepWallNs = %d after 10 rounds, want > 0", wall)
+	}
+	stats := b.WorkerStats()
+	if len(stats) != workers {
+		t.Fatalf("got %d worker stats, want %d", len(stats), workers)
+	}
+	var jobs, busy int64
+	for _, st := range stats {
+		if st.BusyNs+st.IdleNs != wall {
+			t.Fatalf("worker %d: busy %d + idle %d != step wall %d",
+				st.Worker, st.BusyNs, st.IdleNs, wall)
+		}
+		if st.IdleNs < 0 {
+			t.Fatalf("worker %d: negative idle %d (busy interval escaped the stepping window)",
+				st.Worker, st.IdleNs)
+		}
+		jobs += st.Jobs
+		busy += st.BusyNs
+	}
+	if wantJobs := int64(rooms * b.Round()); jobs != wantJobs {
+		t.Fatalf("workers executed %d board steps, want rooms*rounds = %d", jobs, wantJobs)
+	}
+	if busy == 0 {
+		t.Fatal("no worker accumulated any busy time across 10 rounds")
+	}
+}
+
+// TestBuildingPhaseSkeleton checks that a profiled building run books every
+// building-side phase and that the per-phase counts are a pure function of
+// the simulation (rounds and rooms), not of host scheduling.
+func TestBuildingPhaseSkeleton(t *testing.T) {
+	prof := perf.New(perf.Options{})
+	const rooms = 4
+	b, err := New(Config{
+		Rooms:    rooms,
+		Mix:      paperMix(),
+		Secure:   evenSecure(rooms),
+		Workers:  2,
+		Profiler: prof,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	b.Run(5 * time.Minute)
+
+	snap := prof.Snapshot(false)
+	counts := map[string]int64{}
+	for _, ph := range snap.Phases {
+		counts[ph.Name] = ph.Count
+	}
+	rounds := int64(b.Round())
+	if counts["building.round"] != rounds {
+		t.Fatalf("building.round count = %d, want %d", counts["building.round"], rounds)
+	}
+	if counts["building.board_step"] != rounds*rooms {
+		t.Fatalf("building.board_step count = %d, want %d", counts["building.board_step"], rounds*rooms)
+	}
+	if counts["building.headend"] != rounds {
+		t.Fatalf("building.headend count = %d, want %d", counts["building.headend"], rounds)
+	}
+	// Two flushes per round (board barrier + head-end barrier).
+	if counts["bus.flush"] != 2*rounds {
+		t.Fatalf("bus.flush count = %d, want %d", counts["bus.flush"], 2*rounds)
+	}
+	if counts["bas.deploy"] != rooms {
+		t.Fatalf("bas.deploy count = %d, want %d (one per room)", counts["bas.deploy"], rooms)
+	}
+	text := prof.Snapshot(true).Text()
+	if !strings.Contains(text, "gauge building.workers") {
+		t.Fatalf("timed snapshot text lacks the building.workers gauge:\n%s", text)
+	}
+}

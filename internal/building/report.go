@@ -25,7 +25,7 @@ type RoomReport struct {
 	FramesAccepted int64 `json:"frames_accepted"`
 	FramesRejected int64 `json:"frames_rejected"`
 
-	FaultPlan string             `json:"fault_plan,omitempty"`
+	FaultPlan string              `json:"fault_plan,omitempty"`
 	Faults    *faultinject.Report `json:"faults,omitempty"`
 
 	// Policy-monitor columns (absent when Config.Monitor is off).

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"os"
 	"runtime"
 
 	"mkbas/internal/attack"
@@ -36,6 +37,39 @@ type BenchReport struct {
 	// GOMAXPROCS is the Go scheduler's parallelism limit at measurement
 	// time — scaling beyond min(host_cpus, gomaxprocs) is not expected.
 	GOMAXPROCS int `json:"gomaxprocs"`
+	// ParallelismEffective is false when GOMAXPROCS == 1: every worker count
+	// then time-slices one OS thread, so the speedup curve is noise, not a
+	// scaling measurement. Readers (and benchguard) must not interpret the
+	// Speedup column of such a record.
+	ParallelismEffective bool `json:"parallelism_effective"`
+}
+
+// perSec converts a count over elapsedNs nanoseconds to a per-second rate,
+// guarding against zero (or negative) elapsed on very fast sweeps — a raw
+// division would yield ±Inf, which json.Marshal rejects.
+func perSec(n, elapsedNs float64) float64 {
+	if elapsedNs <= 0 {
+		return 0
+	}
+	return n / (elapsedNs / 1e9)
+}
+
+// speedupOf guards the baseline/elapsed ratio the same way.
+func speedupOf(baseNs, elapsedNs float64) float64 {
+	if elapsedNs <= 0 {
+		return 0
+	}
+	return baseNs / elapsedNs
+}
+
+// warnIfSerial flags a degenerate bench host on stderr and reports whether
+// parallelism is effective.
+func warnIfSerial(kind string) bool {
+	if runtime.GOMAXPROCS(0) > 1 {
+		return true
+	}
+	fmt.Fprintf(os.Stderr, "lab: warning: GOMAXPROCS=1, %s bench speedups are time-slicing noise (parallelism_effective=false)\n", kind)
+	return false
 }
 
 // Bench runs the sweep once per worker count, measuring wall-clock
@@ -46,7 +80,12 @@ func Bench(sweep Sweep, workerCounts []int, hostCPUs int) (*BenchReport, error) 
 	if len(workerCounts) == 0 {
 		return nil, fmt.Errorf("lab: no worker counts to bench")
 	}
-	rep := &BenchReport{Identical: true, HostCPUs: hostCPUs, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	rep := &BenchReport{
+		Identical:            true,
+		HostCPUs:             hostCPUs,
+		GOMAXPROCS:           runtime.GOMAXPROCS(0),
+		ParallelismEffective: warnIfSerial("lab"),
+	}
 	var baseline []byte
 	var baseElapsed float64
 	// Every campaign shard is one board simulating the full attack timeline.
@@ -71,9 +110,9 @@ func Bench(sweep Sweep, workerCounts []int, hostCPUs int) (*BenchReport, error) 
 		pt := BenchPoint{
 			Workers:          res.Workers,
 			ElapsedMS:        elapsed / 1e6,
-			ShardsPerSec:     float64(len(res.Cases)) / (elapsed / 1e9),
-			BoardStepsPerSec: float64(len(res.Cases)) * virtSecsPerShard / (elapsed / 1e9),
-			Speedup:          baseElapsed / elapsed,
+			ShardsPerSec:     perSec(float64(len(res.Cases)), elapsed),
+			BoardStepsPerSec: perSec(float64(len(res.Cases))*virtSecsPerShard, elapsed),
+			Speedup:          speedupOf(baseElapsed, elapsed),
 		}
 		rep.Points = append(rep.Points, pt)
 	}

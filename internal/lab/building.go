@@ -12,6 +12,7 @@ import (
 
 	"mkbas/internal/attack"
 	"mkbas/internal/bas"
+	"mkbas/internal/perf"
 )
 
 // marshalIndent is the package's canonical report rendering: indented JSON
@@ -359,6 +360,10 @@ type BuildingOptions struct {
 	Workers int
 	// Progress, when non-nil, receives one callback per finished case.
 	Progress func(c BuildingCase, r *attack.BuildingReport)
+	// Profiler attaches the host-side performance profiler; see
+	// Options.Profiler. Building shards book into "lab.shard" too — the
+	// phase names what the pool schedules, not what runs inside.
+	Profiler *perf.Profiler
 }
 
 // RunBuilding executes every case of the building sweep across a worker
@@ -380,36 +385,57 @@ func RunBuilding(sweep BuildingSweep, opts BuildingOptions) (*BuildingResult, er
 	start := time.Now()
 	reports := make([]*attack.BuildingReport, len(cases))
 	errs := make([]error, len(cases))
-	jobs := make(chan int)
+	jobs := make(chan int, len(cases))
+	pool := newPoolStats(opts.Profiler, workers)
+	phShard := opts.Profiler.Phase("lab.shard")
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		var track *perf.Track
+		if opts.Profiler.TimelineEnabled() {
+			track = opts.Profiler.Track(fmt.Sprintf("lab-worker-%02d", w))
+		}
+		go func(w int) {
 			defer wg.Done()
 			for i := range jobs {
+				pool.enter(len(jobs))
+				var label string
+				if track != nil {
+					label = fmt.Sprintf("shard-%02d", i)
+				}
+				sc := phShard.BeginOn(track, label)
+				jobStart := time.Now()
 				c := cases[i]
 				spec, err := c.Spec(sweep.Settle, sweep.Window)
 				if err != nil {
 					errs[i] = err
+					sc.End()
+					pool.exit(w, time.Since(jobStart))
 					continue
 				}
+				spec.Profiler = opts.Profiler
 				r, err := attack.ExecuteBuilding(spec)
 				if err != nil {
 					errs[i] = fmt.Errorf("lab: building shard %s: %w", c, err)
+					sc.End()
+					pool.exit(w, time.Since(jobStart))
 					continue
 				}
 				reports[i] = r
 				if opts.Progress != nil {
 					opts.Progress(c, r)
 				}
+				sc.End()
+				pool.exit(w, time.Since(jobStart))
 			}
-		}()
+		}(w)
 	}
 	for i := range cases {
 		jobs <- i
 	}
 	close(jobs)
 	wg.Wait()
+	pool.export("lab", int64(time.Since(start)))
 
 	for _, err := range errs {
 		if err != nil {
@@ -442,7 +468,13 @@ func BenchBuilding(spec attack.BuildingSpec, workerCounts []int, hostCPUs int) (
 	if len(workerCounts) == 0 {
 		return nil, fmt.Errorf("lab: no worker counts to bench")
 	}
-	rep := &BenchReport{Shards: spec.Rooms, Identical: true, HostCPUs: hostCPUs, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	rep := &BenchReport{
+		Shards:               spec.Rooms,
+		Identical:            true,
+		HostCPUs:             hostCPUs,
+		GOMAXPROCS:           runtime.GOMAXPROCS(0),
+		ParallelismEffective: warnIfSerial("building"),
+	}
 	var baseline []byte
 	var baseElapsed float64
 	// Every room board simulates the spec's full virtual timeline.
@@ -469,9 +501,9 @@ func BenchBuilding(spec attack.BuildingSpec, workerCounts []int, hostCPUs int) (
 		rep.Points = append(rep.Points, BenchPoint{
 			Workers:          w,
 			ElapsedMS:        elapsed / 1e6,
-			ShardsPerSec:     float64(spec.Rooms) / (elapsed / 1e9),
-			BoardStepsPerSec: float64(spec.Rooms) * virtSecsPerBoard / (elapsed / 1e9),
-			Speedup:          baseElapsed / elapsed,
+			ShardsPerSec:     perSec(float64(spec.Rooms), elapsed),
+			BoardStepsPerSec: perSec(float64(spec.Rooms)*virtSecsPerBoard, elapsed),
+			Speedup:          speedupOf(baseElapsed, elapsed),
 		})
 	}
 	return rep, nil

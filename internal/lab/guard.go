@@ -1,0 +1,87 @@
+package lab
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// GuardResult is the verdict of comparing one fresh bench record against its
+// checked-in baseline on the board_steps_per_sec axis.
+type GuardResult struct {
+	Name string `json:"name"`
+	// BaselineBest and FreshBest are each record's best (max over worker
+	// counts) board_steps_per_sec — best-of is compared rather than any
+	// single worker count so pool-width scheduling noise cancels out.
+	BaselineBest float64 `json:"baseline_best"`
+	FreshBest    float64 `json:"fresh_best"`
+	// Ratio is fresh/baseline; 1.0 means parity, below 1-tolerance fails.
+	Ratio float64 `json:"ratio"`
+	OK    bool    `json:"ok"`
+	// Reason explains a failure (or a pass-with-note, e.g. an unusable
+	// baseline).
+	Reason string `json:"reason,omitempty"`
+}
+
+// bestSteps is the max board_steps_per_sec over a record's points.
+func bestSteps(r *BenchReport) float64 {
+	best := 0.0
+	for _, p := range r.Points {
+		if p.BoardStepsPerSec > best {
+			best = p.BoardStepsPerSec
+		}
+	}
+	return best
+}
+
+// CompareBench guards one bench record against its baseline. tolerance is
+// the fraction of baseline throughput the fresh record may lose before the
+// guard fails: 0.5 fails only below half the recorded rate. Host benchmarks
+// on shared CI boxes are noisy, so tolerances here should be generous —
+// the guard exists to catch order-of-magnitude regressions (an accidental
+// O(n²), a lock on the hot path), not percent-level drift.
+//
+// A fresh record with Identical == false always fails: the determinism
+// contract is part of what the bench measures, and no throughput excuses
+// breaking it.
+func CompareBench(name string, baseline, fresh *BenchReport, tolerance float64) GuardResult {
+	res := GuardResult{Name: name, OK: true}
+	if fresh == nil {
+		return GuardResult{Name: name, OK: false, Reason: "fresh record missing"}
+	}
+	res.FreshBest = bestSteps(fresh)
+	if !fresh.Identical {
+		res.OK = false
+		res.Reason = "fresh record reports identical=false (determinism violated)"
+		return res
+	}
+	if baseline == nil {
+		res.Reason = "no baseline recorded; pass by default"
+		return res
+	}
+	res.BaselineBest = bestSteps(baseline)
+	if res.BaselineBest <= 0 {
+		res.Reason = "baseline has no usable board_steps_per_sec; pass by default"
+		return res
+	}
+	res.Ratio = res.FreshBest / res.BaselineBest
+	if res.Ratio < 1-tolerance {
+		res.OK = false
+		res.Reason = fmt.Sprintf("throughput regressed: %.1f vs baseline %.1f board-steps/s (ratio %.2f < %.2f)",
+			res.FreshBest, res.BaselineBest, res.Ratio, 1-tolerance)
+	}
+	return res
+}
+
+// LoadBench reads a bench record JSON from disk.
+func LoadBench(path string) (*BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep BenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}

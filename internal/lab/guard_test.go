@@ -1,0 +1,96 @@
+package lab
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func benchRecord(identical bool, steps ...float64) *BenchReport {
+	rep := &BenchReport{Identical: identical}
+	for i, s := range steps {
+		rep.Points = append(rep.Points, BenchPoint{Workers: i + 1, BoardStepsPerSec: s})
+	}
+	return rep
+}
+
+func TestCompareBenchParity(t *testing.T) {
+	base := benchRecord(true, 100, 180, 200)
+	fresh := benchRecord(true, 95, 190, 170)
+	res := CompareBench("lab", base, fresh, 0.5)
+	if !res.OK {
+		t.Fatalf("parity run failed the guard: %+v", res)
+	}
+	if res.BaselineBest != 200 || res.FreshBest != 190 {
+		t.Fatalf("best-of extraction wrong: %+v", res)
+	}
+}
+
+func TestCompareBenchRegression(t *testing.T) {
+	base := benchRecord(true, 200)
+	fresh := benchRecord(true, 80) // ratio 0.4 < 1-0.5
+	res := CompareBench("lab", base, fresh, 0.5)
+	if res.OK {
+		t.Fatalf("2.5x regression passed the guard: %+v", res)
+	}
+	if !strings.Contains(res.Reason, "regressed") {
+		t.Fatalf("reason does not explain the regression: %q", res.Reason)
+	}
+}
+
+func TestCompareBenchToleranceBoundary(t *testing.T) {
+	base := benchRecord(true, 100)
+	// Exactly at the 1-tolerance edge passes (strict less-than fails).
+	if res := CompareBench("lab", base, benchRecord(true, 50), 0.5); !res.OK {
+		t.Fatalf("edge ratio failed: %+v", res)
+	}
+	if res := CompareBench("lab", base, benchRecord(true, 49), 0.5); res.OK {
+		t.Fatalf("below-edge ratio passed: %+v", res)
+	}
+}
+
+func TestCompareBenchDeterminismViolation(t *testing.T) {
+	base := benchRecord(true, 100)
+	fresh := benchRecord(false, 500) // faster, but not byte-identical
+	res := CompareBench("lab", base, fresh, 0.5)
+	if res.OK {
+		t.Fatalf("identical=false record passed the guard: %+v", res)
+	}
+	if !strings.Contains(res.Reason, "determinism") {
+		t.Fatalf("reason does not mention determinism: %q", res.Reason)
+	}
+}
+
+func TestCompareBenchMissingBaseline(t *testing.T) {
+	res := CompareBench("lab", nil, benchRecord(true, 100), 0.5)
+	if !res.OK || res.Reason == "" {
+		t.Fatalf("missing baseline should pass with a note: %+v", res)
+	}
+	if res := CompareBench("lab", nil, nil, 0.5); res.OK {
+		t.Fatalf("missing fresh record passed: %+v", res)
+	}
+}
+
+func TestLoadBenchRoundTrip(t *testing.T) {
+	rep := benchRecord(true, 123.5, 456.25)
+	rep.Shards = 50
+	out, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_lab.json")
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Shards != 50 || bestSteps(got) != 456.25 {
+		t.Fatalf("round trip mangled the record: %+v", got)
+	}
+	if _, err := LoadBench(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("loading a missing file succeeded")
+	}
+}

@@ -1,0 +1,116 @@
+package lab
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mkbas/internal/perf"
+)
+
+// profileSweep is a small-but-plural campaign: several shards so an 8-worker
+// pool actually exercises concurrent phase accumulation.
+func profileSweep(t *testing.T) Sweep {
+	t.Helper()
+	s, err := ParseSweep("platforms=paper;actions=spoof-sensor,kill-controller")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestPerfSkeletonDeterministicAcrossWorkers is the tentpole's determinism
+// claim: the untimed profile — phase set, name ordering, per-phase counts —
+// is a pure function of the campaign, so Snapshot(false).JSON() must be
+// byte-identical whether the shards ran serially or 8 at a time.
+func TestPerfSkeletonDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) []byte {
+		prof := perf.New(perf.Options{})
+		if _, err := Run(profileSweep(t), Options{Workers: workers, Profiler: prof}); err != nil {
+			t.Fatal(err)
+		}
+		out, err := prof.Snapshot(false).JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	serial := run(1)
+	parallel := run(8)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("perf skeleton diverged between 1 and 8 workers:\n--- workers=1\n%s\n--- workers=8\n%s", serial, parallel)
+	}
+	for _, phase := range []string{"lab.shard", "lab.merge", "bas.deploy", "engine.run", "engine.dispatch", "monitor.observe"} {
+		if !bytes.Contains(serial, []byte(phase)) {
+			// monitor.observe only appears when the sweep enables the monitor.
+			if phase == "monitor.observe" {
+				continue
+			}
+			t.Errorf("skeleton lacks phase %q:\n%s", phase, serial)
+		}
+	}
+}
+
+// TestPerfChromeTraceGolden locks the normalized host-trace shape for a tiny
+// serial sweep: at workers=1 every shard lands on the same track in shard
+// order, and normalization replaces host timestamps with ordinals — so the
+// trace bytes are reproducible run to run.
+func TestPerfChromeTraceGolden(t *testing.T) {
+	run := func() []byte {
+		prof := perf.New(perf.Options{Timeline: true})
+		sweep, err := ParseSweep("platforms=minix3-acm;actions=spoof-sensor,kill-controller")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Run(sweep, Options{Workers: 1, Profiler: prof}); err != nil {
+			t.Fatal(err)
+		}
+		out, err := prof.ChromeTrace(true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	first := run()
+	second := run()
+	if !bytes.Equal(first, second) {
+		t.Fatalf("normalized serial trace not reproducible:\n--- run 1\n%s\n--- run 2\n%s", first, second)
+	}
+	trace := string(first)
+	for _, want := range []string{
+		`"name": "thread_name"`,    // track metadata present
+		`"lab-worker-00"`,          // the single worker's track
+		`"shard-00"`, `"shard-01"`, // both shards appear as labelled slices
+		`"ph": "X"`, `"cat": "host"`, // complete events on the host category
+	} {
+		if !strings.Contains(trace, want) {
+			t.Errorf("trace lacks %s:\n%s", want, trace)
+		}
+	}
+}
+
+// TestPoolGaugesExported checks the worker-pool utilization gauges land in
+// the timed snapshot (and stay out of the untimed skeleton).
+func TestPoolGaugesExported(t *testing.T) {
+	prof := perf.New(perf.Options{})
+	if _, err := Run(profileSweep(t), Options{Workers: 2, Profiler: prof}); err != nil {
+		t.Fatal(err)
+	}
+	timed := prof.Snapshot(true)
+	gauges := map[string]int64{}
+	for _, g := range timed.Gauges {
+		gauges[g.Name] = g.Value
+	}
+	if gauges["lab.workers"] != 2 {
+		t.Fatalf("lab.workers gauge = %d, want 2 (gauges: %v)", gauges["lab.workers"], gauges)
+	}
+	if _, ok := gauges["lab.max_inflight"]; !ok {
+		t.Fatalf("lab.max_inflight gauge missing (gauges: %v)", gauges)
+	}
+	if _, ok := gauges["lab.queue_high_water"]; !ok {
+		t.Fatalf("lab.queue_high_water gauge missing (gauges: %v)", gauges)
+	}
+	if len(prof.Snapshot(false).Gauges) != 0 {
+		t.Fatal("untimed skeleton leaked host-dependent gauges")
+	}
+}

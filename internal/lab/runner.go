@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mkbas/internal/attack"
+	"mkbas/internal/perf"
 )
 
 // Options configures a campaign run.
@@ -17,6 +19,67 @@ type Options struct {
 	// Progress, when non-nil, receives one callback per finished case from
 	// whichever worker finished it (callers that print must synchronise).
 	Progress func(c Case, r *attack.Report)
+	// Profiler attaches the host-side performance profiler: each shard books
+	// into the "lab.shard" phase (and, with a timeline, a slice on its
+	// worker's track), the merge into "lab.merge", and the pool exports
+	// utilization and queue-depth gauges. The profile's phase *skeleton*
+	// (names, ordering, counts) is a function of the sweep alone; only the
+	// timing columns vary with worker count. nil profiles nothing.
+	Profiler *perf.Profiler
+}
+
+// poolStats instruments one worker pool: in-flight high-water mark, queue
+// high-water mark, and per-worker busy time, exported as perf gauges.
+type poolStats struct {
+	prof     *perf.Profiler
+	inflight int64
+	maxIn    int64
+	maxQ     int64
+	busyNs   []int64
+}
+
+func newPoolStats(prof *perf.Profiler, workers int) *poolStats {
+	return &poolStats{prof: prof, busyNs: make([]int64, workers)}
+}
+
+// enter marks one job starting; depth is the queue length observed at
+// dequeue time.
+func (ps *poolStats) enter(depth int) {
+	in := atomic.AddInt64(&ps.inflight, 1)
+	atomicMax(&ps.maxIn, in)
+	atomicMax(&ps.maxQ, int64(depth))
+}
+
+// exit marks one job done, folding its wall time into the worker's account.
+func (ps *poolStats) exit(worker int, d time.Duration) {
+	atomic.AddInt64(&ps.inflight, -1)
+	atomic.AddInt64(&ps.busyNs[worker], int64(d))
+}
+
+// export publishes the pool gauges. wallNs is the pool's total wall-clock;
+// utilization is the busy share of workers × wall, in percent.
+func (ps *poolStats) export(prefix string, wallNs int64) {
+	ps.prof.SetGauge(prefix+".workers", int64(len(ps.busyNs)))
+	ps.prof.SetGauge(prefix+".max_inflight", atomic.LoadInt64(&ps.maxIn))
+	ps.prof.SetGauge(prefix+".queue_high_water", atomic.LoadInt64(&ps.maxQ))
+	var busy int64
+	for w := range ps.busyNs {
+		b := atomic.LoadInt64(&ps.busyNs[w])
+		busy += b
+		ps.prof.SetGauge(fmt.Sprintf("%s.worker%02d.busy_ns", prefix, w), b)
+	}
+	if total := int64(len(ps.busyNs)) * wallNs; total > 0 {
+		ps.prof.SetGauge(prefix+".utilization_pct", busy*100/total)
+	}
+}
+
+func atomicMax(addr *int64, v int64) {
+	for {
+		old := atomic.LoadInt64(addr)
+		if v <= old || atomic.CompareAndSwapInt64(addr, old, v) {
+			return
+		}
+	}
 }
 
 // ShardResult is one case's outcome, in shard position.
@@ -64,36 +127,60 @@ func Run(sweep Sweep, opts Options) (*Result, error) {
 	start := time.Now()
 	reports := make([]*attack.Report, len(cases))
 	errs := make([]error, len(cases))
-	jobs := make(chan int)
+	// The queue is buffered so its length is observable: sampling len(jobs)
+	// at each dequeue gives the queue-depth high-water gauge.
+	jobs := make(chan int, len(cases))
+	pool := newPoolStats(opts.Profiler, workers)
+	phShard := opts.Profiler.Phase("lab.shard")
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		var track *perf.Track
+		if opts.Profiler.TimelineEnabled() {
+			track = opts.Profiler.Track(fmt.Sprintf("lab-worker-%02d", w))
+		}
+		go func(w int) {
 			defer wg.Done()
 			for i := range jobs {
+				pool.enter(len(jobs))
+				var label string
+				if track != nil {
+					label = fmt.Sprintf("shard-%02d", i)
+				}
+				sc := phShard.BeginOn(track, label)
+				jobStart := time.Now()
 				c := cases[i]
 				cfg, err := c.Plant.Scenario()
 				if err != nil {
 					errs[i] = err
+					sc.End()
+					pool.exit(w, time.Since(jobStart))
 					continue
 				}
-				r, err := attack.ExecuteScenario(c.Spec(), cfg)
+				spec := c.Spec()
+				spec.Profiler = opts.Profiler
+				r, err := attack.ExecuteScenario(spec, cfg)
 				if err != nil {
 					errs[i] = fmt.Errorf("lab: shard %s: %w", c, err)
+					sc.End()
+					pool.exit(w, time.Since(jobStart))
 					continue
 				}
 				reports[i] = r
 				if opts.Progress != nil {
 					opts.Progress(c, r)
 				}
+				sc.End()
+				pool.exit(w, time.Since(jobStart))
 			}
-		}()
+		}(w)
 	}
 	for i := range cases {
 		jobs <- i
 	}
 	close(jobs)
 	wg.Wait()
+	pool.export("lab", int64(time.Since(start)))
 
 	for _, err := range errs {
 		if err != nil {
@@ -110,6 +197,8 @@ func Run(sweep Sweep, opts Options) (*Result, error) {
 	for i, c := range cases {
 		res.Cases[i] = ShardResult{Case: c, Verdict: reports[i].Verdict(), Report: reports[i]}
 	}
+	msc := opts.Profiler.Phase("lab.merge").Begin()
 	res.Merged = aggregate(res.Cases)
+	msc.End()
 	return res, nil
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"mkbas/internal/obs"
+	"mkbas/internal/perf"
 )
 
 // Disposition tells the engine what to do with a process after its trap has
@@ -132,6 +133,12 @@ type Engine struct {
 	mExits      *obs.Counter
 	mRunQ       *obs.Gauge
 	mLive       *obs.Gauge
+
+	// Host-side profiler phases, resolved once like the metrics series above.
+	// Both are nil (discarding) until SetProfiler; engine.dispatch is the
+	// hottest scope in the whole simulator, so it uses a time-only HotPhase.
+	phRun      *perf.Phase
+	phDispatch *perf.Phase
 }
 
 // NewEngine creates an engine over clock. The handler must be attached with
@@ -156,6 +163,13 @@ func (e *Engine) SetHandler(h TrapHandler) {
 		panic("machine: SetHandler with nil handler")
 	}
 	e.handler = h
+}
+
+// setProfiler binds the engine's host-time accounting to a perf profiler.
+// Safe to leave unset: the nil phases discard.
+func (e *Engine) setProfiler(p *perf.Profiler) {
+	e.phRun = p.HotPhase("engine.run")
+	e.phDispatch = p.HotPhase("engine.dispatch")
 }
 
 // instrument binds the engine's accounting to a metrics registry.
@@ -339,6 +353,8 @@ func (e *Engine) Run(until Time) RunResult {
 	if e.shutdown {
 		return RunResult{Reason: StopAllExited, Now: e.clock.Now()}
 	}
+	sc := e.phRun.Begin()
+	defer sc.End()
 	for {
 		e.fireDueTimers()
 		if e.clock.Now() >= until {
@@ -396,6 +412,8 @@ func (e *Engine) fireDueTimers() {
 // dispatch hands the CPU to p, waits for its next trap, and routes it to the
 // kernel.
 func (e *Engine) dispatch(p *Proc) {
+	sc := e.phDispatch.Begin()
+	defer sc.End()
 	e.mDispatches.Inc()
 	if e.lastRun != p.pid {
 		e.stats.ContextSwitches++

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"mkbas/internal/obs"
+	"mkbas/internal/perf"
 )
 
 // Config parameterises a board.
@@ -58,6 +59,12 @@ func New(cfg Config) *Machine {
 	m.engine.instrument(board.Metrics())
 	return m
 }
+
+// SetProfiler binds the board's host-time accounting to a perf profiler:
+// every subsequent Run/RunUntil books into "engine.run" and every dispatch
+// into "engine.dispatch". Nil-safe; boards deployed without profiling never
+// pay more than a nil check per scope.
+func (m *Machine) SetProfiler(p *perf.Profiler) { m.engine.setProfiler(p) }
 
 // Clock returns the board clock.
 func (m *Machine) Clock() *Clock { return m.clock }

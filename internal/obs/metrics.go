@@ -124,6 +124,54 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.counts[len(h.bounds)]++
 }
 
+// Quantile estimates the q-th quantile (0 <= q <= 1) by linear interpolation
+// within the bucket that holds the target rank — the same estimator
+// Prometheus's histogram_quantile applies, so the surfaced p50/p95/p99 read
+// like the dashboards operators already know. The estimate is exact at
+// bucket edges and linear inside; observations in the +Inf bucket clamp to
+// the last finite bound (the histogram records no upper edge for them).
+// Deterministic: a pure function of the recorded counts. Returns 0 on an
+// empty (or nil) histogram.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h == nil || h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// rank is the (1-based, fractional) position of the target observation.
+	rank := q * float64(h.total)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i == len(h.bounds) {
+			// +Inf bucket: no upper edge to interpolate toward.
+			return h.bounds[len(h.bounds)-1]
+		}
+		lower := time.Duration(0)
+		if i > 0 {
+			lower = h.bounds[i-1]
+		}
+		upper := h.bounds[i]
+		frac := (rank - float64(prev)) / float64(c)
+		return lower + time.Duration(frac*float64(upper-lower))
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // Count reports the number of observations.
 func (h *Histogram) Count() int64 {
 	if h == nil {
@@ -204,11 +252,16 @@ type BucketSnap struct {
 	Count      int64 `json:"count"`
 }
 
-// HistogramSnap is one exported histogram.
+// HistogramSnap is one exported histogram. P50/P95/P99 are the
+// bucket-interpolated quantile estimates (see Histogram.Quantile); zero on an
+// empty histogram, and deterministic like every other exported field.
 type HistogramSnap struct {
 	Name     string       `json:"name"`
 	Count    int64        `json:"count"`
 	SumNanos int64        `json:"sum_ns"`
+	P50Ns    int64        `json:"p50_ns"`
+	P95Ns    int64        `json:"p95_ns"`
+	P99Ns    int64        `json:"p99_ns"`
 	Buckets  []BucketSnap `json:"buckets"`
 }
 
@@ -236,7 +289,14 @@ func (r *Registry) Gauges() []GaugeSnap {
 func (r *Registry) Histograms() []HistogramSnap {
 	out := make([]HistogramSnap, 0, len(r.hists))
 	for name, h := range r.hists {
-		snap := HistogramSnap{Name: name, Count: h.total, SumNanos: h.sum}
+		snap := HistogramSnap{
+			Name:     name,
+			Count:    h.total,
+			SumNanos: h.sum,
+			P50Ns:    int64(h.Quantile(0.50)),
+			P95Ns:    int64(h.Quantile(0.95)),
+			P99Ns:    int64(h.Quantile(0.99)),
+		}
 		for i, b := range h.bounds {
 			snap.Buckets = append(snap.Buckets, BucketSnap{UpperNanos: int64(b), Count: h.counts[i]})
 		}

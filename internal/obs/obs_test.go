@@ -75,6 +75,65 @@ func TestHistogramBucketEdges(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_ns", []time.Duration{100, 200, 400})
+	// Empty and nil histograms report zero.
+	if h.Quantile(0.5) != 0 {
+		t.Fatalf("empty quantile = %s, want 0", h.Quantile(0.5))
+	}
+	var nilH *Histogram
+	if nilH.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram quantile must be 0")
+	}
+
+	// 100 observations spread uniformly through the (0,100] bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Duration(i + 1))
+	}
+	// Single-bucket interpolation: rank q*100 of 100 counts in a 0..100ns
+	// bucket lands at q*100 ns exactly.
+	if got := h.Quantile(0.50); got != 50 {
+		t.Errorf("p50 = %s, want 50ns", got)
+	}
+	if got := h.Quantile(0.95); got != 95 {
+		t.Errorf("p95 = %s, want 95ns", got)
+	}
+	if got := h.Quantile(1); got != 100 {
+		t.Errorf("p100 = %s, want 100ns (bucket upper edge)", got)
+	}
+
+	// Push 100 more into (200,400]: p50 stays in bucket one, p95 moves.
+	for i := 0; i < 100; i++ {
+		h.Observe(300)
+	}
+	// rank(0.95) = 190 of 200; bucket (200,400] holds ranks 101..200, so
+	// frac = (190-100)/100 = 0.9 → 200 + 0.9*200 = 380ns.
+	if got := h.Quantile(0.95); got != 380 {
+		t.Errorf("p95 after skew = %s, want 380ns", got)
+	}
+	if got := h.Quantile(0.25); got != 50 {
+		t.Errorf("p25 = %s, want 50ns", got)
+	}
+
+	// +Inf observations clamp to the last finite bound.
+	h2 := r.Histogram("inf_ns", []time.Duration{10})
+	h2.Observe(1000)
+	if got := h2.Quantile(0.99); got != 10 {
+		t.Errorf("+Inf-bucket quantile = %s, want clamp to 10ns", got)
+	}
+
+	// Snapshot carries the interpolated percentiles.
+	for _, snap := range r.Histograms() {
+		if snap.Name != "lat_ns" {
+			continue
+		}
+		if snap.P50Ns != 100 || snap.P95Ns != 380 {
+			t.Errorf("snap p50=%d p95=%d, want 100/380", snap.P50Ns, snap.P95Ns)
+		}
+	}
+}
+
 func TestHistogramRejectsUnsortedBounds(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -84,7 +84,12 @@ func (r *Report) Text() string {
 		if h.Count > 0 {
 			mean = time.Duration(h.SumNanos / h.Count)
 		}
-		fmt.Fprintf(&b, "  %s: n=%d mean=%s\n", h.Name, h.Count, mean)
+		if h.Count > 0 {
+			fmt.Fprintf(&b, "  %s: n=%d mean=%s p50=%s p95=%s p99=%s\n", h.Name, h.Count, mean,
+				time.Duration(h.P50Ns), time.Duration(h.P95Ns), time.Duration(h.P99Ns))
+		} else {
+			fmt.Fprintf(&b, "  %s: n=%d mean=%s\n", h.Name, h.Count, mean)
+		}
 		for _, bk := range h.Buckets {
 			if bk.Count == 0 {
 				continue

@@ -1,0 +1,211 @@
+package perf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPhaseAccumulation(t *testing.T) {
+	p := New(Options{})
+	ph := p.HotPhase("work")
+	for i := 0; i < 3; i++ {
+		sc := ph.Begin()
+		time.Sleep(time.Millisecond)
+		sc.End()
+	}
+	snap := p.Snapshot(true)
+	if len(snap.Phases) != 1 {
+		t.Fatalf("phases = %d, want 1", len(snap.Phases))
+	}
+	row := snap.Phases[0]
+	if row.Name != "work" || row.Count != 3 {
+		t.Fatalf("row = %+v, want work/3", row)
+	}
+	if row.TotalNs < 3*int64(time.Millisecond) {
+		t.Errorf("total %d ns, want >= 3ms", row.TotalNs)
+	}
+	if row.MaxNs < int64(time.Millisecond) || row.MaxNs > row.TotalNs {
+		t.Errorf("max %d ns out of range (total %d)", row.MaxNs, row.TotalNs)
+	}
+	if row.AvgNs != row.TotalNs/3 {
+		t.Errorf("avg %d, want total/3 = %d", row.AvgNs, row.TotalNs/3)
+	}
+}
+
+func TestPhaseResolvesSameObject(t *testing.T) {
+	p := New(Options{})
+	if p.Phase("x") != p.Phase("x") {
+		t.Error("Phase(name) must return the same accumulator on every call")
+	}
+}
+
+func TestNilProfilerDiscards(t *testing.T) {
+	var p *Profiler
+	ph := p.Phase("anything")
+	if ph != nil {
+		t.Fatal("nil profiler must yield nil phase")
+	}
+	sc := ph.Begin() // must not panic
+	sc.End()
+	p.SetGauge("g", 1)
+	if tr := p.Track("t"); tr != nil {
+		t.Error("nil profiler must yield nil track")
+	}
+	if p.TimelineEnabled() {
+		t.Error("nil profiler reports timeline enabled")
+	}
+	snap := p.Snapshot(true)
+	if len(snap.Phases) != 0 {
+		t.Errorf("nil profiler snapshot has %d phases", len(snap.Phases))
+	}
+	if _, err := p.ChromeTrace(false); err != nil {
+		t.Errorf("nil profiler ChromeTrace: %v", err)
+	}
+}
+
+func TestAllocTracking(t *testing.T) {
+	if !allocsSupported {
+		t.Skip("runtime does not expose " + heapAllocsMetric)
+	}
+	p := New(Options{})
+	ph := p.Phase("alloc")
+	sc := ph.Begin()
+	sink = make([]byte, 1<<16)
+	sc.End()
+	snap := p.Snapshot(true)
+	if snap.Phases[0].Allocs == 0 {
+		t.Error("allocating scope recorded zero allocations")
+	}
+	hot := p.HotPhase("hot")
+	hsc := hot.Begin()
+	sink = make([]byte, 1<<16)
+	hsc.End()
+	for _, row := range p.Snapshot(true).Phases {
+		if row.Name == "hot" && row.Allocs != 0 {
+			t.Errorf("hot phase tracked allocations: %d", row.Allocs)
+		}
+	}
+}
+
+var sink []byte
+
+// TestSnapshotSkeletonDeterministic: without timings, two profiles of the
+// same logical work are byte-identical even though their host timings differ.
+func TestSnapshotSkeletonDeterministic(t *testing.T) {
+	run := func(pause time.Duration) []byte {
+		p := New(Options{})
+		for i := 0; i < 4; i++ {
+			sc := p.Phase("b.step").Begin()
+			time.Sleep(pause)
+			sc.End()
+		}
+		sc := p.Phase("a.merge").Begin()
+		sc.End()
+		p.SetGauge("pool.workers", int64(pause)) // gauges must not leak
+		out, err := p.Snapshot(false).JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(0), run(2*time.Millisecond)
+	if !bytes.Equal(a, b) {
+		t.Errorf("timing-free snapshots differ:\n%s\nvs\n%s", a, b)
+	}
+	text := New(Options{}).Snapshot(false).Text()
+	if strings.Contains(text, "gauge") {
+		t.Error("timing-free text rendered gauges")
+	}
+}
+
+func TestSnapshotSortedByName(t *testing.T) {
+	p := New(Options{})
+	p.Phase("zeta").Begin().End()
+	p.Phase("alpha").Begin().End()
+	p.Phase("mid").Begin().End()
+	snap := p.Snapshot(true)
+	var names []string
+	for _, row := range snap.Phases {
+		names = append(names, row.Name)
+	}
+	want := []string{"alpha", "mid", "zeta"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("phase order %v, want %v", names, want)
+		}
+	}
+}
+
+func TestChromeTraceNormalized(t *testing.T) {
+	build := func() *Profiler {
+		p := New(Options{Timeline: true})
+		tr := p.Track("worker-00")
+		ph := p.HotPhase("shard")
+		for _, label := range []string{"s0", "s1", "s2"} {
+			sc := ph.BeginOn(tr, label)
+			time.Sleep(time.Millisecond)
+			sc.End()
+		}
+		return p
+	}
+	a, err := build().ChromeTrace(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := build().ChromeTrace(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("normalized traces differ:\n%s\nvs\n%s", a, b)
+	}
+	for _, want := range []string{`"worker-00"`, `"s0"`, `"s2"`, `"phase": "shard"`} {
+		if !bytes.Contains(a, []byte(want)) {
+			t.Errorf("trace missing %s:\n%s", want, a)
+		}
+	}
+	// Un-normalized timestamps are host-dependent but must be present.
+	raw, err := build().ChromeTrace(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(raw, []byte(`"ph": "X"`)) {
+		t.Errorf("raw trace has no complete events:\n%s", raw)
+	}
+}
+
+// TestTimelineOffDiscardsEvents: tracked scopes on a timeline-less profiler
+// must not retain events (the aggregate table still counts them).
+func TestTimelineOffDiscardsEvents(t *testing.T) {
+	p := New(Options{})
+	tr := p.Track("worker-00")
+	p.HotPhase("shard").BeginOn(tr, "s0").End()
+	if len(tr.events) != 0 {
+		t.Errorf("timeline off but %d events retained", len(tr.events))
+	}
+	if got := p.Snapshot(false).Phases[0].Count; got != 1 {
+		t.Errorf("count = %d, want 1", got)
+	}
+}
+
+func TestConcurrentScopes(t *testing.T) {
+	p := New(Options{})
+	ph := p.HotPhase("par")
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			for i := 0; i < 1000; i++ {
+				ph.Begin().End()
+			}
+			done <- struct{}{}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if got := p.Snapshot(false).Phases[0].Count; got != 8000 {
+		t.Errorf("count = %d, want 8000", got)
+	}
+}

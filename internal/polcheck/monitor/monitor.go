@@ -24,6 +24,7 @@ import (
 	"fmt"
 
 	"mkbas/internal/obs"
+	"mkbas/internal/perf"
 	"mkbas/internal/polcheck"
 )
 
@@ -77,6 +78,11 @@ type Options struct {
 	// Origins assigns each graph subject its static origin label; subjects
 	// absent from the map default to OriginBoot.
 	Origins map[string]Origin
+	// Profiler books Observe's host time into the "monitor.observe" phase.
+	// nil profiles nothing. Observe is on the IPC hot path, so the phase is
+	// time-only (no allocation counting) and the scope itself allocates
+	// nothing — the AllocsPerRun(Observe)==0 guarantee holds either way.
+	Profiler *perf.Profiler
 }
 
 // Stats are the monitor's lifetime counters.
@@ -128,6 +134,7 @@ type Monitor struct {
 	pairs        map[pairKey]*edgeInfo
 	hasWildcard  bool
 	stats        Stats
+	phObserve    *perf.Phase
 }
 
 // New builds a monitor from a certified access graph. The graph's flow
@@ -144,6 +151,7 @@ func New(g *polcheck.Graph, opts Options) *Monitor {
 		subjects:     make(map[string]*subjectState),
 		edges:        make(map[edgeKey]*edgeInfo),
 		pairs:        make(map[pairKey]*edgeInfo),
+		phObserve:    opts.Profiler.HotPhase("monitor.observe"),
 	}
 	for _, name := range g.Subjects() {
 		origin := OriginBoot
@@ -223,6 +231,8 @@ func (m *Monitor) lookup(src, dst, label string) (string, string, *edgeInfo) {
 // emits a typed security event (and may allocate — drift is the exceptional
 // path).
 func (m *Monitor) Observe(src, dst, label string) {
+	sc := m.phObserve.Begin()
+	defer sc.End()
 	m.stats.Observed++
 	s, d, info := m.lookup(src, dst, label)
 	if info == nil {

@@ -72,7 +72,7 @@ func TestObserveInGraphAllocatesNothing(t *testing.T) {
 func TestObservePolicyDrift(t *testing.T) {
 	events := obs.NewEventLog(nil, 0)
 	m := New(testGraph(), Options{Events: events, Origins: testOrigins()})
-	m.Observe("web", "heater", "mt2") // never certified
+	m.Observe("web", "heater", "mt2")  // never certified
 	m.Observe("ctrl", "heater", "mt3") // certified pair, uncertified type
 
 	st := m.Stats()

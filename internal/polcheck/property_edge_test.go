@@ -30,19 +30,19 @@ func TestParsePropertiesEmptyInput(t *testing.T) {
 
 func TestParsePropertiesMoreMalformedLines(t *testing.T) {
 	for _, bad := range []string{
-		"deny_path(a, b",            // missing close paren
-		"deny_path(a, b) trailing",  // junk after close paren
-		"(a, b)",                    // no property name
-		"deny_path()",               // no args at all
-		"only_endpoint(web, 1, 2)",  // arity
-		"no_kill_authority(a,)",     // empty trailing arg
-		"allow_path(a, b))",         // doubled close paren is a bad arg
-		"deny_path((a, b)",          // stray open paren in arg
-		"only_endpoint(, 1)",        // empty subject
-		"only_endpoint(web, 0x1)",   // non-decimal count
-		"only_endpoint(web, 1.5)",   // non-integer count
-		"deny_path(a, b)\nfrob(c)",  // later line still checked
-		"deny_path(a, b)\nallow_(",  // and malformed later line
+		"deny_path(a, b",           // missing close paren
+		"deny_path(a, b) trailing", // junk after close paren
+		"(a, b)",                   // no property name
+		"deny_path()",              // no args at all
+		"only_endpoint(web, 1, 2)", // arity
+		"no_kill_authority(a,)",    // empty trailing arg
+		"allow_path(a, b))",        // doubled close paren is a bad arg
+		"deny_path((a, b)",         // stray open paren in arg
+		"only_endpoint(, 1)",       // empty subject
+		"only_endpoint(web, 0x1)",  // non-decimal count
+		"only_endpoint(web, 1.5)",  // non-integer count
+		"deny_path(a, b)\nfrob(c)", // later line still checked
+		"deny_path(a, b)\nallow_(", // and malformed later line
 	} {
 		if _, err := ParseProperties(bad); !errors.Is(err, ErrProperty) {
 			t.Errorf("ParseProperties(%q) = %v, want ErrProperty", bad, err)

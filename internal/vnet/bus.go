@@ -2,6 +2,8 @@ package vnet
 
 import (
 	"fmt"
+
+	"mkbas/internal/perf"
 )
 
 // The inter-board BAS bus. A Bus joins the per-board Stacks of a multi-room
@@ -42,6 +44,9 @@ type Bus struct {
 	nodes []*busNode
 	tap   func(TapFrame)
 	guard func(from, to NodeID, port Port) bool
+	// phFlush books host time spent inside the two-phase delivery barrier;
+	// nil (discarding) until Instrument.
+	phFlush *perf.Phase
 }
 
 // TapFrame is one delivered chunk, as seen by a bus tap.
@@ -70,6 +75,12 @@ func (b *Bus) NodeName(id NodeID) string { return b.nodes[id].name }
 
 // Nodes reports the number of attached nodes.
 func (b *Bus) Nodes() int { return len(b.nodes) }
+
+// Instrument binds the bus to a host-side profiler: every Flush barrier books
+// into the "bus.flush" phase. Flush runs on the single coordinator goroutine,
+// serially with board stepping, so its share of wall-clock time is exactly the
+// cost the two-phase determinism design pays. Nil-safe.
+func (b *Bus) Instrument(p *perf.Profiler) { b.phFlush = p.HotPhase("bus.flush") }
 
 // SetTap installs fn to observe every delivered chunk during Flush — the
 // shared-medium exposure an on-bus attacker exploits to capture frames for
@@ -103,6 +114,8 @@ func (b *Bus) Dial(from, to NodeID, port Port) *BusConn {
 // queued chunks into target stacks (waking blocked readers), and drains each
 // connection's responses into its inbox, all in fixed order.
 func (b *Bus) Flush() {
+	sc := b.phFlush.Begin()
+	defer sc.End()
 	for _, node := range b.nodes {
 		for _, c := range node.conns {
 			b.flushConn(c)

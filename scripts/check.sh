@@ -5,6 +5,9 @@
 set -eux
 cd "$(dirname "$0")/.."
 go build ./...
+# Formatting gate: gofmt -l prints offenders without failing, so fail on any
+# output explicitly.
+test -z "$(gofmt -l .)"
 go vet ./...
 go test -race ./...
 # The lab and building runners are the repo's multi-goroutine hot paths;
@@ -16,8 +19,9 @@ go run ./cmd/polcheck -scenario tempcontrol
 # Least-privilege lint: every static grant the scenario never exercises must
 # be covered by the checked-in allowlist; unknown or stale entries fail.
 go run ./cmd/polcheck -scenario tempcontrol -audit -strict -allow polcheck.allow >/dev/null
-# E4 must at least run; perf comparisons happen out of band.
-go test -run XXX -bench E4 -benchtime 10x .
+# E4 must at least run; perf comparisons happen out of band. One iteration is
+# enough for the smoke — the bench bodies themselves assert invariants.
+go test -run XXX -bench BenchmarkE4 -benchtime 1x .
 # Determinism golden: two runs of the default MINIX scenario must produce
 # byte-identical observability reports (virtual time only, no map order).
 out1="$(mktemp)"; out2="$(mktemp)"
@@ -30,6 +34,12 @@ cmp "$out1" "$out2"
 smoke='platforms=paper;actions=kill-controller;models=both'
 go run ./cmd/baslab -sweep "$smoke" -workers 1 -json -q >"$out1"
 go run ./cmd/baslab -sweep "$smoke" -workers 8 -json -q >"$out2"
+cmp "$out1" "$out2"
+# Perf-skeleton determinism golden (DESIGN.md §13): the untimed phase profile
+# (phase set, ordering, per-phase counts) is a pure function of the campaign,
+# so it must be byte-identical at any worker count.
+go run ./cmd/baslab -sweep "$smoke" -workers 1 -q -perf -perf-timings=false -perf-json -perf-out "$out1" >/dev/null
+go run ./cmd/baslab -sweep "$smoke" -workers 8 -q -perf -perf-timings=false -perf-json -perf-out "$out2" >/dev/null
 cmp "$out1" "$out2"
 # Scaling bench: record shards/sec at 1/2/4/8 workers; exits nonzero if any
 # width's merged JSON deviates from the serial baseline. The bench sweep is
@@ -57,6 +67,11 @@ bldg='-rooms 16 -mix paper -secure even -settle 10m -window 20m -faults 2=crash-
 go run ./cmd/basbuilding $bldg -workers 1 -json >"$out1"
 go run ./cmd/basbuilding $bldg -workers 8 -json >"$out2"
 cmp "$out1" "$out2"
+# Building perf-skeleton golden: same contract as the lab one — counts per
+# phase derive from rounds and rooms, never from the worker pool.
+go run ./cmd/basbuilding $bldg -workers 1 -perf -perf-timings=false -perf-json -perf-out "$out1" >/dev/null
+go run ./cmd/basbuilding $bldg -workers 8 -perf -perf-timings=false -perf-json -perf-out "$out2" >/dev/null
+cmp "$out1" "$out2"
 # E11 smoke: the per-room verdict table (legacy rooms COMPROMISED, secure
 # rooms SECURE) and the no-attack baseline both run clean.
 go run ./cmd/basbuilding -rooms 6 -settle 12m -window 20m >/dev/null
@@ -75,3 +90,8 @@ e12='-rooms 6 -mix paper -secure even -settle 10m -window 15m -demote'
 go run ./cmd/basbuilding $e12 -workers 1 -json >"$out1"
 go run ./cmd/basbuilding $e12 -workers 8 -json >"$out2"
 cmp "$out1" "$out2"
+# Bench guard: the three BENCH records re-measured above must not collapse
+# below the checked-in baselines on board_steps_per_sec. The tolerance is
+# generous (0.6 = fail below 40% of baseline) because host benchmarks on a
+# loaded CI box jitter; the guard is for order-of-magnitude pessimisations.
+go run ./cmd/benchguard -tolerance 0.6
