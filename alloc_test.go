@@ -1,0 +1,138 @@
+package mkbas
+
+// Allocation-regression gate for experiment E4: the IPC round-trip hot
+// paths of all three platform kernels must run allocation-free at steady
+// state. The benchmarks report allocs/op too, but benchmarks only run when
+// someone asks; this test makes a regression (a value boxed into the trap
+// `any`, a queue idiom that burns capacity, a payload copy that escapes)
+// fail `go test ./...` directly.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"mkbas/internal/linuxsim"
+	"mkbas/internal/machine"
+)
+
+// runZeroAlloc drives an E4 pair to steady state, then measures the
+// allocations of further round trips.
+func runZeroAlloc(t *testing.T, build func(testing.TB) (*machine.Machine, *int64)) {
+	t.Helper()
+	m, rounds := build(t)
+	defer m.Shutdown()
+	// Warm up past boot and the first deliveries: queues, rings, and the
+	// payload-buffer pools grow to their steady-state capacity here.
+	for *rounds < 64 {
+		m.Run(time.Second)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		goal := *rounds + 8
+		for *rounds < goal {
+			m.Run(50 * time.Microsecond)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state round trips allocated %.1f times per 8-round slice, want 0", allocs)
+	}
+}
+
+func TestE4RoundTripZeroAlloc(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(testing.TB) (*machine.Machine, *int64)
+	}{
+		{"minix-sendrec", minixRoundTrips},
+		{"sel4-call", sel4RoundTrips},
+		{"linux-mq", linuxRoundTrips},
+		{"minix-device", minixDeviceService},
+		{"sel4-device", sel4DeviceService},
+		{"linux-device", linuxDeviceService},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) { runZeroAlloc(t, tc.build) })
+	}
+}
+
+// The linuxsim payload pool hands each receiver the kernel's pooled copy,
+// valid until that process's next receive. This test runs an echo pair
+// where every message carries a distinct payload and the client verifies
+// each echo byte-for-byte — a pool bug that aliased a live buffer or
+// recycled one too early would corrupt an observed payload.
+func TestLinuxMQPooledPayloadIntegrity(t *testing.T) {
+	m := machine.New(machine.Config{})
+	defer m.Shutdown()
+	k := linuxsim.Boot(m, linuxsim.Config{})
+	rounds := new(int64)
+	var failure error
+	k.RegisterImage(linuxsim.Image{Name: "server", UID: 1, Priority: 7, Body: func(api *linuxsim.API) {
+		req, err := api.MQOpen("/req", linuxsim.MQOpenFlags{Create: true, Read: true, Mode: 0o600})
+		if err != nil {
+			return
+		}
+		resp, err := api.MQOpen("/resp", linuxsim.MQOpenFlags{Create: true, Write: true, Mode: 0o600})
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 0, 32)
+		for {
+			msg, err := api.MQReceive(req)
+			if err != nil {
+				return
+			}
+			// msg.Data is valid until the next MQReceive; we copy, mark, and
+			// send before receiving again.
+			buf = append(buf[:0], msg.Data...)
+			buf = append(buf, '!')
+			if err := api.MQSend(resp, buf, 0); err != nil {
+				return
+			}
+		}
+	}})
+	k.RegisterImage(linuxsim.Image{Name: "client", UID: 1, Priority: 7, Body: func(api *linuxsim.API) {
+		var req, resp int32
+		for {
+			var err error
+			if req, err = api.MQOpen("/req", linuxsim.MQOpenFlags{Write: true}); err == nil {
+				break
+			}
+			api.Sleep(time.Millisecond)
+		}
+		for {
+			var err error
+			if resp, err = api.MQOpen("/resp", linuxsim.MQOpenFlags{Read: true}); err == nil {
+				break
+			}
+			api.Sleep(time.Millisecond)
+		}
+		buf := make([]byte, 0, 32)
+		for i := 0; ; i++ {
+			buf = fmt.Appendf(buf[:0], "m%03d", i%1000)
+			if err := api.MQSend(req, buf, 0); err != nil {
+				return
+			}
+			msg, err := api.MQReceive(resp)
+			if err != nil {
+				return
+			}
+			if want := string(buf) + "!"; string(msg.Data) != want {
+				failure = fmt.Errorf("round %d: got %q, want %q", i, msg.Data, want)
+				return
+			}
+			*rounds++
+		}
+	}})
+	if _, err := k.SpawnImage("server"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.SpawnImage("client"); err != nil {
+		t.Fatal(err)
+	}
+	for *rounds < 256 && failure == nil {
+		m.Run(time.Second)
+	}
+	if failure != nil {
+		t.Fatal(failure)
+	}
+}

@@ -115,21 +115,21 @@ func benchClosedLoop(b *testing.B, deploy func(tb *bas.Testbed, cfg bas.Scenario
 
 func BenchmarkE3_ControlLoop_Minix(b *testing.B) {
 	benchClosedLoop(b, func(tb *bas.Testbed, cfg bas.ScenarioConfig) error {
-		_, err := bas.DeployMinix(tb, cfg, bas.MinixOptions{})
+		_, err := bas.Deploy(bas.PlatformMinix, tb, cfg, bas.DeployOptions{})
 		return err
 	})
 }
 
 func BenchmarkE3_ControlLoop_Sel4(b *testing.B) {
 	benchClosedLoop(b, func(tb *bas.Testbed, cfg bas.ScenarioConfig) error {
-		_, err := bas.DeploySel4(tb, cfg, bas.Sel4Options{})
+		_, err := bas.Deploy(bas.PlatformSel4, tb, cfg, bas.DeployOptions{})
 		return err
 	})
 }
 
 func BenchmarkE3_ControlLoop_Linux(b *testing.B) {
 	benchClosedLoop(b, func(tb *bas.Testbed, cfg bas.ScenarioConfig) error {
-		_, err := bas.DeployLinux(tb, cfg, bas.LinuxOptions{})
+		_, err := bas.Deploy(bas.PlatformLinux, tb, cfg, bas.DeployOptions{})
 		return err
 	})
 }
@@ -143,7 +143,7 @@ func BenchmarkE3_ControlLoop_Linux(b *testing.B) {
 
 // minixRoundTrips builds a MINIX echo pair; the returned counter advances
 // once per completed round trip.
-func minixRoundTrips(b *testing.B) (*machine.Machine, *int64) {
+func minixRoundTrips(b testing.TB) (*machine.Machine, *int64) {
 	b.Helper()
 	m := machine.New(machine.Config{})
 	policy := core.NewPolicy()
@@ -182,7 +182,7 @@ func minixRoundTrips(b *testing.B) (*machine.Machine, *int64) {
 }
 
 // sel4RoundTrips builds an seL4 Call/Reply pair.
-func sel4RoundTrips(b *testing.B) (*machine.Machine, *int64) {
+func sel4RoundTrips(b testing.TB) (*machine.Machine, *int64) {
 	b.Helper()
 	m := machine.New(machine.Config{})
 	k := sel4.NewKernel(m, sel4.Config{})
@@ -222,7 +222,7 @@ func sel4RoundTrips(b *testing.B) (*machine.Machine, *int64) {
 }
 
 // linuxRoundTrips builds a POSIX-mq request/response pair.
-func linuxRoundTrips(b *testing.B) (*machine.Machine, *int64) {
+func linuxRoundTrips(b testing.TB) (*machine.Machine, *int64) {
 	b.Helper()
 	m := machine.New(machine.Config{})
 	k := linuxsim.Boot(m, linuxsim.Config{})
@@ -236,11 +236,12 @@ func linuxRoundTrips(b *testing.B) (*machine.Machine, *int64) {
 		if err != nil {
 			return
 		}
+		pong := []byte("pong")
 		for {
 			if _, err := api.MQReceive(req); err != nil {
 				return
 			}
-			if err := api.MQSend(resp, []byte("pong"), 0); err != nil {
+			if err := api.MQSend(resp, pong, 0); err != nil {
 				return
 			}
 		}
@@ -261,8 +262,9 @@ func linuxRoundTrips(b *testing.B) (*machine.Machine, *int64) {
 			}
 			api.Sleep(time.Millisecond)
 		}
+		ping := []byte("ping")
 		for {
-			if err := api.MQSend(req, []byte("ping"), 0); err != nil {
+			if err := api.MQSend(req, ping, 0); err != nil {
 				return
 			}
 			if _, err := api.MQReceive(resp); err != nil {
@@ -280,7 +282,7 @@ func linuxRoundTrips(b *testing.B) (*machine.Machine, *int64) {
 	return m, rounds
 }
 
-func benchRoundTrips(b *testing.B, build func(b *testing.B) (*machine.Machine, *int64)) {
+func benchRoundTrips(b *testing.B, build func(b testing.TB) (*machine.Machine, *int64)) {
 	b.Helper()
 	// allocs/op is part of the E4 contract: the monitored variants must
 	// report the same figure as the bare ones (the monitor's in-graph path
@@ -329,8 +331,8 @@ func BenchmarkE4_IPCRoundTrip_LinuxMQ(b *testing.B) {
 // monitoredRoundTrips wraps an E4 builder with a monitor over graph g and
 // fails the benchmark if any of the measured traffic drifted (a drifting
 // bench would be timing the event-emission slow path, not the hot path).
-func monitoredRoundTrips(build func(*testing.B) (*machine.Machine, *int64), g *polcheck.Graph) func(*testing.B) (*machine.Machine, *int64) {
-	return func(b *testing.B) (*machine.Machine, *int64) {
+func monitoredRoundTrips(build func(testing.TB) (*machine.Machine, *int64), g *polcheck.Graph) func(testing.TB) (*machine.Machine, *int64) {
+	return func(b testing.TB) (*machine.Machine, *int64) {
 		m, rounds := build(b)
 		mon := monitor.New(g, monitor.Options{Events: m.Obs().Events()})
 		m.IPC().SetObserver(mon.Observe)
@@ -381,7 +383,7 @@ func BenchmarkE4_IPCRoundTrip_LinuxMQ_Monitored(b *testing.B) {
 // entries and at least two context switches.
 
 // minixDeviceService: client obtains readings through the driver process.
-func minixDeviceService(b *testing.B) (*machine.Machine, *int64) {
+func minixDeviceService(b testing.TB) (*machine.Machine, *int64) {
 	b.Helper()
 	m := machine.New(machine.Config{})
 	plantAttach(m)
@@ -427,7 +429,7 @@ func minixDeviceService(b *testing.B) (*machine.Machine, *int64) {
 }
 
 // sel4DeviceService: client Calls the driver thread holding the device cap.
-func sel4DeviceService(b *testing.B) (*machine.Machine, *int64) {
+func sel4DeviceService(b testing.TB) (*machine.Machine, *int64) {
 	b.Helper()
 	m := machine.New(machine.Config{})
 	plantAttach(m)
@@ -469,7 +471,7 @@ func sel4DeviceService(b *testing.B) (*machine.Machine, *int64) {
 }
 
 // linuxDeviceService: the "driver" is in the kernel — one syscall per read.
-func linuxDeviceService(b *testing.B) (*machine.Machine, *int64) {
+func linuxDeviceService(b testing.TB) (*machine.Machine, *int64) {
 	b.Helper()
 	m := machine.New(machine.Config{})
 	plantAttach(m)
@@ -507,7 +509,7 @@ func plantAttach(m *machine.Machine) {
 	plant.Attach(m.Bus(), plant.NewRoom(m.Clock(), plant.DefaultConfig()))
 }
 
-func mustInstallCap(b *testing.B, k *sel4.Kernel, tcb sel4.ObjID, slot sel4.CPtr, c sel4.Capability) {
+func mustInstallCap(b testing.TB, k *sel4.Kernel, tcb sel4.ObjID, slot sel4.CPtr, c sel4.Capability) {
 	b.Helper()
 	if err := k.InstallCap(tcb, slot, c); err != nil {
 		b.Fatal(err)
@@ -573,7 +575,7 @@ func BenchmarkE7_WebStatusRequest(b *testing.B) {
 	cfg := bas.DefaultScenario()
 	tb := bas.NewTestbed(cfg)
 	defer tb.Machine.Shutdown()
-	if _, err := bas.DeployMinix(tb, cfg, bas.MinixOptions{}); err != nil {
+	if _, err := bas.Deploy(bas.PlatformMinix, tb, cfg, bas.DeployOptions{}); err != nil {
 		b.Fatal(err)
 	}
 	tb.Machine.Run(5 * time.Second)

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"mkbas/internal/attack"
+	"mkbas/internal/cli"
 	"mkbas/internal/lab"
 	"mkbas/internal/perf"
 )
@@ -43,19 +44,17 @@ func run() error {
 	mix := flag.String("mix", "paper", `platform rotation: "paper", "all", one platform, or names joined by "+"`)
 	secure := flag.String("secure", "even", `secure-proxy coverage: "all", "none", "even", "odd", or room indices joined by "+"`)
 	attackOn := flag.Bool("attack", true, "run the room-0 lateral-movement attacker")
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "boards stepping concurrently per round (1 = serial reference)")
 	settle := flag.Duration("settle", 30*time.Minute, "virtual settle time before the attack window")
 	window := flag.Duration("window", 90*time.Minute, "virtual attack window after settle")
 	faultsFlag := flag.String("faults", "", `comma list of room=plan fault assignments, e.g. "2=crash-sensor"`)
-	recovery := flag.Bool("recovery", false, "enable each platform's optional recovery machinery")
-	monitorOn := flag.Bool("monitor", false, "attach the online policy monitor to every board and the bus (observe-only)")
-	demote := flag.Bool("demote", false, "monitor with enforcement: refuse uncertified bus dials and demote offending rooms (implies -monitor)")
 	seed := flag.Int64("seed", 0, "base scenario seed (room i runs seed+i)")
-	jsonOut := flag.Bool("json", false, "emit the building report as JSON instead of the verdict table")
 	sweepFlag := flag.String("sweep", "", `building campaign instead of a single run: axis=values clauses over rooms, mix, secure, attack, monitor (plus settle=, window=)`)
-	benchFlag := flag.String("bench", "", `comma list of worker counts to benchmark on one building, e.g. "1,2,4,8"`)
-	benchOut := flag.String("bench-out", "", "write the bench report JSON to this file (default stdout)")
-	quiet := flag.Bool("q", false, "suppress per-case progress lines on stderr (sweep mode)")
+	var out cli.Output
+	var pool cli.Pool
+	var guard cli.Guard
+	out.Register(flag.CommandLine)
+	pool.Register(flag.CommandLine)
+	guard.Register(flag.CommandLine)
 	var prof perf.CLI
 	prof.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -64,19 +63,22 @@ func run() error {
 		return err
 	}
 	if *sweepFlag != "" {
-		return runSweep(*sweepFlag, *workers, *jsonOut, *quiet, &prof)
+		return runSweep(*sweepFlag, pool.Workers, out.JSON, out.Quiet, &prof)
 	}
 
 	spec := attack.BuildingSpec{
 		Rooms:    *rooms,
 		Attack:   *attackOn,
-		Workers:  *workers,
+		Workers:  pool.Workers,
 		Settle:   *settle,
 		Window:   *window,
-		Recovery: *recovery,
+		Recovery: guard.Recovery,
 		Seed:     *seed,
-		Monitor:  *monitorOn,
-		Demote:   *demote,
+		// The raw flag, not MonitorOn(): the spec is embedded in the JSON
+		// report verbatim, and the Demote-implies-Monitor promotion happens
+		// inside ExecuteBuilding.
+		Monitor: guard.Monitor,
+		Demote:  guard.Demote,
 	}
 	mixPlatforms, err := lab.Mix(*mix).Platforms()
 	if err != nil {
@@ -94,8 +96,8 @@ func run() error {
 		}
 	}
 
-	if *benchFlag != "" {
-		if err := runBench(spec, *benchFlag, *benchOut); err != nil {
+	if pool.Bench != "" {
+		if err := runBench(spec, &pool); err != nil {
 			return err
 		}
 		// Bench runs are not phase-profiled (each worker count would smear
@@ -111,12 +113,12 @@ func run() error {
 	if err := prof.Finish(); err != nil {
 		return err
 	}
-	if *jsonOut {
-		out, jerr := marshal(rep)
+	if out.JSON {
+		data, jerr := marshal(rep)
 		if jerr != nil {
 			return jerr
 		}
-		_, werr := os.Stdout.Write(out)
+		_, werr := os.Stdout.Write(data)
 		return werr
 	}
 	fmt.Print(attack.FormatBuildingMatrix(rep))
@@ -176,39 +178,16 @@ func runSweep(spec string, workers int, jsonOut, quiet bool, prof *perf.CLI) err
 	return nil
 }
 
-func runBench(spec attack.BuildingSpec, counts, outPath string) error {
-	var workerCounts []int
-	for _, part := range strings.Split(counts, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil || n < 1 {
-			return fmt.Errorf("bad worker count %q", part)
-		}
-		workerCounts = append(workerCounts, n)
+func runBench(spec attack.BuildingSpec, pool *cli.Pool) error {
+	workerCounts, err := pool.BenchCounts()
+	if err != nil {
+		return err
 	}
 	rep, err := lab.BenchBuilding(spec, workerCounts, runtime.NumCPU())
 	if err != nil {
 		return err
 	}
-	out, err := rep.JSON()
-	if err != nil {
-		return err
-	}
-	if outPath != "" {
-		if err := os.WriteFile(outPath, out, 0o644); err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "bench report written to %s\n", outPath)
-		for _, p := range rep.Points {
-			fmt.Fprintf(os.Stderr, "  workers=%d %8.1fms %6.2f rooms/s speedup=%.2fx\n",
-				p.Workers, p.ElapsedMS, p.ShardsPerSec, p.Speedup)
-		}
-	} else if _, err = os.Stdout.Write(out); err != nil {
-		return err
-	}
-	if !rep.Identical {
-		return fmt.Errorf("determinism violated: building report differed across worker counts")
-	}
-	return nil
+	return cli.WriteBenchReport(rep, pool.BenchOut, "rooms/s")
 }
 
 // marshal renders a report as indented JSON with a trailing newline.

@@ -15,11 +15,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 	"time"
 
 	"mkbas/internal/bacnet"
 	"mkbas/internal/bas"
+	"mkbas/internal/cli"
 	"mkbas/internal/safety"
 )
 
@@ -51,8 +51,8 @@ func run() error {
 		if *platform != "minix" {
 			return fmt.Errorf("-bacnet requires -platform minix")
 		}
-		if _, err := bas.DeployMinixWithBACnet(tb, cfg, bas.MinixOptions{}, bas.BACnetOptions{
-			Enabled: true, Key: []byte(*bacnetKey),
+		if _, err := bas.Deploy(bas.PlatformMinix, tb, cfg, bas.DeployOptions{
+			BACnet: bas.BACnetOptions{Enabled: true, Key: []byte(*bacnetKey)},
 		}); err != nil {
 			return err
 		}
@@ -168,30 +168,19 @@ func demoBACnet(tb *bas.Testbed, key string) {
 }
 
 func deploy(tb *bas.Testbed, cfg bas.ScenarioConfig, platform string) error {
-	switch strings.ToLower(platform) {
-	case "minix":
-		_, err := bas.DeployMinix(tb, cfg, bas.MinixOptions{})
+	p, err := cli.ParsePlatform(platform)
+	if err != nil {
 		return err
-	case "minix-vanilla":
-		_, err := bas.DeployMinix(tb, cfg, bas.MinixOptions{DisableACM: true})
+	}
+	dep, err := bas.Deploy(p, tb, cfg, bas.DeployOptions{})
+	if err != nil {
 		return err
-	case "sel4":
-		dep, err := bas.DeploySel4(tb, cfg, bas.Sel4Options{})
-		if err != nil {
-			return err
-		}
-		if err := dep.System.Verify(); err != nil {
+	}
+	if p == bas.PlatformSel4 {
+		if err := dep.(*bas.Sel4Deployment).System.Verify(); err != nil {
 			return fmt.Errorf("CapDL verification: %w", err)
 		}
 		fmt.Println("CapDL capability distribution verified against the kernel")
-		return nil
-	case "linux":
-		_, err := bas.DeployLinux(tb, cfg, bas.LinuxOptions{})
-		return err
-	case "linux-hardened":
-		_, err := bas.DeployLinux(tb, cfg, bas.LinuxOptions{Hardened: true})
-		return err
-	default:
-		return fmt.Errorf("unknown platform %q", platform)
 	}
+	return nil
 }

@@ -21,10 +21,10 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"strconv"
 	"strings"
 
 	"mkbas/internal/attack"
+	"mkbas/internal/cli"
 	"mkbas/internal/faultinject"
 	"mkbas/internal/lab"
 	"mkbas/internal/perf"
@@ -43,11 +43,10 @@ const defaultSweep = "platforms=paper;actions=all;models=both"
 func run() error {
 	sweepFlag := flag.String("sweep", defaultSweep, `sweep spec: semicolon-separated axis=values clauses over platforms, actions, models, plants, quotas, faults, monitor`)
 	faultsFlag := flag.String("faults", "", `comma list of fault plans for the chaos axis: builtin names (see faultinject.Names) or paths to plan JSON files`)
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "boards in flight at once (1 = serial reference)")
-	jsonOut := flag.Bool("json", false, "emit the merged campaign report as JSON instead of text")
-	benchFlag := flag.String("bench", "", `comma list of worker counts to benchmark, e.g. "1,2,4,8" (first is the speedup baseline)`)
-	benchOut := flag.String("bench-out", "", "write the bench report JSON to this file (default stdout)")
-	quiet := flag.Bool("q", false, "suppress per-case progress lines on stderr")
+	var out cli.Output
+	var pool cli.Pool
+	out.Register(flag.CommandLine)
+	pool.Register(flag.CommandLine)
 	var prof perf.CLI
 	prof.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -70,8 +69,8 @@ func run() error {
 		}
 	}
 
-	if *benchFlag != "" {
-		if err := runBench(sweep, *benchFlag, *benchOut); err != nil {
+	if pool.Bench != "" {
+		if err := runBench(sweep, &pool); err != nil {
 			return err
 		}
 		// Bench runs are not phase-profiled (each worker count would smear
@@ -79,8 +78,8 @@ func run() error {
 		return prof.Finish()
 	}
 
-	opts := lab.Options{Workers: *workers, Profiler: prof.Profiler()}
-	if !*quiet {
+	opts := lab.Options{Workers: pool.Workers, Profiler: prof.Profiler()}
+	if !out.Quiet {
 		// Progress callbacks arrive from worker goroutines; stderr writes are
 		// independent lines, and ordering is cosmetic.
 		opts.Progress = func(c lab.Case, r *attack.Report) {
@@ -94,12 +93,12 @@ func run() error {
 	if err := prof.Finish(); err != nil {
 		return err
 	}
-	if *jsonOut {
-		out, jerr := res.JSON()
+	if out.JSON {
+		data, jerr := res.JSON()
 		if jerr != nil {
 			return jerr
 		}
-		_, werr := os.Stdout.Write(out)
+		_, werr := os.Stdout.Write(data)
 		return werr
 	}
 	fmt.Print(res.Text())
@@ -132,40 +131,14 @@ func resolveFaults(spec string) ([]string, error) {
 	return names, nil
 }
 
-func runBench(sweep lab.Sweep, counts, outPath string) error {
-	var workerCounts []int
-	for _, part := range strings.Split(counts, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil || n < 1 {
-			return fmt.Errorf("bad worker count %q", part)
-		}
-		workerCounts = append(workerCounts, n)
+func runBench(sweep lab.Sweep, pool *cli.Pool) error {
+	workerCounts, err := pool.BenchCounts()
+	if err != nil {
+		return err
 	}
 	rep, err := lab.Bench(sweep, workerCounts, runtime.NumCPU())
 	if err != nil {
 		return err
 	}
-	out, err := rep.JSON()
-	if err != nil {
-		return err
-	}
-	if outPath != "" {
-		if err := os.WriteFile(outPath, out, 0o644); err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "bench report written to %s\n", outPath)
-		for _, p := range rep.Points {
-			fmt.Fprintf(os.Stderr, "  workers=%d %8.1fms %6.2f shards/s speedup=%.2fx\n",
-				p.Workers, p.ElapsedMS, p.ShardsPerSec, p.Speedup)
-		}
-		if !rep.Identical {
-			return fmt.Errorf("determinism violated: merged JSON differed across worker counts")
-		}
-		return nil
-	}
-	_, err = os.Stdout.Write(out)
-	if !rep.Identical {
-		return fmt.Errorf("determinism violated: merged JSON differed across worker counts")
-	}
-	return err
+	return cli.WriteBenchReport(rep, pool.BenchOut, "shards/s")
 }

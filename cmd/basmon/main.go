@@ -20,11 +20,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 	"time"
 
 	"mkbas/internal/attack"
 	"mkbas/internal/bas"
+	"mkbas/internal/cli"
 	"mkbas/internal/faultinject"
 	"mkbas/internal/perf"
 )
@@ -46,9 +46,8 @@ func run() error {
 	action := flag.String("attack", "", "replay an E1 attack instead of the plain scenario (spoof-sensor, command-actuators, kill-controller, enumerate-handles, fork-bomb)")
 	root := flag.Bool("root", false, "attack with the root attacker model")
 	faults := flag.String("faults", "", "arm a builtin fault-injection plan (E10 chaos), e.g. crash-sensor")
-	recovery := flag.Bool("recovery", false, "enable the optional recovery machinery (seL4 monitor, hardened-Linux supervisor)")
-	monitorOn := flag.Bool("monitor", false, "attach the online policy monitor (E12): every IPC delivery is checked against the certified static access graph")
-	demote := flag.Bool("demote", false, "with -attack: demote the compromised web subject to the untrusted origin at attack start (implies -monitor)")
+	var guard cli.Guard
+	guard.Register(flag.CommandLine)
 	var prof perf.CLI
 	prof.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -57,13 +56,13 @@ func run() error {
 		return err
 	}
 	if *action != "" {
-		return runAttack(*platform, attack.Action(*action), *root, *jsonOut, *faults, *recovery, *monitorOn, *demote, &prof)
+		return runAttack(*platform, attack.Action(*action), *root, *jsonOut, *faults, guard, &prof)
 	}
 
 	cfg := bas.DefaultScenario()
 	tb := bas.NewTestbed(cfg)
 	defer tb.Machine.Shutdown()
-	dep, err := deploy(tb, cfg, *platform, *recovery, *monitorOn || *demote, prof.Profiler())
+	dep, err := deploy(tb, cfg, *platform, guard, prof.Profiler())
 	if err != nil {
 		return err
 	}
@@ -149,12 +148,12 @@ func printFaultReport(rep *faultinject.Report, dep bas.Deployment) {
 
 // runAttack replays one E1 attack and reports which mediation layer, if
 // any, stopped it — the security-event stream is the evidence.
-func runAttack(platform string, action attack.Action, root, jsonOut bool, faults string, recovery, monitorOn, demote bool, prof *perf.CLI) error {
-	p, err := basPlatform(platform)
+func runAttack(platform string, action attack.Action, root, jsonOut bool, faults string, guard cli.Guard, prof *perf.CLI) error {
+	p, err := cli.ParsePlatform(platform)
 	if err != nil {
 		return err
 	}
-	spec := attack.Spec{Platform: p, Action: action, Root: root, FaultPlan: faults, Recovery: recovery, Monitor: monitorOn, Demote: demote, Profiler: prof.Profiler()}
+	spec := attack.Spec{Platform: p, Action: action, Root: root, FaultPlan: faults, Recovery: guard.Recovery, Monitor: guard.Monitor, Demote: guard.Demote, Profiler: prof.Profiler()}
 	report, err := attack.Execute(spec)
 	if err != nil {
 		return err
@@ -186,29 +185,10 @@ func runAttack(platform string, action attack.Action, root, jsonOut bool, faults
 	return nil
 }
 
-// basPlatform maps basmon's short platform spellings (and the registry's
-// own names, which are accepted verbatim) onto registry platform values.
-func basPlatform(p string) (bas.Platform, error) {
-	switch strings.ToLower(p) {
-	case "minix", string(bas.PlatformMinix):
-		return bas.PlatformMinix, nil
-	case "minix-vanilla", string(bas.PlatformMinixVanilla):
-		return bas.PlatformMinixVanilla, nil
-	case "sel4":
-		return bas.PlatformSel4, nil
-	case "linux":
-		return bas.PlatformLinux, nil
-	case "linux-hardened":
-		return bas.PlatformLinuxHardened, nil
-	default:
-		return "", fmt.Errorf("unknown platform %q", p)
-	}
-}
-
-func deploy(tb *bas.Testbed, cfg bas.ScenarioConfig, platform string, recovery, monitor bool, prof *perf.Profiler) (bas.Deployment, error) {
-	p, err := basPlatform(platform)
+func deploy(tb *bas.Testbed, cfg bas.ScenarioConfig, platform string, guard cli.Guard, prof *perf.Profiler) (bas.Deployment, error) {
+	p, err := cli.ParsePlatform(platform)
 	if err != nil {
 		return nil, err
 	}
-	return bas.Deploy(p, tb, cfg, bas.DeployOptions{Recovery: recovery, Monitor: monitor, Profiler: prof})
+	return bas.Deploy(p, tb, cfg, bas.DeployOptions{Recovery: guard.Recovery, Monitor: guard.MonitorOn(), Profiler: prof})
 }

@@ -211,7 +211,7 @@ func runAudit(runFor time.Duration, jsonOut, strict bool, allowPath string) erro
 	cfg := bas.DefaultScenario()
 	tb := bas.NewTestbed(cfg)
 	policy := core.ScenarioPolicy()
-	if _, err := bas.DeployMinix(tb, cfg, bas.MinixOptions{Policy: policy}); err != nil {
+	if _, err := bas.Deploy(bas.PlatformMinix, tb, cfg, bas.DeployOptions{Policy: policy}); err != nil {
 		return err
 	}
 	const slices = 2

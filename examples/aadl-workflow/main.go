@@ -79,10 +79,11 @@ func run() error {
 	cfg := bas.DefaultScenario()
 	tb := bas.NewTestbed(cfg)
 	defer tb.Machine.Shutdown()
-	dep, err := bas.DeployMinix(tb, cfg, bas.MinixOptions{Policy: policy})
+	mdep, err := bas.Deploy(bas.PlatformMinix, tb, cfg, bas.DeployOptions{Policy: policy})
 	if err != nil {
 		return err
 	}
+	dep := mdep.(*bas.MinixDeployment)
 	tb.Machine.Run(30 * time.Minute)
 	fmt.Printf("\nMINIX under the generated policy: room at %.2f°C after 30m (setpoint %.1f)\n",
 		tb.Room.Temperature(), cfg.Controller.Setpoint)
@@ -98,10 +99,11 @@ func run() error {
 
 	tb2 := bas.NewTestbed(cfg)
 	defer tb2.Machine.Shutdown()
-	sel4dep, err := bas.DeploySel4(tb2, cfg, bas.Sel4Options{})
+	sdep, err := bas.Deploy(bas.PlatformSel4, tb2, cfg, bas.DeployOptions{})
 	if err != nil {
 		return err
 	}
+	sel4dep := sdep.(*bas.Sel4Deployment)
 	fmt.Println("\nCapDL description of the booted seL4 system:")
 	fmt.Print(sel4dep.System.Spec().Render())
 	if err := sel4dep.System.Verify(); err != nil {

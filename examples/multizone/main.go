@@ -51,7 +51,7 @@ func run() error {
 		cfg.Plant.Ambient = spec.ambient
 		tb := bas.NewTestbed(cfg)
 		defer tb.Machine.Shutdown()
-		if _, err := bas.DeployMinix(tb, cfg, bas.MinixOptions{}); err != nil {
+		if _, err := bas.Deploy(bas.PlatformMinix, tb, cfg, bas.DeployOptions{}); err != nil {
 			return fmt.Errorf("zone %s: %w", spec.name, err)
 		}
 		monCfg := safety.DefaultConfig()

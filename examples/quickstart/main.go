@@ -33,10 +33,11 @@ func run() error {
 	// Deploy the paper's five-process scenario on MINIX 3 with the access
 	// control matrix compiled in. The scenario loader forks each process
 	// with its ac_id; the kernel enforces the IPC policy from then on.
-	dep, err := bas.DeployMinix(tb, cfg, bas.MinixOptions{})
+	mdep, err := bas.Deploy(bas.PlatformMinix, tb, cfg, bas.DeployOptions{})
 	if err != nil {
 		return err
 	}
+	dep := mdep.(*bas.MinixDeployment)
 
 	fmt.Printf("room starts at %.1f°C, setpoint is %.1f°C\n",
 		tb.Room.Temperature(), cfg.Controller.Setpoint)

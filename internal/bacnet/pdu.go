@@ -104,14 +104,21 @@ var (
 
 // Encode renders the PDU.
 func (p PDU) Encode() []byte {
-	out := make([]byte, pduSize)
-	out[0] = byte(p.Type)
-	out[1] = p.InvokeID
-	binary.BigEndian.PutUint32(out[2:], p.Device)
-	binary.BigEndian.PutUint16(out[6:], uint16(p.Object))
-	binary.BigEndian.PutUint64(out[8:], math.Float64bits(p.Value))
-	out[16] = p.Code
-	return out
+	return p.AppendEncode(nil)
+}
+
+// AppendEncode appends the encoded PDU to buf and returns the extended
+// slice. Hot paths (the head-end poller, gateway reply loops) pass a reused
+// scratch buffer so encoding allocates nothing.
+func (p PDU) AppendEncode(buf []byte) []byte {
+	var tmp [pduSize]byte
+	tmp[0] = byte(p.Type)
+	tmp[1] = p.InvokeID
+	binary.BigEndian.PutUint32(tmp[2:], p.Device)
+	binary.BigEndian.PutUint16(tmp[6:], uint16(p.Object))
+	binary.BigEndian.PutUint64(tmp[8:], math.Float64bits(p.Value))
+	tmp[16] = p.Code
+	return append(buf, tmp[:]...)
 }
 
 // DecodePDU parses one PDU.
@@ -135,10 +142,16 @@ func DecodePDU(data []byte) (PDU, error) {
 
 // Frame length-prefixes a payload for stream transports.
 func Frame(payload []byte) []byte {
-	out := make([]byte, 2+len(payload))
-	binary.BigEndian.PutUint16(out, uint16(len(payload)))
-	copy(out[2:], payload)
-	return out
+	return AppendFrame(nil, payload)
+}
+
+// AppendFrame appends the length-prefixed payload to dst and returns the
+// extended slice — the allocation-free form of Frame for reused buffers.
+func AppendFrame(dst, payload []byte) []byte {
+	var hdr [2]byte
+	binary.BigEndian.PutUint16(hdr[:], uint16(len(payload)))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
 }
 
 // Deframer accumulates stream bytes and yields complete frames.
@@ -146,11 +159,25 @@ type Deframer struct {
 	buf []byte
 }
 
-// Feed appends stream bytes.
-func (d *Deframer) Feed(data []byte) { d.buf = append(d.buf, data...) }
+// Feed appends stream bytes. Ownership of data passes to the deframer: when
+// its buffer is empty it adopts the slice without copying (the transports
+// here — vnet reads, bus inboxes — hand over their buffers outright), so the
+// caller must not reuse or modify data afterwards.
+func (d *Deframer) Feed(data []byte) {
+	if len(d.buf) == 0 {
+		d.buf = data
+		return
+	}
+	d.buf = append(d.buf, data...)
+}
 
 // Next returns the next complete frame payload, or nil when more bytes are
 // needed.
+//
+// The returned slice aliases the deframer's internal buffer — valid until
+// discarded, but callers must not modify it and should parse rather than
+// retain it. (The deframer only moves forward, and later Feeds append past
+// the returned region, so the bytes stay stable without a per-frame copy.)
 func (d *Deframer) Next() []byte {
 	if len(d.buf) < 2 {
 		return nil
@@ -159,8 +186,7 @@ func (d *Deframer) Next() []byte {
 	if len(d.buf) < 2+n {
 		return nil
 	}
-	frame := make([]byte, n)
-	copy(frame, d.buf[2:2+n])
+	frame := d.buf[2 : 2+n : 2+n]
 	d.buf = d.buf[2+n:]
 	return frame
 }

@@ -13,14 +13,14 @@ func deployGateway(t *testing.T, key []byte) (*Testbed, *MinixDeployment) {
 	cfg := DefaultScenario()
 	tb := NewTestbed(cfg)
 	t.Cleanup(tb.Machine.Shutdown)
-	dep, err := DeployMinixWithBACnet(tb, cfg, MinixOptions{}, BACnetOptions{
-		Enabled: true, Key: key, DeviceID: 7,
+	dep, err := Deploy(PlatformMinix, tb, cfg, DeployOptions{
+		BACnet: BACnetOptions{Enabled: true, Key: key, DeviceID: 7},
 	})
 	if err != nil {
 		t.Fatalf("deploy: %v", err)
 	}
 	tb.Machine.Run(10 * time.Second)
-	return tb, dep
+	return tb, dep.(*MinixDeployment)
 }
 
 func TestBACnetLegacyReadAndWrite(t *testing.T) {

@@ -39,6 +39,10 @@ type BACnetOptions struct {
 // exactly the web interface's authority, so field-bus requests — forged or
 // not — can never reach the actuator drivers. Kept as a thin wrapper over
 // the Deploy registry now that every backend understands BACnetOptions.
+//
+// Deprecated: use Deploy(PlatformMinix, ...) with DeployOptions.BACnet
+// instead; the MINIX backend defaults the policy to
+// core.ScenarioPolicyWithGateway() whenever BACnet is enabled.
 func DeployMinixWithBACnet(tb *Testbed, cfg ScenarioConfig, opts MinixOptions, bopts BACnetOptions) (*MinixDeployment, error) {
 	if opts.Policy == nil {
 		opts.Policy = core.ScenarioPolicyWithGateway()
@@ -168,6 +172,10 @@ func serveBACnet(l NetListener, gw *bacnetGateway) {
 func (gw *bacnetGateway) serveConn(conn NetConn) {
 	defer conn.Close()
 	var d bacnet.Deframer
+	// Reply frames are framed into a reused buffer: every platform's net
+	// write syscall copies into the stack synchronously, so the buffer is
+	// free again as soon as Write returns.
+	var frameBuf []byte
 	for {
 		for {
 			frame := d.Next()
@@ -194,7 +202,8 @@ func (gw *bacnetGateway) serveConn(conn NetConn) {
 				resp = gw.server.HandleFrame(frame)
 			}
 			gw.accepted.Inc()
-			if err := conn.Write(bacnet.Frame(resp)); err != nil {
+			frameBuf = bacnet.AppendFrame(frameBuf[:0], resp)
+			if err := conn.Write(frameBuf); err != nil {
 				return
 			}
 		}

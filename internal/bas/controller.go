@@ -18,6 +18,7 @@ package bas
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"time"
 
 	"mkbas/internal/machine"
@@ -79,8 +80,24 @@ type Status struct {
 
 // String renders the status line the web interface returns.
 func (s Status) String() string {
-	return fmt.Sprintf("temp=%.2f setpoint=%.2f heater=%s alarm=%s samples=%d",
-		s.Temp, s.Setpoint, onOff(s.HeaterOn), onOff(s.AlarmOn), s.Samples)
+	return string(s.AppendText(nil))
+}
+
+// AppendText appends the status line to buf and returns the extended slice.
+// Bindings that emit a status line every control tick (the Linux audit log)
+// use this with a reused buffer so the hot path stays allocation-free; the
+// output is byte-identical to String.
+func (s Status) AppendText(buf []byte) []byte {
+	buf = append(buf, "temp="...)
+	buf = strconv.AppendFloat(buf, s.Temp, 'f', 2, 64)
+	buf = append(buf, " setpoint="...)
+	buf = strconv.AppendFloat(buf, s.Setpoint, 'f', 2, 64)
+	buf = append(buf, " heater="...)
+	buf = append(buf, onOff(s.HeaterOn)...)
+	buf = append(buf, " alarm="...)
+	buf = append(buf, onOff(s.AlarmOn)...)
+	buf = append(buf, " samples="...)
+	return strconv.AppendInt(buf, s.Samples, 10)
 }
 
 func onOff(b bool) string {

@@ -6,7 +6,7 @@ import (
 	"time"
 )
 
-// deployment abstracts the three platforms for the shared closed-loop tests
+// deployment abstracts the platforms for the shared closed-loop tests
 // (experiment E3: the Fig. 2 scenario behaves identically everywhere when
 // nothing is under attack).
 type deployment struct {
@@ -15,24 +15,16 @@ type deployment struct {
 }
 
 func allPlatforms() []deployment {
-	return []deployment{
-		{"minix", func(tb *Testbed, cfg ScenarioConfig) error {
-			_, err := DeployMinix(tb, cfg, MinixOptions{})
+	platforms := []Platform{PlatformMinix, PlatformSel4, PlatformLinux, PlatformLinuxHardened}
+	out := make([]deployment, 0, len(platforms))
+	for _, p := range platforms {
+		p := p
+		out = append(out, deployment{string(p), func(tb *Testbed, cfg ScenarioConfig) error {
+			_, err := Deploy(p, tb, cfg, DeployOptions{})
 			return err
-		}},
-		{"sel4", func(tb *Testbed, cfg ScenarioConfig) error {
-			_, err := DeploySel4(tb, cfg, Sel4Options{})
-			return err
-		}},
-		{"linux", func(tb *Testbed, cfg ScenarioConfig) error {
-			_, err := DeployLinux(tb, cfg, LinuxOptions{})
-			return err
-		}},
-		{"linux-hardened", func(tb *Testbed, cfg ScenarioConfig) error {
-			_, err := DeployLinux(tb, cfg, LinuxOptions{Hardened: true})
-			return err
-		}},
+		}})
 	}
+	return out
 }
 
 func TestClosedLoopReachesSetpointOnAllPlatforms(t *testing.T) {
@@ -166,10 +158,11 @@ func TestMinixDriverCrashIsHealedByRS(t *testing.T) {
 	cfg := DefaultScenario()
 	tb := NewTestbed(cfg)
 	defer tb.Machine.Shutdown()
-	dep, err := DeployMinix(tb, cfg, MinixOptions{})
+	mdep, err := Deploy(PlatformMinix, tb, cfg, DeployOptions{})
 	if err != nil {
 		t.Fatalf("deploy: %v", err)
 	}
+	dep := mdep.(*MinixDeployment)
 	tb.Machine.Run(time.Minute)
 
 	sensorEP, err := dep.Kernel.EndpointOf(NameTempSensor)
@@ -208,10 +201,11 @@ func TestSel4CapDLVerifiesForScenario(t *testing.T) {
 	cfg := DefaultScenario()
 	tb := NewTestbed(cfg)
 	defer tb.Machine.Shutdown()
-	dep, err := DeploySel4(tb, cfg, Sel4Options{})
+	sdep, err := Deploy(PlatformSel4, tb, cfg, DeployOptions{})
 	if err != nil {
 		t.Fatalf("deploy: %v", err)
 	}
+	dep := sdep.(*Sel4Deployment)
 	if err := dep.System.Verify(); err != nil {
 		t.Fatalf("CapDL verify at boot: %v", err)
 	}
@@ -240,7 +234,7 @@ func TestDeterministicClosedLoop(t *testing.T) {
 		cfg.Plant.SensorNoise = 0.05
 		tb := NewTestbed(cfg)
 		defer tb.Machine.Shutdown()
-		if _, err := DeployMinix(tb, cfg, MinixOptions{}); err != nil {
+		if _, err := Deploy(PlatformMinix, tb, cfg, DeployOptions{}); err != nil {
 			t.Fatalf("deploy: %v", err)
 		}
 		tb.Machine.Run(30 * time.Minute)

@@ -155,6 +155,9 @@ func (d *LinuxDeployment) ControllerAlive() bool {
 
 // DeployLinux boots the Linux platform on a testbed. It is a thin wrapper
 // over the Deploy registry, kept so existing callers compile unchanged.
+//
+// Deprecated: use Deploy(PlatformLinux, ...) (or PlatformLinuxHardened for
+// Hardened) with DeployOptions instead.
 func DeployLinux(tb *Testbed, cfg ScenarioConfig, opts LinuxOptions) (*LinuxDeployment, error) {
 	platform := PlatformLinux
 	if opts.Hardened {
@@ -376,14 +379,18 @@ func linuxSensorBody(period time.Duration) func(api *linuxsim.API) {
 			api.Trace("bas", fmt.Sprintf("sensor: %v", err))
 			return
 		}
+		// line is rebuilt in place each tick; MQSend copies the payload, so
+		// the steady-state sample path allocates nothing.
+		var line []byte
 		for {
 			api.Sleep(period)
 			raw, err := api.DevRead(plant.DevTempSensor, plant.RegTempMilliC)
 			if err != nil {
 				continue
 			}
-			line := fmt.Sprintf("temp %.4f", plant.DecodeTemp(raw))
-			if err := api.MQSend(fd, []byte(line), 0); err != nil {
+			line = append(line[:0], "temp "...)
+			line = plant.AppendTempFixed4(line, raw)
+			if err := api.MQSend(fd, line, 0); err != nil {
 				return
 			}
 		}
@@ -454,6 +461,10 @@ func linuxControllerBody(cfg ControllerConfig, qmode map[string]linuxsim.Mode) f
 				_ = api.MQSend(webRespFD, []byte(resp), 0)
 			}
 		}
+		// auditLine is reused across iterations: the status line is rebuilt
+		// in place each tick and MQSend copies the payload, so the steady
+		// state log write allocates nothing.
+		var auditLine []byte
 		for {
 			var msg linuxsim.MQMsg
 			var err error
@@ -491,7 +502,8 @@ func linuxControllerBody(cfg ControllerConfig, qmode map[string]linuxsim.Mode) f
 			watchdog()
 			drainWeb()
 			// Environment log; drop lines when the log is full.
-			_ = api.MQSend(auditFD, []byte(ctrl.Snapshot().String()), 0)
+			auditLine = ctrl.Snapshot().AppendText(auditLine[:0])
+			_ = api.MQSend(auditFD, auditLine, 0)
 		}
 	}
 }

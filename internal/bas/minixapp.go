@@ -68,6 +68,9 @@ func (d *MinixDeployment) ControllerAlive() bool {
 // DeployMinix boots the security-enhanced MINIX 3 platform on a testbed. It
 // is a thin wrapper over the Deploy registry, kept so existing callers
 // compile unchanged.
+//
+// Deprecated: use Deploy(PlatformMinix, ...) (or PlatformMinixVanilla for
+// DisableACM) with DeployOptions instead.
 func DeployMinix(tb *Testbed, cfg ScenarioConfig, opts MinixOptions) (*MinixDeployment, error) {
 	platform := PlatformMinix
 	if opts.DisableACM {

@@ -100,7 +100,7 @@ func TestHardenedLinuxGateRuns(t *testing.T) {
 
 	tb := NewTestbed(cfg)
 	defer tb.Machine.Shutdown()
-	dep, err := DeployLinux(tb, cfg, LinuxOptions{Hardened: true})
+	dep, err := Deploy(PlatformLinuxHardened, tb, cfg, DeployOptions{})
 	if err != nil {
 		t.Fatalf("hardened Linux failed the gate: %v", err)
 	}
@@ -110,7 +110,7 @@ func TestHardenedLinuxGateRuns(t *testing.T) {
 
 	tb2 := NewTestbed(cfg)
 	defer tb2.Machine.Shutdown()
-	if _, err := DeployLinux(tb2, cfg, LinuxOptions{Hardened: true, SkipPolicyCheck: true}); err != nil {
+	if _, err := Deploy(PlatformLinuxHardened, tb2, cfg, DeployOptions{SkipPolicyCheck: true}); err != nil {
 		t.Fatalf("hardened Linux with SkipPolicyCheck: %v", err)
 	}
 }

@@ -209,6 +209,8 @@ func ScenarioAssembly(cfg ScenarioConfig, webRun func(rt *camkes.Runtime)) *camk
 // DeploySel4 boots the seL4/CAmkES platform on a testbed. It is a thin
 // wrapper over the Deploy registry, kept so existing callers compile
 // unchanged.
+//
+// Deprecated: use Deploy(PlatformSel4, ...) with DeployOptions instead.
 func DeploySel4(tb *Testbed, cfg ScenarioConfig, opts Sel4Options) (*Sel4Deployment, error) {
 	dep, err := Deploy(PlatformSel4, tb, cfg, DeployOptions{
 		SkipPolicyCheck: opts.SkipPolicyCheck,

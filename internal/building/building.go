@@ -65,8 +65,10 @@ type Config struct {
 	// Profiler attaches the host-side performance profiler: rounds, board
 	// steps, head-end polling, and bus flushes book their wall-clock cost
 	// into named phases, and each worker goroutine keeps busy/idle accounts
-	// (WorkerStats). nil profiles nothing — busy/idle accounting still runs,
-	// it costs two time.Now calls per board step. Never marshalled.
+	// (WorkerStats). nil profiles nothing, including the busy/idle accounts
+	// — their two time.Now calls per board step are measurable on the bench
+	// hot path, so unprofiled runs skip them and WorkerStats/StepWallNs
+	// read zero. Never marshalled.
 	Profiler *perf.Profiler `json:"-"`
 }
 
@@ -215,6 +217,7 @@ func New(cfg Config) (*Building, error) {
 		if cfg.Profiler.TimelineEnabled() {
 			st.track = cfg.Profiler.Track(fmt.Sprintf("building-worker-%02d", w))
 		}
+		timed := cfg.Profiler != nil
 		go func() {
 			for i := range b.jobs {
 				var label string
@@ -222,9 +225,13 @@ func New(cfg Config) (*Building, error) {
 					label = b.Rooms[i].label
 				}
 				sc := b.phBoard.BeginOn(st.track, label)
-				start := time.Now()
-				b.Rooms[i].Dep.Machine().RunUntil(b.target)
-				atomic.AddInt64(&st.busyNs, int64(time.Since(start)))
+				if timed {
+					start := time.Now()
+					b.Rooms[i].Dep.Machine().RunUntil(b.target)
+					atomic.AddInt64(&st.busyNs, int64(time.Since(start)))
+				} else {
+					b.Rooms[i].Dep.Machine().RunUntil(b.target)
+				}
 				atomic.AddInt64(&st.jobs, 1)
 				sc.End()
 				b.wg.Done()
@@ -398,13 +405,18 @@ func (b *Building) Step() {
 	b.round++
 	b.elapsed += b.slice
 	b.target = machine.Time(0).Add(b.elapsed)
-	stepStart := time.Now()
+	var stepStart time.Time
+	if b.prof != nil {
+		stepStart = time.Now()
+	}
 	b.wg.Add(len(b.Rooms))
 	for i := range b.Rooms {
 		b.jobs <- i
 	}
 	b.wg.Wait()
-	atomic.AddInt64(&b.stepWallNs, int64(time.Since(stepStart)))
+	if b.prof != nil {
+		atomic.AddInt64(&b.stepWallNs, int64(time.Since(stepStart)))
+	}
 	b.Bus.Flush()
 	hsc := b.phHead.Begin()
 	b.Head.OnRound(b.round, b.elapsed)

@@ -113,6 +113,11 @@ type HeadEnd struct {
 	pollsAnswered int
 	pollsMissed   int
 	writesSent    int
+
+	// Send-path scratch: BusConn.Write copies into a pooled chunk before
+	// returning, so one encode buffer and one frame buffer serve every room.
+	encBuf   []byte
+	frameBuf []byte
 }
 
 // newHeadEnd attaches a BMS for the given rooms. initialSetpoint is the
@@ -279,10 +284,12 @@ func (h *HeadEnd) send(r *headRoom, round int, pdu bacnet.PDU) {
 	if r.secure != nil {
 		payload = r.secure.Seal(pdu)
 	} else {
-		payload = pdu.Encode()
+		h.encBuf = pdu.AppendEncode(h.encBuf[:0])
+		payload = h.encBuf
 	}
+	h.frameBuf = bacnet.AppendFrame(h.frameBuf[:0], payload)
 	r.conn = h.bus.Dial(h.node, r.node, bas.BACnetPort)
-	_ = r.conn.Write(bacnet.Frame(payload))
+	_ = r.conn.Write(h.frameBuf)
 }
 
 // RoomState is the BMS's judgement of one room.

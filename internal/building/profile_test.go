@@ -11,14 +11,17 @@ import (
 // TestWorkerBusyIdleAccounting checks the exactness claim on the host-time
 // accounts: every worker's busy interval nests inside the coordinator's
 // stepping window, so BusyNs + IdleNs == StepWallNs holds per worker as an
-// identity, not an approximation — regardless of scheduling.
+// identity, not an approximation — regardless of scheduling. The accounts
+// only run under a profiler (unprofiled runs skip the time.Now pair per
+// board step), so the test attaches one.
 func TestWorkerBusyIdleAccounting(t *testing.T) {
 	const rooms, workers = 8, 4
 	b, err := New(Config{
-		Rooms:   rooms,
-		Mix:     paperMix(),
-		Secure:  evenSecure(rooms),
-		Workers: workers,
+		Rooms:    rooms,
+		Mix:      paperMix(),
+		Secure:   evenSecure(rooms),
+		Workers:  workers,
+		Profiler: perf.New(perf.Options{}),
 	})
 	if err != nil {
 		t.Fatal(err)

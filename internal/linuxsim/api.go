@@ -11,6 +11,17 @@ import (
 // programs against.
 type API struct {
 	ctx *machine.Context
+
+	// Scratch requests for the hot syscalls. Boxing a pointer into the
+	// trap's any costs no heap allocation, and the kernel consumes each
+	// request synchronously inside HandleTrap, so one scratch value per
+	// request type is enough.
+	sendScratch   mqSendReq
+	recvScratch   mqReceiveReq
+	recvTOScratch mqReceiveTimeoutReq
+	sleepScratch  sleepReq
+	devRdScratch  devReadReq
+	devWrScratch  devWriteReq
 }
 
 // Now returns the current virtual time (free, no trap).
@@ -42,14 +53,21 @@ func (a *API) MQOpen(name string, flags MQOpenFlags) (int32, error) {
 	return reply.fd, reply.err
 }
 
-// MQSend implements mq_send.
+// MQSend implements mq_send. The kernel copies data before returning, so
+// the caller may reuse the buffer immediately.
 func (a *API) MQSend(fd int32, data []byte, prio uint32) error {
-	return a.ctx.Trap(mqSendReq{fd: fd, data: data, prio: prio}).(errReply).err
+	a.sendScratch = mqSendReq{fd: fd, data: data, prio: prio}
+	err := a.ctx.Trap(&a.sendScratch).(*errReply).err
+	a.sendScratch.data = nil
+	return err
 }
 
-// MQReceive implements mq_receive.
+// MQReceive implements mq_receive. The returned message's Data is valid
+// until the process's next MQReceive/MQReceiveTimeout (the kernel recycles
+// payload buffers); callers that keep a payload must copy it.
 func (a *API) MQReceive(fd int32) (MQMsg, error) {
-	reply := a.ctx.Trap(mqReceiveReq{fd: fd}).(msgReply)
+	a.recvScratch = mqReceiveReq{fd: fd}
+	reply := a.ctx.Trap(&a.recvScratch).(*msgReply)
 	return reply.msg, reply.err
 }
 
@@ -57,7 +75,8 @@ func (a *API) MQReceive(fd int32) (MQMsg, error) {
 // message arrives within d of virtual time. Hardened control loops use it as
 // a liveness watchdog on their input queues.
 func (a *API) MQReceiveTimeout(fd int32, d time.Duration) (MQMsg, error) {
-	reply := a.ctx.Trap(mqReceiveTimeoutReq{fd: fd, d: d}).(msgReply)
+	a.recvTOScratch = mqReceiveTimeoutReq{fd: fd, d: d}
+	reply := a.ctx.Trap(&a.recvTOScratch).(*msgReply)
 	return reply.msg, reply.err
 }
 
@@ -102,18 +121,21 @@ func (a *API) GetUID() int {
 
 // Sleep blocks for a virtual duration.
 func (a *API) Sleep(d time.Duration) {
-	a.ctx.Trap(sleepReq{d: d})
+	a.sleepScratch = sleepReq{d: d}
+	a.ctx.Trap(&a.sleepScratch)
 }
 
 // DevRead reads a device register through its /dev node (DAC applies).
 func (a *API) DevRead(dev machine.DeviceID, reg uint32) (uint32, error) {
-	reply := a.ctx.Trap(devReadReq{dev: dev, reg: reg}).(u32Reply)
+	a.devRdScratch = devReadReq{dev: dev, reg: reg}
+	reply := a.ctx.Trap(&a.devRdScratch).(*u32Reply)
 	return reply.value, reply.err
 }
 
 // DevWrite writes a device register through its /dev node (DAC applies).
 func (a *API) DevWrite(dev machine.DeviceID, reg uint32, value uint32) error {
-	return a.ctx.Trap(devWriteReq{dev: dev, reg: reg, value: value}).(errReply).err
+	a.devWrScratch = devWriteReq{dev: dev, reg: reg, value: value}
+	return a.ctx.Trap(&a.devWrScratch).(*errReply).err
 }
 
 // Trace writes to the board trace console.

@@ -132,6 +132,37 @@ type proc struct {
 
 	listeners map[int32]*vnet.Listener
 	conns     map[int32]*vnet.Conn
+
+	// Reply scratch for the hot trap paths. The engine serialises all
+	// kernel work and a blocked process receives at most one wake-up value,
+	// so boxing pointers to these per-process values costs no allocation.
+	errR errReply
+	msgR msgReply
+	u32R u32Reply
+
+	// lastMQBuf is the payload buffer of the most recent message delivered
+	// to this process; it is recycled into the kernel's pool on the next
+	// delivery (a received MQMsg's Data is valid until then).
+	lastMQBuf []byte
+}
+
+// errOut fills the process's error reply scratch and returns it boxed.
+func (p *proc) errOut(err error) any {
+	p.errR = errReply{err: err}
+	return &p.errR
+}
+
+// msgErr fills the process's message reply scratch with an error and
+// returns it boxed (no delivery, so no buffer recycling).
+func (p *proc) msgErr(err error) any {
+	p.msgR = msgReply{err: err}
+	return &p.msgR
+}
+
+// u32Out fills the process's u32 reply scratch and returns it boxed.
+func (p *proc) u32Out(v uint32, err error) any {
+	p.u32R = u32Reply{value: v, err: err}
+	return &p.u32R
 }
 
 type procPhase int
@@ -200,6 +231,11 @@ type Kernel struct {
 	ipcFault func(src, queue string) (drop bool, delay time.Duration)
 
 	stats Stats
+
+	// bufPool recycles message payload buffers: mq_send copies the payload
+	// into a pooled buffer, and the copy is returned to the pool when the
+	// receiving process performs its next mq_receive (see deliverMsg).
+	bufPool [][]byte
 
 	// Observability hooks, resolved once at boot.
 	reg        *obs.Registry

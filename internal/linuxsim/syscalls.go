@@ -113,11 +113,11 @@ func (k *Kernel) HandleTrap(pid machine.PID, req any) (any, machine.Disposition)
 	switch r := req.(type) {
 	case mqOpenReq:
 		return k.doMQOpen(self, r)
-	case mqSendReq:
+	case *mqSendReq:
 		return k.doMQSend(self, r)
-	case mqReceiveReq:
-		return k.doMQReceive(self, r)
-	case mqReceiveTimeoutReq:
+	case *mqReceiveReq:
+		return k.doMQReceive(self, r.fd)
+	case *mqReceiveTimeoutReq:
 		return k.doMQReceiveTimeout(self, r)
 	case mqUnlinkReq:
 		return k.doMQUnlink(self, r)
@@ -146,29 +146,29 @@ func (k *Kernel) HandleTrap(pid machine.PID, req any) (any, machine.Disposition)
 		return intReply{value: self.unixPID}, machine.DispositionContinue
 	case getUIDReq:
 		return intReply{value: self.uid}, machine.DispositionContinue
-	case sleepReq:
+	case *sleepReq:
 		return k.doSleep(self, r)
-	case devReadReq:
+	case *devReadReq:
 		df, ok := k.devs[r.dev]
 		if !ok {
-			return u32Reply{err: fmt.Errorf("%w: device %q", ErrNoEnt, r.dev)}, machine.DispositionContinue
+			return self.u32Out(0, fmt.Errorf("%w: device %q", ErrNoEnt, r.dev)), machine.DispositionContinue
 		}
 		if !allowed(self.uid, self.gid, df.ownerUID, df.ownerGID, df.mode, true, false) {
 			k.dacDeny(obs.EventSyscallDenied, self.name, string(r.dev), fmt.Sprintf("read /dev/%s reg %d", r.dev, r.reg))
-			return u32Reply{err: fmt.Errorf("%w: read %q", ErrPerm, r.dev)}, machine.DispositionContinue
+			return self.u32Out(0, fmt.Errorf("%w: read %q", ErrPerm, r.dev)), machine.DispositionContinue
 		}
 		v, err := k.m.Bus().Read(r.dev, r.reg)
-		return u32Reply{value: v, err: err}, machine.DispositionContinue
-	case devWriteReq:
+		return self.u32Out(v, err), machine.DispositionContinue
+	case *devWriteReq:
 		df, ok := k.devs[r.dev]
 		if !ok {
-			return errReply{err: fmt.Errorf("%w: device %q", ErrNoEnt, r.dev)}, machine.DispositionContinue
+			return self.errOut(fmt.Errorf("%w: device %q", ErrNoEnt, r.dev)), machine.DispositionContinue
 		}
 		if !allowed(self.uid, self.gid, df.ownerUID, df.ownerGID, df.mode, false, true) {
 			k.dacDeny(obs.EventSyscallDenied, self.name, string(r.dev), fmt.Sprintf("write /dev/%s reg %d", r.dev, r.reg))
-			return errReply{err: fmt.Errorf("%w: write %q", ErrPerm, r.dev)}, machine.DispositionContinue
+			return self.errOut(fmt.Errorf("%w: write %q", ErrPerm, r.dev)), machine.DispositionContinue
 		}
-		return errReply{err: k.m.Bus().Write(r.dev, r.reg, r.value)}, machine.DispositionContinue
+		return self.errOut(k.m.Bus().Write(r.dev, r.reg, r.value)), machine.DispositionContinue
 	case traceReq:
 		k.m.Trace().Logf(r.tag, "%s", r.text)
 		return errReply{}, machine.DispositionContinue
@@ -227,20 +227,54 @@ func (k *Kernel) doMQOpen(self *proc, r mqOpenReq) (any, machine.Disposition) {
 	return fdReply{fd: handle}, machine.DispositionContinue
 }
 
+// getBuf pops a recycled payload buffer (zero length, retained capacity),
+// or nil when the pool is empty.
+func (k *Kernel) getBuf() []byte {
+	if n := len(k.bufPool); n > 0 {
+		b := k.bufPool[n-1]
+		k.bufPool = k.bufPool[:n-1]
+		return b
+	}
+	return nil
+}
+
+// putBuf returns a payload buffer to the pool. The pool is bounded: beyond
+// that, buffers fall back to the garbage collector.
+func (k *Kernel) putBuf(b []byte) {
+	if cap(b) > 0 && len(k.bufPool) < 256 {
+		k.bufPool = append(k.bufPool, b[:0])
+	}
+}
+
+// deliverMsg boxes a delivered message for p and recycles the payload of
+// p's previous delivery. A received MQMsg's Data is therefore valid until
+// the process's next mq_receive on any descriptor — the contract that lets
+// the kernel pool payload copies instead of allocating one per send.
+func (k *Kernel) deliverMsg(p *proc, msg MQMsg) any {
+	if p.lastMQBuf != nil {
+		k.putBuf(p.lastMQBuf)
+		p.lastMQBuf = nil
+	}
+	p.lastMQBuf = msg.Data
+	p.msgR = msgReply{msg: msg}
+	return &p.msgR
+}
+
 // doMQSend implements mq_send: insert by priority, block when full.
-func (k *Kernel) doMQSend(self *proc, r mqSendReq) (any, machine.Disposition) {
+func (k *Kernel) doMQSend(self *proc, r *mqSendReq) (any, machine.Disposition) {
 	k.mSendsC.Inc()
 	f, ok := self.fds[r.fd]
 	if !ok || !f.canWrite {
-		return errReply{err: ErrBadFD}, machine.DispositionContinue
+		return self.errOut(ErrBadFD), machine.DispositionContinue
 	}
-	msg := MQMsg{Data: append([]byte(nil), r.data...), Prio: r.prio}
+	msg := MQMsg{Data: append(k.getBuf(), r.data...), Prio: r.prio}
 	q := f.q
 	drop, delay := k.faultFor(self.name, q.name)
 	if drop {
 		// mq_send reports only queue-level failures; a message lost in
 		// transit looks like success to the sender.
-		return errReply{}, machine.DispositionContinue
+		k.putBuf(msg.Data)
+		return self.errOut(nil), machine.DispositionContinue
 	}
 	if delay > 0 {
 		// Delayed delivery is asynchronous: the sender continues, the
@@ -252,7 +286,7 @@ func (k *Kernel) doMQSend(self *proc, r mqSendReq) (any, machine.Disposition) {
 			}
 			k.deliverToQueue(self.name, q, msg)
 		})
-		return errReply{}, machine.DispositionContinue
+		return self.errOut(nil), machine.DispositionContinue
 	}
 	// A blocked reader consumes the message directly.
 	if reader := k.popReader(q); reader != nil {
@@ -264,12 +298,13 @@ func (k *Kernel) doMQSend(self *proc, r mqSendReq) (any, machine.Disposition) {
 		k.endSpan(reader, obs.OutcomeDelivered)
 		reader.phase = phaseIdle
 		reader.waitToken++
-		k.mustReady(reader.pid, msgReply{msg: msg})
-		return errReply{}, machine.DispositionContinue
+		k.mustReady(reader.pid, k.deliverMsg(reader, msg))
+		return self.errOut(nil), machine.DispositionContinue
 	}
 	if len(q.msgs) >= q.maxMsgs {
 		if f.nonblock {
-			return errReply{err: ErrAgain}, machine.DispositionContinue
+			k.putBuf(msg.Data)
+			return self.errOut(ErrAgain), machine.DispositionContinue
 		}
 		self.phase = phaseMQSend
 		self.span = k.tracer.Begin(self.name, q.name, "mq_send")
@@ -281,26 +316,30 @@ func (k *Kernel) doMQSend(self *proc, r mqSendReq) (any, machine.Disposition) {
 	k.tracer.Emit(self.name, q.name, "mq_send", obs.OutcomeDelivered)
 	insertByPrio(q, msg)
 	q.depth.Set(int64(len(q.msgs)))
-	return errReply{}, machine.DispositionContinue
+	return self.errOut(nil), machine.DispositionContinue
 }
 
 // doMQReceive implements mq_receive: highest priority first, block when
 // empty.
-func (k *Kernel) doMQReceive(self *proc, r mqReceiveReq) (any, machine.Disposition) {
+func (k *Kernel) doMQReceive(self *proc, rfd int32) (any, machine.Disposition) {
 	k.mRecvsC.Inc()
-	f, ok := self.fds[r.fd]
+	f, ok := self.fds[rfd]
 	if !ok || !f.canRead {
-		return msgReply{err: ErrBadFD}, machine.DispositionContinue
+		return self.msgErr(ErrBadFD), machine.DispositionContinue
 	}
 	q := f.q
 	if len(q.msgs) > 0 {
 		msg := q.msgs[0]
-		q.msgs = q.msgs[1:]
+		// Shift down instead of re-slicing: the [1:] form burns capacity,
+		// so a fill/drain cycle would re-allocate on every insert.
+		copy(q.msgs, q.msgs[1:])
+		q.msgs[len(q.msgs)-1] = MQMsg{}
+		q.msgs = q.msgs[:len(q.msgs)-1]
 		k.stats.MQReceives++
 		k.m.IPC().Record(q.name, self.name, "recv")
 		k.tracer.Emit(self.name, q.name, "mq_receive", obs.OutcomeDelivered)
 		// Unblock one writer into the freed slot.
-		if w := k.popWriter(q); w != nil {
+		if w, ok := k.popWriter(q); ok {
 			insertByPrio(q, w.msg)
 			k.stats.MQSends++
 			wp := k.procs[w.pid]
@@ -308,13 +347,13 @@ func (k *Kernel) doMQReceive(self *proc, r mqReceiveReq) (any, machine.Dispositi
 			k.endSpan(wp, obs.OutcomeDelivered)
 			wp.phase = phaseIdle
 			wp.waitToken++
-			k.mustReady(w.pid, errReply{})
+			k.mustReady(w.pid, wp.errOut(nil))
 		}
 		q.depth.Set(int64(len(q.msgs)))
-		return msgReply{msg: msg}, machine.DispositionContinue
+		return k.deliverMsg(self, msg), machine.DispositionContinue
 	}
 	if f.nonblock {
-		return msgReply{err: ErrAgain}, machine.DispositionContinue
+		return self.msgErr(ErrAgain), machine.DispositionContinue
 	}
 	self.phase = phaseMQRecv
 	self.span = k.tracer.Begin(self.name, q.name, "mq_receive")
@@ -324,8 +363,8 @@ func (k *Kernel) doMQReceive(self *proc, r mqReceiveReq) (any, machine.Dispositi
 
 // doMQReceiveTimeout is mq_timedreceive: MQReceive that gives up with
 // ErrTimeout after d of virtual time with no message.
-func (k *Kernel) doMQReceiveTimeout(self *proc, r mqReceiveTimeoutReq) (any, machine.Disposition) {
-	reply, disp := k.doMQReceive(self, mqReceiveReq{fd: r.fd})
+func (k *Kernel) doMQReceiveTimeout(self *proc, r *mqReceiveTimeoutReq) (any, machine.Disposition) {
+	reply, disp := k.doMQReceive(self, r.fd)
 	if disp == machine.DispositionContinue {
 		return reply, disp
 	}
@@ -343,12 +382,12 @@ func (k *Kernel) doMQReceiveTimeout(self *proc, r mqReceiveTimeoutReq) (any, mac
 		p.waitToken++
 		for i, rp := range q.readers {
 			if rp == pid {
-				q.readers = append(q.readers[:i:i], q.readers[i+1:]...)
+				q.readers = append(q.readers[:i], q.readers[i+1:]...)
 				break
 			}
 		}
 		k.endSpan(p, obs.OutcomeAborted)
-		k.mustReady(pid, msgReply{err: ErrTimeout})
+		k.mustReady(pid, p.msgErr(ErrTimeout))
 	})
 	return nil, machine.DispositionBlock
 }
@@ -365,7 +404,7 @@ func (k *Kernel) deliverToQueue(sender string, q *mqueue, msg MQMsg) {
 		k.endSpan(reader, obs.OutcomeDelivered)
 		reader.phase = phaseIdle
 		reader.waitToken++
-		k.mustReady(reader.pid, msgReply{msg: msg})
+		k.mustReady(reader.pid, k.deliverMsg(reader, msg))
 		return
 	}
 	if len(q.msgs) >= q.maxMsgs {
@@ -426,14 +465,14 @@ func (k *Kernel) doMQUnlink(self *proc, r mqUnlinkReq) (any, machine.Disposition
 		if p := k.procs[pid]; p != nil && p.phase == phaseMQRecv {
 			p.phase = phaseIdle
 			k.endSpan(p, obs.OutcomeAborted)
-			k.mustReady(pid, msgReply{err: fmt.Errorf("%w: queue %q unlinked", ErrNoEnt, r.name)})
+			k.mustReady(pid, p.msgErr(fmt.Errorf("%w: queue %q unlinked", ErrNoEnt, r.name)))
 		}
 	}
 	for _, w := range q.writers {
 		if p := k.procs[w.pid]; p != nil && p.phase == phaseMQSend {
 			p.phase = phaseIdle
 			k.endSpan(p, obs.OutcomeAborted)
-			k.mustReady(w.pid, errReply{err: fmt.Errorf("%w: queue %q unlinked", ErrNoEnt, r.name)})
+			k.mustReady(w.pid, p.errOut(fmt.Errorf("%w: queue %q unlinked", ErrNoEnt, r.name)))
 		}
 	}
 	q.readers, q.writers = nil, nil
@@ -471,7 +510,7 @@ func (k *Kernel) doKill(self *proc, r killReq) (any, machine.Disposition) {
 	return errReply{}, machine.DispositionContinue
 }
 
-func (k *Kernel) doSleep(self *proc, r sleepReq) (any, machine.Disposition) {
+func (k *Kernel) doSleep(self *proc, r *sleepReq) (any, machine.Disposition) {
 	self.phase = phaseSleeping
 	self.waitToken++
 	token := self.waitToken
@@ -482,7 +521,7 @@ func (k *Kernel) doSleep(self *proc, r sleepReq) (any, machine.Disposition) {
 			return
 		}
 		p.phase = phaseIdle
-		k.mustReady(pid, errReply{})
+		k.mustReady(pid, p.errOut(nil))
 	})
 	return nil, machine.DispositionBlock
 }
@@ -491,7 +530,8 @@ func (k *Kernel) doSleep(self *proc, r sleepReq) (any, machine.Disposition) {
 func (k *Kernel) popReader(q *mqueue) *proc {
 	for len(q.readers) > 0 {
 		pid := q.readers[0]
-		q.readers = q.readers[1:]
+		copy(q.readers, q.readers[1:])
+		q.readers = q.readers[:len(q.readers)-1]
 		if p := k.procs[pid]; p != nil && p.phase == phaseMQRecv {
 			return p
 		}
@@ -500,15 +540,17 @@ func (k *Kernel) popReader(q *mqueue) *proc {
 }
 
 // popWriter dequeues the next still-blocked writer.
-func (k *Kernel) popWriter(q *mqueue) *blockedWriter {
+func (k *Kernel) popWriter(q *mqueue) (blockedWriter, bool) {
 	for len(q.writers) > 0 {
 		w := q.writers[0]
-		q.writers = q.writers[1:]
+		copy(q.writers, q.writers[1:])
+		q.writers[len(q.writers)-1] = blockedWriter{}
+		q.writers = q.writers[:len(q.writers)-1]
 		if p := k.procs[w.pid]; p != nil && p.phase == phaseMQSend {
-			return &w
+			return w, true
 		}
 	}
-	return nil
+	return blockedWriter{}, false
 }
 
 // insertByPrio inserts keeping the queue sorted by descending priority,
@@ -540,13 +582,13 @@ func (k *Kernel) OnProcExit(pid machine.PID, info machine.ExitInfo) {
 	for _, q := range k.mqs {
 		for i, rp := range q.readers {
 			if rp == pid {
-				q.readers = append(q.readers[:i:i], q.readers[i+1:]...)
+				q.readers = append(q.readers[:i], q.readers[i+1:]...)
 				break
 			}
 		}
 		for i, w := range q.writers {
 			if w.pid == pid {
-				q.writers = append(q.writers[:i:i], q.writers[i+1:]...)
+				q.writers = append(q.writers[:i], q.writers[i+1:]...)
 				break
 			}
 		}

@@ -1,7 +1,6 @@
 package machine
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -25,41 +24,24 @@ func (t Time) Duration() time.Duration { return time.Duration(t) }
 // String formats the instant as a duration since boot, e.g. "2m30s".
 func (t Time) String() string { return time.Duration(t).String() }
 
-// timer is a pending callback on the virtual clock.
+// timer is a pending callback on the virtual clock. Fired and canceled
+// timers return to the clock's free list, so steady-state scheduling (a
+// sensor sleeping every tick) allocates nothing; gen guards a recycled
+// timer against stale TimerIDs.
 type timer struct {
 	at  Time
 	seq uint64 // tie-breaker so equal deadlines fire in scheduling order
 	fn  func()
+	gen uint64
 
 	canceled bool
 }
 
-// TimerID identifies a scheduled callback so it can be canceled.
-type TimerID struct{ t *timer }
-
-// timerHeap orders timers by (deadline, sequence).
-type timerHeap []*timer
-
-func (h timerHeap) Len() int { return len(h) }
-
-func (h timerHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h timerHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *timerHeap) Push(x any) { *h = append(*h, x.(*timer)) }
-
-func (h *timerHeap) Pop() any {
-	old := *h
-	n := len(old)
-	t := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return t
+// TimerID identifies a scheduled callback so it can be canceled. The zero
+// TimerID is inert.
+type TimerID struct {
+	t   *timer
+	gen uint64
 }
 
 // Clock is the virtual time source for one board.
@@ -67,10 +49,16 @@ func (h *timerHeap) Pop() any {
 // All methods must be called from the engine loop (or while the engine is
 // parked between Run calls); the Clock is intentionally not safe for
 // concurrent use, because concurrency would destroy determinism.
+//
+// The timer queue is a hand-rolled binary min-heap over (deadline, seq)
+// rather than container/heap: the interface indirection and any-boxing of
+// the stdlib adapter are measurable at this call rate (the engine checks the
+// queue on every trap).
 type Clock struct {
 	now    Time
 	seq    uint64
-	timers timerHeap
+	timers []*timer
+	free   []*timer
 }
 
 // NewClock returns a clock at instant zero with no pending timers.
@@ -85,10 +73,18 @@ func (c *Clock) At(at Time, fn func()) TimerID {
 	if fn == nil {
 		panic("machine: Clock.At with nil callback")
 	}
-	t := &timer{at: at, seq: c.seq, fn: fn}
+	var t *timer
+	if n := len(c.free); n > 0 {
+		t = c.free[n-1]
+		c.free[n-1] = nil
+		c.free = c.free[:n-1]
+		t.at, t.seq, t.fn, t.canceled = at, c.seq, fn, false
+	} else {
+		t = &timer{at: at, seq: c.seq, fn: fn}
+	}
 	c.seq++
-	heap.Push(&c.timers, t)
-	return TimerID{t: t}
+	c.push(t)
+	return TimerID{t: t, gen: t.gen}
 }
 
 // After schedules fn to run d after the current instant.
@@ -97,9 +93,10 @@ func (c *Clock) After(d time.Duration, fn func()) TimerID {
 }
 
 // Cancel prevents a scheduled callback from firing. Canceling an already
-// fired or already canceled timer is a no-op.
+// fired or already canceled timer is a no-op (the generation check makes
+// this safe even after the timer struct has been recycled).
 func (c *Clock) Cancel(id TimerID) {
-	if id.t != nil {
+	if id.t != nil && id.t.gen == id.gen {
 		id.t.canceled = true
 	}
 }
@@ -119,10 +116,10 @@ func (c *Clock) PendingTimers() int {
 func (c *Clock) nextDeadline() (Time, bool) {
 	for len(c.timers) > 0 {
 		if c.timers[0].canceled {
-			heap.Pop(&c.timers)
-			continue
+			c.recycle(c.popTop())
+		} else {
+			return c.timers[0].at, true
 		}
-		return c.timers[0].at, true
 	}
 	return 0, false
 }
@@ -137,20 +134,85 @@ func (c *Clock) advance(at Time) {
 	c.now = at
 }
 
+// hasDue reports whether a timer is due at or before the current instant —
+// the allocation-free fast path the engine checks on every trap. A canceled
+// timer at the head counts as due; popDue disposes of it.
+func (c *Clock) hasDue() bool {
+	return len(c.timers) > 0 && c.timers[0].at <= c.now
+}
+
 // popDue removes and returns the earliest live timer due at or before the
-// current instant, or nil if none are due.
+// current instant, or nil if none are due. The caller runs t.fn and must
+// then return the timer with recycle.
 func (c *Clock) popDue() *timer {
 	for len(c.timers) > 0 {
 		top := c.timers[0]
 		if top.canceled {
-			heap.Pop(&c.timers)
+			c.recycle(c.popTop())
 			continue
 		}
 		if top.at > c.now {
 			return nil
 		}
-		heap.Pop(&c.timers)
-		return top
+		return c.popTop()
 	}
 	return nil
+}
+
+// recycle returns a popped timer to the free list for reuse by At. Bumping
+// the generation invalidates any TimerID still pointing at it.
+func (c *Clock) recycle(t *timer) {
+	t.fn = nil
+	t.gen++
+	c.free = append(c.free, t)
+}
+
+// less orders timers by (deadline, sequence).
+func (c *Clock) less(i, j int) bool {
+	if c.timers[i].at != c.timers[j].at {
+		return c.timers[i].at < c.timers[j].at
+	}
+	return c.timers[i].seq < c.timers[j].seq
+}
+
+// push inserts t into the heap.
+func (c *Clock) push(t *timer) {
+	c.timers = append(c.timers, t)
+	i := len(c.timers) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !c.less(i, parent) {
+			break
+		}
+		c.timers[i], c.timers[parent] = c.timers[parent], c.timers[i]
+		i = parent
+	}
+}
+
+// popTop removes and returns the heap head.
+func (c *Clock) popTop() *timer {
+	h := c.timers
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = nil
+	c.timers = h[:n]
+	// Sift down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= n {
+			break
+		}
+		child := l
+		if r < n && c.less(r, l) {
+			child = r
+		}
+		if !c.less(child, i) {
+			break
+		}
+		c.timers[i], c.timers[child] = c.timers[child], c.timers[i]
+		i = child
+	}
+	return top
 }

@@ -1,0 +1,113 @@
+package machine
+
+import "testing"
+
+// pidRing backs the per-priority ready queues of the direct-dispatch
+// scheduler; FIFO order within a band is part of the determinism contract
+// (goldens are byte-identical at any worker count), so wrap, grow, and
+// remove must all preserve it.
+
+func drainRing(r *pidRing) []PID {
+	var out []PID
+	for r.n > 0 {
+		out = append(out, r.pop())
+	}
+	return out
+}
+
+func equalPIDs(a, b []PID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPidRingFIFOAcrossWrap(t *testing.T) {
+	var r pidRing
+	// Fill to the initial capacity, pop a prefix, then push past the old
+	// tail so the live window wraps around the backing array.
+	for pid := PID(1); pid <= 8; pid++ {
+		r.push(pid)
+	}
+	if len(r.buf) != 8 {
+		t.Fatalf("initial capacity = %d, want 8", len(r.buf))
+	}
+	for want := PID(1); want <= 5; want++ {
+		if got := r.pop(); got != want {
+			t.Fatalf("pop = %d, want %d", got, want)
+		}
+	}
+	for pid := PID(9); pid <= 13; pid++ { // head is at index 5: these wrap
+		r.push(pid)
+	}
+	if len(r.buf) != 8 {
+		t.Fatalf("capacity grew to %d on a wrap that fits", len(r.buf))
+	}
+	if got, want := drainRing(&r), []PID{6, 7, 8, 9, 10, 11, 12, 13}; !equalPIDs(got, want) {
+		t.Fatalf("drained %v, want %v", got, want)
+	}
+}
+
+func TestPidRingGrowUnwrapsInOrder(t *testing.T) {
+	var r pidRing
+	for pid := PID(1); pid <= 8; pid++ {
+		r.push(pid)
+	}
+	for want := PID(1); want <= 3; want++ {
+		if got := r.pop(); got != want {
+			t.Fatalf("pop = %d, want %d", got, want)
+		}
+	}
+	// 5 live entries, head at 3: pushing 4 more wraps, the 4th forces a
+	// grow while the window straddles the array end.
+	for pid := PID(9); pid <= 12; pid++ {
+		r.push(pid)
+	}
+	if len(r.buf) != 16 || r.head != 0 {
+		t.Fatalf("after grow: cap %d head %d, want 16, 0", len(r.buf), r.head)
+	}
+	if got, want := drainRing(&r), []PID{4, 5, 6, 7, 8, 9, 10, 11, 12}; !equalPIDs(got, want) {
+		t.Fatalf("drained %v, want %v", got, want)
+	}
+}
+
+func TestPidRingRemovePreservesFIFO(t *testing.T) {
+	var r pidRing
+	for pid := PID(1); pid <= 8; pid++ {
+		r.push(pid)
+	}
+	for i := 0; i < 6; i++ {
+		r.push(r.pop()) // rotate: head now mid-array, window wrapped
+	}
+	// Live order: 7 8 1 2 3 4 5 6. Remove one each side of the wrap point.
+	if !r.remove(8) {
+		t.Fatal("remove(8) = false, want true")
+	}
+	if !r.remove(3) {
+		t.Fatal("remove(3) = false, want true")
+	}
+	if r.remove(42) {
+		t.Fatal("remove(42) = true for an absent pid")
+	}
+	if got, want := drainRing(&r), []PID{7, 1, 2, 4, 5, 6}; !equalPIDs(got, want) {
+		t.Fatalf("drained %v, want %v", got, want)
+	}
+}
+
+func TestPidRingSteadyStatePushPopZeroAlloc(t *testing.T) {
+	var r pidRing
+	for pid := PID(1); pid <= 8; pid++ {
+		r.push(pid)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		r.push(r.pop())
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state push/pop allocated %.1f per run, want 0", allocs)
+	}
+}

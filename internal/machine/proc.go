@@ -88,6 +88,13 @@ type Proc struct {
 	// a kernel that is no longer listening.
 	dying bool
 
+	// tokenUnwind is set when a kill hit this process on its own call stack
+	// (the kernel killed its caller during HandleTrap, or a timer callback
+	// killed the process running the scheduler). The unwinding goroutine
+	// still holds the engine token and must pass it on from runBody once
+	// user-level deferred cleanup has finished.
+	tokenUnwind bool
+
 	// Accounting.
 	traps    int64
 	switches int64
@@ -133,33 +140,74 @@ func (c *Context) Now() Time { return c.proc.engine.clock.Now() }
 // kernel schedules it again; from the process's perspective the call simply
 // blocks.
 //
-// If the process is killed while parked inside Trap, the call never returns:
-// the goroutine unwinds via an internal panic that the engine recovers.
-// Deferred cleanup that traps during that unwinding re-panics immediately —
-// a dead process gets no more system calls.
+// Under the token-passing engine this is a direct function call: the calling
+// goroutine holds the engine token, so it runs the kernel handler and the
+// scheduler inline. When the next runnable process is the caller itself the
+// reply is returned without touching a channel; otherwise the token is handed
+// to the next process (or back to the host) and the caller parks until its
+// next dispatch.
+//
+// If the process is killed while parked inside Trap — or kills itself via the
+// kernel — the call never returns: the goroutine unwinds via an internal
+// panic that the engine recovers. Deferred cleanup that traps during that
+// unwinding re-panics immediately — a dead process gets no more system calls.
 func (c *Context) Trap(req any) any {
 	p := c.proc
+	e := p.engine
 	if p.dying {
 		panic(killSentinel{})
 	}
-	p.engine.trapCh <- trapMsg{pid: p.pid, req: req}
-	reply := <-p.resume
-	if _, killed := reply.(killSentinel); killed {
+	if e.active != p {
+		panic(fmt.Sprintf("machine: trap from %d (%s) while %d running", p.pid, p.name, e.lastRun))
+	}
+	sc := e.trapEnter(p)
+	e.current = p.pid
+	reply, disposition := e.handler.HandleTrap(p.pid, req)
+	e.current = NoPID
+	if p.state == StateDead {
+		// The kernel killed the calling process while handling its trap;
+		// Kill already booked the exit. Unwind before any other process
+		// runs; runBody hands the token on afterwards.
+		sc.End()
+		p.tokenUnwind = true
 		p.dying = true
 		panic(killSentinel{})
 	}
-	return reply
-}
-
-// trapMsg is one trap in flight from a process to the engine.
-type trapMsg struct {
-	pid PID
-	req any
-}
-
-// bodyExit is the internal trap sent by the body wrapper when a process body
-// returns or panics.
-type bodyExit struct {
-	crashed    bool
-	panicValue any
+	switch disposition {
+	case DispositionContinue:
+		p.pendingReply = reply
+		p.state = StateReady
+		e.enqueue(p)
+	case DispositionBlock:
+		p.state = StateBlocked
+	default:
+		panic(fmt.Sprintf("machine: invalid disposition %d", disposition))
+	}
+	next, stop, stopped := e.schedule()
+	if p.state == StateDead {
+		// A timer callback killed us while scheduling. Stash the decision —
+		// nextReady may already have popped the next process — and let
+		// runBody perform the handoff once the goroutine has unwound.
+		e.stashNext, e.stashStop, e.stashStopped = next, stop, stopped
+		e.stashValid = true
+		sc.End()
+		p.tokenUnwind = true
+		p.dying = true
+		panic(killSentinel{})
+	}
+	if next == p {
+		// Fast path: the caller is the next runnable process — keep the
+		// token and return the reply with zero channel operations.
+		out := e.switchTo(p)
+		sc.End()
+		return out
+	}
+	sc.End()
+	e.handoff(next, stop, stopped)
+	parked := <-p.resume
+	if _, killed := parked.(killSentinel); killed {
+		p.dying = true
+		panic(killSentinel{})
+	}
+	return parked
 }

@@ -19,6 +19,21 @@ type traceReq struct {
 type API struct {
 	ctx  *machine.Context
 	self Endpoint
+
+	// Scratch requests for the hot syscalls. Boxing a pointer into the
+	// trap's any costs no heap allocation, and the kernel consumes each
+	// request synchronously inside HandleTrap, so one scratch value per
+	// request type is enough: by the time the trap returns (or blocks), the
+	// kernel no longer reads it.
+	sendScratch    sendReq
+	recvScratch    receiveReq
+	recvTOScratch  receiveTimeoutReq
+	sendRecScratch sendRecReq
+	notifyScratch  notifyReq
+	sendNBScratch  sendNBReq
+	sleepScratch   sleepReq
+	devRdScratch   devReadReq
+	devWrScratch   devWriteReq
 }
 
 // Self returns the calling process's endpoint.
@@ -30,14 +45,15 @@ func (a *API) Now() machine.Time { return a.ctx.Now() }
 // Send delivers msg to dst synchronously, blocking until the receiver picks
 // it up (rendezvous). The kernel stamps the source and consults the ACM.
 func (a *API) Send(dst Endpoint, msg Message) error {
-	reply := a.ctx.Trap(sendReq{dst: dst, msg: msg}).(ipcReply)
-	return reply.err
+	a.sendScratch = sendReq{dst: dst, msg: msg}
+	return a.ctx.Trap(&a.sendScratch).(*ipcReply).err
 }
 
 // Receive blocks until a message from the given source (EndpointAny for any)
 // is available and returns it.
 func (a *API) Receive(from Endpoint) (Message, error) {
-	reply := a.ctx.Trap(receiveReq{from: from}).(ipcReply)
+	a.recvScratch = receiveReq{from: from}
+	reply := a.ctx.Trap(&a.recvScratch).(*ipcReply)
 	return reply.msg, reply.err
 }
 
@@ -45,14 +61,16 @@ func (a *API) Receive(from Endpoint) (Message, error) {
 // matching message arrives within d of virtual time. Hardened drivers use
 // it to notice silent peers instead of blocking forever.
 func (a *API) ReceiveTimeout(from Endpoint, d time.Duration) (Message, error) {
-	reply := a.ctx.Trap(receiveTimeoutReq{from: from, d: d}).(ipcReply)
+	a.recvTOScratch = receiveTimeoutReq{from: from, d: d}
+	reply := a.ctx.Trap(&a.recvTOScratch).(*ipcReply)
 	return reply.msg, reply.err
 }
 
 // SendRec performs the atomic send-then-receive used for RPC: it sends msg
 // to dst and blocks until dst sends a reply back.
 func (a *API) SendRec(dst Endpoint, msg Message) (Message, error) {
-	reply := a.ctx.Trap(sendRecReq{dst: dst, msg: msg}).(ipcReply)
+	a.sendRecScratch = sendRecReq{dst: dst, msg: msg}
+	reply := a.ctx.Trap(&a.sendRecScratch).(*ipcReply)
 	return reply.msg, reply.err
 }
 
@@ -60,29 +78,34 @@ func (a *API) SendRec(dst Endpoint, msg Message) (Message, error) {
 // Notifications are delivered ahead of ordinary messages and collapse like
 // bits; they are subject to the ACM's ACKNOWLEDGE (type 0) permission.
 func (a *API) Notify(dst Endpoint) error {
-	return a.ctx.Trap(notifyReq{dst: dst}).(errReply).err
+	a.notifyScratch = notifyReq{dst: dst}
+	return a.ctx.Trap(&a.notifyScratch).(*errReply).err
 }
 
 // SendNB sends msg asynchronously: delivered immediately if dst is waiting,
 // otherwise queued in dst's bounded mailbox. It never blocks the caller.
 func (a *API) SendNB(dst Endpoint, msg Message) error {
-	return a.ctx.Trap(sendNBReq{dst: dst, msg: msg}).(errReply).err
+	a.sendNBScratch = sendNBReq{dst: dst, msg: msg}
+	return a.ctx.Trap(&a.sendNBScratch).(*errReply).err
 }
 
 // Sleep blocks the process for a virtual duration.
 func (a *API) Sleep(d time.Duration) {
-	a.ctx.Trap(sleepReq{d: d})
+	a.sleepScratch = sleepReq{d: d}
+	a.ctx.Trap(&a.sleepScratch)
 }
 
 // DevRead reads a device register; the process must hold the device grant.
 func (a *API) DevRead(dev machine.DeviceID, reg uint32) (uint32, error) {
-	reply := a.ctx.Trap(devReadReq{dev: dev, reg: reg}).(u32Reply)
+	a.devRdScratch = devReadReq{dev: dev, reg: reg}
+	reply := a.ctx.Trap(&a.devRdScratch).(*u32Reply)
 	return reply.value, reply.err
 }
 
 // DevWrite writes a device register; the process must hold the device grant.
 func (a *API) DevWrite(dev machine.DeviceID, reg uint32, value uint32) error {
-	return a.ctx.Trap(devWriteReq{dev: dev, reg: reg, value: value}).(errReply).err
+	a.devWrScratch = devWriteReq{dev: dev, reg: reg, value: value}
+	return a.ctx.Trap(&a.devWrScratch).(*errReply).err
 }
 
 // Lookup resolves a published process name to its current endpoint (the

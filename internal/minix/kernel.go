@@ -90,7 +90,10 @@ type procEntry struct {
 	ep   Endpoint
 	name string
 	acID core.ACID
-	uid  int
+	// acName is the policy spelling of acID, resolved once at spawn so the
+	// per-delivery IPC accounting never formats a name on the hot path.
+	acName string
+	uid    int
 
 	image     string
 	isServer  bool
@@ -127,6 +130,34 @@ type procEntry struct {
 	// Memory grants.
 	grants    map[GrantID]*grant
 	nextGrant GrantID
+
+	// Reply scratch for the hot trap paths. The engine serialises all
+	// kernel work, a blocked process receives at most one wake-up value,
+	// and the API wrappers copy the fields out before the next trap, so
+	// returning &e.ipcR / &e.errR / &e.u32R boxes a pointer (no per-call
+	// heap allocation) without aliasing hazards.
+	ipcR ipcReply
+	errR errReply
+	u32R u32Reply
+}
+
+// ipcOut fills the entry's IPC reply scratch and returns it boxed. A nil err
+// with a zero msg is the bare success reply.
+func (e *procEntry) ipcOut(msg Message, err error) any {
+	e.ipcR = ipcReply{msg: msg, err: err}
+	return &e.ipcR
+}
+
+// errOut fills the entry's error reply scratch and returns it boxed.
+func (e *procEntry) errOut(err error) any {
+	e.errR = errReply{err: err}
+	return &e.errR
+}
+
+// u32Out fills the entry's u32 reply scratch and returns it boxed.
+func (e *procEntry) u32Out(v uint32, err error) any {
+	e.u32R = u32Reply{value: v, err: err}
+	return &e.u32R
 }
 
 // Kernel is the simulated security-enhanced MINIX 3 kernel: the board's
@@ -347,6 +378,7 @@ func (k *Kernel) spawn(img Image, acid core.ACID) (Endpoint, error) {
 		ep:        ep,
 		name:      img.Name,
 		acID:      acid,
+		acName:    k.policy.IPC.NameOf(acid),
 		uid:       img.UID,
 		image:     img.Name,
 		isServer:  img.Server,
@@ -424,8 +456,7 @@ func (k *Kernel) checkIPC(src, dst *procEntry, msgType int32) error {
 	// Record the exercised grant for the least-privilege audit
 	// (polcheck.AuditMatrix): names match the matrix so the audit can diff
 	// cells against usage directly.
-	k.m.IPC().Record(k.policy.IPC.NameOf(src.acID), k.policy.IPC.NameOf(dst.acID),
-		k.mtLabel(msgType))
+	k.m.IPC().Record(src.acName, dst.acName, k.mtLabel(msgType))
 	return nil
 }
 
@@ -493,13 +524,13 @@ func (k *Kernel) endSpan(e *procEntry, outcome obs.Outcome) {
 func (k *Kernel) HandleTrap(pid machine.PID, req any) (any, machine.Disposition) {
 	self := k.entryOf(pid)
 	switch r := req.(type) {
-	case sendReq:
+	case *sendReq:
 		return k.doSend(self, r.dst, r.msg, false)
-	case sendRecReq:
+	case *sendRecReq:
 		return k.doSend(self, r.dst, r.msg, true)
-	case receiveReq:
+	case *receiveReq:
 		return k.doReceive(self, r.from)
-	case receiveTimeoutReq:
+	case *receiveTimeoutReq:
 		reply, disp := k.doReceive(self, r.from)
 		if disp == machine.DispositionContinue {
 			return reply, disp
@@ -515,28 +546,28 @@ func (k *Kernel) HandleTrap(pid machine.PID, req any) (any, machine.Disposition)
 			}
 			e.phase = phaseIdle
 			e.waitToken++
-			k.mustReady(pid, ipcReply{err: ErrTimeout})
+			k.mustReady(pid, e.ipcOut(Message{}, ErrTimeout))
 		})
 		return nil, machine.DispositionBlock
-	case notifyReq:
+	case *notifyReq:
 		return k.doNotify(self, r.dst)
-	case sendNBReq:
+	case *sendNBReq:
 		return k.doSendNB(self, r.dst, r.msg)
-	case sleepReq:
+	case *sleepReq:
 		return k.doSleep(self, r)
-	case devReadReq:
+	case *devReadReq:
 		if !self.devs[r.dev] {
-			return u32Reply{err: fmt.Errorf("%w: device %q", ErrNoPrivilege, r.dev)}, machine.DispositionContinue
+			return self.u32Out(0, fmt.Errorf("%w: device %q", ErrNoPrivilege, r.dev)), machine.DispositionContinue
 		}
 		k.stats.DevReads++
 		v, err := k.m.Bus().Read(r.dev, r.reg)
-		return u32Reply{value: v, err: err}, machine.DispositionContinue
-	case devWriteReq:
+		return self.u32Out(v, err), machine.DispositionContinue
+	case *devWriteReq:
 		if !self.devs[r.dev] {
-			return errReply{err: fmt.Errorf("%w: device %q", ErrNoPrivilege, r.dev)}, machine.DispositionContinue
+			return self.errOut(fmt.Errorf("%w: device %q", ErrNoPrivilege, r.dev)), machine.DispositionContinue
 		}
 		k.stats.DevWrites++
-		return errReply{err: k.m.Bus().Write(r.dev, r.reg, r.value)}, machine.DispositionContinue
+		return self.errOut(k.m.Bus().Write(r.dev, r.reg, r.value)), machine.DispositionContinue
 	case lookupReq:
 		ep, err := k.EndpointOf(r.name)
 		return epReply{ep: ep, err: err}, machine.DispositionContinue
@@ -615,23 +646,23 @@ func (k *Kernel) doSend(self *procEntry, dst Endpoint, msg Message, sendRec bool
 	}
 	target := k.resolve(dst)
 	if target == nil {
-		return ipcReply{err: fmt.Errorf("%w: %v", ErrDeadSrcDst, dst)}, machine.DispositionContinue
+		return self.ipcOut(Message{}, fmt.Errorf("%w: %v", ErrDeadSrcDst, dst)), machine.DispositionContinue
 	}
 	if target == self {
-		return ipcReply{err: ErrSelfSend}, machine.DispositionContinue
+		return self.ipcOut(Message{}, ErrSelfSend), machine.DispositionContinue
 	}
 	if err := k.checkIPC(self, target, msg.Type); err != nil {
 		if sendRec {
 			k.tracer.Emit(self.name, target.name, k.sendRecLabel(msg.Type), obs.OutcomeACMDenied)
 		}
-		return ipcReply{err: err}, machine.DispositionContinue
+		return self.ipcOut(Message{}, err), machine.DispositionContinue
 	}
 	drop, delay := k.faultFor(self.name, target.name)
 	if drop {
 		if sendRec {
 			k.tracer.Emit(self.name, target.name, k.sendRecLabel(msg.Type), obs.OutcomeAborted)
 		}
-		return ipcReply{err: ErrTimeout}, machine.DispositionContinue
+		return self.ipcOut(Message{}, ErrTimeout), machine.DispositionContinue
 	}
 	msg.Source = self.ep // kernel stamp: spoofing-proof sender identity
 	self.outMsg = msg
@@ -653,7 +684,7 @@ func (k *Kernel) doSend(self *procEntry, dst Endpoint, msg Message, sendRec bool
 			self.recvFrom = dst
 			return nil, machine.DispositionBlock
 		}
-		return ipcReply{}, machine.DispositionContinue
+		return self.ipcOut(Message{}, nil), machine.DispositionContinue
 	}
 	// Receiver not ready: queue and block (rendezvous semantics).
 	target.senders = append(target.senders, self.pid)
@@ -679,7 +710,7 @@ func (k *Kernel) delaySend(self *procEntry, dst Endpoint, msg Message, sendRec b
 		if target == nil {
 			e.phase = phaseIdle
 			k.endSpan(e, obs.OutcomeAborted)
-			k.mustReady(pid, ipcReply{err: fmt.Errorf("%w: %v", ErrDeadSrcDst, dst)})
+			k.mustReady(pid, e.ipcOut(Message{}, fmt.Errorf("%w: %v", ErrDeadSrcDst, dst)))
 			return
 		}
 		if target.phase == phaseRecvBlocked && matches(target.recvFrom, e.ep) {
@@ -690,7 +721,7 @@ func (k *Kernel) delaySend(self *procEntry, dst Endpoint, msg Message, sendRec b
 				return
 			}
 			e.phase = phaseIdle
-			k.mustReady(pid, ipcReply{})
+			k.mustReady(pid, e.ipcOut(Message{}, nil))
 			return
 		}
 		target.senders = append(target.senders, pid)
@@ -705,7 +736,7 @@ func (k *Kernel) completeReceive(receiver *procEntry, msg Message) {
 	k.stats.IPCDelivered++
 	k.mDelivered.Inc()
 	k.endSpan(receiver, obs.OutcomeDelivered)
-	if err := k.m.Engine().Ready(receiver.pid, ipcReply{msg: msg}); err != nil {
+	if err := k.m.Engine().Ready(receiver.pid, receiver.ipcOut(msg, nil)); err != nil {
 		panic(fmt.Sprintf("minix: waking receiver %s: %v", receiver.name, err))
 	}
 }
@@ -715,25 +746,25 @@ func (k *Kernel) doReceive(self *procEntry, from Endpoint) (any, machine.Disposi
 	k.mReceives.Inc()
 	// Specific receive from a dead endpoint can never complete.
 	if from != EndpointAny && k.resolve(from) == nil && from != EndpointSystem {
-		return ipcReply{err: fmt.Errorf("%w: %v", ErrDeadSrcDst, from)}, machine.DispositionContinue
+		return self.ipcOut(Message{}, fmt.Errorf("%w: %v", ErrDeadSrcDst, from)), machine.DispositionContinue
 	}
 	// Delivery priority: notifications, then the async mailbox, then blocked
 	// senders, mirroring MINIX's notify-before-message rule.
 	for i, src := range self.notifies {
 		if matches(from, src) {
-			self.notifies = append(self.notifies[:i:i], self.notifies[i+1:]...)
+			self.notifies = append(self.notifies[:i], self.notifies[i+1:]...)
 			k.stats.IPCDelivered++
 			k.mDelivered.Inc()
-			return ipcReply{msg: Message{Source: src, Type: int32(core.MsgAck)}}, machine.DispositionContinue
+			return self.ipcOut(Message{Source: src, Type: int32(core.MsgAck)}, nil), machine.DispositionContinue
 		}
 	}
 	for i, msg := range self.mailbox {
 		if matches(from, msg.Source) {
-			self.mailbox = append(self.mailbox[:i:i], self.mailbox[i+1:]...)
+			self.mailbox = append(self.mailbox[:i], self.mailbox[i+1:]...)
 			k.mMailbox.Add(-1)
 			k.stats.IPCDelivered++
 			k.mDelivered.Inc()
-			return ipcReply{msg: msg}, machine.DispositionContinue
+			return self.ipcOut(msg, nil), machine.DispositionContinue
 		}
 	}
 	for i, senderPID := range self.senders {
@@ -744,7 +775,7 @@ func (k *Kernel) doReceive(self *procEntry, from Endpoint) (any, machine.Disposi
 		if !matches(from, sender.ep) {
 			continue
 		}
-		self.senders = append(self.senders[:i:i], self.senders[i+1:]...)
+		self.senders = append(self.senders[:i], self.senders[i+1:]...)
 		msg := sender.outMsg
 		k.stats.IPCDelivered++
 		k.mDelivered.Inc()
@@ -754,11 +785,11 @@ func (k *Kernel) doReceive(self *procEntry, from Endpoint) (any, machine.Disposi
 			sender.recvFrom = self.ep
 		} else {
 			sender.phase = phaseIdle
-			if err := k.m.Engine().Ready(sender.pid, ipcReply{}); err != nil {
+			if err := k.m.Engine().Ready(sender.pid, sender.ipcOut(Message{}, nil)); err != nil {
 				panic(fmt.Sprintf("minix: waking sender %s: %v", sender.name, err))
 			}
 		}
-		return ipcReply{msg: msg}, machine.DispositionContinue
+		return self.ipcOut(msg, nil), machine.DispositionContinue
 	}
 	// Nothing pending: block.
 	self.phase = phaseRecvBlocked
@@ -773,15 +804,15 @@ func (k *Kernel) doNotify(self *procEntry, dst Endpoint) (any, machine.Dispositi
 	k.mNotifies.Inc()
 	target := k.resolve(dst)
 	if target == nil {
-		return errReply{err: fmt.Errorf("%w: %v", ErrDeadSrcDst, dst)}, machine.DispositionContinue
+		return self.errOut(fmt.Errorf("%w: %v", ErrDeadSrcDst, dst)), machine.DispositionContinue
 	}
 	if err := k.checkIPC(self, target, int32(core.MsgAck)); err != nil {
-		return errReply{err: err}, machine.DispositionContinue
+		return self.errOut(err), machine.DispositionContinue
 	}
 	drop, delay := k.faultFor(self.name, target.name)
 	if drop {
 		// Notifications are fire-and-forget: a lost one is a silent success.
-		return errReply{}, machine.DispositionContinue
+		return self.errOut(nil), machine.DispositionContinue
 	}
 	k.stats.Notifies++
 	if delay > 0 {
@@ -791,10 +822,10 @@ func (k *Kernel) doNotify(self *procEntry, dst Endpoint) (any, machine.Dispositi
 				k.queueNotify(tgt, src)
 			}
 		})
-		return errReply{}, machine.DispositionContinue
+		return self.errOut(nil), machine.DispositionContinue
 	}
 	k.queueNotify(target, self.ep)
-	return errReply{}, machine.DispositionContinue
+	return self.errOut(nil), machine.DispositionContinue
 }
 
 // queueNotify delivers or pends a notification from src.
@@ -818,18 +849,18 @@ func (k *Kernel) doSendNB(self *procEntry, dst Endpoint, msg Message) (any, mach
 	k.mSendNBs.Inc()
 	target := k.resolve(dst)
 	if target == nil {
-		return errReply{err: fmt.Errorf("%w: %v", ErrDeadSrcDst, dst)}, machine.DispositionContinue
+		return self.errOut(fmt.Errorf("%w: %v", ErrDeadSrcDst, dst)), machine.DispositionContinue
 	}
 	if target == self {
-		return errReply{err: ErrSelfSend}, machine.DispositionContinue
+		return self.errOut(ErrSelfSend), machine.DispositionContinue
 	}
 	if err := k.checkIPC(self, target, msg.Type); err != nil {
-		return errReply{err: err}, machine.DispositionContinue
+		return self.errOut(err), machine.DispositionContinue
 	}
 	drop, delay := k.faultFor(self.name, target.name)
 	if drop {
 		// Async sends report success; the message is lost in transit.
-		return errReply{}, machine.DispositionContinue
+		return self.errOut(nil), machine.DispositionContinue
 	}
 	msg.Source = self.ep
 	if delay > 0 {
@@ -849,19 +880,19 @@ func (k *Kernel) doSendNB(self *procEntry, dst Endpoint, msg Message) (any, mach
 			k.mMailbox.Add(1)
 			k.stats.AsyncQueued++
 		})
-		return errReply{}, machine.DispositionContinue
+		return self.errOut(nil), machine.DispositionContinue
 	}
 	if target.phase == phaseRecvBlocked && matches(target.recvFrom, self.ep) {
 		k.completeReceive(target, msg)
-		return errReply{}, machine.DispositionContinue
+		return self.errOut(nil), machine.DispositionContinue
 	}
 	if len(target.mailbox) >= k.cfg.MailboxCap {
-		return errReply{err: ErrMailboxFull}, machine.DispositionContinue
+		return self.errOut(ErrMailboxFull), machine.DispositionContinue
 	}
 	target.mailbox = append(target.mailbox, msg)
 	k.mMailbox.Add(1)
 	k.stats.AsyncQueued++
-	return errReply{}, machine.DispositionContinue
+	return self.errOut(nil), machine.DispositionContinue
 }
 
 // deliverSystem queues a kernel-generated message to a server process,
@@ -877,7 +908,7 @@ func (k *Kernel) deliverSystem(target *procEntry, msg Message) {
 }
 
 // doSleep blocks the caller for a virtual duration.
-func (k *Kernel) doSleep(self *procEntry, r sleepReq) (any, machine.Disposition) {
+func (k *Kernel) doSleep(self *procEntry, r *sleepReq) (any, machine.Disposition) {
 	self.phase = phaseSleeping
 	self.waitToken++
 	token := self.waitToken
@@ -888,7 +919,7 @@ func (k *Kernel) doSleep(self *procEntry, r sleepReq) (any, machine.Disposition)
 			return
 		}
 		e.phase = phaseIdle
-		if err := k.m.Engine().Ready(pid, errReply{}); err != nil {
+		if err := k.m.Engine().Ready(pid, e.errOut(nil)); err != nil {
 			panic(fmt.Sprintf("minix: waking sleeper %s: %v", e.name, err))
 		}
 	})
@@ -936,7 +967,7 @@ func (k *Kernel) OnProcExit(pid machine.PID, info machine.ExitInfo) {
 		}
 		sender.phase = phaseIdle
 		k.endSpan(sender, obs.OutcomeAborted)
-		if err := k.m.Engine().Ready(senderPID, ipcReply{err: fmt.Errorf("%w: %v", ErrDeadSrcDst, e.ep)}); err != nil {
+		if err := k.m.Engine().Ready(senderPID, sender.ipcOut(Message{}, fmt.Errorf("%w: %v", ErrDeadSrcDst, e.ep))); err != nil {
 			panic(fmt.Sprintf("minix: waking sender of dead proc: %v", err))
 		}
 	}
@@ -950,13 +981,13 @@ func (k *Kernel) OnProcExit(pid machine.PID, info machine.ExitInfo) {
 			other.phase = phaseIdle
 			other.waitToken++
 			k.endSpan(other, obs.OutcomeAborted)
-			if err := k.m.Engine().Ready(other.pid, ipcReply{err: fmt.Errorf("%w: %v", ErrDeadSrcDst, e.ep)}); err != nil {
+			if err := k.m.Engine().Ready(other.pid, other.ipcOut(Message{}, fmt.Errorf("%w: %v", ErrDeadSrcDst, e.ep))); err != nil {
 				panic(fmt.Sprintf("minix: waking receiver of dead proc: %v", err))
 			}
 		}
 		for i, senderPID := range other.senders {
 			if senderPID == pid {
-				other.senders = append(other.senders[:i:i], other.senders[i+1:]...)
+				other.senders = append(other.senders[:i], other.senders[i+1:]...)
 				break
 			}
 		}

@@ -95,9 +95,12 @@ func NewTracer(now func() Time, capacity int) *Tracer {
 	if capacity <= 0 {
 		capacity = 16384
 	}
-	// Preallocate the ring so steady-state push never reallocates; span
-	// recording stays on the IPC hot path and must not pay append growth.
-	return &Tracer{now: now, cap: capacity, done: make([]Span, 0, capacity)}
+	// The ring grows lazily via append toward cap rather than preallocating:
+	// a 64-board building would otherwise sit on cap·boards spans of mostly
+	// idle, pointer-laden memory that every GC cycle rescans. Growth copies
+	// are geometric (a handful per board lifetime), so the IPC hot path still
+	// pays amortized O(1); once len reaches cap the ring never reallocates.
+	return &Tracer{now: now, cap: capacity}
 }
 
 // Span handles pack (sequence, slot) so End can index the open slot

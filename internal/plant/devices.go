@@ -1,6 +1,10 @@
 package plant
 
-import "mkbas/internal/machine"
+import (
+	"strconv"
+
+	"mkbas/internal/machine"
+)
 
 // Bus device IDs for the standard testbed layout.
 const (
@@ -35,6 +39,26 @@ func EncodeTemp(celsius float64) uint32 {
 // DecodeTemp converts a sensor register value back to °C.
 func DecodeTemp(raw uint32) float64 {
 	return float64(int32(raw)-TempOffsetMilliC) / 1000
+}
+
+// AppendTempFixed4 appends the decoded temperature with four decimal places,
+// byte-identical to strconv.AppendFloat(buf, DecodeTemp(raw), 'f', 4, 64).
+// The register holds integer milli-°C, so the fourth decimal is always zero
+// and the digits come straight from integer division — no float-to-decimal
+// conversion, which in the stdlib takes the arbitrary-precision slow path
+// for fixed 'f' precision. (Correctness: the decoded float is within half an
+// ulp of the exact milli value, far inside the 5e-5 rounding boundary, so
+// both renderings round to the same four decimals.)
+func AppendTempFixed4(buf []byte, raw uint32) []byte {
+	m := int32(raw) - TempOffsetMilliC
+	if m < 0 {
+		buf = append(buf, '-')
+		m = -m
+	}
+	buf = strconv.AppendInt(buf, int64(m/1000), 10)
+	frac := m % 1000
+	return append(buf, '.',
+		byte('0'+frac/100), byte('0'+frac/10%10), byte('0'+frac%10), '0')
 }
 
 // tempSensorDevice exposes the room temperature as registers.

@@ -105,7 +105,7 @@ func TestDeployMinixGateRejectsOverbroadPolicy(t *testing.T) {
 
 	cfg := bas.DefaultScenario()
 	tb := bas.NewTestbed(cfg)
-	_, err := bas.DeployMinix(tb, cfg, bas.MinixOptions{Policy: bad})
+	_, err := bas.Deploy(bas.PlatformMinix, tb, cfg, bas.DeployOptions{Policy: bad})
 	if err == nil {
 		t.Fatal("gate should reject the over-permissive matrix")
 	}
@@ -115,7 +115,7 @@ func TestDeployMinixGateRejectsOverbroadPolicy(t *testing.T) {
 
 	// The same policy deploys when the gate is explicitly skipped.
 	tb2 := bas.NewTestbed(cfg)
-	if _, err := bas.DeployMinix(tb2, cfg, bas.MinixOptions{Policy: bad, SkipPolicyCheck: true}); err != nil {
+	if _, err := bas.Deploy(bas.PlatformMinix, tb2, cfg, bas.DeployOptions{Policy: bad, SkipPolicyCheck: true}); err != nil {
 		t.Fatalf("SkipPolicyCheck deploy: %v", err)
 	}
 }
@@ -128,7 +128,7 @@ func TestAuditAgainstLiveMinixRun(t *testing.T) {
 	cfg := bas.DefaultScenario()
 	tb := bas.NewTestbed(cfg)
 	policy := core.ScenarioPolicy()
-	if _, err := bas.DeployMinix(tb, cfg, bas.MinixOptions{Policy: policy}); err != nil {
+	if _, err := bas.Deploy(bas.PlatformMinix, tb, cfg, bas.DeployOptions{Policy: policy}); err != nil {
 		t.Fatal(err)
 	}
 	tb.Machine.Run(30 * time.Second)

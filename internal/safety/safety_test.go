@@ -13,7 +13,7 @@ func TestHealthyRunHasNoViolations(t *testing.T) {
 	cfg := bas.DefaultScenario()
 	tb := bas.NewTestbed(cfg)
 	defer tb.Machine.Shutdown()
-	if _, err := bas.DeployMinix(tb, cfg, bas.MinixOptions{}); err != nil {
+	if _, err := bas.Deploy(bas.PlatformMinix, tb, cfg, bas.DeployOptions{}); err != nil {
 		t.Fatalf("deploy: %v", err)
 	}
 	mon := Attach(tb.Machine.Clock(), tb.Room, DefaultConfig())
@@ -33,7 +33,7 @@ func TestHeaterFailureWithWorkingAlarmIsRangeOnly(t *testing.T) {
 	cfg.Plant.InitialTemp = 22
 	tb := bas.NewTestbed(cfg)
 	defer tb.Machine.Shutdown()
-	if _, err := bas.DeployMinix(tb, cfg, bas.MinixOptions{}); err != nil {
+	if _, err := bas.Deploy(bas.PlatformMinix, tb, cfg, bas.DeployOptions{}); err != nil {
 		t.Fatalf("deploy: %v", err)
 	}
 	mon := Attach(tb.Machine.Clock(), tb.Room, DefaultConfig())
@@ -59,7 +59,7 @@ func TestHeaterRecoveryClearsAlarmWithoutHonestyViolation(t *testing.T) {
 	cfg.Plant.InitialTemp = 22
 	tb := bas.NewTestbed(cfg)
 	defer tb.Machine.Shutdown()
-	if _, err := bas.DeployMinix(tb, cfg, bas.MinixOptions{}); err != nil {
+	if _, err := bas.Deploy(bas.PlatformMinix, tb, cfg, bas.DeployOptions{}); err != nil {
 		t.Fatalf("deploy: %v", err)
 	}
 	mon := Attach(tb.Machine.Clock(), tb.Room, DefaultConfig())

@@ -12,6 +12,20 @@ import (
 type API struct {
 	ctx *machine.Context
 	k   *Kernel
+
+	// Scratch requests for the hot syscalls: boxing a pointer into the
+	// trap's any costs no heap allocation, and the kernel consumes each
+	// request synchronously inside HandleTrap, so one scratch value per
+	// request type suffices.
+	sendScratch   sendTrap
+	recvScratch   recvTrap
+	callScratch   callTrap
+	replyScratch  replyTrap
+	sleepScratch  sleepTrap
+	devRdScratch  devReadTrap
+	devWrScratch  devWriteTrap
+	signalScratch signalTrap
+	waitScratch   waitTrap
 }
 
 // Now returns the current virtual time (free, no trap).
@@ -20,26 +34,30 @@ func (a *API) Now() machine.Time { return a.ctx.Now() }
 // Send performs seL4_Send: blocking send through an endpoint capability
 // (write right required; grant required when msg transfers a capability).
 func (a *API) Send(cptr CPtr, msg Msg) error {
-	return a.ctx.Trap(sendTrap{cptr: cptr, msg: msg}).(errResult).err
+	a.sendScratch = sendTrap{cptr: cptr, msg: msg}
+	return a.ctx.Trap(&a.sendScratch).(*errResult).err
 }
 
 // NBSend performs seL4_NBSend: like Send, but silently dropped when no
 // receiver is waiting.
 func (a *API) NBSend(cptr CPtr, msg Msg) error {
-	return a.ctx.Trap(sendTrap{cptr: cptr, msg: msg, nb: true}).(errResult).err
+	a.sendScratch = sendTrap{cptr: cptr, msg: msg, nb: true}
+	return a.ctx.Trap(&a.sendScratch).(*errResult).err
 }
 
 // Recv performs seL4_Recv: blocking receive on an endpoint capability (read
 // right required). The result carries the sender's badge and, if the sender
 // transferred a capability, the slot it landed in.
 func (a *API) Recv(cptr CPtr) (RecvResult, error) {
-	reply := a.ctx.Trap(recvTrap{cptr: cptr}).(recvResultReply)
+	a.recvScratch = recvTrap{cptr: cptr}
+	reply := a.ctx.Trap(&a.recvScratch).(*recvResultReply)
 	return reply.res, reply.err
 }
 
 // NBRecv performs seL4_NBRecv: ErrWouldBlock when no sender is queued.
 func (a *API) NBRecv(cptr CPtr) (RecvResult, error) {
-	reply := a.ctx.Trap(recvTrap{cptr: cptr, nb: true}).(recvResultReply)
+	a.recvScratch = recvTrap{cptr: cptr, nb: true}
+	reply := a.ctx.Trap(&a.recvScratch).(*recvResultReply)
 	return reply.res, reply.err
 }
 
@@ -47,14 +65,16 @@ func (a *API) NBRecv(cptr CPtr) (RecvResult, error) {
 // one-time reply capability the kernel mints for the receiver. Requires
 // write and grant rights on the endpoint capability.
 func (a *API) Call(cptr CPtr, msg Msg) (Msg, error) {
-	reply := a.ctx.Trap(callTrap{cptr: cptr, msg: msg}).(callResultReply)
+	a.callScratch = callTrap{cptr: cptr, msg: msg}
+	reply := a.ctx.Trap(&a.callScratch).(*callResultReply)
 	return reply.msg, reply.err
 }
 
 // Reply performs seL4_Reply, consuming the thread's pending reply
 // capability.
 func (a *API) Reply(msg Msg) error {
-	return a.ctx.Trap(replyTrap{msg: msg}).(errResult).err
+	a.replyScratch = replyTrap{msg: msg}
+	return a.ctx.Trap(&a.replyScratch).(*errResult).err
 }
 
 // TCBSuspend invokes TCB_Suspend on the thread referenced by a TCB
@@ -81,19 +101,22 @@ func (a *API) CapDelete(slot CPtr) error {
 
 // DevRead reads a device register through a device capability (read right).
 func (a *API) DevRead(cptr CPtr, reg uint32) (uint32, error) {
-	reply := a.ctx.Trap(devReadTrap{cptr: cptr, reg: reg}).(u32Result)
+	a.devRdScratch = devReadTrap{cptr: cptr, reg: reg}
+	reply := a.ctx.Trap(&a.devRdScratch).(*u32Result)
 	return reply.value, reply.err
 }
 
 // DevWrite writes a device register through a device capability (write
 // right).
 func (a *API) DevWrite(cptr CPtr, reg uint32, value uint32) error {
-	return a.ctx.Trap(devWriteTrap{cptr: cptr, reg: reg, value: value}).(errResult).err
+	a.devWrScratch = devWriteTrap{cptr: cptr, reg: reg, value: value}
+	return a.ctx.Trap(&a.devWrScratch).(*errResult).err
 }
 
 // Sleep parks the thread on the timer service for a virtual duration.
 func (a *API) Sleep(d time.Duration) {
-	a.ctx.Trap(sleepTrap{d: d})
+	a.sleepScratch = sleepTrap{d: d}
+	a.ctx.Trap(&a.sleepScratch)
 }
 
 // Trace writes a line to the board trace console.

@@ -106,19 +106,19 @@ type (
 func (k *Kernel) HandleTrap(pid machine.PID, req any) (any, machine.Disposition) {
 	t := k.tcbOf(pid)
 	switch r := req.(type) {
-	case sendTrap:
+	case *sendTrap:
 		return k.doSend(t, r)
-	case recvTrap:
+	case *recvTrap:
 		return k.doRecv(t, r)
-	case callTrap:
+	case *callTrap:
 		return k.doCall(t, r)
-	case replyTrap:
+	case *replyTrap:
 		return k.doReply(t, r)
 	case tcbSuspendTrap:
 		return k.doSuspend(t, r)
-	case signalTrap:
+	case *signalTrap:
 		return k.doSignal(t, r)
-	case waitTrap:
+	case *waitTrap:
 		return k.doWait(t, r)
 	case capCopyTrap:
 		return k.doCapCopy(t, r.src, r.dst, nil, nil)
@@ -130,20 +130,20 @@ func (k *Kernel) HandleTrap(pid machine.PID, req any) (any, machine.Disposition)
 		}
 		t.cspace[r.slot] = Capability{}
 		return errResult{}, machine.DispositionContinue
-	case devReadTrap:
+	case *devReadTrap:
 		c, err := k.lookupCap(t, r.cptr, KindDevice, CapRead)
 		if err != nil {
-			return u32Result{err: err}, machine.DispositionContinue
+			return t.u32Out(0, err), machine.DispositionContinue
 		}
 		v, err := k.m.Bus().Read(k.devs[c.Object].dev, r.reg)
-		return u32Result{value: v, err: err}, machine.DispositionContinue
-	case devWriteTrap:
+		return t.u32Out(v, err), machine.DispositionContinue
+	case *devWriteTrap:
 		c, err := k.lookupCap(t, r.cptr, KindDevice, CapWrite)
 		if err != nil {
-			return errResult{err: err}, machine.DispositionContinue
+			return t.errOut(err), machine.DispositionContinue
 		}
-		return errResult{err: k.m.Bus().Write(k.devs[c.Object].dev, r.reg, r.value)}, machine.DispositionContinue
-	case sleepTrap:
+		return t.errOut(k.m.Bus().Write(k.devs[c.Object].dev, r.reg, r.value)), machine.DispositionContinue
+	case *sleepTrap:
 		return k.doSleep(t, r)
 	case traceTrap:
 		k.m.Trace().Logf(r.tag, "%s", r.text)
@@ -164,11 +164,11 @@ func (k *Kernel) HandleTrap(pid machine.PID, req any) (any, machine.Disposition)
 }
 
 // doSend implements seL4_Send / seL4_NBSend.
-func (k *Kernel) doSend(t *tcb, r sendTrap) (any, machine.Disposition) {
+func (k *Kernel) doSend(t *tcb, r *sendTrap) (any, machine.Disposition) {
 	k.mSends.Inc()
 	c, err := k.lookupCap(t, r.cptr, KindEndpoint, CapWrite)
 	if err != nil {
-		return errResult{err: err}, machine.DispositionContinue
+		return t.errOut(err), machine.DispositionContinue
 	}
 	if r.msg.TransferCap != nil && !c.Rights.Has(CapGrant) {
 		k.stats.RightsDenied++
@@ -181,14 +181,14 @@ func (k *Kernel) doSend(t *tcb, r sendTrap) (any, machine.Disposition) {
 			Dst:       k.objName(c.Object),
 			Detail:    "cap transfer needs grant",
 		})
-		return errResult{err: fmt.Errorf("%w: cap transfer needs grant", ErrNoRights)}, machine.DispositionContinue
+		return t.errOut(fmt.Errorf("%w: cap transfer needs grant", ErrNoRights)), machine.DispositionContinue
 	}
 	ep := k.eps[c.Object]
 	drop, delay := k.faultFor(t.name, ep.name)
 	if drop {
 		// Send has no delivery acknowledgment: a lost message is
 		// indistinguishable from a successful one on the sender side.
-		return errResult{}, machine.DispositionContinue
+		return t.errOut(nil), machine.DispositionContinue
 	}
 	if delay > 0 {
 		t.sendMsg = r.msg
@@ -198,11 +198,11 @@ func (k *Kernel) doSend(t *tcb, r sendTrap) (any, machine.Disposition) {
 	}
 	if receiver := k.popReceiver(ep); receiver != nil {
 		k.deliver(t, c, receiver, r.msg, false)
-		return errResult{}, machine.DispositionContinue
+		return t.errOut(nil), machine.DispositionContinue
 	}
 	if r.nb {
 		// seL4_NBSend silently drops when no receiver is waiting.
-		return errResult{}, machine.DispositionContinue
+		return t.errOut(nil), machine.DispositionContinue
 	}
 	t.state = stateBlockedSend
 	t.sendMsg = r.msg
@@ -234,7 +234,7 @@ func (k *Kernel) delaySend(t *tcb, c Capability, ep *endpointObj, msg Msg, isCal
 				return
 			}
 			t.state = stateReady
-			k.mustReady(pid, errResult{})
+			k.mustReady(pid, t.errOut(nil))
 			return
 		}
 		ep.sendQ = append(ep.sendQ, t)
@@ -247,12 +247,12 @@ func (k *Kernel) delaySend(t *tcb, c Capability, ep *endpointObj, msg Msg, isCal
 // Call requires the grant right ("if a thread is given grant access to an
 // endpoint it can use seL4_Call") because it attaches a one-time reply
 // capability to the message.
-func (k *Kernel) doCall(t *tcb, r callTrap) (any, machine.Disposition) {
+func (k *Kernel) doCall(t *tcb, r *callTrap) (any, machine.Disposition) {
 	k.mCalls.Inc()
 	c, err := k.lookupCap(t, r.cptr, KindEndpoint, CapWrite|CapGrant)
 	if err != nil {
 		k.tracer.Emit(t.name, "", "call", obs.OutcomeCapFault)
-		return callResultReply{err: err}, machine.DispositionContinue
+		return t.callOut(Msg{}, err), machine.DispositionContinue
 	}
 	k.stats.Calls++
 	ep := k.eps[c.Object]
@@ -268,7 +268,7 @@ func (k *Kernel) doCall(t *tcb, r callTrap) (any, machine.Disposition) {
 		// never come, so it gets an error instead of blocking forever.
 		k.endSpan(t, obs.OutcomeAborted)
 		t.wantsCall = false
-		return callResultReply{err: ErrMsgLost}, machine.DispositionContinue
+		return t.callOut(Msg{}, ErrMsgLost), machine.DispositionContinue
 	}
 	if delay > 0 {
 		return k.delaySend(t, c, ep, r.msg, true, delay)
@@ -285,11 +285,11 @@ func (k *Kernel) doCall(t *tcb, r callTrap) (any, machine.Disposition) {
 }
 
 // doRecv implements seL4_Recv / seL4_NBRecv.
-func (k *Kernel) doRecv(t *tcb, r recvTrap) (any, machine.Disposition) {
+func (k *Kernel) doRecv(t *tcb, r *recvTrap) (any, machine.Disposition) {
 	k.mRecvs.Inc()
 	c, err := k.lookupCap(t, r.cptr, KindEndpoint, CapRead)
 	if err != nil {
-		return recvResultReply{err: err}, machine.DispositionContinue
+		return t.recvOut(RecvResult{}, err), machine.DispositionContinue
 	}
 	ep := k.eps[c.Object]
 	if sender := k.popSender(ep); sender != nil {
@@ -298,12 +298,12 @@ func (k *Kernel) doRecv(t *tcb, r recvTrap) (any, machine.Disposition) {
 			sender.state = stateBlockedCall
 		} else {
 			sender.state = stateReady
-			k.mustReady(sender.pid, errResult{})
+			k.mustReady(sender.pid, sender.errOut(nil))
 		}
-		return recvResultReply{res: res}, machine.DispositionContinue
+		return t.recvOut(res, nil), machine.DispositionContinue
 	}
 	if r.nb {
-		return recvResultReply{err: ErrWouldBlock}, machine.DispositionContinue
+		return t.recvOut(RecvResult{}, ErrWouldBlock), machine.DispositionContinue
 	}
 	t.state = stateBlockedRecv
 	ep.recvQ = append(ep.recvQ, t)
@@ -312,17 +312,17 @@ func (k *Kernel) doRecv(t *tcb, r recvTrap) (any, machine.Disposition) {
 }
 
 // doReply implements seL4_Reply using the thread's one-time reply capability.
-func (k *Kernel) doReply(t *tcb, r replyTrap) (any, machine.Disposition) {
+func (k *Kernel) doReply(t *tcb, r *replyTrap) (any, machine.Disposition) {
 	rc := t.replyCap
 	if rc == nil || rc.used {
-		return errResult{err: ErrNoReplyCap}, machine.DispositionContinue
+		return t.errOut(ErrNoReplyCap), machine.DispositionContinue
 	}
 	rc.used = true
 	t.replyCap = nil
 	caller := rc.caller
 	if caller == nil || caller.state != stateBlockedCall {
 		// Caller died or was aborted; the reply evaporates.
-		return errResult{}, machine.DispositionContinue
+		return t.errOut(nil), machine.DispositionContinue
 	}
 	k.stats.Replies++
 	k.stats.IPCDelivered++
@@ -330,8 +330,8 @@ func (k *Kernel) doReply(t *tcb, r replyTrap) (any, machine.Disposition) {
 	k.mDelivered.Inc()
 	caller.state = stateReady
 	k.endSpan(caller, obs.OutcomeDelivered)
-	k.mustReady(caller.pid, callResultReply{msg: r.msg})
-	return errResult{}, machine.DispositionContinue
+	k.mustReady(caller.pid, caller.callOut(r.msg, nil))
+	return t.errOut(nil), machine.DispositionContinue
 }
 
 // deliver wakes a blocked receiver with the sender's message.
@@ -339,7 +339,7 @@ func (k *Kernel) deliver(sender *tcb, senderCap Capability, receiver *tcb, msg M
 	res := k.buildDelivery(sender, senderCap, receiver, msg, isCall)
 	receiver.state = stateReady
 	receiver.waitToken++
-	k.mustReady(receiver.pid, recvResultReply{res: res})
+	k.mustReady(receiver.pid, receiver.recvOut(res, nil))
 }
 
 // buildDelivery constructs the receiver-side result: badge, transferred
@@ -369,8 +369,8 @@ func (k *Kernel) buildDelivery(sender *tcb, senderCap Capability, receiver *tcb,
 		}
 	}
 	if isCall {
-		rc := &replyObj{caller: sender}
-		receiver.replyCap = rc
+		receiver.replyScratch = replyObj{caller: sender}
+		receiver.replyCap = &receiver.replyScratch
 	}
 	return res
 }
@@ -440,7 +440,7 @@ func (k *Kernel) doCapCopy(t *tcb, src, dst CPtr, badge *Badge, rights *Rights) 
 
 // doSleep parks the thread on the timer service (the paper's added timer
 // driver processes, collapsed into a kernel-provided service here).
-func (k *Kernel) doSleep(t *tcb, r sleepTrap) (any, machine.Disposition) {
+func (k *Kernel) doSleep(t *tcb, r *sleepTrap) (any, machine.Disposition) {
 	t.state = stateSleeping
 	t.waitToken++
 	token := t.waitToken
@@ -451,7 +451,7 @@ func (k *Kernel) doSleep(t *tcb, r sleepTrap) (any, machine.Disposition) {
 			return
 		}
 		cur.state = stateReady
-		k.mustReady(pid, errResult{})
+		k.mustReady(pid, cur.errOut(nil))
 	})
 	return nil, machine.DispositionBlock
 }
@@ -462,7 +462,10 @@ func (k *Kernel) doSleep(t *tcb, r sleepTrap) (any, machine.Disposition) {
 func (k *Kernel) popReceiver(ep *endpointObj) *tcb {
 	for len(ep.recvQ) > 0 {
 		r := ep.recvQ[0]
-		ep.recvQ = ep.recvQ[1:]
+		// Shift down instead of re-slicing: the [1:] form burns capacity, so
+		// a block/wake cycle would re-allocate the queue on every append.
+		copy(ep.recvQ, ep.recvQ[1:])
+		ep.recvQ = ep.recvQ[:len(ep.recvQ)-1]
 		k.mEPQ.Add(-1)
 		if r.state == stateBlockedRecv {
 			return r
@@ -475,7 +478,8 @@ func (k *Kernel) popReceiver(ep *endpointObj) *tcb {
 func (k *Kernel) popSender(ep *endpointObj) *tcb {
 	for len(ep.sendQ) > 0 {
 		s := ep.sendQ[0]
-		ep.sendQ = ep.sendQ[1:]
+		copy(ep.sendQ, ep.sendQ[1:])
+		ep.sendQ = ep.sendQ[:len(ep.sendQ)-1]
 		k.mEPQ.Add(-1)
 		if s.state == stateBlockedSend {
 			return s
@@ -518,7 +522,7 @@ func (k *Kernel) OnProcExit(pid machine.PID, info machine.ExitInfo) {
 		if caller != nil && caller.state == stateBlockedCall {
 			caller.state = stateReady
 			k.endSpan(caller, obs.OutcomeAborted)
-			k.mustReady(caller.pid, callResultReply{err: ErrCallAborted})
+			k.mustReady(caller.pid, caller.callOut(Msg{}, ErrCallAborted))
 		}
 		t.replyCap = nil
 	}
@@ -536,7 +540,7 @@ func (k *Kernel) OnProcExit(pid machine.PID, info machine.ExitInfo) {
 func removeTCB(q []*tcb, t *tcb) []*tcb {
 	for i, x := range q {
 		if x == t {
-			return append(q[:i:i], q[i+1:]...)
+			return append(q[:i], q[i+1:]...)
 		}
 	}
 	return q

@@ -96,6 +96,51 @@ type tcb struct {
 	nextHandle int32
 	listeners  map[int32]*vnet.Listener
 	conns      map[int32]*vnet.Conn
+
+	// Reply scratch for the hot trap paths. The engine serialises all
+	// kernel work and a blocked thread receives at most one wake-up value,
+	// so boxing pointers to these per-thread values costs no allocation and
+	// cannot alias: a wake always writes the blocked thread's own scratch.
+	errR  errResult
+	recvR recvResultReply
+	callR callResultReply
+	u32R  u32Result
+	waitR waitResult
+
+	// replyScratch backs replyCap: at most one reply capability is live per
+	// receiver (a newer Call delivery replaces the pointer), so the object
+	// can live inline instead of a per-Call heap allocation.
+	replyScratch replyObj
+}
+
+// errOut fills the thread's error reply scratch and returns it boxed.
+func (t *tcb) errOut(err error) any {
+	t.errR = errResult{err: err}
+	return &t.errR
+}
+
+// recvOut fills the thread's Recv reply scratch and returns it boxed.
+func (t *tcb) recvOut(res RecvResult, err error) any {
+	t.recvR = recvResultReply{res: res, err: err}
+	return &t.recvR
+}
+
+// callOut fills the thread's Call reply scratch and returns it boxed.
+func (t *tcb) callOut(msg Msg, err error) any {
+	t.callR = callResultReply{msg: msg, err: err}
+	return &t.callR
+}
+
+// u32Out fills the thread's u32 reply scratch and returns it boxed.
+func (t *tcb) u32Out(v uint32, err error) any {
+	t.u32R = u32Result{value: v, err: err}
+	return &t.u32R
+}
+
+// waitOut fills the thread's Wait reply scratch and returns it boxed.
+func (t *tcb) waitOut(word Badge, err error) any {
+	t.waitR = waitResult{word: word, err: err}
+	return &t.waitR
 }
 
 // endpointObj is a rendezvous endpoint: "endpoints are implemented as wait

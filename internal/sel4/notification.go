@@ -48,10 +48,10 @@ type waitResult struct {
 }
 
 // doSignal implements seL4_Signal.
-func (k *Kernel) doSignal(t *tcb, r signalTrap) (any, machine.Disposition) {
+func (k *Kernel) doSignal(t *tcb, r *signalTrap) (any, machine.Disposition) {
 	c, err := k.lookupCap(t, r.cptr, KindNotification, CapWrite)
 	if err != nil {
-		return errResult{err: err}, machine.DispositionContinue
+		return t.errOut(err), machine.DispositionContinue
 	}
 	n := k.notifs[c.Object]
 	k.stats.Signals++
@@ -64,28 +64,28 @@ func (k *Kernel) doSignal(t *tcb, r signalTrap) (any, machine.Disposition) {
 		waiter.state = stateReady
 		waiter.waitToken++
 		k.m.IPC().Record(n.name, waiter.name, "wait")
-		k.mustReady(waiter.pid, waitResult{word: word})
-		return errResult{}, machine.DispositionContinue
+		k.mustReady(waiter.pid, waiter.waitOut(word, nil))
+		return t.errOut(nil), machine.DispositionContinue
 	}
 	n.word |= c.Badge
-	return errResult{}, machine.DispositionContinue
+	return t.errOut(nil), machine.DispositionContinue
 }
 
 // doWait implements seL4_Wait / seL4_Poll.
-func (k *Kernel) doWait(t *tcb, r waitTrap) (any, machine.Disposition) {
+func (k *Kernel) doWait(t *tcb, r *waitTrap) (any, machine.Disposition) {
 	c, err := k.lookupCap(t, r.cptr, KindNotification, CapRead)
 	if err != nil {
-		return waitResult{err: err}, machine.DispositionContinue
+		return t.waitOut(0, err), machine.DispositionContinue
 	}
 	n := k.notifs[c.Object]
 	if n.word != 0 {
 		word := n.word
 		n.word = 0
 		k.m.IPC().Record(n.name, t.name, "wait")
-		return waitResult{word: word}, machine.DispositionContinue
+		return t.waitOut(word, nil), machine.DispositionContinue
 	}
 	if r.nb {
-		return waitResult{err: ErrWouldBlock}, machine.DispositionContinue
+		return t.waitOut(0, ErrWouldBlock), machine.DispositionContinue
 	}
 	t.state = stateBlockedNotif
 	n.waitQ = append(n.waitQ, t)
@@ -96,7 +96,8 @@ func (k *Kernel) doWait(t *tcb, r waitTrap) (any, machine.Disposition) {
 func popWaiter(n *notificationObj) *tcb {
 	for len(n.waitQ) > 0 {
 		w := n.waitQ[0]
-		n.waitQ = n.waitQ[1:]
+		copy(n.waitQ, n.waitQ[1:])
+		n.waitQ = n.waitQ[:len(n.waitQ)-1]
 		if w.state == stateBlockedNotif {
 			return w
 		}
@@ -106,19 +107,22 @@ func popWaiter(n *notificationObj) *tcb {
 
 // Signal performs seL4_Signal on a notification capability (write right).
 func (a *API) Signal(cptr CPtr) error {
-	return a.ctx.Trap(signalTrap{cptr: cptr}).(errResult).err
+	a.signalScratch = signalTrap{cptr: cptr}
+	return a.ctx.Trap(&a.signalScratch).(*errResult).err
 }
 
 // Wait performs seL4_Wait: blocks until the notification word is non-zero
 // and returns it (clearing it).
 func (a *API) Wait(cptr CPtr) (Badge, error) {
-	reply := a.ctx.Trap(waitTrap{cptr: cptr}).(waitResult)
+	a.waitScratch = waitTrap{cptr: cptr}
+	reply := a.ctx.Trap(&a.waitScratch).(*waitResult)
 	return reply.word, reply.err
 }
 
 // Poll performs seL4_Poll: like Wait but returns ErrWouldBlock when the word
 // is zero.
 func (a *API) Poll(cptr CPtr) (Badge, error) {
-	reply := a.ctx.Trap(waitTrap{cptr: cptr, nb: true}).(waitResult)
+	a.waitScratch = waitTrap{cptr: cptr, nb: true}
+	reply := a.ctx.Trap(&a.waitScratch).(*waitResult)
 	return reply.word, reply.err
 }

@@ -33,10 +33,34 @@ type NodeID int
 // busNode is one attachment point: a board's stack, or a stackless
 // originate-only node (the supervisory head-end dials out but listens on
 // nothing).
+//
+// chunkFree is the node's frame-buffer free list: BusConn.Write copies the
+// caller's bytes into a recycled chunk, and Flush returns delivered chunks
+// here. It is per-node (not per-bus) because writes happen on the owning
+// node's goroutine mid-round, when nodes must not share mutable state; the
+// coordinator recycles at the barrier, when every board is parked.
 type busNode struct {
-	name  string
-	stack *Stack
-	conns []*BusConn
+	name      string
+	stack     *Stack
+	conns     []*BusConn
+	chunkFree [][]byte
+}
+
+// getChunk pops a recycled chunk (length 0, capacity whatever it grew to),
+// or returns nil so append allocates a fresh one.
+func (n *busNode) getChunk() []byte {
+	if k := len(n.chunkFree); k > 0 {
+		c := n.chunkFree[k-1]
+		n.chunkFree[k-1] = nil
+		n.chunkFree = n.chunkFree[:k-1]
+		return c[:0]
+	}
+	return nil
+}
+
+// putChunk returns a delivered chunk to the free list.
+func (n *busNode) putChunk(c []byte) {
+	n.chunkFree = append(n.chunkFree, c)
 }
 
 // Bus is the building's shared field network.
@@ -113,31 +137,47 @@ func (b *Bus) Dial(from, to NodeID, port Port) *BusConn {
 // while every board engine is parked: it performs the queued dials, pushes
 // queued chunks into target stacks (waking blocked readers), and drains each
 // connection's responses into its inbox, all in fixed order.
+//
+// Finished connections (refused, or torn down by Close) are compacted out of
+// the flush list here: they can never carry traffic again, and a building's
+// connection-per-exchange head-end would otherwise grow every node's list
+// without bound, turning the barrier O(rounds²). The owner keeps its BusConn
+// handle — Refused, ReadAll, and Closed keep answering from the conn's own
+// state after compaction.
 func (b *Bus) Flush() {
 	sc := b.phFlush.Begin()
 	defer sc.End()
 	for _, node := range b.nodes {
+		live := node.conns[:0]
 		for _, c := range node.conns {
-			b.flushConn(c)
+			b.flushConn(node, c)
+			if c.refused || c.done {
+				continue
+			}
+			live = append(live, c)
 		}
+		for i := len(live); i < len(node.conns); i++ {
+			node.conns[i] = nil
+		}
+		node.conns = live
 	}
 }
 
-func (b *Bus) flushConn(c *BusConn) {
+func (b *Bus) flushConn(node *busNode, c *BusConn) {
 	if c.refused || c.done {
-		c.outbox = nil
+		c.recycleOutbox(node)
 		return
 	}
 	if c.host == nil {
 		if b.guard != nil && !b.guard(c.from, c.to, c.port) {
 			c.refused = true
-			c.outbox = nil
+			c.recycleOutbox(node)
 			return
 		}
 		target := b.nodes[c.to]
 		if target.stack == nil {
 			c.refused = true
-			c.outbox = nil
+			c.recycleOutbox(node)
 			return
 		}
 		host, err := target.stack.Dial(c.port)
@@ -145,7 +185,7 @@ func (b *Bus) flushConn(c *BusConn) {
 			// ErrNoListener or ErrBacklogFull: the bus reports both as a
 			// refused connection, like a RST.
 			c.refused = true
-			c.outbox = nil
+			c.recycleOutbox(node)
 			return
 		}
 		c.host = host
@@ -161,9 +201,14 @@ func (b *Bus) flushConn(c *BusConn) {
 			b.tap(TapFrame{From: c.from, To: c.to, Port: c.port, Payload: cp})
 		}
 	}
-	c.outbox = nil
+	c.recycleOutbox(node)
 	if data := c.host.ReadAll(); len(data) > 0 {
-		c.inbox = append(c.inbox, data...)
+		if len(c.inbox) == 0 {
+			// ReadAll hands over ownership of its buffer; adopt it outright.
+			c.inbox = data
+		} else {
+			c.inbox = append(c.inbox, data...)
+		}
 	}
 	if c.host.Closed() {
 		c.eof = true
@@ -192,7 +237,8 @@ type BusConn struct {
 }
 
 // Write queues one chunk for delivery at the next Flush. The bytes are
-// copied, so the caller may reuse p.
+// copied (into a chunk recycled from the owning node's free list), so the
+// caller may reuse p.
 func (c *BusConn) Write(p []byte) error {
 	if c.refused {
 		return fmt.Errorf("%w: bus node %d port %d", ErrNoListener, c.to, c.port)
@@ -200,10 +246,21 @@ func (c *BusConn) Write(p []byte) error {
 	if c.eof || c.closeReq || c.done {
 		return ErrConnClosed
 	}
-	cp := make([]byte, len(p))
-	copy(cp, p)
+	cp := append(c.bus.nodes[c.from].getChunk(), p...)
 	c.outbox = append(c.outbox, cp)
 	return nil
+}
+
+// recycleOutbox returns delivered (or dropped) chunks to the owning node's
+// free list and resets the outbox for reuse. Called only at the Flush
+// barrier. The target stack copied each chunk on Write, so nothing retains
+// the recycled bytes.
+func (c *BusConn) recycleOutbox(node *busNode) {
+	for i, chunk := range c.outbox {
+		node.putChunk(chunk)
+		c.outbox[i] = nil
+	}
+	c.outbox = c.outbox[:0]
 }
 
 // ReadAll drains everything the far side has sent up to the last Flush.

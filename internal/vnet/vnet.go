@@ -71,6 +71,15 @@ func (h *halfStream) read(max int) ([]byte, error) {
 	if max > 0 && max < n {
 		n = max
 	}
+	if n == len(h.buf) {
+		// Full drain: hand the buffer itself to the reader instead of
+		// allocating a copy. The stream never touches it again (the next
+		// write appends to nil, growing a fresh array), so the reader owns
+		// the bytes outright.
+		out := h.buf
+		h.buf = nil
+		return out, nil
+	}
 	out := make([]byte, n)
 	copy(out, h.buf[:n])
 	h.buf = h.buf[n:]
