@@ -10,6 +10,8 @@
 //	basbuilding -rooms 8 -mix linux -secure none  # homogeneous legacy building
 //	basbuilding -rooms 16 -secure even -attack=false -json
 //	basbuilding -faults 2=crash-sensor            # E11 fault case: room 2 loses its sensor
+//	basbuilding -busfaults bus-partition          # partition room 1 off the bus mid-run
+//	basbuilding -busfaults partition-failover -standby   # E15: partition + primary kill + failover
 //	basbuilding -sweep "rooms=4,16;mix=paper;attack=both" -workers 4
 //	basbuilding -bench 1,2,4,8 -bench-out BENCH_building.json
 //	basbuilding -rooms 64 -perf                   # host-side phase profile on stderr
@@ -47,8 +49,10 @@ func run() error {
 	settle := flag.Duration("settle", 30*time.Minute, "virtual settle time before the attack window")
 	window := flag.Duration("window", 90*time.Minute, "virtual attack window after settle")
 	faultsFlag := flag.String("faults", "", `comma list of room=plan fault assignments, e.g. "2=crash-sensor"`)
+	busFaults := flag.String("busfaults", "", `bus-level fault plan name, e.g. "bus-partition" or "partition-failover"`)
+	standby := flag.Bool("standby", false, "attach a standby head-end that takes over when the primary goes silent")
 	seed := flag.Int64("seed", 0, "base scenario seed (room i runs seed+i)")
-	sweepFlag := flag.String("sweep", "", `building campaign instead of a single run: axis=values clauses over rooms, mix, secure, attack, monitor (plus settle=, window=)`)
+	sweepFlag := flag.String("sweep", "", `building campaign instead of a single run: axis=values clauses over rooms, mix, secure, attack, monitor, busfaults, standby (plus settle=, window=)`)
 	var out cli.Output
 	var pool cli.Pool
 	var guard cli.Guard
@@ -67,13 +71,15 @@ func run() error {
 	}
 
 	spec := attack.BuildingSpec{
-		Rooms:    *rooms,
-		Attack:   *attackOn,
-		Workers:  pool.Workers,
-		Settle:   *settle,
-		Window:   *window,
-		Recovery: guard.Recovery,
-		Seed:     *seed,
+		Rooms:     *rooms,
+		Attack:    *attackOn,
+		Workers:   pool.Workers,
+		Settle:    *settle,
+		Window:    *window,
+		Recovery:  guard.Recovery,
+		Seed:      *seed,
+		BusFaults: *busFaults,
+		Standby:   *standby,
 		// The raw flag, not MonitorOn(): the spec is embedded in the JSON
 		// report verbatim, and the Demote-implies-Monitor promotion happens
 		// inside ExecuteBuilding.

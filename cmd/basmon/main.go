@@ -72,6 +72,11 @@ func run() error {
 		if perr != nil {
 			return perr
 		}
+		for _, f := range plan.Faults {
+			if faultinject.BusKind(f.Kind) {
+				return fmt.Errorf("plan %q contains bus-level fault %s; bus plans run on a building (basbuilding -busfaults %s)", *faults, f.Kind, *faults)
+			}
+		}
 		inj, err = dep.ArmFaults(plan)
 		if err != nil {
 			return err

@@ -8,6 +8,7 @@ import (
 	"mkbas/internal/bacnet"
 	"mkbas/internal/bas"
 	"mkbas/internal/building"
+	"mkbas/internal/faultinject"
 	"mkbas/internal/perf"
 	"mkbas/internal/safety"
 	"mkbas/internal/vnet"
@@ -49,6 +50,11 @@ type BuildingSpec struct {
 	Window time.Duration `json:"window"`
 	// Faults arms builtin fault-injection plans per room (building.Config).
 	Faults map[int]string `json:"faults,omitempty"`
+	// BusFaults arms a bus-level fault plan on the building: partitions,
+	// frame drops/delays/duplication, head-end crash (building.Config).
+	BusFaults string `json:"bus_faults,omitempty"`
+	// Standby attaches the standby head-end (building.Config.Standby).
+	Standby bool `json:"standby,omitempty"`
 	// Monitor attaches the online policy monitor to every board and arms the
 	// bus dial guard in observe-only mode (building.Config.Monitor).
 	Monitor bool `json:"monitor,omitempty"`
@@ -84,9 +90,11 @@ type RoomOutcome struct {
 	Room     int    `json:"room"`
 	Platform string `json:"platform"`
 	Secure   bool   `json:"secure"`
-	// Verdict: FOOTHOLD for the attacker's own room, else COMPROMISED when
+	// Verdict: FOOTHOLD for the attacker's own room; COMPROMISED when
 	// ground-truth safety monitors recorded violations (or the controller
-	// died), else SECURE.
+	// died); RECOVERED when every violation falls inside an injected fault's
+	// effect window and the controller is back up — the room was hurt by the
+	// fault, not beaten by it; else SECURE.
 	Verdict string `json:"verdict"`
 
 	ControllerAlive bool `json:"controller_alive"`
@@ -106,6 +114,15 @@ type RoomOutcome struct {
 
 	Restarts  int  `json:"restarts,omitempty"`
 	Recovered bool `json:"recovered,omitempty"`
+
+	// Resilience columns: rounds the BMS could not reach the room at all,
+	// whether the BMS quarantined it, head-end failovers the room observed,
+	// and how many of its safety violations fall inside a fault's effect
+	// window (its own board campaign or its share of the bus campaign).
+	UnreachableRounds     int  `json:"unreachable_rounds,omitempty"`
+	Quarantined           bool `json:"quarantined,omitempty"`
+	Failovers             int  `json:"failovers,omitempty"`
+	ViolationsDuringFault int  `json:"violations_during_fault,omitempty"`
 
 	// Policy-monitor columns (absent unless BuildingSpec.Monitor/Demote).
 	PolicyDrifts int64 `json:"policy_drifts,omitempty"`
@@ -337,17 +354,19 @@ func ExecuteBuilding(spec BuildingSpec) (*BuildingReport, error) {
 	schedAt := spec.Settle / 2
 
 	b, err := building.New(building.Config{
-		Rooms:    spec.Rooms,
-		Mix:      spec.Mix,
-		Secure:   spec.Secure,
-		Scenario: bas.ScenarioConfig{Seed: spec.Seed},
-		Recovery: spec.Recovery,
-		Slice:    spec.Slice,
-		Workers:  spec.Workers,
-		Faults:   spec.Faults,
-		Monitor:  spec.Monitor || spec.Demote,
-		Demote:   spec.Demote,
-		Profiler: spec.Profiler,
+		Rooms:     spec.Rooms,
+		Mix:       spec.Mix,
+		Secure:    spec.Secure,
+		Scenario:  bas.ScenarioConfig{Seed: spec.Seed},
+		Recovery:  spec.Recovery,
+		Slice:     spec.Slice,
+		Workers:   spec.Workers,
+		Faults:    spec.Faults,
+		BusFaults: spec.BusFaults,
+		Standby:   spec.Standby,
+		Monitor:   spec.Monitor || spec.Demote,
+		Demote:    spec.Demote,
+		Profiler:  spec.Profiler,
 		HeadEnd: building.HeadEndConfig{
 			Schedule: []building.SetpointEvent{{At: schedAt, Value: eco}},
 		},
@@ -388,8 +407,19 @@ func ExecuteBuilding(spec BuildingSpec) (*BuildingReport, error) {
 	}
 	for i, room := range b.Rooms {
 		violations := monitors[i].Violations()
+		var roomFaults *faultinject.Report
 		if room.Injector != nil {
-			violations = filterFailsafeAlarms(0, room.Injector.Report(), violations)
+			roomFaults = room.Injector.Report()
+			violations = filterFailsafeAlarms(0, roomFaults, violations)
+		}
+		busFaults := brep.RoomReports[i].BusFaults
+		// Both campaigns run on the building timeline (boards boot at virtual
+		// zero), so a zero anchor places violations in either's windows.
+		inFault := 0
+		for _, v := range violations {
+			if faultinject.InWindow(0, roomFaults, v.At) || faultinject.InWindow(0, busFaults, v.At) {
+				inFault++
+			}
 		}
 		alive := room.Dep.ControllerAlive()
 		out := RoomOutcome{
@@ -416,11 +446,22 @@ func ExecuteBuilding(spec BuildingSpec) (*BuildingReport, error) {
 		out.BusDrifts = brep.RoomReports[i].BusDrifts
 		out.BusRefused = brep.RoomReports[i].BusRefused
 		out.Demoted = brep.RoomReports[i].Demoted
+		out.UnreachableRounds = brep.RoomReports[i].BMS.UnreachableRounds
+		out.Quarantined = brep.RoomReports[i].BMS.Quarantined
+		out.Failovers = brep.RoomReports[i].Failovers
+		out.ViolationsDuringFault = inFault
 		switch {
 		case spec.Attack && i == 0:
 			out.Verdict = "FOOTHOLD"
 		case len(violations) > 0 || !alive:
-			out.Verdict = "COMPROMISED"
+			if alive && inFault == len(violations) {
+				// Every violation sits inside an injected fault's effect
+				// window and the controller is back: the room rode the fault
+				// out rather than losing to it.
+				out.Verdict = "RECOVERED"
+			} else {
+				out.Verdict = "COMPROMISED"
+			}
 		default:
 			out.Verdict = "SECURE"
 		}
@@ -452,6 +493,61 @@ func FormatBuildingMatrix(rep *BuildingReport) string {
 	if rep.Building != nil && rep.Building.BusDrifts > 0 {
 		fmt.Fprintf(&b, "policy monitor: %d uncertified bus dials, %d refused\n",
 			rep.Building.BusDrifts, rep.Building.BusRefused)
+	}
+	if bld := rep.Building; bld != nil && (bld.BusFaults != nil || bld.Standby) {
+		b.WriteString(formatResilience(rep))
+	}
+	return b.String()
+}
+
+// formatResilience renders the fault/MTTR section of the building matrix:
+// the bus campaign's per-fault outcomes, the failover verdict, and the
+// per-room resilience ledger.
+func formatResilience(rep *BuildingReport) string {
+	bld := rep.Building
+	var b strings.Builder
+	b.WriteByte('\n')
+	if bf := bld.BusFaults; bf != nil {
+		fmt.Fprintf(&b, "bus fault plan %q: %d injected, %d recovered, %d unrecovered\n",
+			bld.BusFaultPlan, bf.Injected, bf.Recovered, bf.Unrecovered)
+		for _, f := range bf.Faults {
+			mttr := "-"
+			if f.MTTRNs >= 0 {
+				mttr = time.Duration(f.MTTRNs).String()
+			}
+			target := f.Target
+			if target == "" {
+				target = "bus"
+			}
+			fmt.Fprintf(&b, "  %-15s %-8s at=%-8s mttr=%s\n",
+				f.Kind, target, time.Duration(f.AtNs), mttr)
+		}
+	}
+	if bld.Standby {
+		if bld.FailoverRound > 0 {
+			fmt.Fprintf(&b, "head-end failover: standby took over at round %d\n", bld.FailoverRound)
+		} else {
+			b.WriteString("head-end failover: standby armed, primary never silent\n")
+		}
+	}
+	fmt.Fprintf(&b, "%-5s %-15s %-9s %-10s %-12s %-10s %-13s %-10s\n",
+		"room", "unreach_rounds", "failovers", "quarantined", "sup_lost", "sup_rest", "viol_in_fault", "room_mttr")
+	for _, o := range rep.Outcomes {
+		var rr *building.RoomReport
+		if o.Room < len(bld.RoomReports) {
+			rr = &bld.RoomReports[o.Room]
+		}
+		var lost, restored int64
+		mttr := "-"
+		if rr != nil {
+			lost, restored = rr.SupervisionLost, rr.SupervisionRestored
+			if rr.BusFaults != nil && rr.BusFaults.MTTRCount > 0 {
+				mttr = time.Duration(rr.BusFaults.MTTRSumNs / rr.BusFaults.MTTRCount).String()
+			}
+		}
+		fmt.Fprintf(&b, "%-5d %-15d %-9d %-12v %-12d %-10d %-13d %-10s\n",
+			o.Room, o.UnreachableRounds, o.Failovers, o.Quarantined,
+			lost, restored, o.ViolationsDuringFault, mttr)
 	}
 	return b.String()
 }

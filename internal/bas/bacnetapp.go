@@ -32,6 +32,12 @@ type BACnetOptions struct {
 	Key []byte
 	// DeviceID is the BACnet device identifier; zero means 1.
 	DeviceID uint32
+	// SupervisionWindow, when positive, arms the room's supervisory-traffic
+	// watchdog: if no verified supervisory frame reaches the gateway for
+	// this long, the controller falls back to the last-committed setpoint
+	// (degraded-mode autonomy). Zero — the default for standalone boards —
+	// deploys no watchdog and costs nothing.
+	SupervisionWindow time.Duration
 }
 
 // DeployMinixWithBACnet is DeployMinix plus the BACnet gateway. The gateway
@@ -69,6 +75,7 @@ func DeployMinixWithBACnet(tb *Testbed, cfg ScenarioConfig, opts MinixOptions, b
 // is writable (and the controller still clamps it).
 type gatewayStore struct {
 	ctrl ControlClient
+	sup  *Supervision // nil outside building deployments
 }
 
 var _ bacnet.PropertyStore = (*gatewayStore)(nil)
@@ -98,6 +105,10 @@ func (s *gatewayStore) WriteProperty(obj bacnet.ObjectID, value float64) uint8 {
 		if err := s.ctrl.SetSetpoint(value); err != nil {
 			return bacnet.CodeWriteDenied
 		}
+		// A setpoint write that survived the frame checks and the
+		// controller's range clamp is the committed supervisory state a
+		// later outage falls back to.
+		s.sup.NoteCommit(value)
 		return 0
 	case bacnet.ObjTemperature, bacnet.ObjHeater, bacnet.ObjAlarm:
 		// The gateway's IPC authority has no path to the drivers; the
@@ -124,6 +135,7 @@ type bacnetGateway struct {
 	events   *obs.EventLog
 	accepted *obs.Counter
 	rejected *obs.Counter
+	sup      *Supervision // nil outside building deployments
 }
 
 // newBACnetGateway assembles the neutral gateway. state seeds the proxy's
@@ -131,17 +143,18 @@ type bacnetGateway struct {
 // a gateway reincarnated by the platform's recovery machinery still rejects
 // frames captured before its restart (the satellite fix for the replay
 // window a fresh in-memory table would reopen).
-func newBACnetGateway(bopts BACnetOptions, ctrl ControlClient, state *bacnet.ProxyState, board *obs.Board) *bacnetGateway {
+func newBACnetGateway(bopts BACnetOptions, ctrl ControlClient, state *bacnet.ProxyState, board *obs.Board, sup *Supervision) *bacnetGateway {
 	deviceID := bopts.DeviceID
 	if deviceID == 0 {
 		deviceID = 1
 	}
-	server := bacnet.NewServer(deviceID, &gatewayStore{ctrl: ctrl})
+	server := bacnet.NewServer(deviceID, &gatewayStore{ctrl: ctrl, sup: sup})
 	gw := &bacnetGateway{
 		server:   server,
 		events:   board.Events(),
 		accepted: board.Metrics().Counter("bacnet_frames_accepted_total"),
 		rejected: board.Metrics().Counter("bacnet_frames_rejected_total"),
+		sup:      sup,
 	}
 	if len(bopts.Key) > 0 {
 		gw.proxy = bacnet.NewProxyResuming(bopts.Key, server, state)
@@ -202,6 +215,11 @@ func (gw *bacnetGateway) serveConn(conn NetConn) {
 				resp = gw.server.HandleFrame(frame)
 			}
 			gw.accepted.Inc()
+			// Every frame that survived the checks above is supervisory
+			// contact. On proxied rooms that means a verified head-end frame;
+			// on legacy rooms anything on the bus counts — degraded-mode
+			// detection inherits exactly the protocol's trust.
+			gw.sup.NoteFrame()
 			frameBuf = bacnet.AppendFrame(frameBuf[:0], resp)
 			if err := conn.Write(frameBuf); err != nil {
 				return
@@ -217,13 +235,13 @@ func (gw *bacnetGateway) serveConn(conn NetConn) {
 
 // minixBACnetGatewayBody serves the (optionally proxied) protocol on
 // BACnetPort as a MINIX process.
-func minixBACnetGatewayBody(bopts BACnetOptions, state *bacnet.ProxyState, board *obs.Board) func(api *minix.API) {
+func minixBACnetGatewayBody(bopts BACnetOptions, state *bacnet.ProxyState, board *obs.Board, sup *Supervision) func(api *minix.API) {
 	return func(api *minix.API) {
 		ctrl, ok := minixLookupWait(api, NameTempControl)
 		if !ok {
 			return
 		}
-		gw := newBACnetGateway(bopts, &minixControlClient{api: api, ctrl: ctrl}, state, board)
+		gw := newBACnetGateway(bopts, &minixControlClient{api: api, ctrl: ctrl}, state, board, sup)
 		l, err := api.NetListen(BACnetPort)
 		if err != nil {
 			api.Trace("bacnet", fmt.Sprintf("listen failed: %v", err))
@@ -236,9 +254,9 @@ func minixBACnetGatewayBody(bopts BACnetOptions, state *bacnet.ProxyState, board
 // sel4BACnetGatewayRun is the gateway's control thread on seL4: the CAmkES
 // component holds exactly one connection, to the controller's management
 // interface, so the capability system bounds what any bus frame can reach.
-func sel4BACnetGatewayRun(bopts BACnetOptions, state *bacnet.ProxyState, board *obs.Board) func(rt *camkes.Runtime) {
+func sel4BACnetGatewayRun(bopts BACnetOptions, state *bacnet.ProxyState, board *obs.Board, sup *Supervision) func(rt *camkes.Runtime) {
 	return func(rt *camkes.Runtime) {
-		gw := newBACnetGateway(bopts, &sel4ControlClient{rt: rt}, state, board)
+		gw := newBACnetGateway(bopts, &sel4ControlClient{rt: rt}, state, board, sup)
 		l, err := rt.NetListen(BACnetPort)
 		if err != nil {
 			rt.Trace("bacnet", fmt.Sprintf("listen failed: %v", err))
@@ -251,13 +269,13 @@ func sel4BACnetGatewayRun(bopts BACnetOptions, state *bacnet.ProxyState, board *
 // addSel4BACnetGateway appends the gateway component to the scenario
 // assembly. Like the web interface it uses only the controller's mgmt
 // interface; the controller distinguishes the two clients by badge.
-func addSel4BACnetGateway(assembly *camkes.Assembly, bopts BACnetOptions, state *bacnet.ProxyState, board *obs.Board) {
+func addSel4BACnetGateway(assembly *camkes.Assembly, bopts BACnetOptions, state *bacnet.ProxyState, board *obs.Board, sup *Supervision) {
 	assembly.Components = append(assembly.Components, &camkes.Component{
 		Name:     NameBACnetGateway,
 		Priority: 7,
 		Uses:     []string{IfaceMgmt},
 		NetPorts: []vnet.Port{BACnetPort},
-		Run:      sel4BACnetGatewayRun(bopts, state, board),
+		Run:      sel4BACnetGatewayRun(bopts, state, board, sup),
 	})
 	assembly.Connections = append(assembly.Connections, camkes.Connection{
 		FromComp: NameBACnetGateway, FromIface: IfaceMgmt,
@@ -270,7 +288,7 @@ func addSel4BACnetGateway(assembly *camkes.Assembly, bopts BACnetOptions, state 
 // DAC modes grant a non-control-group account. The gateway and the web
 // interface share those queues; in building deployments the web interface is
 // idle, so responses never interleave.
-func linuxBACnetGatewayBody(bopts BACnetOptions, state *bacnet.ProxyState, board *obs.Board) func(api *linuxsim.API) {
+func linuxBACnetGatewayBody(bopts BACnetOptions, state *bacnet.ProxyState, board *obs.Board, sup *Supervision) func(api *linuxsim.API) {
 	return func(api *linuxsim.API) {
 		reqFD, err := linuxOpenRetry(api, QWebReq, linuxsim.MQOpenFlags{Write: true})
 		if err != nil {
@@ -283,7 +301,7 @@ func linuxBACnetGatewayBody(bopts BACnetOptions, state *bacnet.ProxyState, board
 			return
 		}
 		ctrl := &linuxControlClient{api: api, reqFD: reqFD, respFD: respFD}
-		gw := newBACnetGateway(bopts, ctrl, state, board)
+		gw := newBACnetGateway(bopts, ctrl, state, board, sup)
 		l, err := api.NetListen(BACnetPort)
 		if err != nil {
 			api.Trace("bacnet", fmt.Sprintf("gateway: listen failed: %v", err))

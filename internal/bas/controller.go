@@ -49,6 +49,12 @@ type ControllerConfig struct {
 	// must comfortably exceed the platforms' driver-restart MTTR so a
 	// reincarnated sensor never trips it.
 	StalenessWindow time.Duration
+	// Supervision, when non-nil, is the room's supervisory-traffic watchdog
+	// (building deployments only): while it reports degraded the controller
+	// pins its setpoint to the last committed supervisory value, so a room
+	// cut off from its BMS runs autonomously on trustworthy state instead of
+	// whatever a late unverified write left behind. Never marshalled.
+	Supervision *Supervision `json:"-"`
 }
 
 // DefaultControllerConfig matches the scenario narrative: 22 °C setpoint
@@ -181,6 +187,11 @@ func (c *Controller) OnSample(now machine.Time, temp float64) (heaterChanged, al
 // blind controller must not keep heating) and alarm on (operators must hear
 // that the loop is broken). The next OnSample exits failsafe.
 func (c *Controller) OnTick(now machine.Time) (heaterChanged, alarmChanged bool) {
+	// Supervisory watchdog first: degraded mode is independent of sensor
+	// staleness (the sensor is local; the BMS is across the bus).
+	if v, degraded := c.cfg.Supervision.Check(now); degraded {
+		c.setpoint = v
+	}
 	if c.cfg.StalenessWindow <= 0 || !c.everSampled || c.failsafe {
 		return false, false
 	}

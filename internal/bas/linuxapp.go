@@ -188,6 +188,7 @@ func deployLinux(platform Platform, tb *Testbed, cfg ScenarioConfig, opts Deploy
 		}
 	}
 	k := linuxsim.Boot(tb.Machine, linuxsim.Config{Net: tb.Net})
+	sup := newDeploySupervision(tb, &cfg, opts)
 	webBody := opts.LinuxWeb
 	if webBody == nil {
 		// The Linux deployment exports board metrics over its own web
@@ -289,7 +290,7 @@ func deployLinux(platform Platform, tb *Testbed, cfg ScenarioConfig, opts Deploy
 		state := bacnet.NewProxyState()
 		k.RegisterImage(linuxsim.Image{
 			Name: NameBACnetGateway, Priority: 7, UID: gwUID, GID: gwGID,
-			Body: linuxBACnetGatewayBody(opts.BACnet, state, tb.Machine.Obs()),
+			Body: linuxBACnetGatewayBody(opts.BACnet, state, tb.Machine.Obs(), sup),
 		})
 		if _, err := k.SpawnImage(NameBACnetGateway); err != nil {
 			return nil, fmt.Errorf("bas: spawning bacnet gateway: %w", err)

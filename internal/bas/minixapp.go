@@ -118,6 +118,7 @@ func deployMinix(platform Platform, tb *Testbed, cfg ScenarioConfig, opts Deploy
 	if err != nil {
 		return nil, fmt.Errorf("bas: booting minix: %w", err)
 	}
+	sup := newDeploySupervision(tb, &cfg, opts)
 
 	webUID := 1000
 	if opts.WebRoot {
@@ -165,7 +166,7 @@ func deployMinix(platform Platform, tb *Testbed, cfg ScenarioConfig, opts Deploy
 		state := bacnet.NewProxyState()
 		k.RegisterImage(minix.Image{
 			Name: NameBACnetGateway, Priority: 7, Net: true, Restart: true,
-			Body: minixBACnetGatewayBody(opts.BACnet, state, tb.Machine.Obs()),
+			Body: minixBACnetGatewayBody(opts.BACnet, state, tb.Machine.Obs(), sup),
 		})
 		if _, err := k.SpawnImage(NameBACnetGateway, core.ACIDBACnetGateway); err != nil {
 			return nil, fmt.Errorf("bas: spawning bacnet gateway: %w", err)

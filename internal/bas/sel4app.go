@@ -224,13 +224,14 @@ func DeploySel4(tb *Testbed, cfg ScenarioConfig, opts Sel4Options) (*Sel4Deploym
 
 // deploySel4 is the seL4 backend of the Deploy registry.
 func deploySel4(tb *Testbed, cfg ScenarioConfig, opts DeployOptions) (*Sel4Deployment, error) {
+	sup := newDeploySupervision(tb, &cfg, opts)
 	assembly := ScenarioAssembly(cfg, opts.Sel4Web)
 	if opts.BACnet.Enabled {
 		// Appended here rather than inside ScenarioAssembly so the exported
 		// assembly the AADL compiler tests compare against stays the five-
 		// component Fig. 2 scenario. The deployment owns the proxy's
 		// anti-replay state; a monitor-respawned gateway resumes from it.
-		addSel4BACnetGateway(assembly, opts.BACnet, bacnet.NewProxyState(), tb.Machine.Obs())
+		addSel4BACnetGateway(assembly, opts.BACnet, bacnet.NewProxyState(), tb.Machine.Obs(), sup)
 	}
 	// The capability distribution doubles as the monitor's certified graph,
 	// so it is generated whenever either consumer needs it.

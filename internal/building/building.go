@@ -49,6 +49,17 @@ type Config struct {
 	HeadEnd HeadEndConfig
 	// Faults arms a builtin fault-injection plan (by name) on selected rooms.
 	Faults map[int]string
+	// BusFaults arms a bus-level fault plan (by name, from the builtin
+	// registry): link partitions, frame drops, delays, duplication, and the
+	// primary head-end crash. Verdicts are applied at the bus flush barrier
+	// from virtual time and frame age only, so a faulted run stays
+	// byte-identical at any worker count.
+	BusFaults string
+	// Standby attaches a standby head-end on its own bus node
+	// ("bms-standby", added after the primary so room i stays node i). The
+	// standby watches the primary's poll traffic through a bus tap and takes
+	// over after HeadEnd.FailoverRounds rounds of silence.
+	Standby bool
 	// Monitor attaches the online policy monitor to every room's board
 	// (bas.DeployOptions.Monitor) and installs the bus dial guard: every
 	// cross-board dial is checked against the building's certified dial set
@@ -103,14 +114,22 @@ type Building struct {
 	cfg   Config
 	slice time.Duration
 
-	Bus   *vnet.Bus
-	Rooms []*Room
-	Head  *HeadEnd
+	Bus     *vnet.Bus
+	Rooms   []*Room
+	Head    *HeadEnd
+	Standby *HeadEnd // nil unless Config.Standby
 
-	headNode vnet.NodeID
-	round    int
-	elapsed  time.Duration
-	workers  int
+	// BusInj is the armed bus-level fault campaign (nil without BusFaults).
+	BusInj *faultinject.BusInjector
+
+	headNode      vnet.NodeID
+	standbyNode   vnet.NodeID
+	round         int
+	elapsed       time.Duration
+	workers       int
+	supWindow     time.Duration
+	failoverRound int
+	failovers     int
 
 	// Bus-monitor state, touched only on the coordinator goroutine (the dial
 	// guard runs at the flush barrier with every board engine parked).
@@ -195,6 +214,11 @@ func New(cfg Config) (*Building, error) {
 	}
 	b.Bus.Instrument(cfg.Profiler)
 	cfg.Profiler.SetGauge("building.workers", int64(workers))
+	b.failoverRound = -1
+	// Every room's gateway runs the supervisory watchdog: three missed poll
+	// periods of silence and the room degrades to its last-committed
+	// setpoint (see bas.Supervision).
+	b.supWindow = 3 * cfg.HeadEnd.withDefaults().PollPeriod
 	for i := 0; i < cfg.Rooms; i++ {
 		room, err := b.deployRoom(i, scenario)
 		if err != nil {
@@ -205,6 +229,43 @@ func New(cfg Config) (*Building, error) {
 	}
 	b.headNode = b.Bus.AddNode("bms", nil)
 	b.Head = newHeadEnd(b.Bus, b.headNode, b.Rooms, scenario.Controller.Setpoint, slice, cfg.HeadEnd)
+	b.Head.onRoomOK = b.noteRoomOK
+	b.Head.onQuarantine = b.noteQuarantine
+	if cfg.Standby {
+		b.standbyNode = b.Bus.AddNode("bms-standby", nil)
+		b.Standby = newStandbyHeadEnd(b.Bus, b.standbyNode, b.headNode, b.Rooms, scenario.Controller.Setpoint, slice, cfg.HeadEnd)
+		b.Standby.onRoomOK = b.noteRoomOK
+		b.Standby.onQuarantine = b.noteQuarantine
+		b.Standby.onFailover = b.noteFailover
+		b.Bus.AddTap(func(f vnet.TapFrame) { b.Standby.noteTap(f.From) })
+	}
+	if cfg.BusFaults != "" {
+		plan, err := faultinject.Lookup(cfg.BusFaults)
+		if err != nil {
+			b.Close()
+			return nil, fmt.Errorf("building: bus fault plan: %w", err)
+		}
+		nodes := map[string]int{"bms": int(b.headNode)}
+		if cfg.Standby {
+			nodes["bms-standby"] = int(b.standbyNode)
+		}
+		for _, room := range b.Rooms {
+			nodes[room.label] = room.Index
+		}
+		inj, err := faultinject.NewBusInjector(plan, cfg.Rooms, func(name string) (int, bool) {
+			id, ok := nodes[name]
+			return id, ok
+		}, slice)
+		if err != nil {
+			b.Close()
+			return nil, fmt.Errorf("building: arming bus faults: %w", err)
+		}
+		b.BusInj = inj
+		b.Bus.SetFaultHook(func(from, to vnet.NodeID, port vnet.Port, age int) vnet.BusFault {
+			v := inj.Verdict(int(from), int(to), age)
+			return vnet.BusFault{Drop: v.Drop, Hold: v.Hold, Dup: v.Dup}
+		})
+	}
 	if cfg.Monitor || cfg.Demote {
 		b.busDrifts = make([]int64, cfg.Rooms)
 		b.busRefused = make([]int64, cfg.Rooms)
@@ -281,7 +342,10 @@ func (b *Building) deployRoom(i int, scenario bas.ScenarioConfig) (*Room, error)
 	dep, err := bas.Deploy(platform, tb, sc, bas.DeployOptions{
 		Recovery: b.cfg.Recovery,
 		Monitor:  b.cfg.Monitor || b.cfg.Demote,
-		BACnet:   bas.BACnetOptions{Enabled: true, Key: key, DeviceID: uint32(i + 1)},
+		BACnet: bas.BACnetOptions{
+			Enabled: true, Key: key, DeviceID: uint32(i + 1),
+			SupervisionWindow: b.supWindow,
+		},
 		Profiler: b.cfg.Profiler,
 	})
 	if err != nil {
@@ -386,6 +450,81 @@ func (b *Building) RoomDemoted(i int) bool {
 	return i >= 0 && i < len(b.demoted) && b.demoted[i]
 }
 
+// noteRoomOK reports a verified supervisory exchange with room i to the bus
+// campaign — the recovery probe that closes bus-fault MTTR windows. Runs on
+// the coordinator (head-end OnRound context).
+func (b *Building) noteRoomOK(room int) {
+	if b.BusInj != nil {
+		b.BusInj.NoteRoomOK(room, b.target)
+	}
+}
+
+// noteQuarantine lands the quarantine verdict on the room's own board: the
+// head-end judged the room's response path compromised and stopped polling.
+func (b *Building) noteQuarantine(room int) {
+	b.Rooms[room].Testbed.Machine.Obs().Events().Emit(obs.SecurityEvent{
+		Kind:      obs.EventRoomQuarantined,
+		Mechanism: obs.MechResilience,
+		Denied:    true,
+		Src:       b.Bus.NodeName(b.headNode),
+		Dst:       b.Rooms[room].label,
+		Detail:    "responses repeatedly failed secure-proxy verification; polling stopped",
+	})
+}
+
+// noteFailover records the standby takeover, closes the headend-crash MTTR,
+// and lands the event on every room's board (the whole building changed
+// supervisor).
+func (b *Building) noteFailover(round int) {
+	b.failoverRound = round
+	b.failovers++
+	if b.BusInj != nil {
+		b.BusInj.NoteFailover(b.target)
+	}
+	detail := fmt.Sprintf("standby head-end took over at round %d", round)
+	for _, room := range b.Rooms {
+		room.Testbed.Machine.Obs().Events().Emit(obs.SecurityEvent{
+			Kind:      obs.EventHeadEndFailover,
+			Mechanism: obs.MechResilience,
+			Src:       "bms-standby",
+			Dst:       "bms",
+			Detail:    detail,
+		})
+	}
+}
+
+// emitBusFault lands a fired bus fault on the affected boards: the targeted
+// room's, or every room's for whole-bus and infrastructure faults.
+func (b *Building) emitBusFault(f faultinject.Fault) {
+	detail := f.String()
+	emit := func(room *Room) {
+		room.Testbed.Machine.Obs().Events().Emit(obs.SecurityEvent{
+			Kind:      obs.EventFaultInjected,
+			Mechanism: obs.MechResilience,
+			Src:       "faultinject",
+			Dst:       f.Target,
+			Detail:    detail,
+		})
+	}
+	if f.Target != "" && f.Kind != faultinject.KindHeadEndCrash {
+		for _, room := range b.Rooms {
+			if room.label == f.Target {
+				emit(room)
+				return
+			}
+		}
+	}
+	for _, room := range b.Rooms {
+		emit(room)
+	}
+}
+
+// FailoverRound reports the round the standby took over (-1 if never).
+func (b *Building) FailoverRound() int { return b.failoverRound }
+
+// Failovers reports how many head-end takeovers happened.
+func (b *Building) Failovers() int { return b.failovers }
+
 // Step advances the whole building by one lockstep round:
 //
 //  1. every board runs to the round deadline, in parallel across the worker
@@ -405,6 +544,13 @@ func (b *Building) Step() {
 	b.round++
 	b.elapsed += b.slice
 	b.target = machine.Time(0).Add(b.elapsed)
+	if b.BusInj != nil {
+		// Boards are parked here, so landing fault events on their logs is
+		// coordinator-only work, stamped at the previous round's deadline.
+		for _, f := range b.BusInj.BeginRound(b.target) {
+			b.emitBusFault(f)
+		}
+	}
 	var stepStart time.Time
 	if b.prof != nil {
 		stepStart = time.Now()
@@ -419,7 +565,12 @@ func (b *Building) Step() {
 	}
 	b.Bus.Flush()
 	hsc := b.phHead.Begin()
-	b.Head.OnRound(b.round, b.elapsed)
+	if b.BusInj == nil || !b.BusInj.HeadEndDown() {
+		b.Head.OnRound(b.round, b.elapsed)
+	}
+	if b.Standby != nil {
+		b.Standby.OnRound(b.round, b.elapsed)
+	}
 	hsc.End()
 	b.Bus.Flush()
 	rsc.End()

@@ -135,3 +135,128 @@ func TestBuildingSensorCrashFlagsExactlyThatRoom(t *testing.T) {
 		t.Fatalf("room 2 BMS state = %+v: frozen sensor should read in-band", faulted.BMS)
 	}
 }
+
+func TestBuildingPartitionFailoverAndStandbyTakeover(t *testing.T) {
+	// The E15 scenario end to end: room 1 is partitioned off the bus at 40m
+	// for 10m (it rides the outage on its last-committed setpoint), then the
+	// primary head-end dies at 65m and the standby takes over. Every number
+	// below is a pure function of virtual time, so exact assertions hold.
+	b, err := New(Config{
+		Rooms: 4, Mix: paperMix(), Secure: evenSecure(4),
+		BusFaults: "partition-failover", Standby: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	b.Run(120 * time.Minute)
+
+	rep := b.Report()
+	if rep.BusFaults == nil || rep.BusFaults.Injected != 2 || rep.BusFaults.Recovered != 2 {
+		t.Fatalf("bus campaign = %+v, want 2 injected, 2 recovered", rep.BusFaults)
+	}
+	partition, crash := rep.BusFaults.Faults[0], rep.BusFaults.Faults[1]
+	if partition.Kind != "bus-partition" || time.Duration(partition.MTTRNs) != 11*time.Minute+2*time.Second {
+		t.Fatalf("partition outcome = %+v, want MTTR 11m2s", partition)
+	}
+	if crash.Kind != "headend-crash" || time.Duration(crash.MTTRNs) != 64*time.Second {
+		t.Fatalf("head-end crash outcome = %+v, want MTTR 1m4s", crash)
+	}
+
+	// The standby's silence detector fires a fixed number of rounds after
+	// the crash: takeover lands on round 3964 at any worker count.
+	if rep.FailoverRound != 3964 || b.FailoverRound() != 3964 {
+		t.Fatalf("failover round = %d/%d, want 3964", rep.FailoverRound, b.FailoverRound())
+	}
+	if !rep.Standby || b.Standby == nil || !b.Standby.Active() {
+		t.Fatal("supervisory role did not move to the standby")
+	}
+	if b.Standby.TakeoverRound() != 3964 {
+		t.Fatalf("standby takeover round = %d, want 3964", b.Standby.TakeoverRound())
+	}
+
+	// Degraded-mode autonomy: the partitioned room lost gateway supervision
+	// during the partition AND the interregnum, and restored both times; the
+	// rooms are all healthy again by the end of the run.
+	room1 := rep.RoomReports[1]
+	if room1.SupervisionLost != 2 || room1.SupervisionRestored != 2 || room1.Degraded {
+		t.Fatalf("room 1 supervision = lost %d restored %d degraded %v, want 2/2/false",
+			room1.SupervisionLost, room1.SupervisionRestored, room1.Degraded)
+	}
+	for _, rr := range rep.RoomReports {
+		if rr.Failovers != 1 {
+			t.Fatalf("room %d failovers = %d, want 1", rr.Room, rr.Failovers)
+		}
+		if !rr.ControllerAlive {
+			t.Fatalf("room %d controller dead", rr.Room)
+		}
+	}
+	if rep.Alarm || len(rep.Flagged) != 0 || len(rep.Quarantined) != 0 {
+		t.Fatalf("post-recovery health: alarm=%v flagged=%v quarantined=%v",
+			rep.Alarm, rep.Flagged, rep.Quarantined)
+	}
+	// The partitioned room's own fault view closes at its first reconfirmed
+	// poll, not at the building-wide instant.
+	if room1.BusFaults == nil || room1.BusFaults.Recovered != 2 {
+		t.Fatalf("room 1 bus-fault view = %+v", room1.BusFaults)
+	}
+}
+
+func TestBuildingBusDropMarksRoomUnreachable(t *testing.T) {
+	// bus-drop refuses room 1's dials outright: the head-end must report the
+	// room UNREACHABLE (a cut cable), not merely STALE (silence).
+	b, err := New(Config{
+		Rooms: 4, Mix: paperMix(), Secure: evenSecure(4),
+		BusFaults: "bus-drop",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	b.Run(60 * time.Minute)
+
+	rep := b.Report()
+	room1 := rep.RoomReports[1]
+	if room1.BMS.UnreachableRounds == 0 {
+		t.Fatal("bus-drop never drove room 1 unreachable")
+	}
+	for _, rr := range rep.RoomReports {
+		if rr.Room != 1 && rr.BMS.UnreachableRounds != 0 {
+			t.Fatalf("room %d unreachable under a room-1 fault", rr.Room)
+		}
+	}
+	// The 5-minute drop window ends at 45m; by 60m the room has reconfirmed.
+	if room1.BusFaults == nil || room1.BusFaults.Recovered != 1 {
+		t.Fatalf("room 1 fault view = %+v, want recovered", room1.BusFaults)
+	}
+	if rep.Alarm {
+		t.Fatalf("alarm still raised after the drop window healed: %v", rep.Flagged)
+	}
+}
+
+func TestBuildingFaultedByteDeterministicAcrossWorkers(t *testing.T) {
+	// The resilience machinery must not cost the 1-vs-N-worker contract:
+	// partition verdicts, supervision trips, and the standby takeover all
+	// land on the same rounds regardless of scheduling.
+	run := func(workers int) []byte {
+		b, err := New(Config{
+			Rooms: 8, Mix: paperMix(), Secure: evenSecure(8),
+			Workers: workers, BusFaults: "partition-failover", Standby: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer b.Close()
+		b.Run(80 * time.Minute)
+		out, err := b.Report().JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	serial := run(1)
+	parallel := run(8)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("faulted 8-room building diverged between 1 and 8 workers:\n1: %d bytes\n8: %d bytes", len(serial), len(parallel))
+	}
+}

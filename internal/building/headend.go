@@ -16,6 +16,14 @@ import (
 // secure-proxy frames to rooms behind a bump-in-the-wire. From here it polls
 // temperatures, pushes building-wide setpoint schedules (demand-response),
 // and raises the building alarm when any room looks wrong.
+//
+// Resilience is part of the head-end's job, not an afterthought: missed
+// rooms are re-polled under capped exponential backoff, rooms whose dials
+// are refused are marked UNREACHABLE (distinct from STALE — the cable is
+// different from the silence), rooms whose responses repeatedly fail
+// secure-proxy verification are quarantined, and the whole head-end role can
+// fail over to a standby instance that watches the primary's poll traffic on
+// the bus and takes over after a configured silence.
 
 // SetpointEvent is one demand-response entry in the building schedule:
 // at building time At, command every room to Value.
@@ -32,7 +40,8 @@ type HeadEndConfig struct {
 	// room is flagged out-of-band; default 2 °C (the scenario alarm band).
 	Band float64
 	// StaleLimit is how many consecutive unanswered polls mark a room stale;
-	// default 3.
+	// default 3. The same limit applied to consecutive refused dials marks a
+	// room unreachable.
 	StaleLimit int
 	// TimeoutRounds is how many bus rounds the head-end waits for a response
 	// before counting a poll as missed; default 5.
@@ -41,6 +50,20 @@ type HeadEndConfig struct {
 	// initial temperature toward the setpoint; default 15m. Staleness is
 	// never suppressed.
 	Warmup time.Duration
+	// BackoffCap bounds the re-poll backoff for a missing room: after each
+	// miss the room's poll interval doubles, up to this cap, and resets to
+	// PollPeriod on the first successful harvest. Default 4×PollPeriod.
+	BackoffCap time.Duration
+	// QuarantineLimit is how many responses failing secure-proxy
+	// verification (in a row, without a verified frame between them) put a
+	// room in quarantine: the head-end stops talking to it and flags it.
+	// Default 3. Legacy rooms are never quarantined — there is no
+	// verification to fail.
+	QuarantineLimit int
+	// FailoverRounds is how many consecutive rounds without observed primary
+	// traffic make a standby head-end take over; default 3×(PollPeriod/slice).
+	// Only meaningful on the standby.
+	FailoverRounds int
 	// Schedule is the building-wide demand-response program, in building
 	// time, applied in order.
 	Schedule []SetpointEvent
@@ -62,12 +85,23 @@ func (c HeadEndConfig) withDefaults() HeadEndConfig {
 	if c.Warmup <= 0 {
 		c.Warmup = 15 * time.Minute
 	}
+	if c.BackoffCap <= 0 {
+		c.BackoffCap = 4 * c.PollPeriod
+	}
+	if c.QuarantineLimit <= 0 {
+		c.QuarantineLimit = 3
+	}
 	return c
 }
 
 // headClientBase offsets BMS client ids so they cannot collide with room-
-// local secure clients in tests.
-const headClientBase uint32 = 0xB0000000
+// local secure clients in tests. The standby gets its own base: the proxy's
+// replay window is per-client, so the standby's first frames after takeover
+// must not look like replays of the primary's sequence space.
+const (
+	headClientBase    uint32 = 0xB0000000
+	standbyClientBase uint32 = 0xB1000000
+)
 
 // headRoom is the head-end's view of one room.
 type headRoom struct {
@@ -94,9 +128,25 @@ type headRoom struct {
 	alarmOn     bool
 	missed      int // consecutive unanswered requests
 	writesAcked int
+
+	// Resilience state. backoffRounds is the room's current poll interval in
+	// rounds: pollRounds normally, doubling per miss up to the cap.
+	// refusedStreak counts consecutive refused dials (the room's stack is
+	// gone or the bus is dropping its traffic — unreachable, not merely
+	// silent). reconverge marks a room that went stale and must be re-issued
+	// the current scheduled setpoint on its first answer, in case it missed
+	// a demand-response write during the outage.
+	backoffRounds     int
+	refusedStreak     int
+	unreachableRounds int
+	reconverge        bool
+	badFrames         int
+	quarantined       bool
 }
 
-// HeadEnd is the building management system.
+// HeadEnd is the building management system — primary or standby. Exactly
+// one instance is active at a time; the standby idles until the primary's
+// bus traffic goes silent.
 type HeadEnd struct {
 	bus   *vnet.Bus
 	node  vnet.NodeID
@@ -107,12 +157,35 @@ type HeadEnd struct {
 	schedIdx   int
 	rooms      []*headRoom
 	pollRounds int
+	capRounds  int
 	now        time.Duration
 
 	pollsSent     int
 	pollsAnswered int
 	pollsMissed   int
 	writesSent    int
+	quarantines   int
+
+	// Failover state. A primary is born active; a standby is born passive,
+	// watching primaryNode's traffic through a bus tap (noteTap). Split
+	// brain resolves by fixed node-id priority: the primary was added to the
+	// bus first, so it holds the lower id and wins — a standby that sees
+	// primary traffic again yields immediately.
+	standby          bool
+	active           bool
+	primaryNode      vnet.NodeID
+	failoverRounds   int
+	sawPrimary       bool
+	lastPrimaryRound int
+	takeoverRound    int
+	yields           int
+
+	// onRoomOK fires on every verified harvest from a room; onQuarantine
+	// once when a room is quarantined; onFailover once per standby takeover.
+	// All run on the coordinator goroutine (OnRound context).
+	onRoomOK     func(room int)
+	onQuarantine func(room int)
+	onFailover   func(round int)
 
 	// Send-path scratch: BusConn.Write copies into a pooled chunk before
 	// returning, so one encode buffer and one frame buffer serve every room.
@@ -126,15 +199,21 @@ type HeadEnd struct {
 func newHeadEnd(bus *vnet.Bus, node vnet.NodeID, rooms []*Room, initialSetpoint float64, slice time.Duration, cfg HeadEndConfig) *HeadEnd {
 	cfg = cfg.withDefaults()
 	h := &HeadEnd{
-		bus:      bus,
-		node:     node,
-		cfg:      cfg,
-		slice:    slice,
-		setpoint: initialSetpoint,
+		bus:           bus,
+		node:          node,
+		cfg:           cfg,
+		slice:         slice,
+		setpoint:      initialSetpoint,
+		active:        true,
+		takeoverRound: -1,
 	}
 	h.pollRounds = int(cfg.PollPeriod / slice)
 	if h.pollRounds < 1 {
 		h.pollRounds = 1
+	}
+	h.capRounds = int(cfg.BackoffCap / slice)
+	if h.capRounds < h.pollRounds {
+		h.capRounds = h.pollRounds
 	}
 	for _, room := range rooms {
 		hr := &headRoom{
@@ -144,6 +223,7 @@ func newHeadEnd(bus *vnet.Bus, node vnet.NodeID, rooms []*Room, initialSetpoint 
 			// Stagger first polls one round apart so a 64-room building does
 			// not synchronise every poll into the same bus round forever.
 			lastPollRound: -h.pollRounds + room.Index%h.pollRounds,
+			backoffRounds: h.pollRounds,
 		}
 		if room.Secure {
 			hr.secure = bacnet.NewSecureClient(room.Key, headClientBase|uint32(room.Index))
@@ -153,14 +233,56 @@ func newHeadEnd(bus *vnet.Bus, node vnet.NodeID, rooms []*Room, initialSetpoint 
 	return h
 }
 
+// newStandbyHeadEnd attaches a passive standby BMS that watches primaryNode's
+// poll traffic (feed it delivered frames via noteTap) and takes over after
+// FailoverRounds rounds of silence.
+func newStandbyHeadEnd(bus *vnet.Bus, node, primaryNode vnet.NodeID, rooms []*Room, initialSetpoint float64, slice time.Duration, cfg HeadEndConfig) *HeadEnd {
+	h := newHeadEnd(bus, node, rooms, initialSetpoint, slice, cfg)
+	h.standby = true
+	h.active = false
+	h.primaryNode = primaryNode
+	h.failoverRounds = h.cfg.FailoverRounds
+	if h.failoverRounds <= 0 {
+		h.failoverRounds = 3 * h.pollRounds
+	}
+	// The standby seals with its own client identity; see standbyClientBase.
+	for i, hr := range h.rooms {
+		if hr.secure != nil {
+			hr.secure = bacnet.NewSecureClient(rooms[i].Key, standbyClientBase|uint32(hr.index))
+		}
+	}
+	return h
+}
+
+// noteTap is the standby's view of the bus: the building feeds it every
+// delivered frame, and frames originating from the primary prove the primary
+// alive. Runs at the flush barrier on the coordinator goroutine.
+func (h *HeadEnd) noteTap(from vnet.NodeID) {
+	if h.standby && from == h.primaryNode {
+		h.sawPrimary = true
+	}
+}
+
+// Active reports whether this head-end currently owns the supervisory role.
+func (h *HeadEnd) Active() bool { return h.active }
+
+// TakeoverRound reports the round a standby took over (-1 if never).
+func (h *HeadEnd) TakeoverRound() int { return h.takeoverRound }
+
 // OnRound runs the BMS once per lockstep round, between the two bus
 // barriers: it harvests responses delivered by the first Flush, advances the
 // demand-response schedule, and queues the next requests for the second.
 // All in fixed room order — the head-end is part of the determinism contract.
 func (h *HeadEnd) OnRound(round int, now time.Duration) {
 	h.now = now
+	if h.standby && !h.checkFailover(round, now) {
+		return
+	}
 	for _, r := range h.rooms {
 		h.harvest(r, round)
+		if r.refusedStreak >= h.cfg.StaleLimit {
+			r.unreachableRounds++
+		}
 	}
 	for h.schedIdx < len(h.cfg.Schedule) && now >= h.cfg.Schedule[h.schedIdx].At {
 		v := h.cfg.Schedule[h.schedIdx].Value
@@ -176,15 +298,72 @@ func (h *HeadEnd) OnRound(round int, now time.Duration) {
 	}
 }
 
+// checkFailover runs the standby's role state machine and reports whether
+// the standby should act as the BMS this round. Detection and takeover are
+// pure functions of round numbers and tap observations, both of which are
+// fixed at the flush barrier — failover lands on the same round at any
+// worker count.
+func (h *HeadEnd) checkFailover(round int, now time.Duration) bool {
+	if h.sawPrimary {
+		h.sawPrimary = false
+		h.lastPrimaryRound = round
+		if h.active {
+			// Split brain: the primary is back. Fixed node-id priority — the
+			// primary holds the lower id — so the standby yields, abandoning
+			// its in-flight exchanges.
+			h.active = false
+			h.yields++
+			for _, r := range h.rooms {
+				if r.conn != nil {
+					h.closeExchange(r)
+				}
+			}
+		}
+		return false
+	}
+	if h.active {
+		return true
+	}
+	if round-h.lastPrimaryRound < h.failoverRounds {
+		return false
+	}
+	// Takeover. The standby rebuilds supervisory state from its own config
+	// and clock: fast-forward the demand-response schedule to now, then
+	// re-assert the scheduled setpoint to every room — a room may have
+	// missed a write during the interregnum, and re-writing the same value
+	// is idempotent for the rest.
+	h.active = true
+	h.takeoverRound = round
+	for h.schedIdx < len(h.cfg.Schedule) && now >= h.cfg.Schedule[h.schedIdx].At {
+		h.setpoint = h.cfg.Schedule[h.schedIdx].Value
+		h.schedIdx++
+	}
+	for _, r := range h.rooms {
+		val := h.setpoint
+		r.wantSetpoint = &val
+		// Restart polling staggered from the takeover round, exactly like a
+		// primary's boot stagger.
+		r.lastPollRound = round - h.pollRounds + r.index%h.pollRounds
+	}
+	if h.onFailover != nil {
+		h.onFailover(round)
+	}
+	return true
+}
+
 // harvest drains one room's in-flight exchange.
 func (h *HeadEnd) harvest(r *headRoom, round int) {
 	if r.conn == nil {
 		return
 	}
 	if r.conn.Refused() {
+		r.refusedStreak++
 		h.miss(r)
 		return
 	}
+	// The dial went through, so the room's stack is up — any prior refusal
+	// streak is over even if this exchange times out.
+	r.refusedStreak = 0
 	r.def.Feed(r.conn.ReadAll())
 	for {
 		raw := r.def.Next()
@@ -195,11 +374,31 @@ func (h *HeadEnd) harvest(r *headRoom, round int) {
 		var err error
 		if r.secure != nil {
 			pdu, err = r.secure.Open(raw)
+			if err != nil {
+				// A frame on the room's connection that fails verification is
+				// either corruption or an impersonation attempt. Repeatedly is
+				// a compromised path: quarantine the room rather than keep
+				// soliciting forgeries.
+				r.badFrames++
+				if !r.quarantined && r.badFrames >= h.cfg.QuarantineLimit {
+					r.quarantined = true
+					h.quarantines++
+					h.closeExchange(r)
+					if h.onQuarantine != nil {
+						h.onQuarantine(r.index)
+					}
+					return
+				}
+				continue
+			}
 		} else {
 			pdu, err = bacnet.DecodePDU(raw)
+			if err != nil {
+				continue
+			}
 		}
-		if err != nil || pdu.InvokeID != r.invoke {
-			continue // not our answer (stale, forged, or malformed)
+		if pdu.InvokeID != r.invoke {
+			continue // not our answer (stale or replayed)
 		}
 		switch r.reqKind {
 		case bacnet.ReadProperty:
@@ -218,7 +417,22 @@ func (h *HeadEnd) harvest(r *headRoom, round int) {
 				r.writesAcked++
 			}
 		}
+		// A verified answer resets the whole resilience ledger for the room
+		// and, if it had gone stale, queues the re-convergence write.
+		wasOut := r.missed >= h.cfg.StaleLimit || r.reconverge
 		r.missed = 0
+		r.badFrames = 0
+		r.backoffRounds = h.pollRounds
+		if wasOut {
+			r.reconverge = false
+			if r.wantSetpoint == nil {
+				val := h.setpoint
+				r.wantSetpoint = &val
+			}
+		}
+		if h.onRoomOK != nil {
+			h.onRoomOK(r.index)
+		}
 		h.closeExchange(r)
 		return
 	}
@@ -229,6 +443,16 @@ func (h *HeadEnd) harvest(r *headRoom, round int) {
 
 func (h *HeadEnd) miss(r *headRoom) {
 	r.missed++
+	if r.missed >= h.cfg.StaleLimit {
+		r.reconverge = true
+	}
+	// Capped exponential backoff: each miss doubles the room's poll
+	// interval so a dead room does not eat the bus, capped so recovery is
+	// noticed within BackoffCap.
+	r.backoffRounds *= 2
+	if r.backoffRounds > h.capRounds {
+		r.backoffRounds = h.capRounds
+	}
 	if r.reqKind == bacnet.ReadProperty {
 		h.pollsMissed++
 	}
@@ -242,9 +466,10 @@ func (h *HeadEnd) closeExchange(r *headRoom) {
 }
 
 // issue queues one room's next request: a pending scheduled write wins over
-// a due poll.
+// a due poll. Quarantined rooms get nothing — the head-end has stopped
+// trusting the path.
 func (h *HeadEnd) issue(r *headRoom, round int) {
-	if r.conn != nil {
+	if r.conn != nil || r.quarantined {
 		return
 	}
 	switch {
@@ -255,7 +480,7 @@ func (h *HeadEnd) issue(r *headRoom, round int) {
 		})
 		r.wantSetpoint = nil
 		h.writesSent++
-	case round-r.lastPollRound >= h.pollRounds:
+	case round-r.lastPollRound >= r.backoffRounds:
 		// Alternate between the temperature and alarm points: a room whose
 		// sensor path is dead keeps reporting its last believed temperature,
 		// so the controller's own failsafe alarm is the only truthful signal.
@@ -294,16 +519,23 @@ func (h *HeadEnd) send(r *headRoom, round int, pdu bacnet.PDU) {
 
 // RoomState is the BMS's judgement of one room.
 type RoomState struct {
-	Room      int     `json:"room"`
-	Secure    bool    `json:"secure"`
-	HaveTemp  bool    `json:"have_temp"`
-	Temp      float64 `json:"temp"`
-	Missed    int     `json:"missed"`
-	Stale     bool    `json:"stale"`
-	OutOfBand bool    `json:"out_of_band"`
-	AlarmOn   bool    `json:"alarm_on"`
-	Flagged   bool    `json:"flagged"`
-	Writes    int     `json:"writes_acked"`
+	Room     int     `json:"room"`
+	Secure   bool    `json:"secure"`
+	HaveTemp bool    `json:"have_temp"`
+	Temp     float64 `json:"temp"`
+	Missed   int     `json:"missed"`
+	Stale    bool    `json:"stale"`
+	// Unreachable marks a room whose dials are being refused (StaleLimit
+	// consecutive refusals): the path is down, not merely silent.
+	Unreachable       bool `json:"unreachable"`
+	UnreachableRounds int  `json:"unreachable_rounds"`
+	// Quarantined marks a room the head-end stopped polling because its
+	// responses repeatedly failed secure-proxy verification.
+	Quarantined bool `json:"quarantined"`
+	OutOfBand   bool `json:"out_of_band"`
+	AlarmOn     bool `json:"alarm_on"`
+	Flagged     bool `json:"flagged"`
+	Writes      int  `json:"writes_acked"`
 }
 
 // RoomStates evaluates every room against the current schedule, in room
@@ -319,6 +551,9 @@ func (h *HeadEnd) RoomStates() []RoomState {
 			Writes: r.writesAcked,
 		}
 		st.Stale = r.missed >= h.cfg.StaleLimit
+		st.Unreachable = r.refusedStreak >= h.cfg.StaleLimit
+		st.UnreachableRounds = r.unreachableRounds
+		st.Quarantined = r.quarantined
 		if h.now >= h.cfg.Warmup {
 			// Out-of-band and alarm relays are suppressed during warm-up
 			// (every room boots cold and legitimately out of band).
@@ -331,7 +566,7 @@ func (h *HeadEnd) RoomStates() []RoomState {
 			}
 			st.AlarmOn = r.alarmOn
 		}
-		st.Flagged = st.Stale || st.OutOfBand || st.AlarmOn
+		st.Flagged = st.Stale || st.Unreachable || st.Quarantined || st.OutOfBand || st.AlarmOn
 		out = append(out, st)
 	}
 	return out

@@ -28,6 +28,16 @@ type RoomReport struct {
 	FaultPlan string              `json:"fault_plan,omitempty"`
 	Faults    *faultinject.Report `json:"faults,omitempty"`
 
+	// Resilience columns: the room's share of the bus-fault campaign (each
+	// fault closed at this room's own reconfirmation), head-end failovers
+	// observed on this room's board, and the room-side supervisory watchdog
+	// tallies.
+	BusFaults           *faultinject.Report `json:"bus_faults,omitempty"`
+	Failovers           int                 `json:"failovers,omitempty"`
+	SupervisionLost     int64               `json:"supervision_lost,omitempty"`
+	SupervisionRestored int64               `json:"supervision_restored,omitempty"`
+	Degraded            bool                `json:"degraded,omitempty"`
+
 	// Policy-monitor columns (absent when Config.Monitor is off).
 	Monitor    *monitor.Stats `json:"monitor,omitempty"`
 	BusDrifts  int64          `json:"bus_drifts,omitempty"`
@@ -52,6 +62,13 @@ type Report struct {
 
 	RoomReports []RoomReport `json:"room_reports"`
 
+	// Building-wide resilience summary (absent without bus faults/standby).
+	BusFaultPlan  string              `json:"bus_fault_plan,omitempty"`
+	BusFaults     *faultinject.Report `json:"bus_faults,omitempty"`
+	Standby       bool                `json:"standby,omitempty"`
+	FailoverRound int                 `json:"failover_round,omitempty"` // 0 = none (rounds are 1-based)
+	Quarantined   []int               `json:"quarantined,omitempty"`
+
 	// Building-wide policy-monitor tallies (absent when the monitor is off).
 	BusDrifts  int64 `json:"bus_drifts,omitempty"`
 	BusRefused int64 `json:"bus_refused,omitempty"`
@@ -62,18 +79,44 @@ type Report struct {
 	Mechanisms  []obs.Mechanism   `json:"mechanisms"`
 }
 
+// ActiveHead is the head-end currently holding the supervisory role: the
+// standby after a takeover, the primary otherwise.
+func (b *Building) ActiveHead() *HeadEnd {
+	if b.Standby != nil && b.Standby.Active() {
+		return b.Standby
+	}
+	return b.Head
+}
+
 // Report snapshots the building.
 func (b *Building) Report() *Report {
-	states := b.Head.RoomStates()
+	head := b.ActiveHead()
+	states := head.RoomStates()
 	rep := &Report{
 		Rooms:         len(b.Rooms),
 		Rounds:        b.round,
-		Setpoint:      b.Head.Setpoint(),
+		Setpoint:      head.Setpoint(),
 		Flagged:       []int{},
 		PollsSent:     b.Head.pollsSent,
 		PollsAnswered: b.Head.pollsAnswered,
 		PollsMissed:   b.Head.pollsMissed,
 		WritesSent:    b.Head.writesSent,
+		Standby:       b.Standby != nil,
+	}
+	if b.Standby != nil {
+		// Poll continuity spans the failover: the building's supervisory
+		// totals are the sum of both head-ends' ledgers.
+		rep.PollsSent += b.Standby.pollsSent
+		rep.PollsAnswered += b.Standby.pollsAnswered
+		rep.PollsMissed += b.Standby.pollsMissed
+		rep.WritesSent += b.Standby.writesSent
+	}
+	if b.failoverRound > 0 {
+		rep.FailoverRound = b.failoverRound
+	}
+	if b.BusInj != nil {
+		rep.BusFaultPlan = b.BusInj.Plan().Name
+		rep.BusFaults = b.BusInj.Report()
 	}
 	var counters [][]obs.CounterSnap
 	var totals [][]obs.EventTotal
@@ -95,6 +138,16 @@ func (b *Building) Report() *Report {
 		}
 		if room.Injector != nil {
 			rr.Faults = room.Injector.Report()
+		}
+		if b.BusInj != nil {
+			rr.BusFaults = b.BusInj.RoomReport(room.Index)
+		}
+		rr.Failovers = b.failovers
+		rr.SupervisionLost = board.Metrics().Counter("supervision_lost_total").Value()
+		rr.SupervisionRestored = board.Metrics().Counter("supervision_restored_total").Value()
+		rr.Degraded = board.Metrics().Gauge("supervision_degraded").Value() != 0
+		if states[i].Quarantined {
+			rep.Quarantined = append(rep.Quarantined, room.Index)
 		}
 		if pm := room.Dep.PolicyMonitor(); pm != nil {
 			stats := pm.Stats()

@@ -46,12 +46,45 @@ const (
 	// KindWebFlood opens Count connections to the web interface at once,
 	// each carrying one request, without ever reading the responses.
 	KindWebFlood Kind = "web-flood"
+
+	// Bus fault kinds act on the building's shared field network rather
+	// than one board, and are applied by the BusInjector at the bus flush
+	// barrier. Target names a bus node ("room02", "bms"); empty targets the
+	// whole bus.
+
+	// KindBusPartition holds every frame and dial touching the target node
+	// for Duration — the link exists but carries nothing until it heals,
+	// when held frames deliver in order.
+	KindBusPartition Kind = "bus-partition"
+	// KindBusDrop silently discards every frame touching the target node
+	// for Duration (dials are refused, like a cut cable with RSTs).
+	KindBusDrop Kind = "bus-drop"
+	// KindBusDelay holds frames touching the target node for Delay of
+	// virtual time before delivering them, for Duration.
+	KindBusDelay Kind = "bus-delay"
+	// KindBusDup delivers every frame touching the target node twice — a
+	// chattering repeater — for Duration.
+	KindBusDup Kind = "bus-dup"
+	// KindHeadEndCrash kills the primary head-end BMS at At: it stops
+	// polling permanently. Recovery is the standby's takeover.
+	KindHeadEndCrash Kind = "headend-crash"
 )
 
 // knownKinds lists every kind for validation, sorted.
 var knownKinds = []Kind{
-	KindDriverCrash, KindDriverHang, KindHeaterFail, KindIPCDelay,
-	KindIPCDrop, KindSensorDrift, KindSensorStuck, KindWebFlood,
+	KindBusDelay, KindBusDrop, KindBusDup, KindBusPartition,
+	KindDriverCrash, KindDriverHang, KindHeadEndCrash, KindHeaterFail,
+	KindIPCDelay, KindIPCDrop, KindSensorDrift, KindSensorStuck, KindWebFlood,
+}
+
+// BusKind reports whether k is a bus-level fault (armed through the
+// BusInjector at the building's flush barrier, not on one board).
+func BusKind(k Kind) bool {
+	switch k {
+	case KindBusPartition, KindBusDrop, KindBusDelay, KindBusDup, KindHeadEndCrash:
+		return true
+	}
+	return false
 }
 
 // Fault is one scheduled fault. At is a virtual-time offset from the instant
@@ -126,6 +159,17 @@ func (p *Plan) Validate() error {
 			if f.Count <= 0 {
 				return fmt.Errorf("faultinject: fault %d: web-flood needs a positive count", i)
 			}
+		case KindBusPartition, KindBusDrop, KindBusDup:
+			if f.Duration <= 0 {
+				return fmt.Errorf("faultinject: fault %d: %s needs a positive duration", i, f.Kind)
+			}
+		case KindBusDelay:
+			if f.Duration <= 0 {
+				return fmt.Errorf("faultinject: fault %d: bus-delay needs a positive duration", i)
+			}
+			if f.Delay <= 0 {
+				return fmt.Errorf("faultinject: fault %d: bus-delay needs a positive delay", i)
+			}
 		}
 	}
 	sort.SliceStable(p.Faults, func(i, j int) bool { return p.Faults[i].At < p.Faults[j].At })
@@ -185,6 +229,28 @@ var builtins = map[string]*Plan{
 	}},
 	"web-flood": {Name: "web-flood", Faults: []Fault{
 		{At: 40 * time.Minute, Kind: KindWebFlood, Count: 32},
+	}},
+	"bus-partition": {Name: "bus-partition", Faults: []Fault{
+		{At: 40 * time.Minute, Kind: KindBusPartition, Target: "room01", Duration: 10 * time.Minute},
+	}},
+	"bus-drop": {Name: "bus-drop", Faults: []Fault{
+		{At: 40 * time.Minute, Kind: KindBusDrop, Target: "room01", Duration: 5 * time.Minute},
+	}},
+	"bus-delay": {Name: "bus-delay", Faults: []Fault{
+		{At: 40 * time.Minute, Kind: KindBusDelay, Target: "room01", Duration: 5 * time.Minute, Delay: 3 * time.Second},
+	}},
+	"bus-dup": {Name: "bus-dup", Faults: []Fault{
+		{At: 40 * time.Minute, Kind: KindBusDup, Target: "room01", Duration: 5 * time.Minute},
+	}},
+	"headend-kill": {Name: "headend-kill", Faults: []Fault{
+		{At: 40 * time.Minute, Kind: KindHeadEndCrash},
+	}},
+	// partition-failover is the E15 plan: one room rides out a bus partition
+	// in degraded mode, then the primary head-end dies and the standby takes
+	// over. Offsets keep the two faults disjoint so MTTR attributes cleanly.
+	"partition-failover": {Name: "partition-failover", Faults: []Fault{
+		{At: 40 * time.Minute, Kind: KindBusPartition, Target: "room01", Duration: 10 * time.Minute},
+		{At: 65 * time.Minute, Kind: KindHeadEndCrash},
 	}},
 }
 

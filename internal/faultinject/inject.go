@@ -1,6 +1,7 @@
 package faultinject
 
 import (
+	"fmt"
 	"strings"
 	"time"
 
@@ -106,6 +107,11 @@ type Injector struct {
 func Arm(b Board, plan *Plan) (*Injector, error) {
 	if err := plan.Validate(); err != nil {
 		return nil, err
+	}
+	for i, f := range plan.Faults {
+		if BusKind(f.Kind) {
+			return nil, fmt.Errorf("faultinject: fault %d: %s is a bus-level fault; arm it through NewBusInjector, not on a board", i, f.Kind)
+		}
 	}
 	inj := &Injector{board: b, plan: plan, armed: b.Clock().Now()}
 	inj.outcomes = make([]FaultOutcome, len(plan.Faults))

@@ -12,6 +12,7 @@ import (
 
 	"mkbas/internal/attack"
 	"mkbas/internal/bas"
+	"mkbas/internal/faultinject"
 	"mkbas/internal/perf"
 )
 
@@ -105,7 +106,12 @@ type BuildingSweep struct {
 	Secures []SecurePattern `json:"secures"`
 	Attacks []bool          `json:"attacks"`
 	// Monitors is the policy-monitor axis (E12): "off", "on", "demote".
-	Monitors []string      `json:"monitors,omitempty"`
+	Monitors []string `json:"monitors,omitempty"`
+	// BusFaults is the bus-level fault-plan axis (E15): builtin plan names,
+	// "" (or "none") for the unfaulted baseline.
+	BusFaults []string `json:"bus_faults,omitempty"`
+	// Standbys is the standby head-end axis (E15).
+	Standbys []bool        `json:"standbys,omitempty"`
 	Settle   time.Duration `json:"settle,omitempty"`
 	Window   time.Duration `json:"window,omitempty"`
 }
@@ -125,6 +131,12 @@ func (s BuildingSweep) withDefaults() BuildingSweep {
 	}
 	if len(s.Monitors) == 0 {
 		s.Monitors = []string{MonitorOff}
+	}
+	if len(s.BusFaults) == 0 {
+		s.BusFaults = []string{""}
+	}
+	if len(s.Standbys) == 0 {
+		s.Standbys = []bool{false}
 	}
 	return s
 }
@@ -154,6 +166,14 @@ func (s BuildingSweep) Validate() error {
 			return fmt.Errorf("lab: unknown monitor mode %q (known: off, on, demote)", m)
 		}
 	}
+	for _, plan := range s.BusFaults {
+		if plan == "" {
+			continue
+		}
+		if _, err := faultinject.Lookup(plan); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -167,6 +187,10 @@ type BuildingCase struct {
 	// Monitor is "" (off), MonitorOn, or MonitorDemote — kept empty for the
 	// off case so pre-monitor campaign reports stay byte-identical.
 	Monitor string `json:"monitor,omitempty"`
+	// BusFaults and Standby are the resilience axes (E15), both zero for
+	// pre-resilience campaigns so their reports stay byte-identical.
+	BusFaults string `json:"bus_faults,omitempty"`
+	Standby   bool   `json:"standby,omitempty"`
 }
 
 // String renders the case compactly for logs.
@@ -174,6 +198,12 @@ func (c BuildingCase) String() string {
 	s := fmt.Sprintf("%d: rooms=%d mix=%s secure=%s attack=%v", c.Shard, c.Rooms, c.Mix, c.Secure, c.Attack)
 	if c.Monitor != "" && c.Monitor != MonitorOff {
 		s += " monitor=" + c.Monitor
+	}
+	if c.BusFaults != "" {
+		s += " busfaults=" + c.BusFaults
+	}
+	if c.Standby {
+		s += " standby=true"
 	}
 	return s
 }
@@ -190,15 +220,17 @@ func (c BuildingCase) Spec(settle, window time.Duration) (attack.BuildingSpec, e
 		return attack.BuildingSpec{}, err
 	}
 	return attack.BuildingSpec{
-		Rooms:   c.Rooms,
-		Mix:     mix,
-		Secure:  secure,
-		Attack:  c.Attack,
-		Settle:  settle,
-		Window:  window,
-		Workers: 1,
-		Monitor: c.Monitor == MonitorOn,
-		Demote:  c.Monitor == MonitorDemote,
+		Rooms:     c.Rooms,
+		Mix:       mix,
+		Secure:    secure,
+		Attack:    c.Attack,
+		Settle:    settle,
+		Window:    window,
+		Workers:   1,
+		Monitor:   c.Monitor == MonitorOn,
+		Demote:    c.Monitor == MonitorDemote,
+		BusFaults: c.BusFaults,
+		Standby:   c.Standby,
 	}, nil
 }
 
@@ -215,14 +247,20 @@ func (s BuildingSweep) Expand() []BuildingCase {
 						if mon == MonitorOff {
 							mon = ""
 						}
-						cases = append(cases, BuildingCase{
-							Shard:   len(cases),
-							Rooms:   rooms,
-							Mix:     mix,
-							Secure:  secure,
-							Attack:  att,
-							Monitor: mon,
-						})
+						for _, plan := range s.BusFaults {
+							for _, standby := range s.Standbys {
+								cases = append(cases, BuildingCase{
+									Shard:     len(cases),
+									Rooms:     rooms,
+									Mix:       mix,
+									Secure:    secure,
+									Attack:    att,
+									Monitor:   mon,
+									BusFaults: plan,
+									Standby:   standby,
+								})
+							}
+						}
 					}
 				}
 			}
@@ -300,6 +338,26 @@ func ParseBuildingSweep(spec string) (BuildingSweep, error) {
 					s.Monitors = append(s.Monitors, v)
 				}
 			}
+		case "busfaults":
+			for _, v := range vals {
+				if v == "none" {
+					v = ""
+				}
+				s.BusFaults = append(s.BusFaults, v)
+			}
+		case "standby":
+			for _, v := range vals {
+				switch v {
+				case "on":
+					s.Standbys = append(s.Standbys, true)
+				case "off":
+					s.Standbys = append(s.Standbys, false)
+				case "both":
+					s.Standbys = append(s.Standbys, false, true)
+				default:
+					return BuildingSweep{}, fmt.Errorf("lab: standby value %q (want on, off, or both)", v)
+				}
+			}
 		case "settle", "window":
 			if len(vals) != 1 {
 				return BuildingSweep{}, fmt.Errorf("lab: %s takes one duration", axis)
@@ -314,7 +372,7 @@ func ParseBuildingSweep(spec string) (BuildingSweep, error) {
 				s.Window = d
 			}
 		default:
-			return BuildingSweep{}, fmt.Errorf("lab: unknown building sweep axis %q (known: attack, mix, monitor, rooms, secure, settle, window)", axis)
+			return BuildingSweep{}, fmt.Errorf("lab: unknown building sweep axis %q (known: attack, busfaults, mix, monitor, rooms, secure, settle, standby, window)", axis)
 		}
 	}
 	s.Rooms = dedupInts(s.Rooms)
@@ -322,6 +380,8 @@ func ParseBuildingSweep(spec string) (BuildingSweep, error) {
 	s.Secures = dedup(s.Secures)
 	s.Attacks = dedup(s.Attacks)
 	s.Monitors = dedup(s.Monitors)
+	s.BusFaults = dedup(s.BusFaults)
+	s.Standbys = dedup(s.Standbys)
 	if err := s.Validate(); err != nil {
 		return BuildingSweep{}, err
 	}

@@ -34,6 +34,10 @@ const (
 	// (internal/polcheck/monitor): observed traffic diffed against the
 	// certified static access graph, not a kernel mediation decision.
 	MechPolicyMonitor Mechanism = "policy-monitor"
+	// MechResilience marks events produced by the building resilience layer:
+	// supervision-loss detection in room gateways, head-end failover, and
+	// degraded-mode transitions — availability machinery, not mediation.
+	MechResilience Mechanism = "resilience"
 )
 
 // EventKind classifies a security event.
@@ -80,6 +84,19 @@ const (
 	// EventOriginDemoted records the monitor shrinking a subject's origin
 	// label (e.g. web-origin -> untrusted after a compromise verdict).
 	EventOriginDemoted EventKind = "origin-demoted"
+	// EventSupervisionLost is a room gateway entering degraded mode: no
+	// verified supervisory traffic for the staleness window, so the room
+	// falls back to its last-committed setpoint and local failsafe rules.
+	EventSupervisionLost EventKind = "supervision-lost"
+	// EventSupervisionRestored is a degraded room re-converging: verified
+	// supervisory traffic reached the gateway again.
+	EventSupervisionRestored EventKind = "supervision-restored"
+	// EventHeadEndFailover is the standby head-end taking over after the
+	// primary went silent (stamped on every room's board at takeover).
+	EventHeadEndFailover EventKind = "headend-failover"
+	// EventRoomQuarantined is the head-end refusing to poll a room whose
+	// frames repeatedly failed secure-proxy verification.
+	EventRoomQuarantined EventKind = "room-quarantined"
 )
 
 // SecurityEvent is one mediation decision in the platform-neutral schema:

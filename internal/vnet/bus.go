@@ -67,10 +67,26 @@ func (n *busNode) putChunk(c []byte) {
 type Bus struct {
 	nodes []*busNode
 	tap   func(TapFrame)
+	taps  []func(TapFrame)
 	guard func(from, to NodeID, port Port) bool
+	fault func(from, to NodeID, port Port, age int) BusFault
 	// phFlush books host time spent inside the two-phase delivery barrier;
 	// nil (discarding) until Instrument.
 	phFlush *perf.Phase
+}
+
+// BusFault is the fault hook's verdict on one queued frame or deferred dial.
+// The zero value delivers normally. Hold wins over Drop, Drop over Dup.
+type BusFault struct {
+	// Drop discards the frame (or refuses the dial) — a lossy link.
+	Drop bool
+	// Hold keeps the frame (or dial) queued across this Flush; the hook is
+	// consulted again next barrier with an incremented age. Partitions and
+	// delays are expressed as Hold windows.
+	Hold bool
+	// Dup delivers the frame twice, back to back — a chattering repeater.
+	// Meaningless for dials.
+	Dup bool
 }
 
 // TapFrame is one delivered chunk, as seen by a bus tap.
@@ -111,6 +127,30 @@ func (b *Bus) Instrument(p *perf.Profiler) { b.phFlush = p.HotPhase("bus.flush")
 // replay. Only one tap is supported; nil removes it.
 func (b *Bus) SetTap(fn func(TapFrame)) { b.tap = fn }
 
+// AddTap appends a system tap that observes every delivered chunk alongside
+// the SetTap tap. System taps are how legitimate passive equipment (the
+// standby head-end watching the primary's traffic) listens on the shared
+// medium without displacing an attacker's SetTap. Taps cannot be removed;
+// all taps share one payload copy per delivered chunk.
+func (b *Bus) AddTap(fn func(TapFrame)) {
+	if fn != nil {
+		b.taps = append(b.taps, fn)
+	}
+}
+
+// SetFaultHook installs fn as the bus fault model, consulted at every Flush
+// for each deferred dial and each queued frame (age = how many barriers the
+// item has already been held across, starting at 0). The hook runs on the
+// coordinator goroutine at the barrier — never on board goroutines — so
+// fault plans keyed to the building's virtual round are deterministic at any
+// worker count. Frame order within a connection is FIFO-pinned: once one
+// frame Holds, every later frame on that connection holds too, regardless of
+// its own verdict. A Hold on the deferred dial postpones the whole
+// connection (nothing sends before the dial); a Drop on the dial refuses the
+// connection exactly like a missing listener. Only one hook is supported;
+// nil removes it and restores the zero-cost delivery path.
+func (b *Bus) SetFaultHook(fn func(from, to NodeID, port Port, age int) BusFault) { b.fault = fn }
+
 // SetDialGuard installs fn as the bus admission policy: each queued dial is
 // submitted to it once, at the Flush that would perform the deferred stack
 // dial, and a false return refuses the connection exactly as a missing
@@ -150,7 +190,11 @@ func (b *Bus) Flush() {
 	for _, node := range b.nodes {
 		live := node.conns[:0]
 		for _, c := range node.conns {
-			b.flushConn(node, c)
+			if b.fault == nil {
+				b.flushConn(node, c)
+			} else {
+				b.flushConnFaulty(node, c)
+			}
 			if c.refused || c.done {
 				continue
 			}
@@ -195,10 +239,8 @@ func (b *Bus) flushConn(node *busNode, c *BusConn) {
 			c.eof = true
 			break
 		}
-		if b.tap != nil {
-			cp := make([]byte, len(chunk))
-			copy(cp, chunk)
-			b.tap(TapFrame{From: c.from, To: c.to, Port: c.port, Payload: cp})
+		if b.tap != nil || len(b.taps) > 0 {
+			b.deliverTap(c.from, c.to, c.port, chunk)
 		}
 	}
 	c.recycleOutbox(node)
@@ -219,6 +261,144 @@ func (b *Bus) flushConn(node *busNode, c *BusConn) {
 	}
 }
 
+// deliverTap fans one delivered chunk out to every installed tap. All taps
+// share a single payload copy; taps may retain it.
+func (b *Bus) deliverTap(from, to NodeID, port Port, chunk []byte) {
+	cp := make([]byte, len(chunk))
+	copy(cp, chunk)
+	f := TapFrame{From: from, To: to, Port: port, Payload: cp}
+	if b.tap != nil {
+		b.tap(f)
+	}
+	for _, fn := range b.taps {
+		fn(f)
+	}
+}
+
+// flushConnFaulty is flushConn with the fault hook interposed. Frames move
+// from the outbox into a held queue carrying per-frame ages; at each barrier
+// the hook adjudicates them oldest first, FIFO-pinned (the first Hold blocks
+// everything behind it). A connection torn down by Close while the hook
+// holds its frames discards them — the frames were in flight on a faulted
+// link when the endpoint gave up, so they are lost, not delivered late.
+func (b *Bus) flushConnFaulty(node *busNode, c *BusConn) {
+	if c.refused || c.done {
+		c.recycleHeld(node)
+		c.recycleOutbox(node)
+		return
+	}
+	if c.host == nil {
+		v := b.fault(c.from, c.to, c.port, c.dialAge)
+		switch {
+		case v.Hold:
+			c.dialAge++
+			if c.closeReq {
+				// The dialer hung up before the faulted link ever carried the
+				// dial: nothing to tear down on the far side.
+				c.recycleHeld(node)
+				c.recycleOutbox(node)
+				c.done = true
+			}
+			return
+		case v.Drop:
+			c.refused = true
+			c.recycleHeld(node)
+			c.recycleOutbox(node)
+			return
+		}
+		// The fault hook released the dial; the admission guard runs now, at
+		// the flush that actually performs it.
+		if b.guard != nil && !b.guard(c.from, c.to, c.port) {
+			c.refused = true
+			c.recycleHeld(node)
+			c.recycleOutbox(node)
+			return
+		}
+		target := b.nodes[c.to]
+		if target.stack == nil {
+			c.refused = true
+			c.recycleHeld(node)
+			c.recycleOutbox(node)
+			return
+		}
+		host, err := target.stack.Dial(c.port)
+		if err != nil {
+			c.refused = true
+			c.recycleHeld(node)
+			c.recycleOutbox(node)
+			return
+		}
+		c.host = host
+	}
+	for _, chunk := range c.outbox {
+		c.held = append(c.held, chunk)
+		c.heldAge = append(c.heldAge, 0)
+	}
+	for i := range c.outbox {
+		c.outbox[i] = nil
+	}
+	c.outbox = c.outbox[:0]
+	kept := 0
+	blocked := false
+	for i, chunk := range c.held {
+		if c.eof {
+			node.putChunk(chunk)
+			continue
+		}
+		if !blocked {
+			v := b.fault(c.from, c.to, c.port, c.heldAge[i])
+			switch {
+			case v.Hold:
+				blocked = true
+			case v.Drop:
+				node.putChunk(chunk)
+				continue
+			default:
+				if err := c.host.Write(chunk); err != nil {
+					c.eof = true
+					node.putChunk(chunk)
+					continue
+				}
+				if b.tap != nil || len(b.taps) > 0 {
+					b.deliverTap(c.from, c.to, c.port, chunk)
+				}
+				if v.Dup {
+					if err := c.host.Write(chunk); err != nil {
+						c.eof = true
+					} else if b.tap != nil || len(b.taps) > 0 {
+						b.deliverTap(c.from, c.to, c.port, chunk)
+					}
+				}
+				node.putChunk(chunk)
+				continue
+			}
+		}
+		c.held[kept] = chunk
+		c.heldAge[kept] = c.heldAge[i] + 1
+		kept++
+	}
+	for i := kept; i < len(c.held); i++ {
+		c.held[i] = nil
+	}
+	c.held = c.held[:kept]
+	c.heldAge = c.heldAge[:kept]
+	if data := c.host.ReadAll(); len(data) > 0 {
+		if len(c.inbox) == 0 {
+			c.inbox = data
+		} else {
+			c.inbox = append(c.inbox, data...)
+		}
+	}
+	if c.host.Closed() {
+		c.eof = true
+	}
+	if c.closeReq {
+		c.recycleHeld(node)
+		c.host.Close()
+		c.done = true
+	}
+}
+
 // BusConn is one node's handle on a cross-board connection. All methods
 // must be called from the owning node's goroutine (see Bus.Dial); state
 // transitions driven by the far side land at the next Flush.
@@ -234,6 +414,13 @@ type BusConn struct {
 	eof      bool
 	closeReq bool
 	done     bool
+
+	// Fault-hook state (untouched when no hook is installed): frames held
+	// across barriers with their per-frame ages, and how many barriers the
+	// deferred dial has been held.
+	held    [][]byte
+	heldAge []int
+	dialAge int
 }
 
 // Write queues one chunk for delivery at the next Flush. The bytes are
@@ -261,6 +448,17 @@ func (c *BusConn) recycleOutbox(node *busNode) {
 		c.outbox[i] = nil
 	}
 	c.outbox = c.outbox[:0]
+}
+
+// recycleHeld returns fault-held chunks to the owning node's free list —
+// frames lost on a faulted link when their connection died.
+func (c *BusConn) recycleHeld(node *busNode) {
+	for i, chunk := range c.held {
+		node.putChunk(chunk)
+		c.held[i] = nil
+	}
+	c.held = c.held[:0]
+	c.heldAge = c.heldAge[:0]
 }
 
 // ReadAll drains everything the far side has sent up to the last Flush.

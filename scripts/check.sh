@@ -90,6 +90,20 @@ e12='-rooms 6 -mix paper -secure even -settle 10m -window 15m -demote'
 go run ./cmd/basbuilding $e12 -workers 1 -json >"$out1"
 go run ./cmd/basbuilding $e12 -workers 8 -json >"$out2"
 cmp "$out1" "$out2"
+# E15 resilience golden (DESIGN.md §15): the partitioned building with a
+# standby head-end — bus faults adjudicated at the flush barrier, failover
+# round derived from bus silence — must stay byte-identical at any worker
+# count.
+e15='-rooms 16 -attack=false -busfaults partition-failover -standby -window 90m'
+go run ./cmd/basbuilding $e15 -workers 1 -json >"$out1"
+go run ./cmd/basbuilding $e15 -workers 8 -json >"$out2"
+cmp "$out1" "$out2"
+# E15 failover smoke: the standby's takeover is a pure function of virtual
+# time — it must land on round 3976 (silence detection 90 rounds after the
+# 65-minute head-end crash, on the 16-room stagger).
+go run ./cmd/basbuilding $e15 >"$out1"
+grep -q 'standby took over at round 3976' "$out1"
+grep -q 'bus fault plan "partition-failover": 2 injected, 2 recovered, 0 unrecovered' "$out1"
 # Bench guard: the three BENCH records re-measured above must not collapse
 # below the checked-in baselines on board_steps_per_sec. The tolerance
 # still absorbs CI jitter (0.4 = fail below 60% of baseline) but was
