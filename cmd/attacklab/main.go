@@ -8,6 +8,7 @@
 //	attacklab -platforms all          # include the ablation platforms
 //	attacklab -actions kill-controller -root
 //	attacklab -action fork-bomb -platforms minix3-acm -quota 5   # E8
+//	attacklab -actions api [-demote]  # E16 tenant-tier attack matrix
 package main
 
 import (
@@ -28,9 +29,10 @@ func main() {
 
 func run() error {
 	platformsFlag := flag.String("platforms", "paper", `platforms: "paper" (linux, minix3-acm, sel4), "all" (adds linux-hardened, minix3-vanilla), or a comma list`)
-	actionsFlag := flag.String("actions", "all", `actions: "all" or comma list of spoof-sensor, command-actuators, kill-controller, enumerate-handles, fork-bomb`)
+	actionsFlag := flag.String("actions", "all", `actions: "all" (board attacks), "api" (tenant-tier attacks: api-token-replay, api-role-escalation, api-vendor-pivot, api-flood), or a comma list of either family`)
 	rootFlag := flag.String("model", "both", `attacker model: "user", "root", or "both"`)
 	quota := flag.Int("quota", 0, "fork quota for MINIX (0 = no quota; E8 uses 5)")
+	demote := flag.Bool("demote", false, "enable incident response on API attacks: revoke the stolen credential and demote its origin at the attack window's open (E16's third column)")
 	verbose := flag.Bool("v", false, "print per-run summaries")
 	flag.Parse()
 
@@ -56,16 +58,30 @@ func run() error {
 	}
 
 	for _, root := range models {
+		allAPI := true
+		for _, a := range actions {
+			if !attack.IsAPIAction(a) {
+				allAPI = false
+			}
+		}
 		label := "attacker model 1: arbitrary code execution in the web interface"
 		if root {
 			label = "attacker model 2: arbitrary code execution + root privilege"
+		}
+		if allAPI {
+			label = "attacker model 1: stolen occupant/vendor credential, outside the building"
+			if root {
+				label = "attacker model 2: stolen facility-manager credential, outside the building"
+			}
 		}
 		fmt.Printf("=== %s ===\n", label)
 		var reports []*attack.Report
 		for _, p := range platforms {
 			for _, a := range actions {
 				spec := attack.Spec{Platform: p, Action: a, Root: root}
-				if p == attack.PlatformMinix || p == attack.PlatformMinixVanilla {
+				if attack.IsAPIAction(a) {
+					spec.Demote = *demote
+				} else if p == attack.PlatformMinix || p == attack.PlatformMinixVanilla {
 					spec.ForkQuota = *quota
 				}
 				report, execErr := attack.Execute(spec)
@@ -121,12 +137,18 @@ func parsePlatforms(s string) ([]attack.Platform, error) {
 }
 
 func parseActions(s string) ([]attack.Action, error) {
-	if s == "all" {
+	switch s {
+	case "all":
 		return attack.AllActions(), nil
+	case "api":
+		return attack.AllAPIActions(), nil
 	}
 	var out []attack.Action
 	known := make(map[attack.Action]bool)
 	for _, a := range attack.AllActions() {
+		known[a] = true
+	}
+	for _, a := range attack.AllAPIActions() {
 		known[a] = true
 	}
 	for _, part := range strings.Split(s, ",") {

@@ -51,8 +51,9 @@ func run() error {
 	faultsFlag := flag.String("faults", "", `comma list of room=plan fault assignments, e.g. "2=crash-sensor"`)
 	busFaults := flag.String("busfaults", "", `bus-level fault plan name, e.g. "bus-partition" or "partition-failover"`)
 	standby := flag.Bool("standby", false, "attach a standby head-end that takes over when the primary goes silent")
+	api := flag.Bool("api", false, "attach the building-scale tenant API tier with deterministic per-round occupant traffic (E16)")
 	seed := flag.Int64("seed", 0, "base scenario seed (room i runs seed+i)")
-	sweepFlag := flag.String("sweep", "", `building campaign instead of a single run: axis=values clauses over rooms, mix, secure, attack, monitor, busfaults, standby (plus settle=, window=)`)
+	sweepFlag := flag.String("sweep", "", `building campaign instead of a single run: axis=values clauses over rooms, mix, secure, attack, monitor, busfaults, standby, api (plus settle=, window=)`)
 	var out cli.Output
 	var pool cli.Pool
 	var guard cli.Guard
@@ -80,6 +81,7 @@ func run() error {
 		Seed:      *seed,
 		BusFaults: *busFaults,
 		Standby:   *standby,
+		TenantAPI: *api,
 		// The raw flag, not MonitorOn(): the spec is embedded in the JSON
 		// report verbatim, and the Demote-implies-Monitor promotion happens
 		// inside ExecuteBuilding.

@@ -27,6 +27,7 @@ import (
 	"mkbas/internal/cli"
 	"mkbas/internal/faultinject"
 	"mkbas/internal/perf"
+	"mkbas/internal/tenantapi"
 )
 
 func main() {
@@ -43,6 +44,7 @@ func run() error {
 	withEvents := flag.Bool("events", true, "embed the retained security events in the report")
 	chromePath := flag.String("chrome", "", `write the IPC spans as Chrome trace-event JSON to this file ("-" = stdout)`)
 	promOut := flag.Bool("prom", false, "print metrics in Prometheus text exposition instead of a report")
+	apiN := flag.Int("api", 0, "attach the tenant API tier and drive this many deterministic occupant/manager/vendor requests across the run (adds api_* counters and latency histograms to the report)")
 	action := flag.String("attack", "", "replay an E1 attack instead of the plain scenario (spoof-sensor, command-actuators, kill-controller, enumerate-handles, fork-bomb)")
 	root := flag.Bool("root", false, "attack with the root attacker model")
 	faults := flag.String("faults", "", "arm a builtin fault-injection plan (E10 chaos), e.g. crash-sensor")
@@ -62,7 +64,7 @@ func run() error {
 	cfg := bas.DefaultScenario()
 	tb := bas.NewTestbed(cfg)
 	defer tb.Machine.Shutdown()
-	dep, err := deploy(tb, cfg, *platform, guard, prof.Profiler())
+	dep, err := deploy(tb, cfg, *platform, guard, *apiN > 0, prof.Profiler())
 	if err != nil {
 		return err
 	}
@@ -82,7 +84,17 @@ func run() error {
 			return err
 		}
 	}
-	tb.Machine.Run(*duration)
+	var tier *bas.TenantTier
+	if *apiN > 0 {
+		// The temperature-control testbed is one room; size the directory to
+		// match so own-room reads resolve.
+		tier = bas.AttachTenantAPI(tb,
+			tenantapi.DirectoryConfig{Rooms: 1, Occupants: 8, Managers: 2, Vendors: 2},
+			tenantapi.GatewayConfig{})
+		driveAPI(tb, tier, *apiN, *duration)
+	} else {
+		tb.Machine.Run(*duration)
+	}
 	if err := prof.Finish(); err != nil {
 		return err
 	}
@@ -120,6 +132,9 @@ func run() error {
 		return err
 	}
 	fmt.Print(report.Text())
+	if tier != nil {
+		fmt.Println(tier)
+	}
 	if pm := dep.PolicyMonitor(); pm != nil {
 		stats := pm.Stats()
 		fmt.Printf("policy monitor: %d deliveries observed, %d policy drifts, %d origin drifts, %d demotions\n",
@@ -190,10 +205,57 @@ func runAttack(platform string, action attack.Action, root, jsonOut bool, faults
 	return nil
 }
 
-func deploy(tb *bas.Testbed, cfg bas.ScenarioConfig, platform string, guard cli.Guard, prof *perf.Profiler) (bas.Deployment, error) {
+// driveAPI interleaves deterministic tenant requests with the scenario run:
+// the duration splits into slices, and each slice's batch executes on the
+// harness thread at the virtual instant where the slice ended. The mix is a
+// fixed splitmix64 stream, so the same flags still produce identical bytes.
+func driveAPI(tb *bas.Testbed, tier *bas.TenantTier, n int, duration time.Duration) {
+	const slices = 16
+	state := uint64(0xE9)
+	next := func() uint64 {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	var req tenantapi.Request
+	var resp tenantapi.Response
+	done := 0
+	for s := 0; s < slices; s++ {
+		tb.Machine.Run(duration / slices)
+		batch := n / slices
+		if s == slices-1 {
+			batch = n - done
+		}
+		for k := 0; k < batch; k++ {
+			p := tier.Directory.At(int(next() % uint64(tier.Directory.Len())))
+			room := p.Room
+			if room < 0 { // managers and vendors are building-scoped
+				room = 0
+			}
+			req = tenantapi.Request{Token: p.Token, Route: tenantapi.RouteStatus, Room: room}
+			switch next() % 10 {
+			case 0:
+				req.Route = tenantapi.RouteSetpoint
+				req.Value = 20 + float64(next()%60)/10
+			case 1:
+				req.Route = tenantapi.RouteDiagnostics
+			case 2:
+				req.Route = tenantapi.RouteWhoAmI
+			case 3:
+				req.Token = "tok-ffffffffffffffff"
+			}
+			tier.Serve(&req, &resp)
+		}
+		done += batch
+	}
+}
+
+func deploy(tb *bas.Testbed, cfg bas.ScenarioConfig, platform string, guard cli.Guard, api bool, prof *perf.Profiler) (bas.Deployment, error) {
 	p, err := cli.ParsePlatform(platform)
 	if err != nil {
 		return nil, err
 	}
-	return bas.Deploy(p, tb, cfg, bas.DeployOptions{Recovery: guard.Recovery, Monitor: guard.MonitorOn(), Profiler: prof})
+	return bas.Deploy(p, tb, cfg, bas.DeployOptions{Recovery: guard.Recovery, Monitor: guard.MonitorOn(), TenantAPI: api, Profiler: prof})
 }

@@ -37,7 +37,7 @@ func main() {
 func run() error {
 	baselines := flag.String("baselines", "scripts/bench_baselines", "directory holding the checked-in baseline records")
 	fresh := flag.String("fresh", ".", "directory holding the freshly recorded records")
-	files := flag.String("files", "BENCH_lab.json,BENCH_faults.json,BENCH_building.json", "comma list of record file names to compare")
+	files := flag.String("files", "BENCH_lab.json,BENCH_faults.json,BENCH_building.json,BENCH_api.json", "comma list of record file names to compare")
 	tolerance := flag.Float64("tolerance", 0.5, "allowed fractional throughput loss before failing (0.5 = fail below half the baseline rate)")
 	flag.Parse()
 
@@ -69,7 +69,7 @@ func run() error {
 			verdict = "FAIL"
 			failed++
 		}
-		line := fmt.Sprintf("%-4s %-22s fresh %10.1f baseline %10.1f board-steps/s", verdict, res.Name, res.FreshBest, res.BaselineBest)
+		line := fmt.Sprintf("%-4s %-22s fresh %10.1f baseline %10.1f %s", verdict, res.Name, res.FreshBest, res.BaselineBest, res.Unit)
 		if res.Ratio > 0 {
 			line += fmt.Sprintf("  ratio %.2f", res.Ratio)
 		}

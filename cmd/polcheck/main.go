@@ -65,6 +65,7 @@ func run() error {
 	runFor := flag.Duration("run", 2*time.Minute, "virtual time to run the deployment for -audit")
 	strict := flag.Bool("strict", false, "with -audit: exit nonzero on unused grants outside the -allow allowlist")
 	allowPath := flag.String("allow", "", "allowlist for -audit -strict: one accepted unused_grant(...) check per line, # comments")
+	tenant := flag.Bool("tenant", false, "include the tenant-API-gateway-extended policy: adds the minix-acm-tenant static case and audits the deployment under the extended matrix")
 	flag.Parse()
 
 	props := bas.ScenarioProperties()
@@ -90,7 +91,7 @@ func run() error {
 		cases = []platformCase{{label: g.Platform, graph: g, expectPass: true}}
 	case *scenario == "tempcontrol":
 		var err error
-		cases, err = tempcontrolCases()
+		cases, err = tempcontrolCases(*tenant)
 		if err != nil {
 			return err
 		}
@@ -128,7 +129,7 @@ func run() error {
 	}
 
 	if *audit {
-		if err := runAudit(*runFor, *jsonOut, *strict, *allowPath); err != nil {
+		if err := runAudit(*runFor, *jsonOut, *strict, *allowPath, *tenant); err != nil {
 			return err
 		}
 	}
@@ -149,7 +150,7 @@ func run() error {
 // properties; the Linux same-account and root-escalated deployments violate
 // them; the hardened unique-account deployment passes statically until root
 // bypasses DAC.
-func tempcontrolCases() ([]platformCase, error) {
+func tempcontrolCases(tenant bool) ([]platformCase, error) {
 	cfg := bas.DefaultScenario()
 	spec, err := camkes.GenerateSpec(bas.ScenarioAssembly(cfg, nil))
 	if err != nil {
@@ -162,14 +163,24 @@ func tempcontrolCases() ([]platformCase, error) {
 	}
 	hardened := dac("linux-dac-hardened", true, false)
 	hardened.expectPass = true
-	return []platformCase{
+	cases := []platformCase{
 		{label: "minix-acm", graph: polcheck.FromPolicy(core.ScenarioPolicy()), expectPass: true},
 		{label: "sel4-capdl", graph: polcheck.FromCapDL(spec), expectPass: true},
 		dac("linux-dac-default", false, false),
 		dac("linux-dac-root", false, true),
 		hardened,
 		dac("linux-dac-hardened-root", true, true),
-	}, nil
+	}
+	if tenant {
+		// The tenant-gateway-extended matrix must satisfy the same property
+		// set: the gateway's in-band grants do not open web→plant paths.
+		cases = append(cases, platformCase{
+			label:      "minix-acm-tenant",
+			graph:      polcheck.FromPolicy(core.ScenarioPolicyWithTenantGateway()),
+			expectPass: true,
+		})
+	}
+	return cases, nil
 }
 
 // aadlGraph compiles an AADL model and normalises its generated matrix.
@@ -207,10 +218,19 @@ func aadlGraph(path, system string) (*polcheck.Graph, error) {
 // unused_grant(...) check), and allowlist entries the audit no longer
 // produces are themselves errors — the allowlist must shrink with the
 // policy, or it rots into a bypass.
-func runAudit(runFor time.Duration, jsonOut, strict bool, allowPath string) error {
+func runAudit(runFor time.Duration, jsonOut, strict bool, allowPath string, tenant bool) error {
 	cfg := bas.DefaultScenario()
 	tb := bas.NewTestbed(cfg)
 	policy := core.ScenarioPolicy()
+	label := "minix scenario"
+	if tenant {
+		// Audit under the tenant-gateway-extended matrix: the gateway is a
+		// host-side subject that never performs board IPC itself, so its
+		// grants audit as unused by construction — the allowlist records the
+		// rationale for each one.
+		policy = core.ScenarioPolicyWithTenantGateway()
+		label = "minix scenario (tenant-gateway matrix)"
+	}
 	if _, err := bas.Deploy(bas.PlatformMinix, tb, cfg, bas.DeployOptions{Policy: policy}); err != nil {
 		return err
 	}
@@ -229,8 +249,8 @@ func runAudit(runFor time.Duration, jsonOut, strict bool, allowPath string) erro
 		}
 		fmt.Println(string(out))
 	} else {
-		fmt.Printf("least-privilege audit: minix scenario, %s of virtual time over %d slices, %d unused grant(s)\n",
-			runFor, slices, len(findings))
+		fmt.Printf("least-privilege audit: %s, %s of virtual time over %d slices, %d unused grant(s)\n",
+			label, runFor, slices, len(findings))
 		for _, f := range findings {
 			fmt.Println(f.String())
 		}

@@ -227,6 +227,9 @@ func Execute(spec Spec) (*Report, error) {
 // cfg — the entry point parameter sweeps use to vary plant physics and
 // controller tuning per case.
 func ExecuteScenario(spec Spec, cfg bas.ScenarioConfig) (*Report, error) {
+	if IsAPIAction(spec.Action) {
+		return executeAPIScenario(spec, cfg)
+	}
 	tb := bas.NewTestbed(cfg)
 	defer tb.Machine.Shutdown()
 

@@ -55,6 +55,9 @@ type BuildingSpec struct {
 	BusFaults string `json:"bus_faults,omitempty"`
 	// Standby attaches the standby head-end (building.Config.Standby).
 	Standby bool `json:"standby,omitempty"`
+	// TenantAPI attaches the building-scale tenant API tier with its
+	// deterministic per-round occupant traffic (building.Config.TenantAPI).
+	TenantAPI bool `json:"tenant_api,omitempty"`
 	// Monitor attaches the online policy monitor to every board and arms the
 	// bus dial guard in observe-only mode (building.Config.Monitor).
 	Monitor bool `json:"monitor,omitempty"`
@@ -364,6 +367,7 @@ func ExecuteBuilding(spec BuildingSpec) (*BuildingReport, error) {
 		Faults:    spec.Faults,
 		BusFaults: spec.BusFaults,
 		Standby:   spec.Standby,
+		TenantAPI: spec.TenantAPI,
 		Monitor:   spec.Monitor || spec.Demote,
 		Demote:    spec.Demote,
 		Profiler:  spec.Profiler,

@@ -141,6 +141,15 @@ type DeployOptions struct {
 	// BACnet adds the field-bus gateway process so the board can serve a
 	// building's supervisory network. All platforms honour it.
 	BACnet BACnetOptions
+	// TenantAPI provisions the board-side identity of the occupant-scale
+	// tenant API tier: MINIX platforms select the tenant-gateway-extended
+	// default policy (the certified ACM row the gateway's setpoint writes
+	// and status polls are mediated under), and the Linux monitor graphs
+	// gain the gateway's hardened account so tenant traffic is verified
+	// against the certified shape. The tier itself (sessions, RBAC, rate
+	// limits) runs host-side in internal/tenantapi and fronts the board
+	// through the web interface — this option certifies the board half.
+	TenantAPI bool
 	// Monitor attaches the online policy monitor: every IPC delivery the
 	// kernel records is checked, in the same virtual tick, against the
 	// certified static access graph for this deployment, and traffic
@@ -222,6 +231,7 @@ func scenarioOrigins() map[string]monitor.Origin {
 		NameHeaterAct:     monitor.OriginBoot,
 		NameAlarmAct:      monitor.OriginBoot,
 		NameBACnetGateway: monitor.OriginBoot,
+		NameTenantGateway: monitor.OriginBoot,
 		NameScenario:      monitor.OriginBoot,
 		NameTempControl:   monitor.OriginOperator,
 		NameWebInterface:  monitor.OriginWeb,

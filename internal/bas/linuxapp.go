@@ -49,6 +49,9 @@ const (
 	// interface: the 0o602/0o604 web-queue modes already admit "other"
 	// writers/readers, so no DAC table change is needed to host it.
 	hardGatewayUID = 106
+	// The tenant API gateway account mirrors the field-bus gateway's
+	// placement: outside the control group, web-queue access only.
+	hardTenantUID = 107
 )
 
 // LinuxOptions configures DeployLinux.
@@ -302,7 +305,7 @@ func deployLinux(platform Platform, tb *Testbed, cfg ScenarioConfig, opts Deploy
 		Testbed:        tb,
 	}
 	if opts.Monitor {
-		dep.attachMonitor(linuxMonitorGraph(opts.BACnet.Enabled), monitor.Options{Profiler: opts.Profiler})
+		dep.attachMonitor(linuxMonitorGraph(opts.BACnet.Enabled, opts.TenantAPI), monitor.Options{Profiler: opts.Profiler})
 	}
 	return dep, nil
 }
@@ -317,11 +320,17 @@ func deployLinux(platform Platform, tb *Testbed, cfg ScenarioConfig, opts Deploy
 // BACnet gateway is deployed it joins the model with its hardened account;
 // like the web interface it sits outside the control group, so the
 // 0o602/0o604 web-queue modes already derive its legitimate edges.
-func linuxMonitorGraph(withGateway bool) *polcheck.Graph {
+// tenant API gateway subject joins the same way, under its own account.
+func linuxMonitorGraph(withGateway, withTenant bool) *polcheck.Graph {
 	model := LinuxScenarioDAC(true, false)
 	if withGateway {
 		model.Subjects = append(model.Subjects, polcheck.DACSubject{
 			Name: NameBACnetGateway, UID: hardGatewayUID, GID: hardWebGID,
+		})
+	}
+	if withTenant {
+		model.Subjects = append(model.Subjects, polcheck.DACSubject{
+			Name: NameTenantGateway, UID: hardTenantUID, GID: hardWebGID,
 		})
 	}
 	return polcheck.FromDAC(model)

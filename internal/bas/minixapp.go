@@ -96,11 +96,18 @@ func deployMinix(platform Platform, tb *Testbed, cfg ScenarioConfig, opts Deploy
 	disableACM := platform == PlatformMinixVanilla
 	policy := opts.Policy
 	if policy == nil {
-		policy = core.ScenarioPolicy()
-		if opts.BACnet.Enabled {
-			// The gateway needs its own ACM row; select the policy before the
-			// gate below so the certified matrix is the deployed matrix.
+		// Optional gateways each need their own ACM row; select the policy
+		// before the gate below so the certified matrix is the deployed
+		// matrix.
+		switch {
+		case opts.BACnet.Enabled && opts.TenantAPI:
+			policy = core.ScenarioPolicyWithGateways()
+		case opts.BACnet.Enabled:
 			policy = core.ScenarioPolicyWithGateway()
+		case opts.TenantAPI:
+			policy = core.ScenarioPolicyWithTenantGateway()
+		default:
+			policy = core.ScenarioPolicy()
 		}
 	}
 	// Pre-deploy gate: prove the matrix satisfies the scenario's security

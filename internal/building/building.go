@@ -60,6 +60,13 @@ type Config struct {
 	// standby watches the primary's poll traffic through a bus tap and takes
 	// over after HeadEnd.FailoverRounds rounds of silence.
 	Standby bool
+	// TenantAPI attaches the building-scale tenant API tier: a gateway
+	// fronting the whole fleet, driven with a deterministic per-round batch
+	// of occupant/manager/vendor requests at the round barrier. Authorized
+	// setpoint writes land through the target room's real web interface; the
+	// tier's counters, latency histograms, and denial events merge into the
+	// building report.
+	TenantAPI bool
 	// Monitor attaches the online policy monitor to every room's board
 	// (bas.DeployOptions.Monitor) and installs the bus dial guard: every
 	// cross-board dial is checked against the building's certified dial set
@@ -130,6 +137,10 @@ type Building struct {
 	supWindow     time.Duration
 	failoverRound int
 	failovers     int
+
+	// tenant is the attached building-scale API tier (nil without
+	// Config.TenantAPI); touched only on the coordinator goroutine.
+	tenant *tenantTier
 
 	// Bus-monitor state, touched only on the coordinator goroutine (the dial
 	// guard runs at the flush barrier with every board engine parked).
@@ -265,6 +276,9 @@ func New(cfg Config) (*Building, error) {
 			v := inj.Verdict(int(from), int(to), age)
 			return vnet.BusFault{Drop: v.Drop, Hold: v.Hold, Dup: v.Dup}
 		})
+	}
+	if cfg.TenantAPI {
+		b.attachTenant()
 	}
 	if cfg.Monitor || cfg.Demote {
 		b.busDrifts = make([]int64, cfg.Rooms)
@@ -573,6 +587,11 @@ func (b *Building) Step() {
 	}
 	hsc.End()
 	b.Bus.Flush()
+	if b.tenant != nil {
+		// Boards are parked between rounds, so the tier's batch (including
+		// setpoint writes stepping a room's machine) is coordinator-only work.
+		b.driveTenant()
+	}
 	rsc.End()
 }
 

@@ -73,10 +73,16 @@ type Report struct {
 	BusDrifts  int64 `json:"bus_drifts,omitempty"`
 	BusRefused int64 `json:"bus_refused,omitempty"`
 
-	// Building-wide aggregates merged across every room's board.
-	Counters    []obs.CounterSnap `json:"counters"`
-	EventTotals []obs.EventTotal  `json:"event_totals"`
-	Mechanisms  []obs.Mechanism   `json:"mechanisms"`
+	// API is the tenant-tier block (absent when Config.TenantAPI is off).
+	API *APIReport `json:"api,omitempty"`
+
+	// Building-wide aggregates merged across every room's board (plus the
+	// tenant tier's own surfaces when attached). Histograms carries the
+	// tier's per-route latency distributions.
+	Counters    []obs.CounterSnap   `json:"counters"`
+	Histograms  []obs.HistogramSnap `json:"histograms,omitempty"`
+	EventTotals []obs.EventTotal    `json:"event_totals"`
+	Mechanisms  []obs.Mechanism     `json:"mechanisms"`
 }
 
 // ActiveHead is the head-end currently holding the supervisory role: the
@@ -168,6 +174,14 @@ func (b *Building) Report() *Report {
 		mechs = append(mechs, board.Events().Mechanisms())
 	}
 	rep.Alarm = len(rep.Flagged) > 0
+	api, apiCounters, apiHists, apiTotals, apiMechs := b.apiReport()
+	if api != nil {
+		rep.API = api
+		counters = append(counters, apiCounters)
+		totals = append(totals, apiTotals)
+		mechs = append(mechs, apiMechs)
+		rep.Histograms = obs.MergeHistograms(apiHists)
+	}
 	rep.Counters = obs.MergeCounters(counters...)
 	rep.EventTotals = obs.MergeEventTotals(totals...)
 	rep.Mechanisms = obs.MergeMechanisms(mechs...)

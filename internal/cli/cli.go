@@ -105,8 +105,14 @@ func WriteBenchReport(rep *lab.BenchReport, outPath, unit string) error {
 		}
 		fmt.Fprintf(os.Stderr, "bench report written to %s\n", outPath)
 		for _, p := range rep.Points {
-			fmt.Fprintf(os.Stderr, "  workers=%d %8.1fms %6.2f %s speedup=%.2fx\n",
-				p.Workers, p.ElapsedMS, p.ShardsPerSec, unit, p.Speedup)
+			// Request-oriented benches (basload) headline requests/s; the
+			// board-oriented tools headline shard throughput.
+			rate := p.ShardsPerSec
+			if p.RequestsPerSec > 0 {
+				rate = p.RequestsPerSec
+			}
+			fmt.Fprintf(os.Stderr, "  workers=%d %8.1fms %10.0f %s speedup=%.2fx\n",
+				p.Workers, p.ElapsedMS, rate, unit, p.Speedup)
 		}
 	} else if _, err := os.Stdout.Write(out); err != nil {
 		return err

@@ -148,6 +148,55 @@ func ScenarioPolicyWithGateway() *Policy {
 	return p.Seal()
 }
 
+// ACIDTenantGateway identifies the tenant API gateway subject: the
+// occupant-scale API tier's board-side identity. Like the BACnet gateway it
+// holds exactly the web interface's authority — setpoint updates and status
+// queries toward the controller — so even a fully compromised tenant tier
+// can never reach the actuator drivers or kill anything.
+const ACIDTenantGateway ACID = 107
+
+// ScenarioPolicyWithTenantGateway extends the scenario policy with the
+// tenant API gateway subject, the certified row the online monitor verifies
+// tenant→head-end traffic against.
+func ScenarioPolicyWithTenantGateway() *Policy {
+	base := ScenarioPolicy()
+	p := NewPolicy()
+	p.IPC = base.IPC.Clone()
+	p.IPC.Name(ACIDTenantGateway, "tenantApiGw")
+	p.IPC.Allow(ACIDTenantGateway, ACIDTempControl, MsgSetpointUpdate, MsgStatusQuery)
+	p.IPC.AllowBidirectionalAck(ACIDTenantGateway, ACIDTempControl)
+	s := p.Syscalls
+	s.Grant(ACIDScenario, SysFork)
+	s.Grant(ACIDScenario, SysExec)
+	s.Grant(ACIDScenario, SysKill)
+	s.Grant(ACIDScenario, SysSetACID)
+	s.Grant(ACIDWebInterface, SysFork)
+	return p.Seal()
+}
+
+// ScenarioPolicyWithGateways carries both optional gateway rows — the BACnet
+// field-bus proxy and the tenant API gateway — for deployments that serve a
+// supervisory network and an occupant API at once. Each row is identical to
+// its single-gateway variant; neither gateway can reach the other.
+func ScenarioPolicyWithGateways() *Policy {
+	base := ScenarioPolicy()
+	p := NewPolicy()
+	p.IPC = base.IPC.Clone()
+	p.IPC.Name(ACIDBACnetGateway, "bacnetGateway")
+	p.IPC.Allow(ACIDBACnetGateway, ACIDTempControl, MsgSetpointUpdate, MsgStatusQuery)
+	p.IPC.AllowBidirectionalAck(ACIDBACnetGateway, ACIDTempControl)
+	p.IPC.Name(ACIDTenantGateway, "tenantApiGw")
+	p.IPC.Allow(ACIDTenantGateway, ACIDTempControl, MsgSetpointUpdate, MsgStatusQuery)
+	p.IPC.AllowBidirectionalAck(ACIDTenantGateway, ACIDTempControl)
+	s := p.Syscalls
+	s.Grant(ACIDScenario, SysFork)
+	s.Grant(ACIDScenario, SysExec)
+	s.Grant(ACIDScenario, SysKill)
+	s.Grant(ACIDScenario, SysSetACID)
+	s.Grant(ACIDWebInterface, SysFork)
+	return p.Seal()
+}
+
 // ScenarioPolicyWithForkQuota is the E8 variant: identical, except the web
 // interface may fork (it runs worker threads in the paper) under a hard
 // quota, defeating fork bombs.

@@ -1,0 +1,72 @@
+package httpmini
+
+import "sort"
+
+// ConnTable is the server-side connection guard: a fixed-capacity registry
+// of live connections with a per-connection idle budget. Acquire refuses
+// the (N+1)th concurrent connection — the connection-limit half of
+// backpressure — and SweepStale evicts clients that feed bytes too slowly,
+// so a slowloris-style drip cannot pin a slot forever. Time is virtual,
+// supplied by the caller, so eviction order is deterministic.
+type ConnTable struct {
+	max    int
+	idleNs int64
+	conns  map[int64]int64 // conn id → virtual instant of last progress
+}
+
+// NewConnTable builds a table admitting at most max concurrent connections,
+// evicting any connection idle longer than idleNs (0 disables sweeping).
+func NewConnTable(max int, idleNs int64) *ConnTable {
+	if max <= 0 {
+		max = 64
+	}
+	return &ConnTable{max: max, idleNs: idleNs, conns: make(map[int64]int64, max)}
+}
+
+// Acquire admits connection id at virtual instant nowNs. False means the
+// table is full and the connection must be refused (the caller answers 503
+// or drops the socket).
+func (t *ConnTable) Acquire(id, nowNs int64) bool {
+	if _, ok := t.conns[id]; ok {
+		t.conns[id] = nowNs
+		return true
+	}
+	if len(t.conns) >= t.max {
+		return false
+	}
+	t.conns[id] = nowNs
+	return true
+}
+
+// Touch records progress (bytes arrived or a response flushed) for id.
+func (t *ConnTable) Touch(id, nowNs int64) {
+	if _, ok := t.conns[id]; ok {
+		t.conns[id] = nowNs
+	}
+}
+
+// Release removes id.
+func (t *ConnTable) Release(id int64) { delete(t.conns, id) }
+
+// Len is the live connection count.
+func (t *ConnTable) Len() int { return len(t.conns) }
+
+// SweepStale evicts every connection whose last progress is more than the
+// idle budget before nowNs, returning the evicted ids in ascending order
+// (sorted so eviction reporting is deterministic despite map iteration).
+func (t *ConnTable) SweepStale(nowNs int64) []int64 {
+	if t.idleNs <= 0 {
+		return nil
+	}
+	var evicted []int64
+	for id, last := range t.conns {
+		if nowNs-last > t.idleNs {
+			evicted = append(evicted, id)
+		}
+	}
+	sort.Slice(evicted, func(i, j int) bool { return evicted[i] < evicted[j] })
+	for _, id := range evicted {
+		delete(t.conns, id)
+	}
+	return evicted
+}

@@ -1,0 +1,193 @@
+package httpmini
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// Satellite coverage for the parser's hardening edges: the 515 LoC that
+// front every byte an attacker controls previously had no tests for the
+// refusal paths.
+
+func feedOne(t *testing.T, raw string) (*Request, error) {
+	t.Helper()
+	var p Parser
+	p.Feed([]byte(raw))
+	return p.Next()
+}
+
+func TestMalformedRequestLines(t *testing.T) {
+	cases := []struct {
+		name string
+		raw  string
+		want error
+	}{
+		{"empty request line", "\r\n\r\n", ErrMalformed},
+		{"two fields", "GET /\r\n\r\n", ErrMalformed},
+		{"four fields", "GET / HTTP/1.0 junk\r\n\r\n", ErrMalformed},
+		{"bad protocol", "GET / SPDY/9\r\n\r\n", ErrMalformed},
+		{"unsupported method", "DELETE / HTTP/1.0\r\n\r\n", ErrBadMethod},
+		{"lowercase method", "get / HTTP/1.0\r\n\r\n", ErrBadMethod},
+		{"header without colon", "GET / HTTP/1.0\r\nno-colon-here\r\n\r\n", ErrMalformed},
+		{"negative content length", "POST / HTTP/1.0\r\nContent-Length: -5\r\n\r\n", ErrMalformed},
+		{"junk content length", "POST / HTTP/1.0\r\nContent-Length: ten\r\n\r\n", ErrMalformed},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := feedOne(t, tc.raw)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("got (%v, %v), want error %v", req, err, tc.want)
+			}
+		})
+	}
+}
+
+func TestOversizedHeaders(t *testing.T) {
+	// A request line that never terminates must die at the header cap, not
+	// accumulate forever (slowloris drip of header bytes).
+	var p Parser
+	p.Feed([]byte("GET /" + strings.Repeat("a", maxHeaderBytes) + " HTTP/1.0\r\n"))
+	if _, err := p.Next(); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized request line: %v, want ErrTooLarge", err)
+	}
+	// A single oversized header value trips the same cap.
+	p = Parser{}
+	p.Feed([]byte("GET / HTTP/1.0\r\nX-Pad: " + strings.Repeat("b", maxHeaderBytes+1) + "\r\n\r\n"))
+	if _, err := p.Next(); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized header block: %v, want ErrTooLarge", err)
+	}
+	// A declared body over the cap is refused before the bytes arrive.
+	if _, err := feedOne(t, "POST / HTTP/1.0\r\nContent-Length: 100000\r\n\r\n"); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized declared body: %v, want ErrTooLarge", err)
+	}
+	// At the boundary the parser still works.
+	body := strings.Repeat("x", maxBodyBytes)
+	var pb Parser
+	pb.Feed([]byte("POST / HTTP/1.0\r\nContent-Length: 65536\r\n\r\n" + body))
+	req, err := pb.Next()
+	if err != nil || req == nil || len(req.Body) != maxBodyBytes {
+		t.Fatalf("body at cap: req=%v err=%v", req, err)
+	}
+}
+
+func TestIncrementalFeedAndPipelining(t *testing.T) {
+	var p Parser
+	raw := "GET /a HTTP/1.0\r\n\r\nGET /b HTTP/1.0\r\n\r\n"
+	// Drip one byte at a time: Next must keep answering "not yet" without
+	// error until a full request lands.
+	var got []string
+	for i := 0; i < len(raw); i++ {
+		p.Feed([]byte{raw[i]})
+		req, err := p.Next()
+		if err != nil {
+			t.Fatalf("byte %d: %v", i, err)
+		}
+		if req != nil {
+			got = append(got, req.Path)
+		}
+	}
+	// The second pipelined request is still buffered.
+	if req, err := p.Next(); err == nil && req != nil {
+		got = append(got, req.Path)
+	}
+	if strings.Join(got, ",") != "/a,/b" {
+		t.Fatalf("pipelined paths = %v", got)
+	}
+	if p.Buffered() != 0 {
+		t.Fatalf("%d bytes left buffered", p.Buffered())
+	}
+}
+
+func TestConnTableLimitRefusal(t *testing.T) {
+	ct := NewConnTable(4, 0)
+	for id := int64(0); id < 4; id++ {
+		if !ct.Acquire(id, 0) {
+			t.Fatalf("conn %d refused below the cap", id)
+		}
+	}
+	if ct.Acquire(99, 0) {
+		t.Fatal("5th concurrent connection admitted past a 4-conn table")
+	}
+	// Re-acquiring a live id is a keep-alive touch, not a new slot.
+	if !ct.Acquire(2, 1) {
+		t.Fatal("live connection refused on re-acquire")
+	}
+	ct.Release(0)
+	if !ct.Acquire(99, 2) {
+		t.Fatal("slot freed by Release not reusable")
+	}
+	if ct.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", ct.Len())
+	}
+}
+
+func TestConnTableSlowClientBackpressure(t *testing.T) {
+	const idle = int64(5e9) // 5s budget
+	ct := NewConnTable(8, idle)
+	ct.Acquire(1, 0)
+	ct.Acquire(2, 0)
+	ct.Acquire(3, 0)
+	// Connection 2 keeps making progress; 1 and 3 go silent.
+	ct.Touch(2, 4e9)
+	ct.Touch(2, 8e9)
+	evicted := ct.SweepStale(9e9)
+	if len(evicted) != 2 || evicted[0] != 1 || evicted[1] != 3 {
+		t.Fatalf("evicted %v, want [1 3]", evicted)
+	}
+	if ct.Len() != 1 {
+		t.Fatalf("Len after sweep = %d, want 1", ct.Len())
+	}
+	// The evicted slow client must re-acquire like a fresh connection.
+	if !ct.Acquire(1, 10e9) {
+		t.Fatal("evicted client could not reconnect")
+	}
+	// A zero idle budget disables sweeping.
+	ct0 := NewConnTable(2, 0)
+	ct0.Acquire(7, 0)
+	if ev := ct0.SweepStale(1e18); ev != nil {
+		t.Fatalf("sweep with disabled budget evicted %v", ev)
+	}
+}
+
+func TestRouterDispatch(t *testing.T) {
+	var r Router
+	r.Handle("GET", "/api/rooms/:room/status", func(_ *Request, params []string) *Response {
+		return Text(200, "room="+params[0])
+	})
+	r.Handle("POST", "/api/rooms/:room/setpoint", func(_ *Request, params []string) *Response {
+		return Text(200, "set="+params[0])
+	})
+	r.Handle("GET", "/api/whoami", func(*Request, []string) *Response { return Text(200, "me") })
+
+	serve := func(method, path string) (int, string) {
+		resp := r.Dispatch(&Request{Method: method, Path: path})
+		return resp.Status, string(resp.Body)
+	}
+	if st, body := serve("GET", "/api/rooms/7/status"); st != 200 || body != "room=7" {
+		t.Fatalf("param route: %d %q", st, body)
+	}
+	if st, _ := serve("GET", "/api/rooms/7"); st != 404 {
+		t.Fatalf("short path: %d, want 404", st)
+	}
+	if st, _ := serve("GET", "/api/rooms/7/setpoint"); st != 405 {
+		t.Fatalf("wrong method on matched path: %d, want 405", st)
+	}
+	if st, _ := serve("GET", "/nope"); st != 404 {
+		t.Fatalf("unknown path: %d, want 404", st)
+	}
+	// The auth hook short-circuits before any handler.
+	r.Auth = func(req *Request) *Response {
+		if req.Headers["authorization"] == "" {
+			return Text(401, "no token")
+		}
+		return nil
+	}
+	if st, _ := serve("GET", "/api/whoami"); st != 401 {
+		t.Fatalf("auth hook bypassed: %d, want 401", st)
+	}
+	resp := r.Dispatch(&Request{Method: "GET", Path: "/api/whoami", Headers: map[string]string{"authorization": "Bearer x"}})
+	if resp.Status != 200 {
+		t.Fatalf("authed request: %d, want 200", resp.Status)
+	}
+}

@@ -95,6 +95,12 @@ func parseOne(data []byte) (*Request, []byte, error) {
 		}
 		return nil, nil, errNeedMoreData
 	}
+	// The cap applies to complete header blocks too, not just ones still
+	// waiting for their terminator — otherwise a single large read smuggles
+	// an arbitrarily big block past the limit.
+	if headerEnd > maxHeaderBytes {
+		return nil, nil, ErrTooLarge
+	}
 	head := string(data[:headerEnd])
 	lines := strings.Split(head, "\r\n")
 	if len(lines) == 0 {
@@ -228,12 +234,20 @@ func statusText(code int) string {
 		return "OK"
 	case 400:
 		return "Bad Request"
+	case 401:
+		return "Unauthorized"
+	case 403:
+		return "Forbidden"
 	case 404:
 		return "Not Found"
 	case 405:
 		return "Method Not Allowed"
+	case 429:
+		return "Too Many Requests"
 	case 500:
 		return "Internal Server Error"
+	case 503:
+		return "Service Unavailable"
 	default:
 		return "Status"
 	}

@@ -1,0 +1,97 @@
+package httpmini
+
+import "strings"
+
+// Router dispatches parsed requests to handlers by method and path pattern,
+// with an optional authentication hook that runs before any handler. It is
+// the routing layer the tenant API tier mounts its routes on; the scenario
+// web process keeps its hand-rolled switch.
+//
+// Patterns are literal segments with ":name" wildcards: "/api/rooms/:room/
+// status" matches "/api/rooms/7/status" and passes ["7"] as params, in
+// pattern order. Matching is deterministic: registration order, first hit
+// wins.
+
+// Handler serves one matched request. params holds the wildcard segment
+// values in pattern order.
+type Handler func(req *Request, params []string) *Response
+
+// AuthHook inspects a request before routing. A non-nil response
+// short-circuits dispatch (the typed 401/403/429/503 the tenant tier
+// returns); nil lets the request through.
+type AuthHook func(req *Request) *Response
+
+type route struct {
+	method   string
+	segments []string // ":x" entries are wildcards
+}
+
+// Router is an ordered route table.
+type Router struct {
+	routes   []route
+	handlers []Handler
+	// Auth, when set, runs before any route match.
+	Auth AuthHook
+}
+
+// Handle registers a handler for method ("GET"/"POST") and pattern.
+func (r *Router) Handle(method, pattern string, h Handler) {
+	r.routes = append(r.routes, route{method: method, segments: splitPath(pattern)})
+	r.handlers = append(r.handlers, h)
+}
+
+// splitPath splits a path into non-empty segments.
+func splitPath(p string) []string {
+	parts := strings.Split(strings.Trim(p, "/"), "/")
+	if len(parts) == 1 && parts[0] == "" {
+		return nil
+	}
+	return parts
+}
+
+// Dispatch routes one request: the auth hook first, then the first route
+// whose method and segments match. An unmatched path is 404; a matched path
+// with the wrong method is 405.
+func (r *Router) Dispatch(req *Request) *Response {
+	if r.Auth != nil {
+		if resp := r.Auth(req); resp != nil {
+			return resp
+		}
+	}
+	segs := splitPath(req.Path)
+	pathMatched := false
+	for i, rt := range r.routes {
+		params, ok := matchSegments(rt.segments, segs)
+		if !ok {
+			continue
+		}
+		if rt.method != req.Method {
+			pathMatched = true
+			continue
+		}
+		return r.handlers[i](req, params)
+	}
+	if pathMatched {
+		return Text(405, "method not allowed\n")
+	}
+	return Text(404, "not found\n")
+}
+
+// matchSegments matches concrete path segments against a pattern, returning
+// wildcard values.
+func matchSegments(pattern, segs []string) ([]string, bool) {
+	if len(pattern) != len(segs) {
+		return nil, false
+	}
+	var params []string
+	for i, p := range pattern {
+		if strings.HasPrefix(p, ":") {
+			params = append(params, segs[i])
+			continue
+		}
+		if p != segs[i] {
+			return nil, false
+		}
+	}
+	return params, true
+}

@@ -21,6 +21,10 @@ type BenchPoint struct {
 	// simulated per wall-clock second, summed over every board in flight —
 	// the hardware-independent number for comparing bench records.
 	BoardStepsPerSec float64 `json:"board_steps_per_sec"`
+	// RequestsPerSec is API-request throughput, set only by request-oriented
+	// benches (cmd/basload): simulated tenant requests processed per
+	// wall-clock second at this worker count.
+	RequestsPerSec float64 `json:"requests_per_sec,omitempty"`
 	// Speedup is relative to the first (serial) point.
 	Speedup float64 `json:"speedup"`
 }
@@ -62,9 +66,10 @@ func speedupOf(baseNs, elapsedNs float64) float64 {
 	return baseNs / elapsedNs
 }
 
-// warnIfSerial flags a degenerate bench host on stderr and reports whether
-// parallelism is effective.
-func warnIfSerial(kind string) bool {
+// WarnIfSerial flags a degenerate bench host on stderr and reports whether
+// parallelism is effective. Bench writers outside the package (cmd/basload)
+// share it so every bench record carries the same honesty warning.
+func WarnIfSerial(kind string) bool {
 	if runtime.GOMAXPROCS(0) > 1 {
 		return true
 	}
@@ -84,7 +89,7 @@ func Bench(sweep Sweep, workerCounts []int, hostCPUs int) (*BenchReport, error) 
 		Identical:            true,
 		HostCPUs:             hostCPUs,
 		GOMAXPROCS:           runtime.GOMAXPROCS(0),
-		ParallelismEffective: warnIfSerial("lab"),
+		ParallelismEffective: WarnIfSerial("lab"),
 	}
 	var baseline []byte
 	var baseElapsed float64

@@ -111,9 +111,12 @@ type BuildingSweep struct {
 	// "" (or "none") for the unfaulted baseline.
 	BusFaults []string `json:"bus_faults,omitempty"`
 	// Standbys is the standby head-end axis (E15).
-	Standbys []bool        `json:"standbys,omitempty"`
-	Settle   time.Duration `json:"settle,omitempty"`
-	Window   time.Duration `json:"window,omitempty"`
+	Standbys []bool `json:"standbys,omitempty"`
+	// APIs is the tenant-API-tier axis (E16): attach the building-scale
+	// occupant gateway with its deterministic per-round traffic.
+	APIs   []bool        `json:"apis,omitempty"`
+	Settle time.Duration `json:"settle,omitempty"`
+	Window time.Duration `json:"window,omitempty"`
 }
 
 func (s BuildingSweep) withDefaults() BuildingSweep {
@@ -137,6 +140,9 @@ func (s BuildingSweep) withDefaults() BuildingSweep {
 	}
 	if len(s.Standbys) == 0 {
 		s.Standbys = []bool{false}
+	}
+	if len(s.APIs) == 0 {
+		s.APIs = []bool{false}
 	}
 	return s
 }
@@ -191,6 +197,9 @@ type BuildingCase struct {
 	// pre-resilience campaigns so their reports stay byte-identical.
 	BusFaults string `json:"bus_faults,omitempty"`
 	Standby   bool   `json:"standby,omitempty"`
+	// API attaches the tenant API tier (E16), zero for pre-API campaigns so
+	// their reports stay byte-identical.
+	API bool `json:"api,omitempty"`
 }
 
 // String renders the case compactly for logs.
@@ -204,6 +213,9 @@ func (c BuildingCase) String() string {
 	}
 	if c.Standby {
 		s += " standby=true"
+	}
+	if c.API {
+		s += " api=true"
 	}
 	return s
 }
@@ -231,6 +243,7 @@ func (c BuildingCase) Spec(settle, window time.Duration) (attack.BuildingSpec, e
 		Demote:    c.Monitor == MonitorDemote,
 		BusFaults: c.BusFaults,
 		Standby:   c.Standby,
+		TenantAPI: c.API,
 	}, nil
 }
 
@@ -249,16 +262,19 @@ func (s BuildingSweep) Expand() []BuildingCase {
 						}
 						for _, plan := range s.BusFaults {
 							for _, standby := range s.Standbys {
-								cases = append(cases, BuildingCase{
-									Shard:     len(cases),
-									Rooms:     rooms,
-									Mix:       mix,
-									Secure:    secure,
-									Attack:    att,
-									Monitor:   mon,
-									BusFaults: plan,
-									Standby:   standby,
-								})
+								for _, api := range s.APIs {
+									cases = append(cases, BuildingCase{
+										Shard:     len(cases),
+										Rooms:     rooms,
+										Mix:       mix,
+										Secure:    secure,
+										Attack:    att,
+										Monitor:   mon,
+										BusFaults: plan,
+										Standby:   standby,
+										API:       api,
+									})
+								}
 							}
 						}
 					}
@@ -358,6 +374,19 @@ func ParseBuildingSweep(spec string) (BuildingSweep, error) {
 					return BuildingSweep{}, fmt.Errorf("lab: standby value %q (want on, off, or both)", v)
 				}
 			}
+		case "api":
+			for _, v := range vals {
+				switch v {
+				case "on":
+					s.APIs = append(s.APIs, true)
+				case "off":
+					s.APIs = append(s.APIs, false)
+				case "both":
+					s.APIs = append(s.APIs, false, true)
+				default:
+					return BuildingSweep{}, fmt.Errorf("lab: api value %q (want on, off, or both)", v)
+				}
+			}
 		case "settle", "window":
 			if len(vals) != 1 {
 				return BuildingSweep{}, fmt.Errorf("lab: %s takes one duration", axis)
@@ -372,7 +401,7 @@ func ParseBuildingSweep(spec string) (BuildingSweep, error) {
 				s.Window = d
 			}
 		default:
-			return BuildingSweep{}, fmt.Errorf("lab: unknown building sweep axis %q (known: attack, busfaults, mix, monitor, rooms, secure, settle, standby, window)", axis)
+			return BuildingSweep{}, fmt.Errorf("lab: unknown building sweep axis %q (known: api, attack, busfaults, mix, monitor, rooms, secure, settle, standby, window)", axis)
 		}
 	}
 	s.Rooms = dedupInts(s.Rooms)
@@ -382,6 +411,7 @@ func ParseBuildingSweep(spec string) (BuildingSweep, error) {
 	s.Monitors = dedup(s.Monitors)
 	s.BusFaults = dedup(s.BusFaults)
 	s.Standbys = dedup(s.Standbys)
+	s.APIs = dedup(s.APIs)
 	if err := s.Validate(); err != nil {
 		return BuildingSweep{}, err
 	}
@@ -533,7 +563,7 @@ func BenchBuilding(spec attack.BuildingSpec, workerCounts []int, hostCPUs int) (
 		Identical:            true,
 		HostCPUs:             hostCPUs,
 		GOMAXPROCS:           runtime.GOMAXPROCS(0),
-		ParallelismEffective: warnIfSerial("building"),
+		ParallelismEffective: WarnIfSerial("building"),
 	}
 	var baseline []byte
 	var baseElapsed float64

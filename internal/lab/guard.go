@@ -17,21 +17,33 @@ type GuardResult struct {
 	FreshBest    float64 `json:"fresh_best"`
 	// Ratio is fresh/baseline; 1.0 means parity, below 1-tolerance fails.
 	Ratio float64 `json:"ratio"`
-	OK    bool    `json:"ok"`
+	// Unit names the throughput axis compared: "board-steps/s" for board
+	// benches, "req/s" for request-oriented records (BENCH_api.json).
+	Unit string `json:"unit"`
+	OK   bool   `json:"ok"`
 	// Reason explains a failure (or a pass-with-note, e.g. an unusable
 	// baseline).
 	Reason string `json:"reason,omitempty"`
 }
 
-// bestSteps is the max board_steps_per_sec over a record's points.
-func bestSteps(r *BenchReport) float64 {
-	best := 0.0
+// bestSteps is the max board_steps_per_sec over a record's points. Records
+// from request-oriented benches (BENCH_api.json) carry no board-steps axis;
+// for those the guard compares requests_per_sec instead — same best-of-
+// points discipline, different unit.
+func bestSteps(r *BenchReport) (float64, string) {
+	best, bestReq := 0.0, 0.0
 	for _, p := range r.Points {
 		if p.BoardStepsPerSec > best {
 			best = p.BoardStepsPerSec
 		}
+		if p.RequestsPerSec > bestReq {
+			bestReq = p.RequestsPerSec
+		}
 	}
-	return best
+	if best == 0 {
+		return bestReq, "req/s"
+	}
+	return best, "board-steps/s"
 }
 
 // CompareBench guards one bench record against its baseline. tolerance is
@@ -49,7 +61,7 @@ func CompareBench(name string, baseline, fresh *BenchReport, tolerance float64) 
 	if fresh == nil {
 		return GuardResult{Name: name, OK: false, Reason: "fresh record missing"}
 	}
-	res.FreshBest = bestSteps(fresh)
+	res.FreshBest, res.Unit = bestSteps(fresh)
 	if !fresh.Identical {
 		res.OK = false
 		res.Reason = "fresh record reports identical=false (determinism violated)"
@@ -59,16 +71,16 @@ func CompareBench(name string, baseline, fresh *BenchReport, tolerance float64) 
 		res.Reason = "no baseline recorded; pass by default"
 		return res
 	}
-	res.BaselineBest = bestSteps(baseline)
+	res.BaselineBest, _ = bestSteps(baseline)
 	if res.BaselineBest <= 0 {
-		res.Reason = "baseline has no usable board_steps_per_sec; pass by default"
+		res.Reason = "baseline has no usable throughput axis; pass by default"
 		return res
 	}
 	res.Ratio = res.FreshBest / res.BaselineBest
 	if res.Ratio < 1-tolerance {
 		res.OK = false
-		res.Reason = fmt.Sprintf("throughput regressed: %.1f vs baseline %.1f board-steps/s (ratio %.2f < %.2f)",
-			res.FreshBest, res.BaselineBest, res.Ratio, 1-tolerance)
+		res.Reason = fmt.Sprintf("throughput regressed: %.1f vs baseline %.1f %s (ratio %.2f < %.2f)",
+			res.FreshBest, res.BaselineBest, res.Unit, res.Ratio, 1-tolerance)
 	}
 	return res
 }

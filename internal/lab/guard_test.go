@@ -27,6 +27,27 @@ func TestCompareBenchParity(t *testing.T) {
 	}
 }
 
+func TestCompareBenchRequestAxis(t *testing.T) {
+	// Request-oriented records (BENCH_api.json) carry no board-steps axis;
+	// the guard must fall back to requests_per_sec and label the unit.
+	reqRecord := func(identical bool, rates ...float64) *BenchReport {
+		rep := &BenchReport{Identical: identical}
+		for i, r := range rates {
+			rep.Points = append(rep.Points, BenchPoint{Workers: i + 1, RequestsPerSec: r})
+		}
+		return rep
+	}
+	res := CompareBench("api", reqRecord(true, 3.0e6, 3.5e6), reqRecord(true, 3.4e6), 0.5)
+	if !res.OK || res.Unit != "req/s" || res.BaselineBest != 3.5e6 || res.FreshBest != 3.4e6 {
+		t.Fatalf("request-axis comparison wrong: %+v", res)
+	}
+	if res := CompareBench("api", reqRecord(true, 3.5e6), reqRecord(true, 1.0e6), 0.5); res.OK {
+		t.Fatalf("3.5x request-rate regression passed the guard: %+v", res)
+	} else if !strings.Contains(res.Reason, "req/s") {
+		t.Fatalf("regression reason does not name the req/s unit: %q", res.Reason)
+	}
+}
+
 func TestCompareBenchRegression(t *testing.T) {
 	base := benchRecord(true, 200)
 	fresh := benchRecord(true, 80) // ratio 0.4 < 1-0.5
@@ -87,7 +108,7 @@ func TestLoadBenchRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Shards != 50 || bestSteps(got) != 456.25 {
+	if best, unit := bestSteps(got); got.Shards != 50 || best != 456.25 || unit != "board-steps/s" {
 		t.Fatalf("round trip mangled the record: %+v", got)
 	}
 	if _, err := LoadBench(filepath.Join(t.TempDir(), "missing.json")); err == nil {

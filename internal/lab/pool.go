@@ -1,0 +1,75 @@
+package lab
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"mkbas/internal/perf"
+)
+
+// ForEachShard runs fn(shard) for shards 0..n-1 across a pool of workers
+// goroutines — the campaign runner's pool discipline, exported for other
+// shard-parallel drivers (the tenant-API load generator). The contract is
+// the same as Run's: each shard must be fully independent, results must land
+// in shard-indexed storage owned by the caller, and any merge must follow in
+// shard order, never completion order — that is what keeps output bytes
+// independent of the worker count.
+//
+// workers <= 0 means GOMAXPROCS. Shard wall time books into the
+// "<kind>.shard" profiler phase and the pool exports utilization and
+// queue-depth gauges under kind; a nil profiler records nothing. Every shard
+// runs even when one fails; the error of the lowest-numbered failing shard
+// is returned, independent of timing.
+func ForEachShard(kind string, n, workers int, prof *perf.Profiler, fn func(shard int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	start := time.Now()
+	errs := make([]error, n)
+	jobs := make(chan int, n)
+	pool := newPoolStats(prof, workers)
+	phShard := prof.Phase(kind + ".shard")
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		var track *perf.Track
+		if prof.TimelineEnabled() {
+			track = prof.Track(fmt.Sprintf("%s-worker-%02d", kind, w))
+		}
+		go func(w int) {
+			defer wg.Done()
+			for i := range jobs {
+				pool.enter(len(jobs))
+				var label string
+				if track != nil {
+					label = fmt.Sprintf("shard-%02d", i)
+				}
+				sc := phShard.BeginOn(track, label)
+				jobStart := time.Now()
+				errs[i] = fn(i)
+				sc.End()
+				pool.exit(w, time.Since(jobStart))
+			}
+		}(w)
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	pool.export(kind, int64(time.Since(start)))
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

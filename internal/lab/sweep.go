@@ -138,6 +138,18 @@ func (c Case) Spec() attack.Spec {
 		Root:      c.Model == ModelRoot,
 		ForkQuota: c.ForkQuota,
 	}
+	if attack.IsAPIAction(c.Action) {
+		// The API attacker is outside the building: fork quotas and fault
+		// plans parameterise the board-side attacker and do not apply.
+		spec.ForkQuota = 0
+		switch c.Monitor {
+		case MonitorOn:
+			spec.Monitor = true
+		case MonitorDemote:
+			spec.Demote = true
+		}
+		return spec
+	}
 	if c.chaosCase() {
 		spec.FaultPlan = c.Faults
 		// A chaos case measures the platform's recovery response, so the
@@ -220,6 +232,9 @@ func (s Sweep) Validate() error {
 	for _, a := range attack.AllActions() {
 		actions[a] = true
 	}
+	for _, a := range attack.AllAPIActions() {
+		actions[a] = true
+	}
 	actions[attack.ActionNone] = true
 	for _, a := range s.Actions {
 		if !actions[a] {
@@ -272,9 +287,15 @@ func (s Sweep) Expand() []Case {
 		}
 		for _, model := range s.Models {
 			for _, action := range s.Actions {
+				actionQuotas, actionFaults := quotas, s.Faults
+				if attack.IsAPIAction(action) {
+					// API cases take neither axis; collapse both so the sweep
+					// does not enumerate identical shards.
+					actionQuotas, actionFaults = []int{0}, []string{faultPlanNone}
+				}
 				for _, pl := range s.Plants {
-					for _, quota := range quotas {
-						for _, faults := range s.Faults {
+					for _, quota := range actionQuotas {
+						for _, faults := range actionFaults {
 							for _, mon := range s.Monitors {
 								if mon == MonitorOff {
 									mon = ""
@@ -305,8 +326,9 @@ func (s Sweep) Expand() []Case {
 //	platforms=paper;actions=all;models=both;plants=default;quotas=0,8
 //
 // Axis keywords: platforms accepts "paper" (the three headline systems) and
-// "all" (every registered platform); actions and plants accept "all"; models
-// accepts "both". Unknown axes and values are rejected.
+// "all" (every registered platform); actions accepts "all" (the board
+// attacks) and "api" (the tenant-tier attack family); plants accepts "all";
+// models accepts "both". Unknown axes and values are rejected.
 func ParseSweep(spec string) (Sweep, error) {
 	var s Sweep
 	if strings.TrimSpace(spec) == "" {
@@ -345,9 +367,12 @@ func ParseSweep(spec string) (Sweep, error) {
 			}
 		case "actions":
 			for _, v := range vals {
-				if v == "all" {
+				switch v {
+				case "all":
 					s.Actions = append(s.Actions, attack.AllActions()...)
-				} else {
+				case "api":
+					s.Actions = append(s.Actions, attack.AllAPIActions()...)
+				default:
 					s.Actions = append(s.Actions, attack.Action(v))
 				}
 			}

@@ -38,6 +38,19 @@ const (
 	// supervision-loss detection in room gateways, head-end failover, and
 	// degraded-mode transitions — availability machinery, not mediation.
 	MechResilience Mechanism = "resilience"
+	// MechSession is the tenant API tier's session layer: token lookup and
+	// revocation. A denial here means the caller never authenticated —
+	// stolen-token replay after revocation dies at this layer.
+	MechSession Mechanism = "session-auth"
+	// MechRBAC is the tenant API tier's role-based authorisation check,
+	// backed by the certified tenant access graph: the role's edge to the
+	// gateway must carry the requested route label.
+	MechRBAC Mechanism = "rbac"
+	// MechRateLimit is the tenant API tier's per-principal token bucket.
+	MechRateLimit Mechanism = "rate-limit"
+	// MechBackpressure is the tenant API tier's connection/capacity guard:
+	// requests shed with 503 when the per-tick admission budget is spent.
+	MechBackpressure Mechanism = "backpressure"
 )
 
 // EventKind classifies a security event.
@@ -97,6 +110,19 @@ const (
 	// EventRoomQuarantined is the head-end refusing to poll a room whose
 	// frames repeatedly failed secure-proxy verification.
 	EventRoomQuarantined EventKind = "room-quarantined"
+	// EventAuthDenied is a tenant API request refused at the session layer:
+	// unknown, malformed, or revoked token (HTTP 401).
+	EventAuthDenied EventKind = "auth-denied"
+	// EventAuthzDenied is an authenticated tenant API request refused by
+	// role-based authorisation: the principal's role has no certified edge
+	// for the route, or an occupant reached outside their own room (403).
+	EventAuthzDenied EventKind = "authz-denied"
+	// EventRateLimited is a tenant API request shed by the per-principal
+	// token bucket (HTTP 429).
+	EventRateLimited EventKind = "rate-limited"
+	// EventOverload is a tenant API request shed by connection backpressure
+	// before any per-principal work (HTTP 503).
+	EventOverload EventKind = "overload"
 )
 
 // SecurityEvent is one mediation decision in the platform-neutral schema:

@@ -1,6 +1,9 @@
 package obs
 
-import "sort"
+import (
+	"sort"
+	"time"
+)
 
 // Cross-board merge helpers. The fleet runner (internal/lab) boots many
 // independent boards and folds their per-shard reports into one aggregate;
@@ -68,5 +71,70 @@ func MergeMechanisms(sets ...[]Mechanism) []Mechanism {
 		out = append(out, m)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// MergeHistograms sums histogram snapshots from many boards by name, bucket
+// by bucket, and recomputes the quantile estimates from the merged buckets
+// with the same estimator Histogram.Quantile uses — so a merged p95 is what
+// a single board observing every sample would have reported. Snapshots that
+// share a name must share bucket bounds (they do when built by the same
+// code); a set with mismatched bounds is dropped rather than mis-summed.
+// The result is sorted by name, matching Registry.Histograms.
+func MergeHistograms(sets ...[]HistogramSnap) []HistogramSnap {
+	merged := make(map[string]*Histogram)
+	for _, set := range sets {
+		for _, snap := range set {
+			if len(snap.Buckets) == 0 {
+				continue
+			}
+			h, ok := merged[snap.Name]
+			if !ok {
+				h = &Histogram{
+					bounds: make([]time.Duration, len(snap.Buckets)-1),
+					counts: make([]int64, len(snap.Buckets)),
+				}
+				for i, b := range snap.Buckets[:len(snap.Buckets)-1] {
+					h.bounds[i] = time.Duration(b.UpperNanos)
+				}
+				merged[snap.Name] = h
+			}
+			if len(snap.Buckets) != len(h.counts) {
+				continue
+			}
+			match := true
+			for i, b := range snap.Buckets[:len(snap.Buckets)-1] {
+				if time.Duration(b.UpperNanos) != h.bounds[i] {
+					match = false
+					break
+				}
+			}
+			if !match {
+				continue
+			}
+			for i, b := range snap.Buckets {
+				h.counts[i] += b.Count
+			}
+			h.sum += snap.SumNanos
+			h.total += snap.Count
+		}
+	}
+	out := make([]HistogramSnap, 0, len(merged))
+	for name, h := range merged {
+		snap := HistogramSnap{
+			Name:     name,
+			Count:    h.total,
+			SumNanos: h.sum,
+			P50Ns:    int64(h.Quantile(0.50)),
+			P95Ns:    int64(h.Quantile(0.95)),
+			P99Ns:    int64(h.Quantile(0.99)),
+		}
+		for i, b := range h.bounds {
+			snap.Buckets = append(snap.Buckets, BucketSnap{UpperNanos: int64(b), Count: h.counts[i]})
+		}
+		snap.Buckets = append(snap.Buckets, BucketSnap{UpperNanos: 0, Count: h.counts[len(h.bounds)]})
+		out = append(out, snap)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }

@@ -1,0 +1,67 @@
+package tenantapi
+
+import (
+	"testing"
+	"time"
+
+	"mkbas/internal/obs"
+)
+
+// TestAPIHotPathZeroAlloc is the tier's allocation gate, the analogue of
+// TestE4RoundTripZeroAlloc for the request path: at steady state, a mixed
+// stream of served and denied requests — 200s, 403s, 429s, 401s — must not
+// allocate. The event ring is deliberately tiny so warmup fills it and
+// steady-state emission overwrites in place; metric series and response
+// buffers reach capacity during warmup too.
+func TestAPIHotPathZeroAlloc(t *testing.T) {
+	clk := &testClock{}
+	dir := NewDirectory(DirectoryConfig{Seed: 3, Rooms: 8, Occupants: 16, Managers: 2, Vendors: 2})
+	events := obs.NewEventLog(clk.now, 8)
+	gw := NewGateway(dir, NewSimBackend(8, clk.now), GatewayConfig{
+		Now:          clk.now,
+		RatePerSec:   2,
+		Burst:        4,
+		AdmitPerTick: 6,
+		TickNs:       int64(time.Millisecond),
+		Registry:     obs.NewRegistry(),
+		Events:       events,
+	})
+	occ := dir.Find("occupant-0000")
+	mgr := dir.Find("manager-0000")
+	ven := dir.Find("vendor-0000")
+
+	reqs := []Request{
+		{Token: mgr.Token, Route: RouteStatus, Room: 3},
+		{Token: occ.Token, Route: RouteStatus, Room: occ.Room},
+		{Token: occ.Token, Route: RouteStatus, Room: (occ.Room + 1) % 8}, // 403 rbac
+		{Token: ven.Token, Route: RouteSetpoint, Room: 1, Value: 22},     // 403 rbac
+		{Token: mgr.Token, Route: RouteSetpoint, Room: 2, Value: 21.5},   // ok
+		{Token: mgr.Token, Route: RouteSetpoint, Room: 2, Value: 99},     // 400
+		{Token: "tok-0000000000000000", Route: RouteWhoAmI},              // 401
+		{Token: occ.Token, Route: RouteWhoAmI},                           // ok or 429
+		{Token: occ.Token, Route: RouteWhoAmI},                           // 429 (2/s bucket)
+		{Token: ven.Token, Route: RouteDiagnostics},                      // ok
+		{Token: mgr.Token, Route: RouteStatus, Room: 99},                 // 404
+		{Token: mgr.Token, Route: RouteStatus, Room: 4},                  // overload at tick tail
+	}
+	var resp Response
+	slice := func() {
+		for i := range reqs {
+			// A small step per request: buckets partially refill, admission
+			// windows roll over, so all layers stay exercised.
+			clk.step(200 * time.Microsecond)
+			gw.Handle(&reqs[i], &resp)
+		}
+	}
+	// Warm up: fill the event ring, grow the body buffer, and create every
+	// (kind, mechanism, denied) totals key this mix can produce.
+	for i := 0; i < 64; i++ {
+		slice()
+	}
+	if allocs := testing.AllocsPerRun(50, slice); allocs != 0 {
+		t.Errorf("steady-state request mix allocated %.1f times per %d-request slice, want 0", allocs, len(reqs))
+	}
+	if gw.Served() == 0 || gw.Denied(OutcomeForbidden) == 0 || gw.Denied(OutcomeRateLimited) == 0 || gw.Denied(OutcomeUnauthorized) == 0 {
+		t.Fatal("warmup mix did not exercise all mediation layers")
+	}
+}

@@ -1,0 +1,100 @@
+package tenantapi
+
+import (
+	"strconv"
+	"strings"
+
+	"mkbas/internal/httpmini"
+)
+
+// Frontend mounts the tier's routes on an httpmini.Router, translating
+// wire requests into Gateway calls. The HTTP layer is the presentation
+// path — harness drivers and the load generator call Gateway.Handle
+// directly, which is the allocation-free hot path; the frontend exists so
+// the same tier answers real HTTP/1.0 byte streams (basmon, attack
+// drivers, building head-end exposure).
+type Frontend struct {
+	gw     *Gateway
+	router *httpmini.Router
+	resp   Response
+}
+
+// NewFrontend builds the route table for gw.
+func NewFrontend(gw *Gateway) *Frontend {
+	f := &Frontend{gw: gw, router: &httpmini.Router{}}
+	f.router.Handle("GET", "/api/rooms/:room/status", func(hr *httpmini.Request, params []string) *httpmini.Response {
+		room, ok := atoiStrict(params[0])
+		if !ok {
+			return httpmini.Text(400, "bad room\n")
+		}
+		return f.dispatch(hr, Request{Route: RouteStatus, Room: room})
+	})
+	f.router.Handle("POST", "/api/rooms/:room/setpoint", func(hr *httpmini.Request, params []string) *httpmini.Response {
+		room, ok := atoiStrict(params[0])
+		if !ok {
+			return httpmini.Text(400, "bad room\n")
+		}
+		v, err := strconv.ParseFloat(hr.FormValue("value"), 64)
+		if err != nil {
+			return httpmini.Text(400, "bad value\n")
+		}
+		return f.dispatch(hr, Request{Route: RouteSetpoint, Room: room, Value: v})
+	})
+	f.router.Handle("GET", "/api/diagnostics", func(hr *httpmini.Request, _ []string) *httpmini.Response {
+		return f.dispatch(hr, Request{Route: RouteDiagnostics})
+	})
+	f.router.Handle("GET", "/api/whoami", func(hr *httpmini.Request, _ []string) *httpmini.Response {
+		return f.dispatch(hr, Request{Route: RouteWhoAmI})
+	})
+	return f
+}
+
+// Serve answers one parsed wire request.
+func (f *Frontend) Serve(hr *httpmini.Request) *httpmini.Response {
+	return f.router.Dispatch(hr)
+}
+
+// dispatch runs the gateway and renders the typed outcome.
+func (f *Frontend) dispatch(hr *httpmini.Request, req Request) *httpmini.Response {
+	req.Token = BearerToken(hr)
+	f.gw.Handle(&req, &f.resp)
+	body := make([]byte, len(f.resp.Body))
+	copy(body, f.resp.Body)
+	if len(body) == 0 {
+		body = []byte(f.resp.Outcome.String() + "\n")
+	}
+	ct := "text/plain"
+	if len(body) > 0 && body[0] == '{' {
+		ct = "application/json"
+	}
+	return &httpmini.Response{
+		Status:  f.resp.Outcome.Status(),
+		Headers: map[string]string{"Content-Type": ct},
+		Body:    body,
+	}
+}
+
+// BearerToken extracts the session credential: "Authorization: Bearer
+// <token>" first, then a "token" query parameter for curl-grade clients.
+func BearerToken(hr *httpmini.Request) string {
+	auth := hr.Headers["authorization"]
+	if strings.HasPrefix(auth, "Bearer ") {
+		return auth[len("Bearer "):]
+	}
+	return hr.Query["token"]
+}
+
+// atoiStrict parses a non-negative decimal with no junk.
+func atoiStrict(s string) (int, bool) {
+	if s == "" || len(s) > 6 {
+		return 0, false
+	}
+	n := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return 0, false
+		}
+		n = n*10 + int(s[i]-'0')
+	}
+	return n, true
+}

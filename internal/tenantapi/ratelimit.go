@@ -1,0 +1,66 @@
+package tenantapi
+
+// Token-bucket rate limiting in pure integer virtual time. Buckets are
+// indexed by directory position — a fixed array sized at construction — so
+// Allow is two loads, an integer refill, and a compare: nothing allocates
+// and nothing depends on wall-clock, map order, or goroutine scheduling.
+
+// scale is the fixed-point unit: one request token = 1e9 sub-tokens, so a
+// refill of (elapsedNs × ratePerSec) needs no division on the hot path.
+const scale = int64(1e9)
+
+type bucket struct {
+	// sub is the current fill in sub-tokens (scale per request).
+	sub int64
+	// lastNs is the virtual instant of the previous refill.
+	lastNs int64
+}
+
+// Limiter is a per-principal token bucket.
+type Limiter struct {
+	// ratePerSec is sustained request rate per principal per virtual second.
+	ratePerSec int64
+	// burstSub is the bucket capacity in sub-tokens.
+	burstSub int64
+	buckets  []bucket
+}
+
+// NewLimiter sizes a limiter for n principals. ratePerSec is the sustained
+// per-principal rate; burst is the bucket depth (requests that may land
+// back-to-back before the rate gates). Buckets start full.
+func NewLimiter(n int, ratePerSec, burst int64) *Limiter {
+	if ratePerSec <= 0 {
+		ratePerSec = 10
+	}
+	if burst <= 0 {
+		burst = 2 * ratePerSec
+	}
+	l := &Limiter{
+		ratePerSec: ratePerSec,
+		burstSub:   burst * scale,
+		buckets:    make([]bucket, n),
+	}
+	for i := range l.buckets {
+		l.buckets[i].sub = l.burstSub
+	}
+	return l
+}
+
+// Allow charges one request to principal idx at virtual instant nowNs,
+// reporting whether the bucket had a token. Virtual time is monotone per
+// shard, so a negative elapsed never occurs; a zero elapsed simply refills
+// nothing.
+func (l *Limiter) Allow(idx int32, nowNs int64) bool {
+	b := &l.buckets[idx]
+	elapsed := nowNs - b.lastNs
+	b.lastNs = nowNs
+	b.sub += elapsed * l.ratePerSec
+	if b.sub > l.burstSub {
+		b.sub = l.burstSub
+	}
+	if b.sub < scale {
+		return false
+	}
+	b.sub -= scale
+	return true
+}

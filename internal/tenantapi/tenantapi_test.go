@@ -1,0 +1,321 @@
+package tenantapi
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mkbas/internal/httpmini"
+	"mkbas/internal/obs"
+	"mkbas/internal/polcheck/monitor"
+)
+
+// testClock is a manually advanced virtual clock.
+type testClock struct{ ns int64 }
+
+func (c *testClock) now() obs.Time { return obs.Time(c.ns) }
+func (c *testClock) step(d time.Duration) {
+	c.ns += int64(d)
+}
+
+// newTestGateway builds a small tier: 4 rooms, 8 occupants, 1 manager,
+// 1 vendor, a generous admission budget, and a 5 req/s bucket.
+func newTestGateway(t *testing.T, clk *testClock) (*Gateway, *Directory, *obs.EventLog) {
+	t.Helper()
+	dir := NewDirectory(DirectoryConfig{Seed: 42, Rooms: 4, Occupants: 8, Managers: 1, Vendors: 1})
+	events := obs.NewEventLog(clk.now, 0)
+	gw := NewGateway(dir, NewSimBackend(4, clk.now), GatewayConfig{
+		Now:          clk.now,
+		RatePerSec:   5,
+		Burst:        10,
+		AdmitPerTick: 1000,
+		Registry:     obs.NewRegistry(),
+		Events:       events,
+	})
+	return gw, dir, events
+}
+
+func handle(gw *Gateway, req Request) (Outcome, *Response) {
+	var resp Response
+	out := gw.Handle(&req, &resp)
+	return out, &resp
+}
+
+func TestTokenDerivationDeterministic(t *testing.T) {
+	cfg := DirectoryConfig{Seed: 7, Rooms: 4, Occupants: 4, Managers: 1, Vendors: 1}
+	a, b := NewDirectory(cfg), NewDirectory(cfg)
+	for i := 0; i < a.Len(); i++ {
+		if a.At(i).Token != b.At(i).Token {
+			t.Fatalf("principal %d: tokens differ across identically seeded directories", i)
+		}
+		if !strings.HasPrefix(a.At(i).Token, "tok-") || len(a.At(i).Token) != 20 {
+			t.Fatalf("principal %d: malformed token %q", i, a.At(i).Token)
+		}
+	}
+	cfg.Seed = 8
+	c := NewDirectory(cfg)
+	if c.At(0).Token == a.At(0).Token {
+		t.Fatal("different seeds minted the same token")
+	}
+	// Tokens must be unique within a directory.
+	seen := map[string]bool{}
+	for i := 0; i < a.Len(); i++ {
+		if seen[a.At(i).Token] {
+			t.Fatalf("duplicate token at %d", i)
+		}
+		seen[a.At(i).Token] = true
+	}
+}
+
+func TestRoleMatrix(t *testing.T) {
+	clk := &testClock{}
+	gw, dir, _ := newTestGateway(t, clk)
+	occ := dir.Find("occupant-0001")
+	mgr := dir.Find("manager-0000")
+	ven := dir.Find("vendor-0000")
+
+	cases := []struct {
+		name string
+		req  Request
+		want Outcome
+	}{
+		{"occupant reads own room", Request{Token: occ.Token, Route: RouteStatus, Room: occ.Room}, OutcomeOK},
+		{"occupant reads other room", Request{Token: occ.Token, Route: RouteStatus, Room: (occ.Room + 1) % 4}, OutcomeForbidden},
+		{"occupant writes setpoint", Request{Token: occ.Token, Route: RouteSetpoint, Room: occ.Room, Value: 22}, OutcomeForbidden},
+		{"occupant reads diagnostics", Request{Token: occ.Token, Route: RouteDiagnostics}, OutcomeForbidden},
+		{"occupant whoami", Request{Token: occ.Token, Route: RouteWhoAmI}, OutcomeOK},
+		{"manager reads any room", Request{Token: mgr.Token, Route: RouteStatus, Room: 3}, OutcomeOK},
+		{"manager writes setpoint", Request{Token: mgr.Token, Route: RouteSetpoint, Room: 2, Value: 23.5}, OutcomeOK},
+		{"manager out-of-band setpoint", Request{Token: mgr.Token, Route: RouteSetpoint, Room: 2, Value: 35}, OutcomeBadRequest},
+		{"manager diagnostics", Request{Token: mgr.Token, Route: RouteDiagnostics}, OutcomeOK},
+		{"vendor diagnostics", Request{Token: ven.Token, Route: RouteDiagnostics}, OutcomeOK},
+		{"vendor reads room", Request{Token: ven.Token, Route: RouteStatus, Room: 0}, OutcomeForbidden},
+		{"vendor writes setpoint", Request{Token: ven.Token, Route: RouteSetpoint, Room: 0, Value: 20}, OutcomeForbidden},
+		{"bad token", Request{Token: "tok-ffffffffffffffff", Route: RouteWhoAmI}, OutcomeUnauthorized},
+		{"unknown room", Request{Token: mgr.Token, Route: RouteStatus, Room: 99}, OutcomeNotFound},
+	}
+	for _, tc := range cases {
+		clk.step(time.Second) // keep buckets full
+		if out, _ := handle(gw, tc.req); out != tc.want {
+			t.Errorf("%s: got %s, want %s", tc.name, out, tc.want)
+		}
+	}
+	// The accepted manager write reached the backend.
+	if got := gw.backend.(*SimBackend).Setpoint(2); got != 23.5 {
+		t.Errorf("setpoint write did not land: room 2 at %.1f, want 23.5", got)
+	}
+}
+
+func TestRevocationYields401(t *testing.T) {
+	clk := &testClock{}
+	gw, dir, events := newTestGateway(t, clk)
+	occ := dir.Find("occupant-0000")
+	if out, _ := handle(gw, Request{Token: occ.Token, Route: RouteWhoAmI}); out != OutcomeOK {
+		t.Fatalf("pre-revocation request: %s", out)
+	}
+	if !dir.Revoke("occupant-0000") {
+		t.Fatal("Revoke returned false for a live principal")
+	}
+	if dir.Revoke("occupant-0000") {
+		t.Fatal("double revocation reported success")
+	}
+	clk.step(time.Second)
+	if out, _ := handle(gw, Request{Token: occ.Token, Route: RouteWhoAmI}); out != OutcomeUnauthorized {
+		t.Fatalf("replayed revoked token: got %s, want unauthorized", out)
+	}
+	found := false
+	for _, tot := range events.Totals() {
+		if tot.Kind == obs.EventAuthDenied && tot.Mechanism == obs.MechSession && tot.Denied {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no session-auth denial event recorded")
+	}
+}
+
+func TestRateLimitRefills(t *testing.T) {
+	clk := &testClock{ns: int64(time.Hour)}
+	gw, dir, _ := newTestGateway(t, clk)
+	occ := dir.Find("occupant-0002")
+	// Burst is 10: the 11th immediate request must shed.
+	var out Outcome
+	for i := 0; i < 11; i++ {
+		out, _ = handle(gw, Request{Token: occ.Token, Route: RouteWhoAmI})
+	}
+	if out != OutcomeRateLimited {
+		t.Fatalf("11th back-to-back request: got %s, want rate-limited", out)
+	}
+	// 5 req/s: one second refills five tokens.
+	clk.step(time.Second)
+	okCount := 0
+	for i := 0; i < 6; i++ {
+		if out, _ := handle(gw, Request{Token: occ.Token, Route: RouteWhoAmI}); out == OutcomeOK {
+			okCount++
+		}
+	}
+	if okCount != 5 {
+		t.Fatalf("after 1s refill at 5 req/s: served %d, want 5", okCount)
+	}
+	// Other principals are unaffected.
+	if out, _ := handle(gw, Request{Token: dir.Find("occupant-0003").Token, Route: RouteWhoAmI}); out != OutcomeOK {
+		t.Fatalf("unrelated principal rate-limited: %s", out)
+	}
+}
+
+func TestBackpressureShedsBeforeAuth(t *testing.T) {
+	clk := &testClock{ns: int64(time.Hour)}
+	dir := NewDirectory(DirectoryConfig{Seed: 1, Rooms: 2, Occupants: 2, Managers: 1, Vendors: 1})
+	events := obs.NewEventLog(clk.now, 0)
+	gw := NewGateway(dir, NewSimBackend(2, clk.now), GatewayConfig{
+		Now: clk.now, RatePerSec: 1000, Burst: 2000, AdmitPerTick: 8, Events: events,
+	})
+	mgr := dir.Find("manager-0000")
+	shed := 0
+	for i := 0; i < 20; i++ {
+		if out, _ := handle(gw, Request{Token: mgr.Token, Route: RouteWhoAmI}); out == OutcomeOverload {
+			shed++
+		}
+	}
+	if shed != 12 {
+		t.Fatalf("20 requests into an 8-per-tick budget: shed %d, want 12", shed)
+	}
+	// The next tick re-admits.
+	clk.step(10 * time.Millisecond)
+	if out, _ := handle(gw, Request{Token: mgr.Token, Route: RouteWhoAmI}); out != OutcomeOK {
+		t.Fatalf("after tick rollover: %s, want ok", out)
+	}
+	found := false
+	for _, tot := range events.Totals() {
+		if tot.Kind == obs.EventOverload && tot.Mechanism == obs.MechBackpressure {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no backpressure overload event recorded")
+	}
+}
+
+// TestDemotionShrinksReachableSet is the satellite-2 contract: demoting a
+// compromised tenant origin turns its certified edges off, so the role's
+// reachable set (the routes the monitor admits) shrinks to nothing while
+// other roles keep their certified edges.
+func TestDemotionShrinksReachableSet(t *testing.T) {
+	clk := &testClock{ns: int64(time.Hour)}
+	gw, dir, events := newTestGateway(t, clk)
+	occ := dir.Find("occupant-0004")
+	mon := gw.Monitor()
+
+	// Certified pre-state: the occupant edge admits room-status.
+	if !mon.Check(SubjectOccupant, SubjectGateway, RouteStatus.Label()) {
+		t.Fatal("certified occupant edge missing before demotion")
+	}
+	if out, _ := handle(gw, Request{Token: occ.Token, Route: RouteStatus, Room: occ.Room}); out != OutcomeOK {
+		t.Fatal("occupant read refused before demotion")
+	}
+
+	if !mon.Demote(SubjectOccupant, monitor.OriginUntrusted) {
+		t.Fatal("Demote reported no-op")
+	}
+	// Every occupant route is now off: the reachable set shrank to zero.
+	for rt := Route(0); rt < NumRoutes; rt++ {
+		if mon.Check(SubjectOccupant, SubjectGateway, rt.Label()) {
+			t.Fatalf("demoted occupant still reaches %s", rt.Label())
+		}
+	}
+	clk.step(time.Second)
+	if out, _ := handle(gw, Request{Token: occ.Token, Route: RouteStatus, Room: occ.Room}); out != OutcomeForbidden {
+		t.Fatal("demoted occupant request not refused")
+	}
+	// The manager's edges are untouched.
+	if !mon.Check(SubjectManager, SubjectGateway, RouteSetpoint.Label()) {
+		t.Fatal("manager edge lost after occupant demotion")
+	}
+	clk.step(time.Second)
+	if out, _ := handle(gw, Request{Token: dir.Find("manager-0000").Token, Route: RouteStatus, Room: 0}); out != OutcomeOK {
+		t.Fatal("manager refused after occupant demotion")
+	}
+	// The refusal names the policy monitor, not static rbac.
+	foundPM := false
+	for _, tot := range events.Totals() {
+		if tot.Kind == obs.EventAuthzDenied && tot.Mechanism == obs.MechPolicyMonitor {
+			foundPM = true
+		}
+	}
+	if !foundPM {
+		t.Fatal("demotion refusal did not name the policy monitor")
+	}
+}
+
+func TestAccessGraphShape(t *testing.T) {
+	g := AccessGraph()
+	// Only the gateway reaches the head-end.
+	for _, role := range []string{SubjectOccupant, SubjectManager, SubjectVendor} {
+		for _, tgt := range g.SendTargets(role) {
+			if tgt.Name == SubjectHeadEnd {
+				t.Fatalf("%s holds a direct edge to the head-end", role)
+			}
+		}
+	}
+	gwTargets := g.SendTargets(SubjectGateway)
+	if len(gwTargets) != 1 || gwTargets[0].Name != SubjectHeadEnd {
+		t.Fatalf("gateway targets = %v, want exactly the head-end", gwTargets)
+	}
+}
+
+func TestHTTPFrontend(t *testing.T) {
+	clk := &testClock{ns: int64(time.Hour)}
+	gw, dir, _ := newTestGateway(t, clk)
+	fe := NewFrontend(gw)
+	mgr := dir.Find("manager-0000")
+
+	serve := func(raw string) (int, string) {
+		t.Helper()
+		var p httpmini.Parser
+		p.Feed([]byte(raw))
+		req, err := p.Next()
+		if err != nil || req == nil {
+			t.Fatalf("parse: %v", err)
+		}
+		resp := fe.Serve(req)
+		status, body, err := httpmini.ParseResponse(resp.Render())
+		if err != nil {
+			t.Fatalf("parse response: %v", err)
+		}
+		return status, string(body)
+	}
+
+	status, body := serve("GET /api/rooms/1/status HTTP/1.0\r\nAuthorization: Bearer " + mgr.Token + "\r\n\r\n")
+	if status != 200 || !strings.Contains(body, `"temp_c":`) {
+		t.Fatalf("status read: %d %q", status, body)
+	}
+	clk.step(time.Second)
+	form := "value=24.5"
+	status, body = serve("POST /api/rooms/1/setpoint HTTP/1.0\r\nAuthorization: Bearer " + mgr.Token +
+		"\r\nContent-Type: application/x-www-form-urlencoded\r\nContent-Length: 10\r\n\r\n" + form)
+	if status != 200 || !strings.Contains(body, `"setpoint":24.5`) {
+		t.Fatalf("setpoint write: %d %q", status, body)
+	}
+	clk.step(time.Second)
+	occ := dir.Find("occupant-0000")
+	if status, _ = serve("POST /api/rooms/1/setpoint HTTP/1.0\r\nAuthorization: Bearer " + occ.Token +
+		"\r\nContent-Length: 10\r\nContent-Type: application/x-www-form-urlencoded\r\n\r\n" + form); status != 403 {
+		t.Fatalf("occupant setpoint write over HTTP: %d, want 403", status)
+	}
+	clk.step(time.Second)
+	if status, _ = serve("GET /api/whoami HTTP/1.0\r\n\r\n"); status != 401 {
+		t.Fatalf("tokenless request: %d, want 401", status)
+	}
+	if status, _ = serve("GET /api/whoami?token=" + mgr.Token + " HTTP/1.0\r\n\r\n"); status != 200 {
+		t.Fatalf("query-token request: %d, want 200", status)
+	}
+	if status, _ = serve("GET /api/nosuch HTTP/1.0\r\nAuthorization: Bearer " + mgr.Token + "\r\n\r\n"); status != 404 {
+		t.Fatalf("unknown route: %d, want 404", status)
+	}
+	if status, _ = serve("POST /api/whoami HTTP/1.0\r\nAuthorization: Bearer " + mgr.Token + "\r\nContent-Length: 0\r\n\r\n"); status != 405 {
+		t.Fatalf("wrong method: %d, want 405", status)
+	}
+	if status, _ = serve("GET /api/rooms/xx/status HTTP/1.0\r\nAuthorization: Bearer " + mgr.Token + "\r\n\r\n"); status != 400 {
+		t.Fatalf("non-numeric room: %d, want 400", status)
+	}
+}

@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
-# Re-record the three scaling benches with check.sh's exact commands and
-# print each record's best-of-workers board_steps_per_sec against the
-# checked-in baselines (scripts/bench_baselines/). This script reports;
+# Re-record the four scaling benches with check.sh's exact commands and
+# print each record's best-of-workers throughput (board_steps_per_sec, or
+# requests_per_sec for the tenant-API record) against the checked-in
+# baselines (scripts/bench_baselines/). This script reports;
 # check.sh enforces — the tolerance here is the widest benchguard accepts,
 # so every ratio prints without jitter failing the run.
 #
@@ -17,8 +18,9 @@ trap 'rm -rf "$dir"' EXIT
 go run ./cmd/baslab -sweep 'platforms=all;actions=all;models=both' -bench 1,2,4,8 -bench-out "$dir/BENCH_lab.json"
 go run ./cmd/baslab -sweep 'platforms=paper;actions=none' -faults crash-sensor -bench 1,2,4,8 -bench-out "$dir/BENCH_faults.json"
 go run ./cmd/basbuilding -rooms 64 -settle 10m -window 20m -bench 1,2,4,8 -bench-out "$dir/BENCH_building.json"
+go run ./cmd/basload -bench 1,2,4,8 -bench-out "$dir/BENCH_api.json"
 go run ./cmd/benchguard -fresh "$dir" -tolerance 0.98
 if [ "${1:-}" = "-record" ]; then
-	cp "$dir"/BENCH_lab.json "$dir"/BENCH_faults.json "$dir"/BENCH_building.json scripts/bench_baselines/
+	cp "$dir"/BENCH_lab.json "$dir"/BENCH_faults.json "$dir"/BENCH_building.json "$dir"/BENCH_api.json scripts/bench_baselines/
 	echo "baselines re-recorded in scripts/bench_baselines/"
 fi

@@ -17,8 +17,11 @@ go vet ./internal/lab ./internal/building
 go test -race -count=2 ./internal/lab ./internal/building
 go run ./cmd/polcheck -scenario tempcontrol
 # Least-privilege lint: every static grant the scenario never exercises must
-# be covered by the checked-in allowlist; unknown or stale entries fail.
-go run ./cmd/polcheck -scenario tempcontrol -audit -strict -allow polcheck.allow >/dev/null
+# be covered by the checked-in allowlist; unknown or stale entries fail. The
+# audit runs under the tenant-gateway-extended matrix (-tenant), which is a
+# strict superset of the default one, so a single strict pass covers both —
+# stale entries still fail, keeping the default rows honest too.
+go run ./cmd/polcheck -scenario tempcontrol -tenant -audit -strict -allow polcheck.allow >/dev/null
 # E4 must at least run; perf comparisons happen out of band. One iteration is
 # enough for the smoke — the bench bodies themselves assert invariants.
 go test -run XXX -bench BenchmarkE4 -benchtime 1x .
@@ -104,7 +107,35 @@ cmp "$out1" "$out2"
 go run ./cmd/basbuilding $e15 >"$out1"
 grep -q 'standby took over at round 3976' "$out1"
 grep -q 'bus fault plan "partition-failover": 2 injected, 2 recovered, 0 unrecovered' "$out1"
-# Bench guard: the three BENCH records re-measured above must not collapse
+# E16 tenant-API load-gen determinism golden (DESIGN.md §16): the merged
+# million-request campaign report must be byte-identical whether the 64
+# gateway shards run serially or across 8 workers.
+go run ./cmd/basload -requests 200000 -workers 1 -json >"$out1"
+go run ./cmd/basload -requests 200000 -workers 8 -json >"$out2"
+cmp "$out1" "$out2"
+# E16 attack smoke: the stolen-manager-token replay must ride the certified
+# path to COMPROMISED, and incident response (-demote) must turn the same
+# attack into BLOCKED at session auth.
+go run ./cmd/attacklab -actions api-token-replay -platforms minix3-acm -model root >"$out1"
+grep -q 'COMPROMISED' "$out1"
+go run ./cmd/attacklab -actions api-token-replay -platforms minix3-acm -model root -demote >"$out1"
+grep -q 'BLOCKED' "$out1"
+# E16 basmon integration smoke: tenant traffic surfaces per-route counters
+# and latency histograms in the board report, byte-deterministically.
+go run ./cmd/basmon -platform minix -api 2000 -json >"$out1"
+go run ./cmd/basmon -platform minix -api 2000 -json >"$out2"
+cmp "$out1" "$out2"
+grep -q 'api_latency_room-status' "$out1"
+# E16 building smoke: the building-scale tenant tier stays byte-identical
+# across worker counts (gateway batches run at the round barrier).
+e16b='-rooms 4 -settle 5m -window 10m -api'
+go run ./cmd/basbuilding $e16b -workers 1 -json >"$out1"
+go run ./cmd/basbuilding $e16b -workers 4 -json >"$out2"
+cmp "$out1" "$out2"
+# Tenant API scaling bench: requests/sec across worker widths; exits nonzero
+# if any width's merged report deviates from the serial baseline.
+go run ./cmd/basload -bench 1,2,4,8 -bench-out BENCH_api.json
+# Bench guard: the four BENCH records re-measured above must not collapse
 # below the checked-in baselines on board_steps_per_sec. The tolerance
 # still absorbs CI jitter (0.4 = fail below 60% of baseline) but was
 # tightened once the hot-path rebuild (DESIGN.md §14) made throughput
